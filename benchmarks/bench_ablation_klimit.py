@@ -1,0 +1,56 @@
+"""Ablation — the field-stack k-limit (a harness deviation from the paper).
+
+The paper bounds queries only by the 75,000-step budget; our harness
+additionally k-limits the field stack (see
+``repro.bench.runner.BENCH_FIELD_DEPTH_LIMIT``) because a few synthetic
+queries otherwise pump the stack through store/load webs and burn the
+whole budget for every analysis, telling us nothing.  This sweep makes
+the deviation inspectable: per limit, the unknowns produced by the
+limit, the unknowns produced by the budget, and total cost.
+
+Expected shape: a tiny limit aborts many queries cheaply; a generous
+limit answers everything the budget allows; between them the answer set
+stabilises while cost stays bounded — i.e. the k-limit changes cost, not
+(completed) answers, which the monotonicity test pins.
+"""
+
+import pytest
+
+from repro import AnalysisConfig, DynSum, NoRefine
+from repro.bench.runner import run_client
+from repro.clients import NullDerefClient
+
+LIMITS = (2, 4, 16, 64)
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("limit", LIMITS)
+@pytest.mark.parametrize("analysis_cls", (NoRefine, DynSum), ids=lambda c: c.name)
+def test_klimit_cell(benchmark, instances, analysis_cls, limit):
+    instance = instances["jack"]
+    config = AnalysisConfig(max_field_depth=limit)
+
+    def run():
+        return run_client(instance, NullDerefClient, analysis_cls(instance.pag, config))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _ROWS.append((limit, result.analysis, result.unknown, result.safe, result.steps))
+
+
+def test_print_and_check(benchmark, instances):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _ROWS:
+        pytest.skip("cells did not run")
+    print("\n\nAblation — field-stack k-limit sweep (jack / NullDeref)")
+    print(f"  {'limit':>6s}  {'analysis':10s} {'unknown':>8s} {'safe':>6s} {'steps':>9s}")
+    by_key = {}
+    for limit, analysis, unknown, safe, steps in _ROWS:
+        by_key[(limit, analysis)] = (unknown, safe)
+        print(f"  {limit:>6d}  {analysis:10s} {unknown:>8d} {safe:>6d} {steps:>9d}")
+    # Raising the limit only converts unknowns into answers:
+    for analysis in ("NOREFINE", "DYNSUM"):
+        unknowns = [by_key[(limit, analysis)][0] for limit in LIMITS]
+        assert unknowns == sorted(unknowns, reverse=True), analysis
+    # The two deep settings agree on how many queries get answered.
+    assert by_key[(16, "NOREFINE")][1] == by_key[(64, "NOREFINE")][1]

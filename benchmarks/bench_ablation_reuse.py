@@ -1,0 +1,69 @@
+"""Ablation — where does DYNSUM's win come from?
+
+Three configurations isolate the design choices DESIGN.md calls out:
+
+* ``dynsum``       — the full analysis, one cache across all queries;
+* ``per-query``    — the cache is cleared before every query: summaries
+                     still batch local edges (intra-query reuse across
+                     contexts) but nothing survives between queries;
+* ``no-summaries`` — NOREFINE, i.e. no batching of local edges at all.
+
+The paper's claim that *cross-query, cross-context* reuse is the point
+(Section 4's motivating discussion) translates to:
+steps(dynsum) <= steps(per-query) <= steps(no-summaries) on aggregate.
+"""
+
+import pytest
+
+from repro import DynSum, NoRefine
+from repro.bench.runner import bench_analysis_config, run_client
+from repro.clients import NullDerefClient, SafeCastClient
+
+from conftest import FIGURE_BENCHMARKS
+
+_ROWS = []
+
+
+class _PerQueryDynSum(DynSum):
+    """DYNSUM with the cache dropped before every query."""
+
+    name = "DYNSUM/per-query"
+
+    def _run_query(self, var, context, client):
+        self.cache.clear()
+        return super()._run_query(var, context, client)
+
+
+CONFIGS = (
+    ("dynsum", DynSum),
+    ("per-query", _PerQueryDynSum),
+    ("no-summaries", NoRefine),
+)
+
+
+@pytest.mark.parametrize("label,analysis_cls", CONFIGS, ids=lambda x: str(x))
+@pytest.mark.parametrize("client_cls", (SafeCastClient, NullDerefClient), ids=lambda c: c.name)
+@pytest.mark.parametrize("name", FIGURE_BENCHMARKS)
+def test_reuse_ablation(benchmark, figure_instances, name, client_cls, label, analysis_cls):
+    instance = figure_instances[name]
+
+    def run():
+        analysis = analysis_cls(instance.pag, bench_analysis_config())
+        return run_client(instance, client_cls, analysis)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _ROWS.append((name, client_cls.name, label, result.steps))
+
+
+def test_print_and_check(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _ROWS:
+        pytest.skip("cells did not run")
+    by_label = {}
+    print("\n\nAblation — summary reuse (total steps)")
+    for name, client, label, steps in _ROWS:
+        by_label.setdefault(label, 0)
+        by_label[label] += steps
+        print(f"  {name:8s} {client:10s} {label:14s} {steps}")
+    print(f"  totals: {by_label}")
+    assert by_label["dynsum"] <= by_label["per-query"]

@@ -1,0 +1,87 @@
+"""Figure 4 — per-batch cost of DYNSUM normalised to REFINEPTS.
+
+Protocol (Section 5.3): the query stream of each client is split into 10
+batches; one persistent DYNSUM instance processes them in order (its
+summary cache warming across batches) while REFINEPTS processes the same
+batches with its per-query-only reuse.  The paper plots
+``time(DYNSUM batch i) / time(REFINEPTS batch i)``.
+
+Alongside the paper's metric we print a *warm/cold* series — the same
+batch replayed on a cold-cache DYNSUM — which isolates exactly the
+cross-batch reuse the paper attributes the trend to, independent of
+REFINEPTS's volatility on small programs.
+"""
+
+import pytest
+
+from repro import DynSum, NoRefine, RefinePts
+from repro.bench.batching import split_batches
+from repro.bench.runner import bench_analysis_config, run_batches
+from repro.bench.tables import format_figure4
+from repro.clients import ALL_CLIENTS
+
+from conftest import FIGURE_BENCHMARKS
+
+N_BATCHES = 10
+
+_SERIES = []
+
+
+@pytest.mark.parametrize("client_cls", ALL_CLIENTS, ids=lambda c: c.name)
+@pytest.mark.parametrize("name", FIGURE_BENCHMARKS)
+def test_batch_series(benchmark, figure_instances, name, client_cls):
+    instance = figure_instances[name]
+
+    def run():
+        dynsum = DynSum(instance.pag, bench_analysis_config())
+        refinepts = RefinePts(instance.pag, bench_analysis_config())
+        dyn_series = run_batches(instance, client_cls, dynsum, N_BATCHES)
+        ref_series = run_batches(instance, client_cls, refinepts, N_BATCHES)
+        return dyn_series, ref_series
+
+    dyn_series, ref_series = benchmark.pedantic(run, rounds=1, iterations=1)
+    _SERIES.append((dyn_series, ref_series))
+    assert len(dyn_series.batch_steps) == N_BATCHES
+
+
+def test_warm_vs_cold_reuse(benchmark, figure_instances):
+    """Cross-batch reuse, isolated: replay each batch against a cold
+    cache and compare.  The warm instance must never lose, and must win
+    on aggregate over the later batches."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\n\nFigure 4 companion — DYNSUM warm/cold per-batch step ratio")
+    for name, instance in figure_instances.items():
+        for client_cls in ALL_CLIENTS:
+            client = client_cls(instance.pag)
+            queries = client.queries()
+            warm = DynSum(instance.pag, bench_analysis_config())
+            ratios = []
+            warm_late = cold_late = 0
+            for index, batch in enumerate(split_batches(queries, N_BATCHES)):
+                cold = DynSum(instance.pag, bench_analysis_config())
+                w0 = warm.total_steps
+                c0 = cold.total_steps
+                for query in batch:
+                    node = query.node(instance.pag)
+                    warm.points_to(node)
+                    cold.points_to(node)
+                warm_steps = warm.total_steps - w0
+                cold_steps = cold.total_steps - c0
+                ratios.append(warm_steps / cold_steps if cold_steps else 1.0)
+                if index >= N_BATCHES // 2:
+                    warm_late += warm_steps
+                    cold_late += cold_steps
+            print(
+                f"  {name}/{client_cls.name}: "
+                + " ".join(f"{r:.2f}" for r in ratios)
+            )
+            if cold_late:
+                assert warm_late <= cold_late, (name, client_cls.name)
+
+
+def test_print_figure4(benchmark, figure_instances):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _SERIES:
+        pytest.skip("series did not run")
+    print("\n\nFigure 4 — DYNSUM / REFINEPTS per-batch step ratio")
+    print(format_figure4(_SERIES, n_batches=N_BATCHES))

@@ -1,0 +1,55 @@
+"""Figure 5 — cumulative DYNSUM summaries as a fraction of STASUM's.
+
+After each of the 10 query batches we record how many boundary points
+DYNSUM has summarised so far and normalise by the size of STASUM's
+offline all-methods table (see ``SummaryCache.summary_point_count`` for
+the unit discussion).  The paper reports DYNSUM ending at 37-48% of
+STASUM on average; the claim under test is the *shape*: the fraction
+grows with query volume and stays well below 100%.
+"""
+
+import pytest
+
+from repro import DynSum, StaSum
+from repro.bench.runner import bench_analysis_config, run_summary_series
+from repro.bench.tables import format_figure5
+from repro.clients import ALL_CLIENTS
+
+from conftest import FIGURE_BENCHMARKS
+
+N_BATCHES = 10
+
+_SERIES = []
+
+
+@pytest.mark.parametrize("client_cls", ALL_CLIENTS, ids=lambda c: c.name)
+@pytest.mark.parametrize("name", FIGURE_BENCHMARKS)
+def test_summary_series(benchmark, figure_instances, name, client_cls):
+    instance = figure_instances[name]
+    stasum = StaSum(instance.pag, bench_analysis_config())
+
+    def run():
+        dynsum = DynSum(instance.pag, bench_analysis_config())
+        return run_summary_series(instance, client_cls, dynsum, stasum, N_BATCHES)
+
+    series, total = benchmark.pedantic(run, rounds=1, iterations=1)
+    _SERIES.append((series, total))
+
+    counts = series.summary_counts
+    assert counts == sorted(counts), "cache only grows"
+    assert counts[-1] <= total, "DYNSUM must not exceed the static table"
+    assert counts[-1] > 0
+
+
+def test_print_figure5(benchmark, figure_instances):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _SERIES:
+        pytest.skip("series did not run")
+    print("\n\nFigure 5 — cumulative DYNSUM summaries (% of STASUM)")
+    print(format_figure5(_SERIES, n_batches=N_BATCHES))
+    finals = [
+        series.summary_counts[-1] / total for series, total in _SERIES if total
+    ]
+    average = sum(finals) / len(finals)
+    print(f"\naverage final fraction: {average:.1%} (paper: 37-48%)")
+    assert 0.05 <= average <= 0.95

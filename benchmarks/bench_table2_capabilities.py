@@ -1,0 +1,44 @@
+"""Table 2 — strengths and weaknesses of the four demand analyses.
+
+The table is qualitative; the benchmark times analysis construction
+(which for STASUM includes the whole offline summarisation phase — the
+cost Table 2's "Partly" on-demandness hides) and prints the rendered
+capability matrix.
+"""
+
+import pytest
+
+from repro import DynSum, NoRefine, RefinePts, StaSum
+from repro.bench.runner import bench_analysis_config
+from repro.bench.tables import format_capability_table
+
+ANALYSES = (NoRefine, RefinePts, DynSum, StaSum)
+
+
+@pytest.mark.parametrize("analysis_cls", ANALYSES, ids=lambda c: c.name)
+def test_construction_cost(benchmark, instances, analysis_cls):
+    """Time to stand up each analysis on soot-c (STASUM pays offline)."""
+    pag = instances["soot-c"].pag
+
+    def construct():
+        return analysis_cls(pag, bench_analysis_config())
+
+    analysis = benchmark.pedantic(construct, rounds=1, iterations=1)
+    assert analysis.name == analysis_cls.name
+
+
+def test_print_table2(benchmark, instances):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    pag = instances["soot-c"].pag
+    analyses = [cls(pag, bench_analysis_config()) for cls in ANALYSES]
+    print("\n\nTable 2 — capability matrix")
+    print(format_capability_table(analyses))
+    rows = {a.name: a.capabilities() for a in analyses}
+    # The paper's qualitative claims, pinned:
+    assert rows["NOREFINE"]["full_precision"] is True
+    assert rows["REFINEPTS"]["reuse"] == "context-dependent"
+    assert rows["STASUM"]["full_precision"] is False
+    assert rows["STASUM"]["on_demand"] == "partly"
+    assert rows["DYNSUM"]["full_precision"] is True
+    assert rows["DYNSUM"]["memoization"] == "dynamic-across"
+    assert rows["DYNSUM"]["reuse"] == "context-independent"

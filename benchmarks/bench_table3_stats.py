@@ -1,0 +1,49 @@
+"""Table 3 — benchmark statistics.
+
+Per program: reachable methods, node counts by kind (O/V/G), edge counts
+by kind, the locality metric, and the number of queries each client
+issues.  The benchmark times the full frontend pipeline (generate ->
+Andersen -> PAG), i.e. everything Table 3 is computed from.
+"""
+
+import pytest
+
+from repro.bench.suite import BENCHMARK_NAMES, load_benchmark
+from repro.bench.tables import format_table3
+from repro.clients import ALL_CLIENTS
+
+from conftest import SCALE
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_frontend_pipeline(benchmark, name):
+    """Time generation + call graph + PAG for each program."""
+    instance = benchmark.pedantic(
+        load_benchmark, args=(name,), kwargs={"scale": SCALE}, rounds=1, iterations=1
+    )
+    assert instance.pag.node_counts()["V"] > 0
+
+
+def test_print_table3(benchmark, instances):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    stats_rows = [instances[name].stats for name in BENCHMARK_NAMES]
+    query_counts = {}
+    for name in BENCHMARK_NAMES:
+        pag = instances[name].pag
+        query_counts[name] = {
+            client_cls.name: len(client_cls(pag).queries())
+            for client_cls in ALL_CLIENTS
+        }
+    print("\n\nTable 3 — benchmark statistics")
+    print(format_table3(stats_rows, query_counts))
+
+    # Shape assertions mirroring the paper's Table 3:
+    for name in BENCHMARK_NAMES:
+        stats = instances[name].stats
+        # local edges dominate (the basis of DYNSUM's optimisation)
+        assert stats.locality > 0.55, name
+        # every client has work to do
+        assert all(count > 0 for count in query_counts[name].values()), name
+        # NullDeref issues the most queries, FactoryM the fewest
+        counts = query_counts[name]
+        assert counts["NullDeref"] >= counts["SafeCast"] >= counts["FactoryM"], name

@@ -1,0 +1,97 @@
+"""IDE scenario: demand queries under *real* code edits.
+
+The paper motivates DYNSUM for "environments such as JIT compilers and
+IDEs, particularly when the program constantly undergoes a lot of
+edits".  This example drives :class:`IncrementalAnalysisSession`, the
+host-side machinery for that scenario: a long-lived analysis accepts
+method-body edits, drops exactly the summaries the edit can invalidate
+(the edited method plus any method whose boundary surface changed),
+migrates the rest across the PAG rebuild, and keeps answering queries —
+with post-edit answers identical to a cold start.
+
+Run with::
+
+    python examples/ide_session.py
+"""
+
+from repro import IncrementalAnalysisSession, SafeCastClient, parse_program
+
+WORKSPACE = """
+class Shape { }
+class Circle extends Shape { }
+class Square extends Shape { }
+
+class ShapeFactory {
+  static method create() {
+    s = new Circle;
+    return s;
+  }
+}
+
+class Canvas {
+  field current;
+  method hold(x) { this.current = x; }
+  method fetch() {
+    r = this.current;
+    return r;
+  }
+}
+
+class Main {
+  static method main() {
+    shape = ShapeFactory::create();
+    canvas = new Canvas;
+    canvas.hold(shape);
+    back = canvas.fetch();
+    c = (Circle) back;
+  }
+}
+"""
+
+
+def report_queries(session, label):
+    client = SafeCastClient(session.pag)
+    steps_before = session.analysis.total_steps
+    verdicts = client.run(session.analysis)
+    steps = session.analysis.total_steps - steps_before
+    summary = ", ".join(f"{v.query.description}: {v.status}" for v in verdicts)
+    print(f"{label:28s} [{steps:4d} steps, {session.summary_count:3d} summaries] {summary}")
+
+
+def main():
+    session = IncrementalAnalysisSession(parse_program(WORKSPACE))
+    print(f"workspace: {session.pag}\n")
+
+    report_queries(session, "initial state")
+    report_queries(session, "re-run (warm cache)")
+
+    # Edit 1: the user changes the factory to produce Squares.
+    def squares(m):
+        m.alloc("s", "Square").ret("s")
+
+    edit = session.replace_body("ShapeFactory.create", squares)
+    print(f"\nedit ShapeFactory.create -> Square   {edit!r}")
+    report_queries(session, "after factory edit")
+
+    # Edit 2: revert.  Only the factory's summaries are repaid again.
+    def circles(m):
+        m.alloc("s", "Circle").ret("s")
+
+    edit = session.replace_body("ShapeFactory.create", circles)
+    print(f"\nedit ShapeFactory.create -> Circle   {edit!r}")
+    report_queries(session, "after revert")
+
+    # Edit 3: touch an unrelated method; Canvas summaries survive.
+    edit = session.edit("Canvas.hold", lambda method: None)
+    print(f"\nno-op edit of Canvas.hold            {edit!r}")
+    report_queries(session, "after no-op edit")
+
+    print(
+        "\nthe cast verdict tracked every edit, and each edit repaid only "
+        "the summaries it could have staled — the paper's low-budget "
+        "IDE/JIT story, end to end."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""The paper's motivating example (Figure 2, Table 1, Section 3.4).
+
+Builds the Vector/Client program exactly as in Figure 2, answers the two
+queries ``pointsTo(s1)`` and ``pointsTo(s2)`` with every analysis, and
+shows the reuse effect Table 1 illustrates: the second query is cheaper
+because DYNSUM reuses the PPTA summaries cached during the first —
+something the paper stresses no ad-hoc (context-dependent) cache can do,
+since s1 and s2 reach the shared code under different calling contexts.
+
+Run with::
+
+    python examples/motivating_example.py [--dot]
+
+``--dot`` additionally prints the PAG in Graphviz format (the paper's
+Figure 2 rendering).
+"""
+
+import sys
+
+from repro import (
+    ContextInsensitivePta,
+    DynSum,
+    NoRefine,
+    RefinePts,
+    StaSum,
+    build_pag,
+    parse_program,
+)
+from repro.pag.dot import to_dot
+
+FIGURE2 = """
+class Object { }
+class ObjectArray { field arr; }
+class Integer { }
+class String { }
+
+class Vector {
+  field elems;
+  field count;
+  method init() {           // Vector() constructor, lines 4-6
+    t = new ObjectArray;
+    this.elems = t;
+  }
+  method add(p) {           // lines 7-9 (t[count++]=p collapses to .arr)
+    t = this.elems;
+    t.arr = p;
+  }
+  method get(i) {           // lines 10-12
+    t = this.elems;
+    r = t.arr;
+    return r;
+  }
+}
+
+class Client {
+  field vec;
+  method initEmpty() { }    // Client(), line 15
+  method initWith(v) { this.vec = v; }   // Client(Vector), lines 16-17
+  method set(v) { this.vec = v; }        // lines 18-19
+  method retrieve() {                    // lines 20-22
+    t = this.vec;
+    s = t.get(zero);
+    return s;
+  }
+}
+
+class Main {
+  static method main() {    // lines 24-33
+    v1 = new Vector;        // line 25
+    v1.init();
+    tmp1 = new Integer;     // line 26
+    v1.add(tmp1);
+    c1 = new Client;        // line 27
+    c1.initWith(v1);
+    v2 = new Vector;        // line 28
+    v2.init();
+    tmp2 = new String;      // line 29
+    v2.add(tmp2);
+    c2 = new Client;        // line 30
+    c2.initEmpty();
+    c2.set(v2);
+    s1 = c1.retrieve();     // line 32
+    s2 = c2.retrieve();     // line 33
+  }
+}
+"""
+
+
+def describe(result):
+    names = sorted(obj.class_name for obj in result.objects)
+    return f"{names}  ({result.steps} steps)"
+
+
+def main():
+    program = parse_program(FIGURE2)
+    pag = build_pag(program)
+    print(f"Figure 2 PAG: {pag}")
+    print(f"locality: {pag.locality():.1%}\n")
+
+    if "--dot" in sys.argv:
+        print(to_dot(pag, graph_name="figure2"))
+
+    print("The paper's expected answers: pointsTo(s1)={o26:Integer}, "
+          "pointsTo(s2)={o29:String}\n")
+
+    for analysis_cls in (NoRefine, RefinePts, DynSum, StaSum):
+        analysis = analysis_cls(pag)
+        r1 = analysis.points_to_name("Main.main", "s1")
+        r2 = analysis.points_to_name("Main.main", "s2")
+        print(f"{analysis.name:10s} s1 -> {describe(r1)}")
+        print(f"{'':10s} s2 -> {describe(r2)}")
+        if isinstance(analysis, DynSum):
+            print(
+                f"{'':10s} Table 1's reuse: s2 needed fewer steps than s1 "
+                f"({r2.steps} < {r1.steps}); cache: {analysis.cache}"
+            )
+        print()
+
+    cipta = ContextInsensitivePta(pag)
+    print(
+        "CIPTA      s1 -> "
+        + describe(cipta.points_to_name("Main.main", "s1"))
+        + "   <- context-insensitive: payloads merge (Section 3.2)"
+    )
+
+
+if __name__ == "__main__":
+    main()

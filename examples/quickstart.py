@@ -1,0 +1,89 @@
+"""Quickstart: parse a program, build its PAG, ask points-to queries.
+
+Run with::
+
+    python examples/quickstart.py
+
+Covers the three ways into the library: the PIR parser, the demand
+analyses, and the clients.
+"""
+
+from repro import (
+    ContextInsensitivePta,
+    DynSum,
+    NoRefine,
+    SafeCastClient,
+    build_pag,
+    parse_program,
+)
+
+SOURCE = """
+class Animal { }
+class Dog extends Animal { }
+class Cat extends Animal { }
+
+class Kennel {
+  field occupant;
+  method put(a) { this.occupant = a; }
+  method get() {
+    r = this.occupant;
+    return r;
+  }
+}
+
+class Main {
+  static method main() {
+    dogHouse = new Kennel;
+    catHouse = new Kennel;
+    rex = new Dog;
+    tom = new Cat;
+    dogHouse.put(rex);
+    catHouse.put(tom);
+    d = dogHouse.get();
+    c = catHouse.get();
+    sure = (Dog) d;
+    oops = (Dog) c;
+  }
+}
+"""
+
+
+def main():
+    program = parse_program(SOURCE)
+    pag = build_pag(program)
+    print(f"program: {program}")
+    print(f"PAG: {pag}\n")
+
+    # 1. Demand queries: what may `d` point to?
+    dynsum = DynSum(pag)
+    for var in ("d", "c"):
+        result = dynsum.points_to_name("Main.main", var)
+        names = sorted(obj.class_name for obj in result.objects)
+        print(f"pointsTo({var}) = {names}   [{result.steps} steps]")
+
+    # 2. Context-sensitivity is what separates the two kennels:
+    cipta = ContextInsensitivePta(pag)
+    merged = sorted(
+        obj.class_name for obj in cipta.points_to_name("Main.main", "d").objects
+    )
+    print(f"\ncontext-INsensitive pointsTo(d) = {merged}  (kennels conflated)")
+
+    # 3. A client consumes the analysis: check every downcast.
+    print("\nSafeCast verdicts (DYNSUM):")
+    client = SafeCastClient(pag)
+    for verdict in client.run(DynSum(pag)):
+        print(f"  {verdict.query.description:40s} -> {verdict.status}")
+
+    # 4. The summary cache is why repeated queries get cheaper:
+    warm = DynSum(pag)
+    first = warm.points_to_name("Main.main", "d")
+    second = warm.points_to_name("Main.main", "c")
+    print(
+        f"\nsummary reuse: first query {first.steps} steps, "
+        f"related second query {second.steps} steps "
+        f"({warm.cache.hits} cache hits)"
+    )
+
+
+if __name__ == "__main__":
+    main()

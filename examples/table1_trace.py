@@ -1,0 +1,46 @@
+"""Reproduce the paper's Table 1: a step-by-step DYNSUM query trace.
+
+Table 1 shows DYNSUM answering ``pointsTo(s1)`` and ``pointsTo(s2)`` on
+the Figure 2 program, step by step — node, field stack, RSM state,
+context stack — with "reuse" marking the rows where the second query
+rides summaries cached by the first.  This example prints the same view
+from a live tracer.
+
+Run with::
+
+    python examples/table1_trace.py
+"""
+
+from repro import DynSum, QueryTracer, build_pag, format_trace, parse_program
+
+from motivating_example import FIGURE2  # the Figure 2 program text
+
+
+def main():
+    program = parse_program(FIGURE2)
+    pag = build_pag(program)
+    dynsum = DynSum(pag)
+
+    print("=== query 1: pointsTo(s1)  (paper: 23 steps, ends at o26) ===")
+    with QueryTracer(dynsum) as tracer1:
+        r1 = dynsum.points_to_name("Main.main", "s1")
+    print(format_trace(tracer1.steps, max_rows=30))
+    print(f"\nanswer: {sorted(o.class_name for o in r1.objects)}, "
+          f"{r1.steps} steps, {tracer1.reuse_count} summary reuses\n")
+
+    print("=== query 2: pointsTo(s2)  (paper: 15 steps thanks to reuse) ===")
+    with QueryTracer(dynsum) as tracer2:
+        r2 = dynsum.points_to_name("Main.main", "s2")
+    print(format_trace(tracer2.steps, max_rows=30))
+    print(f"\nanswer: {sorted(o.class_name for o in r2.objects)}, "
+          f"{r2.steps} steps, {tracer2.reuse_count} summary reuses")
+    print(
+        f"\nthe Table 1 effect: query 2 used {r2.steps} steps vs "
+        f"{r1.steps} for query 1, reusing {tracer2.reuse_count} summaries "
+        "cached under *different* calling contexts — exactly what the "
+        "paper notes ad-hoc (context-dependent) caches cannot do."
+    )
+
+
+if __name__ == "__main__":
+    main()

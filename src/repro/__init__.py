@@ -1,0 +1,84 @@
+"""repro — reproduction of "On-Demand Dynamic Summary-based Points-to
+Analysis" (Shang, Xie & Xue, CGO 2012).
+
+The library implements the full stack the paper sits on:
+
+* a Java-like pointer IR with parser and builder (:mod:`repro.ir`);
+* Andersen/RTA call-graph construction (:mod:`repro.callgraph`);
+* the Pointer Assignment Graph (:mod:`repro.pag`);
+* four demand-driven points-to analyses — NOREFINE, REFINEPTS, DYNSUM
+  (the paper's contribution) and STASUM (:mod:`repro.analysis`);
+* the three evaluation clients (:mod:`repro.clients`);
+* the synthetic benchmark suite and experiment harness
+  (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro import parse_program, build_pag, DynSum
+
+    program = parse_program(SOURCE)
+    pag = build_pag(program)
+    analysis = DynSum(pag)
+    result = analysis.points_to_name("Main.main", "v")
+    print(result.objects)
+"""
+
+from repro.analysis import (
+    AliasResult,
+    AnalysisConfig,
+    ContextInsensitivePta,
+    DynSum,
+    EditReport,
+    IncrementalAnalysisSession,
+    NoRefine,
+    QueryResult,
+    QueryTracer,
+    RefinePts,
+    StaSum,
+    SummaryCache,
+    format_trace,
+)
+from repro.callgraph import AndersenAnalysis, CallGraph, rta_call_graph
+from repro.cfl import EMPTY_STACK, Stack
+from repro.clients import (
+    ALL_CLIENTS,
+    FactoryMethodClient,
+    NullDerefClient,
+    SafeCastClient,
+)
+from repro.ir import ProgramBuilder, parse_program, pretty_print
+from repro.pag import PAG, build_pag, compute_statistics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_CLIENTS",
+    "AliasResult",
+    "AnalysisConfig",
+    "AndersenAnalysis",
+    "CallGraph",
+    "ContextInsensitivePta",
+    "DynSum",
+    "EMPTY_STACK",
+    "EditReport",
+    "FactoryMethodClient",
+    "IncrementalAnalysisSession",
+    "NoRefine",
+    "NullDerefClient",
+    "PAG",
+    "ProgramBuilder",
+    "QueryResult",
+    "QueryTracer",
+    "RefinePts",
+    "SafeCastClient",
+    "StaSum",
+    "Stack",
+    "SummaryCache",
+    "build_pag",
+    "compute_statistics",
+    "parse_program",
+    "pretty_print",
+    "format_trace",
+    "rta_call_graph",
+    "__version__",
+]

@@ -1,0 +1,122 @@
+"""Context-insensitive demand-driven points-to analysis (OOPSLA'05 style).
+
+The precursor to REFINEPTS (Sridharan et al., "Demand-Driven Points-to
+Analysis for Java"): field-sensitive via the balanced-parentheses LFT
+language, but **context-insensitive** — global assignment, call entry and
+call exit edges are all treated as plain ``assign`` edges (Section 3.2 of
+the paper).
+
+It serves three purposes here:
+
+* a baseline documenting what context-sensitivity buys;
+* a soundness envelope in tests — for every completed query,
+  context-sensitive answers must be a subset of this analysis's answers,
+  which in turn must be a subset of Andersen's;
+* the local building block the reader can compare against the PPTA (this
+  is the same RSM, applied to *all* edges instead of local ones).
+"""
+
+from collections import deque
+
+from repro.analysis.base import (
+    DemandPointsToAnalysis,
+    QueryResult,
+    check_query_node,
+)
+from repro.cfl.rsm import FAM_LOAD, FAM_STORE, S1, S2
+from repro.cfl.stacks import EMPTY_STACK
+from repro.util.errors import BudgetExceededError
+
+
+class ContextInsensitivePta(DemandPointsToAnalysis):
+    """Field-sensitive, context-insensitive demand analysis."""
+
+    name = "CIPTA"
+    full_precision = False  # context-insensitive
+    memoization = "none"
+    reuse = "none"
+    on_demand = "yes"
+
+    def _run_query(self, var, context, client):
+        check_query_node(self.pag, var)
+        budget = self.config.new_budget()
+        pairs = set()
+        complete = True
+        try:
+            self._explore(var, pairs, budget)
+        except BudgetExceededError:
+            complete = False
+        return QueryResult(var, pairs, complete, budget.steps)
+
+    def _explore(self, var, pairs, budget):
+        pag = self.pag
+        depth_limit = self.config.max_field_depth
+        start = (var, EMPTY_STACK, S1)
+        seen = {start}
+        worklist = deque([start])
+
+        def propagate(node, fstack, state):
+            item = (node, fstack, state)
+            if item not in seen:
+                seen.add(item)
+                worklist.append(item)
+
+        def check_depth(fstack):
+            if depth_limit is not None and len(fstack) >= depth_limit:
+                raise BudgetExceededError(budget.limit)
+
+        while worklist:
+            v, f, s = worklist.popleft()
+            budget.charge()
+            if s == S1:
+                new_sources = pag.new_sources(v)
+                if new_sources:
+                    if f.is_empty:
+                        pairs.update((obj, EMPTY_STACK) for obj in new_sources)
+                    else:
+                        propagate(v, f, S2)
+                for x in self._backward_assign_like(v):
+                    propagate(x, f, S1)
+                for base, g in pag.load_into(v):
+                    check_depth(f)
+                    propagate(base, f.push((g, FAM_LOAD)), S1)
+            else:
+                for x in self._forward_assign_like(v):
+                    propagate(x, f, S2)
+                top = f.peek()
+                if top is not None:
+                    top_field = top[0]
+                    for g, x in pag.load_from(v):
+                        if g == top_field:
+                            propagate(x, f.pop(), S2)
+                    if top[1] == FAM_LOAD:
+                        for x, g in pag.store_into(v):
+                            if g == top_field:
+                                propagate(x, f.pop(), S1)
+                for g, b in pag.store_from(v):
+                    check_depth(f)
+                    propagate(b, f.push((g, FAM_STORE)), S1)
+
+    def _backward_assign_like(self, v):
+        """All edges into ``v`` that act as assignments here: local
+        assigns, global assigns, entries and exits."""
+        pag = self.pag
+        for x in pag.assign_sources(v):
+            yield x
+        for x in pag.global_sources(v):
+            yield x
+        for actual, _site in pag.entry_into(v):
+            yield actual
+        for retvar, _site in pag.exit_into(v):
+            yield retvar
+
+    def _forward_assign_like(self, v):
+        pag = self.pag
+        for x in pag.assign_targets(v):
+            yield x
+        for x in pag.global_targets(v):
+            yield x
+        for _site, formal in pag.entry_from(v):
+            yield formal
+        for _site, target in pag.exit_from(v):
+            yield target

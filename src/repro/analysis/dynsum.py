@@ -1,0 +1,186 @@
+"""DYNSUM — the paper's contribution (Algorithms 3 and 4).
+
+A query ``pointsTo(v, c)`` runs a worklist over tuples
+``(node, field-stack, state, context)``, but — unlike NOREFINE — the
+worklist only ever handles **global** edges.  All local reachability is
+delegated to the PPTA (:mod:`repro.analysis.ppta`): for each worklist
+item, the context-free part ``(node, field-stack, state)`` is looked up in
+the cross-query :class:`~repro.analysis.summaries.SummaryCache`, computed
+by ``DSPOINTSTO`` on a miss, and then
+
+* every object in the summary is added to the answer under the item's
+  context (local edges cannot change context — the key observation of
+  Section 4), and
+* every boundary tuple is advanced across the global edges adjacent to
+  it, per the RRP machine (push on backward-``exit``/forward-``entry``,
+  pop-or-empty on backward-``entry``/forward-``exit``, clear on
+  ``assignglobal``).
+
+Per Section 4.3, nodes without local edges skip the PPTA entirely and act
+as their own (trivial) boundary.
+
+Summaries survive across queries and calling contexts with no precision
+loss; ``cache_hits``/``cache_misses`` in each result's ``stats`` expose
+the reuse that Figures 4 and 5 measure.  :meth:`DynSum.invalidate_method`
+implements the IDE/JIT edit scenario.
+"""
+
+from collections import deque
+
+from repro.analysis.base import (
+    DemandPointsToAnalysis,
+    QueryResult,
+    UNREALIZABLE,
+    check_query_node,
+    cross_entry_backward,
+    cross_entry_forward,
+    cross_exit_backward,
+    cross_exit_forward,
+)
+from repro.analysis.ppta import PptaResult, run_ppta
+from repro.analysis.summaries import SummaryCache
+from repro.cfl.rsm import S1, S2
+from repro.cfl.stacks import EMPTY_STACK
+from repro.util.errors import BudgetExceededError
+
+
+class DynSum(DemandPointsToAnalysis):
+    """Demand analysis with dynamic, context-independent method summaries."""
+
+    name = "DYNSUM"
+    full_precision = True
+    memoization = "dynamic-across"
+    reuse = "context-independent"
+    on_demand = "yes"
+
+    def __init__(self, pag, config=None, cache=None):
+        super().__init__(pag, config)
+        #: The cross-query summary cache; share one instance between
+        #: analyses to model a long-running host process.
+        self.cache = cache if cache is not None else SummaryCache()
+        #: Optional observer called with (event, **data) at worklist pops
+        #: and summary hits/misses — the hook behind
+        #: :mod:`repro.analysis.trace`'s Table 1-style traces.
+        self.observer = None
+
+    # ------------------------------------------------------------------
+    # maintenance hooks for host environments (IDEs / JITs)
+    # ------------------------------------------------------------------
+    def invalidate_method(self, method_qname):
+        """Drop cached summaries of one edited method; answers are
+        unaffected, only later queries repay the summarisation cost."""
+        return self.cache.invalidate_method(method_qname)
+
+    @property
+    def summary_count(self):
+        """Distinct summarised boundary points — the Figure 5 numerator
+        (see :meth:`SummaryCache.summary_point_count` for the unit)."""
+        return self.cache.summary_point_count()
+
+    @property
+    def cache_entry_count(self):
+        """Raw ``len(Cache)`` — one entry per (node, stack, direction)."""
+        return len(self.cache)
+
+    # ------------------------------------------------------------------
+    # Algorithm 4
+    # ------------------------------------------------------------------
+    def _run_query(self, var, context, client):
+        check_query_node(self.pag, var)
+        budget = self.config.new_budget()
+        pairs = set()
+        hits_before = self.cache.hits
+        misses_before = self.cache.misses
+        complete = True
+        try:
+            self._explore(var, context, pairs, budget)
+        except BudgetExceededError:
+            complete = False
+        stats = {
+            "cache_hits": self.cache.hits - hits_before,
+            "cache_misses": self.cache.misses - misses_before,
+            "summaries": len(self.cache),
+        }
+        return QueryResult(var, pairs, complete, budget.steps, stats)
+
+    def _explore(self, var, context, pairs, budget):
+        pag = self.pag
+        start = (var, EMPTY_STACK, S1, context)
+        seen = {start}
+        worklist = deque([start])
+
+        def propagate(node, fstack, state, ctx):
+            item = (node, fstack, state, ctx)
+            if item not in seen:
+                seen.add(item)
+                worklist.append(item)
+
+        while worklist:
+            u, f, s, c = worklist.popleft()
+            budget.charge()
+            if self.observer is not None:
+                self.observer("visit", node=u, stack=f, state=s, context=c)
+            summary = self._summarize(u, f, s, budget)
+            if summary.objects:
+                ctx = self._finish_context(c)
+                for obj in summary.objects:
+                    pairs.add((obj, ctx))
+            for x, f1, s1 in summary.boundaries:
+                if s1 == S1:
+                    self._cross_backward(x, f1, c, propagate)
+                else:
+                    self._cross_forward(x, f1, c, propagate)
+
+    def _summarize(self, node, fstack, state, budget):
+        """Algorithm 4 lines 5–9: consult the cache, else run the PPTA.
+
+        Nodes without local edges skip the PPTA (Section 4.3) — they are
+        their own boundary when a global edge continues in the travel
+        direction.
+        """
+        pag = self.pag
+        if not pag.has_local_edges(node):
+            has_boundary = (
+                pag.has_global_in(node) if state == S1 else pag.has_global_out(node)
+            )
+            boundaries = ((node, fstack, state),) if has_boundary else ()
+            return PptaResult((), boundaries)
+        cached = self.cache.lookup(node, fstack, state)
+        if cached is not None:
+            if self.observer is not None:
+                self.observer("summary-hit", node=node, stack=fstack, state=state)
+            return cached
+        summary = run_ppta(
+            pag, node, fstack, state, budget, self.config.max_field_depth
+        )
+        self.cache.store(node, fstack, state, summary)
+        if self.observer is not None:
+            self.observer(
+                "summary-miss", node=node, stack=fstack, state=state, summary=summary
+            )
+        return summary
+
+    # ------------------------------------------------------------------
+    # global-edge crossings (Algorithm 4 lines 12–28)
+    # ------------------------------------------------------------------
+    def _cross_backward(self, x, f, c, propagate):
+        pag = self.pag
+        for retvar, site in pag.exit_into(x):
+            propagate(retvar, f, S1, cross_exit_backward(pag, c, site))
+        for actual, site in pag.entry_into(x):
+            ctx = cross_entry_backward(pag, c, site)
+            if ctx is not UNREALIZABLE:
+                propagate(actual, f, S1, ctx)
+        for y in pag.global_sources(x):
+            propagate(y, f, S1, EMPTY_STACK)
+
+    def _cross_forward(self, x, f, c, propagate):
+        pag = self.pag
+        for site, formal in pag.entry_from(x):
+            propagate(formal, f, S2, cross_entry_forward(pag, c, site))
+        for site, target in pag.exit_from(x):
+            ctx = cross_exit_forward(pag, c, site)
+            if ctx is not UNREALIZABLE:
+                propagate(target, f, S2, ctx)
+        for y in pag.global_targets(x):
+            propagate(y, f, S2, EMPTY_STACK)

@@ -1,0 +1,206 @@
+"""Incremental re-analysis under program edits — the IDE/JIT scenario.
+
+The paper motivates DYNSUM for "environments such as JIT compilers and
+IDEs ... especially when the program undergoes constantly a lot of
+changes" (Sections 1, 5.3, 7).  This module supplies the host-side glue
+that scenario needs: an :class:`IncrementalAnalysisSession` owns a
+program, its PAG and a DYNSUM instance, accepts method-body edits, and
+carries every still-valid summary across the rebuild.
+
+Correctness rests on three observations:
+
+1. PPTA summaries are *method-local*: every node and object a summary
+   mentions belongs to the method of its key (a tested invariant), so a
+   summary survives any edit that leaves its method's body unchanged —
+   **provided** its facts can be re-anchored in the new PAG;
+2. node identity is nominal (``(method, variable)`` for locals,
+   per-method stable labels for objects — see ``Program.finalize``), so
+   re-anchoring is a dictionary lookup;
+3. a summary's *boundary surface* — which of its method's nodes carry
+   global edges, and in which direction — depends on the rest of the
+   program (an edit elsewhere can add the first call into a method).
+   Summaries of methods whose surface changed are dropped too, since
+   their recorded boundary tuples could otherwise miss new crossings.
+
+Everything else is conservative bookkeeping; answers after an edit are
+identical to a cold start (a property test), only cheaper.
+"""
+
+from repro.analysis.base import AnalysisConfig
+from repro.analysis.dynsum import DynSum
+from repro.analysis.ppta import PptaResult
+from repro.analysis.summaries import SummaryCache
+from repro.ir.builder import MethodBuilder
+from repro.pag.builder import build_pag
+from repro.util.errors import IRError
+
+
+class EditReport:
+    """What one edit cost: which methods lost summaries and why."""
+
+    __slots__ = ("edited", "surface_changed", "dropped", "migrated")
+
+    def __init__(self, edited, surface_changed, dropped, migrated):
+        self.edited = tuple(edited)
+        self.surface_changed = tuple(surface_changed)
+        self.dropped = dropped
+        self.migrated = migrated
+
+    def __repr__(self):
+        return (
+            f"EditReport(edited={list(self.edited)}, "
+            f"surface_changed={list(self.surface_changed)}, "
+            f"dropped={self.dropped}, migrated={self.migrated})"
+        )
+
+
+class IncrementalAnalysisSession:
+    """A long-lived DYNSUM host that survives program edits.
+
+    Usage::
+
+        session = IncrementalAnalysisSession(program)
+        session.points_to_name("Main.main", "x")
+
+        def new_body(m):             # m is a MethodBuilder
+            m.alloc("t", "Thing").ret("t")
+
+        report = session.replace_body("Factory.create", new_body)
+        session.points_to_name("Main.main", "x")   # summaries reused
+    """
+
+    def __init__(self, program, config=None):
+        if not program.is_finalized:
+            raise IRError("program must be finalized")
+        self.program = program
+        self.config = config or AnalysisConfig()
+        self.pag = build_pag(program)
+        self.analysis = DynSum(self.pag, self.config)
+        self._surface = self._boundary_surface(self.pag)
+        self.edit_count = 0
+
+    # ------------------------------------------------------------------
+    # queries (delegation)
+    # ------------------------------------------------------------------
+    def points_to(self, var, **kwargs):
+        return self.analysis.points_to(var, **kwargs)
+
+    def points_to_name(self, method_qname, var_name, **kwargs):
+        return self.analysis.points_to_name(method_qname, var_name, **kwargs)
+
+    @property
+    def summary_count(self):
+        return self.analysis.summary_count
+
+    # ------------------------------------------------------------------
+    # edits
+    # ------------------------------------------------------------------
+    def replace_body(self, method_qname, build_fn):
+        """Replace ``method_qname``'s statements and re-analyse.
+
+        ``build_fn`` receives a fresh :class:`MethodBuilder` over the
+        emptied method and appends the new body.  Returns an
+        :class:`EditReport`.
+        """
+        method = self.program.lookup_method(method_qname)
+        method.statements.clear()
+        build_fn(MethodBuilder(method))
+        return self._after_edit([method_qname])
+
+    def edit(self, method_qname, mutate_fn):
+        """Arbitrary in-place mutation of a method (``mutate_fn(method)``),
+        followed by re-analysis."""
+        method = self.program.lookup_method(method_qname)
+        mutate_fn(method)
+        return self._after_edit([method_qname])
+
+    def _after_edit(self, edited_methods):
+        self.edit_count += 1
+        self.program.finalize()
+        new_pag = build_pag(self.program)
+        new_surface = self._boundary_surface(new_pag)
+
+        surface_changed = {
+            qname
+            for qname in set(self._surface) | set(new_surface)
+            if self._surface.get(qname) != new_surface.get(qname)
+            and qname not in edited_methods
+        }
+        drop = set(edited_methods) | surface_changed
+
+        old_cache = self.analysis.cache
+        new_cache = SummaryCache()
+        migrated = 0
+        dropped = 0
+        for (node, stack, state), summary in old_cache._entries.items():
+            if node.method in drop:
+                dropped += 1
+                continue
+            moved = self._migrate_entry(new_pag, node, stack, state, summary)
+            if moved is None:
+                dropped += 1
+            else:
+                new_node, new_summary = moved
+                new_cache.store(new_node, stack, state, new_summary)
+                migrated += 1
+
+        self.pag = new_pag
+        self.analysis = DynSum(new_pag, self.config, cache=new_cache)
+        self._surface = new_surface
+        return EditReport(edited_methods, sorted(surface_changed), dropped, migrated)
+
+    # ------------------------------------------------------------------
+    # migration machinery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _boundary_surface(pag):
+        """Per-method fingerprint of which nodes touch global edges.
+
+        Node *names* are used (identity is per-PAG); local edges of
+        un-edited methods cannot change, so a stable fingerprint means
+        stale summaries cannot miss a boundary crossing.
+        """
+        surface = {}
+        for qname in pag.methods():
+            entries = frozenset(
+                (getattr(node, "name", node.method), pag.has_global_in(node), pag.has_global_out(node))
+                for node in pag.nodes_of_method(qname)
+                if node.is_local_var
+            )
+            surface[qname] = entries
+        return surface
+
+    def _migrate_entry(self, new_pag, node, stack, state, summary):
+        """Re-anchor one cache entry in ``new_pag`` or return ``None``."""
+        new_node = self._find_node(new_pag, node)
+        if new_node is None:
+            return None
+        objects = []
+        for obj in summary.objects:
+            moved = self._find_object(new_pag, obj)
+            if moved is None:
+                return None
+            objects.append(moved)
+        boundaries = []
+        for bnode, bstack, bstate in summary.boundaries:
+            moved = self._find_node(new_pag, bnode)
+            if moved is None:
+                return None
+            boundaries.append((moved, bstack, bstate))
+        return new_node, PptaResult(objects, boundaries)
+
+    @staticmethod
+    def _find_node(new_pag, node):
+        if not node.is_local_var:
+            return None
+        try:
+            return new_pag.find_local(node.method, node.name)
+        except IRError:
+            return None
+
+    @staticmethod
+    def _find_object(new_pag, obj):
+        try:
+            return new_pag.object_node(obj.object_id)
+        except IRError:
+            return None

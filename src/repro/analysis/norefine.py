@@ -1,0 +1,129 @@
+"""NOREFINE — field-sensitive, context-sensitive demand analysis, no reuse.
+
+This is the paper's NOREFINE configuration (Table 2): the
+Sridharan-Bodík analysis with *neither* refinement *nor* ad-hoc caching.
+Every heap access is treated field-sensitively from the start, call
+entries/exits are matched context-sensitively, and nothing is remembered
+across queries.
+
+The implementation is a worklist over exploded states
+``(node, field-stack, S1|S2, context)`` applying the transition table of
+DESIGN.md §2 one PAG edge at a time.  A per-query ``seen`` set over full
+states guarantees each state is expanded at most once (termination
+machinery, not memoization — it holds no results and dies with the
+query).
+"""
+
+from collections import deque
+
+from repro.analysis.base import (
+    DemandPointsToAnalysis,
+    QueryResult,
+    UNREALIZABLE,
+    check_query_node,
+    cross_entry_backward,
+    cross_entry_forward,
+    cross_exit_backward,
+    cross_exit_forward,
+)
+from repro.cfl.rsm import FAM_LOAD, FAM_STORE, S1, S2
+from repro.cfl.stacks import EMPTY_STACK
+from repro.util.errors import BudgetExceededError
+
+
+class NoRefine(DemandPointsToAnalysis):
+    """Fully precise, fully on-demand, zero-reuse baseline."""
+
+    name = "NOREFINE"
+    full_precision = True
+    memoization = "none"
+    reuse = "none"
+    on_demand = "yes"
+
+    def _run_query(self, var, context, client):
+        check_query_node(self.pag, var)
+        budget = self.config.new_budget()
+        pairs = set()
+        complete = True
+        try:
+            self._explore(var, context, pairs, budget)
+        except BudgetExceededError:
+            complete = False
+        return QueryResult(var, pairs, complete, budget.steps)
+
+    # ------------------------------------------------------------------
+    # the exploded-state worklist
+    # ------------------------------------------------------------------
+    def _explore(self, var, context, pairs, budget):
+        pag = self.pag
+        depth_limit = self.config.max_field_depth
+        start = (var, EMPTY_STACK, S1, context)
+        seen = {start}
+        worklist = deque([start])
+
+        def propagate(node, fstack, state, ctx):
+            item = (node, fstack, state, ctx)
+            if item not in seen:
+                seen.add(item)
+                worklist.append(item)
+
+        while worklist:
+            v, f, s, c = worklist.popleft()
+            budget.charge()
+            if s == S1:
+                self._expand_s1(v, f, c, pairs, propagate, depth_limit, budget)
+            else:
+                self._expand_s2(v, f, c, propagate, depth_limit, budget)
+
+    def _check_depth(self, fstack, limit, budget):
+        if limit is not None and len(fstack) >= limit:
+            raise BudgetExceededError(budget.limit)
+
+    def _expand_s1(self, v, f, c, pairs, propagate, depth_limit, budget):
+        pag = self.pag
+        new_sources = pag.new_sources(v)
+        if new_sources:
+            if f.is_empty:
+                ctx = self._finish_context(c)
+                pairs.update((obj, ctx) for obj in new_sources)
+            else:
+                propagate(v, f, S2, c)
+        for x in pag.assign_sources(v):
+            propagate(x, f, S1, c)
+        for base, g in pag.load_into(v):
+            self._check_depth(f, depth_limit, budget)
+            propagate(base, f.push((g, FAM_LOAD)), S1, c)
+        for retvar, site in pag.exit_into(v):
+            propagate(retvar, f, S1, cross_exit_backward(pag, c, site))
+        for actual, site in pag.entry_into(v):
+            ctx = cross_entry_backward(pag, c, site)
+            if ctx is not UNREALIZABLE:
+                propagate(actual, f, S1, ctx)
+        for x in pag.global_sources(v):
+            propagate(x, f, S1, EMPTY_STACK)
+
+    def _expand_s2(self, v, f, c, propagate, depth_limit, budget):
+        pag = self.pag
+        for x in pag.assign_targets(v):
+            propagate(x, f, S2, c)
+        top = f.peek()
+        if top is not None:
+            top_field = top[0]
+            for g, x in pag.load_from(v):
+                if g == top_field:  # forward load closes either family
+                    propagate(x, f.pop(), S2, c)
+            if top[1] == FAM_LOAD:
+                for x, g in pag.store_into(v):
+                    if g == top_field:  # store-bar closes family A only
+                        propagate(x, f.pop(), S1, c)
+        for g, b in pag.store_from(v):
+            self._check_depth(f, depth_limit, budget)
+            propagate(b, f.push((g, FAM_STORE)), S1, c)
+        for site, formal in pag.entry_from(v):
+            propagate(formal, f, S2, cross_entry_forward(pag, c, site))
+        for site, target in pag.exit_from(v):
+            ctx = cross_exit_forward(pag, c, site)
+            if ctx is not UNREALIZABLE:
+                propagate(target, f, S2, ctx)
+        for x in pag.global_targets(v):
+            propagate(x, f, S2, EMPTY_STACK)

@@ -1,0 +1,146 @@
+"""PPTA — the Partial Points-To Analysis of Algorithm 3 (``DSPOINTSTO``).
+
+Given a start state ``(node, field-stack, S1|S2)``, the PPTA explores the
+*local* edges (``new``/``assign``/``load``/``store``) of the node's method,
+field-sensitively but context-independently, following the
+``pointsTo``/``alias`` RSM of Figure 3(a):
+
+* in S1 (backward) it collects objects reached through ``new`` edges with
+  an empty field stack, turns around into S2 at allocation sites when
+  fields are still pending, follows ``assign`` edges backward and pushes
+  on ``load`` edges;
+* in S2 (forward) it follows ``assign`` edges forward, pops on matching
+  ``load``-from-base and ``store``-into-base edges, and pushes (switching
+  to S1 at the store's base) on ``store``-from-value edges.
+
+Whenever the traversal reaches a node with a *global* edge in the travel
+direction, the current state is emitted as a **boundary tuple**; the
+DYNSUM worklist (Algorithm 4) continues from those across global edges.
+
+Because local edges never touch the calling context, the result — a
+:class:`PptaResult` — is valid in *every* context, which is exactly what
+makes it cacheable across queries (Section 4.1).
+
+The recursion of Algorithm 3 is implemented iteratively (explicit stack)
+so that long local assign chains cannot overflow Python's call stack; the
+``visited`` set on ``(node, field-stack, state)`` triples plays the role
+of Algorithm 3's ``visited`` parameter, preventing cyclic re-traversal.
+"""
+
+from repro.cfl.rsm import FAM_LOAD, FAM_STORE, S1, S2
+from repro.util.errors import BudgetExceededError
+
+
+class PptaResult:
+    """Outcome of one PPTA: objects plus boundary tuples.
+
+    ``objects`` — :class:`ObjectNode`s proven to flow to the start node
+    through local edges alone (context-independent, so valid anywhere).
+    ``boundaries`` — ``(node, field_stack, state)`` tuples at which the
+    exploration hit the method boundary.
+    """
+
+    __slots__ = ("objects", "boundaries")
+
+    def __init__(self, objects, boundaries):
+        self.objects = tuple(objects)
+        self.boundaries = tuple(boundaries)
+
+    @property
+    def size(self):
+        """Number of facts in the summary (used by the Figure 5 metric)."""
+        return len(self.objects) + len(self.boundaries)
+
+    def __repr__(self):
+        return f"PptaResult({len(self.objects)} object(s), {len(self.boundaries)} boundary tuple(s))"
+
+
+def run_ppta(pag, node, field_stack, state, budget, max_field_depth=None):
+    """Run ``DSPOINTSTO(node, field_stack, state)`` over ``pag``.
+
+    ``budget`` is charged one step per visited state; exhaustion raises
+    :class:`BudgetExceededError` out of this function (the caller marks
+    the whole query incomplete and discards the partial summary).
+    ``max_field_depth`` optionally bounds the field stack; crossing it is
+    treated exactly like budget exhaustion.
+    """
+    objects = set()
+    boundaries = set()
+    start = (node, field_stack, state)
+    visited = {start}
+    stack = [start]
+    push_limit = max_field_depth
+
+    while stack:
+        v, f, s = stack.pop()
+        budget.charge()
+        if s == S1:
+            _expand_s1(pag, v, f, objects, boundaries, visited, stack, push_limit, budget)
+        else:
+            _expand_s2(pag, v, f, boundaries, visited, stack, push_limit, budget)
+    return PptaResult(sorted(objects, key=_object_order), sorted(boundaries, key=_boundary_order))
+
+
+def _object_order(obj):
+    return obj.object_id
+
+
+def _boundary_order(boundary):
+    node, field_stack, state = boundary
+    return (repr(node), state, field_stack.to_tuple())
+
+
+def _push_state(visited, stack, state_tuple):
+    if state_tuple not in visited:
+        visited.add(state_tuple)
+        stack.append(state_tuple)
+
+
+def _check_depth(field_stack, limit, budget):
+    if limit is not None and len(field_stack) >= limit:
+        raise BudgetExceededError(budget.limit)
+
+
+def _expand_s1(pag, v, f, objects, boundaries, visited, stack, push_limit, budget):
+    """Transitions out of state S1 (backward / flowsTo-bar) at ``v``."""
+    new_sources = pag.new_sources(v)
+    if new_sources:
+        if f.is_empty:
+            objects.update(new_sources)
+        else:
+            # "new new-bar" turnaround (Algorithm 3 line 10): the object
+            # allocated into v must now be tracked forward to find aliases.
+            _push_state(visited, stack, (v, f, S2))
+    for x in pag.assign_sources(v):
+        _push_state(visited, stack, (x, f, S1))
+    for base, g in pag.load_into(v):
+        _check_depth(f, push_limit, budget)
+        _push_state(visited, stack, (base, f.push((g, FAM_LOAD)), S1))
+    if pag.has_global_in(v):
+        boundaries.add((v, f, S1))
+
+
+def _expand_s2(pag, v, f, boundaries, visited, stack, push_limit, budget):
+    """Transitions out of state S2 (forward / flowsTo) at ``v``."""
+    for x in pag.assign_targets(v):
+        _push_state(visited, stack, (x, f, S2))
+    top = f.peek()
+    if top is not None:
+        top_field = top[0]
+        for g, x in pag.load_from(v):
+            if g == top_field:  # forward load closes either family
+                _push_state(visited, stack, (x, f.pop(), S2))
+        if top[1] == FAM_LOAD:
+            for x, g in pag.store_into(v):
+                if g == top_field:
+                    # store-bar: only a pending backward load may be
+                    # closed here; the matching store's value continues
+                    # backward.
+                    _push_state(visited, stack, (x, f.pop(), S1))
+    for g, b in pag.store_from(v):
+        # The tracked object is stored into b.g — look for aliases of the
+        # base b backward, with g pending (family B).
+        _check_depth(f, push_limit, budget)
+        _push_state(visited, stack, (b, f.push((g, FAM_STORE)), S1))
+    if pag.has_global_out(v):
+        boundaries.add((v, f, S2))

@@ -1,0 +1,93 @@
+"""The DYNSUM summary cache (Algorithm 4's ``Cache``).
+
+Maps ``(node, field-stack, state)`` triples — deliberately **without** any
+calling context — to completed :class:`~repro.analysis.ppta.PptaResult`
+summaries.  Context-independence is the paper's key idea: the same local
+summary serves every calling context of the method, and every later query.
+
+The cache also supports method-granular invalidation, the operation an
+IDE/JIT host would use when code is edited (the low-budget environments of
+Sections 1 and 5.3): dropping a method's entries never changes any answer,
+only the cost of recomputing them, a property the test suite checks.
+"""
+
+
+class SummaryCache:
+    """Cross-query store of PPTA summaries with hit/miss accounting."""
+
+    def __init__(self):
+        self._entries = {}
+        self._by_method = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, node, field_stack, state):
+        """Return the cached summary or ``None`` (and count the probe)."""
+        entry = self._entries.get((node, field_stack, state))
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def store(self, node, field_stack, state, ppta_result):
+        """Insert a completed summary.
+
+        Only fully computed summaries may be stored — a PPTA aborted by
+        budget exhaustion must be discarded by the caller, mirroring the
+        paper's observation that ad-hoc caches cannot hold unresolved
+        points-to sets.
+        """
+        key = (node, field_stack, state)
+        if key not in self._entries:
+            self._entries[key] = ppta_result
+            if node.method is not None:
+                self._by_method.setdefault(node.method, []).append(key)
+
+    def invalidate_method(self, method_qname):
+        """Drop every summary keyed in ``method_qname``.
+
+        PPTA summaries only mention nodes of one method (local edges never
+        leave it), so removing the keys of that method removes all facts
+        that could be stale after the method's body changes.  Returns the
+        number of entries dropped.
+        """
+        keys = self._by_method.pop(method_qname, [])
+        for key in keys:
+            self._entries.pop(key, None)
+        return len(keys)
+
+    def clear(self):
+        self._entries.clear()
+        self._by_method.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self):
+        """Number of summaries — the paper's Figure 5 metric ("the number
+        of summaries computed is available as the size of Cache")."""
+        return len(self._entries)
+
+    def summary_point_count(self):
+        """Distinct ``(node, direction)`` pairs holding a summary.
+
+        This is the unit comparable with STASUM's offline table: one
+        STASUM summary per boundary point covers *all* field stacks in
+        delta form, whereas the dynamic cache partitions the same point
+        across the concrete stacks queries actually produced.  Figure 5
+        therefore normalises summarised points, not raw cache keys.
+        """
+        return len({(node, state) for node, _stack, state in self._entries})
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def total_facts(self):
+        """Sum of summary sizes (objects + boundary tuples)."""
+        return sum(entry.size for entry in self._entries.values())
+
+    def __repr__(self):
+        return (
+            f"SummaryCache({len(self._entries)} summaries, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,122 @@
+"""Table 1-style query traces.
+
+The paper's Table 1 walks through DYNSUM answering the two motivating
+queries step by step, showing at each step the current node, field
+stack, RSM state, context stack, and where summaries were *reused*.
+:class:`QueryTracer` reproduces that view for any query: attach it to a
+:class:`~repro.analysis.dynsum.DynSum` instance, run the query, and
+render with :func:`format_trace`.
+
+Example::
+
+    dynsum = DynSum(pag)
+    with QueryTracer(dynsum) as tracer:
+        dynsum.points_to_name("Main.main", "s1")
+    print(format_trace(tracer.steps))
+"""
+
+from repro.cfl.rsm import state_name
+
+
+class TraceStep:
+    """One recorded event of a traced query."""
+
+    __slots__ = ("index", "event", "node", "stack", "state", "context", "detail")
+
+    def __init__(self, index, event, node, stack, state, context=None, detail=""):
+        self.index = index
+        self.event = event  # visit | summary-hit | summary-miss
+        self.node = node
+        self.stack = stack
+        self.state = state
+        self.context = context
+        self.detail = detail
+
+    def fields(self):
+        """The field stack as plain field names, bottom-to-top."""
+        return tuple(entry[0] for entry in self.stack.to_tuple())
+
+    def __repr__(self):
+        ctx = f" c={self.context!r}" if self.context is not None else ""
+        return (
+            f"TraceStep({self.index}, {self.event}, {self.node!r}, "
+            f"f={list(self.fields())}, {state_name(self.state)}{ctx})"
+        )
+
+
+class QueryTracer:
+    """Context manager collecting a DYNSUM query's events.
+
+    Attaching replaces the analysis's ``observer`` for the duration of
+    the ``with`` block (nesting is rejected to keep traces unambiguous).
+    """
+
+    def __init__(self, analysis):
+        self.analysis = analysis
+        self.steps = []
+
+    def __enter__(self):
+        if self.analysis.observer is not None:
+            raise RuntimeError("analysis already has an observer attached")
+        self.analysis.observer = self._record
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.analysis.observer = None
+        return False
+
+    def _record(self, event, node, stack, state, context=None, summary=None):
+        detail = ""
+        if event == "summary-hit":
+            detail = "reuse"
+        elif event == "summary-miss" and summary is not None:
+            detail = (
+                f"ppta: {len(summary.objects)} obj, "
+                f"{len(summary.boundaries)} boundary"
+            )
+        self.steps.append(
+            TraceStep(len(self.steps), event, node, stack, state, context, detail)
+        )
+
+    @property
+    def visits(self):
+        return [s for s in self.steps if s.event == "visit"]
+
+    @property
+    def reuse_count(self):
+        return sum(1 for s in self.steps if s.event == "summary-hit")
+
+
+def format_trace(steps, max_rows=None):
+    """Render steps in the layout of the paper's Table 1."""
+    headers = ("step", "event", "v", "f", "s", "c", "")
+    rows = []
+    for step in steps if max_rows is None else steps[:max_rows]:
+        fields = ",".join(step.fields())
+        context = (
+            ",".join(str(site) for site in reversed(list(step.context)))
+            if step.context is not None
+            else ""
+        )
+        rows.append(
+            (
+                str(step.index),
+                step.event,
+                repr(step.node),
+                f"[{fields}]",
+                state_name(step.state),
+                f"[{context}]",
+                step.detail,
+            )
+        )
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    if max_rows is not None and len(steps) > max_rows:
+        lines.append(f"... ({len(steps) - max_rows} more steps)")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Benchmark suite and experiment harness.
+
+The paper evaluates on nine Java programs from SPECjvm98 and DaCapo run
+through Soot — unavailable here, so :mod:`repro.bench.generator` produces
+deterministic synthetic PIR programs whose *graph shape* matches what the
+paper measures: 80–90% locality, a library layer shared across many call
+sites (the reuse DYNSUM exploits), deep field-access paths, and client
+query volumes in the paper's relative proportions.
+:mod:`repro.bench.suite` instantiates the nine named benchmarks;
+:mod:`repro.bench.runner` runs the Table 4 / Figure 4 / Figure 5
+protocols; :mod:`repro.bench.tables` renders the output.
+"""
+
+from repro.bench.batching import split_batches
+from repro.bench.generator import GeneratorConfig, generate_program
+from repro.bench.runner import (
+    BatchSeries,
+    BenchmarkInstance,
+    ClientRun,
+    run_batches,
+    run_client,
+    run_summary_series,
+)
+from repro.bench.suite import BENCHMARK_NAMES, benchmark_config, load_benchmark
+from repro.bench.tables import (
+    format_capability_table,
+    format_figure4,
+    format_figure5,
+    format_table3,
+    format_table4,
+)
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "BatchSeries",
+    "BenchmarkInstance",
+    "ClientRun",
+    "GeneratorConfig",
+    "benchmark_config",
+    "format_capability_table",
+    "format_figure4",
+    "format_figure5",
+    "format_table3",
+    "format_table4",
+    "generate_program",
+    "load_benchmark",
+    "run_batches",
+    "run_client",
+    "run_summary_series",
+    "split_batches",
+]

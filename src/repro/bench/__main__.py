@@ -1,0 +1,188 @@
+"""Command-line experiment harness: ``python -m repro.bench``.
+
+Regenerates the paper's tables and figures without pytest:
+
+.. code-block:: console
+
+   python -m repro.bench --artifact table3
+   python -m repro.bench --artifact table4 --benchmarks soot-c bloat
+   python -m repro.bench --artifact all --scale 0.5
+
+Artifacts: ``table2``, ``table3``, ``table4``, ``figure4``, ``figure5``
+or ``all``.  ``--scale`` shrinks the generated programs proportionally
+(0.5 ≈ quarter-size experiments for smoke runs).
+"""
+
+import argparse
+import sys
+
+from repro import DynSum, NoRefine, RefinePts, StaSum
+from repro.bench.runner import (
+    bench_analysis_config,
+    run_batches,
+    run_client,
+    run_summary_series,
+)
+from repro.bench.suite import BENCHMARK_NAMES, load_benchmark
+from repro.bench.tables import (
+    format_capability_table,
+    format_figure4,
+    format_figure5,
+    format_speedup_summary,
+    format_table3,
+    format_table4,
+)
+from repro.clients import ALL_CLIENTS
+
+FIGURE_BENCHMARKS = ("soot-c", "bloat", "jython")
+TABLE4_ANALYSES = (NoRefine, RefinePts, DynSum)
+
+
+def _load(names, scale):
+    instances = {}
+    for name in names:
+        print(f"  generating {name} ...", file=sys.stderr)
+        instances[name] = load_benchmark(name, scale=scale)
+    return instances
+
+
+def cmd_table2(instances):
+    pag = instances[next(iter(instances))].pag
+    analyses = [
+        cls(pag, bench_analysis_config()) for cls in (NoRefine, RefinePts, DynSum, StaSum)
+    ]
+    print("\nTable 2 — capability matrix")
+    print(format_capability_table(analyses))
+
+
+def cmd_table3(instances):
+    stats_rows = [instances[name].stats for name in instances]
+    query_counts = {
+        name: {
+            cls.name: len(cls(instances[name].pag).queries()) for cls in ALL_CLIENTS
+        }
+        for name in instances
+    }
+    print("\nTable 3 — benchmark statistics")
+    print(format_table3(stats_rows, query_counts))
+
+
+def cmd_table4(instances):
+    runs = []
+    names = list(instances)
+    for name in names:
+        for client_cls in ALL_CLIENTS:
+            for analysis_cls in TABLE4_ANALYSES:
+                analysis = analysis_cls(instances[name].pag, bench_analysis_config())
+                runs.append(run_client(instances[name], client_cls, analysis))
+    client_names = [cls.name for cls in ALL_CLIENTS]
+    analysis_names = [cls.name for cls in TABLE4_ANALYSES]
+    print("\nTable 4 — analysis steps (deterministic)")
+    print(format_table4(runs, names, client_names, analysis_names, use_steps=True))
+    print("\nTable 4 — wall-clock seconds")
+    print(format_table4(runs, names, client_names, analysis_names, use_steps=False))
+    print("\nSpeedups (paper headline: 1.95x / 2.28x / 1.37x vs REFINEPTS)")
+    print(format_speedup_summary(runs, "REFINEPTS", "DYNSUM", client_names, names))
+    print(format_speedup_summary(runs, "NOREFINE", "DYNSUM", client_names, names))
+
+
+def cmd_figure4(instances):
+    series = []
+    for name in instances:
+        for client_cls in ALL_CLIENTS:
+            dynsum = DynSum(instances[name].pag, bench_analysis_config())
+            refinepts = RefinePts(instances[name].pag, bench_analysis_config())
+            dyn = run_batches(instances[name], client_cls, dynsum)
+            ref = run_batches(instances[name], client_cls, refinepts)
+            series.append((dyn, ref))
+    print("\nFigure 4 — DYNSUM / REFINEPTS per-batch step ratio")
+    print(format_figure4(series))
+
+
+def cmd_figure5(instances):
+    series = []
+    for name in instances:
+        stasum = StaSum(instances[name].pag, bench_analysis_config())
+        for client_cls in ALL_CLIENTS:
+            dynsum = DynSum(instances[name].pag, bench_analysis_config())
+            series.append(
+                run_summary_series(instances[name], client_cls, dynsum, stasum)
+            )
+    print("\nFigure 5 — cumulative DYNSUM summaries (% of STASUM)")
+    print(format_figure5(series))
+
+
+ARTIFACTS = {
+    "table2": (cmd_table2, "first benchmark only"),
+    "table3": (cmd_table3, "all requested benchmarks"),
+    "table4": (cmd_table4, "all requested benchmarks"),
+    "figure4": (cmd_figure4, "figure benchmarks"),
+    "figure5": (cmd_figure5, "figure benchmarks"),
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--artifact",
+        choices=sorted(ARTIFACTS) + ["all"],
+        default="all",
+        help="which artifact to regenerate (default: all)",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        metavar="NAME",
+        choices=BENCHMARK_NAMES,
+        help="restrict to these benchmarks (default: artifact-appropriate set)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="program-size multiplier (default 1.0)",
+    )
+    parser.add_argument(
+        "--dump-programs",
+        metavar="DIR",
+        help="additionally write each generated benchmark as PIR source "
+        "(<name>.pir) into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    wanted = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    full_needed = any(a in ("table3", "table4") for a in wanted)
+    if args.benchmarks:
+        names = tuple(args.benchmarks)
+    elif full_needed:
+        names = BENCHMARK_NAMES
+    else:
+        names = FIGURE_BENCHMARKS
+    instances = _load(names, args.scale)
+
+    if args.dump_programs:
+        import pathlib
+
+        from repro.ir.pretty import pretty_print
+
+        out_dir = pathlib.Path(args.dump_programs)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for name, instance in instances.items():
+            path = out_dir / f"{name}.pir"
+            path.write_text(pretty_print(instance.program))
+            print(f"  wrote {path}", file=sys.stderr)
+
+    for artifact in wanted:
+        command, _scope = ARTIFACTS[artifact]
+        if artifact in ("figure4", "figure5") and not args.benchmarks:
+            command({n: instances[n] for n in names if n in FIGURE_BENCHMARKS} or instances)
+        else:
+            command(instances)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Query batching — the paper's Figure 4/5 protocol.
+
+Section 5.3: "we divide the sequence of queries issued by a client into
+10 batches.  If a client has nq queries, then each of the first nine
+batches contains floor(nq/10) queries and the last one gets the rest."
+"""
+
+
+def split_batches(queries, n_batches=10):
+    """Split ``queries`` exactly as the paper does.
+
+    The first ``n_batches - 1`` batches hold ``len(queries) // n_batches``
+    queries each; the final batch holds the remainder.  With fewer
+    queries than batches, leading batches are empty and everything lands
+    in the last — degenerate but well-defined.
+    """
+    if n_batches <= 0:
+        raise ValueError(f"n_batches must be positive, got {n_batches}")
+    queries = list(queries)
+    per_batch = len(queries) // n_batches
+    batches = []
+    cursor = 0
+    for _ in range(n_batches - 1):
+        batches.append(queries[cursor : cursor + per_batch])
+        cursor += per_batch
+    batches.append(queries[cursor:])
+    return batches

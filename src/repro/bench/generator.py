@@ -1,0 +1,583 @@
+"""Deterministic synthetic PIR program generator.
+
+The generator replaces the paper's Java benchmarks.  It emits programs
+with the structural properties the evaluation depends on:
+
+* a **library layer** — ``Box``/``Vec`` containers and data classes with a
+  small inheritance hierarchy — whose methods are invoked from many
+  distinct call sites (this is what DYNSUM's context-independent
+  summaries exploit: Table 3's observation that most PAG edges are local
+  and most paths revisit library code);
+* a **domain layer** of generated classes with fields, getters/setters,
+  worker methods mixing local pointer statements with library round
+  trips, peer calls, static-registry traffic, casts and null flows;
+* **factory methods**, some returning fresh objects and some (the
+  seeded "buggy" fraction) leaking a static-cached instance — giving the
+  FactoryM client both verdict polarities;
+* a **driver** (``Main.main``) that instantiates domain classes, wires
+  heterogeneous payloads through shared containers (the Figure 2 pattern
+  at scale — only a context-sensitive analysis keeps the payloads apart)
+  and performs downcasts, some deliberately unsafe.
+
+Everything is driven by one :class:`GeneratorConfig` and a seed; the same
+config always yields the identical program, statement for statement.
+"""
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.ir.builder import ProgramBuilder
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Tunable knobs of the synthetic program generator.
+
+    Sizes are approximate drivers, not exact node counts: the PAG size
+    also depends on how many temporaries each sampled statement pattern
+    expands into.
+    """
+
+    seed: int = 0
+    #: Number of generated domain classes.
+    domain_classes: int = 12
+    #: Number of leaf data classes (payloads; also cast targets).
+    data_classes: int = 6
+    #: Number of distinct Box container variants in the library.
+    box_variants: int = 3
+    #: Instance fields per domain class.
+    fields_per_class: int = 3
+    #: Worker methods per domain class.
+    workers_per_class: int = 3
+    #: Statement-pattern draws per worker body.
+    stmts_per_worker: int = 8
+    #: Fraction of workers that include a ``x = null`` flow.
+    null_density: float = 0.25
+    #: Fraction of workers performing a downcast.
+    cast_density: float = 0.5
+    #: Fraction of domain classes with a factory method.
+    factory_fraction: float = 0.7
+    #: Fraction of factories that (incorrectly) cache via a static.
+    buggy_factory_fraction: float = 0.25
+    #: Instances created and exercised by Main per domain class.
+    driver_rounds: int = 2
+    #: Number of delegation layers in the domain (Main calls layer 0,
+    #: layer 0 delegates to layer 1, ...).  Deeper layering means longer
+    #: call chains, more calling contexts per library method, and more
+    #: opportunity for DYNSUM's cross-context summary reuse.
+    layers: int = 3
+    #: Depth of the data-class inheritance chains.
+    hierarchy_depth: int = 2
+    #: Number of static registry slots.
+    registry_slots: int = 4
+    #: Multiplier on the weight of library-call statement patterns
+    #: (box/vec/registry).  Raising it lowers the PAG's locality, since
+    #: call patterns mint entry/exit edges — Table 3's 80% vs 90% spread.
+    library_call_bias: float = 1.0
+
+    def scaled(self, factor):
+        """A proportionally larger/smaller config (same densities)."""
+        return replace(
+            self,
+            domain_classes=max(2, round(self.domain_classes * factor)),
+            data_classes=max(2, round(self.data_classes * factor)),
+            workers_per_class=max(1, round(self.workers_per_class * factor)),
+            driver_rounds=max(1, round(self.driver_rounds * factor)),
+        )
+
+
+def generate_program(config):
+    """Generate a finalized, validated PIR :class:`Program`."""
+    return _Generator(config).generate()
+
+
+class _Generator:
+    def __init__(self, config):
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.data_class_names = []
+        self.domain_specs = []
+        self.factory_methods = []  # (class_name, method_name, buggy)
+        self.tag_field_of = {}  # data class -> its (inherited) tag field
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+    def generate(self):
+        builder = ProgramBuilder(entry="Main.main")
+        self._emit_library(builder)
+        self._plan_domain()
+        for spec in self.domain_specs:
+            self._emit_domain_class(builder, spec)
+        self._emit_main(builder)
+        return builder.build()
+
+    # ------------------------------------------------------------------
+    # library layer
+    # ------------------------------------------------------------------
+    def _emit_library(self, builder):
+        config = self.config
+        builder.cls("Object")
+
+        # Leaf data classes with small inheritance chains.  Field names
+        # are class-qualified (as Java fields are): each root data class
+        # gets its own tag field, inherited by its subclass chain.
+        for index in range(config.data_classes):
+            parent = "Object"
+            name = f"Data{index}"
+            tag_field = f"tag{index}"
+            builder.cls(name, superclass=parent, fields=[tag_field])
+            self.data_class_names.append(name)
+            self.tag_field_of[name] = tag_field
+            chain_parent = name
+            for depth in range(1, config.hierarchy_depth):
+                sub = f"Data{index}_{depth}"
+                builder.cls(sub, superclass=chain_parent, fields=[])
+                self.data_class_names.append(sub)
+                self.tag_field_of[sub] = tag_field
+                chain_parent = sub
+
+        # Box variants: one-slot containers with get/set/move.  Each
+        # variant has its own slot field — distinct classes never share a
+        # field in Java, and field-based match edges rely on that.
+        for index in range(config.box_variants):
+            val = f"val{index}"
+            box = builder.cls(f"Box{index}", superclass="Object", fields=[val])
+            box.method("get").load("r", "this", val).ret("r")
+            box.method("set", params=["x"]).store("this", val, "x")
+            (
+                box.method("move", params=["other"])
+                .vcall("other", "get", target="t")
+                .vcall("this", "set", args=["t"])
+            )
+
+        # The paper's Vector: a backing array object with one collapsed slot.
+        builder.cls("Arr", superclass="Object", fields=["slot"])
+        vec = builder.cls("Vec", superclass="Object", fields=["elems"])
+        vec.method("init").alloc("t", "Arr").store("this", "elems", "t")
+        vec.method("add", params=["p"]).load("t", "this", "elems").store(
+            "t", "slot", "p"
+        )
+        vec.method("get").load("t", "this", "elems").load("r", "t", "slot").ret("r")
+
+        # Static registry: the program's globals.
+        registry = builder.cls("Registry")
+        for slot in range(self.config.registry_slots):
+            registry.static_field(f"slot{slot}")
+
+    # ------------------------------------------------------------------
+    # domain layer
+    # ------------------------------------------------------------------
+    def _plan_domain(self):
+        config = self.config
+        rng = self.rng
+        n_layers = max(1, config.layers)
+        for index in range(config.domain_classes):
+            name = f"Comp{index}"
+            # Class-qualified field names, as in Java.
+            fields = [f"c{index}f{k}" for k in range(config.fields_per_class)]
+            has_factory = rng.random() < config.factory_fraction
+            buggy = has_factory and rng.random() < config.buggy_factory_fraction
+            self.domain_specs.append(
+                {
+                    "name": name,
+                    "dep_field": f"dep{index}",
+                    #: delegation layer (0 = called by Main, deeper layers
+                    #: are reached only through shallower ones).
+                    "layer": index * n_layers // max(1, config.domain_classes),
+                    "fields": fields,
+                    #: nominal content class per field (what setup stores).
+                    "field_classes": {
+                        fld: rng.choice(self.data_class_names) for fld in fields
+                    },
+                    "workers": config.workers_per_class,
+                    "factory": has_factory,
+                    "buggy_factory": buggy,
+                    #: class name returned by each worker (None = param
+                    #: pass-through); filled in while emitting workers.
+                    "worker_returns": [],
+                    "dep": None,
+                }
+            )
+        # Wire each class to one dependency in the next layer down.
+        for spec in self.domain_specs:
+            deeper = [s for s in self.domain_specs if s["layer"] == spec["layer"] + 1]
+            if deeper:
+                spec["dep"] = rng.choice(deeper)
+
+    def _emit_domain_class(self, builder, spec):
+        rng = self.rng
+        name = spec["name"]
+        fields = list(spec["fields"])
+        if spec["dep"] is not None:
+            fields.append(spec["dep_field"])
+        cls = builder.cls(name, superclass="Object", fields=fields)
+
+        # setup(): populate every field with a fresh payload of the
+        # field's nominal class — gives the getter chains something to
+        # return and makes field-load cast targets realistic — and build
+        # the dependency chain (setup recurses one layer down).
+        setup = cls.method("setup")
+        for fld in spec["fields"]:
+            var = f"init_{fld}"
+            setup.alloc(var, spec["field_classes"][fld])
+            setup.store("this", fld, var)
+        if spec["dep"] is not None:
+            setup.alloc("d", spec["dep"]["name"])
+            setup.vcall("d", "setup")
+            setup.store("this", spec["dep_field"], "d")
+
+        # Getters / setters.
+        for fld in spec["fields"]:
+            cls.method(f"get_{fld}").load("r", "this", fld).ret("r")
+            cls.method(f"set_{fld}", params=["x"]).store("this", fld, "x")
+
+        # Worker methods.
+        for windex in range(spec["workers"]):
+            self._emit_worker(cls, spec, windex)
+
+        # Factory.
+        if spec["factory"]:
+            self._emit_factory(cls, spec)
+
+    def _emit_worker(self, cls, spec, windex):
+        """One worker: a param, a seeded mix of statement patterns, and a
+        return value.
+
+        Every library-call pattern is wrapped in local glue statements
+        (copies into temporaries before and after the call), which keeps
+        the PAG's locality in the paper's 80–90% band: the bulk of each
+        method is ``new``/``assign``/``load``/``store`` edges that the
+        PPTA can fold into a single reusable summary.
+        """
+        rng = self.rng
+        config = self.config
+        method = cls.method(f"work{windex}", params=["p"])
+        pool = ["p"]
+        #: locally allocated vars and their classes — safe cast sources.
+        local_allocs = {}
+        #: vars whose value arrived through a field or a call — the
+        #: interesting (interprocedural) cast sources, tagged with the
+        #: field's nominal class when one is known.
+        flowed_vars = {}
+        fresh = _Counter()
+
+        def define(var):
+            pool.append(var)
+            return var
+
+        def pick():
+            return rng.choice(pool)
+
+        def alloc_local(class_name=None):
+            class_name = class_name or rng.choice(self.data_class_names)
+            var = fresh.next("a")
+            method.alloc(var, class_name)
+            local_allocs[var] = class_name
+            return define(var)
+
+        def glue(source, length=2):
+            """A short local copy chain ending in a fresh temp.
+
+            The chains are what give generated methods their paper-like
+            locality: most statements are local ``assign`` edges that the
+            PPTA folds into one summary, so re-traversing them per
+            calling context (as NOREFINE must) is pure waste.
+            """
+            var = source
+            for _ in range(length):
+                nxt = fresh.next("c")
+                method.copy(nxt, var)
+                var = define(nxt)
+            return var
+
+        bias = config.library_call_bias
+        for _ in range(config.stmts_per_worker):
+            pattern = rng.choices(
+                (
+                    "local_chain",
+                    "self_store",
+                    "self_load",
+                    "copy",
+                    "alloc",
+                    "field_chain",
+                    "box",
+                    "vec",
+                    "peer",
+                    "registry",
+                    "delegate",
+                    "deep_get",
+                ),
+                weights=(
+                    4,
+                    3,
+                    3,
+                    3,
+                    3,
+                    2,
+                    1.0 * bias,
+                    0.5 * bias,
+                    0.6 * bias,
+                    0.3 * bias,
+                    0.9 * bias,
+                    0.7 * bias,
+                ),
+            )[0]
+            if pattern in ("delegate", "deep_get") and spec["dep"] is None:
+                pattern = "local_chain"  # bottom layer: keep it local
+            if pattern == "local_chain":
+                # new -> copy chain -> store -> load back: a pure-local
+                # value flow the PPTA compresses into one summary entry.
+                var = alloc_local()
+                var = glue(var, length=3)
+                fld = rng.choice(spec["fields"])
+                method.store("this", fld, var)
+                back = define(fresh.next("l"))
+                method.load(back, "this", fld)
+                glue(back)
+            elif pattern == "self_store":
+                method.store("this", rng.choice(spec["fields"]), pick())
+            elif pattern == "self_load":
+                fld = rng.choice(spec["fields"])
+                var = define(fresh.next("l"))
+                method.load(var, "this", fld)
+                flowed_vars[var] = spec["field_classes"][fld]
+            elif pattern == "copy":
+                method.copy(define(fresh.next("c")), pick())
+            elif pattern == "alloc":
+                alloc_local()
+            elif pattern == "field_chain":
+                # Deep access path: load a field of a field (exercises the
+                # field stack, the PPTA's summarisation target).  The
+                # second hop uses the tag field of the first field's
+                # nominal content class.
+                fld = rng.choice(spec["fields"])
+                first = define(fresh.next("h"))
+                method.load(first, "this", fld)
+                second = define(fresh.next("h"))
+                method.load(second, first, self.tag_field_of[spec["field_classes"][fld]])
+            elif pattern == "box":
+                box_class = f"Box{rng.randrange(config.box_variants)}"
+                box_var = fresh.next("b")
+                method.alloc(box_var, box_class)
+                payload = glue(pick())
+                method.vcall(box_var, "set", args=[payload])
+                got = fresh.next("g")
+                method.vcall(box_var, "get", target=got)
+                flowed_vars[define(got)] = None
+                glue(got)
+            elif pattern == "vec":
+                vec_var = fresh.next("v")
+                method.alloc(vec_var, "Vec")
+                method.vcall(vec_var, "init")
+                payload = glue(pick())
+                method.vcall(vec_var, "add", args=[payload])
+                element = fresh.next("e")
+                method.vcall(vec_var, "get", target=element)
+                flowed_vars[define(element)] = None
+                glue(element)
+            elif pattern == "peer":
+                # Allocate a collaborator and exchange a value through its
+                # accessors: two call sites into small shared bodies.
+                peer_spec = rng.choice(self.domain_specs)
+                peer = fresh.next("q")
+                method.alloc(peer, peer_spec["name"])
+                peer_field = rng.choice(peer_spec["fields"])
+                method.vcall(peer, f"set_{peer_field}", args=[glue(pick())])
+                got = fresh.next("g")
+                method.vcall(peer, f"get_{peer_field}", target=got)
+                flowed_vars[define(got)] = peer_spec["field_classes"][peer_field]
+                glue(got)
+            elif pattern == "registry":
+                slot = f"slot{rng.randrange(config.registry_slots)}"
+                if rng.random() < 0.5:
+                    method.static_put("Registry", slot, glue(pick()))
+                else:
+                    method.static_get(define(fresh.next("s")), "Registry", slot)
+            elif pattern == "delegate":
+                # Hand work one layer down: load the dependency and call
+                # one of its workers — the long call chains that make
+                # context-sensitive exploration expensive and summary
+                # reuse valuable.
+                dep_spec = spec["dep"]
+                dep_var = fresh.next("dd")
+                method.load(dep_var, "this", spec["dep_field"])
+                result = fresh.next("g")
+                windex2 = rng.randrange(dep_spec["workers"])
+                method.vcall(dep_var, f"work{windex2}", args=[glue(pick())], target=result)
+                flowed_vars[define(result)] = None
+                glue(result)
+            elif pattern == "deep_get":
+                # Two-hop access path through the dependency's accessor.
+                dep_spec = spec["dep"]
+                dep_var = fresh.next("dd")
+                method.load(dep_var, "this", spec["dep_field"])
+                dep_field = rng.choice(dep_spec["fields"])
+                got = fresh.next("g")
+                method.vcall(dep_var, f"get_{dep_field}", target=got)
+                flowed_vars[define(got)] = dep_spec["field_classes"][dep_field]
+                glue(got)
+
+        if rng.random() < config.null_density:
+            nil = fresh.next("n")
+            method.null(nil)
+            pool.append(nil)
+            if rng.random() < 0.5:
+                method.store("this", rng.choice(spec["fields"]), nil)
+            else:
+                # Null through a shared container: in field-based mode
+                # every consumer of this box variant now sees a possible
+                # null, so REFINEPTS cannot satisfy NullDeref without
+                # refining — the paper's precision-hungry scenario.
+                nbox = fresh.next("b")
+                method.alloc(nbox, f"Box{rng.randrange(config.box_variants)}")
+                method.vcall(nbox, "set", args=[glue(nil, length=1)])
+
+        if rng.random() < config.cast_density:
+            self._emit_worker_cast(method, rng, local_allocs, flowed_vars, pool, fresh)
+
+        # Return a freshly allocated local (trackable class — lets the
+        # driver cast it realistically) or pass the parameter through.
+        if local_allocs and rng.random() < 0.8:
+            ret_var = rng.choice(sorted(local_allocs))
+            ret_class = local_allocs[ret_var]
+        else:
+            ret_var, ret_class = "p", None
+        method.ret(ret_var)
+        spec["worker_returns"].append(ret_class)
+
+    def _emit_worker_cast(self, method, rng, local_allocs, flowed_vars, pool, fresh):
+        """A downcast inside a worker.
+
+        Mirrors the mix SafeCast meets in real code: mostly casts of
+        values that arrived through fields or calls (each one a genuinely
+        interprocedural query), cast to the field's nominal content class
+        when known — usually provable, sometimes violated by a worker
+        having stored something else — with a sprinkling of trivially
+        checkable casts of local allocations and of outright type errors.
+        """
+        if flowed_vars and rng.random() < 0.75:
+            source = rng.choice(sorted(flowed_vars))
+            nominal = flowed_vars[source]
+            roll = rng.random()
+            if nominal is not None and roll < 0.7:
+                target_class = nominal
+            elif roll < 0.85:
+                target_class = "Object"  # upcast: always provable
+            else:
+                target_class = rng.choice(self.data_class_names)
+        elif local_allocs:
+            source = rng.choice(sorted(local_allocs))
+            target_class = (
+                local_allocs[source]
+                if rng.random() < 0.9
+                else rng.choice(self.data_class_names)
+            )
+        else:
+            source = rng.choice(pool)
+            target_class = rng.choice(self.data_class_names)
+        var = fresh.next("d")
+        method.cast(var, target_class, source)
+        pool.append(var)
+
+    def _emit_factory(self, cls, spec):
+        """``static create()``: fresh instance — or, for the buggy
+        fraction, an instance laundered through a static registry slot
+        (a singleton cache), which FactoryM must flag."""
+        rng = self.rng
+        name = spec["name"]
+        method = cls.static_method("create")
+        slot = f"slot{rng.randrange(self.config.registry_slots)}"
+        if spec["buggy_factory"]:
+            method.alloc("fresh", name)
+            method.static_put("Registry", slot, "fresh")
+            method.static_get("cached", "Registry", slot)
+            method.vcall("cached", "setup")
+            method.ret("cached")
+        else:
+            method.alloc("fresh", name)
+            method.vcall("fresh", "setup")
+            method.ret("fresh")
+        self.factory_methods.append((name, "create", spec["buggy_factory"]))
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+    def _emit_main(self, builder):
+        """Main wires heterogeneous payloads through the *same* library
+        call sites so that only context-sensitive analyses keep them
+        apart — Figure 2 at scale."""
+        rng = self.rng
+        config = self.config
+        main = builder.cls("Main").static_method("main")
+        fresh = _Counter()
+        instances = []
+
+        for round_index in range(config.driver_rounds):
+            for spec in self.domain_specs:
+                name = spec["name"]
+                var = fresh.next("obj")
+                if spec["factory"]:
+                    main.scall(name, "create", target=var)
+                else:
+                    main.alloc(var, name)
+                    main.vcall(var, "setup")
+                instances.append((var, spec))
+
+        # Exercise workers, pushing distinct payloads through shared code.
+        # Layer-0 classes get their full worker surface driven; deeper
+        # layers are mostly reached through delegation and only get one
+        # direct call (keeping their factories and workers reachable).
+        for var, spec in instances:
+            payload_class = rng.choice(self.data_class_names)
+            payload = fresh.next("pay")
+            main.alloc(payload, payload_class)
+            if spec["layer"] == 0:
+                windices = range(spec["workers"])
+            else:
+                windices = [rng.randrange(spec["workers"])]
+            for windex in windices:
+                result = fresh.next("res")
+                main.vcall(var, f"work{windex}", args=[payload], target=result)
+                if rng.random() < config.cast_density:
+                    # Cast to what actually comes back: the worker's own
+                    # fresh allocation class, or — for parameter
+                    # pass-through workers — the payload's class.  A small
+                    # fraction casts to an unrelated class instead.
+                    returned = spec["worker_returns"][windex]
+                    cast_to = returned if returned is not None else payload_class
+                    if rng.random() < 0.1:
+                        cast_to = rng.choice(self.data_class_names)
+                    main.cast(fresh.next("cst"), cast_to, result)
+
+        # The Figure 2 pattern: two instances of the same class, distinct
+        # payload types through the same Box/Vec accessors, then casts
+        # that only a context-sensitive analysis can prove safe.
+        for pair_index in range(max(1, config.domain_classes // 3)):
+            box_class = f"Box{rng.randrange(config.box_variants)}"
+            class_a, class_b = rng.sample(self.data_class_names, 2)
+            box1, box2 = fresh.next("fig"), fresh.next("fig")
+            pay1, pay2 = fresh.next("fig"), fresh.next("fig")
+            out1, out2 = fresh.next("fig"), fresh.next("fig")
+            main.alloc(box1, box_class)
+            main.alloc(box2, box_class)
+            main.alloc(pay1, class_a)
+            main.alloc(pay2, class_b)
+            main.vcall(box1, "set", args=[pay1])
+            main.vcall(box2, "set", args=[pay2])
+            main.vcall(box1, "get", target=out1)
+            main.vcall(box2, "get", target=out2)
+            main.cast(fresh.next("fig"), class_a, out1)  # safe only w/ context
+            main.cast(fresh.next("fig"), class_b, out2)  # safe only w/ context
+
+
+class _Counter:
+    """Fresh-name supply (deterministic, per scope)."""
+
+    def __init__(self):
+        self._counts = {}
+
+    def next(self, prefix):
+        count = self._counts.get(prefix, 0)
+        self._counts[prefix] = count + 1
+        return f"{prefix}{count}"

@@ -1,0 +1,191 @@
+"""The nine named benchmarks (Table 3's programs, synthesised).
+
+Each name from the paper's suite maps to a :class:`GeneratorConfig` tuned
+so the *relative* proportions of the paper's Table 3 hold at laptop-Python
+scale (graphs roughly 100x smaller than the Java originals):
+
+* jack/javac are the largest graphs; avrora/luindex the smallest;
+* avrora/batik/luindex/xalan have the lowest locality (more call
+  traffic), jack..jython the highest (≈90%);
+* query volume ordering follows the paper — xalan issues the most
+  queries, jack the fewest, and NullDeref >= SafeCast >= FactoryM.
+
+``load_benchmark(name, scale=...)`` generates the program, builds its
+Andersen call graph and PAG, and returns a ready-to-measure
+:class:`~repro.bench.runner.BenchmarkInstance`.
+"""
+
+from repro.bench.generator import GeneratorConfig
+
+#: Paper order (Table 3 rows).
+BENCHMARK_NAMES = (
+    "jack",
+    "javac",
+    "soot-c",
+    "bloat",
+    "jython",
+    "avrora",
+    "batik",
+    "luindex",
+    "xalan",
+)
+
+_CONFIGS = {
+    "jack": GeneratorConfig(
+        seed=101,
+        domain_classes=16,
+        data_classes=8,
+        box_variants=3,
+        workers_per_class=3,
+        stmts_per_worker=14,
+        cast_density=0.25,
+        null_density=0.30,
+        factory_fraction=0.6,
+        library_call_bias=0.45,
+        layers=2,
+        driver_rounds=2,
+    ),
+    "javac": GeneratorConfig(
+        seed=102,
+        domain_classes=18,
+        data_classes=8,
+        box_variants=3,
+        workers_per_class=3,
+        stmts_per_worker=14,
+        cast_density=0.35,
+        null_density=0.50,
+        factory_fraction=0.6,
+        library_call_bias=0.45,
+        layers=2,
+        driver_rounds=2,
+    ),
+    "soot-c": GeneratorConfig(
+        seed=103,
+        domain_classes=10,
+        data_classes=6,
+        box_variants=3,
+        workers_per_class=3,
+        stmts_per_worker=13,
+        cast_density=0.70,
+        null_density=0.55,
+        factory_fraction=0.8,
+        library_call_bias=0.37,
+        layers=2,
+        driver_rounds=2,
+    ),
+    "bloat": GeneratorConfig(
+        seed=104,
+        domain_classes=11,
+        data_classes=6,
+        box_variants=2,
+        workers_per_class=3,
+        stmts_per_worker=13,
+        cast_density=0.80,
+        null_density=0.60,
+        factory_fraction=0.8,
+        library_call_bias=0.40,
+        layers=2,
+        driver_rounds=2,
+    ),
+    "jython": GeneratorConfig(
+        seed=105,
+        domain_classes=10,
+        data_classes=6,
+        box_variants=2,
+        workers_per_class=3,
+        stmts_per_worker=13,
+        cast_density=0.50,
+        null_density=0.65,
+        factory_fraction=0.5,
+        library_call_bias=0.45,
+        layers=2,
+        driver_rounds=2,
+    ),
+    "avrora": GeneratorConfig(
+        seed=106,
+        domain_classes=6,
+        data_classes=4,
+        box_variants=2,
+        workers_per_class=2,
+        stmts_per_worker=9,
+        cast_density=0.90,
+        null_density=0.70,
+        factory_fraction=0.8,
+        library_call_bias=1.0,
+        layers=2,
+        driver_rounds=3,
+    ),
+    "batik": GeneratorConfig(
+        seed=107,
+        domain_classes=11,
+        data_classes=6,
+        box_variants=3,
+        workers_per_class=3,
+        stmts_per_worker=10,
+        cast_density=0.95,
+        null_density=0.65,
+        factory_fraction=0.7,
+        library_call_bias=0.9,
+        layers=2,
+        driver_rounds=3,
+    ),
+    "luindex": GeneratorConfig(
+        seed=108,
+        domain_classes=6,
+        data_classes=4,
+        box_variants=2,
+        workers_per_class=2,
+        stmts_per_worker=9,
+        cast_density=0.95,
+        null_density=0.70,
+        factory_fraction=0.9,
+        library_call_bias=0.9,
+        layers=2,
+        driver_rounds=3,
+    ),
+    "xalan": GeneratorConfig(
+        seed=109,
+        domain_classes=9,
+        data_classes=5,
+        box_variants=2,
+        workers_per_class=3,
+        stmts_per_worker=10,
+        cast_density=1.0,
+        null_density=0.80,
+        factory_fraction=0.9,
+        library_call_bias=0.85,
+        layers=2,
+        driver_rounds=4,
+    ),
+}
+
+
+def benchmark_config(name, scale=1.0):
+    """The :class:`GeneratorConfig` for a named benchmark, optionally
+    rescaled (``scale < 1`` shrinks the program for quick test runs)."""
+    try:
+        config = _CONFIGS[name]
+    except KeyError:
+        known = ", ".join(BENCHMARK_NAMES)
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+    if scale != 1.0:
+        config = config.scaled(scale)
+    return config
+
+
+def load_benchmark(name, scale=1.0, config=None):
+    """Generate, analyse and wrap a named benchmark.
+
+    Returns a :class:`~repro.bench.runner.BenchmarkInstance` holding the
+    program, PAG and Table 3 statistics.
+    """
+    from repro.bench.generator import generate_program
+    from repro.bench.runner import BenchmarkInstance
+    from repro.pag.builder import build_pag
+    from repro.pag.stats import compute_statistics
+
+    resolved = config if config is not None else benchmark_config(name, scale)
+    program = generate_program(resolved)
+    pag = build_pag(program)
+    stats = compute_statistics(pag, name=name)
+    return BenchmarkInstance(name=name, config=resolved, program=program, pag=pag, stats=stats)

@@ -1,0 +1,22 @@
+"""Call-graph construction substrates.
+
+The paper builds its PAG with Spark: an Andersen-style, context-insensitive,
+field-sensitive whole-program points-to analysis that constructs the call
+graph on the fly and determines the reachable part of the program (Table 3's
+caption).  :mod:`repro.callgraph.andersen` is that substrate;
+:mod:`repro.callgraph.cha` is a cheaper RTA-style baseline used for
+comparison and testing; :mod:`repro.callgraph.graph` is the shared call-graph
+data structure, including the SCC computation used to collapse recursion
+(Section 5.1).
+"""
+
+from repro.callgraph.andersen import AndersenAnalysis, AndersenResult
+from repro.callgraph.cha import rta_call_graph
+from repro.callgraph.graph import CallGraph
+
+__all__ = [
+    "AndersenAnalysis",
+    "AndersenResult",
+    "CallGraph",
+    "rta_call_graph",
+]

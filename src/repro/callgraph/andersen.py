@@ -1,0 +1,258 @@
+"""Andersen-style whole-program points-to analysis with on-the-fly call graph.
+
+This is the Spark substitute (Lhoták & Hendren, CC'03): a
+context-insensitive, field-sensitive, subset-based points-to analysis that
+
+* discovers the reachable part of the program starting from the entry
+  method, resolving virtual calls as receiver points-to sets grow
+  (Table 3's caption: "reachable parts ... determined using a call graph
+  constructed on the fly with Andersen-style analysis");
+* produces the :class:`~repro.callgraph.graph.CallGraph` that the PAG
+  builder uses for ``entry_i``/``exit_i`` edges;
+* serves as the soundness oracle in tests — every context-sensitive demand
+  answer must be a subset of the Andersen answer.
+
+Implementation: a classic difference-propagation worklist.  Variables are
+keyed by tuples — ``("L", method, var)`` for locals, ``("G", cls, fld)``
+for statics, ``("F", object_id, fld)`` for heap fields — and objects are
+``(object_id, class_name)`` pairs.
+"""
+
+from collections import deque
+
+from repro.ir.ast import NULL_CLASS, THIS
+from repro.ir.types import ClassHierarchy
+from repro.util.errors import IRError
+
+
+def local_key(method_qname, var):
+    """Variable key for a local of a method."""
+    return ("L", method_qname, var)
+
+
+def global_key(class_name, field):
+    """Variable key for a static field."""
+    return ("G", class_name, field)
+
+
+def field_key(object_id, field):
+    """Variable key for an instance field of an abstract object."""
+    return ("F", object_id, field)
+
+
+class AndersenResult:
+    """Read-only view of a completed Andersen analysis."""
+
+    def __init__(self, program, hierarchy, pts, call_graph, instantiated):
+        self.program = program
+        self.hierarchy = hierarchy
+        self._pts = pts
+        self.call_graph = call_graph
+        self.instantiated_classes = instantiated
+
+    def points_to(self, key):
+        """Points-to set of a variable key: ``{(object_id, class_name)}``."""
+        return set(self._pts.get(key, ()))
+
+    def points_to_local(self, method_qname, var):
+        return self.points_to(local_key(method_qname, var))
+
+    def points_to_global(self, class_name, field):
+        return self.points_to(global_key(class_name, field))
+
+    def points_to_field(self, object_id, field):
+        return self.points_to(field_key(object_id, field))
+
+    @property
+    def reachable_methods(self):
+        return self.call_graph.reachable_methods
+
+    def variable_keys(self):
+        """All variable keys with a (possibly empty) recorded points-to set."""
+        return list(self._pts)
+
+
+class AndersenAnalysis:
+    """Run with :meth:`solve`; construct once per program."""
+
+    def __init__(self, program):
+        if not program.is_finalized:
+            raise IRError("program must be finalized before analysis")
+        self.program = program
+        self.hierarchy = ClassHierarchy(program)
+        self._pts = {}
+        self._succ = {}
+        self._load_cons = {}
+        self._store_cons = {}
+        self._vcalls = {}
+        self._linked = set()
+        self._processed_methods = set()
+        self._pending = {}
+        self._worklist = deque()
+        self._call_graph = CallGraphProxy = None  # set in solve()
+        self._instantiated = set()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def solve(self):
+        """Run to fixpoint and return an :class:`AndersenResult`."""
+        from repro.callgraph.graph import CallGraph
+
+        self._call_graph = CallGraph(self.program.entry)
+        entry = self.program.entry_method
+        self._call_graph.add_method(entry.qualified_name)
+        self._process_method(entry)
+        while self._worklist:
+            key = self._worklist.popleft()
+            delta = self._pending.pop(key, None)
+            if not delta:
+                continue
+            self._propagate_from(key, delta)
+        return AndersenResult(
+            self.program,
+            self.hierarchy,
+            self._pts,
+            self._call_graph,
+            set(self._instantiated),
+        )
+
+    # ------------------------------------------------------------------
+    # core worklist operations
+    # ------------------------------------------------------------------
+    def _add_objects(self, key, objects):
+        current = self._pts.setdefault(key, set())
+        new = objects - current
+        if not new:
+            return
+        current |= new
+        pending = self._pending.get(key)
+        if pending is None:
+            self._pending[key] = set(new)
+            self._worklist.append(key)
+        else:
+            pending |= new
+
+    def _add_edge(self, src, dst):
+        successors = self._succ.setdefault(src, set())
+        if dst in successors:
+            return
+        successors.add(dst)
+        existing = self._pts.get(src)
+        if existing:
+            self._add_objects(dst, set(existing))
+
+    def _propagate_from(self, key, delta):
+        for successor in self._succ.get(key, ()):
+            self._add_objects(successor, delta)
+        for field, target in self._load_cons.get(key, ()):
+            for obj in delta:
+                if obj[1] == NULL_CLASS:
+                    continue
+                self._add_edge(field_key(obj[0], field), target)
+        for field, source in self._store_cons.get(key, ()):
+            for obj in delta:
+                if obj[1] == NULL_CLASS:
+                    continue
+                self._add_edge(source, field_key(obj[0], field))
+        for caller_method, call in self._vcalls.get(key, ()):
+            for obj in delta:
+                if obj[1] == NULL_CLASS:
+                    continue
+                callee = self.hierarchy.dispatch(obj[1], call.method_name)
+                if callee is not None:
+                    self._link_call(caller_method, call, callee)
+
+    # ------------------------------------------------------------------
+    # constraint generation
+    # ------------------------------------------------------------------
+    def _process_method(self, method):
+        qname = method.qualified_name
+        if qname in self._processed_methods:
+            return
+        self._processed_methods.add(qname)
+        for stmt in method.statements:
+            self._process_statement(method, stmt)
+
+    def _process_statement(self, method, stmt):
+        qname = method.qualified_name
+        kind = stmt.kind
+        if kind in ("alloc", "null"):
+            obj = (stmt.object_id, stmt.class_name)
+            if kind == "alloc":
+                self._instantiated.add(stmt.class_name)
+            self._add_objects(local_key(qname, stmt.target), {obj})
+        elif kind in ("copy", "cast"):
+            self._add_edge(local_key(qname, stmt.source), local_key(qname, stmt.target))
+        elif kind == "load":
+            base = local_key(qname, stmt.base)
+            target = local_key(qname, stmt.target)
+            self._load_cons.setdefault(base, []).append((stmt.field, target))
+            for obj in set(self._pts.get(base, ())):
+                if obj[1] != NULL_CLASS:
+                    self._add_edge(field_key(obj[0], stmt.field), target)
+        elif kind == "store":
+            base = local_key(qname, stmt.base)
+            source = local_key(qname, stmt.source)
+            self._store_cons.setdefault(base, []).append((stmt.field, source))
+            for obj in set(self._pts.get(base, ())):
+                if obj[1] != NULL_CLASS:
+                    self._add_edge(source, field_key(obj[0], stmt.field))
+        elif kind == "staticget":
+            self._add_edge(
+                global_key(stmt.class_name, stmt.field), local_key(qname, stmt.target)
+            )
+        elif kind == "staticput":
+            self._add_edge(
+                local_key(qname, stmt.source), global_key(stmt.class_name, stmt.field)
+            )
+        elif kind == "call":
+            self._process_call(method, stmt)
+        elif kind == "return":
+            pass  # linked lazily per call site in _link_call
+        else:
+            raise IRError(f"unknown statement kind {kind!r}")
+
+    def _process_call(self, method, call):
+        qname = method.qualified_name
+        if call.is_virtual:
+            receiver = local_key(qname, call.receiver)
+            self._vcalls.setdefault(receiver, []).append((method, call))
+            for obj in set(self._pts.get(receiver, ())):
+                if obj[1] == NULL_CLASS:
+                    continue
+                callee = self.hierarchy.dispatch(obj[1], call.method_name)
+                if callee is not None:
+                    self._link_call(method, call, callee)
+        else:
+            callee = self.hierarchy.dispatch(call.class_name, call.method_name)
+            if callee is not None and callee.is_static:
+                self._link_call(method, call, callee)
+
+    def _link_call(self, caller_method, call, callee):
+        """Wire actuals to formals and returns to the call target."""
+        key = (call.site_id, callee.qualified_name)
+        if key in self._linked:
+            return
+        self._linked.add(key)
+        self._call_graph.add_edge(
+            call.site_id, caller_method.qualified_name, callee.qualified_name
+        )
+        self._process_method(callee)
+
+        caller_qname = caller_method.qualified_name
+        callee_qname = callee.qualified_name
+        if call.is_virtual and not callee.is_static:
+            self._add_edge(
+                local_key(caller_qname, call.receiver), local_key(callee_qname, THIS)
+            )
+        for actual, formal in zip(call.args, callee.params):
+            self._add_edge(
+                local_key(caller_qname, actual), local_key(callee_qname, formal)
+            )
+        if call.target is not None:
+            for ret in callee.return_statements():
+                self._add_edge(
+                    local_key(callee_qname, ret.source),
+                    local_key(caller_qname, call.target),
+                )

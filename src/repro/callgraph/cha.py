@@ -1,0 +1,76 @@
+"""RTA-style call-graph construction (cheap baseline).
+
+PIR variables carry no declared types, so classic CHA (dispatch on the
+declared type's cone) degenerates to name-based resolution.  We therefore
+implement Rapid Type Analysis: a virtual call ``x.m(...)`` is linked to
+``C.m``'s resolution for every *instantiated* class ``C`` that understands
+``m``.  Instantiation and reachability are discovered together, as in
+Bacon & Sweeney's original RTA.
+
+The result over-approximates the Andersen call graph — a containment
+checked by the test suite — and is used when a caller wants a PAG without
+paying for the whole-program points-to pass.
+"""
+
+from collections import deque
+
+from repro.ir.types import ClassHierarchy
+from repro.util.errors import IRError
+
+
+def rta_call_graph(program):
+    """Build a :class:`~repro.callgraph.graph.CallGraph` with RTA."""
+    from repro.callgraph.graph import CallGraph
+
+    if not program.is_finalized:
+        raise IRError("program must be finalized before analysis")
+    hierarchy = ClassHierarchy(program)
+    call_graph = CallGraph(program.entry)
+
+    entry = program.entry_method
+    call_graph.add_method(entry.qualified_name)
+
+    instantiated = set()
+    processed = set()
+    #: virtual calls seen so far, bucketed by method name, so that a class
+    #: instantiated *later* still links earlier call sites.
+    pending_vcalls = {}
+    worklist = deque([entry])
+
+    def link(caller, call, callee):
+        if call_graph.add_edge(call.site_id, caller.qualified_name, callee.qualified_name):
+            if callee.qualified_name not in processed:
+                worklist.append(program.lookup_method(callee.qualified_name))
+
+    def dispatch_virtual(caller, call, class_name):
+        callee = hierarchy.dispatch(class_name, call.method_name)
+        if callee is not None and not callee.is_static:
+            link(caller, call, callee)
+
+    while worklist:
+        method = worklist.popleft()
+        if method.qualified_name in processed:
+            continue
+        processed.add(method.qualified_name)
+        call_graph.add_method(method.qualified_name)
+        for stmt in method.statements:
+            if stmt.kind == "alloc":
+                if stmt.class_name not in instantiated:
+                    instantiated.add(stmt.class_name)
+                    # Re-dispatch every virtual call already seen: the new
+                    # class may understand some of them.
+                    for name, sites in pending_vcalls.items():
+                        for caller, call in sites:
+                            dispatch_virtual(caller, call, stmt.class_name)
+            elif stmt.kind == "call":
+                if stmt.is_virtual:
+                    pending_vcalls.setdefault(stmt.method_name, []).append(
+                        (method, stmt)
+                    )
+                    for class_name in sorted(instantiated):
+                        dispatch_virtual(method, stmt, class_name)
+                else:
+                    callee = hierarchy.dispatch(stmt.class_name, stmt.method_name)
+                    if callee is not None and callee.is_static:
+                        link(method, stmt, callee)
+    return call_graph

@@ -1,0 +1,26 @@
+"""CFL-reachability machinery shared by every demand-driven analysis.
+
+This package contains the pieces of the LFT (field-sensitivity) and RRP
+(context-sensitivity) context-free languages of the paper that are common
+to NOREFINE, REFINEPTS, DYNSUM and STASUM:
+
+* :mod:`repro.cfl.stacks` — persistent (immutable, shareable) stacks used
+  for both field stacks and calling-context stacks;
+* :mod:`repro.cfl.rsm` — the recursive-state-machine states (``S1``/``S2``)
+  of Figure 3 and helpers describing their transitions;
+* :mod:`repro.cfl.budget` — the per-query traversal budget of Section 5.2.
+"""
+
+from repro.cfl.budget import Budget, UNLIMITED_BUDGET
+from repro.cfl.rsm import S1, S2, state_name
+from repro.cfl.stacks import EMPTY_STACK, Stack
+
+__all__ = [
+    "Budget",
+    "EMPTY_STACK",
+    "S1",
+    "S2",
+    "Stack",
+    "UNLIMITED_BUDGET",
+    "state_name",
+]

@@ -1,0 +1,58 @@
+"""Per-query traversal budgets (Section 5.2 of the paper).
+
+Every demand analysis charges one unit per graph-traversal step (a node
+visit in a recursive exploration, a worklist-item pop, a match-edge jump).
+When the budget is exhausted the query is abandoned and answered
+conservatively, exactly as in the paper, whose experiments cap each query
+at 75,000 traversed edges.
+"""
+
+from repro.util.errors import BudgetExceededError
+
+#: The paper's per-query budget (Section 5.2).
+DEFAULT_BUDGET = 75_000
+
+#: Sentinel meaning "never give up"; used by correctness tests that need a
+#: fully resolved answer.
+UNLIMITED_BUDGET = None
+
+
+class Budget:
+    """Mutable step counter shared by all traversal phases of one query.
+
+    Parameters
+    ----------
+    limit:
+        Maximum number of steps, or ``None`` (:data:`UNLIMITED_BUDGET`)
+        for no limit.
+    """
+
+    __slots__ = ("limit", "steps")
+
+    def __init__(self, limit=DEFAULT_BUDGET):
+        if limit is not None and limit <= 0:
+            raise ValueError(f"budget limit must be positive, got {limit}")
+        self.limit = limit
+        self.steps = 0
+
+    def charge(self, amount=1):
+        """Consume ``amount`` steps, raising :class:`BudgetExceededError`
+        once the limit is crossed."""
+        self.steps += amount
+        if self.limit is not None and self.steps > self.limit:
+            raise BudgetExceededError(self.limit)
+
+    @property
+    def exhausted(self):
+        return self.limit is not None and self.steps > self.limit
+
+    @property
+    def remaining(self):
+        """Steps left, or ``None`` when unlimited."""
+        if self.limit is None:
+            return None
+        return max(0, self.limit - self.steps)
+
+    def __repr__(self):
+        limit = "unlimited" if self.limit is None else self.limit
+        return f"Budget(steps={self.steps}, limit={limit})"

@@ -1,0 +1,66 @@
+"""Recursive-state-machine states of the LFT language (Figure 3a).
+
+Demand-driven traversals run the ``pointsTo``/``alias`` RSM of the paper's
+Figure 3(a).  It has two states:
+
+* :data:`S1` — travelling **backward** along a ``flowsTo``-bar path, i.e.
+  computing ``pointsTo`` of the current node.  On a ``new`` edge with an
+  empty field stack the traversal emits the object; with a non-empty stack
+  it *turns around* into :data:`S2` at the same node (the ``new new-bar``
+  move of Section 4.2, legal only at an allocation site).
+* :data:`S2` — travelling **forward** along a ``flowsTo`` path, tracking an
+  object to discover aliases of some base variable.
+
+The full transition table over PAG edges is documented in DESIGN.md §2 and
+implemented (for local edges) in :mod:`repro.analysis.dynsum` and (for the
+recursive formulation) in :mod:`repro.analysis.norefine`.  The RRP
+context machine of Figure 3(b) is realized directly by push/pop operations
+on the context stack at ``entry``/``exit`` edges.
+"""
+
+#: Backward state — traversing a flowsTo-bar (pointsTo) path.
+S1 = 1
+
+#: Forward state — traversing a flowsTo path looking for aliases.
+S2 = 2
+
+# ----------------------------------------------------------------------
+# Field-stack entry families.
+#
+# The flattened RSM shares one field stack between two distinct
+# parenthesis families of the LFT grammar:
+#
+# * :data:`FAM_LOAD` ("family A") — a ``load-bar(f)`` traversed backward
+#   in S1 (``flowsToBar ::= ... loadBar(f) alias storeBar(f)``).  Its
+#   valid closers are a forward ``load(f)`` from an aliased base (stay in
+#   S2) or a ``store(f)`` *into* an aliased base (the storeBar closer,
+#   S2 -> S1).
+# * :data:`FAM_STORE` ("family B") — a forward ``store(f)`` taken in S2
+#   when the tracked object is stored into a base
+#   (``flowsTo ::= ... store(f) alias load(f)``).  Its only valid closer
+#   is a forward ``load(f)`` from an aliased base.
+#
+# Allowing a family-B entry to be closed by the storeBar rule would
+# derive "two values stored into the same field slot alias each other",
+# which is not in the language — stack entries therefore carry their
+# family, and the storeBar pop demands a family-A top.  (The paper's
+# Algorithm 3 elides this detail; without it the flattened machine is
+# sound but strictly less precise than REFINEPTS, contradicting the
+# paper's no-precision-loss claim.)
+# ----------------------------------------------------------------------
+
+#: Field-stack entry pushed by a backward load (family A).
+FAM_LOAD = 0
+
+#: Field-stack entry pushed by a forward store (family B).
+FAM_STORE = 1
+
+_NAMES = {S1: "S1", S2: "S2"}
+
+
+def state_name(state):
+    """Human-readable name for an RSM state (used in traces and errors)."""
+    try:
+        return _NAMES[state]
+    except KeyError:
+        raise ValueError(f"unknown RSM state: {state!r}") from None

@@ -1,0 +1,106 @@
+"""Persistent stacks for CFL-reachability traversals.
+
+Both the *field stack* (unmatched ``load(f)``/``store(f)`` parentheses of
+the LFT language) and the *context stack* (unmatched ``entry_i``/``exit_i``
+parentheses of the RRP language) are immutable: every traversal step derives
+a new stack by pushing or popping, and many in-flight traversal states share
+structure.  A singly linked persistent list with a precomputed hash gives
+O(1) ``push``/``pop``/``peek`` and O(1) hashing, which matters because
+stacks are used as dictionary keys in the DYNSUM summary cache and in every
+visited set.
+
+The empty stack is the singleton :data:`EMPTY_STACK`.
+"""
+
+
+class Stack:
+    """An immutable stack (persistent linked list).
+
+    Elements may be any hashable value; analyses push field names
+    (strings) or call-site ids (ints).  Equality and hashing are
+    structural, so two independently built stacks with the same elements
+    compare equal — a requirement for summary-cache keys.
+    """
+
+    __slots__ = ("_top", "_rest", "_size", "_hash")
+
+    def __init__(self, top=None, rest=None):
+        self._top = top
+        self._rest = rest
+        if rest is None:
+            self._size = 0
+            self._hash = hash(())
+        else:
+            self._size = rest._size + 1
+            self._hash = hash((rest._hash, top))
+
+    def push(self, value):
+        """Return a new stack with ``value`` on top."""
+        return Stack(value, self)
+
+    def pop(self):
+        """Return the stack without its top element.
+
+        Popping the empty stack returns the empty stack.  This mirrors the
+        paper's treatment of partially balanced paths (Algorithm 1, line
+        12): a realizable path may begin with unmatched closing
+        parentheses, so an "underflow" pop simply stays empty.
+        """
+        if self._rest is None:
+            return self
+        return self._rest
+
+    def peek(self):
+        """Return the top element, or ``None`` when empty."""
+        return self._top if self._rest is not None else None
+
+    @property
+    def is_empty(self):
+        return self._rest is None
+
+    def __len__(self):
+        return self._size
+
+    def __iter__(self):
+        """Iterate from top of stack to bottom."""
+        node = self
+        while node._rest is not None:
+            yield node._top
+            node = node._rest
+
+    def to_tuple(self):
+        """Return the contents bottom-to-top as a plain tuple."""
+        return tuple(reversed(list(self)))
+
+    @classmethod
+    def of(cls, *values):
+        """Build a stack by pushing ``values`` in order (last is top)."""
+        stack = EMPTY_STACK
+        for value in values:
+            stack = stack.push(value)
+        return stack
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if not isinstance(other, Stack):
+            return NotImplemented
+        if self._hash != other._hash or self._size != other._size:
+            return False
+        a, b = self, other
+        while a._rest is not None:
+            if b._rest is None or a._top != b._top:
+                return False
+            a, b = a._rest, b._rest
+        return b._rest is None
+
+    def __hash__(self):
+        return self._hash
+
+    def __repr__(self):
+        items = ",".join(str(v) for v in self.to_tuple())
+        return f"[{items}]"
+
+
+#: The shared empty stack.  ``EMPTY_STACK.push(x)`` starts any traversal.
+EMPTY_STACK = Stack()

@@ -1,0 +1,31 @@
+"""The paper's three demand clients (Section 5.2).
+
+* :class:`~repro.clients.safecast.SafeCastClient` — proves downcasts safe;
+* :class:`~repro.clients.nullderef.NullDerefClient` — proves dereferences
+  non-null (the precision-hungry client that benefits most from DYNSUM);
+* :class:`~repro.clients.factorym.FactoryMethodClient` — proves factory
+  methods return freshly allocated objects (as in Sridharan & Bodík).
+
+Each client enumerates its query sites from the reachable program, builds
+a *monotone* satisfaction predicate per query (so REFINEPTS may stop
+refining early: if an over-approximate points-to set satisfies the
+predicate, every subset does too), and renders a final verdict from the
+analysis result.
+"""
+
+from repro.clients.base import Client, Query, Verdict
+from repro.clients.factorym import FactoryMethodClient
+from repro.clients.nullderef import NullDerefClient
+from repro.clients.safecast import SafeCastClient
+
+ALL_CLIENTS = (SafeCastClient, NullDerefClient, FactoryMethodClient)
+
+__all__ = [
+    "ALL_CLIENTS",
+    "Client",
+    "FactoryMethodClient",
+    "NullDerefClient",
+    "Query",
+    "SafeCastClient",
+    "Verdict",
+]

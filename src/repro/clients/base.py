@@ -1,0 +1,107 @@
+"""Client framework: queries, predicates and verdicts.
+
+A *client* turns a program analysis question ("is this cast safe?") into
+points-to queries plus a decision procedure.  The contract has three
+parts:
+
+``queries(pag)``
+    Enumerate the :class:`Query` sites of the client in the reachable
+    program, deterministically ordered (the harness batches them in this
+    order, like the paper's 10-batch protocol).
+
+``predicate(query)``
+    Return a satisfaction predicate ``objects -> bool`` used by
+    REFINEPTS's refinement loop.  Predicates must be **monotone
+    downward**: if a set of objects satisfies the predicate, every subset
+    must too.  All three paper clients are universally quantified
+    ("every object that may flow here is benign"), which has this
+    property.
+
+``verdict(query, result)``
+    Interpret a finished :class:`~repro.analysis.base.QueryResult` as a
+    :class:`Verdict` — ``safe``, ``violation`` or ``unknown`` (the
+    conservative answer when the query ran out of budget).
+"""
+
+from dataclasses import dataclass, field
+
+SAFE = "safe"
+VIOLATION = "violation"
+UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class Query:
+    """One client query site.
+
+    ``method`` and ``var`` name the queried PAG variable;
+    ``description`` is a human-readable site label; ``payload`` carries
+    client-specific data (e.g. the cast's target class).
+    """
+
+    client: str
+    method: str
+    var: str
+    description: str = ""
+    payload: tuple = ()
+
+    def node(self, pag):
+        """Resolve the queried PAG node."""
+        return pag.find_local(self.method, self.var)
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The client's conclusion for one query."""
+
+    query: Query
+    status: str  # SAFE | VIOLATION | UNKNOWN
+    details: tuple = field(default_factory=tuple)
+
+    @property
+    def is_safe(self):
+        return self.status == SAFE
+
+
+class Client:
+    """Base class; subclasses implement the three-method contract."""
+
+    name = "client"
+
+    def __init__(self, pag):
+        self.pag = pag
+
+    def queries(self):
+        raise NotImplementedError
+
+    def predicate(self, query):
+        raise NotImplementedError
+
+    def verdict(self, query, result):
+        """Default verdict logic shared by all universally quantified
+        clients: a complete result that satisfies the predicate is safe;
+        a complete result that fails it is a violation; an incomplete
+        result is unknown unless it already fails (a sound partial
+        result can only *add* objects, so failures are definitive)."""
+        predicate = self.predicate(query)
+        offenders = self.offenders(query, result.objects)
+        if offenders:
+            return Verdict(query, VIOLATION, tuple(sorted(offenders, key=repr)))
+        if not result.complete:
+            return Verdict(query, UNKNOWN)
+        assert predicate(result.objects)
+        return Verdict(query, SAFE)
+
+    def offenders(self, query, objects):
+        """Objects violating the property (empty iff predicate holds)."""
+        raise NotImplementedError
+
+    def run(self, analysis, queries=None):
+        """Issue all (or the given) queries against ``analysis`` and
+        return the verdict list — the harness's inner loop."""
+        verdicts = []
+        for query in queries if queries is not None else self.queries():
+            node = query.node(self.pag)
+            result = analysis.points_to(node, client=self.predicate(query))
+            verdicts.append(self.verdict(query, result))
+        return verdicts

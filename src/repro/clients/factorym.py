@@ -1,0 +1,83 @@
+"""FactoryM — factory-method freshness checking (Section 5.2, as in [15]).
+
+Following Sridharan & Bodík, a factory method is well-behaved when every
+object its return value may point to is allocated *inside* the method or
+one of its transitive callees — i.e. the factory hands out fresh objects
+rather than leaking shared state.
+
+Factory candidates are recognised by name prefix (``create``/``make``/
+``new``/``build``/``get_instance`` by default, configurable) among
+reachable methods with at least one ``return``; each return statement
+contributes one query on the returned variable.
+"""
+
+from collections import deque
+
+from repro.clients.base import Client, Query
+
+DEFAULT_PREFIXES = ("create", "make", "new", "build", "spawn")
+
+
+class FactoryMethodClient(Client):
+    name = "FactoryM"
+
+    def __init__(self, pag, prefixes=DEFAULT_PREFIXES):
+        super().__init__(pag)
+        self.prefixes = tuple(prefixes)
+        self._allowed_cache = {}
+
+    def _is_factory(self, method):
+        return method.name.startswith(self.prefixes) and method.return_statements()
+
+    def queries(self):
+        """One query per return statement of each factory candidate."""
+        pag = self.pag
+        reachable = pag.call_graph.reachable_methods
+        result = []
+        for method in pag.program.methods():
+            qname = method.qualified_name
+            if qname not in reachable or not self._is_factory(method):
+                continue
+            for index, ret in enumerate(method.return_statements()):
+                result.append(
+                    Query(
+                        client=self.name,
+                        method=qname,
+                        var=ret.source,
+                        description=f"return #{index} of factory {qname}",
+                        payload=(qname,),
+                    )
+                )
+        return result
+
+    def _allowed_methods(self, factory_qname):
+        """The factory and its transitive callees — the methods whose
+        allocations count as "fresh" for this factory."""
+        cached = self._allowed_cache.get(factory_qname)
+        if cached is not None:
+            return cached
+        call_graph = self.pag.call_graph
+        allowed = {factory_qname}
+        queue = deque([factory_qname])
+        while queue:
+            current = queue.popleft()
+            for callee in call_graph.method_successors(current):
+                if callee not in allowed:
+                    allowed.add(callee)
+                    queue.append(callee)
+        self._allowed_cache[factory_qname] = allowed
+        return allowed
+
+    def predicate(self, query):
+        (factory_qname,) = query.payload
+        allowed = self._allowed_methods(factory_qname)
+
+        def satisfied(objects):
+            return all(obj.method in allowed for obj in objects)
+
+        return satisfied
+
+    def offenders(self, query, objects):
+        (factory_qname,) = query.payload
+        allowed = self._allowed_methods(factory_qname)
+        return [obj for obj in objects if obj.method not in allowed]

@@ -1,0 +1,66 @@
+"""NullDeref — null-dereference detection (Section 5.2).
+
+Every dereference site — the base of a field load, the base of a field
+store, and the receiver of a virtual call — is queried; the dereference
+is proven safe when no null object can flow into the base.  PIR models
+each ``x = null`` as an allocation of a distinct :data:`NULL_CLASS`
+object, so "can be null" is simply "points to a null-class object", and
+the verdict can name the offending null assignment.
+
+This is the paper's precision-hungry client: proving non-nullness usually
+needs the fully field-sensitive answer, so REFINEPTS's field-based
+iterations are pure overhead here, which is why the paper's largest
+DYNSUM speedups (2.28x average, 4.19x on soot-c) are on NullDeref.
+"""
+
+from repro.clients.base import Client, Query
+from repro.ir.ast import NULL_CLASS
+
+
+class NullDerefClient(Client):
+    name = "NullDeref"
+
+    def queries(self):
+        """One query per dereference site in a reachable method.
+
+        Dereferences of ``this`` are skipped: the receiver of an
+        executing method can never be null in Java, so a real client
+        would not spend analysis budget proving it.
+        """
+        from repro.ir.ast import THIS
+
+        pag = self.pag
+        reachable = pag.call_graph.reachable_methods
+        result = []
+        for method, stmt in pag.program.statements():
+            qname = method.qualified_name
+            if qname not in reachable:
+                continue
+            base = None
+            what = None
+            if stmt.kind == "load":
+                base, what = stmt.base, f"load .{stmt.field}"
+            elif stmt.kind == "store":
+                base, what = stmt.base, f"store .{stmt.field}"
+            elif stmt.kind == "call" and stmt.is_virtual:
+                base, what = stmt.receiver, f"call .{stmt.method_name}()"
+            if base is None or base == THIS:
+                continue
+            result.append(
+                Query(
+                    client=self.name,
+                    method=qname,
+                    var=base,
+                    description=f"{what} on {base!r} in {qname}",
+                )
+            )
+        return result
+
+    def predicate(self, query):
+        def satisfied(objects):
+            return all(obj.class_name != NULL_CLASS for obj in objects)
+
+        return satisfied
+
+    def offenders(self, query, objects):
+        return [obj for obj in objects if obj.class_name == NULL_CLASS]

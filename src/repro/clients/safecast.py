@@ -1,0 +1,52 @@
+"""SafeCast — downcast safety checking (Section 5.2, as in [15]).
+
+For every cast statement ``x = (T) y`` the client queries ``pointsTo(y)``
+and declares the cast safe when every object that may flow into ``y`` has
+a class that is a subtype of ``T`` (the null pseudo-class passes: casting
+null never throws).  Offending objects are reported in the verdict.
+"""
+
+from repro.clients.base import Client, Query
+
+
+class SafeCastClient(Client):
+    name = "SafeCast"
+
+    def queries(self):
+        """One query per cast statement in a reachable method."""
+        pag = self.pag
+        reachable = pag.call_graph.reachable_methods
+        result = []
+        for method, stmt in pag.program.statements():
+            if stmt.kind != "cast" or method.qualified_name not in reachable:
+                continue
+            result.append(
+                Query(
+                    client=self.name,
+                    method=method.qualified_name,
+                    var=stmt.source,
+                    description=f"cast to {stmt.class_name} at {method.qualified_name}",
+                    payload=(stmt.class_name,),
+                )
+            )
+        return result
+
+    def predicate(self, query):
+        (target_class,) = query.payload
+        hierarchy = self.pag.hierarchy
+
+        def satisfied(objects):
+            return all(
+                hierarchy.is_subtype(obj.class_name, target_class) for obj in objects
+            )
+
+        return satisfied
+
+    def offenders(self, query, objects):
+        (target_class,) = query.payload
+        hierarchy = self.pag.hierarchy
+        return [
+            obj
+            for obj in objects
+            if not hierarchy.is_subtype(obj.class_name, target_class)
+        ]

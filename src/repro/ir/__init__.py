@@ -1,0 +1,58 @@
+"""PIR — a small Java-like pointer intermediate representation.
+
+The paper's analyses consume a Pointer Assignment Graph built by Soot from
+Java bytecode.  PIR is the frontend substitute: a tiny class-based language
+with exactly the statement forms of the paper's Figure 1 — allocations,
+copies, casts, field loads/stores, static (global) accesses, virtual and
+static calls, and returns.
+
+Programs can be built three ways:
+
+* parse PIR source text with :func:`repro.ir.parser.parse_program`;
+* assemble programmatically with :class:`repro.ir.builder.ProgramBuilder`;
+* generate synthetic benchmarks with :mod:`repro.bench.generator`.
+"""
+
+from repro.ir.ast import (
+    Alloc,
+    Call,
+    Cast,
+    ClassDef,
+    Copy,
+    Load,
+    Method,
+    NullAssign,
+    Program,
+    Return,
+    StaticGet,
+    StaticPut,
+    Store,
+)
+from repro.ir.builder import ClassBuilder, MethodBuilder, ProgramBuilder
+from repro.ir.parser import parse_program
+from repro.ir.pretty import pretty_print
+from repro.ir.types import ClassHierarchy
+from repro.ir.validate import validate_program
+
+__all__ = [
+    "Alloc",
+    "Call",
+    "Cast",
+    "ClassBuilder",
+    "ClassDef",
+    "ClassHierarchy",
+    "Copy",
+    "Load",
+    "Method",
+    "MethodBuilder",
+    "NullAssign",
+    "Program",
+    "ProgramBuilder",
+    "Return",
+    "StaticGet",
+    "StaticPut",
+    "Store",
+    "parse_program",
+    "pretty_print",
+    "validate_program",
+]

@@ -1,0 +1,157 @@
+"""Fluent programmatic construction of PIR programs.
+
+Example — the skeleton of the paper's Figure 2::
+
+    b = ProgramBuilder(entry="Main.main")
+    vector = b.cls("Vector", fields=["elems", "count"])
+    init = vector.method("init")
+    init.alloc("t", "ObjectArray")
+    init.store("this", "elems", "t")
+
+    main = b.cls("Main").static_method("main")
+    main.alloc("v1", "Vector")
+    main.vcall("v1", "init")
+    program = b.build()
+
+``build()`` finalizes the program (assigning call-site ids and object
+labels) and validates it.
+"""
+
+from repro.ir.ast import (
+    Alloc,
+    Call,
+    Cast,
+    ClassDef,
+    Copy,
+    Load,
+    Method,
+    NullAssign,
+    Program,
+    Return,
+    StaticGet,
+    StaticPut,
+    Store,
+)
+from repro.ir.validate import validate_program
+
+
+class MethodBuilder:
+    """Appends statements to one method.  Every statement method returns
+    ``self`` so calls can be chained."""
+
+    def __init__(self, method):
+        self._method = method
+
+    @property
+    def method(self):
+        return self._method
+
+    def alloc(self, target, class_name, label=None):
+        """``target = new class_name``"""
+        self._method.add(Alloc(target, class_name, label))
+        return self
+
+    def null(self, target, label=None):
+        """``target = null``"""
+        self._method.add(NullAssign(target, label))
+        return self
+
+    def copy(self, target, source, label=None):
+        """``target = source``"""
+        self._method.add(Copy(target, source, label))
+        return self
+
+    def cast(self, target, class_name, source, label=None):
+        """``target = (class_name) source``"""
+        self._method.add(Cast(target, class_name, source, label))
+        return self
+
+    def load(self, target, base, field, label=None):
+        """``target = base.field``"""
+        self._method.add(Load(target, base, field, label))
+        return self
+
+    def store(self, base, field, source, label=None):
+        """``base.field = source``"""
+        self._method.add(Store(base, field, source, label))
+        return self
+
+    def static_get(self, target, class_name, field, label=None):
+        """``target = class_name::field``"""
+        self._method.add(StaticGet(target, class_name, field, label))
+        return self
+
+    def static_put(self, class_name, field, source, label=None):
+        """``class_name::field = source``"""
+        self._method.add(StaticPut(class_name, field, source, label))
+        return self
+
+    def vcall(self, receiver, method_name, args=(), target=None, label=None):
+        """``[target =] receiver.method_name(args)``"""
+        self._method.add(Call(target, receiver, None, method_name, args, label))
+        return self
+
+    def scall(self, class_name, method_name, args=(), target=None, label=None):
+        """``[target =] class_name::method_name(args)``"""
+        self._method.add(Call(target, None, class_name, method_name, args, label))
+        return self
+
+    def ret(self, source, label=None):
+        """``return source``"""
+        self._method.add(Return(source, label))
+        return self
+
+
+class ClassBuilder:
+    """Adds members to one class."""
+
+    def __init__(self, class_def):
+        self._class_def = class_def
+
+    @property
+    def class_def(self):
+        return self._class_def
+
+    def field(self, name):
+        self._class_def.add_field(name)
+        return self
+
+    def static_field(self, name):
+        self._class_def.add_static_field(name)
+        return self
+
+    def method(self, name, params=()):
+        """Declare an instance method (implicit ``this``)."""
+        method = Method(name, self._class_def.name, params, is_static=False)
+        self._class_def.add_method(method)
+        return MethodBuilder(method)
+
+    def static_method(self, name, params=()):
+        method = Method(name, self._class_def.name, params, is_static=True)
+        self._class_def.add_method(method)
+        return MethodBuilder(method)
+
+
+class ProgramBuilder:
+    """Top-level builder; create classes with :meth:`cls`, then
+    :meth:`build`."""
+
+    def __init__(self, entry="Main.main"):
+        self._program = Program(entry)
+
+    def cls(self, name, superclass=None, fields=(), static_fields=()):
+        """Declare a class and return its :class:`ClassBuilder`."""
+        class_def = ClassDef(name, superclass)
+        for field in fields:
+            class_def.add_field(field)
+        for field in static_fields:
+            class_def.add_static_field(field)
+        self._program.add_class(class_def)
+        return ClassBuilder(class_def)
+
+    def build(self, validate=True):
+        """Finalize (and by default validate) the program."""
+        self._program.finalize()
+        if validate:
+            validate_program(self._program)
+        return self._program

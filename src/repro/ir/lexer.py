@@ -1,0 +1,101 @@
+"""Tokenizer for PIR source text.
+
+Token kinds:
+
+``IDENT``    identifiers ``[A-Za-z_$][A-Za-z0-9_$]*`` (keywords carry the
+             same kind with the keyword as value — the parser matches on
+             value for the small keyword set);
+``PUNCT``    one of ``{ } ( ) = ; , .`` and the two-character ``::``;
+``EOF``      end of input.
+
+Comments: ``// ...`` to end of line and ``/* ... */`` (non-nesting).
+"""
+
+from repro.util.errors import ParseError
+
+KEYWORDS = frozenset(
+    ["class", "extends", "field", "static", "method", "new", "null", "return"]
+)
+
+_PUNCT_TWO = ("::",)
+_PUNCT_ONE = "{}()=;,."
+
+
+class Token:
+    __slots__ = ("kind", "value", "line", "column")
+
+    def __init__(self, kind, value, line, column):
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+def _is_ident_start(ch):
+    return ch.isalpha() or ch in "_$"
+
+
+def _is_ident_char(ch):
+    return ch.isalnum() or ch in "_$"
+
+
+def tokenize(source):
+    """Tokenize ``source`` into a list of :class:`Token` ending with EOF.
+
+    Raises :class:`ParseError` on unknown characters or unterminated
+    block comments.
+    """
+    tokens = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+
+    def column():
+        return i - line_start + 1
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise ParseError("unterminated block comment", line, column())
+            line += source.count("\n", i, end)
+            if "\n" in source[i:end]:
+                line_start = source.rfind("\n", i, end) + 1
+            i = end + 2
+            continue
+        if _is_ident_start(ch):
+            start = i
+            while i < n and _is_ident_char(source[i]):
+                i += 1
+            tokens.append(Token("IDENT", source[start:i], line, start - line_start + 1))
+            continue
+        two = source[i : i + 2]
+        if two in _PUNCT_TWO:
+            tokens.append(Token("PUNCT", two, line, column()))
+            i += 2
+            continue
+        if ch in _PUNCT_ONE:
+            tokens.append(Token("PUNCT", ch, line, column()))
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, column())
+
+    tokens.append(Token("EOF", None, line, column()))
+    return tokens

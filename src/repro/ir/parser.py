@@ -1,0 +1,263 @@
+"""Recursive-descent parser for PIR source text.
+
+Grammar (``[x]`` optional, ``*`` repetition)::
+
+    program  := class*
+    class    := "class" IDENT ["extends" IDENT] "{" member* "}"
+    member   := ["static"] "field" IDENT ";"
+              | ["static"] "method" IDENT "(" params ")" "{" stmt* "}"
+    params   := [IDENT ("," IDENT)*]
+    stmt     := "return" IDENT ";"
+              | IDENT "::" IDENT "=" IDENT ";"                  # static put
+              | IDENT "::" IDENT "(" args ")" ";"               # static call
+              | IDENT "." IDENT "=" IDENT ";"                   # store
+              | IDENT "." IDENT "(" args ")" ";"                # virtual call
+              | IDENT "=" rhs ";"
+    rhs      := "new" IDENT                                      # alloc
+              | "null"
+              | "(" IDENT ")" IDENT                              # cast
+              | IDENT "::" IDENT [ "(" args ")" ]                # static get/call
+              | IDENT "." IDENT [ "(" args ")" ]                 # load/virtual call
+              | IDENT                                            # copy
+    args     := [IDENT ("," IDENT)*]
+
+Statics use ``::`` so the parser needs no type information to tell
+``x = C::g`` (global read) from ``x = y.f`` (instance load), mirroring the
+paper's distinction between ``assignglobal`` and ``load`` edges.
+"""
+
+from repro.ir.ast import (
+    Alloc,
+    Call,
+    Cast,
+    ClassDef,
+    Copy,
+    Load,
+    Method,
+    NullAssign,
+    Program,
+    Return,
+    StaticGet,
+    StaticPut,
+    Store,
+)
+from repro.ir.lexer import KEYWORDS, tokenize
+from repro.ir.validate import validate_program
+from repro.util.errors import ParseError
+
+
+def parse_program(source, entry="Main.main", validate=True):
+    """Parse PIR ``source`` into a finalized :class:`Program`.
+
+    ``entry`` names the entry method; set ``validate=False`` to skip the
+    well-formedness checks (useful when assembling partial programs in
+    tests).
+    """
+    program = _Parser(source).parse(entry)
+    program.finalize()
+    if validate:
+        validate_program(program)
+    return program
+
+
+class _Parser:
+    def __init__(self, source):
+        self._tokens = tokenize(source)
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset=0):
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self):
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _error(self, message, token=None):
+        token = token or self._peek()
+        raise ParseError(message, token.line, token.column)
+
+    def _expect_punct(self, value):
+        token = self._advance()
+        if token.kind != "PUNCT" or token.value != value:
+            self._error(f"expected {value!r}, found {token.value!r}", token)
+        return token
+
+    def _expect_keyword(self, word):
+        token = self._advance()
+        if token.kind != "IDENT" or token.value != word:
+            self._error(f"expected keyword {word!r}, found {token.value!r}", token)
+        return token
+
+    def _expect_name(self):
+        token = self._advance()
+        if token.kind != "IDENT":
+            self._error(f"expected identifier, found {token.value!r}", token)
+        if token.value in KEYWORDS:
+            self._error(f"keyword {token.value!r} cannot be used as a name", token)
+        return token.value
+
+    def _at_keyword(self, word):
+        token = self._peek()
+        return token.kind == "IDENT" and token.value == word
+
+    def _at_punct(self, value, offset=0):
+        token = self._peek(offset)
+        return token.kind == "PUNCT" and token.value == value
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+    def parse(self, entry):
+        program = Program(entry)
+        while self._peek().kind != "EOF":
+            program.add_class(self._parse_class())
+        return program
+
+    def _parse_class(self):
+        self._expect_keyword("class")
+        name = self._expect_name()
+        superclass = None
+        if self._at_keyword("extends"):
+            self._advance()
+            superclass = self._expect_name()
+        class_def = ClassDef(name, superclass)
+        self._expect_punct("{")
+        while not self._at_punct("}"):
+            self._parse_member(class_def)
+        self._expect_punct("}")
+        return class_def
+
+    def _parse_member(self, class_def):
+        is_static = False
+        if self._at_keyword("static"):
+            self._advance()
+            is_static = True
+        if self._at_keyword("field"):
+            self._advance()
+            name = self._expect_name()
+            self._expect_punct(";")
+            if is_static:
+                class_def.add_static_field(name)
+            else:
+                class_def.add_field(name)
+        elif self._at_keyword("method"):
+            self._advance()
+            class_def.add_method(self._parse_method(class_def.name, is_static))
+        else:
+            self._error("expected 'field' or 'method'")
+
+    def _parse_method(self, class_name, is_static):
+        name = self._expect_name()
+        self._expect_punct("(")
+        params = []
+        if not self._at_punct(")"):
+            params.append(self._expect_name())
+            while self._at_punct(","):
+                self._advance()
+                params.append(self._expect_name())
+        self._expect_punct(")")
+        method = Method(name, class_name, params, is_static)
+        self._expect_punct("{")
+        while not self._at_punct("}"):
+            method.add(self._parse_statement())
+        self._expect_punct("}")
+        return method
+
+    def _parse_statement(self):
+        line = self._peek().line
+        if self._at_keyword("return"):
+            self._advance()
+            source = self._expect_name()
+            self._expect_punct(";")
+            return Return(source, label=line)
+
+        first = self._expect_name()
+        if self._at_punct("::"):
+            return self._parse_static_lhs(first, line)
+        if self._at_punct("."):
+            return self._parse_dotted_lhs(first, line)
+        self._expect_punct("=")
+        return self._parse_assignment(first, line)
+
+    def _parse_static_lhs(self, class_name, line):
+        """``C::g = x;`` or ``C::m(args);``"""
+        self._expect_punct("::")
+        member = self._expect_name()
+        if self._at_punct("("):
+            args = self._parse_args()
+            self._expect_punct(";")
+            return Call(None, None, class_name, member, args, label=line)
+        self._expect_punct("=")
+        source = self._expect_name()
+        self._expect_punct(";")
+        return StaticPut(class_name, member, source, label=line)
+
+    def _parse_dotted_lhs(self, base, line):
+        """``x.f = y;`` or ``x.m(args);``"""
+        self._expect_punct(".")
+        member = self._expect_name()
+        if self._at_punct("("):
+            args = self._parse_args()
+            self._expect_punct(";")
+            return Call(None, base, None, member, args, label=line)
+        self._expect_punct("=")
+        source = self._expect_name()
+        self._expect_punct(";")
+        return Store(base, member, source, label=line)
+
+    def _parse_assignment(self, target, line):
+        """Everything of the form ``target = rhs;``."""
+        if self._at_keyword("new"):
+            self._advance()
+            class_name = self._expect_name()
+            self._expect_punct(";")
+            return Alloc(target, class_name, label=line)
+        if self._at_keyword("null"):
+            self._advance()
+            self._expect_punct(";")
+            return NullAssign(target, label=line)
+        if self._at_punct("("):
+            self._advance()
+            class_name = self._expect_name()
+            self._expect_punct(")")
+            source = self._expect_name()
+            self._expect_punct(";")
+            return Cast(target, class_name, source, label=line)
+
+        first = self._expect_name()
+        if self._at_punct("::"):
+            self._advance()
+            member = self._expect_name()
+            if self._at_punct("("):
+                args = self._parse_args()
+                self._expect_punct(";")
+                return Call(target, None, first, member, args, label=line)
+            self._expect_punct(";")
+            return StaticGet(target, first, member, label=line)
+        if self._at_punct("."):
+            self._advance()
+            member = self._expect_name()
+            if self._at_punct("("):
+                args = self._parse_args()
+                self._expect_punct(";")
+                return Call(target, first, None, member, args, label=line)
+            self._expect_punct(";")
+            return Load(target, first, member, label=line)
+        self._expect_punct(";")
+        return Copy(target, first, label=line)
+
+    def _parse_args(self):
+        self._expect_punct("(")
+        args = []
+        if not self._at_punct(")"):
+            args.append(self._expect_name())
+            while self._at_punct(","):
+                self._advance()
+                args.append(self._expect_name())
+        self._expect_punct(")")
+        return args

@@ -1,0 +1,72 @@
+"""Pretty-printer: render a PIR program back to parseable source text.
+
+``parse_program(pretty_print(p))`` reproduces ``p`` structurally, a
+property exercised by the round-trip tests.
+"""
+
+from io import StringIO
+
+
+def pretty_print(program):
+    """Return PIR source text for ``program`` (deterministic order)."""
+    out = StringIO()
+    for index, class_name in enumerate(sorted(program.classes)):
+        if index:
+            out.write("\n")
+        _print_class(out, program.classes[class_name])
+    return out.getvalue()
+
+
+def _print_class(out, class_def):
+    header = f"class {class_def.name}"
+    if class_def.superclass is not None:
+        header += f" extends {class_def.superclass}"
+    out.write(header + " {\n")
+    for field in class_def.fields:
+        out.write(f"  field {field};\n")
+    for field in class_def.static_fields:
+        out.write(f"  static field {field};\n")
+    for method_name in class_def.methods:
+        _print_method(out, class_def.methods[method_name])
+    out.write("}\n")
+
+
+def _print_method(out, method):
+    static = "static " if method.is_static else ""
+    params = ", ".join(method.params)
+    out.write(f"  {static}method {method.name}({params}) {{\n")
+    for stmt in method.statements:
+        out.write(f"    {_stmt_text(stmt)};\n")
+    out.write("  }\n")
+
+
+def _stmt_text(stmt):
+    kind = stmt.kind
+    if kind == "alloc":
+        return f"{stmt.target} = new {stmt.class_name}"
+    if kind == "null":
+        return f"{stmt.target} = null"
+    if kind == "copy":
+        return f"{stmt.target} = {stmt.source}"
+    if kind == "cast":
+        return f"{stmt.target} = ({stmt.class_name}) {stmt.source}"
+    if kind == "load":
+        return f"{stmt.target} = {stmt.base}.{stmt.field}"
+    if kind == "store":
+        return f"{stmt.base}.{stmt.field} = {stmt.source}"
+    if kind == "staticget":
+        return f"{stmt.target} = {stmt.class_name}::{stmt.field}"
+    if kind == "staticput":
+        return f"{stmt.class_name}::{stmt.field} = {stmt.source}"
+    if kind == "call":
+        callee = (
+            f"{stmt.receiver}.{stmt.method_name}"
+            if stmt.is_virtual
+            else f"{stmt.class_name}::{stmt.method_name}"
+        )
+        args = ", ".join(stmt.args)
+        prefix = f"{stmt.target} = " if stmt.target is not None else ""
+        return f"{prefix}{callee}({args})"
+    if kind == "return":
+        return f"return {stmt.source}"
+    raise ValueError(f"unknown statement kind {kind!r}")

@@ -1,0 +1,110 @@
+"""Class-hierarchy queries: subtyping and virtual-method resolution.
+
+PIR variables are untyped (like registers in Jimple after type erasure);
+only *objects* carry a class.  Dispatching ``x.m()`` therefore needs the
+class of each object that ``x`` may point to, plus the hierarchy walk
+implemented here.
+"""
+
+from repro.ir.ast import NULL_CLASS
+from repro.util.errors import IRError
+
+
+class ClassHierarchy:
+    """Subtype and dispatch oracle for a finalized :class:`Program`.
+
+    The hierarchy is validated on construction: unknown superclasses and
+    inheritance cycles raise :class:`IRError`.
+    """
+
+    def __init__(self, program):
+        self._program = program
+        self._parent = {}
+        self._children = {}
+        for name, class_def in program.classes.items():
+            parent = class_def.superclass
+            if parent is not None and parent not in program.classes:
+                raise IRError(f"class {name} extends unknown class {parent}")
+            self._parent[name] = parent
+            self._children.setdefault(name, [])
+            if parent is not None:
+                self._children.setdefault(parent, []).append(name)
+        self._check_acyclic()
+        self._dispatch_cache = {}
+
+    def _check_acyclic(self):
+        for name in self._parent:
+            seen = set()
+            node = name
+            while node is not None:
+                if node in seen:
+                    raise IRError(f"inheritance cycle through class {name}")
+                seen.add(node)
+                node = self._parent[node]
+
+    # ------------------------------------------------------------------
+    # subtyping
+    # ------------------------------------------------------------------
+    def superclasses(self, name):
+        """``name`` and its ancestors, nearest first."""
+        chain = []
+        node = name
+        while node is not None:
+            chain.append(node)
+            node = self._parent.get(node)
+        return chain
+
+    def is_subtype(self, sub, sup):
+        """True when ``sub`` is ``sup`` or a (transitive) subclass.
+
+        The null class is a subtype of everything, mirroring Java's null
+        type; this makes ``(C) null`` a safe cast.
+        """
+        if sub == NULL_CLASS:
+            return True
+        return sup in self.superclasses(sub)
+
+    def subtypes(self, name):
+        """``name`` and all (transitive) subclasses, deterministic order."""
+        result = []
+        stack = [name]
+        while stack:
+            node = stack.pop()
+            result.append(node)
+            stack.extend(reversed(self._children.get(node, [])))
+        return result
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, class_name, method_name):
+        """Resolve a virtual call on an object of ``class_name``.
+
+        Walks from ``class_name`` up the superclass chain and returns the
+        first :class:`Method` named ``method_name``, or ``None`` when the
+        class does not understand the message (such calls are simply
+        unlinked, matching how unmodeled targets are dropped).
+        """
+        key = (class_name, method_name)
+        if key in self._dispatch_cache:
+            return self._dispatch_cache[key]
+        resolved = None
+        for ancestor in self.superclasses(class_name):
+            class_def = self._program.classes.get(ancestor)
+            if class_def is not None and method_name in class_def.methods:
+                resolved = class_def.methods[method_name]
+                break
+        self._dispatch_cache[key] = resolved
+        return resolved
+
+    def classes_understanding(self, method_name):
+        """All class names whose dispatch of ``method_name`` succeeds.
+
+        Used by the CHA/RTA-style call-graph baseline, which must assume
+        any understanding class could be the receiver.
+        """
+        return [
+            name
+            for name in sorted(self._program.classes)
+            if self.dispatch(name, method_name) is not None
+        ]

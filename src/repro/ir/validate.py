@@ -1,0 +1,132 @@
+"""Well-formedness checks for finalized PIR programs.
+
+The validator enforces the rules every downstream component assumes:
+
+1. the entry method exists and is static with no parameters;
+2. every allocated or cast-to class exists;
+3. the class hierarchy is acyclic with known superclasses;
+4. static field accesses name a declared static field of an existing class;
+5. static calls resolve (the named class or an ancestor declares the
+   method);
+6. ``this`` is never referenced inside a static method;
+7. call-argument counts match the callee's declared parameters for static
+   calls, and for virtual calls match *every* class understanding the
+   method name (PIR has no overloading, so arity must be consistent);
+8. instance fields that are loaded or stored are declared by at least one
+   class (field names act as global selectors, as in the PAG).
+
+Violations raise :class:`ValidationError` listing every problem found.
+"""
+
+from repro.ir.ast import THIS
+from repro.ir.types import ClassHierarchy
+from repro.util.errors import IRError, ValidationError
+
+
+def validate_program(program):
+    """Validate ``program``, raising :class:`ValidationError` on problems.
+
+    Returns the program unchanged on success, so the call can be chained.
+    """
+    problems = []
+    try:
+        hierarchy = ClassHierarchy(program)
+    except IRError as exc:
+        raise ValidationError(f"1 problem(s) found:\n  - {exc}") from exc
+
+    declared_fields = set()
+    for class_def in program.classes.values():
+        declared_fields.update(class_def.fields)
+
+    _check_entry(program, problems)
+    for method, stmt in program.statements():
+        context = f"{method.qualified_name}: {stmt!r}"
+        _check_statement(program, hierarchy, method, stmt, declared_fields, context, problems)
+
+    if problems:
+        summary = "\n  - ".join(problems)
+        raise ValidationError(f"{len(problems)} problem(s) found:\n  - {summary}")
+    return program
+
+
+def _check_entry(program, problems):
+    try:
+        entry = program.lookup_method(program.entry)
+    except Exception:
+        problems.append(f"entry method {program.entry!r} does not exist")
+        return
+    if not entry.is_static:
+        problems.append(f"entry method {program.entry!r} must be static")
+    if entry.params:
+        problems.append(f"entry method {program.entry!r} must take no parameters")
+
+
+def _check_statement(program, hierarchy, method, stmt, declared_fields, context, problems):
+    if method.is_static and _mentions_this(stmt):
+        problems.append(f"'this' used in static method — {context}")
+
+    if stmt.kind == "alloc":
+        if stmt.class_name not in program.classes:
+            problems.append(f"allocation of unknown class — {context}")
+    elif stmt.kind == "cast":
+        if stmt.class_name not in program.classes:
+            problems.append(f"cast to unknown class — {context}")
+    elif stmt.kind in ("load", "store"):
+        if stmt.field not in declared_fields:
+            problems.append(f"undeclared instance field {stmt.field!r} — {context}")
+    elif stmt.kind in ("staticget", "staticput"):
+        _check_static_field(program, stmt, context, problems)
+    elif stmt.kind == "call":
+        _check_call(program, hierarchy, stmt, context, problems)
+
+
+def _mentions_this(stmt):
+    for attr in ("target", "source", "base", "receiver"):
+        if getattr(stmt, attr, None) == THIS:
+            return True
+    return THIS in getattr(stmt, "args", ())
+
+
+def _check_static_field(program, stmt, context, problems):
+    class_def = program.classes.get(stmt.class_name)
+    if class_def is None:
+        problems.append(f"static access to unknown class — {context}")
+    elif stmt.field not in class_def.static_fields:
+        problems.append(
+            f"undeclared static field {stmt.class_name}::{stmt.field} — {context}"
+        )
+
+
+def _check_call(program, hierarchy, stmt, context, problems):
+    n_args = len(stmt.args)
+    if stmt.is_virtual:
+        understanding = hierarchy.classes_understanding(stmt.method_name)
+        if not understanding:
+            problems.append(f"no class understands {stmt.method_name!r} — {context}")
+            return
+        for class_name in understanding:
+            callee = hierarchy.dispatch(class_name, stmt.method_name)
+            if len(callee.params) != n_args:
+                problems.append(
+                    f"arity mismatch: {callee.qualified_name} takes "
+                    f"{len(callee.params)} arg(s), call passes {n_args} — {context}"
+                )
+                return
+    else:
+        if stmt.class_name not in program.classes:
+            problems.append(f"static call to unknown class — {context}")
+            return
+        callee = hierarchy.dispatch(stmt.class_name, stmt.method_name)
+        if callee is None:
+            problems.append(
+                f"unresolved static call {stmt.class_name}::{stmt.method_name} — {context}"
+            )
+        elif not callee.is_static:
+            problems.append(
+                f"static call to instance method {callee.qualified_name} — {context}"
+            )
+        elif len(callee.params) != n_args:
+            problems.append(
+                f"arity mismatch: {callee.qualified_name} takes "
+                f"{len(callee.params)} arg(s), call passes {n_args} — {context}"
+            )

@@ -1,0 +1,49 @@
+"""Pointer Assignment Graph (PAG) — the program representation of Section 2.
+
+Nodes are local variables (V), global/static variables (G) and abstract
+objects (O); edges are the seven kinds of Figure 1, all stored in
+**value-flow direction**.  Edges split into *local* kinds
+(``new``/``assign``/``load``/``store`` — confined to one method, no effect
+on calling context) and *global* kinds
+(``assignglobal``/``entry_i``/``exit_i`` — cross method boundaries, no
+effect on field-sensitivity).  That split is the foundation of DYNSUM's
+partial points-to analysis.
+"""
+
+from repro.pag.builder import build_pag
+from repro.pag.dot import to_dot
+from repro.pag.edges import (
+    ASSIGN,
+    ASSIGN_GLOBAL,
+    ENTRY,
+    EXIT,
+    GLOBAL_EDGE_KINDS,
+    LOAD,
+    LOCAL_EDGE_KINDS,
+    NEW,
+    STORE,
+)
+from repro.pag.graph import PAG
+from repro.pag.nodes import GlobalNode, LocalNode, Node, ObjectNode
+from repro.pag.stats import PagStatistics, compute_statistics
+
+__all__ = [
+    "ASSIGN",
+    "ASSIGN_GLOBAL",
+    "ENTRY",
+    "EXIT",
+    "GLOBAL_EDGE_KINDS",
+    "GlobalNode",
+    "LOAD",
+    "LOCAL_EDGE_KINDS",
+    "LocalNode",
+    "NEW",
+    "Node",
+    "ObjectNode",
+    "PAG",
+    "PagStatistics",
+    "STORE",
+    "build_pag",
+    "compute_statistics",
+    "to_dot",
+]

@@ -1,0 +1,102 @@
+"""Translate a PIR program (plus a call graph) into a PAG.
+
+Only methods reachable in the call graph contribute nodes and edges,
+matching Table 3's "reachable parts" accounting.  The call graph may come
+from the Andersen substrate (default, most precise) or from RTA.
+
+Call sites whose caller and callee share a call-graph SCC are marked
+recursive on the PAG; demand analyses cross their ``entry``/``exit`` edges
+without pushing or popping context ("recursion cycles collapsed",
+Section 5.1).
+"""
+
+from repro.callgraph.andersen import AndersenAnalysis
+from repro.ir.types import ClassHierarchy
+from repro.util.errors import IRError
+
+
+def build_pag(program, call_graph=None, hierarchy=None):
+    """Build the :class:`~repro.pag.graph.PAG` of ``program``.
+
+    When ``call_graph`` is omitted the Andersen analysis is run first and
+    its on-the-fly call graph is used (the Spark-style default).
+    """
+    from repro.pag.graph import PAG
+
+    if not program.is_finalized:
+        raise IRError("program must be finalized before building a PAG")
+    if call_graph is None:
+        call_graph = AndersenAnalysis(program).solve().call_graph
+    if hierarchy is None:
+        hierarchy = ClassHierarchy(program)
+
+    pag = PAG(program, call_graph, hierarchy)
+    reachable = call_graph.reachable_methods
+
+    for method, stmt in program.statements():
+        if method.qualified_name not in reachable:
+            continue
+        _add_statement_edges(pag, call_graph, program, method, stmt)
+
+    for site_id in call_graph.recursive_sites:
+        pag.mark_recursive_site(site_id)
+    return pag
+
+
+def _add_statement_edges(pag, call_graph, program, method, stmt):
+    qname = method.qualified_name
+    kind = stmt.kind
+    if kind in ("alloc", "null"):
+        obj = pag.object_node(stmt.object_id, stmt.class_name, qname)
+        pag.add_new(obj, pag.local_var(qname, stmt.target))
+    elif kind in ("copy", "cast"):
+        pag.add_assign(pag.local_var(qname, stmt.source), pag.local_var(qname, stmt.target))
+    elif kind == "load":
+        pag.add_load(
+            pag.local_var(qname, stmt.base), stmt.field, pag.local_var(qname, stmt.target)
+        )
+    elif kind == "store":
+        pag.add_store(
+            pag.local_var(qname, stmt.source), stmt.field, pag.local_var(qname, stmt.base)
+        )
+    elif kind == "staticget":
+        pag.add_global_assign(
+            pag.global_var(stmt.class_name, stmt.field), pag.local_var(qname, stmt.target)
+        )
+    elif kind == "staticput":
+        pag.add_global_assign(
+            pag.local_var(qname, stmt.source), pag.global_var(stmt.class_name, stmt.field)
+        )
+    elif kind == "call":
+        _add_call_edges(pag, call_graph, program, method, stmt)
+    elif kind == "return":
+        pass  # exit edges are added per call site in _add_call_edges
+    else:
+        raise IRError(f"unknown statement kind {kind!r}")
+
+
+def _add_call_edges(pag, call_graph, program, method, call):
+    from repro.ir.ast import THIS
+
+    caller = method.qualified_name
+    for callee_qname in sorted(call_graph.targets(call.site_id)):
+        callee = program.lookup_method(callee_qname)
+        if call.is_virtual and not callee.is_static:
+            pag.add_entry(
+                pag.local_var(caller, call.receiver),
+                call.site_id,
+                pag.local_var(callee_qname, THIS),
+            )
+        for actual, formal in zip(call.args, callee.params):
+            pag.add_entry(
+                pag.local_var(caller, actual),
+                call.site_id,
+                pag.local_var(callee_qname, formal),
+            )
+        if call.target is not None:
+            for ret in callee.return_statements():
+                pag.add_exit(
+                    pag.local_var(callee_qname, ret.source),
+                    call.site_id,
+                    pag.local_var(caller, call.target),
+                )

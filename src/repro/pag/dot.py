@@ -1,0 +1,57 @@
+"""Graphviz export of a PAG, in the style of the paper's Figure 2.
+
+Local edges are drawn solid, global edges dashed; objects are boxes,
+globals are diamonds, locals are plain ellipses.  Useful for debugging
+small programs — the motivating-example test renders Figure 2 this way.
+"""
+
+from repro.pag.edges import ASSIGN_GLOBAL, ENTRY, EXIT, LOAD, NEW, STORE
+
+
+def _node_id(node, ids):
+    if node not in ids:
+        ids[node] = f"n{len(ids)}"
+    return ids[node]
+
+
+def _node_decl(node, node_id):
+    label = repr(node).replace('"', "'")
+    if node.is_object:
+        shape = "box"
+    elif node.is_global_var:
+        shape = "diamond"
+    else:
+        shape = "ellipse"
+    return f'  {node_id} [label="{label}", shape={shape}];'
+
+
+def to_dot(pag, graph_name="pag"):
+    """Render ``pag`` as Graphviz DOT text."""
+    ids = {}
+    decls = []
+    edges = []
+    for kind, source, label, target in pag.iter_edges():
+        src_id = _node_id(source, ids)
+        dst_id = _node_id(target, ids)
+        attrs = _edge_attrs(kind, label)
+        edges.append(f"  {src_id} -> {dst_id} [{attrs}];")
+    for node, node_id in ids.items():
+        decls.append(_node_decl(node, node_id))
+    body = "\n".join(decls + edges)
+    return f"digraph {graph_name} {{\n  rankdir=BT;\n{body}\n}}\n"
+
+
+def _edge_attrs(kind, label):
+    if kind == NEW:
+        return 'label="new", style=solid'
+    if kind == LOAD:
+        return f'label="ld({label})", style=solid'
+    if kind == STORE:
+        return f'label="st({label})", style=solid'
+    if kind == ENTRY:
+        return f'label="entry{label}", style=dashed'
+    if kind == EXIT:
+        return f'label="exit{label}", style=dashed'
+    if kind == ASSIGN_GLOBAL:
+        return 'label="assignglobal", style=dashed'
+    return 'label="assign", style=solid'

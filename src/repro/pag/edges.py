@@ -1,0 +1,24 @@
+"""PAG edge kinds and their local/global classification (Section 2).
+
+Local edges stay within one method and never affect the calling context;
+global edges cross method boundaries (or touch statics) and never affect
+field-sensitivity.  DYNSUM's partial points-to analysis summarises exactly
+the local kinds.
+"""
+
+NEW = "new"
+ASSIGN = "assign"
+LOAD = "load"
+STORE = "store"
+ASSIGN_GLOBAL = "assignglobal"
+ENTRY = "entry"
+EXIT = "exit"
+
+#: Edge kinds confined to a single method.
+LOCAL_EDGE_KINDS = frozenset([NEW, ASSIGN, LOAD, STORE])
+
+#: Edge kinds crossing method boundaries (context-relevant).
+GLOBAL_EDGE_KINDS = frozenset([ASSIGN_GLOBAL, ENTRY, EXIT])
+
+#: Every kind, in the order Table 3 reports them.
+ALL_EDGE_KINDS = (NEW, ASSIGN, LOAD, STORE, ENTRY, EXIT, ASSIGN_GLOBAL)

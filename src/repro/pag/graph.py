@@ -1,0 +1,351 @@
+"""The Pointer Assignment Graph data structure.
+
+All adjacency is stored in **value-flow direction** and exposed in both
+directions, because demand traversals walk backward (state S1, computing
+``pointsTo``) and forward (state S2, tracking an object):
+
+====================  =======================================  =============
+accessor              edges returned                           direction
+====================  =======================================  =============
+``new_sources(v)``    ``o --new--> v``                          into ``v``
+``new_target(o)``     the unique ``o --new--> v``               out of ``o``
+``assign_sources``    ``x --assign--> v``                       into ``v``
+``assign_targets``    ``v --assign--> x``                       out of ``v``
+``load_into(v)``      ``b --load(f)--> v`` as ``(b, f)``        into ``v``
+``load_from(b)``      ``b --load(f)--> t`` as ``(f, t)``        out of ``b``
+``store_into(b)``     ``x --store(f)--> b`` as ``(x, f)``       into ``b``
+``store_from(x)``     ``x --store(f)--> b`` as ``(f, b)``       out of ``x``
+``entry_into(p)``     ``a --entry_i--> p`` as ``(a, i)``        into ``p``
+``entry_from(a)``     ``a --entry_i--> p`` as ``(i, p)``        out of ``a``
+``exit_into(t)``      ``r --exit_i--> t`` as ``(r, i)``         into ``t``
+``exit_from(r)``      ``r --exit_i--> t`` as ``(i, t)``         out of ``r``
+``global_sources``    ``x --assignglobal--> v``                 into ``v``
+``global_targets``    ``v --assignglobal--> x``                 out of ``v``
+====================  =======================================  =============
+
+Plus field-indexed views ``loads_of_field(f)`` / ``stores_of_field(f)``
+used by REFINEPTS's field-based match edges, and the boundary predicates
+``has_global_in`` / ``has_global_out`` / ``has_local_edges`` used by the
+PPTA of DYNSUM.
+"""
+
+from repro.pag.edges import (
+    ALL_EDGE_KINDS,
+    ASSIGN,
+    ASSIGN_GLOBAL,
+    ENTRY,
+    EXIT,
+    LOAD,
+    NEW,
+    STORE,
+)
+from repro.pag.nodes import GlobalNode, LocalNode, ObjectNode
+from repro.util.errors import IRError
+
+_EMPTY = ()
+
+
+class PAG:
+    """A finished pointer assignment graph.
+
+    Build one with :func:`repro.pag.builder.build_pag`; direct use of the
+    mutating ``add_*`` methods is for tests and synthetic graphs.
+    """
+
+    def __init__(self, program=None, call_graph=None, hierarchy=None):
+        self.program = program
+        self.call_graph = call_graph
+        self.hierarchy = hierarchy
+
+        self._locals = {}
+        self._globals = {}
+        self._objects = {}
+        self._method_nodes = {}
+
+        self._new_in = {}
+        self._new_out = {}
+        self._assign_in = {}
+        self._assign_out = {}
+        self._load_in = {}
+        self._load_out = {}
+        self._store_in = {}
+        self._store_out = {}
+        self._entry_in = {}
+        self._entry_out = {}
+        self._exit_in = {}
+        self._exit_out = {}
+        self._global_in = {}
+        self._global_out = {}
+
+        self._loads_by_field = {}
+        self._stores_by_field = {}
+
+        self._edge_counts = {kind: 0 for kind in ALL_EDGE_KINDS}
+        self._edge_seen = set()
+        self._recursive_sites = set()
+
+    # ------------------------------------------------------------------
+    # node interning
+    # ------------------------------------------------------------------
+    def local_var(self, method_qname, name):
+        """The unique :class:`LocalNode` for ``name`` in ``method_qname``."""
+        key = (method_qname, name)
+        node = self._locals.get(key)
+        if node is None:
+            node = LocalNode(method_qname, name)
+            self._locals[key] = node
+            self._method_nodes.setdefault(method_qname, []).append(node)
+        return node
+
+    def global_var(self, class_name, field):
+        """The unique :class:`GlobalNode` for static ``class_name::field``."""
+        key = (class_name, field)
+        node = self._globals.get(key)
+        if node is None:
+            node = GlobalNode(class_name, field)
+            self._globals[key] = node
+        return node
+
+    def object_node(self, object_id, class_name=None, method_qname=None):
+        """The unique :class:`ObjectNode` for an allocation.
+
+        Lookup-only when ``class_name`` is omitted.
+        """
+        node = self._objects.get(object_id)
+        if node is None:
+            if class_name is None:
+                raise IRError(f"unknown object {object_id!r}")
+            node = ObjectNode(object_id, class_name, method_qname)
+            self._objects[object_id] = node
+            if method_qname is not None:
+                self._method_nodes.setdefault(method_qname, []).append(node)
+        return node
+
+    def find_local(self, method_qname, name):
+        """Lookup-only variant of :meth:`local_var`; raises if absent."""
+        try:
+            return self._locals[(method_qname, name)]
+        except KeyError:
+            raise IRError(f"no PAG node for local {name!r} in {method_qname}") from None
+
+    # ------------------------------------------------------------------
+    # edge insertion (deduplicating)
+    # ------------------------------------------------------------------
+    def _note_edge(self, kind, signature):
+        if signature in self._edge_seen:
+            return False
+        self._edge_seen.add(signature)
+        self._edge_counts[kind] += 1
+        return True
+
+    def add_new(self, obj, target):
+        """``obj --new--> target``; each object has exactly one such edge."""
+        if not self._note_edge(NEW, (NEW, obj, target)):
+            return
+        existing = self._new_out.get(obj)
+        if existing is not None and existing is not target:
+            raise IRError(f"object {obj!r} already flows to {existing!r}")
+        self._new_out[obj] = target
+        self._new_in.setdefault(target, []).append(obj)
+
+    def add_assign(self, source, target):
+        """``source --assign--> target`` (local copy)."""
+        if not self._note_edge(ASSIGN, (ASSIGN, source, target)):
+            return
+        self._assign_out.setdefault(source, []).append(target)
+        self._assign_in.setdefault(target, []).append(source)
+
+    def add_load(self, base, field, target):
+        """``base --load(field)--> target`` for ``target = base.field``."""
+        if not self._note_edge(LOAD, (LOAD, base, field, target)):
+            return
+        self._load_out.setdefault(base, []).append((field, target))
+        self._load_in.setdefault(target, []).append((base, field))
+        self._loads_by_field.setdefault(field, []).append((base, target))
+
+    def add_store(self, value, field, base):
+        """``value --store(field)--> base`` for ``base.field = value``."""
+        if not self._note_edge(STORE, (STORE, value, field, base)):
+            return
+        self._store_out.setdefault(value, []).append((field, base))
+        self._store_in.setdefault(base, []).append((value, field))
+        self._stores_by_field.setdefault(field, []).append((value, base))
+
+    def add_global_assign(self, source, target):
+        """``source --assignglobal--> target`` (static read/write)."""
+        if not self._note_edge(ASSIGN_GLOBAL, (ASSIGN_GLOBAL, source, target)):
+            return
+        self._global_out.setdefault(source, []).append(target)
+        self._global_in.setdefault(target, []).append(source)
+
+    def add_entry(self, actual, site_id, formal):
+        """``actual --entry_i--> formal`` (parameter passing at site i)."""
+        if not self._note_edge(ENTRY, (ENTRY, actual, site_id, formal)):
+            return
+        self._entry_out.setdefault(actual, []).append((site_id, formal))
+        self._entry_in.setdefault(formal, []).append((actual, site_id))
+
+    def add_exit(self, retvar, site_id, target):
+        """``retvar --exit_i--> target`` (method return at site i)."""
+        if not self._note_edge(EXIT, (EXIT, retvar, site_id, target)):
+            return
+        self._exit_out.setdefault(retvar, []).append((site_id, target))
+        self._exit_in.setdefault(target, []).append((retvar, site_id))
+
+    def mark_recursive_site(self, site_id):
+        """Record that ``site_id`` participates in recursion; its
+        entry/exit edges are crossed context-insensitively."""
+        self._recursive_sites.add(site_id)
+
+    # ------------------------------------------------------------------
+    # adjacency accessors (value-flow direction documented per method)
+    # ------------------------------------------------------------------
+    def new_sources(self, var):
+        return self._new_in.get(var, _EMPTY)
+
+    def new_target(self, obj):
+        return self._new_out.get(obj)
+
+    def assign_sources(self, var):
+        return self._assign_in.get(var, _EMPTY)
+
+    def assign_targets(self, var):
+        return self._assign_out.get(var, _EMPTY)
+
+    def load_into(self, var):
+        return self._load_in.get(var, _EMPTY)
+
+    def load_from(self, base):
+        return self._load_out.get(base, _EMPTY)
+
+    def store_into(self, base):
+        return self._store_in.get(base, _EMPTY)
+
+    def store_from(self, value):
+        return self._store_out.get(value, _EMPTY)
+
+    def entry_into(self, formal):
+        return self._entry_in.get(formal, _EMPTY)
+
+    def entry_from(self, actual):
+        return self._entry_out.get(actual, _EMPTY)
+
+    def exit_into(self, target):
+        return self._exit_in.get(target, _EMPTY)
+
+    def exit_from(self, retvar):
+        return self._exit_out.get(retvar, _EMPTY)
+
+    def global_sources(self, var):
+        return self._global_in.get(var, _EMPTY)
+
+    def global_targets(self, var):
+        return self._global_out.get(var, _EMPTY)
+
+    def loads_of_field(self, field):
+        """All ``(base, target)`` load edges labelled ``field``."""
+        return self._loads_by_field.get(field, _EMPTY)
+
+    def stores_of_field(self, field):
+        """All ``(value, base)`` store edges labelled ``field``."""
+        return self._stores_by_field.get(field, _EMPTY)
+
+    # ------------------------------------------------------------------
+    # boundary predicates used by the PPTA
+    # ------------------------------------------------------------------
+    def has_global_in(self, var):
+        """True when a global edge flows *into* ``var`` (S1 boundary)."""
+        return (
+            var in self._global_in or var in self._entry_in or var in self._exit_in
+        )
+
+    def has_global_out(self, var):
+        """True when a global edge flows *out of* ``var`` (S2 boundary)."""
+        return (
+            var in self._global_out or var in self._entry_out or var in self._exit_out
+        )
+
+    def has_local_edges(self, var):
+        """True when ``var`` touches any local edge — the guard for
+        skipping the PPTA entirely (Section 4.3)."""
+        return (
+            var in self._new_in
+            or var in self._assign_in
+            or var in self._assign_out
+            or var in self._load_in
+            or var in self._load_out
+            or var in self._store_in
+            or var in self._store_out
+        )
+
+    def is_recursive_site(self, site_id):
+        return site_id in self._recursive_sites
+
+    # ------------------------------------------------------------------
+    # whole-graph views
+    # ------------------------------------------------------------------
+    def local_var_nodes(self):
+        return list(self._locals.values())
+
+    def global_var_nodes(self):
+        return list(self._globals.values())
+
+    def object_nodes(self):
+        return list(self._objects.values())
+
+    def nodes_of_method(self, method_qname):
+        """All V and O nodes owned by ``method_qname``."""
+        return list(self._method_nodes.get(method_qname, _EMPTY))
+
+    def methods(self):
+        return list(self._method_nodes)
+
+    def edge_counts(self):
+        """Edge counts by kind (deduplicated edges)."""
+        return dict(self._edge_counts)
+
+    def node_counts(self):
+        return {
+            "O": len(self._objects),
+            "V": len(self._locals),
+            "G": len(self._globals),
+        }
+
+    def locality(self):
+        """Fraction of local edges among all edges — Table 3's metric."""
+        counts = self._edge_counts
+        local = counts[NEW] + counts[ASSIGN] + counts[LOAD] + counts[STORE]
+        total = sum(counts.values())
+        return local / total if total else 0.0
+
+    def iter_edges(self):
+        """Yield ``(kind, source, label, target)`` for every edge; the
+        label is a field name, a call-site id, or ``None``."""
+        for obj, target in self._new_out.items():
+            yield NEW, obj, None, target
+        for source, targets in self._assign_out.items():
+            for target in targets:
+                yield ASSIGN, source, None, target
+        for base, pairs in self._load_out.items():
+            for field, target in pairs:
+                yield LOAD, base, field, target
+        for value, pairs in self._store_out.items():
+            for field, base in pairs:
+                yield STORE, value, field, base
+        for source, targets in self._global_out.items():
+            for target in targets:
+                yield ASSIGN_GLOBAL, source, None, target
+        for actual, pairs in self._entry_out.items():
+            for site_id, formal in pairs:
+                yield ENTRY, actual, site_id, formal
+        for retvar, pairs in self._exit_out.items():
+            for site_id, target in pairs:
+                yield EXIT, retvar, site_id, target
+
+    def __repr__(self):
+        nodes = self.node_counts()
+        return (
+            f"PAG(V={nodes['V']}, G={nodes['G']}, O={nodes['O']}, "
+            f"edges={sum(self._edge_counts.values())}, "
+            f"locality={self.locality():.1%})"
+        )

@@ -1,0 +1,71 @@
+"""PAG node types: local variables (V), globals (G) and objects (O).
+
+Nodes are interned by the :class:`~repro.pag.graph.PAG` — exactly one
+instance exists per program entity — so equality and hashing use object
+identity, which keeps the hot traversal loops cheap.
+"""
+
+
+class Node:
+    """Base class for PAG nodes.
+
+    ``method`` is the qualified name of the owning method for local
+    variables and objects (objects belong to their allocating method),
+    and ``None`` for globals, which are context-insensitive.
+    """
+
+    __slots__ = ("method",)
+
+    is_local_var = False
+    is_global_var = False
+    is_object = False
+
+    def __init__(self, method):
+        self.method = method
+
+
+class LocalNode(Node):
+    """A local variable of one method (a V node)."""
+
+    __slots__ = ("name",)
+
+    is_local_var = True
+
+    def __init__(self, method, name):
+        super().__init__(method)
+        self.name = name
+
+    def __repr__(self):
+        return f"{self.name}@{self.method}"
+
+
+class GlobalNode(Node):
+    """A static field (a G node); context-insensitive by definition."""
+
+    __slots__ = ("class_name", "field")
+
+    is_global_var = True
+
+    def __init__(self, class_name, field):
+        super().__init__(None)
+        self.class_name = class_name
+        self.field = field
+
+    def __repr__(self):
+        return f"{self.class_name}::{self.field}"
+
+
+class ObjectNode(Node):
+    """An abstract object (an O node) — one per allocation statement."""
+
+    __slots__ = ("object_id", "class_name")
+
+    is_object = True
+
+    def __init__(self, object_id, class_name, method):
+        super().__init__(method)
+        self.object_id = object_id
+        self.class_name = class_name
+
+    def __repr__(self):
+        return f"{self.object_id}:{self.class_name}"

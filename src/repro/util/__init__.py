@@ -1,0 +1,19 @@
+"""Shared utilities: errors, timing, deterministic randomness helpers."""
+
+from repro.util.errors import (
+    BudgetExceededError,
+    IRError,
+    ParseError,
+    ReproError,
+    ValidationError,
+)
+from repro.util.timer import Timer
+
+__all__ = [
+    "BudgetExceededError",
+    "IRError",
+    "ParseError",
+    "ReproError",
+    "Timer",
+    "ValidationError",
+]

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro library.
+
+Every exception raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch a single base type.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IRError(ReproError):
+    """Raised when an IR program is constructed or used incorrectly."""
+
+
+class ParseError(IRError):
+    """Raised by the PIR parser on malformed source text.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class ValidationError(IRError):
+    """Raised by the IR validator when a program violates a well-formedness rule."""
+
+
+class BudgetExceededError(ReproError):
+    """Raised internally when a demand query exhausts its traversal budget.
+
+    The demand analyses catch this and convert it into a conservative
+    "unknown" :class:`repro.analysis.base.QueryResult`; it only escapes to
+    user code if a caller invokes the low-level traversal machinery
+    directly.
+    """
+
+    def __init__(self, budget):
+        self.budget = budget
+        super().__init__(f"traversal budget of {budget} steps exhausted")

@@ -1,0 +1,35 @@
+"""Small wall-clock timing helper used by the experiment harness."""
+
+import time
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Usage::
+
+        with Timer() as t:
+            run_queries()
+        print(t.elapsed)
+
+    The timer may be re-entered; ``elapsed`` accumulates across uses, which
+    is convenient for timing many query batches into one counter.
+    """
+
+    def __init__(self):
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return False
+
+    def reset(self):
+        """Zero the accumulated time."""
+        self.elapsed = 0.0
+        self._start = None

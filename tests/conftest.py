@@ -1,0 +1,159 @@
+"""Shared fixtures: canonical programs used across the test suite."""
+
+import pytest
+
+from repro import build_pag, parse_program
+
+#: The paper's Figure 2 program, transcribed into PIR.  Variable and
+#: method names mirror the paper (init == the Vector constructor,
+#: initWith/initEmpty == the two Client constructors).
+FIGURE2_SOURCE = """
+class Object { }
+class ObjectArray { field arr; }
+class Integer { }
+class String { }
+class Vector {
+  field elems;
+  field count;
+  method init() {
+    t = new ObjectArray;
+    this.elems = t;
+  }
+  method add(p) {
+    t = this.elems;
+    t.arr = p;
+  }
+  method get(i) {
+    t = this.elems;
+    r = t.arr;
+    return r;
+  }
+}
+class Client {
+  field vec;
+  method initEmpty() { }
+  method initWith(v) { this.vec = v; }
+  method set(v) { this.vec = v; }
+  method retrieve() {
+    t = this.vec;
+    s = t.get(zero);
+    return s;
+  }
+}
+class Main {
+  static method main() {
+    v1 = new Vector;
+    v1.init();
+    tmp1 = new Integer;
+    v1.add(tmp1);
+    c1 = new Client;
+    c1.initWith(v1);
+    v2 = new Vector;
+    v2.init();
+    tmp2 = new String;
+    v2.add(tmp2);
+    c2 = new Client;
+    c2.initEmpty();
+    c2.set(v2);
+    s1 = c1.retrieve();
+    s2 = c2.retrieve();
+  }
+}
+"""
+
+#: A minimal single-method program: allocation + copy chain.
+STRAIGHTLINE_SOURCE = """
+class Widget { }
+class Main {
+  static method main() {
+    a = new Widget;
+    b = a;
+    c = b;
+  }
+}
+"""
+
+#: Field store/load through two aliased bases.
+FIELD_ALIAS_SOURCE = """
+class Cell { field val; }
+class Payload { }
+class Main {
+  static method main() {
+    cell = new Cell;
+    alias = cell;
+    p = new Payload;
+    alias.val = p;
+    out = cell.val;
+  }
+}
+"""
+
+#: Two calls to the same callee with different arguments: only a
+#: context-sensitive analysis keeps the returns apart.
+TWO_CALLS_SOURCE = """
+class A { }
+class B { }
+class Id {
+  method identity(x) { return x; }
+}
+class Main {
+  static method main() {
+    id = new Id;
+    a = new A;
+    b = new B;
+    ra = id.identity(a);
+    rb = id.identity(b);
+  }
+}
+"""
+
+#: Globals are context-insensitive: both reads see both writes.
+GLOBALS_SOURCE = """
+class A { }
+class B { }
+class G {
+  static field slot;
+}
+class Main {
+  static method main() {
+    a = new A;
+    b = new B;
+    G::slot = a;
+    G::slot = b;
+    x = G::slot;
+  }
+}
+"""
+
+#: Recursion: list-length style self call, collapsed by SCC detection.
+RECURSION_SOURCE = """
+class A { }
+class Rec {
+  method spin(x) {
+    y = this.spin(x);
+    return x;
+  }
+}
+class Main {
+  static method main() {
+    r = new Rec;
+    a = new A;
+    out = r.spin(a);
+  }
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def figure2_program():
+    return parse_program(FIGURE2_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def figure2_pag(figure2_program):
+    return build_pag(figure2_program)
+
+
+def make_pag(source, entry="Main.main"):
+    """Parse + build in one step for inline test programs."""
+    return build_pag(parse_program(source, entry=entry))

@@ -1,0 +1,179 @@
+"""Tests for the Andersen whole-program points-to substrate."""
+
+import pytest
+
+from repro.callgraph.andersen import AndersenAnalysis
+from repro.ir.parser import parse_program
+
+from tests.conftest import (
+    FIELD_ALIAS_SOURCE,
+    FIGURE2_SOURCE,
+    GLOBALS_SOURCE,
+    RECURSION_SOURCE,
+    STRAIGHTLINE_SOURCE,
+    TWO_CALLS_SOURCE,
+)
+
+
+def solve(source, entry="Main.main"):
+    return AndersenAnalysis(parse_program(source, entry=entry)).solve()
+
+
+def classes_of(result, method, var):
+    return sorted(cls for _oid, cls in result.points_to_local(method, var))
+
+
+class TestBasics:
+    def test_alloc_and_copies(self):
+        result = solve(STRAIGHTLINE_SOURCE)
+        for var in ("a", "b", "c"):
+            assert classes_of(result, "Main.main", var) == ["Widget"]
+
+    def test_field_store_load_through_alias(self):
+        result = solve(FIELD_ALIAS_SOURCE)
+        assert classes_of(result, "Main.main", "out") == ["Payload"]
+
+    def test_field_contents_recorded(self):
+        result = solve(FIELD_ALIAS_SOURCE)
+        (cell_id,) = [
+            oid
+            for oid, cls in result.points_to_local("Main.main", "cell")
+            if cls == "Cell"
+        ]
+        assert {cls for _o, cls in result.points_to_field(cell_id, "val")} == {
+            "Payload"
+        }
+
+    def test_context_insensitive_merging(self):
+        result = solve(TWO_CALLS_SOURCE)
+        # Andersen merges both identity calls.
+        assert classes_of(result, "Main.main", "ra") == ["A", "B"]
+        assert classes_of(result, "Main.main", "rb") == ["A", "B"]
+
+    def test_globals_flow(self):
+        result = solve(GLOBALS_SOURCE)
+        assert classes_of(result, "Main.main", "x") == ["A", "B"]
+        assert {cls for _o, cls in result.points_to_global("G", "slot")} == {"A", "B"}
+
+    def test_null_objects_propagate(self):
+        result = solve(
+            """
+            class Main {
+              static method main() {
+                n = null;
+                m = n;
+              }
+            }
+            """
+        )
+        assert classes_of(result, "Main.main", "m") == ["<null>"]
+
+    def test_unassigned_var_empty(self):
+        result = solve("class Main { static method main() { x = new Main; y = x; } }")
+        assert result.points_to_local("Main.main", "zzz") == set()
+
+
+class TestCallGraph:
+    def test_virtual_dispatch_by_receiver_class(self):
+        result = solve(
+            """
+            class A { method m() { return this; } }
+            class B { method m() { return this; } }
+            class Main {
+              static method main() {
+                a = new A;
+                x = a.m();
+              }
+            }
+            """
+        )
+        cg = result.call_graph
+        assert cg.is_reachable("A.m")
+        assert not cg.is_reachable("B.m")
+
+    def test_dispatch_through_inheritance(self):
+        result = solve(
+            """
+            class Base { method m() { return this; } }
+            class Sub extends Base { }
+            class Main {
+              static method main() {
+                s = new Sub;
+                x = s.m();
+              }
+            }
+            """
+        )
+        assert result.call_graph.is_reachable("Base.m")
+
+    def test_static_call_linked_directly(self):
+        result = solve(
+            """
+            class Util { static method mk() { u = new Util; return u; } }
+            class Main { static method main() { x = Util::mk(); } }
+            """
+        )
+        assert result.call_graph.is_reachable("Util.mk")
+        assert {cls for _o, cls in result.points_to_local("Main.main", "x")} == {
+            "Util"
+        }
+
+    def test_unreachable_method_not_processed(self):
+        result = solve(
+            """
+            class Dead { method never() { d = new Dead; return d; } }
+            class Main { static method main() { x = new Main; } }
+            """
+        )
+        assert not result.call_graph.is_reachable("Dead.never")
+        assert result.points_to_local("Dead.never", "d") == set()
+
+    def test_on_the_fly_discovery(self):
+        # b is only allocated inside a callee discovered during solving;
+        # the virtual call on it must still be resolved.
+        result = solve(
+            """
+            class B { method hi() { return this; } }
+            class Maker { static method mk() { b = new B; return b; } }
+            class Main {
+              static method main() {
+                b = Maker::mk();
+                x = b.hi();
+              }
+            }
+            """
+        )
+        assert result.call_graph.is_reachable("B.hi")
+        assert {cls for _o, cls in result.points_to_local("Main.main", "x")} == {"B"}
+
+    def test_recursion_terminates(self):
+        result = solve(RECURSION_SOURCE)
+        assert classes_of(result, "Main.main", "out") == ["A"]
+
+    def test_null_receiver_not_dispatched(self):
+        result = solve(
+            """
+            class A { method m() { return this; } }
+            class Main {
+              static method main() {
+                n = null;
+                x = n.m();
+              }
+            }
+            """
+        )
+        assert not result.call_graph.is_reachable("A.m")
+
+    def test_figure2_both_payloads_merged(self):
+        result = solve(FIGURE2_SOURCE)
+        # Andersen cannot separate the two vectors' payloads.
+        assert classes_of(result, "Main.main", "s1") == ["Integer", "String"]
+        assert classes_of(result, "Main.main", "s2") == ["Integer", "String"]
+
+    def test_instantiated_classes_tracked(self):
+        result = solve(STRAIGHTLINE_SOURCE)
+        assert "Widget" in result.instantiated_classes
+
+    def test_variable_keys_enumerable(self):
+        result = solve(STRAIGHTLINE_SOURCE)
+        assert ("L", "Main.main", "a") in result.variable_keys()

@@ -1,0 +1,159 @@
+"""Tests for the IR data model (Program/ClassDef/Method/Statements)."""
+
+import pytest
+
+from repro.ir.ast import (
+    Alloc,
+    Call,
+    ClassDef,
+    Copy,
+    Method,
+    NullAssign,
+    Program,
+    Return,
+    NULL_CLASS,
+    THIS,
+)
+from repro.util.errors import IRError
+
+
+def small_program():
+    program = Program(entry="Main.main")
+    main_cls = ClassDef("Main")
+    main = Method("main", "Main", is_static=True)
+    main.add(Alloc("x", "Main"))
+    main.add(Call("y", "x", None, "m", ["x"]))
+    main.add(NullAssign("n"))
+    main_cls.add_method(main)
+    m = Method("m", "Main", params=["a"])
+    m.add(Return("a"))
+    main_cls.add_method(m)
+    program.add_class(main_cls)
+    return program
+
+
+class TestProgram:
+    def test_requires_finalize(self):
+        program = small_program()
+        with pytest.raises(IRError):
+            program.methods()
+
+    def test_finalize_assigns_site_ids(self):
+        program = small_program().finalize()
+        (site_id,) = program.call_sites()
+        method, call = program.call_site(site_id)
+        assert method.qualified_name == "Main.main"
+        assert call.site_id == site_id
+
+    def test_finalize_assigns_object_ids(self):
+        program = small_program().finalize()
+        allocations = program.allocations()
+        assert len(allocations) == 2  # alloc + null
+        ids = {stmt.object_id for _m, stmt in allocations}
+        assert len(ids) == 2
+
+    def test_finalize_idempotent(self):
+        program = small_program().finalize()
+        first = {sid: stmt.site_id for sid, (_m, stmt) in program.call_sites().items()}
+        program.finalize()
+        second = {sid: stmt.site_id for sid, (_m, stmt) in program.call_sites().items()}
+        assert first == second
+
+    def test_lookup_method(self):
+        program = small_program().finalize()
+        assert program.lookup_method("Main.m").name == "m"
+
+    def test_lookup_unknown_method(self):
+        program = small_program().finalize()
+        with pytest.raises(IRError):
+            program.lookup_method("Main.ghost")
+
+    def test_lookup_unknown_class(self):
+        program = small_program().finalize()
+        with pytest.raises(IRError):
+            program.lookup_class("Ghost")
+
+    def test_duplicate_class_rejected(self):
+        program = small_program()
+        with pytest.raises(IRError):
+            program.add_class(ClassDef("Main"))
+
+    def test_counts(self):
+        program = small_program().finalize()
+        counts = program.counts()
+        assert counts == {"classes": 1, "methods": 2, "statements": 4}
+
+    def test_statements_iterates_all(self):
+        program = small_program().finalize()
+        kinds = [stmt.kind for _m, stmt in program.statements()]
+        assert sorted(kinds) == ["alloc", "call", "null", "return"]
+
+    def test_unknown_call_site(self):
+        program = small_program().finalize()
+        with pytest.raises(IRError):
+            program.call_site(999)
+
+
+class TestMethod:
+    def test_all_params_instance(self):
+        m = Method("m", "C", params=["a", "b"])
+        assert m.all_params == [THIS, "a", "b"]
+
+    def test_all_params_static(self):
+        m = Method("m", "C", params=["a"], is_static=True)
+        assert m.all_params == ["a"]
+
+    def test_qualified_name(self):
+        assert Method("m", "C").qualified_name == "C.m"
+
+    def test_local_names_collects_everything(self):
+        m = Method("m", "C", params=["p"])
+        m.add(Alloc("x", "C"))
+        m.add(Copy("y", "x"))
+        m.add(Call("z", "y", None, "m", ["p"]))
+        names = m.local_names()
+        assert set(names) >= {THIS, "p", "x", "y", "z"}
+
+    def test_return_statements(self):
+        m = Method("m", "C")
+        m.add(Return("a"))
+        m.add(Return("b"))
+        assert [r.source for r in m.return_statements()] == ["a", "b"]
+
+
+class TestClassDef:
+    def test_duplicate_field(self):
+        c = ClassDef("C")
+        c.add_field("f")
+        with pytest.raises(IRError):
+            c.add_field("f")
+
+    def test_duplicate_static_field(self):
+        c = ClassDef("C")
+        c.add_static_field("g")
+        with pytest.raises(IRError):
+            c.add_static_field("g")
+
+    def test_duplicate_method(self):
+        c = ClassDef("C")
+        c.add_method(Method("m", "C"))
+        with pytest.raises(IRError):
+            c.add_method(Method("m", "C"))
+
+
+class TestStatements:
+    def test_call_needs_exactly_one_callee_form(self):
+        with pytest.raises(IRError):
+            Call("t", "recv", "Cls", "m", [])  # both receiver and class
+        with pytest.raises(IRError):
+            Call("t", None, None, "m", [])  # neither
+
+    def test_null_class_name(self):
+        assert NullAssign("x").class_name == NULL_CLASS
+
+    def test_reprs_render(self):
+        assert "new C" in repr(Alloc("x", "C"))
+        assert "null" in repr(NullAssign("x"))
+        assert "return" in repr(Return("x"))
+        assert "recv.m" in repr(Call("t", "recv", None, "m", ["a"]))
+        assert "C::m" in repr(Call(None, None, "C", "m", []))

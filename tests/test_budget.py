@@ -1,0 +1,68 @@
+"""Tests for the traversal budget."""
+
+import pytest
+
+from repro.cfl.budget import DEFAULT_BUDGET, UNLIMITED_BUDGET, Budget
+from repro.util.errors import BudgetExceededError
+
+
+class TestBudget:
+    def test_default_limit_matches_paper(self):
+        assert DEFAULT_BUDGET == 75_000
+
+    def test_charge_accumulates(self):
+        budget = Budget(10)
+        budget.charge()
+        budget.charge(3)
+        assert budget.steps == 4
+
+    def test_exhaustion_raises(self):
+        budget = Budget(2)
+        budget.charge()
+        budget.charge()
+        with pytest.raises(BudgetExceededError):
+            budget.charge()
+
+    def test_error_carries_limit(self):
+        budget = Budget(1)
+        budget.charge()
+        with pytest.raises(BudgetExceededError) as exc:
+            budget.charge()
+        assert exc.value.budget == 1
+
+    def test_exactly_at_limit_is_fine(self):
+        budget = Budget(5)
+        budget.charge(5)
+        assert not budget.exhausted
+
+    def test_remaining(self):
+        budget = Budget(10)
+        budget.charge(4)
+        assert budget.remaining == 6
+
+    def test_remaining_never_negative(self):
+        budget = Budget(1)
+        budget.charge()
+        try:
+            budget.charge()
+        except BudgetExceededError:
+            pass
+        assert budget.remaining == 0
+
+    def test_unlimited_never_raises(self):
+        budget = Budget(UNLIMITED_BUDGET)
+        budget.charge(10_000_000)
+        assert not budget.exhausted
+        assert budget.remaining is None
+
+    def test_zero_limit_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(0)
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(-5)
+
+    def test_repr(self):
+        assert "unlimited" in repr(Budget(None))
+        assert "10" in repr(Budget(10))

@@ -1,0 +1,109 @@
+"""Tests for the fluent ProgramBuilder API."""
+
+import pytest
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.pretty import pretty_print
+from repro.util.errors import ValidationError
+
+
+def test_quickstart_shape():
+    b = ProgramBuilder()
+    box = b.cls("Box", fields=["val"])
+    box.method("get").load("r", "this", "val").ret("r")
+    box.method("set", params=["x"]).store("this", "val", "x")
+    main = b.cls("Main").static_method("main")
+    main.alloc("box", "Box")
+    main.alloc("p", "Box")
+    main.vcall("box", "set", args=["p"])
+    main.vcall("box", "get", target="out")
+    program = b.build()
+    assert program.counts() == {"classes": 2, "methods": 3, "statements": 7}
+
+
+def test_statement_chaining_returns_builder():
+    b = ProgramBuilder()
+    main = b.cls("Main").static_method("main")
+    result = main.alloc("x", "Main").copy("y", "x").null("n")
+    assert result is main
+
+
+def test_all_statement_kinds():
+    b = ProgramBuilder()
+    helper = b.cls("Helper", fields=["f"], static_fields=["g"])
+    helper.method("m", params=["a"]).ret("a")
+    helper.static_method("sm", params=["a"]).ret("a")
+    main = b.cls("Main").static_method("main")
+    (
+        main.alloc("x", "Helper")
+        .null("n")
+        .copy("y", "x")
+        .cast("z", "Helper", "y")
+        .load("w", "x", "f")
+        .store("x", "f", "w")
+        .static_get("s", "Helper", "g")
+        .static_put("Helper", "g", "s")
+        .vcall("x", "m", args=["y"], target="r1")
+        .scall("Helper", "sm", args=["y"], target="r2")
+    )
+    program = b.build()
+    kinds = [s.kind for s in program.lookup_method("Main.main").statements]
+    assert kinds == [
+        "alloc",
+        "null",
+        "copy",
+        "cast",
+        "load",
+        "store",
+        "staticget",
+        "staticput",
+        "call",
+        "call",
+    ]
+
+
+def test_build_validates_by_default():
+    b = ProgramBuilder()
+    b.cls("Main").static_method("main").alloc("x", "Ghost")
+    with pytest.raises(ValidationError):
+        b.build()
+
+
+def test_build_can_skip_validation():
+    b = ProgramBuilder()
+    b.cls("Main").static_method("main").alloc("x", "Ghost")
+    program = b.build(validate=False)
+    assert program.is_finalized
+
+
+def test_custom_entry():
+    b = ProgramBuilder(entry="App.start")
+    b.cls("App").static_method("start").alloc("x", "App")
+    program = b.build()
+    assert program.entry_method.qualified_name == "App.start"
+
+
+def test_built_program_pretty_prints_and_reparses():
+    from repro.ir.parser import parse_program
+
+    b = ProgramBuilder()
+    c = b.cls("C", fields=["f"])
+    c.method("id", params=["v"]).ret("v")
+    main = b.cls("Main").static_method("main")
+    main.alloc("x", "C").vcall("x", "id", args=["x"], target="y")
+    program = b.build()
+    reparsed = parse_program(pretty_print(program))
+    assert reparsed.counts() == program.counts()
+
+
+def test_method_builder_exposes_method():
+    b = ProgramBuilder()
+    mb = b.cls("Main").static_method("main")
+    mb.alloc("x", "Main")
+    assert mb.method.qualified_name == "Main.main"
+
+
+def test_class_builder_exposes_class_def():
+    b = ProgramBuilder()
+    cb = b.cls("C")
+    assert cb.class_def.name == "C"

@@ -1,0 +1,81 @@
+"""Tests for the ``python -m repro.bench`` command-line harness."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestCli:
+    def test_table2(self, capsys):
+        code, out = run_cli(
+            capsys, "--artifact", "table2", "--benchmarks", "luindex", "--scale", "0.5"
+        )
+        assert code == 0
+        assert "capability matrix" in out
+        assert "DYNSUM" in out
+
+    def test_table3(self, capsys):
+        code, out = run_cli(
+            capsys, "--artifact", "table3", "--benchmarks", "luindex", "--scale", "0.5"
+        )
+        assert code == 0
+        assert "benchmark statistics" in out
+        assert "luindex" in out
+
+    def test_table4(self, capsys):
+        code, out = run_cli(
+            capsys, "--artifact", "table4", "--benchmarks", "luindex", "--scale", "0.5"
+        )
+        assert code == 0
+        assert "analysis steps" in out
+        assert "Speedups" in out
+
+    def test_figure5(self, capsys):
+        code, out = run_cli(
+            capsys, "--artifact", "figure5", "--benchmarks", "luindex", "--scale", "0.5"
+        )
+        assert code == 0
+        assert "% of STASUM" in out
+
+    def test_figure4(self, capsys):
+        code, out = run_cli(
+            capsys, "--artifact", "figure4", "--benchmarks", "luindex", "--scale", "0.5"
+        )
+        assert code == 0
+        assert "per-batch step ratio" in out
+
+    def test_unknown_benchmark_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--benchmarks", "quake3"])
+
+    def test_unknown_artifact_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--artifact", "table99"])
+
+
+class TestDumpPrograms:
+    def test_dump_writes_reparseable_source(self, capsys, tmp_path):
+        code, _out = run_cli(
+            capsys,
+            "--artifact",
+            "table2",
+            "--benchmarks",
+            "luindex",
+            "--scale",
+            "0.5",
+            "--dump-programs",
+            str(tmp_path),
+        )
+        assert code == 0
+        dumped = tmp_path / "luindex.pir"
+        assert dumped.exists()
+        from repro import parse_program
+
+        program = parse_program(dumped.read_text())
+        assert program.entry == "Main.main"

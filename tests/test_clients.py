@@ -1,0 +1,199 @@
+"""Tests for the three clients: query generation, predicates, verdicts."""
+
+import pytest
+
+from repro import DynSum, NoRefine
+from repro.clients import FactoryMethodClient, NullDerefClient, SafeCastClient
+from repro.clients.base import SAFE, UNKNOWN, VIOLATION
+
+from tests.conftest import make_pag
+
+CAST_SOURCE = """
+class Animal { }
+class Dog extends Animal { }
+class Cat extends Animal { }
+class Main {
+  static method main() {
+    d = new Dog;
+    a = d;
+    ok = (Dog) a;
+    up = (Animal) a;
+    c = new Cat;
+    b = c;
+    bad = (Dog) b;
+  }
+}
+"""
+
+NULL_SOURCE = """
+class Cell { field val; }
+class P { }
+class Main {
+  static method main() {
+    good = new Cell;
+    p = new P;
+    good.val = p;
+    x = good.val;
+
+    bad = new Cell;
+    n = null;
+    bad.val = n;
+    y = bad.val;
+    z = y.val;
+  }
+}
+"""
+
+FACTORY_SOURCE = """
+class Product { }
+class GoodFactory {
+  static method create() {
+    p = new Product;
+    return p;
+  }
+}
+class CachedFactory {
+  static field cache;
+  static method create() {
+    p = new Product;
+    CachedFactory::cache = p;
+    c = CachedFactory::cache;
+    return c;
+  }
+}
+class Passthrough {
+  static method makeFrom(x) {
+    return x;
+  }
+}
+class Main {
+  static method main() {
+    a = GoodFactory::create();
+    b = CachedFactory::create();
+    ext = new Product;
+    c = Passthrough::makeFrom(ext);
+  }
+}
+"""
+
+
+class TestSafeCast:
+    @pytest.fixture(scope="class")
+    def pag(self):
+        return make_pag(CAST_SOURCE)
+
+    def test_one_query_per_cast(self, pag):
+        queries = SafeCastClient(pag).queries()
+        assert len(queries) == 3
+
+    def test_verdicts(self, pag):
+        client = SafeCastClient(pag)
+        verdicts = client.run(NoRefine(pag))
+        by_target = {v.query.payload[0]: v.status for v in verdicts}
+        # Two casts target Dog: one safe (d), one violating (c flows in).
+        statuses = sorted(v.status for v in verdicts)
+        assert statuses.count(SAFE) == 2
+        assert statuses.count(VIOLATION) == 1
+        assert by_target["Animal"] == SAFE  # upcast always safe
+
+    def test_violation_names_offender(self, pag):
+        client = SafeCastClient(pag)
+        verdicts = client.run(NoRefine(pag))
+        (violation,) = [v for v in verdicts if v.status == VIOLATION]
+        assert any(obj.class_name == "Cat" for obj in violation.details)
+
+    def test_predicate_is_monotone_downward(self, pag):
+        client = SafeCastClient(pag)
+        query = client.queries()[0]
+        predicate = client.predicate(query)
+        analysis = NoRefine(pag)
+        objects = analysis.points_to(query.node(pag)).objects
+        if predicate(objects):
+            for obj in objects:
+                assert predicate(frozenset([obj]))
+
+    def test_unknown_on_budget_exhaustion(self, pag):
+        from repro import AnalysisConfig
+
+        client = SafeCastClient(pag)
+        tiny = NoRefine(pag, AnalysisConfig(budget=1))
+        verdicts = client.run(tiny)
+        assert all(v.status in (UNKNOWN, VIOLATION) for v in verdicts)
+
+
+class TestNullDeref:
+    @pytest.fixture(scope="class")
+    def pag(self):
+        return make_pag(NULL_SOURCE)
+
+    def test_queries_cover_derefs_not_this(self, pag):
+        queries = NullDerefClient(pag).queries()
+        assert {q.var for q in queries} == {"good", "bad", "y"}
+
+    def test_verdicts(self, pag):
+        client = NullDerefClient(pag)
+        by_var = {v.query.var: v.status for v in client.run(NoRefine(pag))}
+        assert by_var["good"] == SAFE
+        assert by_var["bad"] == SAFE  # the base itself is never null
+        assert by_var["y"] == VIOLATION  # y = bad.val may be null
+
+    def test_offender_is_null_object(self, pag):
+        client = NullDerefClient(pag)
+        verdicts = client.run(NoRefine(pag))
+        (violation,) = [v for v in verdicts if v.status == VIOLATION]
+        assert all(o.class_name == "<null>" for o in violation.details)
+
+    def test_dynsum_same_verdicts(self, pag):
+        client = NullDerefClient(pag)
+        nr = [v.status for v in client.run(NoRefine(pag))]
+        ds = [v.status for v in client.run(DynSum(pag))]
+        assert nr == ds
+
+
+class TestFactoryM:
+    @pytest.fixture(scope="class")
+    def pag(self):
+        return make_pag(FACTORY_SOURCE)
+
+    def test_queries_cover_factory_returns(self, pag):
+        queries = FactoryMethodClient(pag).queries()
+        assert {q.method for q in queries} == {
+            "GoodFactory.create",
+            "CachedFactory.create",
+            "Passthrough.makeFrom",
+        }
+
+    def test_verdicts(self, pag):
+        client = FactoryMethodClient(pag)
+        by_method = {v.query.method: v.status for v in client.run(NoRefine(pag))}
+        assert by_method["GoodFactory.create"] == SAFE
+        # The cached factory still returns an object allocated inside it
+        # (flow-insensitively the cache round-trip is invisible), but the
+        # passthrough returns a caller-allocated object: a violation.
+        assert by_method["Passthrough.makeFrom"] == VIOLATION
+
+    def test_prefix_configurable(self, pag):
+        client = FactoryMethodClient(pag, prefixes=("zzz",))
+        assert client.queries() == []
+
+    def test_allowed_methods_cached(self, pag):
+        client = FactoryMethodClient(pag)
+        first = client._allowed_methods("GoodFactory.create")
+        second = client._allowed_methods("GoodFactory.create")
+        assert first is second
+
+
+class TestQueryPlumbing:
+    def test_query_node_resolution(self):
+        pag = make_pag(CAST_SOURCE)
+        client = SafeCastClient(pag)
+        query = client.queries()[0]
+        node = query.node(pag)
+        assert node.name == query.var
+        assert node.method == query.method
+
+    def test_queries_are_deterministic(self):
+        pag = make_pag(NULL_SOURCE)
+        a = NullDerefClient(pag).queries()
+        b = NullDerefClient(pag).queries()
+        assert a == b

@@ -1,0 +1,109 @@
+"""Tests for DOT export, Timer, error types and the Table 3 stats."""
+
+import time
+
+import pytest
+
+from repro.pag.dot import to_dot
+from repro.pag.stats import compute_statistics
+from repro.util.errors import (
+    BudgetExceededError,
+    IRError,
+    ParseError,
+    ReproError,
+    ValidationError,
+)
+from repro.util.timer import Timer
+
+from tests.conftest import FIGURE2_SOURCE, make_pag
+
+
+class TestDot:
+    @pytest.fixture(scope="class")
+    def dot(self):
+        return to_dot(make_pag(FIGURE2_SOURCE), graph_name="fig2")
+
+    def test_is_a_digraph(self, dot):
+        assert dot.startswith("digraph fig2 {")
+        assert dot.rstrip().endswith("}")
+
+    def test_contains_new_edges(self, dot):
+        assert 'label="new"' in dot
+
+    def test_contains_field_labels(self, dot):
+        assert 'label="ld(elems)"' in dot
+        assert 'label="st(arr)"' in dot
+
+    def test_contains_call_edges(self, dot):
+        assert "entry" in dot
+        assert "exit" in dot
+
+    def test_objects_are_boxes(self, dot):
+        assert "shape=box" in dot
+
+    def test_every_edge_endpoint_declared(self, dot):
+        import re
+
+        declared = set(re.findall(r"^  (n\d+) \[", dot, re.M))
+        used = set()
+        for a, b in re.findall(r"(n\d+) -> (n\d+)", dot):
+            used.add(a)
+            used.add(b)
+        assert used <= declared
+
+
+class TestStats:
+    def test_statistics_consistency(self):
+        pag = make_pag(FIGURE2_SOURCE)
+        stats = compute_statistics(pag, name="fig2")
+        assert stats.name == "fig2"
+        assert stats.total_nodes == sum(pag.node_counts().values())
+        assert stats.total_edges == sum(pag.edge_counts().values())
+        assert stats.locality == pytest.approx(pag.locality())
+
+    def test_as_row_shape(self):
+        pag = make_pag(FIGURE2_SOURCE)
+        row = compute_statistics(pag, name="fig2").as_row()
+        assert row[0] == "fig2"
+        assert row[-1].endswith("%")
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+
+    def test_accumulates(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed > first
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ParseError, IRError)
+        assert issubclass(ValidationError, IRError)
+        assert issubclass(IRError, ReproError)
+        assert issubclass(BudgetExceededError, ReproError)
+
+    def test_parse_error_location_formatting(self):
+        err = ParseError("boom", line=3, column=7)
+        assert "line 3" in str(err)
+        assert err.line == 3
+        assert err.column == 7
+
+    def test_budget_error_carries_limit(self):
+        assert BudgetExceededError(42).budget == 42

@@ -1,0 +1,163 @@
+"""Behavioural tests for DYNSUM: summaries, reuse, invalidation."""
+
+import pytest
+
+from repro import AnalysisConfig, DynSum, NoRefine, SummaryCache
+
+from tests.conftest import (
+    FIELD_ALIAS_SOURCE,
+    FIGURE2_SOURCE,
+    GLOBALS_SOURCE,
+    RECURSION_SOURCE,
+    STRAIGHTLINE_SOURCE,
+    TWO_CALLS_SOURCE,
+    make_pag,
+)
+
+
+def classes(result):
+    return sorted(obj.class_name for obj in result.objects)
+
+
+ALL_SOURCES = [
+    STRAIGHTLINE_SOURCE,
+    FIELD_ALIAS_SOURCE,
+    TWO_CALLS_SOURCE,
+    GLOBALS_SOURCE,
+    RECURSION_SOURCE,
+    FIGURE2_SOURCE,
+]
+
+
+@pytest.mark.parametrize("source", ALL_SOURCES)
+def test_matches_norefine_everywhere(source):
+    """Precision equality on every local variable of every method."""
+    pag = make_pag(source)
+    dynsum = DynSum(pag)
+    norefine = NoRefine(pag)
+    for node in pag.local_var_nodes():
+        ds = dynsum.points_to(node)
+        nr = norefine.points_to(node)
+        assert ds.complete and nr.complete
+        assert ds.pairs == nr.pairs, f"mismatch at {node!r}"
+
+
+class TestCacheBehaviour:
+    def test_cache_shared_between_instances(self):
+        pag = make_pag(FIGURE2_SOURCE)
+        shared = SummaryCache()
+        first = DynSum(pag, cache=shared)
+        second = DynSum(pag, cache=shared)
+        r1 = first.points_to_name("Main.main", "s1")
+        r2 = second.points_to_name("Main.main", "s1")
+        assert r2.pairs == r1.pairs
+        assert r2.steps <= r1.steps
+
+    def test_query_order_does_not_change_answers(self):
+        pag = make_pag(FIGURE2_SOURCE)
+        variables = ["s1", "s2", "v1", "v2", "c1", "c2"]
+        forward = DynSum(pag)
+        backward = DynSum(pag)
+        res_fwd = {v: forward.points_to_name("Main.main", v).pairs for v in variables}
+        res_bwd = {
+            v: backward.points_to_name("Main.main", v).pairs
+            for v in reversed(variables)
+        }
+        assert res_fwd == res_bwd
+
+    def test_stats_expose_hits_and_misses(self):
+        pag = make_pag(FIGURE2_SOURCE)
+        dynsum = DynSum(pag)
+        r1 = dynsum.points_to_name("Main.main", "s1")
+        assert r1.stats["cache_misses"] > 0
+        r2 = dynsum.points_to_name("Main.main", "s1")
+        assert r2.stats["cache_hits"] > 0
+
+    def test_incomplete_ppta_not_cached(self):
+        pag = make_pag(FIGURE2_SOURCE)
+        dynsum = DynSum(pag, AnalysisConfig(budget=3))
+        result = dynsum.points_to_name("Main.main", "s1")
+        assert not result.complete
+        # A partial PPTA must never be stored: re-running with a real
+        # budget gives the full answer.
+        full = DynSum(pag, cache=dynsum.cache).points_to_name("Main.main", "s1")
+        assert classes(full) == ["Integer"]
+
+    def test_summary_point_count_le_entry_count(self):
+        pag = make_pag(FIGURE2_SOURCE)
+        dynsum = DynSum(pag)
+        dynsum.points_to_name("Main.main", "s1")
+        assert dynsum.summary_count <= dynsum.cache_entry_count
+
+
+class TestInvalidation:
+    def test_invalidation_preserves_answers(self):
+        pag = make_pag(FIGURE2_SOURCE)
+        dynsum = DynSum(pag)
+        before = dynsum.points_to_name("Main.main", "s1").pairs
+        dropped = dynsum.invalidate_method("Vector.get")
+        assert dropped > 0
+        after = dynsum.points_to_name("Main.main", "s1").pairs
+        assert after == before
+
+    def test_invalidation_only_drops_that_method(self):
+        pag = make_pag(FIGURE2_SOURCE)
+        dynsum = DynSum(pag)
+        dynsum.points_to_name("Main.main", "s1")
+        entries_before = dynsum.cache_entry_count
+        dropped = dynsum.invalidate_method("Vector.get")
+        assert dynsum.cache_entry_count == entries_before - dropped
+
+    def test_invalidating_unknown_method_is_noop(self):
+        pag = make_pag(FIGURE2_SOURCE)
+        dynsum = DynSum(pag)
+        dynsum.points_to_name("Main.main", "s1")
+        assert dynsum.invalidate_method("No.suchMethod") == 0
+
+    def test_summaries_are_method_local(self):
+        """Every cache key's node and every fact in its summary belong to
+        the same method — the property method-granular invalidation
+        relies on."""
+        pag = make_pag(FIGURE2_SOURCE)
+        dynsum = DynSum(pag)
+        dynsum.points_to_name("Main.main", "s1")
+        dynsum.points_to_name("Main.main", "s2")
+        for (node, _stack, _state), summary in dynsum.cache._entries.items():
+            for obj in summary.objects:
+                assert obj.method == node.method
+            for bnode, _f, _s in summary.boundaries:
+                assert bnode.method == node.method
+
+
+class TestPrecision:
+    def test_context_sensitivity(self):
+        pag = make_pag(TWO_CALLS_SOURCE)
+        dynsum = DynSum(pag)
+        assert classes(dynsum.points_to_name("Main.main", "ra")) == ["A"]
+        assert classes(dynsum.points_to_name("Main.main", "rb")) == ["B"]
+
+    def test_globals_context_cleared(self):
+        pag = make_pag(GLOBALS_SOURCE)
+        result = DynSum(pag).points_to_name("Main.main", "x")
+        assert classes(result) == ["A", "B"]
+
+    def test_recursion_terminates(self):
+        pag = make_pag(RECURSION_SOURCE)
+        result = DynSum(pag).points_to_name("Main.main", "out")
+        assert result.complete
+        assert classes(result) == ["A"]
+
+    def test_heap_contexts_can_be_disabled(self):
+        pag = make_pag(TWO_CALLS_SOURCE)
+        plain = DynSum(pag, AnalysisConfig(track_heap_contexts=False))
+        result = plain.points_to_name("Main.main", "ra")
+        from repro.cfl.stacks import EMPTY_STACK
+
+        assert all(ctx == EMPTY_STACK for _obj, ctx in result.pairs)
+
+    def test_capabilities_row(self):
+        pag = make_pag(STRAIGHTLINE_SOURCE)
+        caps = DynSum(pag).capabilities()
+        assert caps["memoization"] == "dynamic-across"
+        assert caps["reuse"] == "context-independent"
+        assert caps["full_precision"] is True

@@ -1,0 +1,71 @@
+"""Smoke tests: every shipped example runs clean and says what it should."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=EXAMPLES_DIR,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "pointsTo(d) = ['Dog']" in out
+    assert "kennels conflated" in out
+    assert "violation" in out
+
+
+def test_motivating_example():
+    out = run_example("motivating_example.py")
+    assert "['Integer']" in out
+    assert "['String']" in out
+    assert "Table 1's reuse" in out
+
+
+def test_motivating_example_dot():
+    out = run_example("motivating_example.py", "--dot")
+    assert "digraph figure2" in out
+
+
+def test_table1_trace():
+    out = run_example("table1_trace.py")
+    assert "pointsTo(s1)" in out
+    assert "summary-miss" in out
+    assert "reuse" in out
+
+
+def test_ide_session():
+    out = run_example("ide_session.py")
+    assert "violation" in out  # the Square edit flips the verdict
+    assert "after revert" in out
+    assert "safe" in out
+
+
+def test_client_comparison():
+    out = run_example("client_comparison.py", "luindex")
+    assert "SafeCast" in out
+    assert "DYNSUM" in out
+    assert "STASUM" in out
+
+
+def test_client_comparison_rejects_unknown():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "client_comparison.py"), "quake3"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode != 0

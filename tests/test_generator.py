@@ -1,0 +1,116 @@
+"""Tests for the synthetic benchmark generator and the named suite."""
+
+import pytest
+
+from repro.bench.generator import GeneratorConfig, generate_program
+from repro.bench.suite import BENCHMARK_NAMES, benchmark_config, load_benchmark
+from repro.clients import FactoryMethodClient, NullDerefClient, SafeCastClient
+from repro.ir.pretty import pretty_print
+from repro.ir.validate import validate_program
+
+SMALL = GeneratorConfig(
+    seed=7,
+    domain_classes=4,
+    data_classes=3,
+    workers_per_class=2,
+    stmts_per_worker=6,
+    driver_rounds=1,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        a = pretty_print(generate_program(SMALL))
+        b = pretty_print(generate_program(SMALL))
+        assert a == b
+
+    def test_different_seed_different_program(self):
+        from dataclasses import replace
+
+        a = pretty_print(generate_program(SMALL))
+        b = pretty_print(generate_program(replace(SMALL, seed=8)))
+        assert a != b
+
+
+class TestStructure:
+    @pytest.fixture(scope="class")
+    def program(self):
+        return generate_program(SMALL)
+
+    def test_validates(self, program):
+        validate_program(program)
+
+    def test_entry_is_main(self, program):
+        assert program.entry == "Main.main"
+
+    def test_domain_classes_present(self, program):
+        for index in range(SMALL.domain_classes):
+            assert f"Comp{index}" in program.classes
+
+    def test_data_hierarchy_present(self, program):
+        assert "Data0" in program.classes
+        assert program.classes["Data0_1"].superclass == "Data0"
+
+    def test_library_present(self, program):
+        for name in ("Vec", "Arr", "Registry", "Box0"):
+            assert name in program.classes
+
+    def test_factories_emitted(self, program):
+        factories = [
+            m for m in program.methods() if m.name == "create" and m.is_static
+        ]
+        assert factories
+
+    def test_casts_emitted(self, program):
+        kinds = [stmt.kind for _m, stmt in program.statements()]
+        assert "cast" in kinds
+
+    def test_nulls_emitted(self, program):
+        kinds = [stmt.kind for _m, stmt in program.statements()]
+        assert "null" in kinds
+
+    def test_scaled_config(self):
+        bigger = SMALL.scaled(2.0)
+        assert bigger.domain_classes == 8
+        assert bigger.seed == SMALL.seed
+
+
+class TestNamedSuite:
+    def test_all_names_have_configs(self):
+        for name in BENCHMARK_NAMES:
+            assert benchmark_config(name) is not None
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            benchmark_config("quake3")
+
+    def test_load_benchmark_small_scale(self):
+        instance = load_benchmark("avrora", scale=0.5)
+        assert instance.name == "avrora"
+        assert instance.pag.node_counts()["V"] > 0
+        assert instance.stats.methods > 0
+
+    def test_clients_find_queries(self):
+        instance = load_benchmark("avrora", scale=0.5)
+        for client_cls in (SafeCastClient, NullDerefClient, FactoryMethodClient):
+            assert len(client_cls(instance.pag).queries()) > 0
+
+    def test_locality_in_realistic_band(self):
+        """Table 3 reports 80-90% locality; the synthetic suite should
+        land in a comparable band (we accept 60-95%)."""
+        instance = load_benchmark("jack")
+        assert 0.60 <= instance.pag.locality() <= 0.95
+
+    def test_stats_row_matches_pag(self):
+        instance = load_benchmark("luindex", scale=0.5)
+        stats = instance.stats
+        assert stats.total_nodes == sum(instance.pag.node_counts().values())
+        assert stats.total_edges == sum(instance.pag.edge_counts().values())
+
+    def test_query_volume_ordering(self):
+        """xalan issues more SafeCast queries than jack (Table 3)."""
+        xalan = load_benchmark("xalan")
+        jack = load_benchmark("jack")
+        assert len(SafeCastClient(xalan.pag).queries()) > len(
+            SafeCastClient(jack.pag).queries()
+        )

@@ -1,0 +1,177 @@
+"""Tests for the incremental re-analysis session (IDE/JIT scenario)."""
+
+import pytest
+
+from repro import DynSum, IncrementalAnalysisSession, NoRefine, build_pag, parse_program
+
+SOURCE = """
+class Thing { }
+class Other { }
+class Gadget { }
+class Factory {
+  static method create() {
+    t = new Thing;
+    return t;
+  }
+}
+class Store {
+  field item;
+  method put(x) { this.item = x; }
+  method get() {
+    r = this.item;
+    return r;
+  }
+}
+class Main {
+  static method main() {
+    a = Factory::create();
+    s = new Store;
+    s.put(a);
+    out = s.get();
+    unrelated = new Other;
+    copy = unrelated;
+  }
+}
+"""
+
+
+def classes(result):
+    return sorted(obj.class_name for obj in result.objects)
+
+
+@pytest.fixture()
+def session():
+    return IncrementalAnalysisSession(parse_program(SOURCE))
+
+
+class TestBasics:
+    def test_initial_queries(self, session):
+        assert classes(session.points_to_name("Main.main", "out")) == ["Thing"]
+        assert classes(session.points_to_name("Main.main", "copy")) == ["Other"]
+
+    def test_summary_count_exposed(self, session):
+        session.points_to_name("Main.main", "out")
+        assert session.summary_count > 0
+
+
+class TestEdits:
+    def test_edit_changes_answers(self, session):
+        assert classes(session.points_to_name("Main.main", "out")) == ["Thing"]
+
+        def new_body(m):
+            m.alloc("g", "Gadget").ret("g")
+
+        report = session.replace_body("Factory.create", new_body)
+        assert "Factory.create" in report.edited
+        assert classes(session.points_to_name("Main.main", "out")) == ["Gadget"]
+
+    def test_edit_matches_cold_start(self, session):
+        session.points_to_name("Main.main", "out")
+
+        def new_body(m):
+            m.alloc("g", "Gadget").ret("g")
+
+        session.replace_body("Factory.create", new_body)
+        # Cold-start reference on the edited program.
+        cold = NoRefine(build_pag(session.program))
+        for var in ("out", "a", "copy", "unrelated"):
+            warm = session.points_to_name("Main.main", var)
+            reference = cold.points_to_name("Main.main", var)
+            # ObjectNodes from different PAG builds compare by identity;
+            # the stable labels are the comparison currency.
+            assert {o.object_id for o in warm.objects} == {
+                o.object_id for o in reference.objects
+            }, var
+
+    def test_unrelated_summaries_migrate(self, session):
+        # Warm the cache with queries through Store and the unrelated copy.
+        session.points_to_name("Main.main", "out")
+        session.points_to_name("Main.main", "copy")
+
+        def new_body(m):
+            m.alloc("g", "Gadget").ret("g")
+
+        report = session.replace_body("Factory.create", new_body)
+        assert report.migrated > 0  # Store/Main summaries survive
+
+    def test_noop_edit_drops_only_edited_method(self, session):
+        session.points_to_name("Main.main", "out")
+
+        report = session.edit("Store.get", lambda method: None)
+        assert report.edited == ("Store.get",)
+        assert report.surface_changed == ()
+        assert classes(session.points_to_name("Main.main", "out")) == ["Thing"]
+
+    def test_surface_change_invalidates_dependents(self, session):
+        """An edit in Main that starts *capturing* Helper.idn's return
+        value gives idn's return variable its first outgoing global
+        (exit) edge — a boundary-surface change in un-edited Helper, so
+        Helper's summaries must be dropped, not migrated."""
+        source = """
+        class Thing { }
+        class Helper {
+          method idn(x) {
+            y = x;
+            return y;
+          }
+        }
+        class Main {
+          static method main() {
+            h = new Helper;
+            t = new Thing;
+            h.idn(t);
+          }
+        }
+        """
+        session = IncrementalAnalysisSession(parse_program(source))
+        # Warm Helper.idn's summaries: before the edit, `y` has no
+        # outgoing global edge (the call result is discarded).
+        session.points_to_name("Helper.idn", "y")
+
+        def new_main(m):
+            m.alloc("h", "Helper")
+            m.alloc("t", "Thing")
+            m.vcall("h", "idn", args=["t"], target="out")
+
+        report = session.replace_body("Main.main", new_main)
+        assert "Helper.idn" in report.surface_changed
+        # And the post-edit answers see the captured flow:
+        assert classes(session.points_to_name("Main.main", "out")) == ["Thing"]
+        assert classes(session.points_to_name("Helper.idn", "y")) == ["Thing"]
+
+    def test_repeated_edits(self, session):
+        def body_gadget(m):
+            m.alloc("g", "Gadget").ret("g")
+
+        def body_other(m):
+            m.alloc("o", "Other").ret("o")
+
+        session.replace_body("Factory.create", body_gadget)
+        assert classes(session.points_to_name("Main.main", "out")) == ["Gadget"]
+        session.replace_body("Factory.create", body_other)
+        assert classes(session.points_to_name("Main.main", "out")) == ["Other"]
+        assert session.edit_count == 2
+
+    def test_edit_report_repr(self, session):
+        report = session.edit("Store.get", lambda m: None)
+        assert "Store.get" in repr(report)
+
+
+class TestObjectIdStability:
+    def test_ids_are_method_scoped(self, session):
+        ids = [stmt.object_id for _m, stmt in session.program.allocations()]
+        assert all("@" in object_id for object_id in ids)
+
+    def test_edit_does_not_renumber_other_methods(self, session):
+        before = {
+            stmt.object_id
+            for method, stmt in session.program.allocations()
+            if method.qualified_name != "Factory.create"
+        }
+        session.replace_body("Factory.create", lambda m: m.alloc("g", "Gadget").ret("g"))
+        after = {
+            stmt.object_id
+            for method, stmt in session.program.allocations()
+            if method.qualified_name != "Factory.create"
+        }
+        assert before == after

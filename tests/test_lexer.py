@@ -1,0 +1,106 @@
+"""Tests for the PIR tokenizer."""
+
+import pytest
+
+from repro.ir.lexer import tokenize
+from repro.util.errors import ParseError
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source) if t.kind != "EOF"]
+
+
+class TestTokens:
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "EOF"
+
+    def test_identifiers(self):
+        assert kinds("foo Bar_9 $x _y") == [
+            ("IDENT", "foo"),
+            ("IDENT", "Bar_9"),
+            ("IDENT", "$x"),
+            ("IDENT", "_y"),
+        ]
+
+    def test_keywords_are_idents(self):
+        assert kinds("class new") == [("IDENT", "class"), ("IDENT", "new")]
+
+    def test_single_punct(self):
+        assert kinds("{ } ( ) = ; , .") == [
+            ("PUNCT", "{"),
+            ("PUNCT", "}"),
+            ("PUNCT", "("),
+            ("PUNCT", ")"),
+            ("PUNCT", "="),
+            ("PUNCT", ";"),
+            ("PUNCT", ","),
+            ("PUNCT", "."),
+        ]
+
+    def test_double_colon(self):
+        assert kinds("A::b") == [
+            ("IDENT", "A"),
+            ("PUNCT", "::"),
+            ("IDENT", "b"),
+        ]
+
+    def test_statement(self):
+        assert kinds("x = y.f;") == [
+            ("IDENT", "x"),
+            ("PUNCT", "="),
+            ("IDENT", "y"),
+            ("PUNCT", "."),
+            ("IDENT", "f"),
+            ("PUNCT", ";"),
+        ]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("x // the rest is ignored\n y") == [
+            ("IDENT", "x"),
+            ("IDENT", "y"),
+        ]
+
+    def test_block_comment(self):
+        assert kinds("x /* ignored \n over lines */ y") == [
+            ("IDENT", "x"),
+            ("IDENT", "y"),
+        ]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("x /* never closed")
+
+
+class TestPositions:
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert [t.line for t in tokens[:3]] == [1, 2, 3]
+
+    def test_column_numbers(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].column == 1
+        assert tokens[1].column == 4
+
+    def test_columns_after_newline(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[1].column == 3
+
+    def test_error_position(self):
+        with pytest.raises(ParseError) as exc:
+            tokenize("x\n  ?")
+        assert exc.value.line == 2
+        assert exc.value.column == 3
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(ParseError):
+            tokenize("x @ y")
+
+    def test_single_colon_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("A:b")

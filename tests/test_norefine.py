@@ -1,0 +1,205 @@
+"""Behavioural tests for the NOREFINE analysis."""
+
+import pytest
+
+from repro import AnalysisConfig, NoRefine
+from repro.cfl.stacks import EMPTY_STACK, Stack
+from repro.util.errors import IRError
+
+from tests.conftest import (
+    FIELD_ALIAS_SOURCE,
+    GLOBALS_SOURCE,
+    RECURSION_SOURCE,
+    STRAIGHTLINE_SOURCE,
+    TWO_CALLS_SOURCE,
+    make_pag,
+)
+
+
+def classes(result):
+    return sorted(obj.class_name for obj in result.objects)
+
+
+class TestLocalFlows:
+    def test_direct_allocation(self):
+        pag = make_pag(STRAIGHTLINE_SOURCE)
+        result = NoRefine(pag).points_to_name("Main.main", "a")
+        assert classes(result) == ["Widget"]
+
+    def test_copy_chain(self):
+        pag = make_pag(STRAIGHTLINE_SOURCE)
+        result = NoRefine(pag).points_to_name("Main.main", "c")
+        assert classes(result) == ["Widget"]
+
+    def test_unassigned_is_empty(self):
+        pag = make_pag(
+            "class Main { static method main() { a = new Main; b = ghost; } }"
+        )
+        result = NoRefine(pag).points_to_name("Main.main", "b")
+        assert result.objects == frozenset()
+        assert result.complete
+
+    def test_field_store_load_via_alias(self):
+        pag = make_pag(FIELD_ALIAS_SOURCE)
+        result = NoRefine(pag).points_to_name("Main.main", "out")
+        assert classes(result) == ["Payload"]
+
+    def test_field_sensitivity_separates_fields(self):
+        pag = make_pag(
+            """
+            class Cell { field a; field b; }
+            class X { }
+            class Y { }
+            class Main {
+              static method main() {
+                c = new Cell;
+                x = new X;
+                y = new Y;
+                c.a = x;
+                c.b = y;
+                outa = c.a;
+                outb = c.b;
+              }
+            }
+            """
+        )
+        nr = NoRefine(pag)
+        assert classes(nr.points_to_name("Main.main", "outa")) == ["X"]
+        assert classes(nr.points_to_name("Main.main", "outb")) == ["Y"]
+
+    def test_distinct_objects_not_conflated(self):
+        pag = make_pag(
+            """
+            class Cell { field a; }
+            class X { }
+            class Y { }
+            class Main {
+              static method main() {
+                c1 = new Cell;
+                c2 = new Cell;
+                x = new X;
+                y = new Y;
+                c1.a = x;
+                c2.a = y;
+                out = c1.a;
+              }
+            }
+            """
+        )
+        # c1 and c2 are different objects: out sees only X.
+        result = NoRefine(pag).points_to_name("Main.main", "out")
+        assert classes(result) == ["X"]
+
+
+class TestContextSensitivity:
+    def test_identity_calls_kept_apart(self):
+        pag = make_pag(TWO_CALLS_SOURCE)
+        nr = NoRefine(pag)
+        assert classes(nr.points_to_name("Main.main", "ra")) == ["A"]
+        assert classes(nr.points_to_name("Main.main", "rb")) == ["B"]
+
+    def test_query_inside_callee_merges_callers(self):
+        # Querying the formal itself (empty initial context) must see
+        # both actuals: a realizable path may start mid-program.
+        pag = make_pag(TWO_CALLS_SOURCE)
+        result = NoRefine(pag).points_to_name("Id.identity", "x")
+        assert classes(result) == ["A", "B"]
+
+    def test_initial_context_restricts_query(self):
+        pag = make_pag(TWO_CALLS_SOURCE)
+        # Find the site id of the first identity call (ra = ...).
+        program = pag.program
+        sites = [
+            (sid, stmt)
+            for sid, (_m, stmt) in program.call_sites().items()
+            if stmt.target == "ra"
+        ]
+        (site_id, _stmt) = sites[0]
+        context = EMPTY_STACK.push(site_id)
+        result = NoRefine(pag).points_to(
+            pag.find_local("Id.identity", "x"), context=context
+        )
+        assert classes(result) == ["A"]
+
+    def test_globals_clear_context(self):
+        pag = make_pag(GLOBALS_SOURCE)
+        result = NoRefine(pag).points_to_name("Main.main", "x")
+        assert classes(result) == ["A", "B"]
+
+    def test_recursion_is_collapsed_and_terminates(self):
+        pag = make_pag(RECURSION_SOURCE)
+        result = NoRefine(pag).points_to_name("Main.main", "out")
+        assert result.complete
+        assert classes(result) == ["A"]
+
+
+class TestBudgets:
+    def test_budget_exhaustion_marks_incomplete(self):
+        pag = make_pag(TWO_CALLS_SOURCE)
+        config = AnalysisConfig(budget=2)
+        result = NoRefine(pag, config).points_to_name("Main.main", "ra")
+        assert not result.complete
+
+    def test_budget_charged_steps_reported(self):
+        pag = make_pag(STRAIGHTLINE_SOURCE)
+        result = NoRefine(pag).points_to_name("Main.main", "c")
+        assert result.steps > 0
+
+    def test_budget_monotonicity(self):
+        """Raising the budget can only turn unknowns into answers."""
+        pag = make_pag(FIELD_ALIAS_SOURCE)
+        small = NoRefine(pag, AnalysisConfig(budget=3)).points_to_name(
+            "Main.main", "out"
+        )
+        large = NoRefine(pag, AnalysisConfig(budget=10_000)).points_to_name(
+            "Main.main", "out"
+        )
+        assert large.complete
+        assert small.objects <= large.objects
+
+    def test_field_depth_limit_marks_incomplete(self):
+        # A field-load cycle pumps the stack; the depth limit aborts.
+        pag = make_pag(
+            """
+            class Node { field next; }
+            class Main {
+              static method main() {
+                n = new Node;
+                n.next = n;
+                cur = n;
+                cur = cur.next;
+                out = cur.next;
+              }
+            }
+            """
+        )
+        config = AnalysisConfig(budget=None, max_field_depth=4)
+        result = NoRefine(pag, config).points_to_name("Main.main", "out")
+        # The cycle is caught either by completing (visited set) or by
+        # the depth limit; either way the query must terminate.
+        assert result.steps < 10_000
+
+
+class TestStatsAndErrors:
+    def test_total_counters_accumulate(self):
+        pag = make_pag(STRAIGHTLINE_SOURCE)
+        nr = NoRefine(pag)
+        nr.points_to_name("Main.main", "a")
+        nr.points_to_name("Main.main", "b")
+        assert nr.total_queries == 2
+        assert nr.total_steps > 0
+        nr.reset_stats()
+        assert nr.total_queries == 0
+
+    def test_querying_object_node_rejected(self):
+        pag = make_pag(STRAIGHTLINE_SOURCE)
+        (obj,) = [o for o in pag.object_nodes()]
+        with pytest.raises(IRError):
+            NoRefine(pag).points_to(obj)
+
+    def test_capabilities_row(self):
+        pag = make_pag(STRAIGHTLINE_SOURCE)
+        caps = NoRefine(pag).capabilities()
+        assert caps["analysis"] == "NOREFINE"
+        assert caps["full_precision"] is True
+        assert caps["memoization"] == "none"

@@ -1,0 +1,229 @@
+"""Tests for the PAG data structure and its builder."""
+
+import pytest
+
+from repro import build_pag, parse_program
+from repro.pag.edges import ASSIGN, ASSIGN_GLOBAL, ENTRY, EXIT, LOAD, NEW, STORE
+from repro.pag.graph import PAG
+from repro.util.errors import IRError
+
+from tests.conftest import FIGURE2_SOURCE, RECURSION_SOURCE, make_pag
+
+
+class TestNodeInterning:
+    def test_local_vars_interned(self):
+        pag = PAG()
+        a1 = pag.local_var("C.m", "x")
+        a2 = pag.local_var("C.m", "x")
+        assert a1 is a2
+
+    def test_distinct_methods_distinct_nodes(self):
+        pag = PAG()
+        assert pag.local_var("C.m", "x") is not pag.local_var("C.n", "x")
+
+    def test_globals_interned(self):
+        pag = PAG()
+        assert pag.global_var("C", "g") is pag.global_var("C", "g")
+
+    def test_objects_interned(self):
+        pag = PAG()
+        o1 = pag.object_node("o1", "C", "C.m")
+        assert pag.object_node("o1") is o1
+
+    def test_unknown_object_lookup_fails(self):
+        with pytest.raises(IRError):
+            PAG().object_node("nope")
+
+    def test_find_local_requires_existing(self):
+        with pytest.raises(IRError):
+            PAG().find_local("C.m", "ghost")
+
+    def test_method_nodes_tracked(self):
+        pag = PAG()
+        v = pag.local_var("C.m", "x")
+        o = pag.object_node("o1", "C", "C.m")
+        assert set(pag.nodes_of_method("C.m")) == {v, o}
+
+
+class TestEdgeStorage:
+    def test_edges_deduplicated(self):
+        pag = PAG()
+        a, b = pag.local_var("C.m", "a"), pag.local_var("C.m", "b")
+        pag.add_assign(a, b)
+        pag.add_assign(a, b)
+        assert pag.edge_counts()[ASSIGN] == 1
+        assert len(pag.assign_sources(b)) == 1
+
+    def test_new_edge_unique_target(self):
+        pag = PAG()
+        o = pag.object_node("o1", "C", "C.m")
+        a, b = pag.local_var("C.m", "a"), pag.local_var("C.m", "b")
+        pag.add_new(o, a)
+        with pytest.raises(IRError):
+            pag.add_new(o, b)
+
+    def test_load_indexed_by_field(self):
+        pag = PAG()
+        base, t1 = pag.local_var("C.m", "b"), pag.local_var("C.m", "t")
+        pag.add_load(base, "f", t1)
+        assert pag.loads_of_field("f") == [(base, t1)]
+        assert pag.loads_of_field("other") == ()
+
+    def test_store_indexed_by_field(self):
+        pag = PAG()
+        value, base = pag.local_var("C.m", "v"), pag.local_var("C.m", "b")
+        pag.add_store(value, "f", base)
+        assert pag.stores_of_field("f") == [(value, base)]
+
+    def test_bidirectional_adjacency(self):
+        pag = PAG()
+        a, p = pag.local_var("C.m", "a"), pag.local_var("D.n", "p")
+        pag.add_entry(a, 5, p)
+        assert pag.entry_from(a) == [(5, p)]
+        assert pag.entry_into(p) == [(a, 5)]
+        r, t = pag.local_var("D.n", "r"), pag.local_var("C.m", "t")
+        pag.add_exit(r, 5, t)
+        assert pag.exit_from(r) == [(5, t)]
+        assert pag.exit_into(t) == [(r, 5)]
+
+    def test_iter_edges_covers_all(self):
+        pag = make_pag(FIGURE2_SOURCE)
+        kinds = {}
+        for kind, _s, _l, _t in pag.iter_edges():
+            kinds[kind] = kinds.get(kind, 0) + 1
+        nonzero = {k: n for k, n in pag.edge_counts().items() if n}
+        assert kinds == nonzero
+
+
+class TestBoundaryPredicates:
+    def test_has_global_in(self):
+        pag = PAG()
+        a, p = pag.local_var("C.m", "a"), pag.local_var("D.n", "p")
+        pag.add_entry(a, 1, p)
+        assert pag.has_global_in(p)
+        assert not pag.has_global_in(a)
+        assert pag.has_global_out(a)
+        assert not pag.has_global_out(p)
+
+    def test_assignglobal_counts_as_global(self):
+        pag = PAG()
+        g = pag.global_var("C", "s")
+        x = pag.local_var("C.m", "x")
+        pag.add_global_assign(g, x)
+        assert pag.has_global_in(x)
+        assert pag.has_global_out(g)
+
+    def test_has_local_edges(self):
+        pag = PAG()
+        a, b = pag.local_var("C.m", "a"), pag.local_var("C.m", "b")
+        c = pag.local_var("C.m", "c")
+        pag.add_assign(a, b)
+        assert pag.has_local_edges(a)
+        assert pag.has_local_edges(b)
+        assert not pag.has_local_edges(c)
+
+
+class TestBuilderIntegration:
+    def test_figure2_counts(self, figure2_pag):
+        counts = figure2_pag.node_counts()
+        # 7 allocations: ObjectArray x2 (one per init call? no — one
+        # statement, one object), Integer, String, Vector x2, Client x2.
+        assert counts["O"] == 7
+        assert counts["G"] == 0
+        assert figure2_pag.edge_counts()[NEW] == 7
+
+    def test_figure2_has_expected_kinds(self, figure2_pag):
+        counts = figure2_pag.edge_counts()
+        # Figure 2 has no plain copies — parameter passing is entry edges.
+        for kind in (NEW, LOAD, STORE, ENTRY, EXIT):
+            assert counts[kind] > 0, kind
+        assert counts[ASSIGN] == 0
+        assert counts[ASSIGN_GLOBAL] == 0
+
+    def test_locality_between_zero_and_one(self, figure2_pag):
+        assert 0.0 < figure2_pag.locality() < 1.0
+
+    def test_unreachable_methods_excluded(self):
+        pag = make_pag(
+            """
+            class Dead { method gone() { d = new Dead; return d; } }
+            class Main { static method main() { x = new Main; } }
+            """
+        )
+        assert "Dead.gone" not in pag.methods()
+        with pytest.raises(IRError):
+            pag.find_local("Dead.gone", "d")
+
+    def test_static_fields_make_global_nodes(self):
+        pag = make_pag(
+            """
+            class G { static field s; }
+            class Main {
+              static method main() {
+                x = new Main;
+                G::s = x;
+                y = G::s;
+              }
+            }
+            """
+        )
+        assert pag.node_counts()["G"] == 1
+        assert pag.edge_counts()[ASSIGN_GLOBAL] == 2
+
+    def test_recursive_sites_marked(self):
+        pag = make_pag(RECURSION_SOURCE)
+        recursive = [
+            site
+            for site in pag.program.call_sites()
+            if pag.is_recursive_site(site)
+        ]
+        assert len(recursive) == 1
+
+    def test_casts_become_assign_edges(self):
+        pag = make_pag(
+            """
+            class A { }
+            class Main {
+              static method main() {
+                a = new A;
+                b = (A) a;
+              }
+            }
+            """
+        )
+        b = pag.find_local("Main.main", "b")
+        assert len(pag.assign_sources(b)) == 1
+
+    def test_multiple_returns_multiple_exit_edges(self):
+        pag = make_pag(
+            """
+            class A { }
+            class B { }
+            class C {
+              method pick(x) {
+                a = new A;
+                return a;
+                return x;
+              }
+            }
+            class Main {
+              static method main() {
+                c = new C;
+                b = new B;
+                out = c.pick(b);
+              }
+            }
+            """
+        )
+        out = pag.find_local("Main.main", "out")
+        assert len(pag.exit_into(out)) == 2
+
+    def test_requires_finalized_program(self):
+        from repro.ir.ast import Program
+
+        with pytest.raises(IRError):
+            build_pag(Program())
+
+    def test_repr(self, figure2_pag):
+        text = repr(figure2_pag)
+        assert "V=" in text and "locality" in text

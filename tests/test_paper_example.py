@@ -1,0 +1,141 @@
+"""The paper's running example (Figure 2 / Table 1 / Section 3.4).
+
+These tests pin the behaviour the paper derives by hand:
+
+* ``pointsTo(s1) = {o26}`` (the Integer) and ``pointsTo(s2) = {o29}``
+  (the String) — context-sensitive analyses must separate the two
+  vectors' payloads even though they share all library code;
+* the context-insensitive analysis merges them (Section 3.2);
+* Andersen (the Spark substrate) merges them too;
+* DYNSUM answers the second query with fewer steps than the first by
+  reusing summaries cached during the first (Table 1: 23 vs 15 steps).
+"""
+
+import pytest
+
+from repro import (
+    AnalysisConfig,
+    AndersenAnalysis,
+    ContextInsensitivePta,
+    DynSum,
+    NoRefine,
+    RefinePts,
+    StaSum,
+)
+
+CONTEXT_SENSITIVE = [NoRefine, RefinePts, DynSum, StaSum]
+
+
+def object_classes(result):
+    return sorted(obj.class_name for obj in result.objects)
+
+
+@pytest.fixture(scope="module")
+def pag(figure2_pag):
+    return figure2_pag
+
+
+@pytest.mark.parametrize("analysis_cls", CONTEXT_SENSITIVE)
+class TestContextSensitiveResults:
+    def test_s1_is_integer_only(self, pag, analysis_cls):
+        result = analysis_cls(pag).points_to_name("Main.main", "s1")
+        assert result.complete
+        assert object_classes(result) == ["Integer"]
+
+    def test_s2_is_string_only(self, pag, analysis_cls):
+        result = analysis_cls(pag).points_to_name("Main.main", "s2")
+        assert result.complete
+        assert object_classes(result) == ["String"]
+
+    def test_v1_points_to_one_vector(self, pag, analysis_cls):
+        result = analysis_cls(pag).points_to_name("Main.main", "v1")
+        assert object_classes(result) == ["Vector"]
+
+
+class TestImpreciseBaselines:
+    def test_cipta_merges_payloads(self, pag):
+        cipta = ContextInsensitivePta(pag)
+        for var in ("s1", "s2"):
+            result = cipta.points_to_name("Main.main", var)
+            assert object_classes(result) == ["Integer", "String"]
+
+    def test_andersen_merges_payloads(self, figure2_program):
+        result = AndersenAnalysis(figure2_program).solve()
+        classes = sorted(
+            cls for _o, cls in result.points_to_local("Main.main", "s1")
+        )
+        assert classes == ["Integer", "String"]
+
+    def test_context_sensitive_subset_of_cipta(self, pag):
+        ci = ContextInsensitivePta(pag).points_to_name("Main.main", "s1")
+        cs = NoRefine(pag).points_to_name("Main.main", "s1")
+        assert cs.objects <= ci.objects
+
+
+class TestSummaryReuse:
+    def test_second_query_cheaper(self, pag):
+        """Table 1's headline: s2 takes fewer steps than s1 thanks to
+        the summaries cached while answering s1."""
+        dynsum = DynSum(pag)
+        r1 = dynsum.points_to_name("Main.main", "s1")
+        r2 = dynsum.points_to_name("Main.main", "s2")
+        assert r2.steps < r1.steps
+
+    def test_second_query_hits_cache(self, pag):
+        dynsum = DynSum(pag)
+        dynsum.points_to_name("Main.main", "s1")
+        hits_before = dynsum.cache.hits
+        dynsum.points_to_name("Main.main", "s2")
+        assert dynsum.cache.hits > hits_before
+
+    def test_repeated_query_is_much_cheaper(self, pag):
+        dynsum = DynSum(pag)
+        first = dynsum.points_to_name("Main.main", "s1")
+        again = dynsum.points_to_name("Main.main", "s1")
+        assert again.pairs == first.pairs
+        assert again.steps <= first.steps
+
+    def test_summaries_accumulate(self, pag):
+        dynsum = DynSum(pag)
+        assert dynsum.summary_count == 0
+        dynsum.points_to_name("Main.main", "s1")
+        after_s1 = dynsum.summary_count
+        assert after_s1 > 0
+        dynsum.points_to_name("Main.main", "s2")
+        assert dynsum.summary_count >= after_s1
+
+    def test_ppta_example_from_section_4_1(self, pag):
+        """ppta(ret@Vector.get, [], S1) contains the boundary tuple
+        (this@Vector.get, [arr, elems], S1) — the paper's Section 4.1
+        example (modulo our variable naming: ret is ``r``)."""
+        from repro.analysis.ppta import run_ppta
+        from repro.cfl.budget import Budget
+        from repro.cfl.rsm import FAM_LOAD, S1
+        from repro.cfl.stacks import EMPTY_STACK
+
+        node = pag.find_local("Vector.get", "r")
+        summary = run_ppta(pag, node, EMPTY_STACK, S1, Budget(None))
+        this_get = pag.find_local("Vector.get", "this")
+        expected_stack = EMPTY_STACK.push(("arr", FAM_LOAD)).push(("elems", FAM_LOAD))
+        assert (this_get, expected_stack, S1) in summary.boundaries
+
+
+class TestPrecisionEquality:
+    """Table 2: NOREFINE, REFINEPTS and DYNSUM are all fully precise."""
+
+    @pytest.mark.parametrize("var", ["s1", "s2", "v1", "v2", "c1", "c2"])
+    def test_object_sets_agree(self, pag, var):
+        results = [
+            cls(pag).points_to_name("Main.main", var)
+            for cls in (NoRefine, RefinePts, DynSum)
+        ]
+        assert all(r.complete for r in results)
+        reference = results[0].objects
+        for result in results[1:]:
+            assert result.objects == reference
+
+    def test_pair_sets_agree_norefine_dynsum(self, pag):
+        for var in ("s1", "s2"):
+            nr = NoRefine(pag).points_to_name("Main.main", var)
+            ds = DynSum(pag).points_to_name("Main.main", var)
+            assert nr.pairs == ds.pairs

@@ -1,0 +1,200 @@
+"""Tests for the PIR parser: every statement form plus error paths."""
+
+import pytest
+
+from repro.ir.parser import parse_program
+from repro.util.errors import ParseError, ValidationError
+
+
+def parse_main(body, extra="", entry="Main.main", validate=True):
+    source = f"""
+    class Helper {{
+      field f;
+      static field g;
+      method m(a) {{ return a; }}
+      static method sm(a) {{ return a; }}
+    }}
+    {extra}
+    class Main {{
+      static method main() {{
+        {body}
+      }}
+    }}
+    """
+    return parse_program(source, entry=entry, validate=validate)
+
+
+def main_stmts(program):
+    return program.lookup_method("Main.main").statements
+
+
+class TestStatements:
+    def test_alloc(self):
+        (stmt,) = main_stmts(parse_main("x = new Helper;"))
+        assert stmt.kind == "alloc"
+        assert stmt.target == "x"
+        assert stmt.class_name == "Helper"
+
+    def test_null(self):
+        (stmt,) = main_stmts(parse_main("x = null;"))
+        assert stmt.kind == "null"
+        assert stmt.target == "x"
+
+    def test_copy(self):
+        stmts = main_stmts(parse_main("x = new Helper; y = x;"))
+        assert stmts[1].kind == "copy"
+        assert (stmts[1].target, stmts[1].source) == ("y", "x")
+
+    def test_cast(self):
+        stmts = main_stmts(parse_main("x = new Helper; y = (Helper) x;"))
+        assert stmts[1].kind == "cast"
+        assert stmts[1].class_name == "Helper"
+        assert stmts[1].source == "x"
+
+    def test_load(self):
+        stmts = main_stmts(parse_main("x = new Helper; y = x.f;"))
+        assert stmts[1].kind == "load"
+        assert (stmts[1].target, stmts[1].base, stmts[1].field) == ("y", "x", "f")
+
+    def test_store(self):
+        stmts = main_stmts(parse_main("x = new Helper; x.f = x;"))
+        assert stmts[1].kind == "store"
+        assert (stmts[1].base, stmts[1].field, stmts[1].source) == ("x", "f", "x")
+
+    def test_static_get(self):
+        (stmt,) = main_stmts(parse_main("x = Helper::g;"))
+        assert stmt.kind == "staticget"
+        assert (stmt.class_name, stmt.field) == ("Helper", "g")
+
+    def test_static_put(self):
+        stmts = main_stmts(parse_main("x = new Helper; Helper::g = x;"))
+        assert stmts[1].kind == "staticput"
+        assert (stmts[1].class_name, stmts[1].field, stmts[1].source) == (
+            "Helper",
+            "g",
+            "x",
+        )
+
+    def test_virtual_call_with_target(self):
+        stmts = main_stmts(parse_main("x = new Helper; y = x.m(x);"))
+        call = stmts[1]
+        assert call.kind == "call"
+        assert call.is_virtual
+        assert call.target == "y"
+        assert call.receiver == "x"
+        assert call.args == ["x"]
+
+    def test_virtual_call_no_target(self):
+        stmts = main_stmts(parse_main("x = new Helper; x.m(x);"))
+        call = stmts[1]
+        assert call.is_virtual
+        assert call.target is None
+
+    def test_static_call_with_target(self):
+        stmts = main_stmts(parse_main("x = new Helper; y = Helper::sm(x);"))
+        call = stmts[1]
+        assert not call.is_virtual
+        assert call.class_name == "Helper"
+        assert call.target == "y"
+
+    def test_static_call_no_target(self):
+        stmts = main_stmts(parse_main("x = new Helper; Helper::sm(x);"))
+        assert stmts[1].kind == "call"
+        assert stmts[1].target is None
+
+    def test_multiple_args(self):
+        program = parse_main(
+            "x = new Gadget; y = x.mm(x, x);",
+            extra="class Gadget { method mm(a, b) { return a; } }",
+        )
+        call = main_stmts(program)[1]
+        assert call.args == ["x", "x"]
+
+    def test_return_statement(self):
+        program = parse_main("x = new Helper;")
+        helper_m = program.lookup_method("Helper.m")
+        assert helper_m.statements[-1].kind == "return"
+        assert helper_m.statements[-1].source == "a"
+
+    def test_statement_labels_carry_lines(self):
+        (stmt,) = main_stmts(parse_main("x = new Helper;"))
+        assert isinstance(stmt.label, int)
+
+
+class TestClassStructure:
+    def test_extends(self):
+        program = parse_program(
+            """
+            class A { }
+            class B extends A { }
+            class Main { static method main() { x = new B; } }
+            """
+        )
+        assert program.classes["B"].superclass == "A"
+
+    def test_fields_and_static_fields(self):
+        program = parse_main("x = new Helper;")
+        helper = program.classes["Helper"]
+        assert helper.fields == ["f"]
+        assert helper.static_fields == ["g"]
+
+    def test_method_params(self):
+        program = parse_main("x = new Helper;")
+        assert program.lookup_method("Helper.m").params == ["a"]
+
+    def test_static_method_flag(self):
+        program = parse_main("x = new Helper;")
+        assert program.lookup_method("Helper.sm").is_static
+        assert not program.lookup_method("Helper.m").is_static
+
+    def test_call_sites_get_unique_ids(self):
+        program = parse_main("x = new Helper; y = x.m(x); z = x.m(y);")
+        sites = program.call_sites()
+        assert len(sites) == 2
+        assert len(set(sites)) == 2
+
+    def test_allocation_ids_unique(self):
+        program = parse_main("x = new Helper; y = new Helper; z = null;")
+        ids = [stmt.object_id for _m, stmt in program.allocations()]
+        assert len(ids) == len(set(ids)) == 3
+
+    def test_null_gets_object_id(self):
+        program = parse_main("z = null;")
+        (pair,) = program.allocations()
+        assert pair[1].kind == "null"
+        assert pair[1].object_id.endswith("#null")
+
+
+class TestParseErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_main("x = new Helper")
+
+    def test_keyword_as_name(self):
+        with pytest.raises(ParseError):
+            parse_main("class = new Helper;")
+
+    def test_unclosed_class(self):
+        with pytest.raises(ParseError):
+            parse_program("class A {")
+
+    def test_garbage_member(self):
+        with pytest.raises(ParseError):
+            parse_program("class A { banana x; }")
+
+    def test_error_has_location(self):
+        with pytest.raises(ParseError) as exc:
+            parse_program("class A { field }")
+        assert exc.value.line is not None
+
+    def test_validation_can_be_disabled(self):
+        # alloc of an unknown class parses fine without validation
+        program = parse_program(
+            "class Main { static method main() { x = new Ghost; } }",
+            validate=False,
+        )
+        assert program.is_finalized
+
+    def test_validation_enabled_by_default(self):
+        with pytest.raises(ValidationError):
+            parse_program("class Main { static method main() { x = new Ghost; } }")

@@ -1,0 +1,203 @@
+"""Unit tests for the PPTA (DSPOINTSTO) on hand-built PAGs."""
+
+import pytest
+
+from repro.analysis.ppta import PptaResult, run_ppta
+from repro.cfl.budget import Budget
+from repro.cfl.rsm import FAM_LOAD, FAM_STORE, S1, S2
+from repro.cfl.stacks import EMPTY_STACK, Stack
+from repro.pag.graph import PAG
+from repro.util.errors import BudgetExceededError
+
+M = "C.m"  # every node in these graphs lives in one method
+
+
+def build_pag():
+    return PAG()
+
+
+def local(pag, name):
+    return pag.local_var(M, name)
+
+
+def obj(pag, oid, cls="T"):
+    return pag.object_node(oid, cls, M)
+
+
+class TestS1Basics:
+    def test_new_with_empty_stack_emits_object(self):
+        pag = build_pag()
+        v = local(pag, "v")
+        o = obj(pag, "o1")
+        pag.add_new(o, v)
+        result = run_ppta(pag, v, EMPTY_STACK, S1, Budget(None))
+        assert result.objects == (o,)
+        assert result.boundaries == ()
+
+    def test_assign_chain_collapsed(self):
+        pag = build_pag()
+        a, b, c = (local(pag, n) for n in "abc")
+        o = obj(pag, "o1")
+        pag.add_new(o, a)
+        pag.add_assign(a, b)
+        pag.add_assign(b, c)
+        result = run_ppta(pag, c, EMPTY_STACK, S1, Budget(None))
+        assert result.objects == (o,)
+
+    def test_local_store_load_roundtrip(self):
+        pag = build_pag()
+        base, value, out = local(pag, "base"), local(pag, "value"), local(pag, "out")
+        ob = obj(pag, "ob", "Cell")
+        ov = obj(pag, "ov", "Payload")
+        pag.add_new(ob, base)
+        pag.add_new(ov, value)
+        pag.add_store(value, "f", base)
+        pag.add_load(base, "f", out)
+        result = run_ppta(pag, out, EMPTY_STACK, S1, Budget(None))
+        assert result.objects == (ov,)
+
+    def test_mismatched_field_yields_nothing(self):
+        pag = build_pag()
+        base, value, out = local(pag, "base"), local(pag, "value"), local(pag, "out")
+        pag.add_new(obj(pag, "ob"), base)
+        pag.add_new(obj(pag, "ov"), value)
+        pag.add_store(value, "f", base)
+        pag.add_load(base, "g", out)  # loads g, stored f
+        result = run_ppta(pag, out, EMPTY_STACK, S1, Budget(None))
+        assert result.objects == ()
+
+    def test_two_bases_not_conflated(self):
+        pag = build_pag()
+        b1, b2 = local(pag, "b1"), local(pag, "b2")
+        v1, v2, out = local(pag, "v1"), local(pag, "v2"), local(pag, "out")
+        pag.add_new(obj(pag, "c1", "Cell"), b1)
+        pag.add_new(obj(pag, "c2", "Cell"), b2)
+        o1 = obj(pag, "o1", "X")
+        o2 = obj(pag, "o2", "Y")
+        pag.add_new(o1, v1)
+        pag.add_new(o2, v2)
+        pag.add_store(v1, "f", b1)
+        pag.add_store(v2, "f", b2)
+        pag.add_load(b1, "f", out)
+        result = run_ppta(pag, out, EMPTY_STACK, S1, Budget(None))
+        assert result.objects == (o1,)
+
+
+class TestBoundaries:
+    def test_global_in_emits_boundary(self):
+        pag = build_pag()
+        v, src = local(pag, "v"), local(pag, "src")
+        other = pag.local_var("D.n", "w")
+        pag.add_entry(other, 1, v)  # global edge into v
+        pag.add_assign(src, v)
+        result = run_ppta(pag, v, EMPTY_STACK, S1, Budget(None))
+        assert (v, EMPTY_STACK, S1) in result.boundaries
+
+    def test_no_global_edge_no_boundary(self):
+        pag = build_pag()
+        v = local(pag, "v")
+        pag.add_new(obj(pag, "o1"), v)
+        result = run_ppta(pag, v, EMPTY_STACK, S1, Budget(None))
+        assert result.boundaries == ()
+
+    def test_boundary_carries_accumulated_stack(self):
+        pag = build_pag()
+        out, base = local(pag, "out"), local(pag, "base")
+        caller_var = pag.local_var("D.n", "arg")
+        pag.add_load(base, "f", out)
+        pag.add_entry(caller_var, 7, base)  # base is a formal
+        result = run_ppta(pag, out, EMPTY_STACK, S1, Budget(None))
+        expected_stack = EMPTY_STACK.push(("f", FAM_LOAD))
+        assert (base, expected_stack, S1) in result.boundaries
+
+    def test_s2_boundary_on_outgoing_global(self):
+        pag = build_pag()
+        v = local(pag, "v")
+        callee_formal = pag.local_var("D.n", "p")
+        pag.add_entry(v, 3, callee_formal)  # global edge out of v
+        pag.add_assign(v, local(pag, "w"))  # ensure v has local edges
+        result = run_ppta(pag, v, EMPTY_STACK, S2, Budget(None))
+        assert (v, EMPTY_STACK, S2) in result.boundaries
+
+
+class TestTurnaround:
+    def test_alias_through_allocation(self):
+        """x and y alias via o; a pending load on x resolves through the
+        store on y (the new/new-bar turnaround)."""
+        pag = build_pag()
+        x, y, out, value = (local(pag, n) for n in ("x", "y", "out", "value"))
+        o = obj(pag, "cell", "Cell")
+        pag.add_new(o, x)
+        pag.add_assign(x, y)  # y = x: alias
+        ov = obj(pag, "pay", "P")
+        pag.add_new(ov, value)
+        pag.add_store(value, "f", y)
+        pag.add_load(x, "f", out)
+        result = run_ppta(pag, out, EMPTY_STACK, S1, Budget(None))
+        assert result.objects == (ov,)
+
+    def test_family_crossing_rejected(self):
+        """Two values stored into the same field slot do NOT alias:
+        the family-B push must not be closed by the store-bar rule."""
+        pag = build_pag()
+        base = local(pag, "base")
+        v1, v2, out = local(pag, "v1"), local(pag, "v2"), local(pag, "out")
+        pag.add_new(obj(pag, "cell", "Cell"), base)
+        o1 = obj(pag, "o1", "X")
+        o2 = obj(pag, "o2", "Y")
+        pag.add_new(o1, v1)
+        pag.add_new(o2, v2)
+        pag.add_store(v1, "f", base)
+        pag.add_store(v2, "f", base)
+        # out = v1: pts(out) must be {o1}, not {o1, o2}.
+        pag.add_assign(v1, out)
+        result = run_ppta(pag, out, EMPTY_STACK, S1, Budget(None))
+        assert result.objects == (o1,)
+
+
+class TestTermination:
+    def test_assign_cycle_terminates(self):
+        pag = build_pag()
+        a, b = local(pag, "a"), local(pag, "b")
+        o = obj(pag, "o1")
+        pag.add_new(o, a)
+        pag.add_assign(a, b)
+        pag.add_assign(b, a)
+        result = run_ppta(pag, b, EMPTY_STACK, S1, Budget(None))
+        assert result.objects == (o,)
+
+    def test_budget_charged_and_raises(self):
+        pag = build_pag()
+        a, b = local(pag, "a"), local(pag, "b")
+        pag.add_new(obj(pag, "o1"), a)
+        pag.add_assign(a, b)
+        with pytest.raises(BudgetExceededError):
+            run_ppta(pag, b, EMPTY_STACK, S1, Budget(1))
+
+    def test_depth_limit_raises(self):
+        pag = build_pag()
+        v = local(pag, "v")
+        pag.add_load(v, "f", v)  # v = v.f: unbounded backward pushes
+        with pytest.raises(BudgetExceededError):
+            run_ppta(pag, v, EMPTY_STACK, S1, Budget(None), max_field_depth=3)
+
+    def test_result_is_deterministic(self):
+        pag = build_pag()
+        a, b, c = (local(pag, n) for n in "abc")
+        pag.add_new(obj(pag, "o2"), b)
+        pag.add_new(obj(pag, "o1"), a)
+        pag.add_assign(a, c)
+        pag.add_assign(b, c)
+        r1 = run_ppta(pag, c, EMPTY_STACK, S1, Budget(None))
+        r2 = run_ppta(pag, c, EMPTY_STACK, S1, Budget(None))
+        assert r1.objects == r2.objects
+        assert r1.boundaries == r2.boundaries
+
+
+class TestPptaResult:
+    def test_size(self):
+        result = PptaResult(("a", "b"), (("n", EMPTY_STACK, S1),))
+        assert result.size == 3
+
+    def test_repr(self):
+        assert "2 object(s)" in repr(PptaResult(("a", "b"), ()))

@@ -1,0 +1,97 @@
+"""Round-trip tests: parse -> pretty-print -> parse reproduces the program."""
+
+import pytest
+
+from repro.ir.parser import parse_program
+from repro.ir.pretty import pretty_print
+
+from tests.conftest import (
+    FIELD_ALIAS_SOURCE,
+    FIGURE2_SOURCE,
+    GLOBALS_SOURCE,
+    RECURSION_SOURCE,
+    STRAIGHTLINE_SOURCE,
+    TWO_CALLS_SOURCE,
+)
+
+ALL_SOURCES = [
+    FIGURE2_SOURCE,
+    STRAIGHTLINE_SOURCE,
+    FIELD_ALIAS_SOURCE,
+    TWO_CALLS_SOURCE,
+    GLOBALS_SOURCE,
+    RECURSION_SOURCE,
+]
+
+
+@pytest.mark.parametrize("source", ALL_SOURCES)
+def test_roundtrip_is_stable(source):
+    program = parse_program(source)
+    text1 = pretty_print(program)
+    reparsed = parse_program(text1)
+    text2 = pretty_print(reparsed)
+    assert text1 == text2
+
+
+@pytest.mark.parametrize("source", ALL_SOURCES)
+def test_roundtrip_preserves_structure(source):
+    program = parse_program(source)
+    reparsed = parse_program(pretty_print(program))
+    assert set(program.classes) == set(reparsed.classes)
+    assert program.counts() == reparsed.counts()
+    for name, class_def in program.classes.items():
+        other = reparsed.classes[name]
+        assert class_def.superclass == other.superclass
+        assert class_def.fields == other.fields
+        assert class_def.static_fields == other.static_fields
+        assert set(class_def.methods) == set(other.methods)
+        for method_name, method in class_def.methods.items():
+            other_method = other.methods[method_name]
+            assert method.params == other_method.params
+            assert method.is_static == other_method.is_static
+            assert len(method.statements) == len(other_method.statements)
+            for a, b in zip(method.statements, other_method.statements):
+                assert a.kind == b.kind
+
+
+def test_output_contains_all_statement_forms():
+    source = """
+    class C {
+      field f;
+      static field g;
+      method m(a) {
+        x = new C;
+        n = null;
+        y = x;
+        z = (C) y;
+        w = x.f;
+        x.f = w;
+        s = C::g;
+        C::g = s;
+        r = x.m(s);
+        x.m(r);
+        q = C::sm(r);
+        C::sm(q);
+        return q;
+      }
+      static method sm(a) { return a; }
+    }
+    class Main { static method main() { c = new C; } }
+    """
+    text = pretty_print(parse_program(source))
+    for snippet in [
+        "x = new C",
+        "n = null",
+        "y = x",
+        "z = (C) y",
+        "w = x.f",
+        "x.f = w",
+        "s = C::g",
+        "C::g = s",
+        "r = x.m(s)",
+        "q = C::sm(r)",
+        "return q",
+        "static field g",
+        "static method sm(a)",
+    ]:
+        assert snippet in text, snippet

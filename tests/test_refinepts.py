@@ -1,0 +1,154 @@
+"""Behavioural tests for REFINEPTS: match edges, refinement, early exit."""
+
+import pytest
+
+from repro import AnalysisConfig, NoRefine, RefinePts
+
+from tests.conftest import (
+    FIELD_ALIAS_SOURCE,
+    FIGURE2_SOURCE,
+    STRAIGHTLINE_SOURCE,
+    TWO_CALLS_SOURCE,
+    make_pag,
+)
+
+#: Two cells of the same class: field-based analysis conflates their
+#: contents, field-sensitive analysis separates them.
+TWO_CELLS_SOURCE = """
+class Cell { field val; }
+class X { }
+class Y { }
+class Main {
+  static method main() {
+    c1 = new Cell;
+    c2 = new Cell;
+    x = new X;
+    y = new Y;
+    c1.val = x;
+    c2.val = y;
+    out1 = c1.val;
+    out2 = c2.val;
+  }
+}
+"""
+
+
+def classes(result):
+    return sorted(obj.class_name for obj in result.objects)
+
+
+class TestConvergence:
+    def test_simple_flows_match_norefine(self):
+        pag = make_pag(STRAIGHTLINE_SOURCE)
+        rp = RefinePts(pag).points_to_name("Main.main", "c")
+        nr = NoRefine(pag).points_to_name("Main.main", "c")
+        assert rp.objects == nr.objects
+
+    def test_fully_refined_equals_norefine(self):
+        pag = make_pag(TWO_CELLS_SOURCE)
+        for var in ("out1", "out2"):
+            rp = RefinePts(pag).points_to_name("Main.main", var)
+            nr = NoRefine(pag).points_to_name("Main.main", var)
+            assert rp.objects == nr.objects
+
+    def test_refinement_separates_cells(self):
+        pag = make_pag(TWO_CELLS_SOURCE)
+        rp = RefinePts(pag)
+        assert classes(rp.points_to_name("Main.main", "out1")) == ["X"]
+        assert classes(rp.points_to_name("Main.main", "out2")) == ["Y"]
+
+    def test_figure2_precision(self):
+        pag = make_pag(FIGURE2_SOURCE)
+        rp = RefinePts(pag)
+        assert classes(rp.points_to_name("Main.main", "s1")) == ["Integer"]
+        assert classes(rp.points_to_name("Main.main", "s2")) == ["String"]
+
+    def test_iterations_reported(self):
+        pag = make_pag(TWO_CELLS_SOURCE)
+        result = RefinePts(pag).points_to_name("Main.main", "out1")
+        assert result.stats["iterations"] >= 2  # field-based pass + refinement
+        assert result.stats["refined_edges"] >= 1
+
+    def test_no_fields_means_single_iteration(self):
+        pag = make_pag(STRAIGHTLINE_SOURCE)
+        result = RefinePts(pag).points_to_name("Main.main", "c")
+        assert result.stats["iterations"] == 1
+
+
+class TestEarlyTermination:
+    def test_client_satisfied_by_field_based_pass(self):
+        """A predicate that the over-approximation already satisfies
+        stops refinement after one iteration."""
+        pag = make_pag(TWO_CELLS_SOURCE)
+        rp = RefinePts(pag)
+        always_happy = lambda objects: True
+        result = rp.points_to_name("Main.main", "out1", client=always_happy)
+        assert result.stats["satisfied_early"]
+        assert result.stats["iterations"] == 1
+
+    def test_unsatisfiable_client_forces_full_refinement(self):
+        pag = make_pag(TWO_CELLS_SOURCE)
+        rp = RefinePts(pag)
+        never_happy = lambda objects: False
+        result = rp.points_to_name("Main.main", "out1", client=never_happy)
+        assert not result.stats["satisfied_early"]
+        # Fully refined result is precise despite the unhappy client.
+        assert classes(result) == ["X"]
+
+    def test_monotone_predicate_early_exit_is_sound(self):
+        """If the over-approximation satisfies a universally quantified
+        predicate, the precise answer must satisfy it too."""
+        pag = make_pag(TWO_CELLS_SOURCE)
+
+        def all_are_x_or_y(objects):
+            return all(obj.class_name in ("X", "Y") for obj in objects)
+
+        early = RefinePts(pag).points_to_name(
+            "Main.main", "out1", client=all_are_x_or_y
+        )
+        assert early.stats["satisfied_early"]
+        precise = NoRefine(pag).points_to_name("Main.main", "out1")
+        assert all_are_x_or_y(precise.objects)
+
+    def test_field_based_pass_overapproximates(self):
+        """Iteration 1 (everything field-based) must see a superset of
+        the precise result — the refinement invariant."""
+        from repro.cfl.stacks import EMPTY_STACK
+
+        pag = make_pag(TWO_CELLS_SOURCE)
+        rp = RefinePts(pag)
+        pairs = set()
+        rp._explore(
+            pag.find_local("Main.main", "out1"),
+            EMPTY_STACK,
+            pairs,
+            rp.config.new_budget(),
+            refined=set(),
+            flds_seen=set(),
+        )
+        field_based = {obj for obj, _c in pairs}
+        precise = NoRefine(pag).points_to_name("Main.main", "out1").objects
+        assert precise <= field_based
+        # ...and in this program the over-approximation is strict.
+        assert len(field_based) > len(precise)
+
+
+class TestBudget:
+    def test_budget_spans_iterations(self):
+        pag = make_pag(TWO_CELLS_SOURCE)
+        tiny = RefinePts(pag, AnalysisConfig(budget=3))
+        result = tiny.points_to_name("Main.main", "out1")
+        assert not result.complete
+
+    def test_context_sensitivity_preserved(self):
+        pag = make_pag(TWO_CALLS_SOURCE)
+        rp = RefinePts(pag)
+        assert classes(rp.points_to_name("Main.main", "ra")) == ["A"]
+        assert classes(rp.points_to_name("Main.main", "rb")) == ["B"]
+
+    def test_capabilities_row(self):
+        pag = make_pag(STRAIGHTLINE_SOURCE)
+        caps = RefinePts(pag).capabilities()
+        assert caps["analysis"] == "REFINEPTS"
+        assert caps["memoization"] == "dynamic-within"
+        assert caps["reuse"] == "context-dependent"

@@ -1,0 +1,149 @@
+"""Tests for the experiment runner and the table/figure formatters."""
+
+import pytest
+
+from repro import DynSum, NoRefine, RefinePts, StaSum
+from repro.bench.batching import split_batches
+from repro.bench.runner import (
+    bench_analysis_config,
+    run_batches,
+    run_client,
+    run_summary_series,
+    speedup,
+)
+from repro.bench.suite import load_benchmark
+from repro.bench.tables import (
+    format_capability_table,
+    format_figure4,
+    format_figure5,
+    format_speedup_summary,
+    format_table3,
+    format_table4,
+)
+from repro.clients import NullDerefClient, SafeCastClient
+from repro.pag.stats import compute_statistics
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return load_benchmark("luindex", scale=0.5)
+
+
+class TestBatching:
+    def test_paper_protocol(self):
+        batches = split_batches(list(range(25)), 10)
+        assert [len(b) for b in batches] == [2] * 9 + [7]
+        assert sum(batches, []) == list(range(25))
+
+    def test_exact_division(self):
+        batches = split_batches(list(range(20)), 10)
+        assert all(len(b) == 2 for b in batches)
+
+    def test_fewer_queries_than_batches(self):
+        batches = split_batches([1, 2, 3], 10)
+        assert len(batches) == 10
+        assert batches[-1] == [1, 2, 3]
+
+    def test_invalid_batch_count(self):
+        with pytest.raises(ValueError):
+            split_batches([1], 0)
+
+
+class TestRunClient:
+    def test_run_records_everything(self, instance):
+        analysis = DynSum(instance.pag, bench_analysis_config())
+        run = run_client(instance, SafeCastClient, analysis)
+        assert run.benchmark == "luindex"
+        assert run.client == "SafeCast"
+        assert run.analysis == "DYNSUM"
+        assert run.n_queries == run.safe + run.violations + run.unknown
+        assert run.steps > 0
+        assert run.time_sec >= 0
+        assert set(run.verdict_counts) == {"safe", "violation", "unknown"}
+
+    def test_analyses_agree_on_verdicts(self, instance):
+        runs = [
+            run_client(instance, SafeCastClient, cls(instance.pag, bench_analysis_config()))
+            for cls in (NoRefine, DynSum)
+        ]
+        assert runs[0].safe == runs[1].safe
+        assert runs[0].violations == runs[1].violations
+
+    def test_speedup_helper(self, instance):
+        nor = run_client(instance, SafeCastClient, NoRefine(instance.pag, bench_analysis_config()))
+        dyn = run_client(instance, SafeCastClient, DynSum(instance.pag, bench_analysis_config()))
+        ratio = speedup(nor, dyn, use_steps=True)
+        assert ratio == pytest.approx(nor.steps / dyn.steps)
+
+
+class TestBatchProtocols:
+    def test_run_batches_shape(self, instance):
+        analysis = DynSum(instance.pag, bench_analysis_config())
+        series = run_batches(instance, NullDerefClient, analysis, n_batches=5)
+        assert len(series.batch_steps) == 5
+        assert len(series.batch_times) == 5
+        assert len(series.summary_counts) == 5
+        assert series.summary_counts == sorted(series.summary_counts)
+
+    def test_summary_series(self, instance):
+        dynsum = DynSum(instance.pag, bench_analysis_config())
+        stasum = StaSum(instance.pag, bench_analysis_config())
+        series, total = run_summary_series(
+            instance, NullDerefClient, dynsum, stasum, n_batches=5
+        )
+        assert total == stasum.summary_count
+        assert series.summary_counts[-1] <= total  # Figure 5 stays below 100%
+
+
+class TestFormatters:
+    def test_capability_table_is_table2(self, instance):
+        analyses = [
+            cls(instance.pag, bench_analysis_config())
+            for cls in (NoRefine, RefinePts, DynSum)
+        ]
+        text = format_capability_table(analyses)
+        assert "NOREFINE" in text
+        assert "dynamic-across" in text
+        assert "context-independent" in text
+
+    def test_table3_rendering(self, instance):
+        stats = compute_statistics(instance.pag, name="luindex")
+        text = format_table3([stats], {"luindex": {"SafeCast": 10}})
+        assert "luindex" in text
+        assert "Locality" in text
+
+    def test_table4_rendering(self, instance):
+        runs = [
+            run_client(instance, SafeCastClient, cls(instance.pag, bench_analysis_config()))
+            for cls in (NoRefine, DynSum)
+        ]
+        text = format_table4(
+            runs, ["luindex"], ["SafeCast"], ["NOREFINE", "DYNSUM"], use_steps=True
+        )
+        assert "NOREFINE" in text and "DYNSUM" in text
+
+    def test_speedup_summary_rendering(self, instance):
+        runs = [
+            run_client(instance, SafeCastClient, cls(instance.pag, bench_analysis_config()))
+            for cls in (NoRefine, DynSum)
+        ]
+        text = format_speedup_summary(
+            runs, "NOREFINE", "DYNSUM", ["SafeCast"], ["luindex"]
+        )
+        assert "SafeCast" in text and "x" in text
+
+    def test_figure4_rendering(self, instance):
+        dyn = run_batches(
+            instance, SafeCastClient, DynSum(instance.pag, bench_analysis_config()), 5
+        )
+        ref = run_batches(
+            instance, SafeCastClient, RefinePts(instance.pag, bench_analysis_config()), 5
+        )
+        text = format_figure4([(dyn, ref)], n_batches=5)
+        assert "luindex/SafeCast" in text
+
+    def test_figure5_rendering(self, instance):
+        dynsum = DynSum(instance.pag, bench_analysis_config())
+        series = run_batches(instance, SafeCastClient, dynsum, 5)
+        text = format_figure5([(series, 100)], n_batches=5)
+        assert "%" in text

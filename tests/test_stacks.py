@@ -1,0 +1,108 @@
+"""Unit and property tests for the persistent Stack."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cfl.stacks import EMPTY_STACK, Stack
+
+
+class TestBasics:
+    def test_empty_is_empty(self):
+        assert EMPTY_STACK.is_empty
+        assert len(EMPTY_STACK) == 0
+        assert EMPTY_STACK.peek() is None
+
+    def test_push_makes_nonempty(self):
+        s = EMPTY_STACK.push("f")
+        assert not s.is_empty
+        assert len(s) == 1
+        assert s.peek() == "f"
+
+    def test_pop_returns_previous(self):
+        s = EMPTY_STACK.push("f")
+        assert s.pop() is EMPTY_STACK
+
+    def test_pop_empty_stays_empty(self):
+        # Partially balanced paths rely on underflow-pops staying empty.
+        assert EMPTY_STACK.pop() is EMPTY_STACK
+
+    def test_push_is_persistent(self):
+        s1 = EMPTY_STACK.push("a")
+        s2 = s1.push("b")
+        assert s1.peek() == "a"
+        assert s2.peek() == "b"
+        assert len(s1) == 1  # s1 unchanged by pushing onto it
+
+    def test_of_builder(self):
+        s = Stack.of("a", "b", "c")
+        assert s.peek() == "c"
+        assert s.to_tuple() == ("a", "b", "c")
+
+    def test_iteration_is_top_down(self):
+        s = Stack.of("a", "b", "c")
+        assert list(s) == ["c", "b", "a"]
+
+    def test_repr_is_readable(self):
+        assert repr(Stack.of(1, 2)) == "[1,2]"
+
+    def test_heterogeneous_values(self):
+        s = Stack.of(("f", 0), 42)
+        assert s.peek() == 42
+        assert s.pop().peek() == ("f", 0)
+
+
+class TestEqualityAndHashing:
+    def test_structural_equality(self):
+        assert Stack.of("a", "b") == Stack.of("a", "b")
+
+    def test_inequality_different_order(self):
+        assert Stack.of("a", "b") != Stack.of("b", "a")
+
+    def test_inequality_different_length(self):
+        assert Stack.of("a") != Stack.of("a", "a")
+
+    def test_empty_equals_empty(self):
+        assert Stack() == EMPTY_STACK
+
+    def test_hash_consistency(self):
+        assert hash(Stack.of("x", "y")) == hash(Stack.of("x", "y"))
+
+    def test_usable_as_dict_key(self):
+        d = {Stack.of("f"): 1}
+        assert d[Stack.of("f")] == 1
+
+    def test_not_equal_to_other_types(self):
+        assert Stack.of("a") != ("a",)
+        assert EMPTY_STACK != []
+
+
+@given(st.lists(st.text(max_size=3), max_size=8))
+def test_push_pop_roundtrip(items):
+    stack = EMPTY_STACK
+    for item in items:
+        stack = stack.push(item)
+    assert stack.to_tuple() == tuple(items)
+    for item in reversed(items):
+        assert stack.peek() == item
+        stack = stack.pop()
+    assert stack.is_empty
+
+
+@given(st.lists(st.integers(), max_size=8), st.lists(st.integers(), max_size=8))
+def test_equality_matches_tuples(a, b):
+    sa, sb = Stack.of(*a), Stack.of(*b)
+    assert (sa == sb) == (tuple(a) == tuple(b))
+    if sa == sb:
+        assert hash(sa) == hash(sb)
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=8))
+def test_pop_is_inverse_of_push(items):
+    stack = Stack.of(*items)
+    assert stack.pop().to_tuple() == tuple(items[:-1])
+
+
+@given(st.lists(st.integers(), max_size=8))
+def test_len_tracks_contents(items):
+    assert len(Stack.of(*items)) == len(items)

@@ -1,0 +1,194 @@
+"""Tests for STASUM: offline summaries, delta application, thresholds."""
+
+import pytest
+
+from repro import DynSum, NoRefine, StaSum
+from repro.analysis.stasum import (
+    _POP_ANY,
+    _POP_LOAD_ONLY,
+    _apply_delta,
+    _pop_matches,
+    _stack_equals,
+)
+from repro.cfl.rsm import FAM_LOAD, FAM_STORE
+from repro.cfl.stacks import EMPTY_STACK, Stack
+
+from tests.conftest import (
+    FIELD_ALIAS_SOURCE,
+    FIGURE2_SOURCE,
+    GLOBALS_SOURCE,
+    STRAIGHTLINE_SOURCE,
+    TWO_CALLS_SOURCE,
+    make_pag,
+)
+
+
+def classes(result):
+    return sorted(obj.class_name for obj in result.objects)
+
+
+class TestDeltaPrimitives:
+    def test_pop_any_matches_both_families(self):
+        assert _pop_matches(("f", FAM_LOAD), (_POP_ANY, "f"))
+        assert _pop_matches(("f", FAM_STORE), (_POP_ANY, "f"))
+
+    def test_pop_load_only_rejects_store_family(self):
+        assert _pop_matches(("f", FAM_LOAD), (_POP_LOAD_ONLY, "f"))
+        assert not _pop_matches(("f", FAM_STORE), (_POP_LOAD_ONLY, "f"))
+
+    def test_pop_requires_field_match(self):
+        assert not _pop_matches(("g", FAM_LOAD), (_POP_ANY, "f"))
+
+    def test_stack_equals_exact(self):
+        stack = Stack.of(("g", FAM_LOAD), ("f", FAM_LOAD))  # top is f
+        assert _stack_equals(stack, ((_POP_ANY, "f"), (_POP_ANY, "g")))
+        assert not _stack_equals(stack, ((_POP_ANY, "f"),))
+        assert not _stack_equals(EMPTY_STACK, ((_POP_ANY, "f"),))
+        assert _stack_equals(EMPTY_STACK, ())
+
+    def test_apply_delta_pop_then_push(self):
+        stack = Stack.of(("g", FAM_LOAD), ("f", FAM_LOAD))
+        rewritten = _apply_delta(stack, ((_POP_ANY, "f"),), (("h", FAM_STORE),))
+        assert rewritten.to_tuple() == (("g", FAM_LOAD), ("h", FAM_STORE))
+
+    def test_apply_delta_mismatch_returns_none(self):
+        stack = Stack.of(("f", FAM_LOAD))
+        assert _apply_delta(stack, ((_POP_ANY, "g"),), ()) is None
+
+    def test_apply_delta_underflow_returns_none(self):
+        assert _apply_delta(EMPTY_STACK, ((_POP_ANY, "f"),), ()) is None
+
+    def test_apply_delta_pure_push(self):
+        rewritten = _apply_delta(EMPTY_STACK, (), (("f", FAM_LOAD),))
+        assert rewritten.peek() == ("f", FAM_LOAD)
+
+
+@pytest.mark.parametrize(
+    "source",
+    [STRAIGHTLINE_SOURCE, FIELD_ALIAS_SOURCE, TWO_CALLS_SOURCE, GLOBALS_SOURCE],
+)
+def test_matches_norefine_on_simple_programs(source):
+    pag = make_pag(source)
+    stasum = StaSum(pag)
+    norefine = NoRefine(pag)
+    for node in pag.local_var_nodes():
+        st = stasum.points_to(node)
+        nr = norefine.points_to(node)
+        # STASUM may over-approximate but never under-approximate.
+        assert nr.objects <= st.objects, f"unsound at {node!r}"
+
+
+def test_figure2_results(figure2_pag):
+    stasum = StaSum(figure2_pag)
+    assert classes(stasum.points_to_name("Main.main", "s1")) == ["Integer"]
+    assert classes(stasum.points_to_name("Main.main", "s2")) == ["String"]
+
+
+class TestOfflinePhase:
+    def test_summaries_precomputed_eagerly(self, figure2_pag):
+        stasum = StaSum(figure2_pag)
+        assert stasum.summary_count > 0
+        assert stasum.offline_steps > 0
+
+    def test_summary_count_exceeds_dynsum_for_few_queries(self, figure2_pag):
+        """Figure 5's premise: a handful of queries needs far fewer
+        summarised points than the static all-methods table."""
+        stasum = StaSum(figure2_pag)
+        dynsum = DynSum(figure2_pag)
+        dynsum.points_to_name("Main.main", "s1")
+        assert dynsum.summary_count < stasum.summary_count
+
+    def test_queries_report_summary_count(self, figure2_pag):
+        stasum = StaSum(figure2_pag)
+        result = stasum.points_to_name("Main.main", "s1")
+        assert result.stats["summaries"] == stasum.summary_count
+
+    def test_total_facts_nonzero(self, figure2_pag):
+        assert StaSum(figure2_pag).total_facts() > 0
+
+
+class TestThreshold:
+    def test_tiny_threshold_is_conservative(self, figure2_pag):
+        """With delta depth 0 every summary involving fields truncates;
+        the analysis must flag affected queries incomplete rather than
+        return wrong answers."""
+        stasum = StaSum(figure2_pag, threshold=0)
+        norefine = NoRefine(figure2_pag)
+        for var in ("s1", "s2"):
+            st = stasum.points_to_name("Main.main", var)
+            nr = norefine.points_to_name("Main.main", var)
+            if st.complete:
+                assert nr.objects <= st.objects
+
+    def test_threshold_visible_in_capabilities(self, figure2_pag):
+        stasum = StaSum(figure2_pag)
+        caps = stasum.capabilities()
+        assert caps["full_precision"] is False
+        assert caps["on_demand"] == "partly"
+        assert caps["memoization"] == "static-across"
+
+
+class TestSymbolicCorners:
+    def test_pop_demand_recorded_for_unknown_stack(self):
+        """A boundary node whose method pops from the incoming stack
+        yields a summary entry with a pop demand, applied only when the
+        concrete stack supplies the field."""
+        pag = make_pag(
+            """
+            class Cell { field val; }
+            class Main {
+              static method main() {
+                c = new Cell;
+                x = new Main;
+                c.val = x;
+                out = c.val;
+              }
+            }
+            """
+        )
+        stasum = StaSum(pag)
+        result = stasum.points_to_name("Main.main", "out")
+        assert sorted(o.class_name for o in result.objects) == ["Main"]
+
+    def test_threshold_zero_truncates_field_programs(self):
+        pag = make_pag(
+            """
+            class Cell { field val; }
+            class Maker {
+              static method fill(c, x) {
+                c.val = x;
+              }
+            }
+            class Main {
+              static method main() {
+                c = new Cell;
+                x = new Main;
+                Maker::fill(c, x);
+                out = c.val;
+              }
+            }
+            """
+        )
+        tight = StaSum(pag, threshold=0)
+        generous = StaSum(pag, threshold=8)
+        tight_result = tight.points_to_name("Main.main", "out")
+        generous_result = generous.points_to_name("Main.main", "out")
+        assert generous_result.complete
+        assert sorted(o.class_name for o in generous_result.objects) == ["Main"]
+        # The tight threshold either still answers (conservatively) or
+        # flags incompleteness — it must never silently drop the object
+        # while claiming completeness.
+        if tight_result.complete:
+            assert generous_result.objects <= tight_result.objects
+
+    def test_summary_table_covers_both_directions(self, figure2_pag):
+        from repro.cfl.rsm import S1, S2
+
+        stasum = StaSum(figure2_pag)
+        directions = {state for (_node, state) in stasum._table}
+        assert directions == {S1, S2}
+
+    def test_offline_cost_grows_with_threshold(self, figure2_pag):
+        small = StaSum(figure2_pag, threshold=1)
+        large = StaSum(figure2_pag, threshold=10)
+        assert small.offline_steps <= large.offline_steps

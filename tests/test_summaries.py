@@ -1,0 +1,103 @@
+"""Unit tests for the SummaryCache."""
+
+from repro.analysis.ppta import PptaResult
+from repro.analysis.summaries import SummaryCache
+from repro.cfl.rsm import S1, S2
+from repro.cfl.stacks import EMPTY_STACK
+from repro.pag.nodes import LocalNode
+
+
+def node(method="C.m", name="x"):
+    return LocalNode(method, name)
+
+
+def summary(n_objects=1):
+    return PptaResult(tuple(f"o{i}" for i in range(n_objects)), ())
+
+
+class TestLookupStore:
+    def test_miss_then_hit(self):
+        cache = SummaryCache()
+        key_node = node()
+        assert cache.lookup(key_node, EMPTY_STACK, S1) is None
+        cache.store(key_node, EMPTY_STACK, S1, summary())
+        assert cache.lookup(key_node, EMPTY_STACK, S1) is not None
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_distinct_stacks_distinct_entries(self):
+        cache = SummaryCache()
+        key_node = node()
+        stack = EMPTY_STACK.push(("f", 0))
+        cache.store(key_node, EMPTY_STACK, S1, summary())
+        assert cache.lookup(key_node, stack, S1) is None
+
+    def test_distinct_states_distinct_entries(self):
+        cache = SummaryCache()
+        key_node = node()
+        cache.store(key_node, EMPTY_STACK, S1, summary())
+        assert cache.lookup(key_node, EMPTY_STACK, S2) is None
+
+    def test_store_is_first_wins(self):
+        cache = SummaryCache()
+        key_node = node()
+        first = summary(1)
+        cache.store(key_node, EMPTY_STACK, S1, first)
+        cache.store(key_node, EMPTY_STACK, S1, summary(5))
+        assert cache.lookup(key_node, EMPTY_STACK, S1) is first
+
+    def test_len_and_contains(self):
+        cache = SummaryCache()
+        key_node = node()
+        cache.store(key_node, EMPTY_STACK, S1, summary())
+        assert len(cache) == 1
+        assert (key_node, EMPTY_STACK, S1) in cache
+
+    def test_total_facts(self):
+        cache = SummaryCache()
+        cache.store(node(name="a"), EMPTY_STACK, S1, summary(2))
+        cache.store(node(name="b"), EMPTY_STACK, S1, summary(3))
+        assert cache.total_facts() == 5
+
+    def test_summary_point_count_collapses_stacks(self):
+        cache = SummaryCache()
+        key_node = node()
+        cache.store(key_node, EMPTY_STACK, S1, summary())
+        cache.store(key_node, EMPTY_STACK.push(("f", 0)), S1, summary())
+        assert len(cache) == 2
+        assert cache.summary_point_count() == 1
+
+
+class TestInvalidation:
+    def test_invalidate_by_method(self):
+        cache = SummaryCache()
+        in_method = node("C.m", "x")
+        other = node("D.n", "y")
+        cache.store(in_method, EMPTY_STACK, S1, summary())
+        cache.store(other, EMPTY_STACK, S1, summary())
+        assert cache.invalidate_method("C.m") == 1
+        assert len(cache) == 1
+        assert cache.lookup(other, EMPTY_STACK, S1) is not None
+
+    def test_invalidate_unknown_method(self):
+        cache = SummaryCache()
+        assert cache.invalidate_method("No.where") == 0
+
+    def test_invalidate_twice(self):
+        cache = SummaryCache()
+        cache.store(node(), EMPTY_STACK, S1, summary())
+        assert cache.invalidate_method("C.m") == 1
+        assert cache.invalidate_method("C.m") == 0
+
+    def test_clear(self):
+        cache = SummaryCache()
+        cache.store(node(), EMPTY_STACK, S1, summary())
+        cache.lookup(node("Z.z", "q"), EMPTY_STACK, S1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0
+        assert cache.misses == 0
+
+    def test_repr(self):
+        cache = SummaryCache()
+        assert "0 summaries" in repr(cache)

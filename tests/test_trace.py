@@ -1,0 +1,83 @@
+"""Tests for the Table 1-style query tracer."""
+
+import pytest
+
+from repro import DynSum
+from repro.analysis.trace import QueryTracer, format_trace
+
+from tests.conftest import FIGURE2_SOURCE, make_pag
+
+
+@pytest.fixture(scope="module")
+def pag():
+    return make_pag(FIGURE2_SOURCE)
+
+
+class TestTracer:
+    def test_records_visits(self, pag):
+        dynsum = DynSum(pag)
+        with QueryTracer(dynsum) as tracer:
+            dynsum.points_to_name("Main.main", "s1")
+        assert tracer.visits
+        assert tracer.visits[0].node is pag.find_local("Main.main", "s1")
+
+    def test_first_query_has_misses_second_has_hits(self, pag):
+        dynsum = DynSum(pag)
+        with QueryTracer(dynsum) as first:
+            dynsum.points_to_name("Main.main", "s1")
+        with QueryTracer(dynsum) as second:
+            dynsum.points_to_name("Main.main", "s2")
+        assert first.reuse_count == 0 or first.reuse_count < second.reuse_count
+        assert any(s.event == "summary-miss" for s in first.steps)
+        assert second.reuse_count > 0  # Table 1's "reuse" rows
+
+    def test_observer_detached_after_block(self, pag):
+        dynsum = DynSum(pag)
+        with QueryTracer(dynsum):
+            pass
+        assert dynsum.observer is None
+
+    def test_nesting_rejected(self, pag):
+        dynsum = DynSum(pag)
+        with QueryTracer(dynsum):
+            with pytest.raises(RuntimeError):
+                QueryTracer(dynsum).__enter__()
+
+    def test_tracing_does_not_change_answers(self, pag):
+        plain = DynSum(pag)
+        traced = DynSum(pag)
+        expected = plain.points_to_name("Main.main", "s1").objects
+        with QueryTracer(traced):
+            got = traced.points_to_name("Main.main", "s1").objects
+        assert got == expected
+
+    def test_fields_are_plain_names(self, pag):
+        dynsum = DynSum(pag)
+        with QueryTracer(dynsum) as tracer:
+            dynsum.points_to_name("Main.main", "s1")
+        for step in tracer.steps:
+            assert all(isinstance(field, str) for field in step.fields())
+
+
+class TestFormatting:
+    def test_format_renders_table(self, pag):
+        dynsum = DynSum(pag)
+        with QueryTracer(dynsum) as tracer:
+            dynsum.points_to_name("Main.main", "s1")
+        text = format_trace(tracer.steps)
+        assert "s1@Main.main" in text
+        assert "S1" in text
+        assert "step" in text.splitlines()[0]
+
+    def test_format_truncates(self, pag):
+        dynsum = DynSum(pag)
+        with QueryTracer(dynsum) as tracer:
+            dynsum.points_to_name("Main.main", "s1")
+        text = format_trace(tracer.steps, max_rows=3)
+        assert "more steps" in text
+
+    def test_repr(self, pag):
+        dynsum = DynSum(pag)
+        with QueryTracer(dynsum) as tracer:
+            dynsum.points_to_name("Main.main", "s1")
+        assert "TraceStep(0" in repr(tracer.steps[0])

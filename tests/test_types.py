@@ -1,0 +1,111 @@
+"""Tests for ClassHierarchy: subtyping and virtual dispatch."""
+
+import pytest
+
+from repro.ir.ast import NULL_CLASS
+from repro.ir.parser import parse_program
+from repro.ir.types import ClassHierarchy
+from repro.util.errors import IRError
+
+SOURCE = """
+class Animal {
+  method speak() { return this; }
+  method feed(x) { return x; }
+}
+class Dog extends Animal {
+  method speak() { return this; }
+}
+class Puppy extends Dog { }
+class Cat extends Animal { }
+class Unrelated { }
+class Main {
+  static method main() {
+    d = new Dog;
+    d.speak();
+  }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    return ClassHierarchy(parse_program(SOURCE))
+
+
+class TestSubtyping:
+    def test_reflexive(self, hierarchy):
+        assert hierarchy.is_subtype("Dog", "Dog")
+
+    def test_direct(self, hierarchy):
+        assert hierarchy.is_subtype("Dog", "Animal")
+
+    def test_transitive(self, hierarchy):
+        assert hierarchy.is_subtype("Puppy", "Animal")
+
+    def test_not_supertype(self, hierarchy):
+        assert not hierarchy.is_subtype("Animal", "Dog")
+
+    def test_siblings_unrelated(self, hierarchy):
+        assert not hierarchy.is_subtype("Cat", "Dog")
+
+    def test_null_is_subtype_of_everything(self, hierarchy):
+        assert hierarchy.is_subtype(NULL_CLASS, "Animal")
+        assert hierarchy.is_subtype(NULL_CLASS, "Unrelated")
+
+    def test_superclasses_chain(self, hierarchy):
+        assert hierarchy.superclasses("Puppy") == ["Puppy", "Dog", "Animal"]
+
+    def test_subtypes_cone(self, hierarchy):
+        assert set(hierarchy.subtypes("Animal")) == {"Animal", "Dog", "Puppy", "Cat"}
+        assert hierarchy.subtypes("Unrelated") == ["Unrelated"]
+
+
+class TestDispatch:
+    def test_own_method(self, hierarchy):
+        assert hierarchy.dispatch("Dog", "speak").qualified_name == "Dog.speak"
+
+    def test_inherited_method(self, hierarchy):
+        assert hierarchy.dispatch("Puppy", "speak").qualified_name == "Dog.speak"
+
+    def test_inherited_from_root(self, hierarchy):
+        assert hierarchy.dispatch("Puppy", "feed").qualified_name == "Animal.feed"
+
+    def test_override_shadows(self, hierarchy):
+        assert hierarchy.dispatch("Cat", "speak").qualified_name == "Animal.speak"
+
+    def test_unknown_message(self, hierarchy):
+        assert hierarchy.dispatch("Dog", "fly") is None
+
+    def test_null_class_understands_nothing(self, hierarchy):
+        assert hierarchy.dispatch(NULL_CLASS, "speak") is None
+
+    def test_classes_understanding(self, hierarchy):
+        understanding = hierarchy.classes_understanding("speak")
+        assert set(understanding) == {"Animal", "Dog", "Puppy", "Cat"}
+
+    def test_dispatch_cached(self, hierarchy):
+        first = hierarchy.dispatch("Dog", "speak")
+        second = hierarchy.dispatch("Dog", "speak")
+        assert first is second
+
+
+class TestHierarchyErrors:
+    def test_cycle_detected(self):
+        program = parse_program(
+            """
+            class A extends B { }
+            class B extends A { }
+            class Main { static method main() { x = new A; } }
+            """,
+            validate=False,
+        )
+        with pytest.raises(IRError):
+            ClassHierarchy(program)
+
+    def test_unknown_superclass_detected(self):
+        program = parse_program(
+            "class A extends Ghost { } class Main { static method main() { x = new A; } }",
+            validate=False,
+        )
+        with pytest.raises(IRError):
+            ClassHierarchy(program)

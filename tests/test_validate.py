@@ -1,0 +1,181 @@
+"""Tests for the IR validator — one test per well-formedness rule."""
+
+import pytest
+
+from repro.ir.parser import parse_program
+from repro.util.errors import ValidationError
+
+
+def expect_invalid(source, fragment, entry="Main.main"):
+    with pytest.raises(ValidationError) as exc:
+        parse_program(source, entry=entry)
+    assert fragment in str(exc.value)
+
+
+class TestEntry:
+    def test_missing_entry(self):
+        expect_invalid("class A { }", "does not exist")
+
+    def test_entry_must_be_static(self):
+        expect_invalid(
+            "class Main { method main() { x = new Main; } }",
+            "must be static",
+        )
+
+    def test_entry_must_take_no_params(self):
+        expect_invalid(
+            "class Main { static method main(argv) { x = new Main; } }",
+            "no parameters",
+        )
+
+    def test_custom_entry_point(self):
+        program = parse_program(
+            "class App { static method run() { x = new App; } }",
+            entry="App.run",
+        )
+        assert program.entry_method.name == "run"
+
+
+class TestClassRules:
+    def test_unknown_superclass(self):
+        expect_invalid(
+            "class A extends Ghost { } class Main { static method main() { x = new A; } }",
+            "unknown class",
+        )
+
+    def test_inheritance_cycle(self):
+        expect_invalid(
+            """
+            class A extends B { }
+            class B extends A { }
+            class Main { static method main() { x = new A; } }
+            """,
+            "cycle",
+        )
+
+
+class TestStatementRules:
+    def test_alloc_unknown_class(self):
+        expect_invalid(
+            "class Main { static method main() { x = new Ghost; } }",
+            "unknown class",
+        )
+
+    def test_cast_unknown_class(self):
+        expect_invalid(
+            "class Main { static method main() { x = new Main; y = (Ghost) x; } }",
+            "unknown class",
+        )
+
+    def test_undeclared_instance_field(self):
+        expect_invalid(
+            "class Main { static method main() { x = new Main; y = x.ghost; } }",
+            "undeclared instance field",
+        )
+
+    def test_undeclared_static_field(self):
+        expect_invalid(
+            """
+            class G { static field ok; }
+            class Main { static method main() { x = G::missing; } }
+            """,
+            "undeclared static field",
+        )
+
+    def test_static_access_unknown_class(self):
+        expect_invalid(
+            "class Main { static method main() { x = Ghost::f; } }",
+            "unknown class",
+        )
+
+    def test_this_in_static_method(self):
+        expect_invalid(
+            """
+            class Main {
+              field f;
+              static method main() { x = this.f; }
+            }
+            """,
+            "'this' used in static method",
+        )
+
+    def test_virtual_call_no_understanding_class(self):
+        expect_invalid(
+            "class Main { static method main() { x = new Main; x.ghost(); } }",
+            "no class understands",
+        )
+
+    def test_virtual_call_arity_mismatch(self):
+        expect_invalid(
+            """
+            class A { method m(a, b) { return a; } }
+            class Main { static method main() { x = new A; x.m(x); } }
+            """,
+            "arity mismatch",
+        )
+
+    def test_static_call_unknown_class(self):
+        expect_invalid(
+            "class Main { static method main() { Ghost::m(); } }",
+            "unknown class",
+        )
+
+    def test_static_call_unresolved(self):
+        expect_invalid(
+            "class Main { static method main() { Main::ghost(); } }",
+            "unresolved static call",
+        )
+
+    def test_static_call_to_instance_method(self):
+        expect_invalid(
+            """
+            class A { method m() { return this; } }
+            class Main { static method main() { A::m(); } }
+            """,
+            "static call to instance method",
+        )
+
+    def test_static_call_arity_mismatch(self):
+        expect_invalid(
+            """
+            class A { static method m(a) { return a; } }
+            class Main { static method main() { A::m(); } }
+            """,
+            "arity mismatch",
+        )
+
+    def test_inherited_field_access_ok(self):
+        # field declared in a superclass is fine at any use site
+        program = parse_program(
+            """
+            class Base { field f; }
+            class Sub extends Base { }
+            class Main {
+              static method main() {
+                s = new Sub;
+                x = s.f;
+              }
+            }
+            """
+        )
+        assert program.is_finalized
+
+    def test_multiple_problems_all_reported(self):
+        with pytest.raises(ValidationError) as exc:
+            parse_program(
+                """
+                class Main {
+                  static method main() {
+                    a = new Ghost1;
+                    b = new Ghost2;
+                  }
+                }
+                """
+            )
+        message = str(exc.value)
+        assert "2 problem(s)" in message
+
+    def test_valid_program_returns_program(self):
+        source = "class Main { static method main() { x = new Main; } }"
+        program = parse_program(source)
+        assert program.counts()["statements"] == 1
