@@ -1,0 +1,133 @@
+"""Engine batching — what the scheduler buys over one-at-a-time queries.
+
+For each Figure-4 benchmark and client, the same workload runs twice
+against a fresh DYNSUM engine:
+
+* **one-at-a-time** — ``engine.query(spec)`` per query, in the client's
+  published order (the cache still persists across queries, as in the
+  paper's protocol);
+* **engine-batched** — one ``engine.query_batch`` call with dedup and
+  warmth reordering enabled.
+
+Reported per cell: deterministic traversal steps, wall time, queries
+executed vs. requested (dedup), and the summary-cache hit rate.  A third
+column replays the batched run under an LRU cache capped at 64 entries —
+the long-running-host configuration — to show bounded memory costs steps
+but keeps answers (asserted) identical.
+
+Set ``REPRO_WRITE_BASELINE=1`` to (re)write ``BENCH_engine.json`` next to
+this file; the committed baseline pins the deterministic fields (steps,
+executed counts, hit rates) so regressions in the scheduler or cache are
+visible in review.
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.bench.runner import bench_engine_policy
+from repro.clients import ALL_CLIENTS
+from repro.engine import CachePolicy, PointsToEngine
+
+from conftest import FIGURE_BENCHMARKS
+
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_engine.json"
+BOUNDED_CAP = 64
+
+_ROWS = []
+
+
+def _run_one_at_a_time(instance, client):
+    engine = PointsToEngine(instance.pag, bench_engine_policy())
+    specs = client.specs()
+    for spec in specs:
+        engine.query(spec)
+    stats = engine.stats()
+    return {
+        "steps": stats.steps,
+        "executed": stats.executed,
+        "hit_rate": round(stats.cache.hit_rate, 4),
+    }
+
+
+def _run_batched(instance, client, cache=None):
+    engine = PointsToEngine(instance.pag, bench_engine_policy(cache=cache))
+    _verdicts, batch = engine.run_client(client, dedupe=True, reorder=True)
+    results = batch.results
+    return {
+        "steps": batch.stats.steps,
+        "executed": batch.stats.n_unique,
+        "hit_rate": round(batch.stats.hit_rate, 4),
+        "time_sec": batch.stats.time_sec,
+        "evictions": batch.stats.evictions,
+    }, results
+
+
+@pytest.mark.parametrize("client_cls", ALL_CLIENTS, ids=lambda c: c.name)
+@pytest.mark.parametrize("name", FIGURE_BENCHMARKS)
+def test_engine_batch_throughput(benchmark, figure_instances, name, client_cls):
+    instance = figure_instances[name]
+    client = client_cls(instance.pag)
+    n_queries = len(client.queries())
+
+    sequential = _run_one_at_a_time(instance, client)
+    batched, batched_results = _run_batched(instance, client)
+    bounded, bounded_results = _run_batched(
+        instance, client, CachePolicy(max_entries=BOUNDED_CAP)
+    )
+
+    # Bounded memory must never change an answer.
+    for capped, full in zip(bounded_results, batched_results):
+        assert capped.pairs == full.pairs
+
+    # Dedup + reordering must not cost steps over the sequential order.
+    assert batched["steps"] <= sequential["steps"]
+    assert batched["executed"] <= n_queries
+
+    benchmark.pedantic(
+        lambda: _run_batched(instance, client), rounds=1, iterations=1
+    )
+    _ROWS.append(
+        {
+            "benchmark": name,
+            "client": client.name,
+            "n_queries": n_queries,
+            "sequential": sequential,
+            "batched": batched,
+            "bounded": bounded,
+        }
+    )
+
+
+def test_print_engine_batch(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _ROWS:
+        pytest.skip("series did not run")
+    header = (
+        f"{'bench/client':22s} {'queries':>7s} {'seq steps':>10s} "
+        f"{'batch steps':>11s} {'executed':>8s} {'hit seq':>8s} "
+        f"{'hit batch':>9s} {'hit capped':>10s}"
+    )
+    print("\n\nEngine batching — one-at-a-time vs. batched (DYNSUM)")
+    print(header)
+    print("-" * len(header))
+    for row in _ROWS:
+        print(
+            f"{row['benchmark'] + '/' + row['client']:22s} "
+            f"{row['n_queries']:>7d} {row['sequential']['steps']:>10d} "
+            f"{row['batched']['steps']:>11d} {row['batched']['executed']:>8d} "
+            f"{row['sequential']['hit_rate']:>8.2%} "
+            f"{row['batched']['hit_rate']:>9.2%} "
+            f"{row['bounded']['hit_rate']:>10.2%}"
+        )
+    if os.environ.get("REPRO_WRITE_BASELINE"):
+        payload = {
+            "protocol": "bench_engine_batch",
+            "scale": float(os.environ.get("REPRO_BENCH_SCALE", "1.0")),
+            "bounded_cap": BOUNDED_CAP,
+            "rows": _ROWS,
+        }
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote baseline {BASELINE_PATH}")

@@ -2,8 +2,10 @@
 
 A miniature of the Table 4 experiment on a single generated program:
 for each client (SafeCast, NullDeref, FactoryM) and each analysis
-(NOREFINE, REFINEPTS, DYNSUM, STASUM), issue every query and report
-steps, wall time and verdict counts.
+(NOREFINE, REFINEPTS, DYNSUM, STASUM), issue every query — through a
+per-analysis :class:`~repro.engine.core.PointsToEngine`, the same
+surface a production host would use — and report steps, wall time and
+verdict counts.
 
 Run with::
 
@@ -15,7 +17,7 @@ where ``benchmark-name`` is one of the paper's nine (default soot-c).
 import sys
 
 from repro import DynSum, NoRefine, RefinePts, StaSum
-from repro.bench.runner import bench_analysis_config, run_client
+from repro.bench.runner import bench_engine_policy, run_client
 from repro.bench.suite import BENCHMARK_NAMES, load_benchmark
 from repro.clients import ALL_CLIENTS
 
@@ -33,8 +35,8 @@ def main():
     print("-" * len(header))
     for client_cls in ALL_CLIENTS:
         for analysis_cls in (NoRefine, RefinePts, DynSum, StaSum):
-            analysis = analysis_cls(instance.pag, bench_analysis_config())
-            run = run_client(instance, client_cls, analysis)
+            engine = instance.engine(bench_engine_policy(analysis_cls.name))
+            run = run_client(instance, client_cls, engine)
             print(
                 f"{run.client:10s} {run.analysis:10s} {run.n_queries:>7d} "
                 f"{run.steps:>9d} {run.time_sec:>6.2f}s "

@@ -1,20 +1,22 @@
-"""IDE scenario: demand queries under *real* code edits.
+"""IDE scenario: demand queries under *real* code edits, via the engine.
 
 The paper motivates DYNSUM for "environments such as JIT compilers and
 IDEs, particularly when the program constantly undergoes a lot of
-edits".  This example drives :class:`IncrementalAnalysisSession`, the
-host-side machinery for that scenario: a long-lived analysis accepts
-method-body edits, drops exactly the summaries the edit can invalidate
-(the edited method plus any method whose boundary surface changed),
-migrates the rest across the PAG rebuild, and keeps answering queries —
-with post-edit answers identical to a cold start.
+edits".  This example is that scenario end to end, driven entirely
+through the :class:`~repro.engine.core.PointsToEngine` a host would own:
+queries (whole SafeCast workloads, as engine batches) keep flowing while
+an :class:`~repro.engine.session.EditSession` applies method-body edits.
+Each edit drops exactly the summaries it can invalidate (the edited
+method plus any method whose boundary surface changed), migrates the
+rest across the PAG rebuild, and post-edit answers are identical to a
+cold start — only cheaper.
 
 Run with::
 
     python examples/ide_session.py
 """
 
-from repro import IncrementalAnalysisSession, SafeCastClient, parse_program
+from repro import PointsToEngine, SafeCastClient, parse_program
 
 WORKSPACE = """
 class Shape { }
@@ -49,21 +51,23 @@ class Main {
 """
 
 
-def report_queries(session, label):
-    client = SafeCastClient(session.pag)
-    steps_before = session.analysis.total_steps
-    verdicts = client.run(session.analysis)
-    steps = session.analysis.total_steps - steps_before
+def report_queries(engine, label):
+    verdicts, batch = engine.run_client(SafeCastClient)
     summary = ", ".join(f"{v.query.description}: {v.status}" for v in verdicts)
-    print(f"{label:28s} [{steps:4d} steps, {session.summary_count:3d} summaries] {summary}")
+    print(
+        f"{label:28s} [{batch.stats.steps:4d} steps, "
+        f"{engine.analysis.summary_count:3d} summaries, "
+        f"hit rate {batch.stats.hit_rate:4.0%}] {summary}"
+    )
 
 
 def main():
-    session = IncrementalAnalysisSession(parse_program(WORKSPACE))
-    print(f"workspace: {session.pag}\n")
+    engine = PointsToEngine.for_program(parse_program(WORKSPACE))
+    session = engine.edit_session()
+    print(f"workspace: {engine.pag}\n")
 
-    report_queries(session, "initial state")
-    report_queries(session, "re-run (warm cache)")
+    report_queries(engine, "initial state")
+    report_queries(engine, "re-run (warm cache)")
 
     # Edit 1: the user changes the factory to produce Squares.
     def squares(m):
@@ -71,7 +75,7 @@ def main():
 
     edit = session.replace_body("ShapeFactory.create", squares)
     print(f"\nedit ShapeFactory.create -> Square   {edit!r}")
-    report_queries(session, "after factory edit")
+    report_queries(engine, "after factory edit")
 
     # Edit 2: revert.  Only the factory's summaries are repaid again.
     def circles(m):
@@ -79,15 +83,21 @@ def main():
 
     edit = session.replace_body("ShapeFactory.create", circles)
     print(f"\nedit ShapeFactory.create -> Circle   {edit!r}")
-    report_queries(session, "after revert")
+    report_queries(engine, "after revert")
 
     # Edit 3: touch an unrelated method; Canvas summaries survive.
     edit = session.edit("Canvas.hold", lambda method: None)
     print(f"\nno-op edit of Canvas.hold            {edit!r}")
-    report_queries(session, "after no-op edit")
+    report_queries(engine, "after no-op edit")
 
+    stats = engine.stats()
     print(
-        "\nthe cast verdict tracked every edit, and each edit repaid only "
+        f"\nsession totals: {stats.queries} queries over {stats.batches} "
+        f"batches, {stats.edits} edits, cache at {stats.cache.entries} "
+        f"summaries ({stats.cache.approx_bytes} bytes est.)"
+    )
+    print(
+        "the cast verdict tracked every edit, and each edit repaid only "
         "the summaries it could have staled — the paper's low-budget "
         "IDE/JIT story, end to end."
     )

@@ -4,14 +4,13 @@ Run with::
 
     python examples/quickstart.py
 
-Covers the three ways into the library: the PIR parser, the demand
-analyses, and the clients.
+Covers the ways into the library: the PIR parser, the query engine
+(single queries, batches, client workloads), and the low-level analyses.
 """
 
 from repro import (
     ContextInsensitivePta,
-    DynSum,
-    NoRefine,
+    PointsToEngine,
     SafeCastClient,
     build_pag,
     parse_program,
@@ -54,34 +53,37 @@ def main():
     print(f"program: {program}")
     print(f"PAG: {pag}\n")
 
-    # 1. Demand queries: what may `d` point to?
-    dynsum = DynSum(pag)
+    # 1. One engine per program is the front door: demand queries on it.
+    engine = PointsToEngine(pag)
     for var in ("d", "c"):
-        result = dynsum.points_to_name("Main.main", var)
+        result = engine.query_name("Main.main", var)
         names = sorted(obj.class_name for obj in result.objects)
         print(f"pointsTo({var}) = {names}   [{result.steps} steps]")
 
-    # 2. Context-sensitivity is what separates the two kennels:
+    # 2. Context-sensitivity is what separates the two kennels (the
+    #    low-level analyses stay available for experiments):
     cipta = ContextInsensitivePta(pag)
     merged = sorted(
         obj.class_name for obj in cipta.points_to_name("Main.main", "d").objects
     )
     print(f"\ncontext-INsensitive pointsTo(d) = {merged}  (kennels conflated)")
 
-    # 3. A client consumes the analysis: check every downcast.
-    print("\nSafeCast verdicts (DYNSUM):")
-    client = SafeCastClient(pag)
-    for verdict in client.run(DynSum(pag)):
+    # 3. A client workload runs as one engine batch: every downcast.
+    print("\nSafeCast verdicts (DYNSUM engine):")
+    verdicts, batch = engine.run_client(SafeCastClient)
+    for verdict in verdicts:
         print(f"  {verdict.query.description:40s} -> {verdict.status}")
 
-    # 4. The summary cache is why repeated queries get cheaper:
-    warm = DynSum(pag)
-    first = warm.points_to_name("Main.main", "d")
-    second = warm.points_to_name("Main.main", "c")
+    # 4. Batching shares the summary cache across queries — dedup and
+    #    warm summaries are why the batch is cheaper than cold queries:
+    batch = engine.query_batch(
+        [("Main.main", "d"), ("Main.main", "c"), ("Main.main", "d")]
+    )
+    stats = batch.stats
     print(
-        f"\nsummary reuse: first query {first.steps} steps, "
-        f"related second query {second.steps} steps "
-        f"({warm.cache.hits} cache hits)"
+        f"\nsummary reuse: batch of {stats.n_requests} queries ran "
+        f"{stats.n_unique} traversals in {stats.steps} steps "
+        f"(cache hit rate {stats.hit_rate:.0%})"
     )
 
 

@@ -10,17 +10,22 @@ The library implements the full stack the paper sits on:
   (the paper's contribution) and STASUM (:mod:`repro.analysis`);
 * the three evaluation clients (:mod:`repro.clients`);
 * the synthetic benchmark suite and experiment harness
-  (:mod:`repro.bench`).
+  (:mod:`repro.bench`);
+* the session-oriented query engine fronting all of the above
+  (:mod:`repro.engine`): batched queries, bounded shared caches, edit
+  sessions.
 
 Quickstart::
 
-    from repro import parse_program, build_pag, DynSum
+    from repro import PointsToEngine, build_pag, parse_program
 
-    program = parse_program(SOURCE)
-    pag = build_pag(program)
-    analysis = DynSum(pag)
-    result = analysis.points_to_name("Main.main", "v")
-    print(result.objects)
+    engine = PointsToEngine(build_pag(parse_program(SOURCE)))
+    result = engine.query_name("Main.main", "v")
+    batch = engine.query_batch([("Main.main", "v"), ("Main.main", "w")])
+    print(result.objects, batch.stats.hit_rate)
+
+The analyses remain directly constructible (``DynSum(pag)`` etc.) for
+low-level experimentation; the engine is the supported surface for hosts.
 """
 
 from repro.analysis import (
@@ -38,8 +43,19 @@ from repro.analysis import (
     SummaryCache,
     format_trace,
 )
+from repro.analysis.summaries import BoundedSummaryCache, CacheStats, SummaryStore
 from repro.callgraph import AndersenAnalysis, CallGraph, rta_call_graph
 from repro.cfl import EMPTY_STACK, Stack
+from repro.engine import (
+    BatchResult,
+    BatchStats,
+    CachePolicy,
+    EditSession,
+    EnginePolicy,
+    EngineStats,
+    PointsToEngine,
+    QuerySpec,
+)
 from repro.clients import (
     ALL_CLIENTS,
     FactoryMethodClient,
@@ -49,31 +65,42 @@ from repro.clients import (
 from repro.ir import ProgramBuilder, parse_program, pretty_print
 from repro.pag import PAG, build_pag, compute_statistics
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALL_CLIENTS",
     "AliasResult",
     "AnalysisConfig",
     "AndersenAnalysis",
+    "BatchResult",
+    "BatchStats",
+    "BoundedSummaryCache",
+    "CachePolicy",
+    "CacheStats",
     "CallGraph",
     "ContextInsensitivePta",
     "DynSum",
     "EMPTY_STACK",
     "EditReport",
+    "EditSession",
+    "EnginePolicy",
+    "EngineStats",
     "FactoryMethodClient",
     "IncrementalAnalysisSession",
     "NoRefine",
     "NullDerefClient",
     "PAG",
+    "PointsToEngine",
     "ProgramBuilder",
     "QueryResult",
+    "QuerySpec",
     "QueryTracer",
     "RefinePts",
     "SafeCastClient",
     "StaSum",
     "Stack",
     "SummaryCache",
+    "SummaryStore",
     "build_pag",
     "compute_statistics",
     "parse_program",

@@ -32,12 +32,19 @@ from repro.analysis.norefine import NoRefine
 from repro.analysis.ppta import PptaResult, run_ppta
 from repro.analysis.refinepts import RefinePts
 from repro.analysis.stasum import StaSum
-from repro.analysis.summaries import SummaryCache
+from repro.analysis.summaries import (
+    BoundedSummaryCache,
+    CacheStats,
+    SummaryCache,
+    SummaryStore,
+)
 from repro.analysis.trace import QueryTracer, TraceStep, format_trace
 
 __all__ = [
     "AliasResult",
     "AnalysisConfig",
+    "BoundedSummaryCache",
+    "CacheStats",
     "EditReport",
     "IncrementalAnalysisSession",
     "ContextInsensitivePta",
@@ -52,5 +59,6 @@ __all__ = [
     "TraceStep",
     "format_trace",
     "SummaryCache",
+    "SummaryStore",
     "run_ppta",
 ]

@@ -147,6 +147,11 @@ class DemandPointsToAnalysis:
     memoization = "none"  # none | dynamic-within | dynamic-across | static-across
     reuse = "none"  # none | context-dependent | context-independent
     on_demand = "yes"  # yes | partly
+    #: Whether ``points_to``'s ``client`` predicate can change the result
+    #: (True only for REFINEPTS's refinement loop).  The engine's batch
+    #: scheduler consults this when deduplicating queries: predicate-blind
+    #: analyses may merge any two queries on the same (node, context).
+    uses_client_predicate = False
 
     def __init__(self, pag, config=None):
         self.pag = pag

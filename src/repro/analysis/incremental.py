@@ -29,7 +29,6 @@ identical to a cold start (a property test), only cheaper.
 from repro.analysis.base import AnalysisConfig
 from repro.analysis.dynsum import DynSum
 from repro.analysis.ppta import PptaResult
-from repro.analysis.summaries import SummaryCache
 from repro.ir.builder import MethodBuilder
 from repro.pag.builder import build_pag
 from repro.util.errors import IRError
@@ -69,13 +68,16 @@ class IncrementalAnalysisSession:
         session.points_to_name("Main.main", "x")   # summaries reused
     """
 
-    def __init__(self, program, config=None):
+    def __init__(self, program, config=None, cache=None):
         if not program.is_finalized:
             raise IRError("program must be finalized")
         self.program = program
         self.config = config or AnalysisConfig()
         self.pag = build_pag(program)
-        self.analysis = DynSum(self.pag, self.config)
+        #: ``cache`` may be any :class:`~repro.analysis.summaries
+        #: .SummaryStore` (e.g. a ``BoundedSummaryCache`` for memory-capped
+        #: hosts); rebuilds migrate into a ``spawn()`` of the same policy.
+        self.analysis = DynSum(self.pag, self.config, cache=cache)
         self._surface = self._boundary_surface(self.pag)
         self.edit_count = 0
 
@@ -129,10 +131,10 @@ class IncrementalAnalysisSession:
         drop = set(edited_methods) | surface_changed
 
         old_cache = self.analysis.cache
-        new_cache = SummaryCache()
+        new_cache = old_cache.spawn()
         migrated = 0
         dropped = 0
-        for (node, stack, state), summary in old_cache._entries.items():
+        for (node, stack, state), summary in old_cache.entries():
             if node.method in drop:
                 dropped += 1
                 continue

@@ -49,6 +49,10 @@ class RefinePts(DemandPointsToAnalysis):
     memoization = "dynamic-within"
     reuse = "context-dependent"
     on_demand = "yes"
+    #: The client predicate ends the refinement loop early, so the result
+    #: genuinely depends on it (satisfied queries return the coarser,
+    #: still-sufficient set) — batch dedup must key on the predicate.
+    uses_client_predicate = True
 
     def _run_query(self, var, context, client):
         check_query_node(self.pag, var)

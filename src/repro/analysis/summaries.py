@@ -1,33 +1,130 @@
-"""The DYNSUM summary cache (Algorithm 4's ``Cache``).
+"""The DYNSUM summary cache (Algorithm 4's ``Cache``) — now a pluggable store.
 
 Maps ``(node, field-stack, state)`` triples — deliberately **without** any
 calling context — to completed :class:`~repro.analysis.ppta.PptaResult`
 summaries.  Context-independence is the paper's key idea: the same local
 summary serves every calling context of the method, and every later query.
 
-The cache also supports method-granular invalidation, the operation an
-IDE/JIT host would use when code is edited (the low-budget environments of
-Sections 1 and 5.3): dropping a method's entries never changes any answer,
-only the cost of recomputing them, a property the test suite checks.
+Two implementations share one contract (:class:`SummaryStore`):
+
+* :class:`SummaryCache` — the unbounded store of the paper's experiments
+  (queries stop at a few thousand, so the cache never needs a ceiling);
+* :class:`BoundedSummaryCache` — an LRU, size-capped store for the
+  long-running IDE/JIT hosts of Sections 1 and 5.3, where query traffic
+  is open-ended and memory is not.  Capacity can be capped by entry count
+  and/or by total summary facts (a proxy for bytes; see
+  :meth:`SummaryStore.approx_bytes`).
+
+Eviction is always *safe*: a summary is a pure memo of ``DSPOINTSTO``, so
+dropping one never changes any answer — only the cost of recomputing it.
+The same holds for :meth:`SummaryStore.invalidate_method`, the operation
+an IDE/JIT host uses when code is edited: method-granular invalidation
+and LRU eviction compose freely because both merely forget memos (the
+test suite checks both properties).
 """
 
+from collections import OrderedDict
+from dataclasses import dataclass
 
-class SummaryCache:
-    """Cross-query store of PPTA summaries with hit/miss accounting."""
+#: Rough memory model for :meth:`SummaryStore.approx_bytes`: Python-object
+#: overhead per cache entry (key tuple + dict slot + PptaResult shell) and
+#: per summary fact (an object reference or a boundary triple).
+ENTRY_OVERHEAD_BYTES = 240
+FACT_BYTES = 96
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time snapshot of a store's accounting.
+
+    ``facts`` is the Figure-5 unit (objects + boundary tuples held);
+    ``approx_bytes`` applies the module's crude memory model so hosts can
+    budget in bytes without a real profiler.
+    """
+
+    entries: int
+    facts: int
+    hits: int
+    misses: int
+    evictions: int
+    invalidated: int
+    approx_bytes: int
+    max_entries: int = None
+    max_facts: int = None
+
+    @property
+    def probes(self):
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        """Fraction of probes answered from the cache (0.0 when unprobed)."""
+        probes = self.probes
+        return self.hits / probes if probes else 0.0
+
+    @property
+    def bounded(self):
+        return self.max_entries is not None or self.max_facts is not None
+
+
+class SummaryStore:
+    """Shared contract and bookkeeping of every summary store.
+
+    Subclasses choose the container (:meth:`_make_container`) and the
+    capacity policy (:meth:`_touch` / :meth:`_enforce_capacity`); all the
+    accounting — hit/miss counts, per-method index, fact totals,
+    eviction and invalidation counters — lives here so stores stay
+    interchangeable behind :class:`~repro.analysis.dynsum.DynSum` and the
+    engine layer.
+    """
+
+    #: Capacity limits (``None`` = unbounded); overridden per instance by
+    #: :class:`BoundedSummaryCache`.
+    max_entries = None
+    max_facts = None
 
     def __init__(self):
-        self._entries = {}
+        self._entries = self._make_container()
         self._by_method = {}
+        self._facts = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.invalidated = 0
 
+    # ------------------------------------------------------------------
+    # policy hooks
+    # ------------------------------------------------------------------
+    def _make_container(self):
+        return {}
+
+    def _touch(self, key):
+        """Record a hit on ``key`` (recency bookkeeping; no-op here)."""
+
+    def _enforce_capacity(self):
+        """Evict until within capacity (no-op for unbounded stores)."""
+
+    def spawn(self):
+        """A fresh, empty store with the same capacity policy.
+
+        Used when a host rebuilds its PAG (see
+        :class:`~repro.analysis.incremental.IncrementalAnalysisSession`)
+        and needs a like-configured cache to migrate summaries into.
+        """
+        return type(self)()
+
+    # ------------------------------------------------------------------
+    # the cache contract (Algorithm 4 lines 5-9 call these)
+    # ------------------------------------------------------------------
     def lookup(self, node, field_stack, state):
         """Return the cached summary or ``None`` (and count the probe)."""
-        entry = self._entries.get((node, field_stack, state))
+        key = (node, field_stack, state)
+        entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
         else:
             self.hits += 1
+            self._touch(key)
         return entry
 
     def store(self, node, field_stack, state, ppta_result):
@@ -39,29 +136,60 @@ class SummaryCache:
         points-to sets.
         """
         key = (node, field_stack, state)
-        if key not in self._entries:
-            self._entries[key] = ppta_result
-            if node.method is not None:
-                self._by_method.setdefault(node.method, []).append(key)
+        if key in self._entries:
+            return
+        self._entries[key] = ppta_result
+        self._facts += ppta_result.size
+        if node.method is not None:
+            self._by_method.setdefault(node.method, set()).add(key)
+        self._enforce_capacity()
+
+    def _remove(self, key):
+        """Drop one entry and unindex it; returns the removed summary."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return None
+        self._facts -= entry.size
+        method = key[0].method
+        if method is not None:
+            keys = self._by_method.get(method)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._by_method[method]
+        return entry
 
     def invalidate_method(self, method_qname):
         """Drop every summary keyed in ``method_qname``.
 
         PPTA summaries only mention nodes of one method (local edges never
         leave it), so removing the keys of that method removes all facts
-        that could be stale after the method's body changes.  Returns the
-        number of entries dropped.
+        that could be stale after the method's body changes.  Entries the
+        capacity policy already evicted are gone from the index, so they
+        are neither double-counted nor resurrected.  Returns the number
+        of entries dropped.
         """
-        keys = self._by_method.pop(method_qname, [])
-        for key in keys:
-            self._entries.pop(key, None)
-        return len(keys)
+        keys = self._by_method.pop(method_qname, ())
+        dropped = sum(1 for key in list(keys) if self._remove(key) is not None)
+        self.invalidated += dropped
+        return dropped
 
     def clear(self):
         self._entries.clear()
         self._by_method.clear()
+        self._facts = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.invalidated = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def entries(self):
+        """Iterate ``((node, field_stack, state), summary)`` pairs in
+        storage order (least-recently-used first for LRU stores)."""
+        return iter(self._entries.items())
 
     def __len__(self):
         """Number of summaries — the paper's Figure 5 metric ("the number
@@ -84,10 +212,90 @@ class SummaryCache:
 
     def total_facts(self):
         """Sum of summary sizes (objects + boundary tuples)."""
-        return sum(entry.size for entry in self._entries.values())
+        return self._facts
+
+    def approx_bytes(self):
+        """Estimated resident size under the module's memory model."""
+        return len(self._entries) * ENTRY_OVERHEAD_BYTES + self._facts * FACT_BYTES
+
+    def stats_snapshot(self):
+        """An immutable :class:`CacheStats` for dashboards and tests."""
+        return CacheStats(
+            entries=len(self._entries),
+            facts=self._facts,
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            invalidated=self.invalidated,
+            approx_bytes=self.approx_bytes(),
+            max_entries=self.max_entries,
+            max_facts=self.max_facts,
+        )
 
     def __repr__(self):
         return (
-            f"SummaryCache({len(self._entries)} summaries, "
+            f"{type(self).__name__}({len(self._entries)} summaries, "
             f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+class SummaryCache(SummaryStore):
+    """Unbounded cross-query store of PPTA summaries — the paper's
+    ``Cache``, suitable for closed workloads like the shipped benchmark
+    protocols."""
+
+
+class BoundedSummaryCache(SummaryStore):
+    """LRU summary store with entry- and/or fact-count ceilings.
+
+    ``max_entries`` caps the number of cached summaries; ``max_facts``
+    caps the total number of facts they hold (the byte proxy).  On
+    insertion the least-recently-used entries are evicted until both
+    ceilings hold again; lookups refresh recency.  One pathological
+    summary larger than ``max_facts`` on its own is kept (evicting it
+    immediately would only thrash), so the fact ceiling is honoured up to
+    a single resident entry — the entry ceiling is always exact.
+    """
+
+    def __init__(self, max_entries=None, max_facts=None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_facts is not None and max_facts < 1:
+            raise ValueError(f"max_facts must be >= 1, got {max_facts}")
+        self.max_entries = max_entries
+        self.max_facts = max_facts
+        super().__init__()
+
+    def _make_container(self):
+        return OrderedDict()
+
+    def spawn(self):
+        return type(self)(max_entries=self.max_entries, max_facts=self.max_facts)
+
+    def _touch(self, key):
+        self._entries.move_to_end(key)
+
+    def _over_capacity(self):
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            return True
+        if self.max_facts is not None and self._facts > self.max_facts:
+            return True
+        return False
+
+    def _enforce_capacity(self):
+        while self._over_capacity() and len(self._entries) > 1:
+            oldest = next(iter(self._entries))
+            self._remove(oldest)
+            self.evictions += 1
+
+    def __repr__(self):
+        caps = []
+        if self.max_entries is not None:
+            caps.append(f"max_entries={self.max_entries}")
+        if self.max_facts is not None:
+            caps.append(f"max_facts={self.max_facts}")
+        cap = ", ".join(caps) or "unbounded"
+        return (
+            f"BoundedSummaryCache({len(self._entries)} summaries, {cap}, "
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
         )

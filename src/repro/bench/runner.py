@@ -11,6 +11,14 @@ Three entry points mirror the evaluation section:
 * :func:`run_summary_series` — Figure 5: cumulative DYNSUM summary count
   after each batch, normalised by STASUM's offline summary count.
 
+All query traffic flows through the engine layer
+(:class:`~repro.engine.core.PointsToEngine`); each entry point accepts
+either an analysis instance (wrapped on the fly, as the shipped
+benchmarks do) or a ready-made engine.  The paper's protocols issue the
+published query streams verbatim, so the runner disables the scheduler's
+dedup/reorder levers — ``benchmarks/bench_engine_batch.py`` measures what
+they buy.
+
 Wall-clock numbers vary with the host, so every result also carries the
 step counts, which are deterministic given the program and query order.
 """
@@ -20,7 +28,7 @@ from dataclasses import dataclass, field
 from repro.analysis.base import AnalysisConfig
 from repro.bench.batching import split_batches
 from repro.clients.base import SAFE, UNKNOWN, VIOLATION
-from repro.util.timer import Timer
+from repro.engine import CachePolicy, EnginePolicy, PointsToEngine
 
 #: Field-stack k-limit used by the experiment harness.
 #:
@@ -42,6 +50,16 @@ def bench_analysis_config(budget=None):
     return AnalysisConfig(budget=budget, max_field_depth=BENCH_FIELD_DEPTH_LIMIT)
 
 
+def bench_engine_policy(analysis="DYNSUM", cache=None):
+    """The :class:`~repro.engine.policy.EnginePolicy` counterpart of
+    :func:`bench_analysis_config`: same k-limit, any analysis/cache."""
+    return EnginePolicy(
+        analysis=analysis,
+        max_field_depth=BENCH_FIELD_DEPTH_LIMIT,
+        cache=cache or CachePolicy(),
+    )
+
+
 @dataclass
 class BenchmarkInstance:
     """A generated benchmark ready for measurement."""
@@ -55,6 +73,13 @@ class BenchmarkInstance:
     def client_queries(self, client_cls):
         client = client_cls(self.pag)
         return client, client.queries()
+
+    def engine(self, policy=None):
+        """A fresh :class:`~repro.engine.core.PointsToEngine` over this
+        benchmark's PAG.  The default policy is
+        :func:`bench_engine_policy` — the synthetic suite needs the
+        harness's field-depth k-limit, like every other bench path."""
+        return PointsToEngine(self.pag, policy or bench_engine_policy())
 
 
 @dataclass
@@ -87,29 +112,38 @@ class BatchSeries:
     batch_steps: list = field(default_factory=list)
     #: For DYNSUM: cumulative summary count after each batch.
     summary_counts: list = field(default_factory=list)
+    #: Summary-cache hit rate per batch (empty for cache-less analyses).
+    hit_rates: list = field(default_factory=list)
+
+
+def _as_engine(analysis_or_engine):
+    """Accept an analysis instance or an engine; always return an engine."""
+    if isinstance(analysis_or_engine, PointsToEngine):
+        return analysis_or_engine
+    return PointsToEngine.wrap(analysis_or_engine)
 
 
 def run_client(instance, client_cls, analysis, queries=None):
-    """Run every query of ``client_cls`` through ``analysis``."""
+    """Run every query of ``client_cls`` through ``analysis`` (an
+    analysis instance or a :class:`~repro.engine.core.PointsToEngine`)."""
+    engine = _as_engine(analysis)
     client = client_cls(instance.pag)
     if queries is None:
         queries = client.queries()
+    # Paper protocol: the published query stream, verbatim.
+    verdicts, batch = engine.run_client(
+        client, queries, dedupe=False, reorder=False
+    )
     counts = {SAFE: 0, VIOLATION: 0, UNKNOWN: 0}
-    steps_before = analysis.total_steps
-    timer = Timer()
-    with timer:
-        for query in queries:
-            node = query.node(instance.pag)
-            result = analysis.points_to(node, client=client.predicate(query))
-            verdict = client.verdict(query, result)
-            counts[verdict.status] += 1
+    for verdict in verdicts:
+        counts[verdict.status] += 1
     return ClientRun(
         benchmark=instance.name,
         client=client.name,
-        analysis=analysis.name,
+        analysis=engine.analysis.name,
         n_queries=len(queries),
-        time_sec=timer.elapsed,
-        steps=analysis.total_steps - steps_before,
+        time_sec=batch.stats.time_sec,
+        steps=batch.stats.steps,
         safe=counts[SAFE],
         violations=counts[VIOLATION],
         unknown=counts[UNKNOWN],
@@ -119,26 +153,26 @@ def run_client(instance, client_cls, analysis, queries=None):
 def run_batches(instance, client_cls, analysis, n_batches=10):
     """Figure 4 protocol for one analysis: time each batch in sequence.
 
-    The analysis instance persists across batches, so DYNSUM's summary
-    cache warms up while NOREFINE/REFINEPTS pay full price every batch.
+    The engine (and thus the analysis and its summary cache) persists
+    across batches, so DYNSUM's cache warms up while NOREFINE/REFINEPTS
+    pay full price every batch.
     """
+    engine = _as_engine(analysis)
     client = client_cls(instance.pag)
     queries = client.queries()
     series = BatchSeries(
-        benchmark=instance.name, client=client.name, analysis=analysis.name
+        benchmark=instance.name, client=client.name, analysis=engine.analysis.name
     )
-    for batch in split_batches(queries, n_batches):
-        steps_before = analysis.total_steps
-        timer = Timer()
-        with timer:
-            for query in batch:
-                node = query.node(instance.pag)
-                result = analysis.points_to(node, client=client.predicate(query))
-                client.verdict(query, result)
-        series.batch_times.append(timer.elapsed)
-        series.batch_steps.append(analysis.total_steps - steps_before)
-        if hasattr(analysis, "summary_count"):
-            series.summary_counts.append(analysis.summary_count)
+    for batch_queries in split_batches(queries, n_batches):
+        _verdicts, batch = engine.run_client(
+            client, batch_queries, dedupe=False, reorder=False
+        )
+        series.batch_times.append(batch.stats.time_sec)
+        series.batch_steps.append(batch.stats.steps)
+        if hasattr(engine.analysis, "summary_count"):
+            series.summary_counts.append(engine.analysis.summary_count)
+        if engine.cache is not None:
+            series.hit_rates.append(batch.stats.hit_rate)
     return series
 
 

@@ -12,7 +12,9 @@ scale (graphs roughly 100x smaller than the Java originals):
 
 ``load_benchmark(name, scale=...)`` generates the program, builds its
 Andersen call graph and PAG, and returns a ready-to-measure
-:class:`~repro.bench.runner.BenchmarkInstance`.
+:class:`~repro.bench.runner.BenchmarkInstance`; ``load_engine(name)``
+additionally fronts it with a :class:`~repro.engine.core.PointsToEngine`
+so callers measure through the same query surface production hosts use.
 """
 
 from repro.bench.generator import GeneratorConfig
@@ -189,3 +191,16 @@ def load_benchmark(name, scale=1.0, config=None):
     pag = build_pag(program)
     stats = compute_statistics(pag, name=name)
     return BenchmarkInstance(name=name, config=resolved, program=program, pag=pag, stats=stats)
+
+
+def load_engine(name, scale=1.0, policy=None, config=None):
+    """Load a named benchmark and front it with an engine.
+
+    Returns ``(engine, instance)`` — the engine for issuing queries, the
+    instance for its program/PAG/statistics.  ``policy`` is an
+    :class:`~repro.engine.policy.EnginePolicy` (default:
+    :func:`~repro.bench.runner.bench_engine_policy` — DYNSUM, unbounded
+    cache, the harness's field-depth k-limit).
+    """
+    instance = load_benchmark(name, scale=scale, config=config)
+    return instance.engine(policy), instance

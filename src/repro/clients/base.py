@@ -21,6 +21,13 @@ parts:
     Interpret a finished :class:`~repro.analysis.base.QueryResult` as a
     :class:`Verdict` — ``safe``, ``violation`` or ``unknown`` (the
     conservative answer when the query ran out of budget).
+
+Clients plug into the engine layer through :meth:`Client.specs`, which
+bundles each query's node and predicate into an engine
+:class:`~repro.engine.scheduler.QuerySpec` (the dedup token is
+``(client_name, payload)``, so the scheduler may merge queries exactly
+when their predicates are semantically identical), and
+:meth:`Client.run_engine`, which issues a whole workload as one batch.
 """
 
 from dataclasses import dataclass, field
@@ -105,3 +112,33 @@ class Client:
             result = analysis.points_to(node, client=self.predicate(query))
             verdicts.append(self.verdict(query, result))
         return verdicts
+
+    def specs(self, queries=None):
+        """Engine :class:`~repro.engine.scheduler.QuerySpec`\\ s for (all)
+        queries, with predicates and dedup tokens bundled."""
+        from repro.engine.scheduler import QuerySpec
+
+        return [
+            QuerySpec(
+                query.node(self.pag),
+                client=self.predicate(query),
+                token=(query.client, query.payload),
+                origin=query,
+            )
+            for query in (queries if queries is not None else self.queries())
+        ]
+
+    def run_engine(self, engine, queries=None, **batch_kwargs):
+        """Issue all (or the given) queries as one engine batch.
+
+        Returns ``(verdicts, batch_result)`` — verdicts in query order
+        (batch scheduling is invisible to the caller), plus the batch's
+        :class:`~repro.engine.scheduler.BatchStats` accounting.
+        """
+        queries = list(queries if queries is not None else self.queries())
+        batch = engine.query_batch(self.specs(queries), **batch_kwargs)
+        verdicts = [
+            self.verdict(query, result)
+            for query, result in zip(queries, batch.results)
+        ]
+        return verdicts, batch

@@ -8,7 +8,11 @@ rather than leaking shared state.
 Factory candidates are recognised by name prefix (``create``/``make``/
 ``new``/``build``/``get_instance`` by default, configurable) among
 reachable methods with at least one ``return``; each return statement
-contributes one query on the returned variable.
+contributes one query on the returned variable.  The factory's name
+rides in the payload (it determines the allowed-allocation set), so the
+engine's batch scheduler merges only returns of the same variable from
+the same factory — exactly the queries whose answers and verdicts
+coincide.
 """
 
 from collections import deque

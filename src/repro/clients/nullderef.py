@@ -11,6 +11,12 @@ This is the paper's precision-hungry client: proving non-nullness usually
 needs the fully field-sensitive answer, so REFINEPTS's field-based
 iterations are pure overhead here, which is why the paper's largest
 DYNSUM speedups (2.28x average, 4.19x on soot-c) are on NullDeref.
+
+It is also the client that profits most from the engine's batch
+scheduler: a method typically dereferences the same base variable many
+times (``x.f``, ``x.g``, ``x.m()``), the queries carry no payload, and
+so whole runs of sites collapse onto one traversal under
+``engine.query_batch``.
 """
 
 from repro.clients.base import Client, Query

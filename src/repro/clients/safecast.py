@@ -4,6 +4,12 @@ For every cast statement ``x = (T) y`` the client queries ``pointsTo(y)``
 and declares the cast safe when every object that may flow into ``y`` has
 a class that is a subtype of ``T`` (the null pseudo-class passes: casting
 null never throws).  Offending objects are reported in the verdict.
+
+The target class rides in the query payload, so under the engine's batch
+path two casts of the same variable to *different* classes share one
+traversal for predicate-blind analyses (the points-to set is the same;
+only the verdict differs) but are kept apart under REFINEPTS, whose
+early-exit answer depends on the predicate.
 """
 
 from repro.clients.base import Client, Query

@@ -1,0 +1,307 @@
+"""The :class:`PointsToEngine` — one session-oriented front door.
+
+Every analysis in the repo answers one query at a time; the engine turns
+that into the service a long-running host (the paper's IDE/JIT scenario,
+Sections 1 and 5.3) actually needs:
+
+* ``engine.query(v)`` / ``engine.query_name(m, v)`` — single demand
+  queries, by PAG node or by name;
+* ``engine.query_batch(vs)`` — the batch path: requests are deduplicated,
+  ordered for summary-cache warmth, executed, and fanned back out in
+  request order, with per-batch stats mirroring the Figure 4/5 protocol;
+* ``engine.alias(a, b)`` — may-alias queries;
+* ``engine.run_client(cls)`` — a whole client workload through the batch
+  path;
+* ``engine.edit_session()`` — code edits with summary invalidation and
+  migration (program-backed DYNSUM engines);
+* ``engine.stats()`` — a point-in-time snapshot of query, step and cache
+  accounting.
+
+Which analysis runs, its budget, and whether the summary cache is
+unbounded or LRU-capped are all decided by the engine's immutable
+:class:`~repro.engine.policy.EnginePolicy`.  The engine is the seam later
+scaling work (sharded caches, async batch execution, multi-process
+serving) builds on: callers own sessions and policies, never analysis
+internals.
+"""
+
+from dataclasses import dataclass
+
+from repro.analysis.dynsum import DynSum
+from repro.analysis.incremental import IncrementalAnalysisSession
+from repro.cfl.stacks import EMPTY_STACK
+from repro.engine.policy import EnginePolicy
+from repro.engine.scheduler import BatchResult, BatchStats, as_spec, plan_batch
+from repro.engine.session import EditSession
+from repro.util.errors import IRError
+from repro.util.timer import Timer
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Snapshot of an engine's lifetime accounting.
+
+    ``queries`` counts answered requests (deduplicated requests count —
+    they were answered); ``executed`` counts traversals actually run.
+    ``cache`` is a :class:`~repro.analysis.summaries.CacheStats` snapshot
+    or ``None`` for cache-less analyses.
+    """
+
+    analysis: str
+    queries: int
+    executed: int
+    batches: int
+    deduped: int
+    #: Steps/incomplete are accumulated by the engine itself, so they
+    #: survive the analysis-instance swap an edit performs and exclude
+    #: any traffic a wrapped analysis answered before the engine existed.
+    steps: int
+    incomplete: int
+    edits: int
+    #: Snapshot of the *current* summary store (edits migrate into a
+    #: fresh store, so its probe counters restart per program version).
+    cache: object = None
+
+    @property
+    def dedup_rate(self):
+        return self.deduped / self.queries if self.queries else 0.0
+
+
+class PointsToEngine:
+    """Batched, shared-cache query engine over one program's PAG."""
+
+    def __init__(self, pag=None, policy=None, *, program=None, analysis=None):
+        if sum(x is not None for x in (pag, program, analysis)) != 1:
+            raise IRError(
+                "construct a PointsToEngine from exactly one of: a PAG, "
+                "a finalized program (program=...), or an existing "
+                "analysis instance (analysis=...)"
+            )
+        if analysis is not None and policy is None:
+            policy = EnginePolicy(analysis=analysis.name)
+        self.policy = policy or EnginePolicy()
+        self._incremental = None
+        self._analysis = None
+        if program is not None:
+            if self.policy.analysis_class() is not DynSum:
+                raise IRError(
+                    "program-backed engines (edit support) require the "
+                    "DYNSUM analysis; build a PAG yourself for "
+                    f"{self.policy.analysis}"
+                )
+            self._incremental = IncrementalAnalysisSession(
+                program,
+                self.policy.analysis_config(),
+                cache=self.policy.cache.make_store(),
+            )
+        elif analysis is not None:
+            self._analysis = analysis
+        else:
+            self._analysis = self.policy.make_analysis(pag)
+        #: Lifetime counters (see :meth:`stats`).
+        self.queries_answered = 0
+        self.queries_executed = 0
+        self.batches_run = 0
+        self.queries_deduped = 0
+        self.steps_total = 0
+        self.incomplete_total = 0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def wrap(cls, analysis, policy=None):
+        """An engine fronting an existing analysis instance.
+
+        The bench harness uses this to route the paper's protocols —
+        which construct and share analysis objects — through the engine
+        without changing what is measured.
+        """
+        return cls(analysis=analysis, policy=policy)
+
+    @classmethod
+    def for_program(cls, program, policy=None):
+        """A program-backed engine: supports :meth:`edit_session`."""
+        return cls(program=program, policy=policy)
+
+    # ------------------------------------------------------------------
+    # the session surface
+    # ------------------------------------------------------------------
+    @property
+    def analysis(self):
+        if self._incremental is not None:
+            return self._incremental.analysis
+        return self._analysis
+
+    @property
+    def pag(self):
+        if self._incremental is not None:
+            return self._incremental.pag
+        return self._analysis.pag
+
+    @property
+    def cache(self):
+        """The summary store, or ``None`` for cache-less analyses."""
+        return getattr(self.analysis, "cache", None)
+
+    @property
+    def program(self):
+        return self._incremental.program if self._incremental is not None else None
+
+    def query(self, item, context=EMPTY_STACK, client=None):
+        """Answer one points-to query.
+
+        ``item`` may be a PAG node, a ``(method_qname, var_name)`` pair,
+        a client :class:`~repro.clients.base.Query`, or a
+        :class:`~repro.engine.scheduler.QuerySpec`.
+        """
+        spec = as_spec(item, self.pag, context)
+        result = self.analysis.points_to(
+            spec.node, spec.context, client if client is not None else spec.client
+        )
+        self.queries_answered += 1
+        self.queries_executed += 1
+        self.steps_total += result.steps
+        if not result.complete:
+            self.incomplete_total += 1
+        return result
+
+    def query_name(self, method_qname, var_name, context=EMPTY_STACK, client=None):
+        """Convenience wrapper resolving the PAG node by name."""
+        return self.query((method_qname, var_name), context, client)
+
+    def alias(self, a, b, context1=EMPTY_STACK, context2=EMPTY_STACK):
+        """May-alias query between two variables (nodes or name pairs)."""
+        node_a = as_spec(a, self.pag).node
+        node_b = as_spec(b, self.pag).node
+        self.queries_answered += 2
+        self.queries_executed += 2
+        result = self.analysis.may_alias(node_a, node_b, context1, context2)
+        self.steps_total += result.steps
+        if result.verdict is None:
+            self.incomplete_total += 1
+        return result
+
+    def query_batch(self, items, context=EMPTY_STACK, dedupe=None, reorder=None):
+        """Answer a batch of queries; results align with request order.
+
+        ``dedupe``/``reorder`` default to the engine policy.  Batching
+        never changes answers — deduplicated requests share the identical
+        result a sequential run would produce, and ordering only decides
+        which traversals find the summary cache warm.  Returns a
+        :class:`~repro.engine.scheduler.BatchResult` whose ``stats``
+        mirror one batch of the Figure 4/5 protocol.
+        """
+        dedupe = self.policy.dedupe if dedupe is None else dedupe
+        reorder = self.policy.reorder if reorder is None else reorder
+        pag = self.pag
+        specs = [as_spec(item, pag, context) for item in items]
+        plan = plan_batch(
+            specs,
+            dedupe=dedupe,
+            reorder=reorder,
+            include_client=self.analysis.uses_client_predicate,
+        )
+        cache = self.cache
+        hits_before = cache.hits if cache is not None else 0
+        misses_before = cache.misses if cache is not None else 0
+        evictions_before = getattr(cache, "evictions", 0) if cache is not None else 0
+        summaries_before = len(cache) if cache is not None else 0
+        steps_before = self.analysis.total_steps
+        unique_results = [None] * len(plan.unique)
+        timer = Timer()
+        with timer:
+            for index in plan.order:
+                spec = plan.unique[index]
+                unique_results[index] = self.analysis.points_to(
+                    spec.node, spec.context, spec.client
+                )
+        results = [unique_results[index] for index in plan.assignment]
+        complete = sum(1 for r in unique_results if r.complete)
+        stats = BatchStats(
+            n_requests=plan.n_requests,
+            n_unique=plan.n_unique,
+            reordered=plan.reordered,
+            steps=self.analysis.total_steps - steps_before,
+            time_sec=timer.elapsed,
+            complete=complete,
+            incomplete=len(unique_results) - complete,
+            cache_hits=(cache.hits - hits_before) if cache is not None else 0,
+            cache_misses=(cache.misses - misses_before) if cache is not None else 0,
+            summaries_before=summaries_before,
+            summaries_after=len(cache) if cache is not None else 0,
+            evictions=(
+                (getattr(cache, "evictions", 0) - evictions_before)
+                if cache is not None
+                else 0
+            ),
+        )
+        self.batches_run += 1
+        self.queries_answered += plan.n_requests
+        self.queries_executed += plan.n_unique
+        self.queries_deduped += plan.n_deduped
+        self.steps_total += stats.steps
+        self.incomplete_total += stats.incomplete
+        return BatchResult(results, stats, plan)
+
+    def run_client(self, client_or_cls, queries=None, **batch_kwargs):
+        """Run a client workload through the batch path.
+
+        Returns ``(verdicts, batch_result)``: one verdict per query, in
+        the client's query order, plus the batch accounting.
+        """
+        client = (
+            client_or_cls(self.pag)
+            if isinstance(client_or_cls, type)
+            else client_or_cls
+        )
+        return client.run_engine(self, queries, **batch_kwargs)
+
+    # ------------------------------------------------------------------
+    # maintenance: edits and invalidation
+    # ------------------------------------------------------------------
+    def invalidate_method(self, method_qname):
+        """Drop cached summaries of one method (0 for cache-less
+        analyses); answers are unaffected, only recomputation cost."""
+        invalidate = getattr(self.analysis, "invalidate_method", None)
+        return invalidate(method_qname) if invalidate is not None else 0
+
+    def edit_session(self):
+        """An :class:`~repro.engine.session.EditSession` for applying
+        code edits.  Requires a program-backed engine (``for_program``)."""
+        if self._incremental is None:
+            raise IRError(
+                "edit sessions need a program-backed engine; construct "
+                "with PointsToEngine.for_program(program) or "
+                "PointsToEngine(program=...)"
+            )
+        return EditSession(self)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def stats(self):
+        """A point-in-time :class:`EngineStats` snapshot.
+
+        Steps and incomplete counts are the engine's own accumulation,
+        so they keep growing across edits (which swap the analysis
+        instance underneath) and never include pre-wrap traffic.
+        """
+        cache = self.cache
+        return EngineStats(
+            analysis=self.analysis.name,
+            queries=self.queries_answered,
+            executed=self.queries_executed,
+            batches=self.batches_run,
+            deduped=self.queries_deduped,
+            steps=self.steps_total,
+            incomplete=self.incomplete_total,
+            edits=self._incremental.edit_count if self._incremental else 0,
+            cache=cache.stats_snapshot() if cache is not None else None,
+        )
+
+    def __repr__(self):
+        return (
+            f"PointsToEngine({self.policy.analysis}, "
+            f"{self.queries_answered} queries, {self.batches_run} batches)"
+        )

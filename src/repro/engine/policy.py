@@ -1,0 +1,107 @@
+"""Per-engine policy objects: analysis choice, budget, cache bounds.
+
+A :class:`PointsToEngine` is configured once, with an immutable
+:class:`EnginePolicy`, instead of threading budget/cache/analysis options
+through every call site.  The policy names one of the repo's analyses
+(``DYNSUM``, ``STASUM``, ``REFINEPTS``, ``NOREFINE``, ``CIPTA``), carries
+the :class:`~repro.analysis.base.AnalysisConfig` tunables, and — for the
+summary-based analyses — a :class:`CachePolicy` choosing between the
+paper's unbounded ``Cache`` and the size-capped LRU store a long-running
+host needs.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.analysis.base import AnalysisConfig
+from repro.analysis.cipta import ContextInsensitivePta
+from repro.analysis.dynsum import DynSum
+from repro.analysis.norefine import NoRefine
+from repro.analysis.refinepts import RefinePts
+from repro.analysis.stasum import StaSum
+from repro.analysis.summaries import BoundedSummaryCache, SummaryCache
+from repro.cfl.budget import DEFAULT_BUDGET
+
+#: Registry of engine-drivable analyses, keyed by their Table 2 names.
+ANALYSES = {
+    cls.name: cls
+    for cls in (DynSum, StaSum, RefinePts, NoRefine, ContextInsensitivePta)
+}
+
+
+def resolve_analysis(name):
+    """Map an analysis name (any case, ``-``/``_`` tolerated) to its class."""
+    key = name.upper().replace("-", "").replace("_", "")
+    try:
+        return ANALYSES[key]
+    except KeyError:
+        known = ", ".join(sorted(ANALYSES))
+        raise KeyError(f"unknown analysis {name!r}; known: {known}") from None
+
+
+@dataclass(frozen=True)
+class CachePolicy:
+    """Bounding policy for the DYNSUM summary cache.
+
+    Both limits ``None`` (the default) selects the paper's unbounded
+    :class:`~repro.analysis.summaries.SummaryCache`; setting either picks
+    the LRU :class:`~repro.analysis.summaries.BoundedSummaryCache`.
+    """
+
+    max_entries: int = None
+    max_facts: int = None
+
+    @property
+    def bounded(self):
+        return self.max_entries is not None or self.max_facts is not None
+
+    def make_store(self):
+        if self.bounded:
+            return BoundedSummaryCache(
+                max_entries=self.max_entries, max_facts=self.max_facts
+            )
+        return SummaryCache()
+
+
+@dataclass(frozen=True)
+class EnginePolicy:
+    """Everything a :class:`~repro.engine.core.PointsToEngine` is allowed
+    to decide on the caller's behalf.
+
+    ``dedupe`` and ``reorder`` are the batch scheduler's defaults (both
+    overridable per ``query_batch`` call): deduplication collapses
+    repeated (node, context) queries onto one traversal, and reordering
+    groups a batch's queries by method so consecutive queries hit
+    still-warm summaries — which is what keeps hit rates high when the
+    cache is LRU-bounded.  The shipped paper protocols disable both to
+    stay faithful to the published query streams.
+    """
+
+    analysis: str = DynSum.name
+    budget: int = DEFAULT_BUDGET
+    max_field_depth: int = None
+    track_heap_contexts: bool = True
+    cache: CachePolicy = field(default_factory=CachePolicy)
+    dedupe: bool = True
+    reorder: bool = True
+
+    def analysis_class(self):
+        return resolve_analysis(self.analysis)
+
+    def analysis_config(self):
+        return AnalysisConfig(
+            budget=self.budget,
+            max_field_depth=self.max_field_depth,
+            track_heap_contexts=self.track_heap_contexts,
+        )
+
+    def make_analysis(self, pag, cache=None):
+        """Instantiate the configured analysis over ``pag``.
+
+        ``cache`` overrides the cache policy (used to share one summary
+        store between engines modelling one host process).
+        """
+        cls = self.analysis_class()
+        config = self.analysis_config()
+        if cls is DynSum:
+            return cls(pag, config, cache=cache or self.cache.make_store())
+        return cls(pag, config)

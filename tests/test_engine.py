@@ -1,0 +1,322 @@
+"""Tests for the engine layer: scheduler, policies, batch semantics.
+
+The acceptance properties from the engine's design brief:
+
+* ``query_batch`` over the Figure-4 workload produces **identical**
+  points-to sets to sequential queries, while reporting a strictly
+  higher summary-cache hit rate than cold per-query runs;
+* a bounded cache honours its size cap without changing any answer.
+"""
+
+import pytest
+
+from repro import (
+    AnalysisConfig,
+    BoundedSummaryCache,
+    CachePolicy,
+    DynSum,
+    EnginePolicy,
+    PointsToEngine,
+    build_pag,
+    parse_program,
+)
+from repro.bench.runner import bench_analysis_config
+from repro.bench.suite import load_benchmark
+from repro.clients import ALL_CLIENTS, SafeCastClient
+from repro.engine import QuerySpec, as_spec, plan_batch, resolve_analysis
+from repro.engine.scheduler import warmth_key
+from repro.util.errors import IRError
+
+SOURCE = """
+class Animal { }
+class Dog extends Animal { }
+class Cat extends Animal { }
+
+class Kennel {
+  field occupant;
+  method put(a) { this.occupant = a; }
+  method get() {
+    r = this.occupant;
+    return r;
+  }
+}
+
+class Main {
+  static method main() {
+    dogHouse = new Kennel;
+    catHouse = new Kennel;
+    rex = new Dog;
+    tom = new Cat;
+    dogHouse.put(rex);
+    catHouse.put(tom);
+    d = dogHouse.get();
+    c = catHouse.get();
+    sure = (Dog) d;
+    oops = (Dog) c;
+  }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def pag():
+    return build_pag(parse_program(SOURCE))
+
+
+@pytest.fixture(scope="module")
+def figure4_instance():
+    """One of the paper's Figure 4 programs (soot-c), test-sized."""
+    return load_benchmark("soot-c", scale=0.5)
+
+
+class TestScheduler:
+    def test_dedupe_collapses_repeats(self, pag):
+        d = pag.find_local("Main.main", "d")
+        c = pag.find_local("Main.main", "c")
+        plan = plan_batch([QuerySpec(d), QuerySpec(c), QuerySpec(d)])
+        assert plan.n_requests == 3
+        assert plan.n_unique == 2
+        assert plan.n_deduped == 1
+        assert plan.assignment[0] == plan.assignment[2]
+
+    def test_no_dedupe_keeps_everything(self, pag):
+        d = pag.find_local("Main.main", "d")
+        plan = plan_batch([QuerySpec(d), QuerySpec(d)], dedupe=False)
+        assert plan.n_unique == 2
+
+    def test_reorder_groups_by_method(self, pag):
+        specs = [
+            QuerySpec(pag.find_local("Main.main", "d")),
+            QuerySpec(pag.find_local("Kennel.get", "r")),
+            QuerySpec(pag.find_local("Main.main", "c")),
+        ]
+        plan = plan_batch(specs, reorder=True)
+        ordered = [warmth_key(plan.unique[i])[0] for i in plan.order]
+        assert ordered == sorted(ordered)
+
+    def test_no_reorder_preserves_order(self, pag):
+        specs = [
+            QuerySpec(pag.find_local("Main.main", "d")),
+            QuerySpec(pag.find_local("Kennel.get", "r")),
+        ]
+        plan = plan_batch(specs, reorder=False)
+        assert plan.order == [0, 1]
+        assert not plan.reordered
+
+    def test_untokenised_predicates_never_merge(self, pag):
+        d = pag.find_local("Main.main", "d")
+        plan = plan_batch(
+            [QuerySpec(d, client=lambda objs: True), QuerySpec(d, client=lambda objs: False)]
+        )
+        assert plan.n_unique == 2
+
+    def test_tokenised_predicates_merge_on_token(self, pag):
+        d = pag.find_local("Main.main", "d")
+        specs = [
+            QuerySpec(d, client=lambda objs: True, token=("SafeCast", ("Dog",))),
+            QuerySpec(d, client=lambda objs: True, token=("SafeCast", ("Dog",))),
+            QuerySpec(d, client=lambda objs: True, token=("SafeCast", ("Cat",))),
+        ]
+        plan = plan_batch(specs, include_client=True)
+        assert plan.n_unique == 2
+        # Predicate-blind analyses may merge all three:
+        assert plan_batch(specs, include_client=False).n_unique == 1
+
+    def test_as_spec_normalises(self, pag):
+        d = pag.find_local("Main.main", "d")
+        assert as_spec(d, pag).node is d
+        assert as_spec(("Main.main", "d"), pag).node is d
+        spec = QuerySpec(d)
+        assert as_spec(spec, pag) is spec
+        query = SafeCastClient(pag).queries()[0]
+        from_query = as_spec(query, pag)
+        assert from_query.origin is query
+        assert from_query.token == (query.client, query.payload)
+
+
+class TestPolicy:
+    def test_resolve_analysis_names(self):
+        assert resolve_analysis("dynsum").name == "DYNSUM"
+        assert resolve_analysis("RefinePts").name == "REFINEPTS"
+        with pytest.raises(KeyError):
+            resolve_analysis("quake3")
+
+    def test_cache_policy_selects_store(self):
+        from repro import SummaryCache
+
+        assert isinstance(CachePolicy().make_store(), SummaryCache)
+        bounded = CachePolicy(max_entries=4).make_store()
+        assert isinstance(bounded, BoundedSummaryCache)
+        assert bounded.max_entries == 4
+
+    def test_engine_per_analysis(self, pag):
+        for name in ("DYNSUM", "STASUM", "REFINEPTS", "NOREFINE"):
+            engine = PointsToEngine(pag, EnginePolicy(analysis=name))
+            result = engine.query_name("Main.main", "d")
+            assert sorted(o.class_name for o in result.objects) == ["Dog"]
+        # CIPTA is context-insensitive: the two kennels conflate.
+        cipta = PointsToEngine(pag, EnginePolicy(analysis="CIPTA"))
+        merged = cipta.query_name("Main.main", "d")
+        assert sorted(o.class_name for o in merged.objects) == ["Cat", "Dog"]
+
+    def test_exactly_one_source_required(self, pag):
+        with pytest.raises(IRError):
+            PointsToEngine()
+        with pytest.raises(IRError):
+            PointsToEngine(pag, analysis=DynSum(pag))
+
+
+class TestEngineBasics:
+    def test_query_matches_analysis(self, pag):
+        engine = PointsToEngine(pag)
+        direct = DynSum(pag).points_to_name("Main.main", "d")
+        assert engine.query_name("Main.main", "d").pairs == direct.pairs
+
+    def test_alias(self, pag):
+        engine = PointsToEngine(pag)
+        assert engine.alias(("Main.main", "d"), ("Main.main", "rex")).verdict is True
+        assert engine.alias(("Main.main", "d"), ("Main.main", "tom")).verdict is False
+
+    def test_batch_results_align_with_requests(self, pag):
+        engine = PointsToEngine(pag)
+        batch = engine.query_batch(
+            [("Main.main", "c"), ("Main.main", "d"), ("Main.main", "c")]
+        )
+        classes = [sorted(o.class_name for o in r.objects) for r in batch]
+        assert classes == [["Cat"], ["Dog"], ["Cat"]]
+        assert batch.results[0] is batch.results[2]  # deduplicated
+        assert batch.stats.n_deduped == 1
+
+    def test_run_client_matches_direct_run(self, pag):
+        engine = PointsToEngine(pag)
+        verdicts, batch = engine.run_client(SafeCastClient)
+        direct = SafeCastClient(pag).run(DynSum(pag))
+        assert [v.status for v in verdicts] == [v.status for v in direct]
+        assert batch.stats.n_requests == len(direct)
+
+    def test_invalidate_method(self, pag):
+        engine = PointsToEngine(pag)
+        before = engine.query_name("Main.main", "d")
+        assert engine.invalidate_method("Kennel.get") > 0
+        assert engine.query_name("Main.main", "d").pairs == before.pairs
+        # Cache-less analyses no-op instead of failing:
+        assert PointsToEngine(pag, EnginePolicy(analysis="NOREFINE")).invalidate_method(
+            "Kennel.get"
+        ) == 0
+
+    def test_stats_snapshot(self, pag):
+        engine = PointsToEngine(pag)
+        engine.query_name("Main.main", "d")
+        engine.query_batch([("Main.main", "d"), ("Main.main", "d")])
+        stats = engine.stats()
+        assert stats.analysis == "DYNSUM"
+        assert stats.queries == 3
+        assert stats.executed == 2  # batch deduped to one traversal
+        assert stats.batches == 1
+        assert stats.deduped == 1
+        assert stats.cache is not None and stats.cache.entries > 0
+
+    def test_edit_session_requires_program(self, pag):
+        with pytest.raises(IRError):
+            PointsToEngine(pag).edit_session()
+
+    def test_edit_session_flow(self):
+        engine = PointsToEngine.for_program(parse_program(SOURCE))
+        session = engine.edit_session()
+        before = engine.query_name("Main.main", "d")
+        steps_before_edit = engine.stats().steps
+        assert steps_before_edit > 0
+        report = session.edit("Kennel.put", lambda method: None)
+        assert session.edit_count == 1
+        assert report.migrated > 0
+        after = engine.query_name("Main.main", "d")
+        assert sorted(repr(o) for o in after.objects) == sorted(
+            repr(o) for o in before.objects
+        )
+        stats = engine.stats()
+        assert stats.edits == 1
+        # Lifetime accounting survives the analysis swap an edit performs.
+        assert stats.steps > steps_before_edit
+        assert stats.queries == 2
+
+    def test_wrap_does_not_inherit_pre_engine_traffic(self, pag):
+        analysis = DynSum(pag)
+        analysis.points_to_name("Main.main", "d")  # pre-engine traffic
+        engine = PointsToEngine.wrap(analysis)
+        assert engine.stats().steps == 0
+        engine.query_name("Main.main", "c")
+        assert 0 < engine.stats().steps < analysis.total_steps
+
+
+def _workload(instance, client_cls):
+    client = client_cls(instance.pag)
+    return client, client.queries()
+
+
+class TestAcceptance:
+    """The engine's contract over a Figure-4 workload."""
+
+    @pytest.mark.parametrize("client_cls", ALL_CLIENTS, ids=lambda c: c.name)
+    def test_batch_equals_sequential(self, figure4_instance, client_cls):
+        """Batched answers (dedup + reorder + shared cache) are identical
+        to one-at-a-time queries on a fresh analysis."""
+        instance = figure4_instance
+        client, queries = _workload(instance, client_cls)
+
+        engine = PointsToEngine(
+            instance.pag, EnginePolicy(max_field_depth=16)
+        )
+        verdicts, batch = engine.run_client(client, queries)
+
+        sequential = DynSum(instance.pag, bench_analysis_config())
+        for query, batched in zip(queries, batch.results):
+            reference = sequential.points_to(
+                query.node(instance.pag), client=client.predicate(query)
+            )
+            assert batched.pairs == reference.pairs, query
+            assert batched.complete == reference.complete, query
+        assert [v.status for v in verdicts] == [
+            v.status for v in client.run(DynSum(instance.pag, bench_analysis_config()))
+        ]
+
+    def test_batch_hit_rate_beats_cold_per_query(self, figure4_instance):
+        """The shared-cache batch must report a strictly higher summary
+        hit rate than cold per-query runs (fresh cache every query)."""
+        instance = figure4_instance
+        client, queries = _workload(instance, SafeCastClient)
+
+        engine = PointsToEngine(instance.pag, EnginePolicy(max_field_depth=16))
+        _verdicts, batch = engine.run_client(client, queries)
+
+        cold_hits = cold_probes = 0
+        for query in queries:
+            cold = DynSum(instance.pag, bench_analysis_config())
+            cold.points_to(query.node(instance.pag), client=client.predicate(query))
+            cold_hits += cold.cache.hits
+            cold_probes += cold.cache.hits + cold.cache.misses
+        cold_rate = cold_hits / cold_probes if cold_probes else 0.0
+
+        assert batch.stats.probes > 0
+        assert batch.stats.hit_rate > cold_rate
+
+    def test_bounded_cache_honours_cap_without_changing_answers(
+        self, figure4_instance
+    ):
+        instance = figure4_instance
+        client, queries = _workload(instance, SafeCastClient)
+
+        cap = 32
+        bounded_engine = PointsToEngine(
+            instance.pag,
+            EnginePolicy(max_field_depth=16, cache=CachePolicy(max_entries=cap)),
+        )
+        _verdicts, bounded = bounded_engine.run_client(client, queries)
+        assert len(bounded_engine.cache) <= cap
+        assert bounded_engine.cache.evictions > 0  # the cap actually bit
+
+        reference = DynSum(instance.pag, bench_analysis_config())
+        for query, result in zip(queries, bounded.results):
+            expected = reference.points_to(
+                query.node(instance.pag), client=client.predicate(query)
+            )
+            assert result.pairs == expected.pairs, query

@@ -1,5 +1,6 @@
 """Smoke tests: every shipped example runs clean and says what it should."""
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -7,6 +8,18 @@ import sys
 import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = EXAMPLES_DIR.parent / "src"
+
+
+def example_env():
+    """The test process's environment with ``src/`` on PYTHONPATH, so the
+    example subprocesses can import ``repro`` from a clean checkout."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        str(SRC_DIR) if not existing else str(SRC_DIR) + os.pathsep + existing
+    )
+    return env
 
 
 def run_example(name, *args):
@@ -16,6 +29,7 @@ def run_example(name, *args):
         text=True,
         timeout=300,
         cwd=EXAMPLES_DIR,
+        env=example_env(),
     )
     assert result.returncode == 0, result.stderr
     return result.stdout
@@ -67,5 +81,6 @@ def test_client_comparison_rejects_unknown():
         capture_output=True,
         text=True,
         timeout=60,
+        env=example_env(),
     )
     assert result.returncode != 0
