@@ -1,0 +1,165 @@
+"""Parallel batch execution — sequential vs. thread-pooled, per shard.
+
+For each Figure-4 benchmark and client, the same workload runs through
+fresh DYNSUM engines three ways:
+
+* **sequential** — ``parallelism=1`` over an *unsharded* cache (the
+  PR-1 configuration, the reference);
+* **sequential/sharded** — ``parallelism=1`` over the 8-shard store, to
+  isolate what partitioning alone costs (per-shard stats recorded here
+  are deterministic, thanks to the CRC-32 method partition);
+* **parallel** — ``parallelism=4`` over the same 8-shard store.
+
+Every run is asserted element-wise identical to the reference — answers
+are memo-pure, parallelism is only a cost lever — and the aggregated
+shard stats must reconcile (hits + misses == probes; entries and facts
+equal the shard sums).  Reported per cell: wall time for each mode,
+deterministic steps for the sequential modes (parallel steps can differ:
+two workers may both miss one summary and compute it twice), and the
+per-shard entry/fact distribution.
+
+Set ``REPRO_WRITE_BASELINE=1`` to (re)write ``BENCH_parallel.json`` next
+to this file.  Wall-clock fields vary by host; the committed baseline
+exists to record the sequential-vs-parallel comparison and the
+deterministic shard distribution, not to pin timings.
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.bench.runner import bench_engine_policy
+from repro.clients import ALL_CLIENTS
+from repro.engine import CachePolicy, EnginePolicy, PointsToEngine
+
+from conftest import FIGURE_BENCHMARKS
+
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_parallel.json"
+WORKERS = 4
+SHARDS = 8
+
+_ROWS = []
+
+
+def _policy(parallelism, shards=None):
+    base = bench_engine_policy()
+    return EnginePolicy(
+        analysis=base.analysis,
+        max_field_depth=base.max_field_depth,
+        cache=CachePolicy(shards=shards),
+        parallelism=parallelism,
+    )
+
+
+def _run(instance, client, parallelism, shards=None):
+    engine = PointsToEngine(instance.pag, _policy(parallelism, shards))
+    _verdicts, batch = engine.run_client(client, dedupe=True, reorder=True)
+    return engine, batch
+
+
+def _shard_cells(engine):
+    return [
+        {
+            "entries": snap.entries,
+            "facts": snap.facts,
+            "hits": snap.hits,
+            "misses": snap.misses,
+            "evictions": snap.evictions,
+        }
+        for snap in engine.cache.shard_snapshots()
+    ]
+
+
+@pytest.mark.parametrize("client_cls", ALL_CLIENTS, ids=lambda c: c.name)
+@pytest.mark.parametrize("name", FIGURE_BENCHMARKS)
+def test_parallel_batch_throughput(benchmark, figure_instances, name, client_cls):
+    instance = figure_instances[name]
+    client = client_cls(instance.pag)
+    n_queries = len(client.queries())
+
+    _seq_engine, sequential = _run(instance, client, parallelism=1)
+    sharded_engine, sharded = _run(instance, client, parallelism=1, shards=SHARDS)
+    parallel_engine, parallel = _run(instance, client, parallelism=WORKERS, shards=SHARDS)
+
+    # Parallelism and sharding never change an answer.
+    for reference, a, b in zip(sequential.results, sharded.results, parallel.results):
+        assert a.pairs == reference.pairs
+        assert b.pairs == reference.pairs
+
+    # Sequential execution over shards is step-identical to unsharded.
+    assert sharded.stats.steps == sequential.stats.steps
+    assert parallel.stats.parallelism == WORKERS
+
+    # Aggregated shard stats reconcile exactly, even after parallel
+    # runs: the batch's probe deltas match the shard-recorded totals,
+    # and the aggregate snapshot equals the shard sums.
+    for engine, batch in ((sharded_engine, sharded), (parallel_engine, parallel)):
+        snap = engine.cache.stats_snapshot()
+        shards = engine.cache.shard_snapshots()
+        assert batch.stats.cache_hits + batch.stats.cache_misses == snap.probes
+        assert snap.hits == sum(s.hits for s in shards)
+        assert snap.misses == sum(s.misses for s in shards)
+        assert sum(s.entries for s in shards) == len(engine.cache)
+        assert sum(s.facts for s in shards) == engine.cache.total_facts()
+        assert batch.stats.summaries_after == len(engine.cache)
+
+    benchmark.pedantic(
+        lambda: _run(instance, client, parallelism=WORKERS, shards=SHARDS),
+        rounds=1,
+        iterations=1,
+    )
+    _ROWS.append(
+        {
+            "benchmark": name,
+            "client": client.name,
+            "n_queries": n_queries,
+            "sequential": {
+                "steps": sequential.stats.steps,
+                "time_sec": sequential.stats.time_sec,
+                "hit_rate": round(sequential.stats.hit_rate, 4),
+            },
+            "parallel": {
+                "workers": WORKERS,
+                "shards": SHARDS,
+                "time_sec": parallel.stats.time_sec,
+                "hit_rate": round(parallel.stats.hit_rate, 4),
+            },
+            # Deterministic (sequential run, CRC-32 partition): the
+            # per-shard entry/fact distribution of the workload.
+            "shard_distribution": _shard_cells(sharded_engine),
+        }
+    )
+
+
+def test_print_parallel_batch(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _ROWS:
+        pytest.skip("series did not run")
+    header = (
+        f"{'bench/client':22s} {'queries':>7s} {'seq steps':>10s} "
+        f"{'seq time':>9s} {'par time':>9s} {'hit seq':>8s} {'hit par':>8s}"
+    )
+    print(f"\n\nParallel batches — sequential vs. {WORKERS} workers / {SHARDS} shards")
+    print(header)
+    print("-" * len(header))
+    for row in _ROWS:
+        print(
+            f"{row['benchmark'] + '/' + row['client']:22s} "
+            f"{row['n_queries']:>7d} {row['sequential']['steps']:>10d} "
+            f"{row['sequential']['time_sec']:>8.4f}s "
+            f"{row['parallel']['time_sec']:>8.4f}s "
+            f"{row['sequential']['hit_rate']:>8.2%} "
+            f"{row['parallel']['hit_rate']:>8.2%}"
+        )
+    if os.environ.get("REPRO_WRITE_BASELINE"):
+        payload = {
+            "protocol": "bench_parallel_batch",
+            "scale": float(os.environ.get("REPRO_BENCH_SCALE", "1.0")),
+            "workers": WORKERS,
+            "shards": SHARDS,
+            "rows": _ROWS,
+        }
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote baseline {BASELINE_PATH}")

@@ -43,18 +43,26 @@ from repro.analysis import (
     SummaryCache,
     format_trace,
 )
-from repro.analysis.summaries import BoundedSummaryCache, CacheStats, SummaryStore
+from repro.analysis.summaries import (
+    BoundedSummaryCache,
+    CacheStats,
+    ShardedSummaryCache,
+    SummaryStore,
+)
 from repro.callgraph import AndersenAnalysis, CallGraph, rta_call_graph
 from repro.cfl import EMPTY_STACK, Stack
 from repro.engine import (
+    BatchExecutor,
     BatchResult,
     BatchStats,
     CachePolicy,
     EditSession,
     EnginePolicy,
     EngineStats,
+    ParallelExecutor,
     PointsToEngine,
     QuerySpec,
+    SequentialExecutor,
 )
 from repro.clients import (
     ALL_CLIENTS,
@@ -72,6 +80,7 @@ __all__ = [
     "AliasResult",
     "AnalysisConfig",
     "AndersenAnalysis",
+    "BatchExecutor",
     "BatchResult",
     "BatchStats",
     "BoundedSummaryCache",
@@ -90,6 +99,7 @@ __all__ = [
     "NoRefine",
     "NullDerefClient",
     "PAG",
+    "ParallelExecutor",
     "PointsToEngine",
     "ProgramBuilder",
     "QueryResult",
@@ -97,6 +107,8 @@ __all__ = [
     "QueryTracer",
     "RefinePts",
     "SafeCastClient",
+    "SequentialExecutor",
+    "ShardedSummaryCache",
     "StaSum",
     "Stack",
     "SummaryCache",

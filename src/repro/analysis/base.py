@@ -16,6 +16,8 @@ clears.  Call sites marked recursive on the PAG are crossed without
 touching the context (SCC collapse, Section 5.1).
 """
 
+import threading
+
 from repro.cfl.budget import DEFAULT_BUDGET, Budget
 from repro.cfl.stacks import EMPTY_STACK
 from repro.util.errors import IRError
@@ -157,10 +159,14 @@ class DemandPointsToAnalysis:
         self.pag = pag
         self.config = config or AnalysisConfig()
         #: Cumulative counters across all queries (reset with
-        #: :meth:`reset_stats`).
+        #: :meth:`reset_stats`).  Updates are lock-protected so the
+        #: engine's parallel batch executor can issue concurrent
+        #: ``points_to`` calls without losing counts — per-query state is
+        #: otherwise traversal-local and the PAG is read-only.
         self.total_steps = 0
         self.total_queries = 0
         self.incomplete_queries = 0
+        self._counter_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # public API
@@ -172,10 +178,11 @@ class DemandPointsToAnalysis:
         (REFINEPTS's refinement loop); others ignore it.
         """
         result = self._run_query(var, context, client)
-        self.total_queries += 1
-        self.total_steps += result.steps
-        if not result.complete:
-            self.incomplete_queries += 1
+        with self._counter_lock:
+            self.total_queries += 1
+            self.total_steps += result.steps
+            if not result.complete:
+                self.incomplete_queries += 1
         return result
 
     def points_to_name(self, method_qname, var_name, context=EMPTY_STACK, client=None):
@@ -211,9 +218,10 @@ class DemandPointsToAnalysis:
         )
 
     def reset_stats(self):
-        self.total_steps = 0
-        self.total_queries = 0
-        self.incomplete_queries = 0
+        with self._counter_lock:
+            self.total_steps = 0
+            self.total_queries = 0
+            self.incomplete_queries = 0
 
     # ------------------------------------------------------------------
     # subclass contract

@@ -96,6 +96,10 @@ class DynSum(DemandPointsToAnalysis):
             self._explore(var, context, pairs, budget)
         except BudgetExceededError:
             complete = False
+        # Window deltas over the shared cache's counters: exact when
+        # queries run one at a time; under the engine's parallel executor
+        # a result's own window may include probes of concurrently
+        # running traversals (batch-level stats remain exact).
         stats = {
             "cache_hits": self.cache.hits - hits_before,
             "cache_misses": self.cache.misses - misses_before,

@@ -35,7 +35,14 @@ from repro.util.errors import IRError
 
 
 class EditReport:
-    """What one edit cost: which methods lost summaries and why."""
+    """What one edit cost: which methods lost summaries and why.
+
+    ``migrated`` is reconciled against the post-edit store — it counts
+    summaries actually *resident* after the rebuild, so
+    ``migrated == len(new cache)`` and ``migrated + dropped`` equals the
+    old cache's entry count, even when a capacity-bounded spawn cannot
+    admit everything.
+    """
 
     __slots__ = ("edited", "surface_changed", "dropped", "migrated")
 
@@ -132,19 +139,36 @@ class IncrementalAnalysisSession:
 
         old_cache = self.analysis.cache
         new_cache = old_cache.spawn()
-        migrated = 0
+        stored_keys = []
         dropped = 0
-        for (node, stack, state), summary in old_cache.entries():
+        # Hottest-first: when the spawn is capacity-bounded, the most
+        # recently useful summaries claim the room and the cold tail is
+        # skipped outright (`has_room`) instead of being stored and then
+        # churned back out by eviction.
+        for (node, stack, state), summary in old_cache.entries_by_recency(
+            hottest_first=True
+        ):
             if node.method in drop:
                 dropped += 1
                 continue
             moved = self._migrate_entry(new_pag, node, stack, state, summary)
             if moved is None:
                 dropped += 1
-            else:
-                new_node, new_summary = moved
-                new_cache.store(new_node, stack, state, new_summary)
-                migrated += 1
+                continue
+            new_node, new_summary = moved
+            if not new_cache.has_room(new_node, new_summary.size):
+                dropped += 1
+                continue
+            new_cache.store(new_node, stack, state, new_summary)
+            stored_keys.append((new_node, stack, state))
+        # Hottest-first insertion leaves recency inverted in the new
+        # store; promote coldest-to-hottest so LRU order matches reality.
+        for key in reversed(stored_keys):
+            new_cache.promote(key)
+        # Reconcile the report against the new store: only entries
+        # actually resident after migration count as migrated.
+        migrated = sum(1 for key in stored_keys if key in new_cache)
+        dropped += len(stored_keys) - migrated
 
         self.pag = new_pag
         self.analysis = DynSum(new_pag, self.config, cache=new_cache)

@@ -5,7 +5,7 @@ calling context — to completed :class:`~repro.analysis.ppta.PptaResult`
 summaries.  Context-independence is the paper's key idea: the same local
 summary serves every calling context of the method, and every later query.
 
-Two implementations share one contract (:class:`SummaryStore`):
+Three implementations share one contract (:class:`SummaryStore`):
 
 * :class:`SummaryCache` — the unbounded store of the paper's experiments
   (queries stop at a few thousand, so the cache never needs a ceiling);
@@ -13,7 +13,13 @@ Two implementations share one contract (:class:`SummaryStore`):
   long-running IDE/JIT hosts of Sections 1 and 5.3, where query traffic
   is open-ended and memory is not.  Capacity can be capped by entry count
   and/or by total summary facts (a proxy for bytes; see
-  :meth:`SummaryStore.approx_bytes`).
+  :meth:`SummaryStore.approx_bytes`);
+* :class:`ShardedSummaryCache` — N independent shards, partitioned by
+  the key node's **method** (the invalidation granularity), each with
+  its own lock, so parallel traversals, LRU eviction and
+  ``invalidate_method`` never contend on one global structure.  This is
+  the store the engine's :class:`~repro.engine.executor.ParallelExecutor`
+  requires.
 
 Eviction is always *safe*: a summary is a pure memo of ``DSPOINTSTO``, so
 dropping one never changes any answer — only the cost of recomputing it.
@@ -23,6 +29,8 @@ and LRU eviction compose freely because both merely forget memos (the
 test suite checks both properties).
 """
 
+import threading
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -82,6 +90,11 @@ class SummaryStore:
     #: :class:`BoundedSummaryCache`.
     max_entries = None
     max_facts = None
+    #: Whether the store tolerates concurrent ``lookup``/``store``/
+    #: ``invalidate_method`` calls from multiple threads.  The engine's
+    #: parallel executor refuses to fan out over a store that does not
+    #: (see :class:`ShardedSummaryCache` for one that does).
+    concurrent_safe = False
 
     def __init__(self):
         self._entries = self._make_container()
@@ -103,6 +116,23 @@ class SummaryStore:
 
     def _enforce_capacity(self):
         """Evict until within capacity (no-op for unbounded stores)."""
+
+    def has_room(self, node, facts=0):
+        """Would storing a ``facts``-sized summary for ``node`` fit
+        without evicting a resident entry?  Unbounded stores always say
+        yes; capacity-aware callers (summary migration after an edit)
+        use this to *skip* entries instead of churning the store."""
+        return True
+
+    def promote(self, key):
+        """Mark ``key`` most-recently-used without recording a probe.
+
+        Migration uses this to reconstruct recency order in a freshly
+        spawned store; unlike :meth:`lookup` it never perturbs the
+        hit/miss accounting.
+        """
+        if key in self._entries:
+            self._touch(key)
 
     def spawn(self):
         """A fresh, empty store with the same capacity policy.
@@ -134,9 +164,15 @@ class SummaryStore:
         budget exhaustion must be discarded by the caller, mirroring the
         paper's observation that ad-hoc caches cannot hold unresolved
         points-to sets.
+
+        Re-storing a resident key keeps the existing summary (the two
+        are equal — summaries are pure memos of ``DSPOINTSTO``) but
+        *refreshes its recency*: the caller just recomputed it, which is
+        exactly the evidence an LRU policy keys eviction on.
         """
         key = (node, field_stack, state)
         if key in self._entries:
+            self._touch(key)
             return
         self._entries[key] = ppta_result
         self._facts += ppta_result.size
@@ -190,6 +226,14 @@ class SummaryStore:
         """Iterate ``((node, field_stack, state), summary)`` pairs in
         storage order (least-recently-used first for LRU stores)."""
         return iter(self._entries.items())
+
+    def entries_by_recency(self, hottest_first=True):
+        """Entries ordered by recency — most-recently-used first when
+        ``hottest_first``.  For LRU stores storage order *is* recency
+        order; unbounded stores fall back to insertion order (newest
+        entries stand in for hottest)."""
+        items = list(self._entries.items())
+        return reversed(items) if hottest_first else iter(items)
 
     def __len__(self):
         """Number of summaries — the paper's Figure 5 metric ("the number
@@ -275,6 +319,17 @@ class BoundedSummaryCache(SummaryStore):
     def _touch(self, key):
         self._entries.move_to_end(key)
 
+    def has_room(self, node, facts=0):
+        if not self._entries:
+            # Mirror `_enforce_capacity`'s single-resident-entry
+            # allowance: one pathological summary is always admitted.
+            return True
+        if self.max_entries is not None and len(self._entries) >= self.max_entries:
+            return False
+        if self.max_facts is not None and self._facts + facts > self.max_facts:
+            return False
+        return True
+
     def _over_capacity(self):
         if self.max_entries is not None and len(self._entries) > self.max_entries:
             return True
@@ -298,4 +353,232 @@ class BoundedSummaryCache(SummaryStore):
         return (
             f"BoundedSummaryCache({len(self._entries)} summaries, {cap}, "
             f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+        )
+
+
+def _split_cap(total, shards):
+    """Partition an integer capacity across ``shards`` (remainder spread
+    over the first shards).  ``None`` stays unbounded everywhere."""
+    if total is None:
+        return [None] * shards
+    base, extra = divmod(total, shards)
+    return [base + (1 if i < extra else 0) for i in range(shards)]
+
+
+def shard_for_method(method_qname, n_shards):
+    """Stable shard index for a method name.
+
+    Uses CRC-32 rather than :func:`hash` so the partition — and hence
+    per-shard statistics — is identical across processes and
+    ``PYTHONHASHSEED`` values.
+    """
+    return zlib.crc32(str(method_qname or "").encode("utf-8")) % n_shards
+
+
+class ShardedSummaryCache:
+    """N independent summary shards, partitioned by the key node's method.
+
+    The method is the natural partition key because it is already the
+    invalidation granularity: every key of one method lands in one
+    shard, so ``invalidate_method`` — like ``lookup``/``store``/LRU
+    eviction — takes exactly one shard lock and never contends with
+    traffic on other methods.  This is the concurrency story the
+    engine's :class:`~repro.engine.executor.ParallelExecutor` requires
+    (``concurrent_safe`` is True) and the partition a later
+    multi-process cache service can inherit unchanged.
+
+    ``max_entries``/``max_facts`` are *global* ceilings split across the
+    shards (remainder on the first shards), so each shard is an
+    independent LRU within its slice of the budget; both caps must be at
+    least ``shards`` so every shard can hold an entry.  With no caps the
+    shards are unbounded.
+
+    The class mirrors the whole :class:`SummaryStore` surface plus
+    :meth:`shard_snapshots` for per-shard accounting.  Aggregate counter
+    reads (``hits``, ``misses``, …) sum per-shard counters without
+    taking every lock — each shard's counters only ever grow, so a
+    concurrent reader sees a slightly stale but never-corrupt total;
+    :meth:`stats_snapshot` reads each shard under its lock.
+    """
+
+    concurrent_safe = True
+
+    def __init__(self, shards=4, max_entries=None, max_facts=None):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if max_entries is not None and max_entries < shards:
+            raise ValueError(
+                f"max_entries={max_entries} cannot feed {shards} shards; "
+                "need at least one entry per shard"
+            )
+        if max_facts is not None and max_facts < shards:
+            raise ValueError(
+                f"max_facts={max_facts} cannot feed {shards} shards; "
+                "need at least one fact per shard"
+            )
+        self.n_shards = shards
+        self.max_entries = max_entries
+        self.max_facts = max_facts
+        bounded = max_entries is not None or max_facts is not None
+        entry_caps = _split_cap(max_entries, shards)
+        fact_caps = _split_cap(max_facts, shards)
+        self._shards = tuple(
+            BoundedSummaryCache(max_entries=entry_caps[i], max_facts=fact_caps[i])
+            if bounded
+            else SummaryCache()
+            for i in range(shards)
+        )
+        self._locks = tuple(threading.RLock() for _ in range(shards))
+
+    # ------------------------------------------------------------------
+    # partitioning
+    # ------------------------------------------------------------------
+    def shard_index(self, method_qname):
+        return shard_for_method(method_qname, self.n_shards)
+
+    def _slot(self, node):
+        index = self.shard_index(getattr(node, "method", None))
+        return self._shards[index], self._locks[index]
+
+    def spawn(self):
+        """A fresh, empty store with the same shard/capacity policy."""
+        return type(self)(
+            shards=self.n_shards,
+            max_entries=self.max_entries,
+            max_facts=self.max_facts,
+        )
+
+    # ------------------------------------------------------------------
+    # the cache contract
+    # ------------------------------------------------------------------
+    def lookup(self, node, field_stack, state):
+        shard, lock = self._slot(node)
+        with lock:
+            return shard.lookup(node, field_stack, state)
+
+    def store(self, node, field_stack, state, ppta_result):
+        shard, lock = self._slot(node)
+        with lock:
+            shard.store(node, field_stack, state, ppta_result)
+
+    def invalidate_method(self, method_qname):
+        index = self.shard_index(method_qname)
+        with self._locks[index]:
+            return self._shards[index].invalidate_method(method_qname)
+
+    def has_room(self, node, facts=0):
+        shard, lock = self._slot(node)
+        with lock:
+            return shard.has_room(node, facts)
+
+    def promote(self, key):
+        shard, lock = self._slot(key[0])
+        with lock:
+            shard.promote(key)
+
+    def clear(self):
+        for shard, lock in zip(self._shards, self._locks):
+            with lock:
+                shard.clear()
+
+    # ------------------------------------------------------------------
+    # aggregate counters (sums over shards)
+    # ------------------------------------------------------------------
+    @property
+    def hits(self):
+        return sum(shard.hits for shard in self._shards)
+
+    @property
+    def misses(self):
+        return sum(shard.misses for shard in self._shards)
+
+    @property
+    def evictions(self):
+        return sum(shard.evictions for shard in self._shards)
+
+    @property
+    def invalidated(self):
+        return sum(shard.invalidated for shard in self._shards)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def entries(self):
+        """All entries, shard by shard (per-shard LRU order within)."""
+        items = []
+        for shard, lock in zip(self._shards, self._locks):
+            with lock:
+                items.extend(shard.entries())
+        return iter(items)
+
+    def entries_by_recency(self, hottest_first=True):
+        """Per-shard recency order, shards concatenated.
+
+        Cross-shard interleaving is unspecified — which is exactly what
+        migration needs, because capacity is also per shard: within each
+        shard the hottest entries come first.
+        """
+        items = []
+        for shard, lock in zip(self._shards, self._locks):
+            with lock:
+                items.extend(shard.entries_by_recency(hottest_first))
+        return iter(items)
+
+    def __len__(self):
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, key):
+        shard, lock = self._slot(key[0])
+        with lock:
+            return key in shard
+
+    def summary_point_count(self):
+        # A key lives in exactly one shard (by its node's method), so the
+        # per-shard distinct counts are disjoint and sum exactly.
+        return sum(shard.summary_point_count() for shard in self._shards)
+
+    def total_facts(self):
+        return sum(shard.total_facts() for shard in self._shards)
+
+    def approx_bytes(self):
+        return sum(shard.approx_bytes() for shard in self._shards)
+
+    def shard_snapshots(self):
+        """Per-shard :class:`CacheStats`, each read under its lock."""
+        snapshots = []
+        for shard, lock in zip(self._shards, self._locks):
+            with lock:
+                snapshots.append(shard.stats_snapshot())
+        return snapshots
+
+    def stats_snapshot(self):
+        """Aggregated :class:`CacheStats` across all shards.
+
+        The per-shard reads are individually atomic, so the aggregate
+        always reconciles: ``hits + misses`` equals the probes the
+        shards answered, and ``facts``/``entries`` equal the shard sums.
+        """
+        shards = self.shard_snapshots()
+        return CacheStats(
+            entries=sum(s.entries for s in shards),
+            facts=sum(s.facts for s in shards),
+            hits=sum(s.hits for s in shards),
+            misses=sum(s.misses for s in shards),
+            evictions=sum(s.evictions for s in shards),
+            invalidated=sum(s.invalidated for s in shards),
+            approx_bytes=sum(s.approx_bytes for s in shards),
+            max_entries=self.max_entries,
+            max_facts=self.max_facts,
+        )
+
+    def __repr__(self):
+        caps = []
+        if self.max_entries is not None:
+            caps.append(f"max_entries={self.max_entries}")
+        if self.max_facts is not None:
+            caps.append(f"max_facts={self.max_facts}")
+        cap = ", ".join(caps) or "unbounded"
+        return (
+            f"ShardedSummaryCache({self.n_shards} shards, {len(self)} "
+            f"summaries, {cap}, hits={self.hits}, misses={self.misses})"
         )

@@ -7,8 +7,10 @@ Sections 1 and 5.3) actually needs:
 * ``engine.query(v)`` / ``engine.query_name(m, v)`` — single demand
   queries, by PAG node or by name;
 * ``engine.query_batch(vs)`` — the batch path: requests are deduplicated,
-  ordered for summary-cache warmth, executed, and fanned back out in
-  request order, with per-batch stats mirroring the Figure 4/5 protocol;
+  ordered for summary-cache warmth, executed (sequentially or on a
+  thread pool, per the policy's ``parallelism`` — answers are memo-pure,
+  so parallelism is only a cost lever), and fanned back out in request
+  order, with per-batch stats mirroring the Figure 4/5 protocol;
 * ``engine.alias(a, b)`` — may-alias queries;
 * ``engine.run_client(cls)`` — a whole client workload through the batch
   path;
@@ -30,6 +32,7 @@ from dataclasses import dataclass
 from repro.analysis.dynsum import DynSum
 from repro.analysis.incremental import IncrementalAnalysisSession
 from repro.cfl.stacks import EMPTY_STACK
+from repro.engine.executor import SequentialExecutor
 from repro.engine.policy import EnginePolicy
 from repro.engine.scheduler import BatchResult, BatchStats, as_spec, plan_batch
 from repro.engine.session import EditSession
@@ -92,7 +95,7 @@ class PointsToEngine:
             self._incremental = IncrementalAnalysisSession(
                 program,
                 self.policy.analysis_config(),
-                cache=self.policy.cache.make_store(),
+                cache=self.policy.make_store(),
             )
         elif analysis is not None:
             self._analysis = analysis
@@ -182,47 +185,84 @@ class PointsToEngine:
             self.incomplete_total += 1
         return result
 
-    def query_batch(self, items, context=EMPTY_STACK, dedupe=None, reorder=None):
+    def _resolve_executor(self, parallelism=None):
+        """The executor for one batch (``parallelism`` overrides policy).
+
+        A parallel executor is only honoured when the summary store can
+        take concurrent traffic (``concurrent_safe`` — see
+        :class:`~repro.analysis.summaries.ShardedSummaryCache`); engines
+        wrapping an analysis with a plain unsynchronised cache degrade
+        to sequential execution rather than corrupt the store.
+        Cache-less analyses parallelise freely: their per-query state is
+        traversal-local and the base counters are lock-protected.
+        """
+        executor = self.policy.make_executor(parallelism)
+        if executor.parallelism > 1:
+            cache = self.cache
+            if cache is not None and not getattr(cache, "concurrent_safe", False):
+                return SequentialExecutor()
+        return executor
+
+    def query_batch(
+        self, items, context=EMPTY_STACK, dedupe=None, reorder=None, parallelism=None
+    ):
         """Answer a batch of queries; results align with request order.
 
-        ``dedupe``/``reorder`` default to the engine policy.  Batching
-        never changes answers — deduplicated requests share the identical
-        result a sequential run would produce, and ordering only decides
-        which traversals find the summary cache warm.  Returns a
+        ``dedupe``/``reorder``/``parallelism`` default to the engine
+        policy.  A ``parallelism > 1`` request (per call or per policy)
+        is honoured only when the summary store can take concurrent
+        traffic — engines whose store is a plain unsynchronised cache
+        (e.g. built via :meth:`wrap` around an existing analysis) run
+        the batch sequentially instead; ``stats.parallelism`` reports
+        the worker count that actually executed.  Batching never
+        changes answers — deduplicated requests
+        share the identical result a sequential run would produce,
+        ordering only decides which traversals find the summary cache
+        warm, and parallel execution (requests are independent, summaries
+        are pure memos) only decides which thread pays for a summary
+        first.  Under a parallel executor the batch-level stats still
+        reconcile exactly (counter updates are lock- or shard-atomic);
+        only each *result's* own ``stats`` deltas may include probes of
+        concurrently running traversals.  Returns a
         :class:`~repro.engine.scheduler.BatchResult` whose ``stats``
         mirror one batch of the Figure 4/5 protocol.
         """
         dedupe = self.policy.dedupe if dedupe is None else dedupe
         reorder = self.policy.reorder if reorder is None else reorder
+        executor = self._resolve_executor(parallelism)
         pag = self.pag
+        analysis = self.analysis
         specs = [as_spec(item, pag, context) for item in items]
         plan = plan_batch(
             specs,
             dedupe=dedupe,
             reorder=reorder,
-            include_client=self.analysis.uses_client_predicate,
+            include_client=analysis.uses_client_predicate,
         )
         cache = self.cache
         hits_before = cache.hits if cache is not None else 0
         misses_before = cache.misses if cache is not None else 0
         evictions_before = getattr(cache, "evictions", 0) if cache is not None else 0
         summaries_before = len(cache) if cache is not None else 0
-        steps_before = self.analysis.total_steps
+        steps_before = analysis.total_steps
         unique_results = [None] * len(plan.unique)
+        ordered_specs = [plan.unique[index] for index in plan.order]
+
+        def run_one(spec):
+            return analysis.points_to(spec.node, spec.context, spec.client)
+
         timer = Timer()
         with timer:
-            for index in plan.order:
-                spec = plan.unique[index]
-                unique_results[index] = self.analysis.points_to(
-                    spec.node, spec.context, spec.client
-                )
+            outcomes = executor.map(run_one, ordered_specs)
+        for index, outcome in zip(plan.order, outcomes):
+            unique_results[index] = outcome
         results = [unique_results[index] for index in plan.assignment]
         complete = sum(1 for r in unique_results if r.complete)
         stats = BatchStats(
             n_requests=plan.n_requests,
             n_unique=plan.n_unique,
             reordered=plan.reordered,
-            steps=self.analysis.total_steps - steps_before,
+            steps=analysis.total_steps - steps_before,
             time_sec=timer.elapsed,
             complete=complete,
             incomplete=len(unique_results) - complete,
@@ -235,6 +275,7 @@ class PointsToEngine:
                 if cache is not None
                 else 0
             ),
+            parallelism=executor.parallelism,
         )
         self.batches_run += 1
         self.queries_answered += plan.n_requests

@@ -1,0 +1,112 @@
+"""Pluggable batch executors — how a planned batch's traversals run.
+
+The scheduler (:mod:`repro.engine.scheduler`) decides *what* to execute
+(unique specs, in warmth order); an executor decides *how*:
+
+* :class:`SequentialExecutor` — one traversal after another, on the
+  calling thread.  This is the paper's protocol and the default.
+* :class:`ParallelExecutor` — fan the traversals out on a
+  :class:`concurrent.futures.ThreadPoolExecutor`.  DYNSUM summaries are
+  pure, context-independent memos, so concurrent traversals can only
+  disagree about *cost* (which thread computes a summary first), never
+  about answers — the same argument that already lets the scheduler
+  reorder a batch.  Parallel execution therefore requires only that the
+  summary store tolerate concurrent access (see
+  :class:`~repro.analysis.summaries.ShardedSummaryCache`); the engine
+  falls back to sequential execution when it does not.
+
+Executors are deliberately tiny: ``map(fn, items)`` returning results in
+``items`` order.  Exceptions raised by any traversal propagate to the
+caller exactly as a sequential run would raise them.
+
+``REPRO_PARALLELISM`` is the environment override consulted when an
+:class:`~repro.engine.policy.EnginePolicy` leaves ``parallelism`` unset;
+the CI matrix uses it to replay the engine test suite on a thread pool
+without editing any test.
+"""
+
+import os
+from concurrent.futures import ThreadPoolExecutor as _ThreadPool
+
+from repro.util.errors import IRError
+
+#: Environment variable supplying the default worker count for policies
+#: that do not pin ``parallelism`` explicitly.
+PARALLELISM_ENV = "REPRO_PARALLELISM"
+
+
+def default_parallelism():
+    """The environment-supplied worker count (1 when unset/blank)."""
+    raw = os.environ.get(PARALLELISM_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError:
+        raise IRError(
+            f"{PARALLELISM_ENV} must be an integer worker count, got {raw!r}"
+        ) from None
+    return max(1, value)
+
+
+class BatchExecutor:
+    """Contract shared by all executors.
+
+    ``parallelism`` is the maximum number of traversals in flight at
+    once; ``map(fn, items)`` runs ``fn`` over every item and returns the
+    results aligned with ``items`` order, whatever the completion order.
+    """
+
+    name = "base"
+    parallelism = 1
+
+    def map(self, fn, items):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"{type(self).__name__}(parallelism={self.parallelism})"
+
+
+class SequentialExecutor(BatchExecutor):
+    """Run traversals one at a time, in the planned order."""
+
+    name = "sequential"
+
+    def map(self, fn, items):
+        return [fn(item) for item in items]
+
+
+class ParallelExecutor(BatchExecutor):
+    """Run traversals on a thread pool of ``max_workers`` threads.
+
+    The pool is created per :meth:`map` call — batch granularity — so an
+    idle engine holds no threads.  Single-item batches skip the pool
+    entirely.  Worker threads share the engine's analysis instance: the
+    PAG is immutable during queries, per-query state is local to each
+    traversal, the base-class counters are lock-protected, and the
+    summary store is expected to be concurrency-safe (the engine checks
+    before choosing this executor).
+    """
+
+    name = "parallel"
+
+    def __init__(self, max_workers):
+        if max_workers < 1:
+            raise IRError(f"max_workers must be >= 1, got {max_workers}")
+        self.parallelism = int(max_workers)
+
+    def map(self, fn, items):
+        items = list(items)
+        if len(items) <= 1 or self.parallelism == 1:
+            return [fn(item) for item in items]
+        with _ThreadPool(max_workers=min(self.parallelism, len(items))) as pool:
+            return list(pool.map(fn, items))
+
+
+def make_executor(parallelism=None):
+    """Executor for ``parallelism`` workers (``None`` = environment
+    default per :func:`default_parallelism`; ``<= 1`` = sequential)."""
+    workers = default_parallelism() if parallelism is None else int(parallelism)
+    if workers <= 1:
+        return SequentialExecutor()
+    return ParallelExecutor(workers)

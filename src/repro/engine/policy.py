@@ -18,8 +18,13 @@ from repro.analysis.dynsum import DynSum
 from repro.analysis.norefine import NoRefine
 from repro.analysis.refinepts import RefinePts
 from repro.analysis.stasum import StaSum
-from repro.analysis.summaries import BoundedSummaryCache, SummaryCache
+from repro.analysis.summaries import (
+    BoundedSummaryCache,
+    ShardedSummaryCache,
+    SummaryCache,
+)
 from repro.cfl.budget import DEFAULT_BUDGET
+from repro.engine.executor import default_parallelism, make_executor
 
 #: Registry of engine-drivable analyses, keyed by their Table 2 names.
 ANALYSES = {
@@ -40,21 +45,53 @@ def resolve_analysis(name):
 
 @dataclass(frozen=True)
 class CachePolicy:
-    """Bounding policy for the DYNSUM summary cache.
+    """Bounding and partitioning policy for the DYNSUM summary cache.
 
     Both limits ``None`` (the default) selects the paper's unbounded
     :class:`~repro.analysis.summaries.SummaryCache`; setting either picks
     the LRU :class:`~repro.analysis.summaries.BoundedSummaryCache`.
+
+    ``shards`` partitions the store into that many independently locked
+    LRU shards by the key node's method
+    (:class:`~repro.analysis.summaries.ShardedSummaryCache`) — required
+    for parallel batch execution, and ``shards=1`` is the "just add a
+    lock" configuration.  Left ``None``, the store is unsharded unless
+    the engine's ``parallelism`` forces a concurrency-safe default (one
+    shard per worker).
     """
 
     max_entries: int = None
     max_facts: int = None
+    shards: int = None
 
     @property
     def bounded(self):
         return self.max_entries is not None or self.max_facts is not None
 
-    def make_store(self):
+    @property
+    def sharded(self):
+        return self.shards is not None
+
+    def make_store(self, default_shards=None):
+        """Instantiate the configured store.
+
+        ``default_shards`` is the engine's fallback when ``shards`` is
+        unset (its worker count, so parallel engines get a
+        concurrency-safe store by default); it is clamped to the
+        capacity limits, whereas an explicit ``shards`` that the limits
+        cannot feed raises.
+        """
+        shards = self.shards
+        if shards is None and default_shards is not None:
+            shards = max(1, min(
+                default_shards,
+                self.max_entries if self.max_entries is not None else default_shards,
+                self.max_facts if self.max_facts is not None else default_shards,
+            ))
+        if shards is not None:
+            return ShardedSummaryCache(
+                shards=shards, max_entries=self.max_entries, max_facts=self.max_facts
+            )
         if self.bounded:
             return BoundedSummaryCache(
                 max_entries=self.max_entries, max_facts=self.max_facts
@@ -74,6 +111,19 @@ class EnginePolicy:
     still-warm summaries — which is what keeps hit rates high when the
     cache is LRU-bounded.  The shipped paper protocols disable both to
     stay faithful to the published query streams.
+
+    ``parallelism`` is the batch executor's worker count: 1 runs batches
+    sequentially (the paper's protocol), ``N > 1`` fans a batch's unique
+    traversals out on a thread pool — answers are memo-pure, so this is
+    purely a cost lever.  ``None`` (the default) defers to the
+    ``REPRO_PARALLELISM`` environment variable (1 when unset), which is
+    how the CI matrix replays the engine tests on a pool.  A parallel
+    engine needs a concurrency-safe summary store, so an unset
+    ``cache.shards`` defaults to one shard per worker; engines given a
+    store that is *not* concurrency-safe (e.g. ``wrap()`` around an
+    existing analysis with a plain cache) degrade parallel batches to
+    sequential execution — ``BatchStats.parallelism`` reports what
+    actually ran.
     """
 
     analysis: str = DynSum.name
@@ -83,9 +133,28 @@ class EnginePolicy:
     cache: CachePolicy = field(default_factory=CachePolicy)
     dedupe: bool = True
     reorder: bool = True
+    parallelism: int = None
 
     def analysis_class(self):
         return resolve_analysis(self.analysis)
+
+    def effective_parallelism(self):
+        """The resolved worker count (environment default when unset)."""
+        if self.parallelism is None:
+            return default_parallelism()
+        return max(1, int(self.parallelism))
+
+    def make_executor(self, parallelism=None):
+        """The batch executor (``parallelism`` overrides the policy)."""
+        if parallelism is None:
+            parallelism = self.effective_parallelism()
+        return make_executor(parallelism)
+
+    def make_store(self):
+        """The summary store, sharded by default when the policy's
+        parallelism demands a concurrency-safe cache."""
+        workers = self.effective_parallelism()
+        return self.cache.make_store(default_shards=workers if workers > 1 else None)
 
     def analysis_config(self):
         return AnalysisConfig(
@@ -103,5 +172,5 @@ class EnginePolicy:
         cls = self.analysis_class()
         config = self.analysis_config()
         if cls is DynSum:
-            return cls(pag, config, cache=cache or self.cache.make_store())
+            return cls(pag, config, cache=cache or self.make_store())
         return cls(pag, config)

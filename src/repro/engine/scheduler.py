@@ -28,6 +28,7 @@ summary-cache hit rate and cumulative summary counts, per batch.
 from dataclasses import dataclass
 
 from repro.cfl.stacks import EMPTY_STACK
+from repro.util.errors import IRError
 
 
 class QuerySpec:
@@ -80,6 +81,18 @@ def as_spec(item, pag, context=EMPTY_STACK):
         first, second = item
         if isinstance(first, str) and isinstance(second, str):
             return QuerySpec(pag.find_local(first, second), context)
+        if isinstance(first, str) or isinstance(second, str):
+            # A mixed tuple like ("A.m", context_stack) would otherwise
+            # smuggle a bare string in as the query node and fail much
+            # later, deep in the traversal, as an AttributeError.
+            raise IRError(
+                f"cannot normalise batch item {item!r}: a 2-tuple query "
+                "must be either (method_qname, var_name) — two strings — "
+                "or (pag_node, context_stack); to query a named variable "
+                "under a context, resolve the node first with "
+                "pag.find_local(method_qname, var_name) and pass "
+                "QuerySpec(node, context)"
+            )
         return QuerySpec(first, second)  # (node, context)
     return QuerySpec(item, context)
 
@@ -171,6 +184,8 @@ class BatchStats:
     summaries_before: int = 0
     summaries_after: int = 0
     evictions: int = 0
+    #: Worker threads the executor ran the batch on (1 = sequential).
+    parallelism: int = 1
 
     @property
     def n_deduped(self):

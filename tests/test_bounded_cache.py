@@ -86,6 +86,24 @@ class TestLruOrder:
         assert (a, EMPTY_STACK, S1) in cache
         assert (b, EMPTY_STACK, S1) not in cache
 
+    def test_duplicate_store_refreshes_recency(self):
+        """Regression: re-storing a resident summary must refresh LRU
+        recency — a hot, just-recomputed summary that happened to be
+        stored twice used to stay in its stale slot and get evicted
+        first."""
+        cache = BoundedSummaryCache(max_entries=2)
+        a, b, c = node(name="a"), node(name="b"), node(name="c")
+        cache.store(a, EMPTY_STACK, S1, summary())
+        cache.store(b, EMPTY_STACK, S1, summary())
+        cache.store(a, EMPTY_STACK, S1, summary())  # a is now most recent
+        cache.store(c, EMPTY_STACK, S1, summary())  # must evict b, not a
+        assert (a, EMPTY_STACK, S1) in cache
+        assert (b, EMPTY_STACK, S1) not in cache
+        assert (c, EMPTY_STACK, S1) in cache
+        # The duplicate store kept the store's accounting intact.
+        assert len(cache) == 2
+        assert cache.evictions == 1
+
     def test_entries_iterate_lru_first(self):
         cache = BoundedSummaryCache(max_entries=3)
         a, b = node(name="a"), node(name="b")

@@ -133,6 +133,22 @@ class TestScheduler:
         assert from_query.origin is query
         assert from_query.token == (query.client, query.payload)
 
+    def test_as_spec_rejects_mixed_tuple(self, pag):
+        """Regression: ("A.m", context_stack) used to slip through as a
+        QuerySpec whose node was the bare string, deferring the failure
+        to an AttributeError deep inside the traversal."""
+        from repro.cfl.stacks import EMPTY_STACK
+
+        with pytest.raises(IRError) as exc:
+            as_spec(("Main.main", EMPTY_STACK), pag)
+        message = str(exc.value)
+        assert "cannot normalise batch item" in message
+        assert "(method_qname, var_name)" in message
+        assert "pag.find_local" in message
+        # The engine surfaces the same clear error, not an AttributeError.
+        with pytest.raises(IRError, match="cannot normalise batch item"):
+            PointsToEngine(pag).query(("Main.main", EMPTY_STACK))
+
 
 class TestPolicy:
     def test_resolve_analysis_names(self):
@@ -148,6 +164,40 @@ class TestPolicy:
         bounded = CachePolicy(max_entries=4).make_store()
         assert isinstance(bounded, BoundedSummaryCache)
         assert bounded.max_entries == 4
+
+    def test_cache_policy_shards(self):
+        from repro import ShardedSummaryCache
+
+        store = CachePolicy(shards=4).make_store()
+        assert isinstance(store, ShardedSummaryCache)
+        assert store.n_shards == 4
+        # Auto-sharding from the engine's parallelism clamps to the caps…
+        auto = CachePolicy(max_entries=2).make_store(default_shards=4)
+        assert isinstance(auto, ShardedSummaryCache)
+        assert auto.n_shards == 2
+        # …but an explicit shard count the caps cannot feed is an error.
+        with pytest.raises(ValueError):
+            CachePolicy(max_entries=2, shards=4).make_store()
+
+    def test_engine_policy_parallelism(self, monkeypatch):
+        from repro.engine.executor import (
+            PARALLELISM_ENV,
+            ParallelExecutor,
+            SequentialExecutor,
+        )
+
+        assert isinstance(
+            EnginePolicy(parallelism=1).make_executor(), SequentialExecutor
+        )
+        executor = EnginePolicy(parallelism=3).make_executor()
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.parallelism == 3
+        # Unset parallelism defers to the environment override.
+        monkeypatch.setenv(PARALLELISM_ENV, "2")
+        assert EnginePolicy().effective_parallelism() == 2
+        assert EnginePolicy(parallelism=5).effective_parallelism() == 5
+        monkeypatch.delenv(PARALLELISM_ENV)
+        assert EnginePolicy().effective_parallelism() == 1
 
     def test_engine_per_analysis(self, pag):
         for name in ("DYNSUM", "STASUM", "REFINEPTS", "NOREFINE"):

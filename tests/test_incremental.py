@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro import DynSum, IncrementalAnalysisSession, NoRefine, build_pag, parse_program
+from repro import (
+    BoundedSummaryCache,
+    DynSum,
+    IncrementalAnalysisSession,
+    NoRefine,
+    build_pag,
+    parse_program,
+)
 
 SOURCE = """
 class Thing { }
@@ -175,3 +182,88 @@ class TestObjectIdStability:
             if method.qualified_name != "Factory.create"
         }
         assert before == after
+
+
+class DownsizingCache(BoundedSummaryCache):
+    """A bounded cache modelling a host that tightens its memory budget
+    across rebuilds: every ``spawn()`` is capped at ``spawn_entries``."""
+
+    def __init__(self, max_entries=None, spawn_entries=2):
+        super().__init__(max_entries=max_entries)
+        self.spawn_entries = spawn_entries
+
+    def spawn(self):
+        return BoundedSummaryCache(max_entries=self.spawn_entries)
+
+
+class TestMigrationAccounting:
+    """Regression: ``EditReport.migrated`` used to count every
+    ``new_cache.store()`` call, so when a capacity-bounded spawn could
+    not hold everything, the report claimed more migrated summaries than
+    were actually resident after the edit (and migration churned the
+    spawn through needless evictions)."""
+
+    SPAWN_CAP = 2
+
+    def _warm_session(self):
+        session = IncrementalAnalysisSession(
+            parse_program(SOURCE),
+            cache=DownsizingCache(max_entries=64, spawn_entries=self.SPAWN_CAP),
+        )
+        session.points_to_name("Main.main", "out")
+        session.points_to_name("Main.main", "copy")
+        session.points_to_name("Store.get", "r")
+        return session
+
+    def test_migrated_reconciles_with_resident_entries(self):
+        session = self._warm_session()
+        old_entries = len(session.analysis.cache)
+        migratable = sum(
+            1
+            for (key_node, _stack, _state), _summary in session.analysis.cache.entries()
+            if key_node.method != "Factory.create"
+        )
+        assert migratable > self.SPAWN_CAP  # the capped spawn must bite
+
+        report = session.replace_body(
+            "Factory.create", lambda m: m.alloc("t", "Thing").ret("t")
+        )
+        new_cache = session.analysis.cache
+
+        # The report reconciles against what is actually resident.
+        assert report.migrated == len(new_cache)
+        assert report.migrated <= self.SPAWN_CAP
+        assert report.migrated + report.dropped == old_entries
+        # Capacity-aware migration admits instead of churning: nothing
+        # stored into the spawn is evicted by migration itself.
+        assert new_cache.evictions == 0
+
+    def test_capped_spawn_keeps_hottest_entries(self):
+        session = self._warm_session()
+        # Touch Store.get's summaries last so they are the hottest.
+        session.points_to_name("Store.get", "r")
+        hottest = [
+            (key_node.method, key_node.name, stack, state)
+            for (key_node, stack, state), _summary in (
+                session.analysis.cache.entries_by_recency(hottest_first=True)
+            )
+            if key_node.method != "Factory.create"
+        ][: self.SPAWN_CAP]
+
+        session.replace_body(
+            "Factory.create", lambda m: m.alloc("t", "Thing").ret("t")
+        )
+        resident = {
+            (key_node.method, key_node.name, stack, state)
+            for (key_node, stack, state), _summary in session.analysis.cache.entries()
+        }
+        for key in hottest:
+            assert key in resident
+
+    def test_answers_unchanged_after_downsized_migration(self):
+        session = self._warm_session()
+        session.replace_body(
+            "Factory.create", lambda m: m.alloc("t", "Thing").ret("t")
+        )
+        assert classes(session.points_to_name("Main.main", "out")) == ["Thing"]
+        assert classes(session.points_to_name("Main.main", "copy")) == ["Other"]

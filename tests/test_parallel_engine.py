@@ -1,0 +1,279 @@
+"""Parallel batch execution — executors and the determinism contract.
+
+The acceptance property of the parallel path: ``query_batch`` on a
+thread pool returns **element-wise identical** results to sequential
+execution — on the Figure-4 workload and on every shipped example
+program.  Summaries are pure, context-independent memos, so parallelism
+(like the scheduler's reordering) is only a cost lever; these tests pin
+that argument down.
+
+The engine tests honour the ``REPRO_PARALLELISM`` environment variable
+for policies that leave ``parallelism`` unset — the CI matrix uses it to
+replay this file (and the rest of the engine suite) with a 4-worker pool.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+from repro import (
+    CachePolicy,
+    EnginePolicy,
+    PointsToEngine,
+    ShardedSummaryCache,
+    build_pag,
+    parse_program,
+)
+from repro.bench.suite import load_benchmark
+from repro.clients import ALL_CLIENTS
+from repro.engine.executor import (
+    PARALLELISM_ENV,
+    ParallelExecutor,
+    SequentialExecutor,
+    default_parallelism,
+    make_executor,
+)
+from repro.util.errors import IRError
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+PARALLEL_WORKERS = 4
+
+
+def _example_programs():
+    """Every PIR program shipped in ``examples/`` — each module-level
+    ALL-CAPS source-string constant of each example script."""
+    programs = {}
+    sys.path.insert(0, str(EXAMPLES_DIR))  # examples import one another
+    try:
+        for path in sorted(EXAMPLES_DIR.glob("*.py")):
+            spec = importlib.util.spec_from_file_location(
+                f"_example_{path.stem}", path
+            )
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+            for name, value in vars(module).items():
+                if name.isupper() and isinstance(value, str) and "class " in value:
+                    programs[f"{path.stem}:{name}"] = value
+    finally:
+        sys.path.remove(str(EXAMPLES_DIR))
+    return programs
+
+
+EXAMPLE_PROGRAMS = _example_programs()
+
+
+class TestExecutors:
+    def test_make_executor_selects_by_workers(self):
+        assert isinstance(make_executor(1), SequentialExecutor)
+        assert isinstance(make_executor(0), SequentialExecutor)
+        parallel = make_executor(3)
+        assert isinstance(parallel, ParallelExecutor)
+        assert parallel.parallelism == 3
+
+    def test_map_preserves_item_order(self):
+        items = list(range(40))
+        for executor in (SequentialExecutor(), ParallelExecutor(4)):
+            assert executor.map(lambda x: x * x, items) == [x * x for x in items]
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            if x == 3:
+                raise ValueError("boom")
+            return x
+
+        for executor in (SequentialExecutor(), ParallelExecutor(4)):
+            with pytest.raises(ValueError, match="boom"):
+                executor.map(boom, range(8))
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(IRError):
+            ParallelExecutor(0)
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv(PARALLELISM_ENV, raising=False)
+        assert default_parallelism() == 1
+        monkeypatch.setenv(PARALLELISM_ENV, "6")
+        assert default_parallelism() == 6
+        assert make_executor().parallelism == 6
+        monkeypatch.setenv(PARALLELISM_ENV, "not-a-number")
+        with pytest.raises(IRError):
+            default_parallelism()
+
+
+def _engines(pag, workers):
+    """A sequential and a parallel engine over one PAG, same tunables."""
+    sequential = PointsToEngine(pag, EnginePolicy(parallelism=1))
+    parallel = PointsToEngine(
+        pag,
+        EnginePolicy(
+            parallelism=workers,
+            cache=CachePolicy(shards=2 * workers),
+        ),
+    )
+    return sequential, parallel
+
+
+def _assert_elementwise_equal(sequential_batch, parallel_batch):
+    assert len(sequential_batch) == len(parallel_batch)
+    for expected, actual in zip(sequential_batch.results, parallel_batch.results):
+        assert actual.pairs == expected.pairs
+        assert actual.complete == expected.complete
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(EXAMPLE_PROGRAMS), ids=str)
+    def test_parallel_equals_sequential_on_example(self, name):
+        """Element-wise determinism over every query the program admits,
+        for every shipped example program."""
+        pag = build_pag(parse_program(EXAMPLE_PROGRAMS[name]))
+        workload = sorted(
+            pag.local_var_nodes(), key=lambda n: (str(n.method), str(n.name))
+        )
+        assert workload  # every shipped example has local variables
+        sequential, parallel = _engines(pag, PARALLEL_WORKERS)
+        sequential_batch = sequential.query_batch(workload)
+        parallel_batch = parallel.query_batch(workload)
+        assert parallel_batch.stats.parallelism == PARALLEL_WORKERS
+        _assert_elementwise_equal(sequential_batch, parallel_batch)
+
+    def test_parallel_equals_sequential_on_figure4_workload(self):
+        """The acceptance property on the paper's Figure-4 program, for
+        every client workload."""
+        instance = load_benchmark("soot-c", scale=0.5)
+        for client_cls in ALL_CLIENTS:
+            sequential_engine = PointsToEngine(
+                instance.pag, EnginePolicy(max_field_depth=16, parallelism=1)
+            )
+            parallel_engine = PointsToEngine(
+                instance.pag,
+                EnginePolicy(
+                    max_field_depth=16,
+                    parallelism=PARALLEL_WORKERS,
+                    cache=CachePolicy(shards=8),
+                ),
+            )
+            client = client_cls(instance.pag)
+            sequential_verdicts, sequential_batch = sequential_engine.run_client(client)
+            parallel_verdicts, parallel_batch = parallel_engine.run_client(client)
+            _assert_elementwise_equal(sequential_batch, parallel_batch)
+            assert [v.status for v in parallel_verdicts] == [
+                v.status for v in sequential_verdicts
+            ]
+
+    def test_parallel_batch_stats_reconcile(self):
+        """Aggregated shard stats reconcile exactly after a parallel
+        batch: hits + misses == probes, and entry/fact totals equal the
+        shard sums."""
+        instance = load_benchmark("soot-c", scale=0.5)
+        engine = PointsToEngine(
+            instance.pag,
+            EnginePolicy(
+                max_field_depth=16,
+                parallelism=PARALLEL_WORKERS,
+                cache=CachePolicy(shards=8),
+            ),
+        )
+        client = ALL_CLIENTS[0](instance.pag)
+        _verdicts, batch = engine.run_client(client)
+        stats = batch.stats
+        cache = engine.cache
+        snapshot = cache.stats_snapshot()
+        shards = cache.shard_snapshots()
+        # Cross-source checks: batch-side probe deltas vs. the
+        # shard-recorded totals, and the aggregate vs. the shard sums
+        # (identities like probes == hits + misses hold by construction
+        # and would not catch lost or double-counted probes).
+        assert stats.cache_hits + stats.cache_misses == snapshot.probes
+        assert snapshot.hits == sum(s.hits for s in shards)
+        assert snapshot.misses == sum(s.misses for s in shards)
+        assert sum(s.entries for s in shards) == len(cache) == stats.summaries_after
+        assert sum(s.facts for s in shards) == cache.total_facts()
+        assert stats.summaries_before == 0
+
+    def test_bounded_sharded_cache_never_changes_answers(self):
+        """Eviction under a tight sharded cap composes with parallelism:
+        answers still match the unbounded sequential reference."""
+        instance = load_benchmark("soot-c", scale=0.5)
+        reference = PointsToEngine(
+            instance.pag, EnginePolicy(max_field_depth=16, parallelism=1)
+        )
+        capped = PointsToEngine(
+            instance.pag,
+            EnginePolicy(
+                max_field_depth=16,
+                parallelism=PARALLEL_WORKERS,
+                cache=CachePolicy(max_entries=32, shards=4),
+            ),
+        )
+        client = ALL_CLIENTS[0](instance.pag)
+        _v1, reference_batch = reference.run_client(client)
+        _v2, capped_batch = capped.run_client(client)
+        _assert_elementwise_equal(reference_batch, capped_batch)
+        assert len(capped.cache) <= 32
+
+
+class TestEngineIntegration:
+    SOURCE = EXAMPLE_PROGRAMS["quickstart:SOURCE"]
+
+    def test_default_policy_honours_environment(self):
+        """Engine-built stores and executors follow REPRO_PARALLELISM
+        when the policy leaves parallelism unset — this is what the CI
+        parallel job drives."""
+        pag = build_pag(parse_program(self.SOURCE))
+        engine = PointsToEngine(pag)
+        expected = default_parallelism()
+        batch = engine.query_batch([("Main.main", "d"), ("Main.main", "c")])
+        assert batch.stats.parallelism == expected
+        if expected > 1:
+            assert isinstance(engine.cache, ShardedSummaryCache)
+
+    def test_parallel_engine_autoshards_cache(self):
+        pag = build_pag(parse_program(self.SOURCE))
+        engine = PointsToEngine(pag, EnginePolicy(parallelism=3))
+        assert isinstance(engine.cache, ShardedSummaryCache)
+        assert engine.cache.n_shards == 3
+
+    def test_wrapped_plain_cache_degrades_to_sequential(self):
+        """A parallel policy over an unsynchronised store must not fan
+        out — the engine degrades that batch to sequential execution."""
+        from repro import DynSum
+
+        pag = build_pag(parse_program(self.SOURCE))
+        engine = PointsToEngine.wrap(DynSum(pag), EnginePolicy(parallelism=4))
+        batch = engine.query_batch([("Main.main", "d"), ("Main.main", "c")])
+        assert batch.stats.parallelism == 1
+
+    def test_per_call_parallelism_override(self):
+        pag = build_pag(parse_program(self.SOURCE))
+        engine = PointsToEngine(
+            pag, EnginePolicy(parallelism=4, cache=CachePolicy(shards=4))
+        )
+        batch = engine.query_batch(
+            [("Main.main", "d"), ("Main.main", "c")], parallelism=1
+        )
+        assert batch.stats.parallelism == 1
+
+    def test_incremental_spawn_preserves_shard_policy(self):
+        """Edits migrate into a spawn with the same shard/capacity
+        policy, so a parallel engine stays parallel-safe across edits."""
+        program = parse_program(self.SOURCE)
+        engine = PointsToEngine.for_program(
+            program,
+            EnginePolicy(
+                parallelism=PARALLEL_WORKERS,
+                cache=CachePolicy(shards=4, max_entries=64),
+            ),
+        )
+        before = engine.query_name("Main.main", "d")
+        session = engine.edit_session()
+        report = session.edit("Kennel.put", lambda method: None)
+        cache = engine.cache
+        assert isinstance(cache, ShardedSummaryCache)
+        assert cache.n_shards == 4
+        assert cache.max_entries == 64
+        assert report.migrated == len(cache)
+        after = engine.query_name("Main.main", "d")
+        assert {repr(o) for o in after.objects} == {repr(o) for o in before.objects}

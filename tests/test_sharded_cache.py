@@ -1,0 +1,251 @@
+"""Tests for :class:`~repro.analysis.summaries.ShardedSummaryCache`.
+
+The sharded store is the concurrency story behind parallel batch
+execution: N independent LRU shards partitioned by the key node's
+*method* (the invalidation granularity), each behind its own lock.  The
+tests cover the partition itself, capacity splitting, the aggregate
+accounting contract (shard stats must reconcile exactly), and — the
+load-bearing part — that concurrent ``store``/``lookup``/
+``invalidate_method`` traffic from a thread pool leaves every counter
+and ``total_facts()`` consistent.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import ShardedSummaryCache, SummaryCache
+from repro.analysis.ppta import PptaResult
+from repro.analysis.summaries import shard_for_method
+from repro.cfl.rsm import S1, S2
+from repro.cfl.stacks import EMPTY_STACK
+from repro.pag.nodes import LocalNode
+
+
+def node(method="C.m", name="x"):
+    return LocalNode(method, name)
+
+
+def summary(n_objects=1):
+    return PptaResult(tuple(f"o{i}" for i in range(n_objects)), ())
+
+
+class TestPartitioning:
+    def test_partition_is_stable_and_method_keyed(self):
+        cache = ShardedSummaryCache(shards=4)
+        for method in ("A.m", "B.n", "C.o", "D.p", None):
+            assert cache.shard_index(method) == cache.shard_index(method)
+            assert cache.shard_index(method) == shard_for_method(method, 4)
+        # Many methods spread over more than one shard.
+        indices = {cache.shard_index(f"Class{i}.m") for i in range(32)}
+        assert len(indices) > 1
+
+    def test_same_method_lands_in_one_shard(self):
+        cache = ShardedSummaryCache(shards=4)
+        for i in range(6):
+            cache.store(node("A.m", f"v{i}"), EMPTY_STACK, S1, summary())
+        snapshots = cache.shard_snapshots()
+        assert sorted(s.entries for s in snapshots) == [0, 0, 0, 6]
+
+    def test_invalidate_method_hits_only_its_shard(self):
+        cache = ShardedSummaryCache(shards=4)
+        survivor = node("B.n", "z")
+        cache.store(node("A.m", "x"), EMPTY_STACK, S1, summary())
+        cache.store(node("A.m", "y"), EMPTY_STACK, S2, summary())
+        cache.store(survivor, EMPTY_STACK, S1, summary())
+        assert cache.invalidate_method("A.m") == 2
+        assert cache.invalidated == 2
+        assert len(cache) == 1
+        assert (survivor, EMPTY_STACK, S1) in cache
+
+
+class TestCapacity:
+    def test_global_caps_split_across_shards(self):
+        cache = ShardedSummaryCache(shards=3, max_entries=7)
+        caps = [s.max_entries for s in cache.shard_snapshots()]
+        assert sorted(caps) == [2, 2, 3]
+        assert cache.max_entries == 7
+
+    def test_caps_smaller_than_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedSummaryCache(shards=4, max_entries=2)
+        with pytest.raises(ValueError):
+            ShardedSummaryCache(shards=4, max_facts=3)
+        with pytest.raises(ValueError):
+            ShardedSummaryCache(shards=0)
+
+    def test_per_shard_lru_eviction(self):
+        cache = ShardedSummaryCache(shards=2, max_entries=4)
+        # Everything in one method -> one shard with a cap of 2.
+        nodes = [node("A.m", f"v{i}") for i in range(5)]
+        for key_node in nodes:
+            cache.store(key_node, EMPTY_STACK, S1, summary())
+        assert cache.evictions == 3
+        assert len(cache) == 2
+        assert (nodes[4], EMPTY_STACK, S1) in cache
+        assert (nodes[0], EMPTY_STACK, S1) not in cache
+
+    def test_spawn_preserves_policy(self):
+        cache = ShardedSummaryCache(shards=3, max_entries=9, max_facts=30)
+        clone = cache.spawn()
+        assert isinstance(clone, ShardedSummaryCache)
+        assert clone.n_shards == 3
+        assert clone.max_entries == 9 and clone.max_facts == 30
+        assert len(clone) == 0
+
+    def test_unbounded_shards_without_caps(self):
+        cache = ShardedSummaryCache(shards=2)
+        for i in range(64):
+            cache.store(node(f"M{i}.m", "v"), EMPTY_STACK, S1, summary())
+        assert len(cache) == 64
+        assert cache.evictions == 0
+
+
+class TestAggregation:
+    def test_store_contract_parity_with_plain_cache(self):
+        sharded = ShardedSummaryCache(shards=4)
+        plain = SummaryCache()
+        keys = [(node(f"M{i % 5}.m", f"v{i}"), EMPTY_STACK, S1) for i in range(12)]
+        for store in (sharded, plain):
+            for i, (key_node, stack, state) in enumerate(keys):
+                store.store(key_node, stack, state, summary(1 + i % 3))
+            for key_node, stack, state in keys[::2]:
+                assert store.lookup(key_node, stack, state) is not None
+            assert store.lookup(node("Nope.m", "q"), stack, state) is None
+        assert len(sharded) == len(plain)
+        assert sharded.total_facts() == plain.total_facts()
+        assert sharded.approx_bytes() == plain.approx_bytes()
+        assert sharded.summary_point_count() == plain.summary_point_count()
+        assert sharded.hits == plain.hits and sharded.misses == plain.misses
+
+    def test_snapshot_reconciles_with_shard_snapshots(self):
+        cache = ShardedSummaryCache(shards=4, max_entries=8)
+        for i in range(10):
+            cache.store(node(f"M{i}.m", "v"), EMPTY_STACK, S1, summary(2))
+            cache.lookup(node(f"M{i}.m", "v"), EMPTY_STACK, S1)
+        cache.invalidate_method("M3.m")
+        total = cache.stats_snapshot()
+        shards = cache.shard_snapshots()
+        assert total.entries == sum(s.entries for s in shards) == len(cache)
+        assert total.facts == sum(s.facts for s in shards) == cache.total_facts()
+        assert total.hits == sum(s.hits for s in shards)
+        assert total.misses == sum(s.misses for s in shards)
+        assert total.evictions == sum(s.evictions for s in shards)
+        assert total.invalidated == sum(s.invalidated for s in shards)
+        # Cross-source probe check: the loop issued exactly 10 lookups
+        # (stores do not probe), so the shards must have recorded
+        # exactly 10 hits-plus-misses between them.
+        assert total.hits + total.misses == 10
+        assert total.max_entries == 8
+
+    def test_duplicate_store_refreshes_recency_through_shards(self):
+        cache = ShardedSummaryCache(shards=1, max_entries=2)
+        a, b, c = node(name="a"), node(name="b"), node(name="c")
+        cache.store(a, EMPTY_STACK, S1, summary())
+        cache.store(b, EMPTY_STACK, S1, summary())
+        cache.store(a, EMPTY_STACK, S1, summary())
+        cache.store(c, EMPTY_STACK, S1, summary())
+        assert (a, EMPTY_STACK, S1) in cache
+        assert (b, EMPTY_STACK, S1) not in cache
+
+    def test_clear_resets_everything(self):
+        cache = ShardedSummaryCache(shards=2)
+        cache.store(node("A.m", "x"), EMPTY_STACK, S1, summary())
+        cache.lookup(node("A.m", "x"), EMPTY_STACK, S1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.total_facts() == 0
+
+
+class TestConcurrency:
+    """Concurrent traffic must leave counters exactly consistent —
+    that is the whole point of per-shard locking."""
+
+    N_THREADS = 8
+    OPS_PER_THREAD = 300
+
+    def _hammer(self, cache, worker_id, probes):
+        # Each worker mixes its own methods with methods shared by all
+        # workers, so shards see genuine cross-thread contention.
+        for i in range(self.OPS_PER_THREAD):
+            own = node(f"Own{worker_id}.m", f"v{i % 7}")
+            shared = node(f"Shared{i % 3}.m", f"v{i % 5}")
+            cache.store(own, EMPTY_STACK, S1, summary(1 + i % 3))
+            cache.store(shared, EMPTY_STACK, S1, summary(2))
+            cache.lookup(own, EMPTY_STACK, S1)
+            cache.lookup(shared, EMPTY_STACK, S1)
+            probes[worker_id] += 2
+            if i % 50 == 49:
+                cache.invalidate_method(f"Shared{i % 3}.m")
+
+    def _run_hammer(self, cache):
+        probes = [0] * self.N_THREADS
+        with ThreadPoolExecutor(max_workers=self.N_THREADS) as pool:
+            futures = [
+                pool.submit(self._hammer, cache, worker_id, probes)
+                for worker_id in range(self.N_THREADS)
+            ]
+            for future in futures:
+                future.result()
+        return sum(probes)
+
+    def _check_consistency(self, cache, issued_probes):
+        snap = cache.stats_snapshot()
+        # Every probe was counted exactly once, as a hit or a miss.
+        assert snap.hits + snap.misses == issued_probes
+        # Fact accounting matches the resident entries exactly.
+        resident = list(cache.entries())
+        assert snap.entries == len(resident) == len(cache)
+        assert snap.facts == sum(s.size for _key, s in resident)
+        assert cache.total_facts() == snap.facts
+        # Caps (when set) hold per shard after the dust settles.
+        for shard_snap in cache.shard_snapshots():
+            if shard_snap.max_entries is not None:
+                assert shard_snap.entries <= shard_snap.max_entries
+
+    def test_concurrent_traffic_unbounded(self):
+        cache = ShardedSummaryCache(shards=4)
+        issued = self._run_hammer(cache)
+        self._check_consistency(cache, issued)
+
+    def test_concurrent_traffic_bounded(self):
+        cache = ShardedSummaryCache(shards=4, max_entries=32, max_facts=96)
+        issued = self._run_hammer(cache)
+        self._check_consistency(cache, issued)
+        assert len(cache) <= 32
+        assert cache.total_facts() <= 96
+
+    def test_concurrent_invalidation_of_one_method(self):
+        """Stores and invalidations of one method serialise on its
+        shard's lock: the final state is all-or-none per operation, and
+        the invalidated counter equals the sum of the return values."""
+        cache = ShardedSummaryCache(shards=4)
+        barrier = threading.Barrier(4)
+        dropped = []
+
+        def storer():
+            barrier.wait()
+            for i in range(200):
+                cache.store(node("Hot.m", f"v{i % 10}"), EMPTY_STACK, S1, summary())
+
+        def invalidator():
+            barrier.wait()
+            local = 0
+            for _ in range(100):
+                local += cache.invalidate_method("Hot.m")
+            dropped.append(local)
+
+        threads = [threading.Thread(target=storer) for _ in range(2)] + [
+            threading.Thread(target=invalidator) for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert cache.invalidated == sum(dropped)
+        remaining = cache.invalidate_method("Hot.m")
+        assert len(cache) == 0
+        assert cache.invalidated == sum(dropped) + remaining
+        assert cache.total_facts() == 0
