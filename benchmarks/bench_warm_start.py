@@ -1,0 +1,127 @@
+"""Warm-start persistence — cold vs. snapshot-replayed engines.
+
+For each Figure-4 benchmark and client, the paper-protocol workload
+(published query stream, no dedup/reorder) runs twice:
+
+* **cold** — a fresh DYNSUM engine, empty summary store (the baseline
+  every prior benchmark measures);
+* **warm** — the same engine configuration restarted from the cold
+  run's saved :class:`~repro.api.snapshot.SummarySnapshot`
+  (``EnginePolicy(warm_start=path)``), modelling a host restart or the
+  next CI run.
+
+Asserted per cell: element-wise identical results (summaries are pure
+memos — replaying them moves cost, never answers) and **strictly
+fewer** traversal steps.  Reported per cell: deterministic step counts,
+wall time for both modes, the snapshot's entry/fact/byte size, and the
+warm run's hit rate.
+
+Set ``REPRO_WRITE_BASELINE=1`` to (re)write ``BENCH_persist.json`` next
+to this file.  Wall-clock fields vary by host; the committed baseline
+records the step comparison and snapshot shape, not timings.
+"""
+
+import json
+import os
+import pathlib
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.runner import bench_engine_policy
+from repro.clients import ALL_CLIENTS
+from repro.engine import PointsToEngine
+
+from conftest import FIGURE_BENCHMARKS
+
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_persist.json"
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("client_cls", ALL_CLIENTS, ids=lambda c: c.name)
+@pytest.mark.parametrize("name", FIGURE_BENCHMARKS)
+def test_warm_start_steps(benchmark, figure_instances, tmp_path, name, client_cls):
+    instance = figure_instances[name]
+    client = client_cls(instance.pag)
+    n_queries = len(client.queries())
+    policy = bench_engine_policy()
+
+    cold = PointsToEngine(instance.pag, policy)
+    _cold_verdicts, cold_batch = cold.run_client(client, dedupe=False, reorder=False)
+    path = tmp_path / f"{name}-{client.name}.json"
+    snapshot = cold.save_cache(path)
+    snapshot_bytes = path.stat().st_size
+
+    def warm_run():
+        engine = PointsToEngine(
+            instance.pag, replace(policy, warm_start=str(path))
+        )
+        return engine, engine.run_client(client, dedupe=False, reorder=False)
+
+    warm_engine, (warm_verdicts, warm_batch) = benchmark.pedantic(
+        warm_run, rounds=1, iterations=1
+    )
+
+    # Round-trip fidelity: answers and verdicts are element-wise
+    # identical, and the warm engine did strictly less traversal work.
+    assert warm_engine.warm_loaded == len(snapshot.entries)
+    for cold_result, warm_result in zip(cold_batch.results, warm_batch.results):
+        assert warm_result.pairs == cold_result.pairs
+        assert warm_result.complete == cold_result.complete
+    assert warm_batch.stats.steps < cold_batch.stats.steps
+
+    _ROWS.append(
+        {
+            "benchmark": name,
+            "client": client.name,
+            "n_queries": n_queries,
+            "cold": {
+                "steps": cold_batch.stats.steps,
+                "time_sec": cold_batch.stats.time_sec,
+                "hit_rate": round(cold_batch.stats.hit_rate, 4),
+            },
+            "warm": {
+                "steps": warm_batch.stats.steps,
+                "time_sec": warm_batch.stats.time_sec,
+                "hit_rate": round(warm_batch.stats.hit_rate, 4),
+            },
+            "step_ratio": round(
+                warm_batch.stats.steps / cold_batch.stats.steps, 4
+            ),
+            "snapshot": {
+                "entries": len(snapshot.entries),
+                "facts": snapshot.stats.facts,
+                "bytes": snapshot_bytes,
+            },
+        }
+    )
+
+
+def test_print_warm_start(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _ROWS:
+        pytest.skip("series did not run")
+    header = (
+        f"{'bench/client':22s} {'queries':>7s} {'cold steps':>10s} "
+        f"{'warm steps':>10s} {'ratio':>6s} {'snap entries':>12s} "
+        f"{'snap bytes':>10s}"
+    )
+    print("\n\nWarm-start persistence — cold vs. snapshot-replayed engines")
+    print(header)
+    print("-" * len(header))
+    for row in _ROWS:
+        print(
+            f"{row['benchmark'] + '/' + row['client']:22s} "
+            f"{row['n_queries']:>7d} {row['cold']['steps']:>10d} "
+            f"{row['warm']['steps']:>10d} {row['step_ratio']:>6.2f} "
+            f"{row['snapshot']['entries']:>12d} {row['snapshot']['bytes']:>10d}"
+        )
+    if os.environ.get("REPRO_WRITE_BASELINE"):
+        payload = {
+            "protocol": "bench_warm_start",
+            "scale": float(os.environ.get("REPRO_BENCH_SCALE", "1.0")),
+            "rows": _ROWS,
+        }
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote baseline {BASELINE_PATH}")

@@ -13,7 +13,10 @@ The library implements the full stack the paper sits on:
   (:mod:`repro.bench`);
 * the session-oriented query engine fronting all of the above
   (:mod:`repro.engine`): batched queries, bounded shared caches, edit
-  sessions.
+  sessions;
+* the versioned wire API over the engine (:mod:`repro.api`):
+  serializable queries/results, summary-store snapshots with engine
+  warm start, and the ``repro-serve`` JSON-lines service.
 
 Quickstart::
 
@@ -49,6 +52,14 @@ from repro.analysis.summaries import (
     ShardedSummaryCache,
     SummaryStore,
 )
+from repro.api import (
+    PROTOCOL_VERSION,
+    PointsToService,
+    ProtocolError,
+    SnapshotError,
+    SummarySnapshot,
+    WireError,
+)
 from repro.callgraph import AndersenAnalysis, CallGraph, rta_call_graph
 from repro.cfl import EMPTY_STACK, Stack
 from repro.engine import (
@@ -73,7 +84,7 @@ from repro.clients import (
 from repro.ir import ProgramBuilder, parse_program, pretty_print
 from repro.pag import PAG, build_pag, compute_statistics
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ALL_CLIENTS",
@@ -99,9 +110,12 @@ __all__ = [
     "NoRefine",
     "NullDerefClient",
     "PAG",
+    "PROTOCOL_VERSION",
     "ParallelExecutor",
     "PointsToEngine",
+    "PointsToService",
     "ProgramBuilder",
+    "ProtocolError",
     "QueryResult",
     "QuerySpec",
     "QueryTracer",
@@ -109,10 +123,13 @@ __all__ = [
     "SafeCastClient",
     "SequentialExecutor",
     "ShardedSummaryCache",
+    "SnapshotError",
     "StaSum",
     "Stack",
     "SummaryCache",
+    "SummarySnapshot",
     "SummaryStore",
+    "WireError",
     "build_pag",
     "compute_statistics",
     "parse_program",

@@ -33,6 +33,7 @@ import threading
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Optional
 
 #: Rough memory model for :meth:`SummaryStore.approx_bytes`: Python-object
 #: overhead per cache entry (key tuple + dict slot + PptaResult shell) and
@@ -57,8 +58,8 @@ class CacheStats:
     evictions: int
     invalidated: int
     approx_bytes: int
-    max_entries: int = None
-    max_facts: int = None
+    max_entries: Optional[int] = None
+    max_facts: Optional[int] = None
 
     @property
     def probes(self):
@@ -218,6 +219,18 @@ class SummaryStore:
         self.misses = 0
         self.evictions = 0
         self.invalidated = 0
+
+    def restore_counters(self, stats):
+        """Overwrite the probe/eviction/invalidation counters from a
+        :class:`CacheStats` — the restore hook of
+        :mod:`repro.api.snapshot`, so a deserialized store reports the
+        same lifetime accounting it was saved with.  Entry/fact totals
+        are never restored this way; they always derive from the
+        resident entries."""
+        self.hits = stats.hits
+        self.misses = stats.misses
+        self.evictions = stats.evictions
+        self.invalidated = stats.invalidated
 
     # ------------------------------------------------------------------
     # introspection
@@ -480,6 +493,18 @@ class ShardedSummaryCache:
         for shard, lock in zip(self._shards, self._locks):
             with lock:
                 shard.clear()
+
+    def restore_counters(self, shard_stats):
+        """Per-shard counter restore: one :class:`CacheStats` per shard,
+        in shard order (counters are per-shard state, so an aggregate
+        alone could not be restored faithfully)."""
+        if len(shard_stats) != self.n_shards:
+            raise ValueError(
+                f"expected {self.n_shards} shard stats, got {len(shard_stats)}"
+            )
+        for shard, lock, stats in zip(self._shards, self._locks, shard_stats):
+            with lock:
+                shard.restore_counters(stats)
 
     # ------------------------------------------------------------------
     # aggregate counters (sums over shards)

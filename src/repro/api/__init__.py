@@ -1,0 +1,94 @@
+"""The versioned wire API: serializable queries, results, and summaries.
+
+This package is the engine's external surface — everything a process
+boundary needs to speak points-to:
+
+* :mod:`repro.api.protocol` — frozen, versioned request/response
+  dataclasses (the vocabulary: ``query``/``batch``/``alias``/
+  ``invalidate``/``stats``) and the typed error hierarchy;
+* :mod:`repro.api.codec` — canonical JSON with strict,
+  annotation-derived validation (malformed input yields a typed
+  :class:`ProtocolError`, never a traceback);
+* :mod:`repro.api.snapshot` — the ``SummarySnapshot`` format:
+  summary stores round-trip to JSON preserving entries, LRU recency,
+  capacity policy, and counters (the warm-start/persistence seam);
+* :mod:`repro.api.service` — :class:`PointsToService`, dispatching
+  decoded requests to a :class:`~repro.engine.core.PointsToEngine`,
+  plus the ``repro-serve`` JSON-lines stdio server.
+
+.. code-block:: python
+
+    from repro.api import PointsToService, decode_request, encode
+
+    service = PointsToService(engine)
+    print(service.handle_line('{"kind":"stats","protocol_version":"1.0"}'))
+
+    engine.save_cache("cache.json")                     # persistence...
+    warm = EnginePolicy(warm_start="cache.json")        # ...and warm start
+"""
+
+from repro.api.codec import decode_request, decode_response, encode, to_wire
+from repro.api.protocol import (
+    PROTOCOL_VERSION,
+    REQUEST_KINDS,
+    RESPONSE_KINDS,
+    AliasRequest,
+    AliasResponse,
+    BatchRequest,
+    BatchResponse,
+    ErrorResponse,
+    InvalidateRequest,
+    InvalidateResponse,
+    ProtocolError,
+    QueryRequest,
+    QueryResponse,
+    SnapshotError,
+    StatsRequest,
+    StatsResponse,
+    WireError,
+    WireObject,
+    WireVerdict,
+    check_version,
+)
+from repro.api.service import CLIENT_REGISTRY, PointsToService
+from repro.api.snapshot import (
+    SNAPSHOT_VERSION,
+    SummarySnapshot,
+    load_snapshot,
+    load_store,
+    save_store,
+)
+
+__all__ = [
+    "AliasRequest",
+    "AliasResponse",
+    "BatchRequest",
+    "BatchResponse",
+    "CLIENT_REGISTRY",
+    "ErrorResponse",
+    "InvalidateRequest",
+    "InvalidateResponse",
+    "PROTOCOL_VERSION",
+    "PointsToService",
+    "ProtocolError",
+    "QueryRequest",
+    "QueryResponse",
+    "REQUEST_KINDS",
+    "RESPONSE_KINDS",
+    "SNAPSHOT_VERSION",
+    "SnapshotError",
+    "StatsRequest",
+    "StatsResponse",
+    "SummarySnapshot",
+    "WireError",
+    "WireObject",
+    "WireVerdict",
+    "check_version",
+    "decode_request",
+    "decode_response",
+    "encode",
+    "load_snapshot",
+    "load_store",
+    "save_store",
+    "to_wire",
+]

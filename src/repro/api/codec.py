@@ -1,0 +1,220 @@
+"""Canonical JSON encoding/decoding for the wire protocol.
+
+One encoding, one validator:
+
+* :func:`encode` renders any protocol dataclass as **canonical JSON** —
+  sorted keys, no whitespace, a ``"kind"`` discriminator at the top
+  level — so byte-identical messages mean identical requests and
+  transcripts diff cleanly;
+* :func:`decode_request` / :func:`decode_response` parse and *strictly*
+  validate a line: malformed JSON, a non-object payload, a missing or
+  unknown ``kind``, an unsupported major version, missing required
+  fields, unknown fields, or ill-typed values all raise a typed
+  :class:`~repro.api.protocol.ProtocolError` — never anything else.
+
+The validator derives each message's schema from the dataclass
+annotations (``Optional``/``Tuple`` included, nested dataclasses
+recursively), so the classes in :mod:`repro.api.protocol` are the single
+source of truth for both the Python API and the wire format.  That is
+why the annotations must be honest — ``Optional[int]`` where null is
+legal — rather than the ``int = None`` drift this layer replaced.
+"""
+
+import dataclasses
+import json
+import typing
+
+from repro.api.protocol import (
+    KIND_OF,
+    REQUEST_KINDS,
+    RESPONSE_KINDS,
+    ProtocolError,
+    check_version,
+)
+
+#: ``typing.get_type_hints`` resolved once per dataclass (the protocol
+#: classes are module-level constants, so the cache never invalidates).
+_HINTS_CACHE = {}
+
+
+def _type_hints(cls):
+    hints = _HINTS_CACHE.get(cls)
+    if hints is None:
+        hints = typing.get_type_hints(cls)
+        _HINTS_CACHE[cls] = hints
+    return hints
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def to_wire(message):
+    """The JSON-ready dict form of a protocol dataclass.
+
+    The top-level message carries its ``kind``; nested dataclasses are
+    plain field dicts (the decoder recovers their type from the field
+    annotation, so repeating the discriminator would be noise).
+    """
+    cls = type(message)
+    kind = KIND_OF.get(cls)
+    if kind is None:
+        raise ProtocolError(
+            "invalid-request", f"{cls.__name__} is not a wire message type"
+        )
+    payload = _value_to_wire(message)
+    payload["kind"] = kind
+    return payload
+
+
+def _value_to_wire(value):
+    if dataclasses.is_dataclass(value):
+        return {
+            f.name: _value_to_wire(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (tuple, list)):
+        return [_value_to_wire(item) for item in value]
+    return value
+
+
+def encode(message):
+    """Canonical JSON for one message: sorted keys, compact separators."""
+    return json.dumps(to_wire(message), sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# decoding + strict validation
+# ----------------------------------------------------------------------
+def decode_request(text):
+    """Parse one request line; raises :class:`ProtocolError` on anything
+    that is not a well-formed, version-compatible request."""
+    return _decode(text, REQUEST_KINDS, "request")
+
+
+def decode_response(text):
+    """Parse one response line (the client side of the wire)."""
+    return _decode(text, RESPONSE_KINDS, "response")
+
+
+def _decode(text, registry, direction):
+    try:
+        payload = json.loads(text)
+    except (ValueError, TypeError, RecursionError) as exc:
+        # RecursionError: pathologically nested input must yield the
+        # same typed error as any other malformed line, not a crash.
+        raise ProtocolError("malformed-json", f"not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            "invalid-request",
+            f"a {direction} must be a JSON object, got {type(payload).__name__}",
+        )
+    version = payload.get("protocol_version")
+    if version is None:
+        raise ProtocolError(
+            "invalid-request", f"{direction} is missing 'protocol_version'"
+        )
+    check_version(version)
+    kind = payload.get("kind")
+    if kind is None:
+        raise ProtocolError("invalid-request", f"{direction} is missing 'kind'")
+    cls = registry.get(kind)
+    if cls is None:
+        known = ", ".join(sorted(registry))
+        raise ProtocolError(
+            "unknown-kind", f"unknown {direction} kind {kind!r}; known: {known}"
+        )
+    return build_message(cls, payload, path=kind)
+
+
+def build_message(cls, payload, path):
+    """Validate ``payload`` against ``cls``'s annotations and build it.
+
+    Exposed for the snapshot layer, which embeds protocol structs
+    (:class:`~repro.analysis.summaries.CacheStats`) in its own format.
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            "invalid-request",
+            f"{path}: expected an object, got {type(payload).__name__}",
+        )
+    hints = _type_hints(cls)
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(payload) - known - {"kind"}
+    if unknown:
+        raise ProtocolError(
+            "invalid-request",
+            f"{path}: unknown field(s) {sorted(unknown)!r}",
+        )
+    kwargs = {}
+    for f in dataclasses.fields(cls):
+        if f.name in payload:
+            kwargs[f.name] = _coerce(payload[f.name], hints[f.name], f"{path}.{f.name}")
+        elif (
+            f.default is dataclasses.MISSING
+            and f.default_factory is dataclasses.MISSING
+        ):
+            raise ProtocolError(
+                "invalid-request", f"{path}: missing required field {f.name!r}"
+            )
+    return cls(**kwargs)
+
+
+def _coerce(value, annotation, path):
+    """Check ``value`` against one annotation, recursively; JSON arrays
+    become tuples, nested objects become their annotated dataclass."""
+    origin = typing.get_origin(annotation)
+    if origin is typing.Union:  # Optional[X] is Union[X, None]
+        args = typing.get_args(annotation)
+        if type(None) in args and value is None:
+            return None
+        non_null = [a for a in args if a is not type(None)]
+        if len(non_null) == 1:
+            return _coerce(value, non_null[0], path)
+        raise ProtocolError(
+            "invalid-request", f"{path}: unsupported union annotation {annotation!r}"
+        )
+    if origin is tuple:
+        (item_type, ellipsis) = typing.get_args(annotation)
+        assert ellipsis is Ellipsis, f"non-variadic tuple annotation at {path}"
+        if not isinstance(value, (list, tuple)):
+            raise ProtocolError(
+                "invalid-request",
+                f"{path}: expected an array, got {type(value).__name__}",
+            )
+        return tuple(
+            _coerce(item, item_type, f"{path}[{i}]") for i, item in enumerate(value)
+        )
+    if dataclasses.is_dataclass(annotation):
+        return build_message(annotation, value, path)
+    if annotation is bool:
+        if not isinstance(value, bool):
+            raise ProtocolError(
+                "invalid-request",
+                f"{path}: expected a boolean, got {type(value).__name__}",
+            )
+        return value
+    if annotation is int:
+        # bool is an int subclass; true/false are not integers on the wire.
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ProtocolError(
+                "invalid-request",
+                f"{path}: expected an integer, got {type(value).__name__}",
+            )
+        return value
+    if annotation is float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ProtocolError(
+                "invalid-request",
+                f"{path}: expected a number, got {type(value).__name__}",
+            )
+        return float(value)
+    if annotation is str:
+        if not isinstance(value, str):
+            raise ProtocolError(
+                "invalid-request",
+                f"{path}: expected a string, got {type(value).__name__}",
+            )
+        return value
+    raise ProtocolError(
+        "invalid-request", f"{path}: unsupported annotation {annotation!r}"
+    )

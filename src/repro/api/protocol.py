@@ -1,0 +1,294 @@
+"""The versioned wire protocol: typed requests, responses, and errors.
+
+Everything the engine can be asked over a process boundary is a frozen
+dataclass here, and every message carries ``protocol_version``.  The
+paper's premise — DYNSUM summaries are pure, context-independent memos —
+makes the engine's whole surface *serializable*: queries name PAG nodes
+nominally (``(method, var)``), results name objects by their stable
+allocation labels, and summary stores round-trip through
+:mod:`repro.api.snapshot`.  This module is the vocabulary; the canonical
+JSON encoding and strict validation live in :mod:`repro.api.codec`, and
+the dispatcher in :mod:`repro.api.service`.
+
+Versioning policy
+-----------------
+``PROTOCOL_VERSION`` is ``"<major>.<minor>"``.  A decoder accepts any
+message whose *major* version matches its own (minor revisions may only
+add optional fields); a major mismatch is rejected with a structured
+:class:`ErrorResponse` — never a traceback.  The summary-snapshot format
+(:data:`repro.api.snapshot.SNAPSHOT_VERSION`) is versioned separately:
+snapshots are durable artifacts with a different compatibility lifetime
+than request/response traffic.
+
+Request vocabulary
+------------------
+``query``       one points-to query, optionally with a client verdict;
+``batch``       many queries as one scheduled batch;
+``alias``       a may-alias check between two variables;
+``invalidate``  drop one method's cached summaries (the IDE edit hook);
+``stats``       the engine's lifetime accounting.
+
+Field types are honest: the codec derives each message's schema from the
+dataclass annotations (``Optional[int]`` really means int-or-null on the
+wire), so these classes are simultaneously the Python API and the wire
+schema.
+"""
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.analysis.summaries import CacheStats
+from repro.engine.scheduler import BatchStats
+
+#: The protocol spoken by this build — "<major>.<minor>".
+PROTOCOL_VERSION = "1.0"
+
+
+def split_version(version):
+    """``"1.0" -> (1, 0)``; raises :class:`ProtocolError` on junk."""
+    parts = str(version).split(".")
+    if len(parts) != 2:
+        raise ProtocolError(
+            "invalid-request",
+            f"protocol_version must look like '<major>.<minor>', got {version!r}",
+        )
+    try:
+        return int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ProtocolError(
+            "invalid-request",
+            f"protocol_version must be numeric, got {version!r}",
+        ) from None
+
+
+def check_version(version):
+    """Reject a major-version mismatch (minor drift is compatible)."""
+    major, _minor = split_version(version)
+    ours, _ = split_version(PROTOCOL_VERSION)
+    if major != ours:
+        raise ProtocolError(
+            "unsupported-version",
+            f"protocol major version {major} is not supported "
+            f"(this build speaks {PROTOCOL_VERSION})",
+        )
+
+
+# ----------------------------------------------------------------------
+# typed errors — the only failure surface the wire API exposes
+# ----------------------------------------------------------------------
+class WireError(Exception):
+    """Base of every error the wire layer raises deliberately.
+
+    ``code`` is the machine-readable error class carried into the
+    :class:`ErrorResponse`; the message is the human-readable detail.
+    A host embedding the service can catch this one type.
+    """
+
+    def __init__(self, code, message):
+        self.code = code
+        super().__init__(message)
+
+
+class ProtocolError(WireError):
+    """A request that cannot be decoded: malformed JSON, unknown kind,
+    unsupported major version, missing/unknown/ill-typed fields."""
+
+
+class SnapshotError(WireError):
+    """A summary snapshot that cannot be trusted: structural damage,
+    version mismatch, stats that disagree with the recorded entries, or
+    (under strict restore) entries that no longer resolve in the PAG."""
+
+    def __init__(self, message, code="snapshot-invalid"):
+        super().__init__(code, message)
+
+
+# ----------------------------------------------------------------------
+# requests
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QueryRequest:
+    """One points-to query for local ``var`` of ``method``.
+
+    ``context`` is the calling-context stack, bottom-to-top, as call-site
+    ids.  ``client``/``payload`` optionally name one of the registered
+    analysis clients (``SafeCast``/``NullDeref``/``FactoryM``) and its
+    query payload; the response then carries that client's verdict.
+    """
+
+    method: str
+    var: str
+    context: Tuple[int, ...] = ()
+    client: Optional[str] = None
+    payload: Tuple[str, ...] = ()
+    protocol_version: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """Many queries answered as one scheduled batch.
+
+    ``dedupe``/``reorder`` override the engine policy when not null —
+    the same levers ``query_batch`` exposes in-process.
+    """
+
+    queries: Tuple[QueryRequest, ...]
+    dedupe: Optional[bool] = None
+    reorder: Optional[bool] = None
+    protocol_version: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class AliasRequest:
+    """May-alias check between two named variables."""
+
+    method1: str
+    var1: str
+    method2: str
+    var2: str
+    context1: Tuple[int, ...] = ()
+    context2: Tuple[int, ...] = ()
+    protocol_version: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class InvalidateRequest:
+    """Drop one method's cached summaries (the host-side edit hook)."""
+
+    method: str
+    protocol_version: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Ask for the engine's lifetime accounting snapshot."""
+
+    protocol_version: str = PROTOCOL_VERSION
+
+
+# ----------------------------------------------------------------------
+# responses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WireObject:
+    """One abstract object in a points-to answer.
+
+    ``id`` is the allocation's stable label (``Program.finalize`` assigns
+    them deterministically, so ids survive process restarts);
+    ``contexts`` are the heap contexts under which the object was
+    reached, each bottom-to-top.
+    """
+
+    id: str
+    class_name: str
+    contexts: Tuple[Tuple[int, ...], ...] = ()
+
+
+@dataclass(frozen=True)
+class WireVerdict:
+    """A client's conclusion for one query, in wire form."""
+
+    client: str
+    status: str  # safe | violation | unknown
+    offenders: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """Answer to one :class:`QueryRequest`.
+
+    ``objects`` are sorted by id; ``complete`` is False when the query
+    was cut off (budget/field-depth) and the set is a sound partial
+    answer.
+    """
+
+    objects: Tuple[WireObject, ...]
+    complete: bool
+    steps: int
+    verdict: Optional[WireVerdict] = None
+    protocol_version: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class BatchResponse:
+    """Answers to a :class:`BatchRequest`, aligned with request order,
+    plus the batch's Figure-4/5 accounting."""
+
+    results: Tuple[QueryResponse, ...]
+    stats: BatchStats
+    protocol_version: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class AliasResponse:
+    """Answer to an :class:`AliasRequest`; ``verdict`` is true/false/null
+    (null = some query was cut off and no witness appeared)."""
+
+    verdict: Optional[bool]
+    witnesses: Tuple[str, ...]
+    steps: int
+    protocol_version: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class InvalidateResponse:
+    """How many cached summaries an :class:`InvalidateRequest` dropped."""
+
+    method: str
+    dropped: int
+    protocol_version: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class StatsResponse:
+    """The engine's lifetime accounting (mirrors
+    :class:`~repro.engine.core.EngineStats`); ``cache`` is the summary
+    store's :class:`~repro.analysis.summaries.CacheStats` or null for
+    cache-less analyses."""
+
+    analysis: str
+    queries: int
+    executed: int
+    batches: int
+    deduped: int
+    steps: int
+    incomplete: int
+    edits: int
+    cache: Optional[CacheStats] = None
+    protocol_version: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """The one failure shape: a machine-readable ``code`` plus detail.
+
+    Codes: ``malformed-json``, ``invalid-request``,
+    ``unsupported-version``, ``unknown-kind``, ``unknown-node``,
+    ``unknown-client``, ``snapshot-invalid``, ``internal-error``.
+    """
+
+    code: str
+    message: str
+    protocol_version: str = PROTOCOL_VERSION
+
+
+#: kind discriminator <-> dataclass, for each direction of traffic.
+REQUEST_KINDS = {
+    "query": QueryRequest,
+    "batch": BatchRequest,
+    "alias": AliasRequest,
+    "invalidate": InvalidateRequest,
+    "stats": StatsRequest,
+}
+
+RESPONSE_KINDS = {
+    "query-result": QueryResponse,
+    "batch-result": BatchResponse,
+    "alias-result": AliasResponse,
+    "invalidated": InvalidateResponse,
+    "stats-result": StatsResponse,
+    "error": ErrorResponse,
+}
+
+#: Reverse map used by the encoder (requests and responses share it).
+KIND_OF = {cls: kind for kind, cls in {**REQUEST_KINDS, **RESPONSE_KINDS}.items()}

@@ -1,0 +1,474 @@
+"""Summary-store serialization: the ``SummarySnapshot`` format.
+
+DYNSUM summaries are pure, context-independent memos keyed by *nominal*
+node identity — ``(method, var)`` for locals, stable allocation labels
+for objects — which makes the whole store a durable artifact: saved by
+one process, replayed by another (a restarted IDE host, the next CI
+run), or shipped to a remote shard server.  A snapshot round-trips all
+three store classes (:class:`~repro.analysis.summaries.SummaryCache`,
+:class:`~repro.analysis.summaries.BoundedSummaryCache`,
+:class:`~repro.analysis.summaries.ShardedSummaryCache`) and preserves
+
+* every entry — key node, field stack, direction, and the summary's
+  objects and boundary tuples;
+* **LRU recency order** — entries are recorded coldest-first, so
+  replaying them through ``store()`` reconstructs each (shard's) LRU
+  order exactly;
+* the **capacity policy** (``max_entries``/``max_facts``/``shards``) and
+  the lifetime counters of :class:`~repro.analysis.summaries.CacheStats`
+  (per shard for sharded stores — counters are per-shard state).
+
+Loading is paranoid: a snapshot whose recorded stats disagree with its
+own entries, whose version is unsupported, or whose structure is damaged
+raises a typed :class:`~repro.api.protocol.SnapshotError` — never a
+traceback.  Node references resolve against a PAG at load time; under
+``strict=True`` an unresolvable entry is an error, under
+``strict=False`` it is skipped (a summary is a memo — skipping one can
+change cost, never answers), which is what engine warm-start uses when
+the program may have drifted since the save.
+"""
+
+import json
+
+from repro.analysis.ppta import PptaResult
+from repro.analysis.summaries import (
+    BoundedSummaryCache,
+    CacheStats,
+    ShardedSummaryCache,
+    SummaryCache,
+)
+from repro.api.codec import build_message
+from repro.api.protocol import ProtocolError, SnapshotError, split_version
+from repro.cfl.rsm import S1, S2
+from repro.cfl.stacks import Stack
+from repro.util.errors import IRError
+
+#: Version of the snapshot format — "<major>.<minor>", checked on load
+#: like the wire protocol's (major must match, minor may drift).
+SNAPSHOT_VERSION = "1.0"
+
+_KIND = "summary-snapshot"
+
+_STORE_UNBOUNDED = "unbounded"
+_STORE_BOUNDED = "bounded"
+_STORE_SHARDED = "sharded"
+
+
+# ----------------------------------------------------------------------
+# node references — nominal identity on the wire
+# ----------------------------------------------------------------------
+def _node_to_wire(node):
+    if node.is_local_var:
+        return {"kind": "local", "method": node.method, "name": node.name}
+    if node.is_object:
+        return {
+            "kind": "object",
+            "id": node.object_id,
+            "class": node.class_name,
+            "method": node.method,
+        }
+    if node.is_global_var:
+        return {"kind": "global", "class": node.class_name, "field": node.field}
+    raise SnapshotError(f"cannot serialize node {node!r} of type {type(node).__name__}")
+
+
+def _check_node_wire(wire, path):
+    if not isinstance(wire, dict):
+        raise SnapshotError(f"{path}: node reference must be an object")
+    kind = wire.get("kind")
+    required = {
+        "local": ("method", "name"),
+        "object": ("id", "class", "method"),
+        "global": ("class", "field"),
+    }.get(kind)
+    if required is None:
+        raise SnapshotError(f"{path}: unknown node kind {kind!r}")
+    for key in required:
+        value = wire.get(key)
+        if not isinstance(value, str) and not (key == "method" and value is None):
+            raise SnapshotError(f"{path}: node field {key!r} must be a string")
+    return wire
+
+
+def _resolve_node(pag, wire):
+    """The interned PAG node a reference names, or ``None`` when the
+    entity no longer exists in this program version."""
+    kind = wire["kind"]
+    try:
+        if kind == "local":
+            return pag.find_local(wire["method"], wire["name"])
+        if kind == "global":
+            return pag.find_global(wire["class"], wire["field"])
+        node = pag.object_node(wire["id"])
+    except IRError:
+        return None
+    # Allocation labels are stable per program version but an edit can
+    # reuse one for a different class; a mismatch means "not the same
+    # object", so the entry must not be re-anchored onto it.
+    if node.class_name != wire["class"]:
+        return None
+    return node
+
+
+def _stack_to_wire(stack):
+    return [list(item) for item in stack.to_tuple()]
+
+
+def _stack_from_wire(wire, path):
+    if not isinstance(wire, list):
+        raise SnapshotError(f"{path}: field stack must be an array")
+    items = []
+    for i, item in enumerate(wire):
+        if (
+            not isinstance(item, (list, tuple))
+            or len(item) != 2
+            or not isinstance(item[0], str)
+            or item[1] not in (0, 1)
+        ):
+            raise SnapshotError(
+                f"{path}[{i}]: field-stack entry must be [field, family(0|1)]"
+            )
+        items.append((item[0], item[1]))
+    return Stack.of(*items)
+
+
+def _check_state(state, path):
+    if state not in (S1, S2):
+        raise SnapshotError(f"{path}: state must be {S1} (S1) or {S2} (S2)")
+    return state
+
+
+# ----------------------------------------------------------------------
+# the snapshot object
+# ----------------------------------------------------------------------
+class SummarySnapshot:
+    """A validated, store-independent image of one summary store.
+
+    Build with :meth:`capture` (from a live store) or :meth:`loads` /
+    :meth:`from_payload` (from serialized form — both validate
+    structure, version, and stats/entry reconciliation).  Turn back into
+    a store with :meth:`restore` (exact store class, policy, recency and
+    counters) or feed an existing store with :meth:`load_into` (warm
+    start).
+    """
+
+    __slots__ = ("store_kind", "shards", "stats", "shard_stats", "entries")
+
+    def __init__(self, store_kind, shards, stats, shard_stats, entries):
+        self.store_kind = store_kind
+        self.shards = shards
+        self.stats = stats
+        self.shard_stats = shard_stats
+        self.entries = entries
+
+    # ------------------------------------------------------------------
+    # capture
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(cls, store):
+        """Snapshot a live store (any of the three store classes)."""
+        if isinstance(store, ShardedSummaryCache):
+            store_kind, shards = _STORE_SHARDED, store.n_shards
+            shard_stats = store.shard_snapshots()
+        elif isinstance(store, BoundedSummaryCache):
+            store_kind, shards, shard_stats = _STORE_BOUNDED, None, None
+        elif isinstance(store, SummaryCache):
+            store_kind, shards, shard_stats = _STORE_UNBOUNDED, None, None
+        else:
+            raise SnapshotError(
+                f"cannot snapshot a {type(store).__name__}; expected one of "
+                "SummaryCache, BoundedSummaryCache, ShardedSummaryCache"
+            )
+        entries = [
+            {
+                "node": _node_to_wire(node),
+                "stack": _stack_to_wire(stack),
+                "state": state,
+                "objects": [_node_to_wire(obj) for obj in summary.objects],
+                "boundaries": [
+                    {
+                        "node": _node_to_wire(bnode),
+                        "stack": _stack_to_wire(bstack),
+                        "state": bstate,
+                    }
+                    for bnode, bstack, bstate in summary.boundaries
+                ],
+            }
+            # Coldest-first, so replaying store() rebuilds recency order.
+            for (node, stack, state), summary in store.entries_by_recency(
+                hottest_first=False
+            )
+        ]
+        return cls(store_kind, shards, store.stats_snapshot(), shard_stats, entries)
+
+    # ------------------------------------------------------------------
+    # serialized form
+    # ------------------------------------------------------------------
+    def to_payload(self):
+        payload = {
+            "kind": _KIND,
+            "snapshot_version": SNAPSHOT_VERSION,
+            "store": self.store_kind,
+            "shards": self.shards,
+            "stats": _stats_to_wire(self.stats),
+            "entries": self.entries,
+        }
+        if self.shard_stats is not None:
+            payload["shard_stats"] = [_stats_to_wire(s) for s in self.shard_stats]
+        return payload
+
+    def dumps(self):
+        """Canonical JSON (sorted keys, compact) of the snapshot."""
+        return json.dumps(self.to_payload(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def loads(cls, text):
+        try:
+            payload = json.loads(text)
+        except (ValueError, TypeError, RecursionError) as exc:
+            raise SnapshotError(f"snapshot is not valid JSON: {exc}") from None
+        return cls.from_payload(payload)
+
+    @classmethod
+    def from_payload(cls, payload):
+        """Validate a decoded payload: structure, version, and the
+        stats/entries reconciliation (recorded entry and fact totals must
+        equal what the entry list actually holds)."""
+        if not isinstance(payload, dict) or payload.get("kind") != _KIND:
+            raise SnapshotError(f"not a {_KIND} payload")
+        _check_snapshot_version(payload.get("snapshot_version"))
+        store_kind = payload.get("store")
+        if store_kind not in (_STORE_UNBOUNDED, _STORE_BOUNDED, _STORE_SHARDED):
+            raise SnapshotError(f"unknown store kind {store_kind!r}")
+        stats = _stats_from_wire(payload.get("stats"), "stats")
+        shards = payload.get("shards")
+        shard_stats = None
+        if store_kind == _STORE_SHARDED:
+            if not isinstance(shards, int) or shards < 1:
+                raise SnapshotError("sharded snapshot needs a positive 'shards'")
+            raw = payload.get("shard_stats")
+            if not isinstance(raw, list) or len(raw) != shards:
+                raise SnapshotError(
+                    f"sharded snapshot needs exactly {shards} 'shard_stats'"
+                )
+            shard_stats = [
+                _stats_from_wire(s, f"shard_stats[{i}]") for i, s in enumerate(raw)
+            ]
+        elif shards is not None:
+            raise SnapshotError("'shards' is only valid for sharded stores")
+        entries = payload.get("entries")
+        if not isinstance(entries, list):
+            raise SnapshotError("'entries' must be an array")
+        facts = 0
+        for i, entry in enumerate(entries):
+            facts += _check_entry(entry, f"entries[{i}]")
+        if stats.entries != len(entries):
+            raise SnapshotError(
+                f"recorded stats disagree with entries: stats.entries="
+                f"{stats.entries} but {len(entries)} entries are recorded"
+            )
+        if stats.facts != facts:
+            raise SnapshotError(
+                f"recorded stats disagree with entries: stats.facts="
+                f"{stats.facts} but the entries hold {facts} facts"
+            )
+        if shard_stats is not None:
+            for name, total, per_shard in (
+                ("entries", stats.entries, sum(s.entries for s in shard_stats)),
+                ("facts", stats.facts, sum(s.facts for s in shard_stats)),
+                ("hits", stats.hits, sum(s.hits for s in shard_stats)),
+                ("misses", stats.misses, sum(s.misses for s in shard_stats)),
+            ):
+                if total != per_shard:
+                    raise SnapshotError(
+                        f"shard stats do not reconcile: aggregate {name}="
+                        f"{total} but the shards sum to {per_shard}"
+                    )
+        return cls(store_kind, shards, stats, shard_stats, entries)
+
+    # ------------------------------------------------------------------
+    # restore
+    # ------------------------------------------------------------------
+    def make_store(self):
+        """An empty store with the snapshot's class and capacity policy."""
+        if self.store_kind == _STORE_SHARDED:
+            return ShardedSummaryCache(
+                shards=self.shards,
+                max_entries=self.stats.max_entries,
+                max_facts=self.stats.max_facts,
+            )
+        if self.store_kind == _STORE_BOUNDED:
+            return BoundedSummaryCache(
+                max_entries=self.stats.max_entries, max_facts=self.stats.max_facts
+            )
+        return SummaryCache()
+
+    def restore(self, pag, strict=True):
+        """Rebuild the snapshotted store against ``pag``.
+
+        With ``strict`` (the default) every entry must resolve and fit —
+        the exact round-trip guarantee; ``strict=False`` skips entries
+        whose nodes no longer exist.  Lifetime counters are restored
+        either way, so ``stats_snapshot()`` of a strict round-trip equals
+        the saved one.
+        """
+        store = self.make_store()
+        loaded, skipped = self.load_into(store, pag, strict=strict)
+        if strict and len(store) != loaded:
+            raise SnapshotError(
+                "snapshot entries exceed its own capacity policy: "
+                f"{loaded} loaded but only {len(store)} resident"
+            )
+        if self.shard_stats is not None:
+            store.restore_counters(self.shard_stats)
+        else:
+            store.restore_counters(self.stats)
+        return store
+
+    def load_into(self, store, pag, strict=False):
+        """Replay the snapshot's entries into an existing ``store``
+        (coldest-first, preserving recency), resolving node references
+        against ``pag``.  Returns ``(loaded, skipped)``; counters of the
+        target store are left alone — a warm start is new traffic, not
+        resumed accounting."""
+        loaded = skipped = 0
+        for i, entry in enumerate(self.entries):
+            resolved = self._resolve_entry(pag, entry)
+            if resolved is None:
+                if strict:
+                    raise SnapshotError(
+                        f"entries[{i}] does not resolve in this PAG "
+                        f"(key node {entry['node']!r})"
+                    )
+                skipped += 1
+                continue
+            node, stack, state, summary = resolved
+            store.store(node, stack, state, summary)
+            loaded += 1
+        return loaded, skipped
+
+    @staticmethod
+    def _resolve_entry(pag, entry):
+        node = _resolve_node(pag, entry["node"])
+        if node is None:
+            return None
+        stack = _stack_from_wire(entry["stack"], "entry.stack")
+        state = entry["state"]
+        objects = []
+        for wire in entry["objects"]:
+            obj = _resolve_node(pag, wire)
+            if obj is None:
+                return None
+            objects.append(obj)
+        boundaries = []
+        for boundary in entry["boundaries"]:
+            bnode = _resolve_node(pag, boundary["node"])
+            if bnode is None:
+                return None
+            boundaries.append(
+                (bnode, _stack_from_wire(boundary["stack"], "boundary.stack"),
+                 boundary["state"])
+            )
+        return node, stack, state, PptaResult(objects, boundaries)
+
+    def __repr__(self):
+        return (
+            f"SummarySnapshot({self.store_kind}, {len(self.entries)} entries, "
+            f"{self.stats.facts} facts)"
+        )
+
+
+# ----------------------------------------------------------------------
+# validation helpers
+# ----------------------------------------------------------------------
+def _check_snapshot_version(version):
+    try:
+        major, _minor = split_version(version)
+    except ProtocolError:
+        raise SnapshotError(f"bad snapshot_version {version!r}") from None
+    ours, _ = split_version(SNAPSHOT_VERSION)
+    if major != ours:
+        raise SnapshotError(
+            f"unsupported snapshot_version {version!r} "
+            f"(this build reads {SNAPSHOT_VERSION})"
+        )
+
+
+def _stats_to_wire(stats):
+    return {
+        "entries": stats.entries,
+        "facts": stats.facts,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "evictions": stats.evictions,
+        "invalidated": stats.invalidated,
+        "approx_bytes": stats.approx_bytes,
+        "max_entries": stats.max_entries,
+        "max_facts": stats.max_facts,
+    }
+
+
+def _stats_from_wire(wire, path):
+    """A validated :class:`CacheStats` from its wire dict — type checking
+    is derived from the dataclass annotations via the protocol codec."""
+    try:
+        return build_message(CacheStats, wire, path)
+    except Exception as exc:
+        if isinstance(exc, SnapshotError):
+            raise
+        raise SnapshotError(f"{path}: {exc}") from None
+
+
+def _check_entry(entry, path):
+    """Structural validation of one entry; returns its fact count."""
+    if not isinstance(entry, dict):
+        raise SnapshotError(f"{path}: entry must be an object")
+    for key in ("node", "stack", "state", "objects", "boundaries"):
+        if key not in entry:
+            raise SnapshotError(f"{path}: missing {key!r}")
+    _check_node_wire(entry["node"], f"{path}.node")
+    _stack_from_wire(entry["stack"], f"{path}.stack")
+    _check_state(entry["state"], f"{path}.state")
+    if not isinstance(entry["objects"], list) or not isinstance(
+        entry["boundaries"], list
+    ):
+        raise SnapshotError(f"{path}: objects/boundaries must be arrays")
+    for i, wire in enumerate(entry["objects"]):
+        checked = _check_node_wire(wire, f"{path}.objects[{i}]")
+        if checked["kind"] != "object":
+            raise SnapshotError(f"{path}.objects[{i}]: must be an object node")
+    for i, boundary in enumerate(entry["boundaries"]):
+        if not isinstance(boundary, dict):
+            raise SnapshotError(f"{path}.boundaries[{i}]: must be an object")
+        _check_node_wire(boundary.get("node"), f"{path}.boundaries[{i}].node")
+        _stack_from_wire(boundary.get("stack"), f"{path}.boundaries[{i}].stack")
+        _check_state(boundary.get("state"), f"{path}.boundaries[{i}].state")
+    return len(entry["objects"]) + len(entry["boundaries"])
+
+
+# ----------------------------------------------------------------------
+# file convenience — what engine persistence calls
+# ----------------------------------------------------------------------
+def save_store(store, path):
+    """Snapshot ``store`` and write canonical JSON to ``path``; returns
+    the :class:`SummarySnapshot`."""
+    snapshot = SummarySnapshot.capture(store)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(snapshot.dumps())
+        handle.write("\n")
+    return snapshot
+
+
+def load_snapshot(path):
+    """Read and validate a snapshot file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path!r}: {exc}") from None
+    return SummarySnapshot.loads(text)
+
+
+def load_store(path, pag, strict=True):
+    """Read a snapshot file and rebuild its store against ``pag``."""
+    return load_snapshot(path).restore(pag, strict=strict)

@@ -69,6 +69,20 @@ class Verdict:
     def is_safe(self):
         return self.status == SAFE
 
+    def to_wire(self):
+        """The verdict as a :class:`~repro.api.protocol.WireVerdict`:
+        offending objects reduce to their stable allocation labels, so
+        the verdict survives serialization and process restarts."""
+        from repro.api.protocol import WireVerdict
+
+        return WireVerdict(
+            client=self.query.client,
+            status=self.status,
+            offenders=tuple(
+                sorted(str(getattr(obj, "object_id", obj)) for obj in self.details)
+            ),
+        )
+
 
 class Client:
     """Base class; subclasses implement the three-method contract."""

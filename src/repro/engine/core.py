@@ -17,7 +17,11 @@ Sections 1 and 5.3) actually needs:
 * ``engine.edit_session()`` — code edits with summary invalidation and
   migration (program-backed DYNSUM engines);
 * ``engine.stats()`` — a point-in-time snapshot of query, step and cache
-  accounting.
+  accounting;
+* ``engine.save_cache(path)`` and ``EnginePolicy(warm_start=path)`` —
+  summary persistence via :mod:`repro.api.snapshot`: summaries are pure
+  memos keyed by nominal node identity, so a restarted host or CI run
+  replays them and begins warm.
 
 Which analysis runs, its budget, and whether the summary cache is
 unbounded or LRU-capped are all decided by the engine's immutable
@@ -108,6 +112,12 @@ class PointsToEngine:
         self.queries_deduped = 0
         self.steps_total = 0
         self.incomplete_total = 0
+        #: Warm-start accounting: summaries replayed into (skipped out
+        #: of) the store from ``policy.warm_start``, zero otherwise.
+        self.warm_loaded = 0
+        self.warm_skipped = 0
+        if self.policy.warm_start is not None:
+            self._warm_start(self.policy.warm_start)
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -297,6 +307,43 @@ class PointsToEngine:
             else client_or_cls
         )
         return client.run_engine(self, queries, **batch_kwargs)
+
+    # ------------------------------------------------------------------
+    # persistence: summary snapshots (the repro.api.snapshot format)
+    # ------------------------------------------------------------------
+    def _require_cache(self, verb):
+        cache = self.cache
+        if cache is None:
+            raise IRError(
+                f"cannot {verb} a summary snapshot: analysis "
+                f"{self.analysis.name} has no summary store"
+            )
+        return cache
+
+    def _warm_start(self, path):
+        """Replay a saved snapshot into the (fresh) summary store.
+
+        Entries that no longer resolve in this engine's PAG are skipped
+        — summaries are pure memos, so a partial warm start affects cost
+        only.  The store's counters are untouched: warm-started entries
+        answer future probes as hits, which is the whole point.
+        """
+        from repro.api.snapshot import load_snapshot
+
+        cache = self._require_cache("warm-start from")
+        snapshot = load_snapshot(path)
+        self.warm_loaded, self.warm_skipped = snapshot.load_into(
+            cache, self.pag, strict=False
+        )
+
+    def save_cache(self, path):
+        """Write the summary store to ``path`` as a
+        :class:`~repro.api.snapshot.SummarySnapshot` (canonical JSON).
+        A later engine — same process or the next one — warms from it
+        via ``EnginePolicy(warm_start=path)``.  Returns the snapshot."""
+        from repro.api.snapshot import save_store
+
+        return save_store(self._require_cache("save"), path)
 
     # ------------------------------------------------------------------
     # maintenance: edits and invalidation

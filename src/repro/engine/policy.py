@@ -11,6 +11,7 @@ host needs.
 """
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.analysis.base import AnalysisConfig
 from repro.analysis.cipta import ContextInsensitivePta
@@ -60,9 +61,9 @@ class CachePolicy:
     shard per worker).
     """
 
-    max_entries: int = None
-    max_facts: int = None
-    shards: int = None
+    max_entries: Optional[int] = None
+    max_facts: Optional[int] = None
+    shards: Optional[int] = None
 
     @property
     def bounded(self):
@@ -128,12 +129,19 @@ class EnginePolicy:
 
     analysis: str = DynSum.name
     budget: int = DEFAULT_BUDGET
-    max_field_depth: int = None
+    max_field_depth: Optional[int] = None
     track_heap_contexts: bool = True
     cache: CachePolicy = field(default_factory=CachePolicy)
     dedupe: bool = True
     reorder: bool = True
-    parallelism: int = None
+    parallelism: Optional[int] = None
+    #: Path to a :mod:`repro.api.snapshot` summary-snapshot file; when
+    #: set, a freshly constructed engine replays the snapshot's entries
+    #: into its summary store before answering any query, so a restarted
+    #: host (or CI run) begins warm.  Entries that no longer resolve in
+    #: the engine's PAG are skipped — summaries are pure memos, so a
+    #: partial warm start can only change cost, never answers.
+    warm_start: Optional[str] = None
 
     def analysis_class(self):
         return resolve_analysis(self.analysis)

@@ -128,6 +128,15 @@ class PAG:
         except KeyError:
             raise IRError(f"no PAG node for local {name!r} in {method_qname}") from None
 
+    def find_global(self, class_name, field):
+        """Lookup-only variant of :meth:`global_var`; raises if absent."""
+        try:
+            return self._globals[(class_name, field)]
+        except KeyError:
+            raise IRError(
+                f"no PAG node for static field {class_name}::{field}"
+            ) from None
+
     # ------------------------------------------------------------------
     # edge insertion (deduplicating)
     # ------------------------------------------------------------------

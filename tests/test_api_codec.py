@@ -1,0 +1,341 @@
+"""Wire codec and snapshot format: adversarial decodes and round trips.
+
+Two properties anchor the wire layer:
+
+* **no traceback is reachable** — truncated JSON, wrong major version,
+  unknown kinds, missing/unknown/ill-typed fields, and corrupt
+  snapshots (including stats that disagree with the recorded entries)
+  each raise exactly one typed error;
+* **round-trip fidelity** — ``loads(dumps(store))`` preserves answers,
+  LRU recency order, capacity policy and ``CacheStats`` for every store
+  variant, over a real program's query traffic.
+"""
+
+import json
+
+import pytest
+
+from repro import (
+    CachePolicy,
+    DynSum,
+    EnginePolicy,
+    PointsToEngine,
+    ProtocolError,
+    SnapshotError,
+    SummarySnapshot,
+    build_pag,
+    parse_program,
+)
+from repro.api import (
+    PROTOCOL_VERSION,
+    AliasRequest,
+    BatchRequest,
+    InvalidateRequest,
+    QueryRequest,
+    QueryResponse,
+    StatsRequest,
+    WireObject,
+    WireVerdict,
+    decode_request,
+    decode_response,
+    encode,
+)
+from repro.bench.runner import bench_engine_policy
+
+from conftest import FIGURE2_SOURCE
+
+
+@pytest.fixture(scope="module")
+def pag():
+    return build_pag(parse_program(FIGURE2_SOURCE))
+
+
+# ----------------------------------------------------------------------
+# adversarial decode paths — each one a typed error, never a traceback
+# ----------------------------------------------------------------------
+class TestAdversarialDecode:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "{",
+            '{"kind":"query","method":"Main.main"',  # truncated JSON
+            "\x00\x01",
+            "null",
+        ],
+    )
+    def test_malformed_or_non_object_json(self, text):
+        with pytest.raises(ProtocolError) as info:
+            decode_request(text)
+        assert info.value.code in ("malformed-json", "invalid-request")
+
+    def test_pathological_nesting_is_malformed_not_a_crash(self):
+        depth = 100_000
+        with pytest.raises(ProtocolError) as info:
+            decode_request("[" * depth + "]" * depth)
+        assert info.value.code == "malformed-json"
+        with pytest.raises(SnapshotError):
+            SummarySnapshot.loads("[" * depth + "]" * depth)
+
+    def test_wrong_major_version_rejected(self):
+        line = '{"kind":"stats","protocol_version":"2.0"}'
+        with pytest.raises(ProtocolError) as info:
+            decode_request(line)
+        assert info.value.code == "unsupported-version"
+
+    def test_minor_version_drift_accepted(self):
+        request = decode_request('{"kind":"stats","protocol_version":"1.9"}')
+        assert isinstance(request, StatsRequest)
+
+    @pytest.mark.parametrize(
+        "version", ["", "one.zero", "1", "1.2.3", 7, None, [1, 0]]
+    )
+    def test_junk_version_rejected(self, version):
+        payload = {"kind": "stats", "protocol_version": version}
+        with pytest.raises(ProtocolError) as info:
+            decode_request(json.dumps(payload))
+        assert info.value.code == "invalid-request"
+
+    def test_unknown_kind(self):
+        with pytest.raises(ProtocolError) as info:
+            decode_request('{"kind":"frobnicate","protocol_version":"1.0"}')
+        assert info.value.code == "unknown-kind"
+
+    def test_missing_kind_and_missing_version(self):
+        with pytest.raises(ProtocolError):
+            decode_request('{"protocol_version":"1.0"}')
+        with pytest.raises(ProtocolError):
+            decode_request('{"kind":"stats"}')
+
+    def test_missing_required_field(self):
+        line = '{"kind":"query","method":"Main.main","protocol_version":"1.0"}'
+        with pytest.raises(ProtocolError) as info:
+            decode_request(line)
+        assert info.value.code == "invalid-request"
+        assert "var" in str(info.value)
+
+    def test_unknown_field_rejected(self):
+        line = (
+            '{"kind":"query","method":"M.m","var":"v","shoes":2,'
+            '"protocol_version":"1.0"}'
+        )
+        with pytest.raises(ProtocolError) as info:
+            decode_request(line)
+        assert "shoes" in str(info.value)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("method", 7),
+            ("var", None),
+            ("context", "c1"),
+            ("context", ["not-an-int"]),
+            ("context", [True]),
+            ("client", 3),
+            ("payload", [1]),
+        ],
+    )
+    def test_ill_typed_fields_rejected(self, field, value):
+        payload = {
+            "kind": "query",
+            "method": "M.m",
+            "var": "v",
+            "protocol_version": PROTOCOL_VERSION,
+        }
+        payload[field] = value
+        with pytest.raises(ProtocolError) as info:
+            decode_request(json.dumps(payload))
+        assert info.value.code == "invalid-request"
+        assert field in str(info.value)
+
+    def test_nested_batch_queries_validated(self):
+        payload = {
+            "kind": "batch",
+            "queries": [{"method": "M.m"}],  # missing var
+            "protocol_version": PROTOCOL_VERSION,
+        }
+        with pytest.raises(ProtocolError) as info:
+            decode_request(json.dumps(payload))
+        assert "queries[0]" in str(info.value)
+
+
+# ----------------------------------------------------------------------
+# request/response round trips through canonical JSON
+# ----------------------------------------------------------------------
+class TestCanonicalRoundTrip:
+    REQUESTS = [
+        QueryRequest("Main.main", "s1"),
+        QueryRequest("Main.main", "s1", context=(3, 1), client="SafeCast",
+                     payload=("String",)),
+        BatchRequest(queries=(QueryRequest("A.m", "x"), QueryRequest("B.n", "y")),
+                     dedupe=False, reorder=None),
+        AliasRequest("A.m", "x", "B.n", "y", context1=(2,)),
+        InvalidateRequest("Vector.get"),
+        StatsRequest(),
+    ]
+
+    @pytest.mark.parametrize("request_obj", REQUESTS, ids=lambda r: type(r).__name__)
+    def test_request_round_trip(self, request_obj):
+        line = encode(request_obj)
+        assert decode_request(line) == request_obj
+        # Canonical form: re-encoding the decode is byte-identical.
+        assert encode(decode_request(line)) == line
+
+    def test_encoding_is_canonical(self):
+        line = encode(StatsRequest())
+        payload = json.loads(line)
+        assert list(payload) == sorted(payload)
+        assert " " not in line
+
+    def test_response_round_trip(self):
+        response = QueryResponse(
+            objects=(
+                WireObject(id="o1", class_name="Vector", contexts=((1, 2), ())),
+            ),
+            complete=True,
+            steps=42,
+            verdict=WireVerdict(client="SafeCast", status="safe"),
+        )
+        assert decode_response(encode(response)) == response
+
+
+# ----------------------------------------------------------------------
+# snapshot: adversarial loads
+# ----------------------------------------------------------------------
+def _snapshot_payload(pag):
+    engine = PointsToEngine(pag, bench_engine_policy())
+    engine.query_name("Main.main", "s1")
+    engine.query_name("Main.main", "s2")
+    return SummarySnapshot.capture(engine.cache).to_payload()
+
+
+class TestAdversarialSnapshot:
+    def test_truncated_json(self):
+        with pytest.raises(SnapshotError):
+            SummarySnapshot.loads('{"kind":"summary-snapshot"')
+
+    def test_wrong_payload_kind(self):
+        with pytest.raises(SnapshotError):
+            SummarySnapshot.from_payload({"kind": "query"})
+
+    @pytest.mark.parametrize("version", ["2.0", "x.y", "", None, "1"])
+    def test_unsupported_snapshot_version(self, pag, version):
+        payload = _snapshot_payload(pag)
+        payload["snapshot_version"] = version
+        with pytest.raises(SnapshotError):
+            SummarySnapshot.from_payload(payload)
+
+    def test_stats_disagreeing_with_entries_entries(self, pag):
+        payload = _snapshot_payload(pag)
+        payload["stats"]["entries"] += 1
+        with pytest.raises(SnapshotError) as info:
+            SummarySnapshot.from_payload(payload)
+        assert "disagree" in str(info.value)
+
+    def test_stats_disagreeing_with_entries_facts(self, pag):
+        payload = _snapshot_payload(pag)
+        payload["stats"]["facts"] -= 1
+        with pytest.raises(SnapshotError) as info:
+            SummarySnapshot.from_payload(payload)
+        assert "disagree" in str(info.value)
+
+    def test_unknown_store_kind(self, pag):
+        payload = _snapshot_payload(pag)
+        payload["store"] = "quantum"
+        with pytest.raises(SnapshotError):
+            SummarySnapshot.from_payload(payload)
+
+    def test_ill_typed_stats_block(self, pag):
+        payload = _snapshot_payload(pag)
+        payload["stats"]["hits"] = "many"
+        with pytest.raises(SnapshotError):
+            SummarySnapshot.from_payload(payload)
+
+    def test_damaged_entry(self, pag):
+        payload = _snapshot_payload(pag)
+        payload["entries"][0]["state"] = 9
+        with pytest.raises(SnapshotError):
+            SummarySnapshot.from_payload(payload)
+        payload = _snapshot_payload(pag)
+        del payload["entries"][0]["node"]
+        with pytest.raises(SnapshotError):
+            SummarySnapshot.from_payload(payload)
+
+    def test_sharded_needs_reconciling_shard_stats(self, pag):
+        engine = PointsToEngine(
+            pag, bench_engine_policy(cache=CachePolicy(shards=4))
+        )
+        engine.query_name("Main.main", "s1")
+        payload = SummarySnapshot.capture(engine.cache).to_payload()
+        del payload["shard_stats"]
+        with pytest.raises(SnapshotError):
+            SummarySnapshot.from_payload(payload)
+        payload = SummarySnapshot.capture(engine.cache).to_payload()
+        payload["shard_stats"][0]["hits"] += 1
+        with pytest.raises(SnapshotError) as info:
+            SummarySnapshot.from_payload(payload)
+        assert "reconcile" in str(info.value)
+
+    def test_strict_restore_rejects_foreign_program(self, pag):
+        snapshot = SummarySnapshot.from_payload(_snapshot_payload(pag))
+        other = build_pag(
+            parse_program(
+                "class W { }\n"
+                "class Main { static method main() { a = new W; } }"
+            )
+        )
+        with pytest.raises(SnapshotError):
+            snapshot.restore(other, strict=True)
+        # Non-strict restore skips instead, and skipping is total here.
+        store = snapshot.restore(other, strict=False)
+        assert len(store) == 0
+
+
+# ----------------------------------------------------------------------
+# snapshot: the round-trip property over every store variant
+# ----------------------------------------------------------------------
+STORE_POLICIES = {
+    "unbounded": CachePolicy(),
+    "bounded": CachePolicy(max_entries=12),
+    "sharded": CachePolicy(shards=4),
+    "sharded-bounded": CachePolicy(shards=4, max_entries=12),
+}
+
+
+@pytest.mark.parametrize("policy_name", sorted(STORE_POLICIES))
+def test_snapshot_round_trip_preserves_everything(pag, policy_name):
+    """``loads(dumps(store))`` preserves answers, recency order, policy
+    and stats for every store variant, after real query traffic."""
+    engine = PointsToEngine(
+        pag, bench_engine_policy(cache=STORE_POLICIES[policy_name])
+    )
+    for var in ("s1", "s2", "v1", "c2", "s1"):
+        engine.query_name("Main.main", var)
+    store = engine.cache
+    restored = SummarySnapshot.loads(
+        SummarySnapshot.capture(store).dumps()
+    ).restore(pag)
+
+    assert type(restored) is type(store)
+    assert restored.stats_snapshot() == store.stats_snapshot()
+    original = list(store.entries_by_recency(hottest_first=True))
+    round_tripped = list(restored.entries_by_recency(hottest_first=True))
+    assert [key for key, _ in round_tripped] == [key for key, _ in original]
+    for (_, a), (_, b) in zip(original, round_tripped):
+        assert a.objects == b.objects
+        assert a.boundaries == b.boundaries
+    if hasattr(store, "shard_snapshots"):
+        assert restored.shard_snapshots() == store.shard_snapshots()
+
+    # Answers are preserved: a fresh DYNSUM over the restored store
+    # answers identically to one over the original store — and entirely
+    # from warm summaries (no new entries).
+    config = engine.analysis.config
+    warm = DynSum(pag, config, cache=restored)
+    cold = DynSum(pag, config, cache=store.spawn())
+    for var in ("s1", "s2", "v1", "c2"):
+        warm_result = warm.points_to_name("Main.main", var)
+        cold_result = cold.points_to_name("Main.main", var)
+        assert warm_result.pairs == cold_result.pairs
+        assert warm_result.complete == cold_result.complete
+        assert warm_result.steps <= cold_result.steps

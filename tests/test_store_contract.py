@@ -1,0 +1,204 @@
+"""One shared battery for every summary-store class.
+
+The engine treats :class:`SummaryCache`, :class:`BoundedSummaryCache`
+and :class:`ShardedSummaryCache` as interchangeable implementations of
+one contract — ``lookup``/``store``/``spawn``/``invalidate_method``/
+``entries_by_recency``/``stats_snapshot`` with exactly reconciling
+accounting.  This suite runs the same battery against all of them
+(plus the bounded-sharded combination), so the sharded mirror surface
+can never silently drift from :class:`SummaryStore` again: a method
+added to the base contract fails here until every store grows it.
+"""
+
+import pytest
+
+from repro import BoundedSummaryCache, ShardedSummaryCache, SummaryCache
+from repro.analysis.ppta import PptaResult
+from repro.analysis.summaries import SummaryStore
+from repro.cfl.rsm import S1, S2
+from repro.cfl.stacks import EMPTY_STACK
+from repro.pag.nodes import LocalNode, ObjectNode
+
+#: name -> (factory, is_lru): caps are generous enough that the battery
+#: never evicts, so accounting assertions hold for every variant alike.
+STORE_VARIANTS = {
+    "unbounded": (lambda: SummaryCache(), False),
+    "bounded": (lambda: BoundedSummaryCache(max_entries=64, max_facts=4096), True),
+    "sharded": (lambda: ShardedSummaryCache(shards=4), False),
+    "sharded-bounded": (
+        lambda: ShardedSummaryCache(shards=4, max_entries=64, max_facts=4096),
+        True,
+    ),
+}
+
+
+@pytest.fixture(params=sorted(STORE_VARIANTS), ids=sorted(STORE_VARIANTS))
+def variant(request):
+    factory, is_lru = STORE_VARIANTS[request.param]
+    return factory(), is_lru
+
+
+def node(method="C.m", name="x"):
+    return LocalNode(method, name)
+
+
+def obj(i=0, method="C.m"):
+    return ObjectNode(f"o{i}", "Thing", method)
+
+
+def summary(n_objects=1, n_boundaries=0, method="C.m"):
+    return PptaResult(
+        tuple(obj(i, method) for i in range(n_objects)),
+        tuple(
+            (node(method, f"b{i}"), EMPTY_STACK, S2) for i in range(n_boundaries)
+        ),
+    )
+
+
+class TestContract:
+    def test_lookup_miss_then_hit(self, variant):
+        store, _lru = variant
+        key_node = node()
+        assert store.lookup(key_node, EMPTY_STACK, S1) is None
+        memo = summary()
+        store.store(key_node, EMPTY_STACK, S1, memo)
+        assert store.lookup(key_node, EMPTY_STACK, S1) is memo
+        assert (store.hits, store.misses) == (1, 1)
+        assert (key_node, EMPTY_STACK, S1) in store
+        assert len(store) == 1
+
+    def test_duplicate_store_keeps_entry_and_accounting(self, variant):
+        store, _lru = variant
+        key_node = node()
+        memo = summary(n_objects=3)
+        store.store(key_node, EMPTY_STACK, S1, memo)
+        store.store(key_node, EMPTY_STACK, S1, summary(n_objects=3))
+        assert len(store) == 1
+        assert store.total_facts() == 3
+        assert store.lookup(key_node, EMPTY_STACK, S1) is memo
+
+    def test_spawn_is_empty_with_same_policy(self, variant):
+        store, _lru = variant
+        store.store(node(), EMPTY_STACK, S1, summary())
+        clone = store.spawn()
+        assert type(clone) is type(store)
+        assert len(clone) == 0
+        assert clone.max_entries == store.max_entries
+        assert clone.max_facts == store.max_facts
+        assert clone.concurrent_safe == store.concurrent_safe
+        if isinstance(store, ShardedSummaryCache):
+            assert clone.n_shards == store.n_shards
+
+    def test_invalidate_method_drops_exactly_its_keys(self, variant):
+        store, _lru = variant
+        for i in range(3):
+            store.store(node("A.m", f"v{i}"), EMPTY_STACK, S1, summary(method="A.m"))
+        survivor = node("B.n", "z")
+        store.store(survivor, EMPTY_STACK, S2, summary(method="B.n"))
+        assert store.invalidate_method("A.m") == 3
+        assert store.invalidated == 3
+        assert len(store) == 1
+        assert (survivor, EMPTY_STACK, S2) in store
+        assert store.invalidate_method("A.m") == 0
+        # Dropped keys miss again (and recompute can be re-stored).
+        assert store.lookup(node("A.m", "v0"), EMPTY_STACK, S1) is None
+
+    def test_entries_by_recency_lists_everything_both_ways(self, variant):
+        store, _lru = variant
+        nodes = [node("A.m", f"v{i}") for i in range(5)]
+        for key_node in nodes:
+            store.store(key_node, EMPTY_STACK, S1, summary(method="A.m"))
+        coldest = [key for key, _ in store.entries_by_recency(hottest_first=False)]
+        hottest = [key for key, _ in store.entries_by_recency(hottest_first=True)]
+        assert len(coldest) == len(hottest) == len(store) == 5
+        assert set(coldest) == set(hottest)
+        # All keys share one method, hence (for sharded stores) one
+        # shard, so the two directions are exact mirrors.
+        assert hottest == list(reversed(coldest))
+
+    def test_lru_recency_follows_lookups(self, variant):
+        store, is_lru = variant
+        nodes = [node("A.m", f"v{i}") for i in range(3)]
+        for key_node in nodes:
+            store.store(key_node, EMPTY_STACK, S1, summary(method="A.m"))
+        store.lookup(nodes[0], EMPTY_STACK, S1)
+        hottest = [key for key, _ in store.entries_by_recency(hottest_first=True)]
+        if is_lru:
+            assert hottest[0] == (nodes[0], EMPTY_STACK, S1)
+        else:
+            # Documented fallback: insertion order stands in for recency.
+            assert hottest[0] == (nodes[2], EMPTY_STACK, S1)
+
+    def test_promote_refreshes_recency_without_probes(self, variant):
+        store, is_lru = variant
+        nodes = [node("A.m", f"v{i}") for i in range(3)]
+        for key_node in nodes:
+            store.store(key_node, EMPTY_STACK, S1, summary(method="A.m"))
+        probes_before = (store.hits, store.misses)
+        store.promote((nodes[0], EMPTY_STACK, S1))
+        assert (store.hits, store.misses) == probes_before
+        if is_lru:
+            hottest = next(iter(store.entries_by_recency(hottest_first=True)))[0]
+            assert hottest == (nodes[0], EMPTY_STACK, S1)
+
+    def test_stats_snapshot_reconciles(self, variant):
+        store, _lru = variant
+        for i in range(4):
+            store.store(
+                node("A.m", f"v{i}"), EMPTY_STACK, S1,
+                summary(n_objects=2, n_boundaries=1, method="A.m"),
+            )
+        store.store(node("B.n", "w"), EMPTY_STACK, S2, summary(method="B.n"))
+        for probe in ("v0", "v1", "nope"):
+            store.lookup(node("A.m", probe), EMPTY_STACK, S1)
+        store.invalidate_method("B.n")
+        snap = store.stats_snapshot()
+        assert snap.entries == len(store)
+        assert snap.facts == store.total_facts()
+        assert snap.facts == sum(s.size for _key, s in store.entries())
+        assert snap.hits + snap.misses == snap.probes == 3
+        assert snap.hit_rate == snap.hits / snap.probes
+        assert snap.invalidated == 1
+        assert snap.approx_bytes == store.approx_bytes()
+        assert snap.max_entries == store.max_entries
+        assert snap.max_facts == store.max_facts
+        assert snap.bounded == (
+            store.max_entries is not None or store.max_facts is not None
+        )
+
+    def test_clear_resets_everything(self, variant):
+        store, _lru = variant
+        store.store(node(), EMPTY_STACK, S1, summary())
+        store.lookup(node(), EMPTY_STACK, S1)
+        store.clear()
+        snap = store.stats_snapshot()
+        assert len(store) == 0
+        assert (snap.entries, snap.facts, snap.hits, snap.misses) == (0, 0, 0, 0)
+        assert store.summary_point_count() == 0
+
+    def test_restore_counters_round_trips_accounting(self, variant):
+        store, _lru = variant
+        store.store(node("A.m", "v"), EMPTY_STACK, S1, summary(method="A.m"))
+        store.lookup(node("A.m", "v"), EMPTY_STACK, S1)
+        store.lookup(node("A.m", "w"), EMPTY_STACK, S1)
+        clone = store.spawn()
+        for (key_node, stack, state), memo in store.entries_by_recency(
+            hottest_first=False
+        ):
+            clone.store(key_node, stack, state, memo)
+        if isinstance(store, ShardedSummaryCache):
+            clone.restore_counters(store.shard_snapshots())
+        else:
+            clone.restore_counters(store.stats_snapshot())
+        assert clone.stats_snapshot() == store.stats_snapshot()
+
+
+def test_sharded_mirrors_the_summary_store_surface():
+    """Every public attribute of the base contract must exist on the
+    sharded mirror — the drift guard this suite is named for."""
+    mirror = ShardedSummaryCache(shards=2)
+    public = [name for name in vars(SummaryStore) if not name.startswith("_")]
+    public += ["__len__", "__contains__", "hits", "misses", "evictions",
+               "invalidated", "stats_snapshot"]
+    missing = [name for name in public if not hasattr(mirror, name)]
+    assert not missing, f"ShardedSummaryCache lacks {missing}"
