@@ -1,0 +1,145 @@
+"""Shared cache service — multi-process warm-client step reduction.
+
+The deployment protocol of the process-level cache service: for each
+Figure-4 benchmark, a 2-shard server cluster is spawned (real
+processes, via ``python -m repro.cacheserver --serve-shard``) and two
+analysis *processes* replay the SafeCast paper-protocol workload
+(``python -m repro.cacheserver.workload``) against it:
+
+* **cold** — first client: empty service, every summary computed
+  locally and published (write-through);
+* **warm** — second client: fresh process, empty local tier, warm
+  service — summaries arrive over the socket instead of being
+  recomputed.
+
+Asserted per benchmark: all clients' answers are element-wise identical
+to a single-process engine's (the canonical-results digest), the warm
+client saw zero remote errors, and the warm client completed in
+**< 75 %** of the cold client's steps — the acceptance bar of the
+shared-cache milestone.  Reported: steps, step ratio, remote hit/store
+traffic, and wall time per client.
+
+Set ``REPRO_WRITE_BASELINE=1`` to (re)write ``BENCH_shared.json``.
+Wall-clock fields vary by host; the committed baseline records the
+deterministic step comparison and service traffic, not timings.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.bench.runner import bench_engine_policy
+from repro.bench.suite import load_benchmark
+from repro.cacheserver.server import CacheCluster
+from repro.cacheserver.workload import canonical_results, results_digest
+from repro.clients import SafeCastClient
+from repro.engine import PointsToEngine
+
+from conftest import FIGURE_BENCHMARKS, SCALE
+
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_shared.json"
+
+_ROWS = []
+
+
+def _run_client_process(addresses, name):
+    env = dict(os.environ)
+    src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    started = time.perf_counter()
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cacheserver.workload",
+            "--benchmark", name, "--scale", str(SCALE),
+            "--client", "SafeCast", "--remote", ",".join(addresses),
+        ],
+        capture_output=True, text=True, env=env, timeout=580,
+    )
+    elapsed = time.perf_counter() - started
+    assert proc.returncode == 0, proc.stderr
+    report = json.loads(proc.stdout)
+    report["time_sec"] = elapsed
+    return report
+
+
+@pytest.mark.parametrize("name", FIGURE_BENCHMARKS)
+def test_shared_cache_warm_client(benchmark, figure_instances, name):
+    instance = figure_instances[name]
+    client = SafeCastClient(instance.pag)
+    engine = PointsToEngine(instance.pag, bench_engine_policy())
+    _verdicts, batch = client.run_engine(engine, dedupe=False, reorder=False)
+    single_digest = results_digest(canonical_results(batch.results))
+
+    def deployment():
+        with CacheCluster.spawn(shards=2) as cluster:
+            cold = _run_client_process(cluster.addresses, name)
+            warm = _run_client_process(cluster.addresses, name)
+        assert not any(cluster.alive())
+        return cold, warm
+
+    cold, warm = benchmark.pedantic(deployment, rounds=1, iterations=1)
+
+    # Element-wise identity across the process boundary, both clients.
+    assert cold["digest"] == single_digest
+    assert warm["digest"] == single_digest
+    assert warm["remote"]["remote_errors"] == 0
+    assert warm["remote"]["remote_hits"] > 0
+    # The acceptance bar: a warm second client rides the service.
+    assert warm["steps"][0] < 0.75 * cold["steps"][0]
+
+    _ROWS.append(
+        {
+            "benchmark": name,
+            "client": "SafeCast",
+            "n_queries": cold["n_queries"],
+            "shards": 2,
+            "cold": {
+                "steps": cold["steps"][0],
+                "time_sec": cold["time_sec"],
+                "stores": cold["remote"]["stores"],
+            },
+            "warm": {
+                "steps": warm["steps"][0],
+                "time_sec": warm["time_sec"],
+                "remote_hits": warm["remote"]["remote_hits"],
+                "remote_misses": warm["remote"]["remote_misses"],
+            },
+            "step_ratio": round(warm["steps"][0] / cold["steps"][0], 4),
+        }
+    )
+
+
+def test_print_shared_cache(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _ROWS:
+        pytest.skip("series did not run")
+    header = (
+        f"{'benchmark':10s} {'queries':>7s} {'cold steps':>10s} "
+        f"{'warm steps':>10s} {'ratio':>6s} {'remote hits':>11s} "
+        f"{'published':>9s}"
+    )
+    print("\n\nShared cache service — 2 shard processes, 2 client processes")
+    print(header)
+    print("-" * len(header))
+    for row in _ROWS:
+        print(
+            f"{row['benchmark']:10s} {row['n_queries']:>7d} "
+            f"{row['cold']['steps']:>10d} {row['warm']['steps']:>10d} "
+            f"{row['step_ratio']:>6.2f} {row['warm']['remote_hits']:>11d} "
+            f"{row['cold']['stores']:>9d}"
+        )
+    if os.environ.get("REPRO_WRITE_BASELINE"):
+        payload = {
+            "protocol": "bench_shared_cache",
+            "scale": SCALE,
+            "rows": _ROWS,
+        }
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote baseline {BASELINE_PATH}")

@@ -16,7 +16,11 @@ The library implements the full stack the paper sits on:
   sessions;
 * the versioned wire API over the engine (:mod:`repro.api`):
   serializable queries/results, summary-store snapshots with engine
-  warm start, and the ``repro-serve`` JSON-lines service.
+  warm start, and the ``repro-serve`` JSON-lines service;
+* the process-level shared cache service (:mod:`repro.cacheserver`):
+  shard-server processes serving summaries to many analysis processes
+  behind the ``SummaryBackend`` store seam, with the ``repro-cached``
+  launcher (engines opt in via ``CachePolicy(remote=...)``).
 
 Quickstart::
 
@@ -49,7 +53,9 @@ from repro.analysis import (
 from repro.analysis.summaries import (
     BoundedSummaryCache,
     CacheStats,
+    CostAwareSummaryCache,
     ShardedSummaryCache,
+    SummaryBackend,
     SummaryStore,
 )
 from repro.api import (
@@ -84,7 +90,7 @@ from repro.clients import (
 from repro.ir import ProgramBuilder, parse_program, pretty_print
 from repro.pag import PAG, build_pag, compute_statistics
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ALL_CLIENTS",
@@ -97,6 +103,7 @@ __all__ = [
     "BoundedSummaryCache",
     "CachePolicy",
     "CacheStats",
+    "CostAwareSummaryCache",
     "CallGraph",
     "ContextInsensitivePta",
     "DynSum",
@@ -126,6 +133,7 @@ __all__ = [
     "SnapshotError",
     "StaSum",
     "Stack",
+    "SummaryBackend",
     "SummaryCache",
     "SummarySnapshot",
     "SummaryStore",

@@ -35,6 +35,9 @@ from repro.analysis.stasum import StaSum
 from repro.analysis.summaries import (
     BoundedSummaryCache,
     CacheStats,
+    CostAwareSummaryCache,
+    ShardedSummaryCache,
+    SummaryBackend,
     SummaryCache,
     SummaryStore,
 )
@@ -45,6 +48,7 @@ __all__ = [
     "AnalysisConfig",
     "BoundedSummaryCache",
     "CacheStats",
+    "CostAwareSummaryCache",
     "EditReport",
     "IncrementalAnalysisSession",
     "ContextInsensitivePta",
@@ -58,6 +62,8 @@ __all__ = [
     "StaSum",
     "TraceStep",
     "format_trace",
+    "ShardedSummaryCache",
+    "SummaryBackend",
     "SummaryCache",
     "SummaryStore",
     "run_ppta",

@@ -58,6 +58,11 @@ class DynSum(DemandPointsToAnalysis):
         #: The cross-query summary cache; share one instance between
         #: analyses to model a long-running host process.
         self.cache = cache if cache is not None else SummaryCache()
+        # Backends that resolve wire-form entries (the remote store of
+        # repro.cacheserver) need the PAG; local backends ignore this.
+        bind = getattr(self.cache, "bind_pag", None)
+        if bind is not None:
+            bind(self.pag)
         #: Optional observer called with (event, **data) at worklist pops
         #: and summary hits/misses — the hook behind
         #: :mod:`repro.analysis.trace`'s Table 1-style traces.

@@ -141,6 +141,20 @@ class IncrementalAnalysisSession:
         new_cache = old_cache.spawn()
         stored_keys = []
         dropped = 0
+        # Invalidate the stale methods *through* the store, not just by
+        # skipping them during migration: a backend shared beyond this
+        # process (repro.cacheserver's remote store) must tell the owning
+        # shard server, or other clients would keep fetching summaries of
+        # the pre-edit body.  For local stores this is the same drop the
+        # skip performed, with identical accounting.
+        for qname in sorted(drop):
+            dropped += old_cache.invalidate_method(qname)
+        # Migration writes land in the process-local store only: for a
+        # remote-backed cache that is the read-through tier — every
+        # surviving summary was already published when first computed,
+        # so write-through here would pay one blocking round-trip per
+        # entry to re-store what the shard servers already hold.
+        migration_target = getattr(new_cache, "local_tier", new_cache)
         # Hottest-first: when the spawn is capacity-bounded, the most
         # recently useful summaries claim the room and the cold tail is
         # skipped outright (`has_room`) instead of being stored and then
@@ -148,9 +162,9 @@ class IncrementalAnalysisSession:
         for (node, stack, state), summary in old_cache.entries_by_recency(
             hottest_first=True
         ):
-            if node.method in drop:
-                dropped += 1
-                continue
+            # Entries of dropped methods are already gone: the
+            # invalidation loop above removed them from old_cache (and
+            # counted them) before this iteration started.
             moved = self._migrate_entry(new_pag, node, stack, state, summary)
             if moved is None:
                 dropped += 1
@@ -159,7 +173,7 @@ class IncrementalAnalysisSession:
             if not new_cache.has_room(new_node, new_summary.size):
                 dropped += 1
                 continue
-            new_cache.store(new_node, stack, state, new_summary)
+            migration_target.store(new_node, stack, state, new_summary)
             stored_keys.append((new_node, stack, state))
         # Hottest-first insertion leaves recency inverted in the new
         # store; promote coldest-to-hottest so LRU order matches reality.
@@ -213,7 +227,7 @@ class IncrementalAnalysisSession:
             if moved is None:
                 return None
             boundaries.append((moved, bstack, bstate))
-        return new_node, PptaResult(objects, boundaries)
+        return new_node, PptaResult(objects, boundaries, steps=summary.steps)
 
     @staticmethod
     def _find_node(new_pag, node):

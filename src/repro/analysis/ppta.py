@@ -38,13 +38,20 @@ class PptaResult:
     through local edges alone (context-independent, so valid anywhere).
     ``boundaries`` — ``(node, field_stack, state)`` tuples at which the
     exploration hit the method boundary.
+    ``steps`` — traversal steps the PPTA charged to build this summary:
+    the recomputation cost a cache saves on a hit, which is what
+    cost-aware eviction (:class:`~repro.analysis.summaries
+    .CostAwareSummaryCache`) ranks victims by.  Zero for synthesized
+    results (trivial boundaries, legacy snapshots) — unknown cost is
+    assumed cheap.
     """
 
-    __slots__ = ("objects", "boundaries")
+    __slots__ = ("objects", "boundaries", "steps")
 
-    def __init__(self, objects, boundaries):
+    def __init__(self, objects, boundaries, steps=0):
         self.objects = tuple(objects)
         self.boundaries = tuple(boundaries)
+        self.steps = steps
 
     @property
     def size(self):
@@ -70,6 +77,7 @@ def run_ppta(pag, node, field_stack, state, budget, max_field_depth=None):
     visited = {start}
     stack = [start]
     push_limit = max_field_depth
+    steps_before = budget.steps
 
     while stack:
         v, f, s = stack.pop()
@@ -78,7 +86,11 @@ def run_ppta(pag, node, field_stack, state, budget, max_field_depth=None):
             _expand_s1(pag, v, f, objects, boundaries, visited, stack, push_limit, budget)
         else:
             _expand_s2(pag, v, f, boundaries, visited, stack, push_limit, budget)
-    return PptaResult(sorted(objects, key=_object_order), sorted(boundaries, key=_boundary_order))
+    return PptaResult(
+        sorted(objects, key=_object_order),
+        sorted(boundaries, key=_boundary_order),
+        steps=budget.steps - steps_before,
+    )
 
 
 def _object_order(obj):

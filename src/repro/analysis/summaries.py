@@ -1,11 +1,14 @@
-"""The DYNSUM summary cache (Algorithm 4's ``Cache``) — now a pluggable store.
+"""The DYNSUM summary cache (Algorithm 4's ``Cache``) — a backend-pluggable store layer.
 
 Maps ``(node, field-stack, state)`` triples — deliberately **without** any
 calling context — to completed :class:`~repro.analysis.ppta.PptaResult`
 summaries.  Context-independence is the paper's key idea: the same local
 summary serves every calling context of the method, and every later query.
 
-Three implementations share one contract (:class:`SummaryStore`):
+Every store is a **backend** behind one explicit contract,
+:class:`SummaryBackend` — the seam the engine, the incremental session,
+the snapshot layer and the process-level cache service all program
+against.  Four local backends ship here:
 
 * :class:`SummaryCache` — the unbounded store of the paper's experiments
   (queries stop at a few thousand, so the cache never needs a ceiling);
@@ -14,19 +17,31 @@ Three implementations share one contract (:class:`SummaryStore`):
   is open-ended and memory is not.  Capacity can be capped by entry count
   and/or by total summary facts (a proxy for bytes; see
   :meth:`SummaryStore.approx_bytes`);
+* :class:`CostAwareSummaryCache` — the same ceilings, but the victim is
+  chosen by **recomputation value**: the entry with the lowest
+  steps-to-recompute per byte of memory freed goes first (summaries
+  record the PPTA steps that built them), so one giant cheap summary can
+  no longer push out many expensive small ones the way pure LRU lets it;
 * :class:`ShardedSummaryCache` — N independent shards, partitioned by
   the key node's **method** (the invalidation granularity), each with
-  its own lock, so parallel traversals, LRU eviction and
+  its own lock, so parallel traversals, eviction and
   ``invalidate_method`` never contend on one global structure.  This is
   the store the engine's :class:`~repro.engine.executor.ParallelExecutor`
-  requires.
+  requires, and the partition (:func:`shard_for_method`, CRC-32) that the
+  multi-process cache service inherits unchanged.
+
+A fifth backend lives out of tree:
+:class:`repro.cacheserver.client.RemoteSummaryCache` speaks the same
+contract but forwards traffic to shard-server *processes*, with a local
+read-through tier — the engine cannot tell the difference, which is the
+point of the seam.
 
 Eviction is always *safe*: a summary is a pure memo of ``DSPOINTSTO``, so
 dropping one never changes any answer — only the cost of recomputing it.
 The same holds for :meth:`SummaryStore.invalidate_method`, the operation
 an IDE/JIT host uses when code is edited: method-granular invalidation
-and LRU eviction compose freely because both merely forget memos (the
-test suite checks both properties).
+and capacity eviction compose freely because both merely forget memos
+(the test suite checks both properties).
 """
 
 import threading
@@ -76,26 +91,119 @@ class CacheStats:
         return self.max_entries is not None or self.max_facts is not None
 
 
-class SummaryStore:
-    """Shared contract and bookkeeping of every summary store.
+class SummaryBackend:
+    """The explicit store contract — every summary backend implements this.
 
-    Subclasses choose the container (:meth:`_make_container`) and the
-    capacity policy (:meth:`_touch` / :meth:`_enforce_capacity`); all the
-    accounting — hit/miss counts, per-method index, fact totals,
-    eviction and invalidation counters — lives here so stores stay
-    interchangeable behind :class:`~repro.analysis.dynsum.DynSum` and the
-    engine layer.
+    The engine layer (:class:`~repro.engine.core.PointsToEngine`), the
+    incremental session, the snapshot codec and the cache service client
+    only ever call what is declared here, so a backend can be an
+    in-process dict, a sharded locked store, or a stub forwarding to
+    shard-server processes without any caller changing.
+
+    The contract splits into:
+
+    * **the cache protocol** — :meth:`lookup`, :meth:`store`,
+      :meth:`invalidate_method`, :meth:`clear` (Algorithm 4's surface
+      plus the IDE edit hook);
+    * **capacity cooperation** — :meth:`has_room`, :meth:`promote`,
+      :meth:`spawn` (what summary migration after an edit needs);
+    * **introspection** — :meth:`entries`, :meth:`entries_by_recency`,
+      ``len()``, ``in``, :meth:`summary_point_count`,
+      :meth:`total_facts`, :meth:`approx_bytes`, :meth:`stats_snapshot`,
+      :meth:`restore_counters`;
+    * **environment hooks** — :meth:`bind_pag`, called when the backend
+      is attached to an analysis.  Local backends ignore it; a remote
+      backend needs the PAG to resolve wire entries back to nodes.
+
+    ``concurrent_safe`` declares whether the backend tolerates concurrent
+    ``lookup``/``store``/``invalidate_method`` calls from multiple
+    threads; the engine's parallel executor refuses to fan out over one
+    that does not.  ``eviction`` names the capacity policy (``"lru"`` or
+    ``"cost"``) so snapshots can round-trip it.
     """
 
-    #: Capacity limits (``None`` = unbounded); overridden per instance by
-    #: :class:`BoundedSummaryCache`.
+    #: Capacity limits (``None`` = unbounded).
     max_entries = None
     max_facts = None
-    #: Whether the store tolerates concurrent ``lookup``/``store``/
-    #: ``invalidate_method`` calls from multiple threads.  The engine's
-    #: parallel executor refuses to fan out over a store that does not
-    #: (see :class:`ShardedSummaryCache` for one that does).
     concurrent_safe = False
+    eviction = "lru"
+
+    # -- the cache protocol -------------------------------------------
+    def lookup(self, node, field_stack, state):
+        raise NotImplementedError
+
+    def store(self, node, field_stack, state, ppta_result):
+        raise NotImplementedError
+
+    def invalidate_method(self, method_qname):
+        raise NotImplementedError
+
+    def clear(self):
+        raise NotImplementedError
+
+    # -- capacity cooperation -----------------------------------------
+    def has_room(self, node, facts=0):
+        """Would storing a ``facts``-sized summary for ``node`` fit
+        without evicting a resident entry?  Unbounded backends always
+        say yes; capacity-aware callers (summary migration after an
+        edit) use this to *skip* entries instead of churning the store."""
+        return True
+
+    def promote(self, key):
+        """Mark ``key`` most-recently-used without recording a probe."""
+
+    def spawn(self):
+        """A fresh, empty backend with the same policy (capacity,
+        sharding, remote topology)."""
+        raise NotImplementedError
+
+    # -- environment hooks --------------------------------------------
+    def bind_pag(self, pag):
+        """Attach the PAG the backend's summaries are anchored in.
+
+        Called by :class:`~repro.analysis.dynsum.DynSum` on construction
+        (and again after every incremental rebuild).  Local backends
+        store plain node objects and need nothing; a remote backend uses
+        the PAG to resolve wire-form entries it fetches from shard
+        servers.
+        """
+
+    # -- introspection -------------------------------------------------
+    def entries(self):
+        raise NotImplementedError
+
+    def entries_by_recency(self, hottest_first=True):
+        raise NotImplementedError
+
+    def __len__(self):
+        raise NotImplementedError
+
+    def summary_point_count(self):
+        raise NotImplementedError
+
+    def total_facts(self):
+        raise NotImplementedError
+
+    def approx_bytes(self):
+        raise NotImplementedError
+
+    def stats_snapshot(self):
+        raise NotImplementedError
+
+    def restore_counters(self, stats):
+        raise NotImplementedError
+
+
+class SummaryStore(SummaryBackend):
+    """Shared container and bookkeeping of the in-process backends.
+
+    Subclasses choose the container (:meth:`_make_container`) and the
+    capacity policy (:meth:`_touch` / :meth:`_enforce_capacity` /
+    :meth:`_pick_victim`); all the accounting — hit/miss counts,
+    per-method index, fact totals, eviction and invalidation counters —
+    lives here so stores stay interchangeable behind
+    :class:`~repro.analysis.dynsum.DynSum` and the engine layer.
+    """
 
     def __init__(self):
         self._entries = self._make_container()
@@ -117,13 +225,6 @@ class SummaryStore:
 
     def _enforce_capacity(self):
         """Evict until within capacity (no-op for unbounded stores)."""
-
-    def has_room(self, node, facts=0):
-        """Would storing a ``facts``-sized summary for ``node`` fit
-        without evicting a resident entry?  Unbounded stores always say
-        yes; capacity-aware callers (summary migration after an edit)
-        use this to *skip* entries instead of churning the store."""
-        return True
 
     def promote(self, key):
         """Mark ``key`` most-recently-used without recording a probe.
@@ -159,27 +260,45 @@ class SummaryStore:
         return entry
 
     def store(self, node, field_stack, state, ppta_result):
-        """Insert a completed summary.
+        """Insert a completed summary; returns True when the store's
+        contents changed (new key, or a differing summary replaced).
 
         Only fully computed summaries may be stored — a PPTA aborted by
         budget exhaustion must be discarded by the caller, mirroring the
         paper's observation that ad-hoc caches cannot hold unresolved
         points-to sets.
 
-        Re-storing a resident key keeps the existing summary (the two
-        are equal — summaries are pure memos of ``DSPOINTSTO``) but
-        *refreshes its recency*: the caller just recomputed it, which is
-        exactly the evidence an LRU policy keys eviction on.
+        Re-storing a resident key with an **equal** summary keeps the
+        existing entry (within one process the two are always equal —
+        summaries are pure memos of ``DSPOINTSTO``) but *refreshes its
+        recency*: the caller just recomputed it, which is exactly the
+        evidence an LRU policy keys eviction on.  A **differing**
+        summary replaces the resident one: that can only happen when
+        the store is fed across a program-version boundary (wire-level
+        ``store`` ops, warm starts over an edited program), and there
+        the incoming publish is the fresher truth — the same
+        self-heal rule the shard servers apply.
         """
         key = (node, field_stack, state)
-        if key in self._entries:
+        resident = self._entries.get(key)
+        if resident is not None:
+            if (
+                resident.objects == ppta_result.objects
+                and resident.boundaries == ppta_result.boundaries
+            ):
+                self._touch(key)
+                return False
+            self._facts += ppta_result.size - resident.size
+            self._entries[key] = ppta_result
             self._touch(key)
-            return
+            self._enforce_capacity()
+            return True
         self._entries[key] = ppta_result
         self._facts += ppta_result.size
         if node.method is not None:
             self._by_method.setdefault(node.method, set()).add(key)
         self._enforce_capacity()
+        return True
 
     def _remove(self, key):
         """Drop one entry and unindex it; returns the removed summary."""
@@ -350,10 +469,13 @@ class BoundedSummaryCache(SummaryStore):
             return True
         return False
 
+    def _pick_victim(self):
+        """The key to evict next — least-recently-used for this class."""
+        return next(iter(self._entries))
+
     def _enforce_capacity(self):
         while self._over_capacity() and len(self._entries) > 1:
-            oldest = next(iter(self._entries))
-            self._remove(oldest)
+            self._remove(self._pick_victim())
             self.evictions += 1
 
     def __repr__(self):
@@ -364,9 +486,93 @@ class BoundedSummaryCache(SummaryStore):
             caps.append(f"max_facts={self.max_facts}")
         cap = ", ".join(caps) or "unbounded"
         return (
-            f"BoundedSummaryCache({len(self._entries)} summaries, {cap}, "
+            f"{type(self).__name__}({len(self._entries)} summaries, {cap}, "
             f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
         )
+
+
+def entry_cost_score(summary):
+    """Steps-to-recompute per byte freed — the cost-aware eviction rank.
+
+    Summaries record the PPTA steps that built them
+    (:attr:`~repro.analysis.ppta.PptaResult.steps`); dividing by the
+    entry's share of the memory model gives "how much recomputation does
+    one reclaimed byte cost".  The *lowest* score is the best victim.
+    Entries with unknown cost (e.g. replayed from a pre-1.1 snapshot
+    that did not record steps) score 0 and go first — unknown is assumed
+    cheap.
+    """
+    entry_bytes = ENTRY_OVERHEAD_BYTES + summary.size * FACT_BYTES
+    return getattr(summary, "steps", 0) / entry_bytes
+
+
+class CostAwareSummaryCache(BoundedSummaryCache):
+    """A bounded store that weighs recomputation cost into eviction.
+
+    Same ceilings as :class:`BoundedSummaryCache`, but the victim is
+    chosen by the Greedy-Dual rule rather than recency alone: every
+    entry carries a priority ``H = L + score`` where ``score`` is its
+    :func:`entry_cost_score` (PPTA steps to recompute per byte of
+    memory freed) and ``L`` is an inflation clock; a hit refreshes the
+    entry's ``H`` against the current clock, and evicting the
+    minimum-``H`` entry advances the clock to that value.  The clock is
+    what pure cost ranking lacks: an expensive summary that stops being
+    used ages out instead of pinning the cache forever, while among
+    equally recent entries the cheap-to-recompute ones still go first.
+    With all scores equal the rule degenerates to exact LRU, so this is
+    a strict generalisation.
+
+    Victim selection is an O(entries) scan — deliberate for a baseline
+    (the ROADMAP's "smarter admission/eviction" item): the win on
+    bounded budgets comes from the rule, not the data structure.
+    """
+
+    eviction = "cost"
+
+    def __init__(self, max_entries=None, max_facts=None):
+        if max_entries is None and max_facts is None:
+            raise ValueError(
+                "eviction='cost' needs a capacity ceiling (max_entries "
+                "and/or max_facts); an unbounded store never evicts, so "
+                "the policy would be silently inert"
+            )
+        super().__init__(max_entries=max_entries, max_facts=max_facts)
+        self._clock = 0.0
+        self._priority = {}
+
+    def _touch(self, key):
+        super()._touch(key)
+        self._priority[key] = self._clock + entry_cost_score(self._entries[key])
+
+    def store(self, node, field_stack, state, ppta_result):
+        key = (node, field_stack, state)
+        if key not in self._entries:
+            # Priority must exist before _enforce_capacity can scan it.
+            self._priority[key] = self._clock + entry_cost_score(ppta_result)
+        return super().store(node, field_stack, state, ppta_result)
+
+    def _remove(self, key):
+        entry = super()._remove(key)
+        if entry is not None:
+            self._priority.pop(key, None)
+        return entry
+
+    def clear(self):
+        super().clear()
+        self._clock = 0.0
+        self._priority.clear()
+
+    def _pick_victim(self):
+        victim = None
+        victim_priority = None
+        # Iteration is coldest-first (OrderedDict recency order), so a
+        # strict `<` leaves ties with the least-recently-used entry.
+        for key in self._entries:
+            priority = self._priority[key]
+            if victim_priority is None or priority < victim_priority:
+                victim, victim_priority = key, priority
+        self._clock = victim_priority
+        return victim
 
 
 def _split_cap(total, shards):
@@ -376,6 +582,18 @@ def _split_cap(total, shards):
         return [None] * shards
     base, extra = divmod(total, shards)
     return [base + (1 if i < extra else 0) for i in range(shards)]
+
+
+#: Known capacity-eviction policies (see :class:`CostAwareSummaryCache`).
+EVICTION_POLICIES = ("lru", "cost")
+
+
+def check_eviction(eviction):
+    """Validate an eviction-policy name, returning it."""
+    if eviction not in EVICTION_POLICIES:
+        known = ", ".join(EVICTION_POLICIES)
+        raise ValueError(f"unknown eviction policy {eviction!r}; known: {known}")
+    return eviction
 
 
 def shard_for_method(method_qname, n_shards):
@@ -388,7 +606,7 @@ def shard_for_method(method_qname, n_shards):
     return zlib.crc32(str(method_qname or "").encode("utf-8")) % n_shards
 
 
-class ShardedSummaryCache:
+class ShardedSummaryCache(SummaryBackend):
     """N independent summary shards, partitioned by the key node's method.
 
     The method is the natural partition key because it is already the
@@ -416,7 +634,7 @@ class ShardedSummaryCache:
 
     concurrent_safe = True
 
-    def __init__(self, shards=4, max_entries=None, max_facts=None):
+    def __init__(self, shards=4, max_entries=None, max_facts=None, eviction="lru"):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         if max_entries is not None and max_entries < shards:
@@ -429,14 +647,23 @@ class ShardedSummaryCache:
                 f"max_facts={max_facts} cannot feed {shards} shards; "
                 "need at least one fact per shard"
             )
+        check_eviction(eviction)
+        bounded = max_entries is not None or max_facts is not None
+        if eviction == "cost" and not bounded:
+            raise ValueError(
+                "eviction='cost' needs a capacity ceiling (max_entries "
+                "and/or max_facts); unbounded shards never evict, so "
+                "the policy would be silently inert"
+            )
         self.n_shards = shards
         self.max_entries = max_entries
         self.max_facts = max_facts
-        bounded = max_entries is not None or max_facts is not None
+        self.eviction = eviction
+        shard_cls = CostAwareSummaryCache if eviction == "cost" else BoundedSummaryCache
         entry_caps = _split_cap(max_entries, shards)
         fact_caps = _split_cap(max_facts, shards)
         self._shards = tuple(
-            BoundedSummaryCache(max_entries=entry_caps[i], max_facts=fact_caps[i])
+            shard_cls(max_entries=entry_caps[i], max_facts=fact_caps[i])
             if bounded
             else SummaryCache()
             for i in range(shards)
@@ -459,6 +686,7 @@ class ShardedSummaryCache:
             shards=self.n_shards,
             max_entries=self.max_entries,
             max_facts=self.max_facts,
+            eviction=self.eviction,
         )
 
     # ------------------------------------------------------------------
@@ -472,7 +700,7 @@ class ShardedSummaryCache:
     def store(self, node, field_stack, state, ppta_result):
         shard, lock = self._slot(node)
         with lock:
-            shard.store(node, field_stack, state, ppta_result)
+            return shard.store(node, field_stack, state, ppta_result)
 
     def invalidate_method(self, method_qname):
         index = self.shard_index(method_qname)

@@ -4,8 +4,10 @@ This package is the engine's external surface — everything a process
 boundary needs to speak points-to:
 
 * :mod:`repro.api.protocol` — frozen, versioned request/response
-  dataclasses (the vocabulary: ``query``/``batch``/``alias``/
-  ``invalidate``/``stats``) and the typed error hierarchy;
+  dataclasses (the engine vocabulary ``query``/``batch``/``alias``/
+  ``invalidate``/``stats`` plus, since 1.1, the store-level ops
+  ``lookup``/``store``/``store-stats`` the cache service speaks) and
+  the typed error hierarchy;
 * :mod:`repro.api.codec` — canonical JSON with strict,
   annotation-derived validation (malformed input yields a typed
   :class:`ProtocolError`, never a traceback);
@@ -39,12 +41,19 @@ from repro.api.protocol import (
     ErrorResponse,
     InvalidateRequest,
     InvalidateResponse,
+    LookupRequest,
+    LookupResponse,
     ProtocolError,
     QueryRequest,
     QueryResponse,
+    RemoteStoreStats,
     SnapshotError,
     StatsRequest,
     StatsResponse,
+    StoreRequest,
+    StoreResponse,
+    StoreStatsRequest,
+    StoreStatsResponse,
     WireError,
     WireObject,
     WireVerdict,
@@ -68,6 +77,8 @@ __all__ = [
     "ErrorResponse",
     "InvalidateRequest",
     "InvalidateResponse",
+    "LookupRequest",
+    "LookupResponse",
     "PROTOCOL_VERSION",
     "PointsToService",
     "ProtocolError",
@@ -75,10 +86,15 @@ __all__ = [
     "QueryResponse",
     "REQUEST_KINDS",
     "RESPONSE_KINDS",
+    "RemoteStoreStats",
     "SNAPSHOT_VERSION",
     "SnapshotError",
     "StatsRequest",
     "StatsResponse",
+    "StoreRequest",
+    "StoreResponse",
+    "StoreStatsRequest",
+    "StoreStatsResponse",
     "SummarySnapshot",
     "WireError",
     "WireObject",

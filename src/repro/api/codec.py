@@ -6,11 +6,15 @@ One encoding, one validator:
   sorted keys, no whitespace, a ``"kind"`` discriminator at the top
   level — so byte-identical messages mean identical requests and
   transcripts diff cleanly;
-* :func:`decode_request` / :func:`decode_response` parse and *strictly*
-  validate a line: malformed JSON, a non-object payload, a missing or
-  unknown ``kind``, an unsupported major version, missing required
-  fields, unknown fields, or ill-typed values all raise a typed
+* :func:`decode_request` / :func:`decode_response` parse and validate a
+  line: malformed JSON, a non-object payload, a missing or unknown
+  ``kind``, an unsupported major version, missing required fields, or
+  ill-typed values all raise a typed
   :class:`~repro.api.protocol.ProtocolError` — never anything else.
+  Requests additionally reject *unknown* fields (a server never
+  guesses); responses ignore them (a client keeps working when a
+  same-major server adds fields — the forward-compatibility half of
+  the versioning policy).
 
 The validator derives each message's schema from the dataclass
 annotations (``Optional``/``Tuple`` included, nested dataclasses
@@ -92,11 +96,20 @@ def decode_request(text):
 
 
 def decode_response(text):
-    """Parse one response line (the client side of the wire)."""
-    return _decode(text, RESPONSE_KINDS, "response")
+    """Parse one response line (the client side of the wire).
+
+    Unlike requests — which a server must validate strictly — responses
+    are decoded *forward-compatibly*: fields this build does not know
+    are ignored when the major version matches.  That is what makes the
+    versioning policy real: a minor revision may add response fields,
+    and a client built before the addition must keep decoding the new
+    server's replies (requests stay strict, so the old client also
+    never emits anything the server would have to guess about).
+    """
+    return _decode(text, RESPONSE_KINDS, "response", ignore_unknown=True)
 
 
-def _decode(text, registry, direction):
+def _decode(text, registry, direction, ignore_unknown=False):
     try:
         payload = json.loads(text)
     except (ValueError, TypeError, RecursionError) as exc:
@@ -123,14 +136,17 @@ def _decode(text, registry, direction):
         raise ProtocolError(
             "unknown-kind", f"unknown {direction} kind {kind!r}; known: {known}"
         )
-    return build_message(cls, payload, path=kind)
+    return build_message(cls, payload, path=kind, ignore_unknown=ignore_unknown)
 
 
-def build_message(cls, payload, path):
+def build_message(cls, payload, path, ignore_unknown=False):
     """Validate ``payload`` against ``cls``'s annotations and build it.
 
     Exposed for the snapshot layer, which embeds protocol structs
     (:class:`~repro.analysis.summaries.CacheStats`) in its own format.
+    ``ignore_unknown`` is the response-side forward-compatibility rule
+    (see :func:`decode_response`); known fields are always validated
+    strictly either way.
     """
     if not isinstance(payload, dict):
         raise ProtocolError(
@@ -140,7 +156,7 @@ def build_message(cls, payload, path):
     hints = _type_hints(cls)
     known = {f.name for f in dataclasses.fields(cls)}
     unknown = set(payload) - known - {"kind"}
-    if unknown:
+    if unknown and not ignore_unknown:
         raise ProtocolError(
             "invalid-request",
             f"{path}: unknown field(s) {sorted(unknown)!r}",
@@ -148,7 +164,9 @@ def build_message(cls, payload, path):
     kwargs = {}
     for f in dataclasses.fields(cls):
         if f.name in payload:
-            kwargs[f.name] = _coerce(payload[f.name], hints[f.name], f"{path}.{f.name}")
+            kwargs[f.name] = _coerce(
+                payload[f.name], hints[f.name], f"{path}.{f.name}", ignore_unknown
+            )
         elif (
             f.default is dataclasses.MISSING
             and f.default_factory is dataclasses.MISSING
@@ -159,9 +177,15 @@ def build_message(cls, payload, path):
     return cls(**kwargs)
 
 
-def _coerce(value, annotation, path):
+def _coerce(value, annotation, path, ignore_unknown=False):
     """Check ``value`` against one annotation, recursively; JSON arrays
     become tuples, nested objects become their annotated dataclass."""
+    if annotation is typing.Any:
+        # Opaque JSON payload: the field carries a foreign format (the
+        # store-level ops carry snapshot entries/keys) whose validation
+        # belongs to that format's own checker, not the wire schema —
+        # the dispatcher validates it before trusting it.
+        return value
     origin = typing.get_origin(annotation)
     if origin is typing.Union:  # Optional[X] is Union[X, None]
         args = typing.get_args(annotation)
@@ -169,7 +193,7 @@ def _coerce(value, annotation, path):
             return None
         non_null = [a for a in args if a is not type(None)]
         if len(non_null) == 1:
-            return _coerce(value, non_null[0], path)
+            return _coerce(value, non_null[0], path, ignore_unknown)
         raise ProtocolError(
             "invalid-request", f"{path}: unsupported union annotation {annotation!r}"
         )
@@ -182,10 +206,11 @@ def _coerce(value, annotation, path):
                 f"{path}: expected an array, got {type(value).__name__}",
             )
         return tuple(
-            _coerce(item, item_type, f"{path}[{i}]") for i, item in enumerate(value)
+            _coerce(item, item_type, f"{path}[{i}]", ignore_unknown)
+            for i, item in enumerate(value)
         )
     if dataclasses.is_dataclass(annotation):
-        return build_message(annotation, value, path)
+        return build_message(annotation, value, path, ignore_unknown)
     if annotation is bool:
         if not isinstance(value, bool):
             raise ProtocolError(

@@ -15,7 +15,10 @@ Versioning policy
 ``PROTOCOL_VERSION`` is ``"<major>.<minor>"``.  A decoder accepts any
 message whose *major* version matches its own (minor revisions may only
 add optional fields); a major mismatch is rejected with a structured
-:class:`ErrorResponse` — never a traceback.  The summary-snapshot format
+:class:`ErrorResponse` — never a traceback.  The pair of decode rules
+that makes minor drift actually safe: request decoding rejects unknown
+fields (servers never guess), response decoding ignores them (clients
+built before a minor revision keep decoding the new server's replies).  The summary-snapshot format
 (:data:`repro.api.snapshot.SNAPSHOT_VERSION`) is versioned separately:
 snapshots are durable artifacts with a different compatibility lifetime
 than request/response traffic.
@@ -25,8 +28,27 @@ Request vocabulary
 ``query``       one points-to query, optionally with a client verdict;
 ``batch``       many queries as one scheduled batch;
 ``alias``       a may-alias check between two variables;
-``invalidate``  drop one method's cached summaries (the IDE edit hook);
+``invalidate``  drop one method's cached summaries (the IDE edit hook,
+                and the store-level ``invalidate_method`` op);
 ``stats``       the engine's lifetime accounting.
+
+Store-level vocabulary (protocol 1.1)
+-------------------------------------
+The summary store itself is addressable over the wire — this is what the
+:mod:`repro.cacheserver` shard servers speak, and what
+:class:`~repro.api.service.PointsToService` also answers against its
+engine's store:
+
+``lookup``       probe for one summary by its context-free key;
+``store``        insert one completed summary;
+``store-stats``  one store's :class:`~repro.analysis.summaries.CacheStats`.
+
+Keys and summaries travel in the **snapshot entry format** of
+:mod:`repro.api.snapshot` (nominal node references, wire field stacks) —
+one serialization for durable snapshots and live cache traffic.  Those
+fields are annotated ``Any``: the codec carries them opaquely and the
+dispatcher validates them with the snapshot checkers before trusting
+them.
 
 Field types are honest: the codec derives each message's schema from the
 dataclass annotations (``Optional[int]`` really means int-or-null on the
@@ -35,13 +57,16 @@ schema.
 """
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 from repro.analysis.summaries import CacheStats
 from repro.engine.scheduler import BatchStats
 
-#: The protocol spoken by this build — "<major>.<minor>".
-PROTOCOL_VERSION = "1.0"
+#: The protocol spoken by this build — "<major>.<minor>".  1.1 added the
+#: store-level ops (``lookup``/``store``/``store-stats``) and the
+#: warm-start/remote counters on ``stats-result``; 1.0 traffic decodes
+#: unchanged.
+PROTOCOL_VERSION = "1.1"
 
 
 def split_version(version):
@@ -167,6 +192,39 @@ class StatsRequest:
 
 
 # ----------------------------------------------------------------------
+# store-level requests — the cache-service vocabulary
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LookupRequest:
+    """Probe a summary store for one context-free key.
+
+    ``key`` is ``{"node": <node ref>, "stack": <wire stack>, "state":
+    1|2}`` in the snapshot entry format (see
+    :func:`repro.api.snapshot.check_key`).
+    """
+
+    key: Any
+    protocol_version: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class StoreRequest:
+    """Insert one completed summary, as a full snapshot entry (see
+    :func:`repro.api.snapshot.check_entry`).  Only fully computed
+    summaries may travel — the same rule the in-process contract has."""
+
+    entry: Any
+    protocol_version: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class StoreStatsRequest:
+    """Ask a summary store for its accounting snapshot."""
+
+    protocol_version: str = PROTOCOL_VERSION
+
+
+# ----------------------------------------------------------------------
 # responses
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -240,11 +298,43 @@ class InvalidateResponse:
 
 
 @dataclass(frozen=True)
+class RemoteStoreStats:
+    """Accounting of one client's remote summary-store traffic.
+
+    Exposed so ``repro-serve`` clients can observe **cache provenance**:
+    how many probes the shared service answered (``remote_hits``), how
+    many fell through to local compute (``remote_misses``), and how many
+    remote attempts degraded to the fallback path without an answer —
+    transport failures/timeouts (``remote_errors``) and served entries
+    that no longer resolve in this client's PAG (``unresolved``).
+    ``stores``/``store_errors``/``invalidations``/``invalidation_errors``
+    count the write-side traffic the same way.
+    """
+
+    shards: int
+    remote_hits: int = 0
+    remote_misses: int = 0
+    remote_errors: int = 0
+    unresolved: int = 0
+    stores: int = 0
+    store_errors: int = 0
+    invalidations: int = 0
+    invalidation_errors: int = 0
+    protocol_version: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
 class StatsResponse:
     """The engine's lifetime accounting (mirrors
     :class:`~repro.engine.core.EngineStats`); ``cache`` is the summary
     store's :class:`~repro.analysis.summaries.CacheStats` or null for
-    cache-less analyses."""
+    cache-less analyses.
+
+    ``warm_loaded``/``warm_skipped`` report snapshot warm-start
+    provenance; ``remote`` is the client-side shared-cache accounting
+    (:class:`RemoteStoreStats`) or null when the engine's store is
+    purely local.
+    """
 
     analysis: str
     queries: int
@@ -255,6 +345,43 @@ class StatsResponse:
     incomplete: int
     edits: int
     cache: Optional[CacheStats] = None
+    warm_loaded: int = 0
+    warm_skipped: int = 0
+    remote: Optional[RemoteStoreStats] = None
+    protocol_version: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class LookupResponse:
+    """Answer to a :class:`LookupRequest`: ``entry`` is the full snapshot
+    entry when ``found``, null otherwise."""
+
+    found: bool
+    entry: Any = None
+    protocol_version: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class StoreResponse:
+    """Whether a :class:`StoreRequest` changed the store's contents:
+    ``True`` for a new key or for a differing summary replacing the
+    resident one (the self-heal rule for invalidations a store missed),
+    ``False`` when an equal summary was already resident — equal
+    re-stores only refresh recency, exactly like the in-process
+    contract."""
+
+    stored: bool
+    protocol_version: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class StoreStatsResponse:
+    """One summary store's accounting, with its place in the partition
+    (``shard`` of ``shards``; ``0 of 1`` for an unsharded store)."""
+
+    shard: int
+    shards: int
+    stats: CacheStats
     protocol_version: str = PROTOCOL_VERSION
 
 
@@ -264,7 +391,10 @@ class ErrorResponse:
 
     Codes: ``malformed-json``, ``invalid-request``,
     ``unsupported-version``, ``unknown-kind``, ``unknown-node``,
-    ``unknown-client``, ``snapshot-invalid``, ``internal-error``.
+    ``unknown-client``, ``snapshot-invalid``, ``internal-error``,
+    ``wrong-shard`` (a store-level op routed to a shard server that does
+    not own the key's method), ``no-store`` (a store-level op against a
+    cache-less analysis).
     """
 
     code: str
@@ -279,6 +409,9 @@ REQUEST_KINDS = {
     "alias": AliasRequest,
     "invalidate": InvalidateRequest,
     "stats": StatsRequest,
+    "lookup": LookupRequest,
+    "store": StoreRequest,
+    "store-stats": StoreStatsRequest,
 }
 
 RESPONSE_KINDS = {
@@ -287,6 +420,9 @@ RESPONSE_KINDS = {
     "alias-result": AliasResponse,
     "invalidated": InvalidateResponse,
     "stats-result": StatsResponse,
+    "lookup-result": LookupResponse,
+    "stored": StoreResponse,
+    "store-stats-result": StoreStatsResponse,
     "error": ErrorResponse,
 }
 

@@ -39,11 +39,17 @@ from repro.api.protocol import (
     ErrorResponse,
     InvalidateRequest,
     InvalidateResponse,
+    LookupRequest,
+    LookupResponse,
     ProtocolError,
     QueryRequest,
     QueryResponse,
     StatsRequest,
     StatsResponse,
+    StoreRequest,
+    StoreResponse,
+    StoreStatsRequest,
+    StoreStatsResponse,
     WireError,
     WireObject,
 )
@@ -137,6 +143,15 @@ class PointsToService:
             return InvalidateResponse(method=request.method, dropped=dropped)
         if isinstance(request, StatsRequest):
             return self._handle_stats()
+        if isinstance(request, LookupRequest):
+            return self._handle_lookup(request)
+        if isinstance(request, StoreRequest):
+            return self._handle_store(request)
+        if isinstance(request, StoreStatsRequest):
+            store = self._require_store()
+            return StoreStatsResponse(
+                shard=0, shards=1, stats=store.stats_snapshot()
+            )
         raise ProtocolError(
             "unknown-kind", f"cannot dispatch {type(request).__name__}"
         )
@@ -247,7 +262,62 @@ class PointsToService:
             incomplete=stats.incomplete,
             edits=stats.edits,
             cache=stats.cache,
+            warm_loaded=stats.warm_loaded,
+            warm_skipped=stats.warm_skipped,
+            remote=stats.remote,
         )
+
+    # ------------------------------------------------------------------
+    # store-level ops — the engine's summary store over the wire
+    # ------------------------------------------------------------------
+    def _require_store(self):
+        store = self.engine.cache
+        if store is None:
+            raise WireError(
+                "no-store",
+                f"analysis {self.engine.analysis.name} has no summary "
+                "store to address",
+            )
+        return store
+
+    def _handle_lookup(self, request):
+        from repro.api.snapshot import (
+            check_key,
+            entry_to_wire,
+            resolve_node,
+            stack_from_wire,
+        )
+
+        store = self._require_store()
+        key = check_key(request.key, "lookup.key")
+        node = resolve_node(self.engine.pag, key["node"])
+        if node is None:
+            # Not an error: the key names an entity this program version
+            # does not have, so the store cannot hold a summary for it.
+            return LookupResponse(found=False)
+        stack = stack_from_wire(key["stack"], "lookup.key.stack")
+        summary = store.lookup(node, stack, key["state"])
+        if summary is None:
+            return LookupResponse(found=False)
+        return LookupResponse(
+            found=True, entry=entry_to_wire(node, stack, key["state"], summary)
+        )
+
+    def _handle_store(self, request):
+        from repro.api.snapshot import check_entry, resolve_wire_entry
+
+        store = self._require_store()
+        check_entry(request.entry, "store.entry")
+        resolved = resolve_wire_entry(self.engine.pag, request.entry)
+        if resolved is None:
+            # A summary for a different program version is not ours to
+            # keep — refusing is correctness-neutral (it is only a memo).
+            return StoreResponse(stored=False)
+        node, stack, state, summary = resolved
+        # store() reports whether contents changed: True for a new key
+        # or a differing summary replacing the resident one (the shard
+        # servers' self-heal rule), False for an equal re-store.
+        return StoreResponse(stored=store.store(node, stack, state, summary))
 
     def __repr__(self):
         return f"PointsToService({self.engine!r})"
@@ -269,6 +339,11 @@ def _build_engine(args):
         with open(args.program, "r", encoding="utf-8") as handle:
             source = handle.read()
         pag = build_pag(parse_program(source, entry=args.entry))
+    remote = None
+    if args.remote:
+        from repro.cacheserver.client import parse_addresses
+
+        remote = parse_addresses(args.remote)
     policy = EnginePolicy(
         analysis=args.analysis,
         budget=args.budget,
@@ -278,6 +353,9 @@ def _build_engine(args):
             max_entries=args.max_entries,
             max_facts=args.max_facts,
             shards=args.shards,
+            eviction=args.eviction,
+            remote=remote,
+            remote_timeout=args.remote_timeout,
         ),
         warm_start=args.warm_start,
     )
@@ -314,6 +392,28 @@ def main(argv=None):
     parser.add_argument("--max-facts", type=int, default=None)
     parser.add_argument("--shards", type=int, default=None)
     parser.add_argument(
+        "--eviction",
+        choices=("lru", "cost"),
+        default="lru",
+        help="capacity eviction policy for a bounded store",
+    )
+    parser.add_argument(
+        "--remote",
+        metavar="ADDR,ADDR,...",
+        default=None,
+        help=(
+            "join a shared summary-cache service: comma-separated "
+            "host:port shard-server addresses, in shard order (what "
+            "repro-cached prints)"
+        ),
+    )
+    parser.add_argument(
+        "--remote-timeout",
+        type=float,
+        default=1.0,
+        help="per-operation socket timeout for the shared cache (seconds)",
+    )
+    parser.add_argument(
         "--warm-start",
         metavar="PATH",
         default=None,
@@ -333,7 +433,7 @@ def main(argv=None):
             # Fail before serving, not at EOF: cache-less analyses have
             # nothing to save (same check save_cache itself performs).
             engine._require_cache("save")
-    except (WireError, IRError, OSError, KeyError) as exc:
+    except (WireError, IRError, OSError, KeyError, ValueError) as exc:
         print(f"repro-serve: {exc}", file=sys.stderr)
         return 2
     if engine.warm_loaded or engine.warm_skipped:

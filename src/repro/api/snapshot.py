@@ -34,8 +34,10 @@ from repro.analysis.ppta import PptaResult
 from repro.analysis.summaries import (
     BoundedSummaryCache,
     CacheStats,
+    CostAwareSummaryCache,
     ShardedSummaryCache,
     SummaryCache,
+    check_eviction,
 )
 from repro.api.codec import build_message
 from repro.api.protocol import ProtocolError, SnapshotError, split_version
@@ -44,8 +46,11 @@ from repro.cfl.stacks import Stack
 from repro.util.errors import IRError
 
 #: Version of the snapshot format — "<major>.<minor>", checked on load
-#: like the wire protocol's (major must match, minor may drift).
-SNAPSHOT_VERSION = "1.0"
+#: like the wire protocol's (major must match, minor may drift).  1.1
+#: added two optional fields: per-entry ``steps`` (the recomputation
+#: cost cost-aware eviction ranks by) and a top-level ``eviction``
+#: policy name; 1.0 snapshots load unchanged (steps default to 0).
+SNAPSHOT_VERSION = "1.1"
 
 _KIND = "summary-snapshot"
 
@@ -56,8 +61,13 @@ _STORE_SHARDED = "sharded"
 
 # ----------------------------------------------------------------------
 # node references — nominal identity on the wire
+#
+# These helpers are the *format*: the snapshot below, the store-level
+# wire ops (repro.api protocol 1.1) and the cache-service transport
+# (repro.cacheserver) all serialize keys and entries through them, so
+# one summary has exactly one wire form everywhere.
 # ----------------------------------------------------------------------
-def _node_to_wire(node):
+def node_to_wire(node):
     if node.is_local_var:
         return {"kind": "local", "method": node.method, "name": node.name}
     if node.is_object:
@@ -90,7 +100,7 @@ def _check_node_wire(wire, path):
     return wire
 
 
-def _resolve_node(pag, wire):
+def resolve_node(pag, wire):
     """The interned PAG node a reference names, or ``None`` when the
     entity no longer exists in this program version."""
     kind = wire["kind"]
@@ -110,11 +120,11 @@ def _resolve_node(pag, wire):
     return node
 
 
-def _stack_to_wire(stack):
+def stack_to_wire(stack):
     return [list(item) for item in stack.to_tuple()]
 
 
-def _stack_from_wire(wire, path):
+def stack_from_wire(wire, path):
     if not isinstance(wire, list):
         raise SnapshotError(f"{path}: field stack must be an array")
     items = []
@@ -139,6 +149,82 @@ def _check_state(state, path):
 
 
 # ----------------------------------------------------------------------
+# keys and entries — the unit the store-level wire ops move around
+# ----------------------------------------------------------------------
+def key_to_wire(node, field_stack, state):
+    """The wire form of one store key ``(node, field_stack, state)``."""
+    return {
+        "node": node_to_wire(node),
+        "stack": stack_to_wire(field_stack),
+        "state": state,
+    }
+
+
+def check_key(key, path="key"):
+    """Structural validation of one wire store key; returns it."""
+    if not isinstance(key, dict):
+        raise SnapshotError(f"{path}: key must be an object")
+    for field in ("node", "stack", "state"):
+        if field not in key:
+            raise SnapshotError(f"{path}: missing {field!r}")
+    unknown = set(key) - {"node", "stack", "state"}
+    if unknown:
+        raise SnapshotError(f"{path}: unknown field(s) {sorted(unknown)!r}")
+    _check_node_wire(key["node"], f"{path}.node")
+    stack_from_wire(key["stack"], f"{path}.stack")
+    _check_state(key["state"], f"{path}.state")
+    return key
+
+
+def entry_to_wire(node, field_stack, state, summary):
+    """The wire form of one cache entry (a snapshot entry)."""
+    wire = key_to_wire(node, field_stack, state)
+    wire["objects"] = [node_to_wire(obj) for obj in summary.objects]
+    wire["boundaries"] = [
+        {
+            "node": node_to_wire(bnode),
+            "stack": stack_to_wire(bstack),
+            "state": bstate,
+        }
+        for bnode, bstack, bstate in summary.boundaries
+    ]
+    wire["steps"] = summary.steps
+    return wire
+
+
+def resolve_wire_entry(pag, entry):
+    """Re-anchor one *validated* wire entry against ``pag``.
+
+    Returns ``(node, field_stack, state, PptaResult)`` or ``None`` when
+    any referenced entity no longer exists in this program version —
+    summaries are memos, so the caller treats that as a miss.
+    """
+    node = resolve_node(pag, entry["node"])
+    if node is None:
+        return None
+    stack = stack_from_wire(entry["stack"], "entry.stack")
+    state = entry["state"]
+    objects = []
+    for wire in entry["objects"]:
+        obj = resolve_node(pag, wire)
+        if obj is None:
+            return None
+        objects.append(obj)
+    boundaries = []
+    for boundary in entry["boundaries"]:
+        bnode = resolve_node(pag, boundary["node"])
+        if bnode is None:
+            return None
+        boundaries.append(
+            (bnode, stack_from_wire(boundary["stack"], "boundary.stack"),
+             boundary["state"])
+        )
+    return node, stack, state, PptaResult(
+        objects, boundaries, steps=entry.get("steps", 0)
+    )
+
+
+# ----------------------------------------------------------------------
 # the snapshot object
 # ----------------------------------------------------------------------
 class SummarySnapshot:
@@ -152,21 +238,34 @@ class SummarySnapshot:
     start).
     """
 
-    __slots__ = ("store_kind", "shards", "stats", "shard_stats", "entries")
+    __slots__ = (
+        "store_kind", "shards", "stats", "shard_stats", "entries", "eviction"
+    )
 
-    def __init__(self, store_kind, shards, stats, shard_stats, entries):
+    def __init__(self, store_kind, shards, stats, shard_stats, entries,
+                 eviction="lru"):
         self.store_kind = store_kind
         self.shards = shards
         self.stats = stats
         self.shard_stats = shard_stats
         self.entries = entries
+        self.eviction = eviction
 
     # ------------------------------------------------------------------
     # capture
     # ------------------------------------------------------------------
     @classmethod
     def capture(cls, store):
-        """Snapshot a live store (any of the three store classes)."""
+        """Snapshot a live store (any local backend).
+
+        A remote-backed store (one exposing ``local_tier``) is captured
+        as its local read-through tier — the process-local view; the
+        shard servers' contents belong to the service, not to this
+        client's snapshot.
+        """
+        local_tier = getattr(store, "local_tier", None)
+        if local_tier is not None:
+            store = local_tier
         if isinstance(store, ShardedSummaryCache):
             store_kind, shards = _STORE_SHARDED, store.n_shards
             shard_stats = store.shard_snapshots()
@@ -180,26 +279,20 @@ class SummarySnapshot:
                 "SummaryCache, BoundedSummaryCache, ShardedSummaryCache"
             )
         entries = [
-            {
-                "node": _node_to_wire(node),
-                "stack": _stack_to_wire(stack),
-                "state": state,
-                "objects": [_node_to_wire(obj) for obj in summary.objects],
-                "boundaries": [
-                    {
-                        "node": _node_to_wire(bnode),
-                        "stack": _stack_to_wire(bstack),
-                        "state": bstate,
-                    }
-                    for bnode, bstack, bstate in summary.boundaries
-                ],
-            }
+            entry_to_wire(node, stack, state, summary)
             # Coldest-first, so replaying store() rebuilds recency order.
             for (node, stack, state), summary in store.entries_by_recency(
                 hottest_first=False
             )
         ]
-        return cls(store_kind, shards, store.stats_snapshot(), shard_stats, entries)
+        return cls(
+            store_kind,
+            shards,
+            store.stats_snapshot(),
+            shard_stats,
+            entries,
+            eviction=getattr(store, "eviction", "lru"),
+        )
 
     # ------------------------------------------------------------------
     # serialized form
@@ -213,6 +306,8 @@ class SummarySnapshot:
             "stats": _stats_to_wire(self.stats),
             "entries": self.entries,
         }
+        if self.eviction != "lru":
+            payload["eviction"] = self.eviction
         if self.shard_stats is not None:
             payload["shard_stats"] = [_stats_to_wire(s) for s in self.shard_stats]
         return payload
@@ -240,7 +335,21 @@ class SummarySnapshot:
         store_kind = payload.get("store")
         if store_kind not in (_STORE_UNBOUNDED, _STORE_BOUNDED, _STORE_SHARDED):
             raise SnapshotError(f"unknown store kind {store_kind!r}")
+        eviction = payload.get("eviction", "lru")
+        try:
+            check_eviction(eviction)
+        except ValueError as exc:
+            raise SnapshotError(str(exc)) from None
         stats = _stats_from_wire(payload.get("stats"), "stats")
+        if (
+            eviction == "cost"
+            and stats.max_entries is None
+            and stats.max_facts is None
+        ):
+            raise SnapshotError(
+                "snapshot claims eviction='cost' but records no capacity "
+                "ceiling — cost-aware stores are always bounded"
+            )
         shards = payload.get("shards")
         shard_stats = None
         if store_kind == _STORE_SHARDED:
@@ -261,7 +370,7 @@ class SummarySnapshot:
             raise SnapshotError("'entries' must be an array")
         facts = 0
         for i, entry in enumerate(entries):
-            facts += _check_entry(entry, f"entries[{i}]")
+            facts += check_entry(entry, f"entries[{i}]")
         if stats.entries != len(entries):
             raise SnapshotError(
                 f"recorded stats disagree with entries: stats.entries="
@@ -284,7 +393,8 @@ class SummarySnapshot:
                         f"shard stats do not reconcile: aggregate {name}="
                         f"{total} but the shards sum to {per_shard}"
                     )
-        return cls(store_kind, shards, stats, shard_stats, entries)
+        return cls(store_kind, shards, stats, shard_stats, entries,
+                   eviction=eviction)
 
     # ------------------------------------------------------------------
     # restore
@@ -296,9 +406,15 @@ class SummarySnapshot:
                 shards=self.shards,
                 max_entries=self.stats.max_entries,
                 max_facts=self.stats.max_facts,
+                eviction=self.eviction,
             )
         if self.store_kind == _STORE_BOUNDED:
-            return BoundedSummaryCache(
+            cls = (
+                CostAwareSummaryCache
+                if self.eviction == "cost"
+                else BoundedSummaryCache
+            )
+            return cls(
                 max_entries=self.stats.max_entries, max_facts=self.stats.max_facts
             )
         return SummaryCache()
@@ -349,27 +465,7 @@ class SummarySnapshot:
 
     @staticmethod
     def _resolve_entry(pag, entry):
-        node = _resolve_node(pag, entry["node"])
-        if node is None:
-            return None
-        stack = _stack_from_wire(entry["stack"], "entry.stack")
-        state = entry["state"]
-        objects = []
-        for wire in entry["objects"]:
-            obj = _resolve_node(pag, wire)
-            if obj is None:
-                return None
-            objects.append(obj)
-        boundaries = []
-        for boundary in entry["boundaries"]:
-            bnode = _resolve_node(pag, boundary["node"])
-            if bnode is None:
-                return None
-            boundaries.append(
-                (bnode, _stack_from_wire(boundary["stack"], "boundary.stack"),
-                 boundary["state"])
-            )
-        return node, stack, state, PptaResult(objects, boundaries)
+        return resolve_wire_entry(pag, entry)
 
     def __repr__(self):
         return (
@@ -419,16 +515,19 @@ def _stats_from_wire(wire, path):
         raise SnapshotError(f"{path}: {exc}") from None
 
 
-def _check_entry(entry, path):
-    """Structural validation of one entry; returns its fact count."""
+def check_entry(entry, path="entry"):
+    """Structural validation of one wire entry; returns its fact count."""
     if not isinstance(entry, dict):
         raise SnapshotError(f"{path}: entry must be an object")
     for key in ("node", "stack", "state", "objects", "boundaries"):
         if key not in entry:
             raise SnapshotError(f"{path}: missing {key!r}")
     _check_node_wire(entry["node"], f"{path}.node")
-    _stack_from_wire(entry["stack"], f"{path}.stack")
+    stack_from_wire(entry["stack"], f"{path}.stack")
     _check_state(entry["state"], f"{path}.state")
+    steps = entry.get("steps", 0)
+    if not isinstance(steps, int) or isinstance(steps, bool) or steps < 0:
+        raise SnapshotError(f"{path}.steps: must be a non-negative integer")
     if not isinstance(entry["objects"], list) or not isinstance(
         entry["boundaries"], list
     ):
@@ -441,7 +540,7 @@ def _check_entry(entry, path):
         if not isinstance(boundary, dict):
             raise SnapshotError(f"{path}.boundaries[{i}]: must be an object")
         _check_node_wire(boundary.get("node"), f"{path}.boundaries[{i}].node")
-        _stack_from_wire(boundary.get("stack"), f"{path}.boundaries[{i}].stack")
+        stack_from_wire(boundary.get("stack"), f"{path}.boundaries[{i}].stack")
         _check_state(boundary.get("state"), f"{path}.boundaries[{i}].state")
     return len(entry["objects"]) + len(entry["boundaries"])
 

@@ -1,0 +1,54 @@
+"""The process-level shared summary-cache service.
+
+The GIL caps what thread-level parallelism (PR 2) can buy; the next
+scaling rung is sharing DYNSUM summaries **across analysis processes**.
+This package is that rung, built on two earlier layers: summaries
+travel in the :mod:`repro.api.snapshot` entry format over the
+store-level ops of the versioned wire protocol
+(``lookup``/``store``/``invalidate``/``store-stats``), and the service
+is partitioned by the same CRC-32 method partition
+(:func:`~repro.analysis.summaries.shard_for_method`) the in-process
+:class:`~repro.analysis.summaries.ShardedSummaryCache` uses — one
+shard-server *process* per shard instead of one lock.
+
+Three pieces:
+
+* :class:`~repro.cacheserver.server.ShardServer` — one shard: a
+  JSON-lines socket server over a method-indexed, optionally bounded
+  wire-form store (:class:`~repro.cacheserver.store.WireSummaryStore`).
+  It is program-agnostic: entries are stored in wire form, so one
+  service can back any number of clients analysing the same program.
+  :class:`~repro.cacheserver.server.CacheCluster` spawns N of them as
+  child processes (the ``repro-cached`` launcher rides it).
+* :class:`~repro.cacheserver.client.RemoteSummaryCache` — the
+  client-side store stub: a
+  :class:`~repro.analysis.summaries.SummaryBackend` whose lookups probe
+  a local read-through tier first, then the owning shard server.
+  Misses, timeouts and dead servers fall back to local computation —
+  summaries are pure memos, so answers are element-wise identical with
+  the service up, down, or killed mid-batch; only cost moves.
+  Engines opt in with ``CachePolicy(remote=(addr, ...))``.
+* the ``repro-cached`` console entry point
+  (:mod:`repro.cacheserver.cli`) — cluster launcher, single-shard
+  server, and a JSON-lines client REPL for scripted exchanges.
+"""
+
+from repro.cacheserver.client import (
+    RemoteSummaryCache,
+    ShardLink,
+    ShardUnavailable,
+    parse_addresses,
+)
+from repro.cacheserver.server import CacheCluster, ShardServer
+from repro.cacheserver.store import WireSummaryStore, canonical_key
+
+__all__ = [
+    "CacheCluster",
+    "RemoteSummaryCache",
+    "ShardLink",
+    "ShardServer",
+    "ShardUnavailable",
+    "WireSummaryStore",
+    "canonical_key",
+    "parse_addresses",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.cacheserver`` — the ``repro-cached`` entry point
+(how :class:`~repro.cacheserver.server.CacheCluster` spawns its shard
+children without needing the console script installed)."""
+
+from repro.cacheserver.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

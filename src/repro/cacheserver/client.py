@@ -1,0 +1,475 @@
+"""The client side of the shared cache: ``RemoteSummaryCache``.
+
+A :class:`~repro.analysis.summaries.SummaryBackend` that fronts a
+cluster of shard servers.  The routing is the same CRC-32 method
+partition the servers were spawned with, so every key has exactly one
+owner; entries travel in the :mod:`repro.api.snapshot` wire format and
+are resolved back to PAG nodes here (the backend learns its PAG via
+:meth:`RemoteSummaryCache.bind_pag`, which DYNSUM calls on attach).
+
+Correctness stance — the part the tests pin down:
+
+* **fallback, always.**  A remote miss, a timeout, a refused
+  connection, a server killed mid-batch, a malformed response, or an
+  entry that no longer resolves in this client's PAG all degrade to
+  ``lookup() -> None`` — i.e. to local computation.  Summaries are pure
+  memos, so the service can only ever move *cost*; answers are
+  element-wise identical with the service up, down, or dying.
+* **local read-through tier.**  Remote hits (and local computes, via
+  write-through ``store``) land in a process-local store, so a hot key
+  costs one network round-trip per process, not per probe.  The tier
+  has the same lifetime and semantics as the purely local cache it
+  replaces: a process observes *its own* edits immediately
+  (``invalidate_method`` clears the tier **and** the owning shard), and
+  other processes observe them at their next shard fetch.  A client
+  that never applied an edit keeps serving its own pre-edit memos from
+  the tier — exactly as it would have with no service at all, which is
+  the consistency contract of the in-process cache too.
+
+  The service-wide contract is therefore **one program version per
+  cluster**: while clients disagree about the program (the window
+  between one client applying an edit and the rest applying it),
+  a not-yet-edited client that recomputes an invalidated method can
+  write-through a *pre-edit* summary, which the edited client would
+  then fetch as current (entries resolve nominally, so same-named
+  methods collide across versions).  The same window exists when a
+  shard was unreachable during an invalidation (it keeps serving the
+  old entries once it is back).  Closing both needs per-method epochs
+  or body fingerprints on the wire — the ROADMAP's "service hardening"
+  item; until then, hosts must quiesce or re-invalidate after
+  rolling an edit across clients.
+* **backoff, not retry storms.**  A failed shard link is torn down and
+  skipped for ``retry_interval`` seconds, so a dead service costs one
+  timeout per shard per interval, not per lookup.
+
+Accounting: the backend keeps its own hit/miss counters (a hit =
+answered from tier or service; a miss = the caller must compute), and a
+:class:`~repro.api.protocol.RemoteStoreStats` of the service traffic —
+surfaced through ``EngineStats.remote`` and the ``stats`` wire op so
+clients can observe cache provenance.
+"""
+
+import socket
+import threading
+import time
+
+from repro.analysis.summaries import (
+    CacheStats,
+    SummaryBackend,
+    SummaryCache,
+    shard_for_method,
+)
+from repro.api.codec import decode_response, encode
+from repro.api.protocol import (
+    InvalidateRequest,
+    InvalidateResponse,
+    LookupRequest,
+    LookupResponse,
+    ProtocolError,
+    RemoteStoreStats,
+    SnapshotError,
+    StoreRequest,
+    StoreResponse,
+    StoreStatsResponse,
+    StoreStatsRequest,
+    WireError,
+)
+from repro.api.snapshot import (
+    check_entry,
+    entry_to_wire,
+    key_to_wire,
+    resolve_wire_entry,
+)
+
+
+class ShardUnavailable(Exception):
+    """A shard link could not complete one request (connection refused,
+    timeout, mid-stream disconnect, or backing off after one of those)."""
+
+
+def parse_addresses(text):
+    """The shard-ordered address tuple from a comma-separated
+    ``host:port`` list — the format ``repro-cached`` prints and every
+    ``--remote``/``--connect`` flag accepts.  Raises ``ValueError``
+    when the list names no shards."""
+    addresses = tuple(
+        address.strip() for address in text.split(",") if address.strip()
+    )
+    if not addresses:
+        raise ValueError(f"no shard addresses in {text!r}")
+    return addresses
+
+
+class ShardLink:
+    """One persistent JSON-lines connection to one shard server.
+
+    Lazily connected, serialized by a lock (requests are small;
+    pipelining would buy little and complicate failure handling), torn
+    down on any transport error and then *backed off*: for
+    ``retry_interval`` seconds every request fails fast with
+    :class:`ShardUnavailable` instead of re-paying the connect timeout.
+    """
+
+    def __init__(self, address, timeout=1.0, retry_interval=None):
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(f"shard address must be 'host:port', got {address!r}")
+        self.address = address
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self.retry_interval = timeout if retry_interval is None else retry_interval
+        self._lock = threading.Lock()
+        self._sock = None
+        self._reader = None
+        self._down_until = 0.0
+
+    def request(self, line):
+        """Send one request line, return the response line."""
+        with self._lock:
+            if time.monotonic() < self._down_until:
+                raise ShardUnavailable(f"{self.address}: backing off after failure")
+            try:
+                if self._sock is None:
+                    self._connect()
+                self._sock.sendall((line + "\n").encode("utf-8"))
+                response = self._reader.readline()
+                if not response:
+                    raise OSError("connection closed by shard server")
+                return response
+            except OSError as exc:
+                self._teardown()
+                self._down_until = time.monotonic() + self.retry_interval
+                raise ShardUnavailable(f"{self.address}: {exc}") from None
+
+    def _connect(self):
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        sock.settimeout(self.timeout)
+        self._sock = sock
+        self._reader = sock.makefile("r", encoding="utf-8", newline="\n")
+
+    def _teardown(self):
+        for closer in (self._reader, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+        self._sock = None
+        self._reader = None
+
+    def close(self):
+        with self._lock:
+            self._teardown()
+
+    def __repr__(self):
+        state = "connected" if self._sock is not None else "idle"
+        return f"ShardLink({self.address}, {state})"
+
+
+class RemoteSummaryCache(SummaryBackend):
+    """A summary backend served by shard-server processes.
+
+    ``addresses`` is the cluster's shard-ordered ``host:port`` tuple
+    (``CacheCluster.addresses``, or what ``repro-cached`` printed);
+    ``local`` is the read-through tier — any local backend, defaulting
+    to an unbounded :class:`~repro.analysis.summaries.SummaryCache`.
+    The tier also decides ``concurrent_safe``: give a parallel engine a
+    sharded tier (``CachePolicy(remote=..., shards=N)`` does) and the
+    links serialize per shard on their own locks.
+    """
+
+    def __init__(self, addresses, local=None, timeout=1.0, retry_interval=None,
+                 _links=None):
+        addresses = tuple(addresses)
+        if not addresses:
+            raise ValueError("RemoteSummaryCache needs at least one shard address")
+        self.addresses = addresses
+        self.n_shards = len(addresses)
+        self.timeout = timeout
+        self.local_tier = local if local is not None else SummaryCache()
+        self._links = _links if _links is not None else tuple(
+            ShardLink(address, timeout=timeout, retry_interval=retry_interval)
+            for address in addresses
+        )
+        self._pag = None
+        self._stats_lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._remote = {
+            "remote_hits": 0,
+            "remote_misses": 0,
+            "remote_errors": 0,
+            "unresolved": 0,
+            "stores": 0,
+            "store_errors": 0,
+            "invalidations": 0,
+            "invalidation_errors": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # backend plumbing
+    # ------------------------------------------------------------------
+    @property
+    def concurrent_safe(self):
+        return self.local_tier.concurrent_safe
+
+    @property
+    def eviction(self):
+        return self.local_tier.eviction
+
+    @property
+    def max_entries(self):
+        return self.local_tier.max_entries
+
+    @property
+    def max_facts(self):
+        return self.local_tier.max_facts
+
+    @property
+    def hits(self):
+        return self._hits
+
+    @property
+    def misses(self):
+        return self._misses
+
+    @property
+    def evictions(self):
+        return self.local_tier.evictions
+
+    @property
+    def invalidated(self):
+        return self.local_tier.invalidated
+
+    def bind_pag(self, pag):
+        self._pag = pag
+
+    def _bump(self, *names):
+        with self._stats_lock:
+            for name in names:
+                if name == "hit":
+                    self._hits += 1
+                elif name == "miss":
+                    self._misses += 1
+                else:
+                    self._remote[name] += 1
+
+    def _link_for(self, method_qname):
+        return self._links[shard_for_method(method_qname, self.n_shards)]
+
+    def _exchange(self, method_qname, request):
+        """One routed request/response, decoded; raises
+        :class:`ShardUnavailable` or :class:`ProtocolError` on failure."""
+        line = self._link_for(method_qname).request(encode(request))
+        return decode_response(line)
+
+    # ------------------------------------------------------------------
+    # the cache contract
+    # ------------------------------------------------------------------
+    def lookup(self, node, field_stack, state):
+        summary = self.local_tier.lookup(node, field_stack, state)
+        if summary is not None:
+            self._bump("hit")
+            return summary
+        summary = self._remote_lookup(node, field_stack, state)
+        if summary is not None:
+            self._bump("hit", "remote_hits")
+            return summary
+        self._bump("miss")
+        return None
+
+    def _remote_lookup(self, node, field_stack, state):
+        if self._pag is None:
+            return None  # nothing to resolve entries against yet
+        try:
+            key = key_to_wire(node, field_stack, state)
+        except SnapshotError:
+            return None  # a key shape the wire format cannot carry
+        try:
+            response = self._exchange(
+                getattr(node, "method", None), LookupRequest(key=key)
+            )
+        except (ShardUnavailable, ProtocolError):
+            self._bump("remote_errors")
+            return None
+        if not isinstance(response, LookupResponse):
+            self._bump("remote_errors")
+            return None
+        if not response.found:
+            self._bump("remote_misses")
+            return None
+        try:
+            check_entry(response.entry, "remote.entry")
+            resolved = resolve_wire_entry(self._pag, response.entry)
+        except SnapshotError:
+            resolved = None
+        if resolved is None:
+            self._bump("unresolved")
+            return None
+        rnode, rstack, rstate, summary = resolved
+        if (rnode, rstack, rstate) != (node, field_stack, state):
+            # A served entry that answers a different key is a server
+            # bug; refusing it keeps the memo-purity argument airtight.
+            self._bump("unresolved")
+            return None
+        # Read-through fill: keep the fetched memo locally (no
+        # write-back — the service already has it).
+        self.local_tier.store(node, field_stack, state, summary)
+        return summary
+
+    def store(self, node, field_stack, state, ppta_result):
+        stored = self.local_tier.store(node, field_stack, state, ppta_result)
+        # Write-through, best effort: a failed publish only means other
+        # clients recompute this memo themselves.
+        try:
+            entry = entry_to_wire(node, field_stack, state, ppta_result)
+        except SnapshotError:
+            self._bump("store_errors")
+            return stored
+        try:
+            response = self._exchange(
+                getattr(node, "method", None), StoreRequest(entry=entry)
+            )
+        except (ShardUnavailable, ProtocolError):
+            self._bump("store_errors")
+            return stored
+        if isinstance(response, StoreResponse):
+            self._bump("stores")
+        else:
+            self._bump("store_errors")
+        return stored
+
+    def invalidate_method(self, method_qname):
+        """Drop one method's summaries locally **and** on its owning
+        shard server, so other clients observe the edit at their next
+        fetch.  Returns the *local* entries dropped — the same
+        process-resident count every other backend reports (edit
+        migration reconciles against it); the remote acknowledgement is
+        counted in :meth:`remote_stats` (``invalidations`` vs.
+        ``invalidation_errors``)."""
+        dropped = self.local_tier.invalidate_method(method_qname)
+        try:
+            response = self._exchange(
+                method_qname, InvalidateRequest(method=method_qname)
+            )
+        except (ShardUnavailable, ProtocolError):
+            self._bump("invalidation_errors")
+            return dropped
+        if isinstance(response, InvalidateResponse):
+            self._bump("invalidations")
+        else:
+            self._bump("invalidation_errors")
+        return dropped
+
+    def clear(self):
+        """Forget the local tier and this backend's counters.  The
+        service is deliberately untouched: it belongs to every client;
+        use :meth:`invalidate_method` for targeted shared drops."""
+        self.local_tier.clear()
+        with self._stats_lock:
+            self._hits = 0
+            self._misses = 0
+            for name in self._remote:
+                self._remote[name] = 0
+
+    # ------------------------------------------------------------------
+    # capacity cooperation + introspection: the local tier's business
+    # ------------------------------------------------------------------
+    def has_room(self, node, facts=0):
+        return self.local_tier.has_room(node, facts)
+
+    def promote(self, key):
+        self.local_tier.promote(key)
+
+    def spawn(self):
+        """Same topology (shared links — the service connection is
+        process state), fresh local tier of the same policy."""
+        fresh = type(self)(
+            self.addresses,
+            local=self.local_tier.spawn(),
+            timeout=self.timeout,
+            _links=self._links,
+        )
+        return fresh
+
+    def entries(self):
+        return self.local_tier.entries()
+
+    def entries_by_recency(self, hottest_first=True):
+        return self.local_tier.entries_by_recency(hottest_first)
+
+    def __len__(self):
+        return len(self.local_tier)
+
+    def __contains__(self, key):
+        return key in self.local_tier
+
+    def summary_point_count(self):
+        return self.local_tier.summary_point_count()
+
+    def total_facts(self):
+        return self.local_tier.total_facts()
+
+    def approx_bytes(self):
+        return self.local_tier.approx_bytes()
+
+    def stats_snapshot(self):
+        """This process's view: resident entries are the local tier's;
+        hits count answers from either tier, misses count fall-throughs
+        to local compute."""
+        return CacheStats(
+            entries=len(self.local_tier),
+            facts=self.local_tier.total_facts(),
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self.local_tier.evictions,
+            invalidated=self.local_tier.invalidated,
+            approx_bytes=self.local_tier.approx_bytes(),
+            max_entries=self.local_tier.max_entries,
+            max_facts=self.local_tier.max_facts,
+        )
+
+    def restore_counters(self, stats):
+        with self._stats_lock:
+            self._hits = stats.hits
+            self._misses = stats.misses
+        # Evictions/invalidated are reported from the local tier (see
+        # stats_snapshot), so the round-trip contract needs them
+        # restored there, not here.
+        self.local_tier.restore_counters(stats)
+
+    def remote_stats(self):
+        """The service-traffic accounting, as wire-ready
+        :class:`~repro.api.protocol.RemoteStoreStats`."""
+        with self._stats_lock:
+            return RemoteStoreStats(shards=self.n_shards, **self._remote)
+
+    def shard_stats(self):
+        """Live per-shard :class:`~repro.api.protocol.StoreStatsResponse`
+        from every reachable server (``None`` for unreachable shards) —
+        the observability hook dashboards and the REPL use."""
+        snapshots = []
+        for index, link in enumerate(self._links):
+            try:
+                response = decode_response(
+                    link.request(encode(StoreStatsRequest()))
+                )
+            except (ShardUnavailable, ProtocolError, WireError):
+                snapshots.append(None)
+                continue
+            snapshots.append(
+                response if isinstance(response, StoreStatsResponse) else None
+            )
+        return snapshots
+
+    def close(self):
+        for link in self._links:
+            link.close()
+
+    def __repr__(self):
+        return (
+            f"RemoteSummaryCache({self.n_shards} shard(s), "
+            f"{len(self.local_tier)} local entries, hits={self._hits}, "
+            f"misses={self._misses})"
+        )

@@ -1,0 +1,393 @@
+"""Shard servers: the service side of the shared summary cache.
+
+One :class:`ShardServer` owns one slice of the CRC-32 method partition
+(:func:`~repro.analysis.summaries.shard_for_method`) and speaks the
+store-level ops of the :mod:`repro.api` protocol over a JSON-lines
+socket — one request per line, one response per line, concurrent
+clients each on their own connection thread.  A request whose key
+belongs to a different shard is answered with a ``wrong-shard`` error
+rather than silently stored: the partition is part of the contract, and
+a routing bug should be loud.
+
+:class:`CacheCluster` is the operational unit: it spawns N shard-server
+*processes* (``python -m repro.cacheserver --serve-shard I``), collects
+their listening addresses in shard order — exactly the tuple a client
+passes to ``CachePolicy(remote=...)`` — and owns their lifetime.  The
+``repro-cached`` console script is a thin CLI over it.
+"""
+
+import json
+import socket
+import subprocess
+import sys
+import threading
+
+from repro.analysis.summaries import shard_for_method
+from repro.api.codec import decode_request, encode
+from repro.api.protocol import (
+    ErrorResponse,
+    InvalidateRequest,
+    InvalidateResponse,
+    LookupRequest,
+    LookupResponse,
+    ProtocolError,
+    StoreRequest,
+    StoreResponse,
+    StoreStatsRequest,
+    StoreStatsResponse,
+    WireError,
+)
+from repro.api.snapshot import check_entry, check_key
+from repro.cacheserver.store import WireSummaryStore, entry_method
+
+#: How long ``CacheCluster.spawn`` waits for a child's listening line.
+SPAWN_TIMEOUT_SEC = 30.0
+
+
+class ShardServer:
+    """One shard of the cache service: a socket JSON-lines store server.
+
+    ``port=0`` (the default) lets the OS pick a free port; the bound
+    address is available as :attr:`address` before :meth:`start` /
+    :meth:`serve_forever` is called, so launchers can print it first.
+    """
+
+    def __init__(
+        self,
+        shard_index,
+        n_shards,
+        host="127.0.0.1",
+        port=0,
+        max_entries=None,
+        max_facts=None,
+        eviction="lru",
+    ):
+        if not 0 <= shard_index < n_shards:
+            raise ValueError(
+                f"shard_index {shard_index} out of range for {n_shards} shard(s)"
+            )
+        self.shard_index = shard_index
+        self.n_shards = n_shards
+        self.store = WireSummaryStore(
+            max_entries=max_entries, max_facts=max_facts, eviction=eviction
+        )
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        # A bare close() does not take a listener down while another
+        # thread sits in accept(): the in-flight syscall keeps the
+        # kernel socket alive and the port keeps accepting.  A short
+        # accept timeout bounds how long that window can last; stop()
+        # additionally shutdown()s the listener to wake the loop now.
+        self._listener.settimeout(0.2)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._shutdown = threading.Event()
+        self._accept_thread = None
+        self._conn_lock = threading.Lock()
+        self._connections = set()
+
+    @property
+    def address(self):
+        return f"{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # dispatch (transport-independent; unit tests drive this directly)
+    # ------------------------------------------------------------------
+    def handle_line(self, line):
+        """Decode one request line, dispatch, encode the response —
+        every failure becomes a typed error line, never a traceback."""
+        try:
+            request = decode_request(line)
+        except WireError as exc:
+            return encode(ErrorResponse(code=exc.code, message=str(exc)))
+        try:
+            return encode(self._dispatch(request))
+        except WireError as exc:
+            return encode(ErrorResponse(code=exc.code, message=str(exc)))
+        except Exception as exc:  # same no-traceback guarantee as the wire
+            return encode(
+                ErrorResponse(
+                    code="internal-error", message=f"{type(exc).__name__}: {exc}"
+                )
+            )
+
+    def _check_ownership(self, method):
+        owner = shard_for_method(method, self.n_shards)
+        if owner != self.shard_index:
+            raise WireError(
+                "wrong-shard",
+                f"method {method!r} belongs to shard {owner}, not "
+                f"{self.shard_index} (of {self.n_shards})",
+            )
+
+    def _dispatch(self, request):
+        if isinstance(request, LookupRequest):
+            key = check_key(request.key, "lookup.key")
+            self._check_ownership(entry_method(key))
+            entry = self.store.lookup(key)
+            if entry is None:
+                return LookupResponse(found=False)
+            return LookupResponse(found=True, entry=entry)
+        if isinstance(request, StoreRequest):
+            check_entry(request.entry, "store.entry")
+            self._check_ownership(entry_method(request.entry))
+            stored = self.store.store(request.entry)
+            return StoreResponse(stored=stored)
+        if isinstance(request, InvalidateRequest):
+            self._check_ownership(request.method)
+            dropped = self.store.invalidate_method(request.method)
+            return InvalidateResponse(method=request.method, dropped=dropped)
+        if isinstance(request, StoreStatsRequest):
+            return StoreStatsResponse(
+                shard=self.shard_index,
+                shards=self.n_shards,
+                stats=self.store.stats_snapshot(),
+            )
+        raise ProtocolError(
+            "invalid-request",
+            f"shard servers speak store-level ops only "
+            f"(lookup/store/invalidate/store-stats), not "
+            f"{type(request).__name__}",
+        )
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _serve_connection(self, conn):
+        try:
+            conn.settimeout(None)
+            reader = conn.makefile("r", encoding="utf-8", newline="\n")
+            writer = conn.makefile("w", encoding="utf-8", newline="\n")
+            for line in reader:
+                line = line.strip()
+                if not line:
+                    continue
+                writer.write(self.handle_line(line))
+                writer.write("\n")
+                writer.flush()
+        except (OSError, ValueError):
+            pass  # client went away mid-line (or stop() closed us)
+        finally:
+            with self._conn_lock:
+                self._connections.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _accept_loop(self):
+        while not self._shutdown.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue  # periodic shutdown-flag check
+            except OSError:
+                break  # listener closed by stop()
+            with self._conn_lock:
+                self._connections.add(conn)
+            threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            ).start()
+
+    def start(self):
+        """Serve in a background thread (in-process embedding, tests)."""
+        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self):
+        """Serve on the calling thread until :meth:`stop` (the child
+        process mode of ``repro-cached --serve-shard``)."""
+        self._accept_loop()
+
+    def stop(self):
+        """Stop accepting and drop every open connection — after this
+        returns, clients see refused connects and closed streams, the
+        same failure surface a killed server process presents."""
+        self._shutdown.set()
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._conn_lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+    def __repr__(self):
+        return (
+            f"ShardServer(shard {self.shard_index}/{self.n_shards} on "
+            f"{self.address}, {len(self.store)} entries)"
+        )
+
+
+def _listening_line(server, pid):
+    return json.dumps(
+        {
+            "event": "listening",
+            "shard": server.shard_index,
+            "shards": server.n_shards,
+            "host": server.host,
+            "port": server.port,
+            "pid": pid,
+        },
+        sort_keys=True,
+    )
+
+
+class CacheCluster:
+    """N shard-server processes, spawned and owned as one unit.
+
+    ``addresses`` is in shard order — pass it straight to
+    ``CachePolicy(remote=cluster.addresses)``.  The cluster is a context
+    manager; :meth:`stop` terminates the children politely and kills
+    stragglers, so a test or launcher can guarantee no orphans.
+    """
+
+    def __init__(self, processes, addresses, announcements=None):
+        self.processes = list(processes)
+        self.addresses = tuple(addresses)
+        #: Each child's parsed ``{"event": "listening", ...}`` line, in
+        #: shard order — the single source launchers re-emit, so the
+        #: announce format exists in exactly one place
+        #: (:func:`_listening_line`).
+        self.announcements = list(announcements or ())
+
+    @classmethod
+    def spawn(
+        cls,
+        shards=2,
+        host="127.0.0.1",
+        max_entries=None,
+        max_facts=None,
+        eviction="lru",
+        python=None,
+    ):
+        """Spawn ``shards`` shard-server child processes on ``host``.
+
+        Each child picks a free port and announces it as a JSON line on
+        stdout; spawn blocks until every child has announced (or died —
+        then the whole cluster is torn down and the failure raised).
+        """
+        python = python or sys.executable
+        processes, addresses, announcements = [], [], []
+        try:
+            for index in range(shards):
+                cmd = [
+                    python,
+                    "-m",
+                    "repro.cacheserver",
+                    "--serve-shard",
+                    str(index),
+                    "--shards",
+                    str(shards),
+                    "--host",
+                    host,
+                    "--port",
+                    "0",
+                    "--eviction",
+                    eviction,
+                ]
+                if max_entries is not None:
+                    cmd += ["--max-entries", str(max_entries)]
+                if max_facts is not None:
+                    cmd += ["--max-facts", str(max_facts)]
+                proc = subprocess.Popen(
+                    cmd, stdout=subprocess.PIPE, text=True, encoding="utf-8"
+                )
+                processes.append(proc)
+                line = _readline_with_timeout(proc, SPAWN_TIMEOUT_SEC)
+                info = json.loads(line)
+                if info.get("event") != "listening":
+                    raise RuntimeError(f"shard {index} announced {info!r}")
+                addresses.append(f"{info['host']}:{info['port']}")
+                announcements.append(info)
+        except BaseException:
+            # BaseException on purpose: a Ctrl-C / SystemExit while the
+            # cluster is half-spawned must not leak the children that
+            # already started.
+            cls(processes, addresses).stop()
+            raise
+        return cls(processes, addresses, announcements)
+
+    def alive(self):
+        """Liveness per shard (True = the child process is running)."""
+        return [proc.poll() is None for proc in self.processes]
+
+    def kill(self):
+        """Hard-kill every shard immediately (failure-injection tests)."""
+        for proc in self.processes:
+            if proc.poll() is None:
+                proc.kill()
+        self._reap()
+
+    def stop(self, timeout=5.0):
+        """Terminate every shard; kill whatever ignores SIGTERM."""
+        for proc in self.processes:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self.processes:
+            try:
+                proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+        self._reap()
+
+    def _reap(self):
+        for proc in self.processes:
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                pass
+            if proc.stdout is not None:
+                proc.stdout.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+    def __repr__(self):
+        up = sum(self.alive())
+        return f"CacheCluster({up}/{len(self.processes)} shards up)"
+
+
+def _readline_with_timeout(proc, timeout):
+    """One stdout line from a child, or a RuntimeError if it dies or
+    stalls — a crashed shard must fail the spawn, not hang it."""
+    result = {}
+
+    def read():
+        result["line"] = proc.stdout.readline()
+
+    thread = threading.Thread(target=read, daemon=True)
+    thread.start()
+    thread.join(timeout)
+    line = result.get("line", "")
+    if thread.is_alive() or not line:
+        raise RuntimeError(
+            f"shard server (pid {proc.pid}) did not announce a listening "
+            f"address within {timeout}s (exit code {proc.poll()})"
+        )
+    return line

@@ -1,0 +1,263 @@
+"""The shard server's store: summaries in wire form, no PAG required.
+
+A shard server must outlive any single client and serve clients whose
+engines were built independently, so it cannot hold interned PAG node
+objects — it keeps entries exactly as they travel: validated
+:mod:`repro.api.snapshot` entry dicts, keyed by the canonical JSON of
+their context-free key.  Resolution back to nodes happens client-side
+(:func:`repro.api.snapshot.resolve_wire_entry`), where a PAG exists.
+
+Semantics mirror the in-process :class:`~repro.analysis.summaries
+.SummaryStore` contract — probe counting, method-indexed invalidation,
+optional entry/fact ceilings with LRU or cost-aware eviction — so the
+accounting a shard reports (:class:`~repro.analysis.summaries
+.CacheStats`) means the same thing it means locally.
+"""
+
+import json
+import threading
+from collections import OrderedDict
+
+from repro.analysis.summaries import (
+    ENTRY_OVERHEAD_BYTES,
+    FACT_BYTES,
+    CacheStats,
+    check_eviction,
+)
+
+
+def canonical_key(key):
+    """The canonical JSON of a wire store key — the dictionary key one
+    summary has on every shard server, whatever client produced it."""
+    return json.dumps(key, sort_keys=True, separators=(",", ":"))
+
+
+def entry_key(entry):
+    """The canonical key of a full wire entry."""
+    return canonical_key(
+        {"node": entry["node"], "stack": entry["stack"], "state": entry["state"]}
+    )
+
+
+def entry_method(entry_or_key):
+    """The method a wire entry/key belongs to (``None`` for globals) —
+    the partition and invalidation granularity."""
+    return entry_or_key["node"].get("method")
+
+
+def _entry_facts(entry):
+    return len(entry["objects"]) + len(entry["boundaries"])
+
+
+def _entry_score(entry, facts):
+    """Steps-to-recompute per byte — the cost-aware eviction rank (the
+    wire-form twin of :func:`repro.analysis.summaries.entry_cost_score`)."""
+    return entry.get("steps", 0) / (ENTRY_OVERHEAD_BYTES + facts * FACT_BYTES)
+
+
+class WireSummaryStore:
+    """A method-indexed, optionally bounded store of wire-form entries.
+
+    Thread-safe: one lock guards every operation (a shard server runs
+    one connection handler per client).  Capacity follows the local
+    stores' rules — least-recently-used victim by default,
+    lowest-cost-per-byte under ``eviction="cost"``, and one pathological
+    oversized entry is always admitted rather than thrashed.
+    """
+
+    def __init__(self, max_entries=None, max_facts=None, eviction="lru"):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_facts is not None and max_facts < 1:
+            raise ValueError(f"max_facts must be >= 1, got {max_facts}")
+        self.eviction = check_eviction(eviction)
+        if eviction == "cost" and max_entries is None and max_facts is None:
+            raise ValueError(
+                "eviction='cost' needs a capacity ceiling (max_entries "
+                "and/or max_facts); an unbounded store never evicts, so "
+                "the policy would be silently inert"
+            )
+        self.max_entries = max_entries
+        self.max_facts = max_facts
+        self._lock = threading.RLock()
+        self._entries = OrderedDict()  # canonical key -> entry dict
+        self._by_method = {}
+        self._facts = 0
+        # Greedy-Dual state (eviction="cost"): see
+        # CostAwareSummaryCache — same rule, wire-form entries.
+        self._clock = 0.0
+        self._priority = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidated = 0
+
+    # ------------------------------------------------------------------
+    # the cache contract, keyed by canonical wire keys
+    # ------------------------------------------------------------------
+    def _refresh(self, ckey, entry):
+        """Recency + Greedy-Dual priority refresh for one resident key."""
+        self._entries.move_to_end(ckey)
+        self._priority[ckey] = self._clock + _entry_score(entry, _entry_facts(entry))
+
+    def lookup(self, key):
+        """The resident entry for wire key ``key``, or ``None``."""
+        ckey = canonical_key(key)
+        with self._lock:
+            entry = self._entries.get(ckey)
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+                self._refresh(ckey, entry)
+            return entry
+
+    def store(self, entry):
+        """Insert a *validated* wire entry.
+
+        A resident **equal** entry only gets its recency refreshed
+        (returns False — the in-process re-store rule).  A resident
+        entry with a *different* payload is **replaced** (returns
+        True): summaries are pure memos, so two honest clients can only
+        disagree across a program edit — and then the publish is
+        fresher than whatever invalidation this shard may have missed.
+        This is what lets an edited client's write-through self-heal a
+        shard that was unreachable during the invalidate.
+        """
+        ckey = entry_key(entry)
+        with self._lock:
+            resident = self._entries.get(ckey)
+            if resident is not None:
+                # Equality is the *payload* — objects and boundaries —
+                # exactly like the in-process rule.  `steps` is cost
+                # metadata, not content: a steps-only difference (e.g. a
+                # legacy snapshot replayed with steps=0) must not fake a
+                # program edit; the better cost estimate is kept instead
+                # so cost-aware eviction never loses information.
+                if (
+                    resident["objects"] == entry["objects"]
+                    and resident["boundaries"] == entry["boundaries"]
+                ):
+                    if entry.get("steps", 0) > resident.get("steps", 0):
+                        resident["steps"] = entry.get("steps", 0)
+                    self._refresh(ckey, resident)
+                    return False
+                self._facts += _entry_facts(entry) - _entry_facts(resident)
+                self._entries[ckey] = entry
+                self._refresh(ckey, entry)
+                self._enforce_capacity()
+                return True
+            self._entries[ckey] = entry
+            self._refresh(ckey, entry)
+            self._facts += _entry_facts(entry)
+            method = entry_method(entry)
+            if method is not None:
+                self._by_method.setdefault(method, set()).add(ckey)
+            self._enforce_capacity()
+            return True
+
+    def invalidate_method(self, method_qname):
+        """Drop every entry of one method; returns the number dropped."""
+        with self._lock:
+            keys = self._by_method.pop(method_qname, ())
+            dropped = 0
+            for ckey in list(keys):
+                if self._remove(ckey) is not None:
+                    dropped += 1
+            self.invalidated += dropped
+            return dropped
+
+    def clear(self):
+        with self._lock:
+            self._entries.clear()
+            self._by_method.clear()
+            self._facts = 0
+            self._clock = 0.0
+            self._priority.clear()
+            self.hits = self.misses = self.evictions = self.invalidated = 0
+
+    # ------------------------------------------------------------------
+    # capacity
+    # ------------------------------------------------------------------
+    def _remove(self, ckey):
+        entry = self._entries.pop(ckey, None)
+        if entry is None:
+            return None
+        self._priority.pop(ckey, None)
+        self._facts -= _entry_facts(entry)
+        method = entry_method(entry)
+        if method is not None:
+            keys = self._by_method.get(method)
+            if keys is not None:
+                keys.discard(ckey)
+                if not keys:
+                    del self._by_method[method]
+        return entry
+
+    def _over_capacity(self):
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            return True
+        if self.max_facts is not None and self._facts > self.max_facts:
+            return True
+        return False
+
+    def _pick_victim(self):
+        if self.eviction == "cost":
+            victim = None
+            victim_priority = None
+            # Coldest-first iteration leaves ties with the LRU entry.
+            for ckey in self._entries:
+                priority = self._priority[ckey]
+                if victim_priority is None or priority < victim_priority:
+                    victim, victim_priority = ckey, priority
+            self._clock = victim_priority
+            return victim
+        return next(iter(self._entries))
+
+    def _enforce_capacity(self):
+        while self._over_capacity() and len(self._entries) > 1:
+            self._remove(self._pick_victim())
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key):
+        with self._lock:
+            return canonical_key(key) in self._entries
+
+    def total_facts(self):
+        with self._lock:
+            return self._facts
+
+    def approx_bytes(self):
+        with self._lock:
+            return (
+                len(self._entries) * ENTRY_OVERHEAD_BYTES
+                + self._facts * FACT_BYTES
+            )
+
+    def stats_snapshot(self):
+        with self._lock:
+            return CacheStats(
+                entries=len(self._entries),
+                facts=self._facts,
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                invalidated=self.invalidated,
+                approx_bytes=len(self._entries) * ENTRY_OVERHEAD_BYTES
+                + self._facts * FACT_BYTES,
+                max_entries=self.max_entries,
+                max_facts=self.max_facts,
+            )
+
+    def __repr__(self):
+        return (
+            f"WireSummaryStore({len(self)} entries, hits={self.hits}, "
+            f"misses={self.misses}, eviction={self.eviction!r})"
+        )

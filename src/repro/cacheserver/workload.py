@@ -1,0 +1,177 @@
+"""One analysis *process* of a shared-cache deployment, scriptable.
+
+``python -m repro.cacheserver.workload`` builds an engine (over a named
+synthetic benchmark or a PIR program file), optionally joins a shard
+cluster (``--remote``), replays a client workload through the paper's
+protocol (published query stream: no dedup, no reorder, sequential),
+and prints one JSON report: deterministic step counts per round, a
+canonical digest of every answer (so answers can be compared
+element-wise *across processes*), and the engine/remote accounting.
+
+This is the client half of the multi-process integration tests, the
+``benchmarks/bench_shared_cache.py`` protocol, and the CI smoke job —
+one honest subprocess instead of three ad-hoc scripts.
+"""
+
+import argparse
+import hashlib
+import json
+import sys
+
+from repro.bench.runner import bench_engine_policy
+from repro.clients import ALL_CLIENTS
+from repro.engine import CachePolicy, PointsToEngine
+
+CLIENTS = {cls.name: cls for cls in ALL_CLIENTS}
+
+
+def canonical_results(results):
+    """A JSON-stable form of a batch's answers: per query, completeness
+    plus the sorted ``(object id, class, context)`` pairs.  Equal
+    canonical forms mean element-wise identical answers."""
+    return [
+        {
+            "complete": result.complete,
+            "pairs": sorted(
+                [str(obj.object_id), obj.class_name, list(ctx.to_tuple())]
+                for obj, ctx in result.pairs
+            ),
+        }
+        for result in results
+    ]
+
+
+def results_digest(canonical):
+    return hashlib.sha256(
+        json.dumps(canonical, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    ).hexdigest()
+
+
+def build_engine(args):
+    if args.benchmark is not None:
+        from repro.bench.suite import load_benchmark
+
+        instance = load_benchmark(args.benchmark, scale=args.scale)
+        pag = instance.pag
+    else:
+        from repro.ir.parser import parse_program
+        from repro.pag.builder import build_pag
+
+        with open(args.program, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        pag = build_pag(parse_program(source, entry=args.entry))
+    remote = None
+    if args.remote:
+        from repro.cacheserver.client import parse_addresses
+
+        remote = parse_addresses(args.remote)
+    cache = CachePolicy(
+        max_entries=args.max_entries,
+        max_facts=args.max_facts,
+        shards=args.shards,
+        eviction=args.eviction,
+        remote=remote,
+        remote_timeout=args.remote_timeout,
+    )
+    # The paper protocol's policy (field-depth k-limit, sequential) —
+    # the same numbers every other benchmark in the repo reports.
+    return PointsToEngine(pag, bench_engine_policy(cache=cache)), pag
+
+
+def run(args):
+    engine, pag = build_engine(args)
+    client = CLIENTS[args.client](pag)
+    rounds = []
+    canonical = None
+    for _ in range(args.rounds):
+        _verdicts, batch = client.run_engine(engine, dedupe=False, reorder=False)
+        canonical = canonical_results(batch.results)
+        rounds.append(
+            {
+                "steps": batch.stats.steps,
+                "hit_rate": round(batch.stats.hit_rate, 4),
+                "digest": results_digest(canonical),
+            }
+        )
+    invalidated = None
+    if args.invalidate is not None:
+        invalidated = engine.invalidate_method(args.invalidate)
+    stats = engine.stats()
+    report = {
+        "workload": args.benchmark or args.program,
+        "client": args.client,
+        "n_queries": len(canonical) if canonical is not None else 0,
+        "rounds": rounds,
+        "steps": [r["steps"] for r in rounds],
+        "digest": rounds[-1]["digest"] if rounds else None,
+        "invalidated": invalidated,
+        "cache": {
+            "hits": stats.cache.hits,
+            "misses": stats.cache.misses,
+            "entries": stats.cache.entries,
+        }
+        if stats.cache is not None
+        else None,
+        "remote": {
+            "shards": stats.remote.shards,
+            "remote_hits": stats.remote.remote_hits,
+            "remote_misses": stats.remote.remote_misses,
+            "remote_errors": stats.remote.remote_errors,
+            "unresolved": stats.remote.unresolved,
+            "stores": stats.remote.stores,
+            "store_errors": stats.remote.store_errors,
+            "invalidations": stats.remote.invalidations,
+            "invalidation_errors": stats.remote.invalidation_errors,
+        }
+        if stats.remote is not None
+        else None,
+    }
+    if args.results is not None:
+        with open(args.results, "w", encoding="utf-8") as handle:
+            json.dump(canonical, handle, sort_keys=True)
+            handle.write("\n")
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cacheserver.workload",
+        description="run one client workload as one analysis process",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--benchmark", metavar="NAME", default=None)
+    source.add_argument("--program", metavar="PATH", default=None)
+    parser.add_argument("--entry", default="Main.main")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument(
+        "--client", default="SafeCast", choices=sorted(CLIENTS)
+    )
+    parser.add_argument("--remote", metavar="ADDR,ADDR,...", default=None)
+    parser.add_argument("--remote-timeout", type=float, default=2.0)
+    parser.add_argument("--max-entries", type=int, default=None)
+    parser.add_argument("--max-facts", type=int, default=None)
+    parser.add_argument("--shards", type=int, default=None)
+    parser.add_argument("--eviction", choices=("lru", "cost"), default="lru")
+    parser.add_argument(
+        "--rounds", type=int, default=1, help="workload repetitions (default 1)"
+    )
+    parser.add_argument(
+        "--invalidate",
+        metavar="METHOD",
+        default=None,
+        help="invalidate one method after the workload (edit simulation)",
+    )
+    parser.add_argument(
+        "--results",
+        metavar="PATH",
+        default=None,
+        help="write the canonical answers to PATH for exact comparison",
+    )
+    args = parser.parse_args(argv)
+    json.dump(run(args), sys.stdout, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,7 +38,13 @@ from repro.analysis.incremental import IncrementalAnalysisSession
 from repro.cfl.stacks import EMPTY_STACK
 from repro.engine.executor import SequentialExecutor
 from repro.engine.policy import EnginePolicy
-from repro.engine.scheduler import BatchResult, BatchStats, as_spec, plan_batch
+from repro.engine.scheduler import (
+    BatchResult,
+    BatchStats,
+    as_spec,
+    plan_batch,
+    spec_method,
+)
 from repro.engine.session import EditSession
 from repro.util.errors import IRError
 from repro.util.timer import Timer
@@ -68,6 +74,15 @@ class EngineStats:
     #: Snapshot of the *current* summary store (edits migrate into a
     #: fresh store, so its probe counters restart per program version).
     cache: object = None
+    #: Warm-start provenance: summaries replayed into (skipped out of)
+    #: the store from ``EnginePolicy(warm_start=...)``, zero otherwise.
+    warm_loaded: int = 0
+    warm_skipped: int = 0
+    #: Shared-cache provenance: a
+    #: :class:`~repro.api.protocol.RemoteStoreStats` when the store is
+    #: remote-backed (hit/miss/fallback counters of the service
+    #: traffic), ``None`` for purely local stores.
+    remote: object = None
 
     @property
     def dedup_rate(self):
@@ -116,6 +131,10 @@ class PointsToEngine:
         #: of) the store from ``policy.warm_start``, zero otherwise.
         self.warm_loaded = 0
         self.warm_skipped = 0
+        #: Cross-batch warmth statistics (method -> recency stamp) —
+        #: the scheduler's carryover input; see ``query_batch``.
+        self._method_warmth = {}
+        self._warmth_clock = 0
         if self.policy.warm_start is not None:
             self._warm_start(self.policy.warm_start)
 
@@ -243,11 +262,13 @@ class PointsToEngine:
         pag = self.pag
         analysis = self.analysis
         specs = [as_spec(item, pag, context) for item in items]
+        carryover = self.policy.warmth_carryover
         plan = plan_batch(
             specs,
             dedupe=dedupe,
             reorder=reorder,
             include_client=analysis.uses_client_predicate,
+            warmth=self._method_warmth if (carryover and reorder) else None,
         )
         cache = self.cache
         hits_before = cache.hits if cache is not None else 0
@@ -293,6 +314,16 @@ class PointsToEngine:
         self.queries_deduped += plan.n_deduped
         self.steps_total += stats.steps
         self.incomplete_total += stats.incomplete
+        if carryover:
+            # Stamp this batch's traffic in execution order: the methods
+            # executed last are the warmest at the next batch's planning
+            # time (their summaries were touched most recently), so they
+            # get the highest stamps and run first next time.
+            for index in plan.order:
+                self._warmth_clock += 1
+                self._method_warmth[spec_method(plan.unique[index])] = (
+                    self._warmth_clock
+                )
         return BatchResult(results, stats, plan)
 
     def run_client(self, client_or_cls, queries=None, **batch_kwargs):
@@ -376,6 +407,7 @@ class PointsToEngine:
         instance underneath) and never include pre-wrap traffic.
         """
         cache = self.cache
+        remote_stats = getattr(cache, "remote_stats", None)
         return EngineStats(
             analysis=self.analysis.name,
             queries=self.queries_answered,
@@ -386,6 +418,9 @@ class PointsToEngine:
             incomplete=self.incomplete_total,
             edits=self._incremental.edit_count if self._incremental else 0,
             cache=cache.stats_snapshot() if cache is not None else None,
+            warm_loaded=self.warm_loaded,
+            warm_skipped=self.warm_skipped,
+            remote=remote_stats() if remote_stats is not None else None,
         )
 
     def __repr__(self):

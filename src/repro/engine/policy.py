@@ -11,7 +11,7 @@ host needs.
 """
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.analysis.base import AnalysisConfig
 from repro.analysis.cipta import ContextInsensitivePta
@@ -21,8 +21,10 @@ from repro.analysis.refinepts import RefinePts
 from repro.analysis.stasum import StaSum
 from repro.analysis.summaries import (
     BoundedSummaryCache,
+    CostAwareSummaryCache,
     ShardedSummaryCache,
     SummaryCache,
+    check_eviction,
 )
 from repro.cfl.budget import DEFAULT_BUDGET
 from repro.engine.executor import default_parallelism, make_executor
@@ -46,24 +48,59 @@ def resolve_analysis(name):
 
 @dataclass(frozen=True)
 class CachePolicy:
-    """Bounding and partitioning policy for the DYNSUM summary cache.
+    """Bounding, partitioning and backend policy for the summary store.
 
     Both limits ``None`` (the default) selects the paper's unbounded
     :class:`~repro.analysis.summaries.SummaryCache`; setting either picks
     the LRU :class:`~repro.analysis.summaries.BoundedSummaryCache`.
 
+    ``eviction`` chooses the capacity policy of a bounded store:
+    ``"lru"`` (the default) or ``"cost"`` — evict the entry with the
+    lowest steps-to-recompute per byte
+    (:class:`~repro.analysis.summaries.CostAwareSummaryCache`), which
+    beats LRU on bounded budgets because summaries record what they cost
+    to build.
+
     ``shards`` partitions the store into that many independently locked
-    LRU shards by the key node's method
+    shards by the key node's method
     (:class:`~repro.analysis.summaries.ShardedSummaryCache`) — required
     for parallel batch execution, and ``shards=1`` is the "just add a
     lock" configuration.  Left ``None``, the store is unsharded unless
     the engine's ``parallelism`` forces a concurrency-safe default (one
     shard per worker).
+
+    ``remote`` joins the store to a shared cache service: a tuple of
+    ``"host:port"`` addresses, one per shard server, in shard order
+    (what ``repro-cached`` prints on startup).  The local store the
+    other knobs configure becomes the **read-through tier** of a
+    :class:`~repro.cacheserver.client.RemoteSummaryCache`; lookups that
+    miss locally probe the owning shard server, and misses, timeouts or
+    a dead service fall back to local computation — answers are
+    identical with the service up, down, or killed mid-batch.
+    ``remote_timeout`` is the per-operation socket timeout in seconds.
     """
 
     max_entries: Optional[int] = None
     max_facts: Optional[int] = None
     shards: Optional[int] = None
+    eviction: str = "lru"
+    remote: Optional[Tuple[str, ...]] = None
+    remote_timeout: float = 1.0
+
+    def __post_init__(self):
+        check_eviction(self.eviction)
+        if self.eviction == "cost" and not self.bounded:
+            raise ValueError(
+                "CachePolicy(eviction='cost') needs max_entries and/or "
+                "max_facts; an unbounded store never evicts, so the "
+                "policy would be silently inert"
+            )
+        if self.remote is not None:
+            # Tolerate a list (or any iterable of addresses); the policy
+            # itself must stay hashable, so normalise to a tuple.
+            object.__setattr__(self, "remote", tuple(self.remote))
+            if not self.remote:
+                raise ValueError("remote=() names no shard servers; use None")
 
     @property
     def bounded(self):
@@ -90,14 +127,31 @@ class CachePolicy:
                 self.max_facts if self.max_facts is not None else default_shards,
             ))
         if shards is not None:
-            return ShardedSummaryCache(
-                shards=shards, max_entries=self.max_entries, max_facts=self.max_facts
+            store = ShardedSummaryCache(
+                shards=shards,
+                max_entries=self.max_entries,
+                max_facts=self.max_facts,
+                eviction=self.eviction,
             )
-        if self.bounded:
-            return BoundedSummaryCache(
-                max_entries=self.max_entries, max_facts=self.max_facts
+        elif self.bounded:
+            cls = (
+                CostAwareSummaryCache
+                if self.eviction == "cost"
+                else BoundedSummaryCache
             )
-        return SummaryCache()
+            store = cls(max_entries=self.max_entries, max_facts=self.max_facts)
+        else:
+            store = SummaryCache()
+        if self.remote is not None:
+            # Imported lazily: repro.cacheserver rides the repro.api
+            # package, which imports the engine — a module-level import
+            # here would be circular.
+            from repro.cacheserver.client import RemoteSummaryCache
+
+            return RemoteSummaryCache(
+                self.remote, local=store, timeout=self.remote_timeout
+            )
+        return store
 
 
 @dataclass(frozen=True)
@@ -134,6 +188,14 @@ class EnginePolicy:
     cache: CachePolicy = field(default_factory=CachePolicy)
     dedupe: bool = True
     reorder: bool = True
+    #: Cross-batch query planning: when True (the default) the engine
+    #: records, per method, how recently earlier batches touched it, and
+    #: ``reorder`` schedules a later batch's hottest methods first — so
+    #: summaries still resident in a bounded store are re-used before
+    #: eviction pressure from colder work pushes them out.  Irrelevant
+    #: when ``reorder`` is off (the paper protocols), free when the
+    #: store is unbounded.
+    warmth_carryover: bool = True
     parallelism: Optional[int] = None
     #: Path to a :mod:`repro.api.snapshot` summary-snapshot file; when
     #: set, a freshly constructed engine replays the snapshot's entries

@@ -110,6 +110,11 @@ def warmth_key(spec):
     return (str(method), str(name), len(spec.context))
 
 
+def spec_method(spec):
+    """The method string the scheduler's warmth statistics key on."""
+    return str(getattr(spec.node, "method", None) or "")
+
+
 class BatchPlan:
     """The scheduler's output: unique specs, execution order, fan-out map.
 
@@ -140,11 +145,20 @@ class BatchPlan:
         return self.n_requests - self.n_unique
 
 
-def plan_batch(specs, dedupe=True, reorder=True, include_client=True):
+def plan_batch(specs, dedupe=True, reorder=True, include_client=True, warmth=None):
     """Plan a batch: dedup (optional), then order for cache warmth.
 
     ``include_client`` must be True when the driving analysis's results
     depend on client predicates (``analysis.uses_client_predicate``).
+
+    ``warmth`` optionally carries traffic statistics from *earlier*
+    batches: a mapping from method string (:func:`spec_method`) to a
+    monotone recency stamp — higher = touched more recently.  When
+    given (and ``reorder`` is on), methods the recent past queried are
+    scheduled first, hottest first, so their summaries are re-used
+    while still resident in a bounded store; methods the statistics
+    have never seen follow, in plain :func:`warmth_key` order.  Like
+    every scheduling lever this is cost-only: answers never change.
     """
     unique = []
     assignment = []
@@ -159,7 +173,14 @@ def plan_batch(specs, dedupe=True, reorder=True, include_client=True):
         assignment.append(index)
     order = list(range(len(unique)))
     if reorder:
-        order.sort(key=lambda i: warmth_key(unique[i]))
+        if warmth:
+            def carryover_key(i):
+                spec = unique[i]
+                return (-warmth.get(spec_method(spec), 0), warmth_key(spec))
+
+            order.sort(key=carryover_key)
+        else:
+            order.sort(key=lambda i: warmth_key(unique[i]))
     return BatchPlan(unique, order, assignment, reordered=bool(reorder))
 
 

@@ -123,6 +123,22 @@ class TestAdversarialDecode:
             decode_request(line)
         assert "shoes" in str(info.value)
 
+    def test_responses_ignore_unknown_fields_for_forward_compat(self):
+        # The versioning policy's client half: a same-major server that
+        # added response fields (a minor revision) must stay decodable
+        # by this build.  Known fields are still validated strictly.
+        line = (
+            '{"kind":"stats-result","analysis":"DYNSUM","queries":1,'
+            '"executed":1,"batches":0,"deduped":0,"steps":3,'
+            '"incomplete":0,"edits":0,"from_the_future":{"x":1},'
+            '"protocol_version":"1.7"}'
+        )
+        decoded = decode_response(line)
+        assert decoded.analysis == "DYNSUM"
+        assert not hasattr(decoded, "from_the_future")
+        with pytest.raises(ProtocolError):
+            decode_response(line.replace('"queries":1', '"queries":"one"'))
+
     @pytest.mark.parametrize(
         "field,value",
         [

@@ -1,0 +1,681 @@
+"""The shared cache service, in-process: servers, client stub, protocol.
+
+The acceptance property of the whole subsystem: an engine whose summary
+store is a :class:`~repro.cacheserver.client.RemoteSummaryCache` returns
+**element-wise identical** answers to a plain local engine — on every
+shipped example program and the Figure-4 workload — with the service
+up, down from the start, or killed mid-batch.  Summaries are pure
+memos; the service can only move cost.
+
+Shard servers here run as in-process background threads (the transport
+is real TCP either way); the multi-process deployment — real server
+processes, real client processes, cross-process invalidation — is
+covered by ``tests/test_shared_cache_proc.py``.
+"""
+
+import importlib.util
+import pathlib
+import sys
+from types import SimpleNamespace
+
+import pytest
+
+from repro import (
+    CachePolicy,
+    EnginePolicy,
+    PointsToEngine,
+    build_pag,
+    parse_program,
+)
+from repro.api.codec import decode_response, encode
+from repro.api.protocol import (
+    ErrorResponse,
+    InvalidateResponse,
+    LookupRequest,
+    LookupResponse,
+    QueryRequest,
+    StoreRequest,
+    StoreResponse,
+    StoreStatsRequest,
+    StoreStatsResponse,
+)
+from repro.bench.runner import bench_engine_policy
+from repro.bench.suite import load_benchmark
+from repro.cacheserver.client import RemoteSummaryCache, ShardLink, ShardUnavailable
+from repro.cacheserver.server import ShardServer
+from repro.cacheserver.store import WireSummaryStore
+from repro.clients import SafeCastClient
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _example_programs():
+    """Every PIR program shipped in ``examples/`` (same collection rule
+    as tests/test_parallel_engine.py)."""
+    programs = {}
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        for path in sorted(EXAMPLES_DIR.glob("*.py")):
+            spec = importlib.util.spec_from_file_location(
+                f"_cacheserver_example_{path.stem}", path
+            )
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+            for name, value in vars(module).items():
+                if name.isupper() and isinstance(value, str) and "class " in value:
+                    programs[f"{path.stem}:{name}"] = value
+    finally:
+        sys.path.remove(str(EXAMPLES_DIR))
+    return programs
+
+
+EXAMPLE_PROGRAMS = _example_programs()
+
+SRC = """
+class Thing { }
+class Other { }
+class Helper {
+  static method make() { t = new Thing; u = t; return u; }
+}
+class Main {
+  static method main() {
+    a = Helper::make();
+    b = a;
+    o = new Other;
+  }
+}
+"""
+
+
+def canonical(result):
+    return (
+        result.complete,
+        frozenset((str(obj.object_id), ctx.to_tuple()) for obj, ctx in result.pairs),
+    )
+
+
+def all_locals(pag):
+    """Every queryable (method, var) pair of a PAG, deterministically."""
+    queries = []
+    for qname in sorted(pag.methods()):
+        for node in pag.nodes_of_method(qname):
+            if node.is_local_var:
+                queries.append((qname, node.name))
+    return sorted(queries)
+
+
+@pytest.fixture
+def cluster():
+    """Two in-process shard servers; stopped (hard) on teardown."""
+    servers = [ShardServer(i, 2).start() for i in range(2)]
+    yield servers
+    for server in servers:
+        server.stop()
+
+
+def remote_policy(servers, **cache_kwargs):
+    return EnginePolicy(
+        cache=CachePolicy(
+            remote=tuple(s.address for s in servers), remote_timeout=2.0,
+            **cache_kwargs,
+        ),
+        parallelism=1,
+    )
+
+
+# ----------------------------------------------------------------------
+# the wire store (server side)
+# ----------------------------------------------------------------------
+def wire_entry(method="A.m", name="x", steps=5, objects=1):
+    return {
+        "node": {"kind": "local", "method": method, "name": name},
+        "stack": [],
+        "state": 1,
+        "objects": [
+            {"kind": "object", "id": f"o{i}@{method}", "class": "Thing",
+             "method": method}
+            for i in range(objects)
+        ],
+        "boundaries": [],
+        "steps": steps,
+    }
+
+
+def wire_key(entry):
+    return {"node": entry["node"], "stack": entry["stack"], "state": entry["state"]}
+
+
+class TestWireSummaryStore:
+    def test_miss_store_hit_and_accounting(self):
+        store = WireSummaryStore()
+        entry = wire_entry()
+        assert store.lookup(wire_key(entry)) is None
+        assert store.store(entry) is True
+        assert store.store(entry) is False  # resident: recency only
+        assert store.lookup(wire_key(entry)) == entry
+        snap = store.stats_snapshot()
+        assert (snap.hits, snap.misses, snap.entries, snap.facts) == (1, 1, 1, 1)
+
+    def test_invalidate_method_is_exact(self):
+        store = WireSummaryStore()
+        for i in range(3):
+            store.store(wire_entry(name=f"v{i}"))
+        store.store(wire_entry(method="B.n"))
+        assert store.invalidate_method("A.m") == 3
+        assert store.invalidate_method("A.m") == 0
+        assert len(store) == 1
+        assert store.lookup(wire_key(wire_entry())) is None
+
+    def test_lru_capacity(self):
+        store = WireSummaryStore(max_entries=2)
+        for i in range(3):
+            store.store(wire_entry(name=f"v{i}"))
+        assert len(store) == 2
+        assert store.evictions == 1
+        assert store.lookup(wire_key(wire_entry(name="v0"))) is None
+        assert store.lookup(wire_key(wire_entry(name="v2"))) is not None
+
+    def test_cost_eviction_prefers_cheap_victims(self):
+        store = WireSummaryStore(max_entries=2, eviction="cost")
+        store.store(wire_entry(name="pricey", steps=1000))
+        store.store(wire_entry(name="cheap", steps=1))
+        store.store(wire_entry(name="new", steps=10))
+        assert store.lookup(wire_key(wire_entry(name="pricey"))) is not None
+        assert store.lookup(wire_key(wire_entry(name="cheap"))) is None
+
+    def test_differing_payload_replaces_stale_resident_entry(self):
+        """The self-heal path: a shard that missed an invalidation must
+        accept an edited client's fresher publish for the same key."""
+        store = WireSummaryStore()
+        stale = wire_entry(objects=2, steps=5)
+        fresh = wire_entry(objects=1, steps=9)
+        assert store.store(stale) is True
+        assert store.store(fresh) is True  # replaced, not ignored
+        assert store.lookup(wire_key(fresh)) == fresh
+        assert store.total_facts() == 1
+        assert store.invalidate_method("A.m") == 1
+
+    def test_steps_only_difference_is_not_an_edit(self):
+        """`steps` is cost metadata, not payload: a steps=0 republish
+        (legacy snapshot replay) must neither replace the entry nor
+        collapse its cost-eviction priority — and a better estimate is
+        adopted."""
+        store = WireSummaryStore(max_entries=8, eviction="cost")
+        computed = wire_entry(steps=50)
+        assert store.store(computed) is True
+        legacy = wire_entry(steps=0)
+        assert store.store(legacy) is False  # same payload: no edit
+        assert store.lookup(wire_key(computed))["steps"] == 50
+        better = wire_entry(steps=80)
+        assert store.store(better) is False
+        assert store.lookup(wire_key(computed))["steps"] == 80
+
+    def test_cost_eviction_without_ceiling_is_refused(self):
+        with pytest.raises(ValueError, match="inert"):
+            WireSummaryStore(eviction="cost")
+
+
+# ----------------------------------------------------------------------
+# the shard server's dispatch (transport-independent)
+# ----------------------------------------------------------------------
+class TestShardServerDispatch:
+    def make_server(self, shard=0, shards=1):
+        server = ShardServer(shard, shards)
+        server.stop()  # dispatch only; free the port immediately
+        return server
+
+    def exchange(self, server, request):
+        return decode_response(server.handle_line(encode(request)))
+
+    def test_store_lookup_invalidate_stats_cycle(self):
+        server = self.make_server()
+        entry = wire_entry()
+        stored = self.exchange(server, StoreRequest(entry=entry))
+        assert isinstance(stored, StoreResponse) and stored.stored
+        found = self.exchange(server, LookupRequest(key=wire_key(entry)))
+        assert isinstance(found, LookupResponse)
+        assert found.found and found.entry == entry
+        from repro.api.protocol import InvalidateRequest
+
+        dropped = self.exchange(server, InvalidateRequest(method="A.m"))
+        assert isinstance(dropped, InvalidateResponse) and dropped.dropped == 1
+        missing = self.exchange(server, LookupRequest(key=wire_key(entry)))
+        assert not missing.found
+        stats = self.exchange(server, StoreStatsRequest())
+        assert isinstance(stats, StoreStatsResponse)
+        assert (stats.shard, stats.shards) == (0, 1)
+        assert stats.stats.entries == 0 and stats.stats.invalidated == 1
+
+    def test_wrong_shard_is_refused_loudly(self):
+        from repro.analysis.summaries import shard_for_method
+
+        owner = shard_for_method("A.m", 2)
+        server = self.make_server(shard=1 - owner, shards=2)
+        response = self.exchange(server, StoreRequest(entry=wire_entry()))
+        assert isinstance(response, ErrorResponse)
+        assert response.code == "wrong-shard"
+
+    def test_malformed_payloads_become_typed_errors(self):
+        server = self.make_server()
+        for line in (
+            "not json",
+            '{"kind":"store","entry":{"nope":1},"protocol_version":"1.1"}',
+            '{"kind":"lookup","key":[],"protocol_version":"1.1"}',
+            '{"kind":"store","entry":null,"protocol_version":"1.1"}',
+        ):
+            response = decode_response(server.handle_line(line))
+            assert isinstance(response, ErrorResponse)
+
+    def test_engine_vocabulary_is_refused(self):
+        server = self.make_server()
+        response = self.exchange(
+            server, QueryRequest(method="Main.main", var="a")
+        )
+        assert isinstance(response, ErrorResponse)
+        assert response.code == "invalid-request"
+        assert "store-level" in response.message
+
+
+# ----------------------------------------------------------------------
+# the client stub + engine: identity under every service condition
+# ----------------------------------------------------------------------
+class TestRemoteEngineIdentity:
+    def test_example_programs_identical_and_second_client_warm(self):
+        # One cluster *per program*: the service contract is one program
+        # per cluster — summaries are keyed nominally, so two different
+        # programs sharing shard servers would poison each other (their
+        # `Main.main` keys collide).  tests below reuse a cluster only
+        # within one program.
+        for label, source in EXAMPLE_PROGRAMS.items():
+            servers = [ShardServer(i, 2).start() for i in range(2)]
+            self._check_one_program(label, source, servers)
+            for server in servers:
+                server.stop()
+
+    def _check_one_program(self, label, source, cluster):
+        plain = PointsToEngine(
+            build_pag(parse_program(source)), EnginePolicy(parallelism=1)
+        )
+        first = PointsToEngine(
+            build_pag(parse_program(source)), remote_policy(cluster)
+        )
+        second = PointsToEngine(
+            build_pag(parse_program(source)), remote_policy(cluster)
+        )
+        queries = all_locals(plain.pag)
+        baseline = plain.query_batch(queries)
+        cold = first.query_batch(queries)
+        warm = second.query_batch(queries)
+        for b, c, w in zip(baseline, cold, warm):
+            assert canonical(c) == canonical(b), label
+            assert canonical(w) == canonical(b), label
+        # The second client answered some probes from the service and
+        # therefore did strictly less traversal work.
+        if baseline.stats.steps:
+            assert warm.stats.steps <= cold.stats.steps
+        remote = second.stats().remote
+        assert remote is not None and remote.remote_errors == 0
+
+    def test_figure4_workload_with_service_killed_mid_batch(self, cluster):
+        instance = load_benchmark("soot-c", scale=0.3)
+        client = SafeCastClient(instance.pag)
+        queries = client.queries()
+        half = len(queries) // 2
+
+        plain = PointsToEngine(instance.pag, bench_engine_policy())
+        _pv, plain_batch1 = client.run_engine(
+            plain, queries[:half], dedupe=False, reorder=False
+        )
+        _pv, plain_batch2 = client.run_engine(
+            plain, queries[half:], dedupe=False, reorder=False
+        )
+
+        remote_cache = CachePolicy(
+            remote=tuple(s.address for s in cluster), remote_timeout=0.5
+        )
+        engine = PointsToEngine(
+            instance.pag, bench_engine_policy(cache=remote_cache)
+        )
+        _v1, batch1 = client.run_engine(
+            engine, queries[:half], dedupe=False, reorder=False
+        )
+        # Kill the whole service between the halves: every later remote
+        # op fails and falls back to local compute.
+        for server in cluster:
+            server.stop()
+        _v2, batch2 = client.run_engine(
+            engine, queries[half:], dedupe=False, reorder=False
+        )
+        for mine, theirs in zip(batch1.results, plain_batch1.results):
+            assert canonical(mine) == canonical(theirs)
+        for mine, theirs in zip(batch2.results, plain_batch2.results):
+            assert canonical(mine) == canonical(theirs)
+        remote = engine.stats().remote
+        assert remote.remote_errors > 0  # the kill was actually felt
+
+    def test_service_down_from_the_start(self):
+        pag = build_pag(parse_program(SRC))
+        # Nothing listens on these ports (port 1 is root-only, port 9 discard).
+        policy = EnginePolicy(
+            cache=CachePolicy(
+                remote=("127.0.0.1:1", "127.0.0.1:9"), remote_timeout=0.2
+            ),
+            parallelism=1,
+        )
+        engine = PointsToEngine(pag, policy)
+        plain = PointsToEngine(
+            build_pag(parse_program(SRC)), EnginePolicy(parallelism=1)
+        )
+        queries = all_locals(plain.pag)
+        down = engine.query_batch(queries)
+        baseline = plain.query_batch(queries)
+        for mine, theirs in zip(down, baseline):
+            assert canonical(mine) == canonical(theirs)
+        remote = engine.stats().remote
+        assert remote.remote_hits == 0
+        assert remote.remote_errors > 0
+
+    def test_backoff_bounds_failed_remote_traffic(self):
+        link = ShardLink("127.0.0.1:9", timeout=0.2, retry_interval=60.0)
+        with pytest.raises(ShardUnavailable):
+            link.request("{}")
+        # Within the backoff window the link fails fast, without a
+        # second connection attempt (which would pay the timeout again).
+        with pytest.raises(ShardUnavailable, match="backing off"):
+            link.request("{}")
+
+    def test_invalidation_propagates_between_in_process_clients(self, cluster):
+        source = SRC
+        engine_a = PointsToEngine(
+            build_pag(parse_program(source)), remote_policy(cluster)
+        )
+        engine_b = PointsToEngine(
+            build_pag(parse_program(source)), remote_policy(cluster)
+        )
+        # A computes and publishes; B (fresh local tier) is served by the
+        # shard server.
+        engine_a.query_name("Helper.make", "u")
+        assert engine_b.query_name("Helper.make", "u")
+        assert engine_b.stats().remote.remote_hits > 0
+        # A edits Helper.make -> invalidates through the store -> the
+        # owning shard drops.  A fresh client (no stale local tier) must
+        # observe the drop: its lookups miss remotely.
+        dropped = engine_a.invalidate_method("Helper.make")
+        assert dropped > 0
+        assert engine_a.stats().remote.invalidations > 0
+        engine_c = PointsToEngine(
+            build_pag(parse_program(source)), remote_policy(cluster)
+        )
+        engine_c.query_name("Helper.make", "u")
+        remote_c = engine_c.stats().remote
+        assert remote_c.remote_misses > 0
+
+    def test_save_cache_snapshots_the_local_tier(self, cluster, tmp_path):
+        """A remote-backed engine's snapshot is its process-local view
+        (the local tier); the servers' contents belong to the service."""
+        from repro.api.snapshot import load_snapshot
+
+        engine = PointsToEngine(
+            build_pag(parse_program(SRC)), remote_policy(cluster, max_entries=32)
+        )
+        engine.query_batch(all_locals(engine.pag))
+        path = tmp_path / "local-tier.json"
+        snapshot = engine.save_cache(path)
+        assert len(snapshot.entries) == len(engine.cache.local_tier)
+        reloaded = load_snapshot(path)
+        assert reloaded.stats.max_entries == 32
+
+    def test_warm_start_snapshot_seeds_the_service(self, cluster, tmp_path):
+        """EnginePolicy(warm_start=...) over a remote store replays the
+        snapshot through store() — write-through — so one snapshot file
+        can warm the whole service."""
+        pag = build_pag(parse_program(SRC))
+        donor = PointsToEngine(pag, EnginePolicy(parallelism=1))
+        donor.query_batch(all_locals(pag))
+        path = tmp_path / "seed.json"
+        donor.save_cache(path)
+
+        seeder = PointsToEngine(
+            build_pag(parse_program(SRC)),
+            EnginePolicy(
+                cache=CachePolicy(
+                    remote=tuple(s.address for s in cluster), remote_timeout=2.0
+                ),
+                parallelism=1,
+                warm_start=str(path),
+            ),
+        )
+        assert seeder.warm_loaded > 0
+        served = sum(len(s.store) for s in cluster)
+        assert served == seeder.warm_loaded
+        # A fresh client now answers from the service without computing.
+        reader = PointsToEngine(
+            build_pag(parse_program(SRC)), remote_policy(cluster)
+        )
+        reader.query_batch(all_locals(reader.pag))
+        assert reader.stats().remote.remote_hits > 0
+
+
+# ----------------------------------------------------------------------
+# engine integration details
+# ----------------------------------------------------------------------
+class TestEngineWiring:
+    def test_cache_policy_normalises_and_validates(self):
+        policy = CachePolicy(remote=["h:1", "h:2"])
+        assert policy.remote == ("h:1", "h:2")
+        with pytest.raises(ValueError):
+            CachePolicy(remote=())
+        with pytest.raises(ValueError):
+            CachePolicy(eviction="fifo")
+
+    def test_make_store_wraps_remote_around_local_policy(self):
+        policy = CachePolicy(remote=("127.0.0.1:1",), max_entries=8)
+        store = policy.make_store()
+        assert isinstance(store, RemoteSummaryCache)
+        assert store.local_tier.max_entries == 8
+        assert store.eviction == "lru"
+        cost = CachePolicy(remote=("127.0.0.1:1",), max_entries=8, eviction="cost")
+        assert cost.make_store().eviction == "cost"
+
+    def test_parallel_engine_gets_concurrency_safe_remote_store(self):
+        policy = EnginePolicy(
+            cache=CachePolicy(remote=("127.0.0.1:1",)), parallelism=4
+        )
+        store = policy.make_store()
+        assert isinstance(store, RemoteSummaryCache)
+        assert store.concurrent_safe  # sharded local tier under the stub
+
+    def test_parallel_remote_engine_matches_sequential(self, cluster):
+        instance = load_benchmark("soot-c", scale=0.3)
+        client = SafeCastClient(instance.pag)
+        sequential = PointsToEngine(instance.pag, bench_engine_policy())
+        _sv, sbatch = client.run_engine(sequential, dedupe=False, reorder=False)
+        parallel = PointsToEngine(
+            instance.pag,
+            EnginePolicy(
+                max_field_depth=16,
+                cache=CachePolicy(
+                    remote=tuple(s.address for s in cluster), remote_timeout=2.0
+                ),
+                parallelism=4,
+            ),
+        )
+        _pv, pbatch = client.run_engine(parallel, dedupe=False, reorder=False)
+        assert pbatch.stats.parallelism == 4
+        for mine, theirs in zip(pbatch.results, sbatch.results):
+            assert canonical(mine) == canonical(theirs)
+
+    def test_edit_session_invalidates_through_the_service(self, cluster):
+        from repro.ir.parser import parse_program as parse
+
+        program = parse(SRC)
+        engine = PointsToEngine.for_program(
+            program,
+            remote_policy(cluster),
+        )
+        engine.query_name("Helper.make", "u")
+        engine.query_name("Main.main", "b")  # a summary that survives the edit
+        served_before = sum(len(s.store) for s in cluster)
+        assert served_before > 0
+
+        def new_body(m):
+            m.alloc("t", "Other").ret("t")
+
+        engine.edit_session().replace_body("Helper.make", new_body)
+        # The owning shard no longer serves Helper.make summaries.
+        owners = [s for s in cluster if s.store.invalidated > 0]
+        assert owners, "no shard observed the invalidation"
+        # Migration re-anchors surviving summaries *locally only* — the
+        # servers already hold them, so the freshly spawned store (its
+        # counters restart per program version) made zero publishes.
+        assert len(engine.cache.local_tier) > 0  # something did migrate
+        assert engine.cache.remote_stats().stores == 0
+        # Post-edit answers are correct (fresh computation, new class).
+        result = engine.query_name("Helper.make", "t")
+        assert {obj.class_name for obj, _ in result.pairs} == {"Other"}
+
+
+# ----------------------------------------------------------------------
+# the wire service surface: provenance counters + store-level ops
+# ----------------------------------------------------------------------
+class TestServiceSurface:
+    def test_stats_response_carries_cache_provenance(self, cluster, tmp_path):
+        import json
+
+        from repro.api.service import PointsToService
+
+        # Warm-start a remote-backed engine from a snapshot, then serve
+        # traffic: a repro-serve client must be able to observe where
+        # its answers came from.
+        pag = build_pag(parse_program(SRC))
+        donor = PointsToEngine(pag, EnginePolicy(parallelism=1))
+        donor.query_batch(all_locals(pag))
+        path = tmp_path / "warm.json"
+        donor.save_cache(path)
+
+        engine = PointsToEngine(
+            build_pag(parse_program(SRC)),
+            EnginePolicy(
+                cache=CachePolicy(
+                    remote=tuple(s.address for s in cluster), remote_timeout=2.0
+                ),
+                parallelism=1,
+                warm_start=str(path),
+            ),
+        )
+        engine.query_name("Main.main", "b")
+        service = PointsToService(engine)
+        line = service.handle_line('{"kind":"stats","protocol_version":"1.0"}')
+        payload = json.loads(line)
+        assert payload["kind"] == "stats-result"
+        assert payload["warm_loaded"] == engine.warm_loaded > 0
+        assert payload["warm_skipped"] == 0
+        remote = payload["remote"]
+        assert remote["shards"] == 2
+        assert remote["stores"] == engine.warm_loaded  # write-through seed
+        # Decodes on the client side of the wire, too.
+        from repro.api.protocol import StatsResponse
+
+        decoded = decode_response(line)
+        assert isinstance(decoded, StatsResponse)
+        assert decoded.remote.stores == engine.warm_loaded
+
+    def test_plain_engine_stats_have_no_remote_section(self):
+        import json
+
+        from repro.api.service import PointsToService
+
+        engine = PointsToEngine(
+            build_pag(parse_program(SRC)), EnginePolicy(parallelism=1)
+        )
+        service = PointsToService(engine)
+        payload = json.loads(
+            service.handle_line('{"kind":"stats","protocol_version":"1.1"}')
+        )
+        assert payload["remote"] is None
+        assert payload["warm_loaded"] == 0
+
+    def test_service_answers_store_level_ops_on_its_own_store(self):
+        from repro.api.service import PointsToService
+
+        engine = PointsToEngine(
+            build_pag(parse_program(SRC)), EnginePolicy(parallelism=1)
+        )
+        engine.query_name("Helper.make", "u")
+        service = PointsToService(engine)
+        stats = decode_response(
+            service.handle_line(encode(StoreStatsRequest()))
+        )
+        assert isinstance(stats, StoreStatsResponse)
+        assert (stats.shard, stats.shards) == (0, 1)
+        assert stats.stats.entries == len(engine.cache)
+
+        # Round-trip one resident entry through lookup, then push it
+        # back through store (already resident -> stored=False).
+        from repro.api.snapshot import entry_to_wire
+
+        (node, stack, state), summary = next(engine.cache.entries())
+        entry = entry_to_wire(node, stack, state, summary)
+        key = {"node": entry["node"], "stack": entry["stack"],
+               "state": entry["state"]}
+        found = decode_response(service.handle_line(encode(LookupRequest(key=key))))
+        assert isinstance(found, LookupResponse) and found.found
+        assert found.entry == entry
+        stored = decode_response(
+            service.handle_line(encode(StoreRequest(entry=entry)))
+        )
+        assert isinstance(stored, StoreResponse) and not stored.stored
+
+        # An entry of a different program version is refused quietly.
+        foreign = wire_entry(method="Ghost.m")
+        refused = decode_response(
+            service.handle_line(encode(StoreRequest(entry=foreign)))
+        )
+        assert isinstance(refused, StoreResponse) and not refused.stored
+
+    def test_cacheless_analysis_refuses_store_ops_with_typed_error(self):
+        from repro.api.service import PointsToService
+
+        engine = PointsToEngine(
+            build_pag(parse_program(SRC)),
+            EnginePolicy(analysis="CIPTA", parallelism=1),
+        )
+        service = PointsToService(engine)
+        response = decode_response(
+            service.handle_line(encode(StoreStatsRequest()))
+        )
+        assert isinstance(response, ErrorResponse)
+        assert response.code == "no-store"
+
+
+# ----------------------------------------------------------------------
+# the repro-cached client REPL (scripted exchanges)
+# ----------------------------------------------------------------------
+class TestReplMode:
+    def test_scripted_exchange_routes_and_reports(self, cluster):
+        import io
+
+        from repro.cacheserver.cli import _connect_repl
+
+        entry = wire_entry()
+        lines = [
+            encode(StoreRequest(entry=entry)),
+            encode(LookupRequest(key=wire_key(entry))),
+            encode(StoreStatsRequest()),
+            "garbage",
+        ]
+        args = SimpleNamespace(
+            connect=",".join(s.address for s in cluster), timeout=2.0
+        )
+        out = io.StringIO()
+        code = _connect_repl(args, input_stream=io.StringIO("\n".join(lines)),
+                             output_stream=out)
+        assert code == 0
+        responses = [decode_response(line) for line in out.getvalue().splitlines()]
+        assert isinstance(responses[0], StoreResponse) and responses[0].stored
+        assert isinstance(responses[1], LookupResponse) and responses[1].found
+        # store-stats fans out: one response per shard, then the error.
+        stats = [r for r in responses if isinstance(r, StoreStatsResponse)]
+        assert [s.shard for s in stats] == [0, 1]
+        assert sum(s.stats.entries for s in stats) == 1
+        assert isinstance(responses[-1], ErrorResponse)

@@ -1,0 +1,194 @@
+"""The shared cache service, multi-process: the deployment the paper's
+economics scale to.
+
+Real shard-server *processes* (spawned via ``python -m repro.cacheserver
+--serve-shard``, exactly what ``repro-cached`` launches) serve real
+client *processes* (``python -m repro.cacheserver.workload``) over TCP.
+Pinned here:
+
+* answers are element-wise identical across process boundaries — every
+  client process, warm or cold, reproduces the single-process engine's
+  canonical results on the Figure-4 workload;
+* a warm second client (fresh process, empty local tier, warm service)
+  completes in **< 75 %** of the cold client's traversal steps — the
+  acceptance bar of ``benchmarks/BENCH_shared.json``;
+* invalidation propagates: an edit applied in one client process drops
+  the owning shard server's entries, and a later client process
+  observes the drop (remote misses where a pristine service gave hits)
+  *before* its next lookup is served stale;
+* killing the server processes mid-workload degrades to local compute
+  with identical answers;
+* the cluster never leaks: stopping it leaves no live child processes.
+
+These tests cost a few subprocess spawns each; the in-process twin
+(``tests/test_cacheserver.py``) covers the fine-grained semantics.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro import CachePolicy, PointsToEngine
+from repro.bench.runner import bench_engine_policy
+from repro.bench.suite import load_benchmark
+from repro.cacheserver.server import CacheCluster
+from repro.cacheserver.workload import canonical_results
+from repro.clients import SafeCastClient
+
+SRC_DIR = pathlib.Path(repro.__file__).resolve().parent.parent
+
+BENCHMARK = "soot-c"
+SCALE = "0.3"
+CLIENT = "SafeCast"
+
+
+@pytest.fixture
+def proc_env(monkeypatch):
+    """Make `python -m repro...` resolvable in every child process."""
+    existing = os.environ.get("PYTHONPATH", "")
+    merged = str(SRC_DIR) + (os.pathsep + existing if existing else "")
+    monkeypatch.setenv("PYTHONPATH", merged)
+    return dict(os.environ, PYTHONPATH=merged)
+
+
+@pytest.fixture
+def cluster(proc_env):
+    with CacheCluster.spawn(shards=2) as cluster:
+        assert all(cluster.alive())
+        yield cluster
+    assert not any(cluster.alive()), "cluster.stop() left live shard processes"
+
+
+def run_client_process(env, cluster=None, results=None, invalidate=None):
+    cmd = [
+        sys.executable, "-m", "repro.cacheserver.workload",
+        "--benchmark", BENCHMARK, "--scale", SCALE, "--client", CLIENT,
+    ]
+    if cluster is not None:
+        cmd += ["--remote", ",".join(cluster.addresses)]
+    if results is not None:
+        cmd += ["--results", str(results)]
+    if invalidate is not None:
+        cmd += ["--invalidate", invalidate]
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, env=env, timeout=300
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def baseline_canonical():
+    """The single-process engine's answers for the same workload."""
+    instance = load_benchmark(BENCHMARK, scale=float(SCALE))
+    client = SafeCastClient(instance.pag)
+    engine = PointsToEngine(instance.pag, bench_engine_policy())
+    _verdicts, batch = client.run_engine(engine, dedupe=False, reorder=False)
+    return canonical_results(batch.results), batch.stats.steps, engine
+
+
+def cached_method_of(engine):
+    """Some method that actually holds cached summaries (to invalidate)."""
+    for (node, _stack, _state), _summary in engine.cache.entries():
+        if node.method is not None:
+            return node.method
+    raise AssertionError("workload cached nothing?")
+
+
+class TestMultiProcessDeployment:
+    def test_two_clients_identical_answers_and_warm_ratio(
+        self, cluster, proc_env, tmp_path
+    ):
+        base, base_steps, _engine = baseline_canonical()
+
+        cold = run_client_process(
+            proc_env, cluster, results=tmp_path / "cold.json"
+        )
+        warm = run_client_process(
+            proc_env, cluster, results=tmp_path / "warm.json"
+        )
+
+        # Element-wise identity across all three processes.
+        cold_results = json.loads((tmp_path / "cold.json").read_text())
+        warm_results = json.loads((tmp_path / "warm.json").read_text())
+        assert cold_results == base
+        assert warm_results == base
+
+        # The cold client computed everything itself (and published);
+        # the warm client was served by the shard processes.
+        assert cold["steps"][0] == base_steps
+        assert cold["remote"]["remote_hits"] == 0
+        assert cold["remote"]["stores"] > 0
+        assert warm["remote"]["remote_hits"] > 0
+        assert warm["remote"]["remote_misses"] == 0
+        assert warm["remote"]["remote_errors"] == 0
+
+        # The acceptance bar: warm second client < 75% of cold steps.
+        assert warm["steps"][0] < 0.75 * cold["steps"][0]
+
+    def test_invalidation_propagates_across_processes(
+        self, cluster, proc_env, tmp_path
+    ):
+        base, _steps, engine = baseline_canonical()
+        victim = cached_method_of(engine)
+
+        # A populates; B confirms a pristine warm service (no misses).
+        run_client_process(proc_env, cluster)
+        warm = run_client_process(proc_env, cluster)
+        assert warm["remote"]["remote_misses"] == 0
+        warm_hits = warm["remote"]["remote_hits"]
+
+        # An "edit" in one client process: run, then invalidate the
+        # victim method through the store (what an engine edit does).
+        editor = run_client_process(proc_env, cluster, invalidate=victim)
+        assert editor["remote"]["invalidations"] == 1
+        assert editor["remote"]["invalidation_errors"] == 0
+
+        # A later client process observes the drop before its next
+        # lookup is served: the victim's entries now miss remotely --
+        # and the answers are still exactly the baseline's.
+        observer = run_client_process(
+            proc_env, cluster, results=tmp_path / "observer.json"
+        )
+        assert observer["remote"]["remote_misses"] > 0
+        assert observer["remote"]["remote_hits"] < warm_hits
+        assert json.loads((tmp_path / "observer.json").read_text()) == base
+
+    def test_mid_workload_kill_falls_back_with_identical_answers(
+        self, cluster, proc_env
+    ):
+        instance = load_benchmark(BENCHMARK, scale=float(SCALE))
+        client = SafeCastClient(instance.pag)
+        queries = client.queries()
+        half = len(queries) // 2
+
+        plain = PointsToEngine(instance.pag, bench_engine_policy())
+        _v, plain1 = client.run_engine(plain, queries[:half], dedupe=False,
+                                       reorder=False)
+        _v, plain2 = client.run_engine(plain, queries[half:], dedupe=False,
+                                       reorder=False)
+
+        engine = PointsToEngine(
+            instance.pag,
+            bench_engine_policy(
+                cache=CachePolicy(remote=cluster.addresses, remote_timeout=0.5)
+            ),
+        )
+        _v, mine1 = client.run_engine(engine, queries[:half], dedupe=False,
+                                      reorder=False)
+        cluster.kill()  # SIGKILL: no goodbye, sockets just die
+        assert not any(cluster.alive())
+        _v, mine2 = client.run_engine(engine, queries[half:], dedupe=False,
+                                      reorder=False)
+
+        assert canonical_results(mine1.results) == canonical_results(
+            plain1.results
+        )
+        assert canonical_results(mine2.results) == canonical_results(
+            plain2.results
+        )
+        assert engine.stats().remote.remote_errors > 0

@@ -1,20 +1,28 @@
-"""One shared battery for every summary-store class.
+"""One shared battery for every summary-store backend.
 
-The engine treats :class:`SummaryCache`, :class:`BoundedSummaryCache`
-and :class:`ShardedSummaryCache` as interchangeable implementations of
-one contract — ``lookup``/``store``/``spawn``/``invalidate_method``/
-``entries_by_recency``/``stats_snapshot`` with exactly reconciling
-accounting.  This suite runs the same battery against all of them
-(plus the bounded-sharded combination), so the sharded mirror surface
-can never silently drift from :class:`SummaryStore` again: a method
-added to the base contract fails here until every store grows it.
+The engine treats every :class:`~repro.analysis.summaries
+.SummaryBackend` as interchangeable — ``lookup``/``store``/``spawn``/
+``invalidate_method``/``entries_by_recency``/``stats_snapshot`` with
+exactly reconciling accounting.  This suite runs the same battery
+against every local backend (unbounded, LRU-bounded, cost-aware,
+sharded, bounded-sharded) **and** the remote-backed store stub over
+live in-process shard servers, so no backend's surface can silently
+drift: a method added to the base contract fails here until every
+backend grows it.
 """
 
 import pytest
 
-from repro import BoundedSummaryCache, ShardedSummaryCache, SummaryCache
+from repro import (
+    BoundedSummaryCache,
+    CostAwareSummaryCache,
+    ShardedSummaryCache,
+    SummaryCache,
+)
 from repro.analysis.ppta import PptaResult
 from repro.analysis.summaries import SummaryStore
+from repro.cacheserver.client import RemoteSummaryCache
+from repro.cacheserver.server import ShardServer
 from repro.cfl.rsm import S1, S2
 from repro.cfl.stacks import EMPTY_STACK
 from repro.pag.nodes import LocalNode, ObjectNode
@@ -24,26 +32,44 @@ from repro.pag.nodes import LocalNode, ObjectNode
 STORE_VARIANTS = {
     "unbounded": (lambda: SummaryCache(), False),
     "bounded": (lambda: BoundedSummaryCache(max_entries=64, max_facts=4096), True),
+    "cost": (lambda: CostAwareSummaryCache(max_entries=64, max_facts=4096), True),
     "sharded": (lambda: ShardedSummaryCache(shards=4), False),
     "sharded-bounded": (
         lambda: ShardedSummaryCache(shards=4, max_entries=64, max_facts=4096),
         True,
     ),
+    "remote": (None, False),  # built per test over fresh shard servers
 }
 
 
 @pytest.fixture(params=sorted(STORE_VARIANTS), ids=sorted(STORE_VARIANTS))
 def variant(request):
     factory, is_lru = STORE_VARIANTS[request.param]
-    return factory(), is_lru
+    if request.param == "remote":
+        servers = [ShardServer(i, 2).start() for i in range(2)]
+        store = RemoteSummaryCache(tuple(s.address for s in servers), timeout=2.0)
+        yield store, is_lru
+        store.close()
+        for server in servers:
+            server.stop()
+        return
+    yield factory(), is_lru
+
+
+# PAG nodes compare by identity (the PAG interns them); the battery
+# interns its fixtures the same way, so summaries built twice from the
+# same spec are value-equal — as in production, where every summary for
+# a key is computed over one program's interned nodes.
+_NODES = {}
+_OBJECTS = {}
 
 
 def node(method="C.m", name="x"):
-    return LocalNode(method, name)
+    return _NODES.setdefault((method, name), LocalNode(method, name))
 
 
 def obj(i=0, method="C.m"):
-    return ObjectNode(f"o{i}", "Thing", method)
+    return _OBJECTS.setdefault((i, method), ObjectNode(f"o{i}", "Thing", method))
 
 
 def summary(n_objects=1, n_boundaries=0, method="C.m"):
@@ -71,11 +97,25 @@ class TestContract:
         store, _lru = variant
         key_node = node()
         memo = summary(n_objects=3)
-        store.store(key_node, EMPTY_STACK, S1, memo)
-        store.store(key_node, EMPTY_STACK, S1, summary(n_objects=3))
+        assert store.store(key_node, EMPTY_STACK, S1, memo) is True
+        # Equal re-store: kept, recency refreshed, contents unchanged.
+        assert store.store(key_node, EMPTY_STACK, S1, summary(n_objects=3)) is False
         assert len(store) == 1
         assert store.total_facts() == 3
         assert store.lookup(key_node, EMPTY_STACK, S1) is memo
+
+    def test_differing_store_replaces_the_resident_memo(self, variant):
+        # The cross-program-version self-heal rule, uniform across
+        # backends: a publish that disagrees with the resident entry
+        # (possible only around an edit the store missed) wins.
+        store, _lru = variant
+        key_node = node()
+        store.store(key_node, EMPTY_STACK, S1, summary(n_objects=3))
+        fresh = summary(n_objects=1)
+        assert store.store(key_node, EMPTY_STACK, S1, fresh) is True
+        assert len(store) == 1
+        assert store.total_facts() == 1
+        assert store.lookup(key_node, EMPTY_STACK, S1) is fresh
 
     def test_spawn_is_empty_with_same_policy(self, variant):
         store, _lru = variant
@@ -181,6 +221,10 @@ class TestContract:
         store.store(node("A.m", "v"), EMPTY_STACK, S1, summary(method="A.m"))
         store.lookup(node("A.m", "v"), EMPTY_STACK, S1)
         store.lookup(node("A.m", "w"), EMPTY_STACK, S1)
+        # Nonzero invalidation accounting, so a backend that forgets to
+        # restore the non-probe counters cannot pass by accident.
+        store.store(node("B.n", "z"), EMPTY_STACK, S2, summary(method="B.n"))
+        assert store.invalidate_method("B.n") == 1
         clone = store.spawn()
         for (key_node, stack, state), memo in store.entries_by_recency(
             hottest_first=False
@@ -193,12 +237,21 @@ class TestContract:
         assert clone.stats_snapshot() == store.stats_snapshot()
 
 
-def test_sharded_mirrors_the_summary_store_surface():
-    """Every public attribute of the base contract must exist on the
-    sharded mirror — the drift guard this suite is named for."""
-    mirror = ShardedSummaryCache(shards=2)
+@pytest.mark.parametrize(
+    "mirror_factory",
+    [
+        lambda: ShardedSummaryCache(shards=2),
+        lambda: RemoteSummaryCache(("127.0.0.1:1",)),  # never connected
+    ],
+    ids=["sharded", "remote"],
+)
+def test_mirrors_cover_the_summary_store_surface(mirror_factory):
+    """Every public attribute of the base contract must exist on every
+    mirror backend — the drift guard this suite is named for."""
+    mirror = mirror_factory()
     public = [name for name in vars(SummaryStore) if not name.startswith("_")]
     public += ["__len__", "__contains__", "hits", "misses", "evictions",
-               "invalidated", "stats_snapshot"]
+               "invalidated", "stats_snapshot", "bind_pag", "eviction",
+               "concurrent_safe", "has_room", "promote", "spawn"]
     missing = [name for name in public if not hasattr(mirror, name)]
-    assert not missing, f"ShardedSummaryCache lacks {missing}"
+    assert not missing, f"{type(mirror).__name__} lacks {missing}"

@@ -38,13 +38,24 @@ class TestLookupStore:
         cache.store(key_node, EMPTY_STACK, S1, summary())
         assert cache.lookup(key_node, EMPTY_STACK, S2) is None
 
-    def test_store_is_first_wins(self):
+    def test_store_keeps_equal_memo_replaces_differing_one(self):
         cache = SummaryCache()
         key_node = node()
         first = summary(1)
-        cache.store(key_node, EMPTY_STACK, S1, first)
-        cache.store(key_node, EMPTY_STACK, S1, summary(5))
+        assert cache.store(key_node, EMPTY_STACK, S1, first) is True
+        # Within one process a re-store is always value-equal (pure
+        # memos) and keeps the resident entry, refreshing recency only.
+        assert cache.store(key_node, EMPTY_STACK, S1, summary(1)) is False
         assert cache.lookup(key_node, EMPTY_STACK, S1) is first
+        # A *differing* memo can only arrive across a program-version
+        # boundary (wire store ops, warm start over an edited program);
+        # the fresher publish replaces the stale resident — the shard
+        # servers' self-heal rule, applied uniformly.
+        fresh = summary(5)
+        assert cache.store(key_node, EMPTY_STACK, S1, fresh) is True
+        assert cache.lookup(key_node, EMPTY_STACK, S1) is fresh
+        assert len(cache) == 1
+        assert cache.total_facts() == fresh.size
 
     def test_len_and_contains(self):
         cache = SummaryCache()
