@@ -40,27 +40,29 @@ from repro.cacheserver.workload import canonical_results, results_digest
 from repro.clients import SafeCastClient
 from repro.engine import PointsToEngine
 
-from conftest import FIGURE_BENCHMARKS, SCALE
+from conftest import FIGURE_BENCHMARKS, SCALE, perf_fields
 
 BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_shared.json"
 
 _ROWS = []
 
 
-def _run_client_process(addresses, name):
+def _run_client_process(addresses, name, pipeline=False):
     env = dict(os.environ)
     src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
     env["PYTHONPATH"] = src + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    command = [
+        sys.executable, "-m", "repro.cacheserver.workload",
+        "--benchmark", name, "--scale", str(SCALE),
+        "--client", "SafeCast", "--remote", ",".join(addresses),
+    ]
+    if pipeline:
+        command.append("--pipeline")
     started = time.perf_counter()
     proc = subprocess.run(
-        [
-            sys.executable, "-m", "repro.cacheserver.workload",
-            "--benchmark", name, "--scale", str(SCALE),
-            "--client", "SafeCast", "--remote", ",".join(addresses),
-        ],
-        capture_output=True, text=True, env=env, timeout=580,
+        command, capture_output=True, text=True, env=env, timeout=580,
     )
     elapsed = time.perf_counter() - started
     assert proc.returncode == 0, proc.stderr
@@ -81,18 +83,25 @@ def test_shared_cache_warm_client(benchmark, figure_instances, name):
         with CacheCluster.spawn(shards=2) as cluster:
             cold = _run_client_process(cluster.addresses, name)
             warm = _run_client_process(cluster.addresses, name)
+            piped = _run_client_process(cluster.addresses, name, pipeline=True)
         assert not any(cluster.alive())
-        return cold, warm
+        return cold, warm, piped
 
-    cold, warm = benchmark.pedantic(deployment, rounds=1, iterations=1)
+    cold, warm, piped = benchmark.pedantic(deployment, rounds=1, iterations=1)
 
-    # Element-wise identity across the process boundary, both clients.
+    # Element-wise identity across the process boundary, all clients.
     assert cold["digest"] == single_digest
     assert warm["digest"] == single_digest
+    assert piped["digest"] == single_digest
     assert warm["remote"]["remote_errors"] == 0
     assert warm["remote"]["remote_hits"] > 0
     # The acceptance bar: a warm second client rides the service.
     assert warm["steps"][0] < 0.75 * cold["steps"][0]
+    # Protocol 1.2: a pipelined warm client pays O(shards) round trips
+    # (prefetch + flush), far below the per-lookup exchanges of the
+    # plain warm client — and answers stay identical.
+    assert piped["remote"]["prefetched"] > 0
+    assert piped["remote"]["round_trips"] < warm["remote"]["round_trips"]
 
     _ROWS.append(
         {
@@ -100,16 +109,25 @@ def test_shared_cache_warm_client(benchmark, figure_instances, name):
             "client": "SafeCast",
             "n_queries": cold["n_queries"],
             "shards": 2,
+            "single_process": perf_fields(batch.stats),
             "cold": {
                 "steps": cold["steps"][0],
                 "time_sec": cold["time_sec"],
                 "stores": cold["remote"]["stores"],
+                "round_trips": cold["remote"]["round_trips"],
             },
             "warm": {
                 "steps": warm["steps"][0],
                 "time_sec": warm["time_sec"],
                 "remote_hits": warm["remote"]["remote_hits"],
                 "remote_misses": warm["remote"]["remote_misses"],
+                "round_trips": warm["remote"]["round_trips"],
+            },
+            "warm_pipelined": {
+                "steps": piped["steps"][0],
+                "time_sec": piped["time_sec"],
+                "prefetched": piped["remote"]["prefetched"],
+                "round_trips": piped["remote"]["round_trips"],
             },
             "step_ratio": round(warm["steps"][0] / cold["steps"][0], 4),
         }
@@ -122,17 +140,18 @@ def test_print_shared_cache(benchmark):
         pytest.skip("series did not run")
     header = (
         f"{'benchmark':10s} {'queries':>7s} {'cold steps':>10s} "
-        f"{'warm steps':>10s} {'ratio':>6s} {'remote hits':>11s} "
-        f"{'published':>9s}"
+        f"{'warm steps':>10s} {'ratio':>6s} {'warm rt':>8s} "
+        f"{'piped rt':>8s} {'published':>9s}"
     )
-    print("\n\nShared cache service — 2 shard processes, 2 client processes")
+    print("\n\nShared cache service — 2 shard processes, 3 client processes")
     print(header)
     print("-" * len(header))
     for row in _ROWS:
         print(
             f"{row['benchmark']:10s} {row['n_queries']:>7d} "
             f"{row['cold']['steps']:>10d} {row['warm']['steps']:>10d} "
-            f"{row['step_ratio']:>6.2f} {row['warm']['remote_hits']:>11d} "
+            f"{row['step_ratio']:>6.2f} {row['warm']['round_trips']:>8d} "
+            f"{row['warm_pipelined']['round_trips']:>8d} "
             f"{row['cold']['stores']:>9d}"
         )
     if os.environ.get("REPRO_WRITE_BASELINE"):

@@ -30,3 +30,23 @@ def instances():
 @pytest.fixture(scope="session")
 def figure_instances(instances):
     return {name: instances[name] for name in FIGURE_BENCHMARKS}
+
+
+def perf_fields(batch_stats):
+    """Both measurement dimensions for one batch, BENCH-row ready.
+
+    Steps are deterministic (the comparison dimension CI can gate on);
+    wall-clock varies by host but is recorded alongside so committed
+    BENCH files carry the throughput trajectory too — the
+    ``repro-perf`` harness (``BENCH_hotpath.json``) owns the
+    fast-vs-reference comparison itself.
+    """
+    return {
+        "steps": batch_stats.steps,
+        "time_sec": round(batch_stats.time_sec, 6),
+        "steps_per_sec": (
+            round(batch_stats.steps / batch_stats.time_sec)
+            if batch_stats.time_sec
+            else None
+        ),
+    }

@@ -37,10 +37,16 @@ from repro.analysis.base import (
     cross_exit_backward,
     cross_exit_forward,
 )
-from repro.analysis.ppta import PptaResult, run_ppta
-from repro.analysis.summaries import SummaryCache
+from repro.analysis.ppta import (
+    PptaResult,
+    _run_ppta_fast,
+    active_traversal_impl,
+    run_ppta,
+)
+from repro.analysis.summaries import SummaryCache, SummaryStore
 from repro.cfl.rsm import S1, S2
 from repro.cfl.stacks import EMPTY_STACK
+from repro.pag.graph import EMPTY_ADJACENCY
 from repro.util.errors import BudgetExceededError
 
 
@@ -113,7 +119,187 @@ class DynSum(DemandPointsToAnalysis):
         return QueryResult(var, pairs, complete, budget.steps, stats)
 
     def _explore(self, var, context, pairs, budget):
+        """Algorithm 4's worklist.
+
+        Two equivalent implementations: the inlined fast loop below
+        (records, locals-bound names, context ops unrolled) is the
+        production path; traced queries (an attached observer) and
+        reference-mode runs (:func:`~repro.analysis.ppta.traversal_impl`
+        ``"reference"``) take :meth:`_explore_reference` — the retained
+        pre-optimization loop over the PAG accessor surface.  Both
+        charge the budget once per pop and probe the cache identically.
+        """
+        if self.observer is not None or active_traversal_impl() != "fast":
+            return self._explore_reference(var, context, pairs, budget)
         pag = self.pag
+        get_record = pag.adjacency().get
+        empty_record = EMPTY_ADJACENCY
+        cache = self.cache
+        cache_lookup = cache.lookup
+        cache_store = cache.store
+        # The default unbounded cache needs no recency bookkeeping, so
+        # its probe can be one inlined dict get; every other backend
+        # (bounded, sharded, remote) goes through its lookup method.
+        plain_entries_get = (
+            cache._entries.get if type(cache) is SummaryCache else None
+        )
+        max_depth = self.config.max_field_depth
+        track = self.config.track_heap_contexts
+        recursive_sites = pag.recursive_sites()
+        limit = budget.limit
+        # Local mirror of budget.steps: synced to the budget object
+        # around every PPTA call and on every exit, so the shared budget
+        # reads exactly as if charge() ran once per pop.
+        total = budget.steps
+        ceiling = limit if limit is not None else float("inf")
+        empty_stack = EMPTY_STACK
+        ppta = _run_ppta_fast
+        # The visited set holds all-int keys (record index, field-stack
+        # uid, state, context uid): stacks are canonical (hash-consed),
+        # so uid equality is structural equality, and an int tuple
+        # hashes without a Python-level Stack.__hash__ call per probe.
+        start_rec = get_record(var)
+        start_index = start_rec.index if start_rec is not None else -1
+        seen = {(start_index, EMPTY_STACK._uid, S1, context._uid)}
+        seen_add = seen.add
+        worklist = deque([(var, EMPTY_STACK, S1, context)])
+        pop = worklist.popleft
+        push = worklist.append
+        pairs_add = pairs.add
+
+        # Int-keyed probe memo (record index, stack uid, state), carried
+        # on the cache across queries: repeat probes of one summary —
+        # DYNSUM's whole reuse pattern — skip the structural key build.
+        # The memo mirrors a subset of the cache's entries for ONE
+        # compiled adjacency; the cache resets it on every removal or
+        # replacement, and a PAG recompile (different map object)
+        # retires it here.  Memo answers still count as cache hits,
+        # exactly as the repeated cache.lookup they replace would have;
+        # hits accumulate locally and flush in the finally, so the
+        # cache's counters read identically on every exit path.
+        if plain_entries_get is not None:
+            adjacency_map = pag.adjacency()
+            memo_pair = cache._fast_memo
+            if memo_pair is None or memo_pair[0] is not adjacency_map:
+                memo_pair = (adjacency_map, {})
+                cache._fast_memo = memo_pair
+            qmemo = memo_pair[1]
+        else:
+            qmemo = {}
+        qmemo_get = qmemo.get
+        hits = 0
+
+        try:
+            while worklist:
+                u, f, s, c = pop()
+                total += 1
+                if total > ceiling:
+                    budget.steps = total
+                    raise BudgetExceededError(limit)
+                rec = get_record(u)
+                if rec is None:
+                    rec = empty_record
+                if rec.has_local_edges:
+                    if plain_entries_get is not None:
+                        mkey = (rec.index, f._uid, s)
+                        summary = qmemo_get(mkey)
+                        if summary is None:
+                            key = (u, f, s)
+                            summary = plain_entries_get(key)
+                            if summary is None:
+                                cache.misses += 1
+                                # run_ppta charges the shared budget
+                                # itself — hand the mirror over and take
+                                # it back after.
+                                budget.steps = total
+                                summary = ppta(pag, u, f, s, budget, max_depth)
+                                total = budget.steps
+                                # Inline plain-cache insert: the probe
+                                # just missed and nothing ran in
+                                # between, so the key is absent (plain
+                                # caches never serve parallel batches).
+                                cache._entries[key] = summary
+                                cache._facts += summary.size
+                                method = u.method
+                                if method is not None:
+                                    cache._by_method.setdefault(
+                                        method, set()
+                                    ).add(key)
+                            else:
+                                hits += 1
+                            qmemo[mkey] = summary
+                        else:
+                            hits += 1
+                    else:
+                        summary = cache_lookup(u, f, s)
+                        if summary is None:
+                            budget.steps = total
+                            summary = ppta(pag, u, f, s, budget, max_depth)
+                            total = budget.steps
+                            cache_store(u, f, s, summary)
+                    objects = summary.objects
+                    if objects:
+                        ctx = c if track else empty_stack
+                        for obj in objects:
+                            pairs_add((obj, ctx))
+                    boundaries = summary.boundaries
+                    if not boundaries:
+                        continue
+                elif rec.has_global_in if s == S1 else rec.has_global_out:
+                    # Section 4.3: no local edges — the node is its own
+                    # (trivial) boundary; no cache probe, no PptaResult.
+                    boundaries = ((u, f, s),)
+                else:
+                    continue
+                for x, f1, s1 in boundaries:
+                    # A node is frequently its own boundary (trivial
+                    # nodes always, summarised nodes often) — reuse its
+                    # record.
+                    brec = rec if x is u else get_record(x)
+                    if brec is None:
+                        continue  # no global edges to cross
+                    # RRP over the combined crossing list: backward
+                    # crosses exit (push) / entry (pop-or-empty) /
+                    # assignglobal (clear); forward mirrors with entry
+                    # pushing (base.cross_* unrolled; op codes from
+                    # pag.graph).
+                    crossings = (
+                        brec.cross_backward if s1 == S1 else brec.cross_forward
+                    )
+                    f1_uid = f1._uid
+                    for op, target, site, tindex in crossings:
+                        if op == 0:  # CROSS_PUSH
+                            ctx = c if site in recursive_sites else c.push(site)
+                        elif op == 1:  # CROSS_POP
+                            if site in recursive_sites or c._rest is None:
+                                ctx = c
+                            elif c._top == site:
+                                ctx = c._rest
+                            else:
+                                continue  # unrealizable
+                        else:  # CROSS_CLEAR
+                            ctx = empty_stack
+                        key = (tindex, f1_uid, s1, ctx._uid)
+                        size = len(seen)
+                        seen_add(key)
+                        if len(seen) != size:
+                            push((target, f1, s1, ctx))
+            budget.steps = total
+        finally:
+            if hits:
+                cache.hits += hits
+
+    def _explore_reference(self, var, context, pairs, budget):
+        """The retained pre-optimization worklist (PAG accessor surface).
+
+        Verbatim the loop the fast path replaced: helper calls per pop,
+        accessor methods per edge list.  Runs for traced queries (the
+        observer hooks live here) and under
+        ``traversal_impl("reference")`` — paired with
+        :func:`~repro.analysis.ppta.run_ppta_reference` it *is* the
+        pre-PR DYNSUM, the baseline ``repro-perf`` measures speedups
+        against and the differential tests compare answers with.
+        """
         start = (var, EMPTY_STACK, S1, context)
         seen = {start}
         worklist = deque([start])
@@ -154,7 +340,15 @@ class DynSum(DemandPointsToAnalysis):
             )
             boundaries = ((node, fstack, state),) if has_boundary else ()
             return PptaResult((), boundaries)
-        cached = self.cache.lookup(node, fstack, state)
+        # Probe through the generic store surface (the pre-PR probe
+        # path): the fast loop's specialised plain-cache probe is part
+        # of what reference-mode measurements baseline against, so it
+        # must not leak in here.  Counters and results are identical.
+        cache = self.cache
+        if type(cache) is SummaryCache:
+            cached = SummaryStore.lookup(cache, node, fstack, state)
+        else:
+            cached = cache.lookup(node, fstack, state)
         if cached is not None:
             if self.observer is not None:
                 self.observer("summary-hit", node=node, stack=fstack, state=state)
@@ -162,7 +356,10 @@ class DynSum(DemandPointsToAnalysis):
         summary = run_ppta(
             pag, node, fstack, state, budget, self.config.max_field_depth
         )
-        self.cache.store(node, fstack, state, summary)
+        if type(cache) is SummaryCache:
+            SummaryStore.store(cache, node, fstack, state, summary)
+        else:
+            cache.store(node, fstack, state, summary)
         if self.observer is not None:
             self.observer(
                 "summary-miss", node=node, stack=fstack, state=state, summary=summary

@@ -26,8 +26,9 @@ from repro.analysis.base import (
     cross_exit_backward,
     cross_exit_forward,
 )
-from repro.cfl.rsm import FAM_LOAD, FAM_STORE, S1, S2
+from repro.cfl.rsm import FAM_LOAD, S1, S2
 from repro.cfl.stacks import EMPTY_STACK
+from repro.pag.graph import EMPTY_ADJACENCY
 from repro.util.errors import BudgetExceededError
 
 
@@ -55,7 +56,10 @@ class NoRefine(DemandPointsToAnalysis):
     # the exploded-state worklist
     # ------------------------------------------------------------------
     def _explore(self, var, context, pairs, budget):
-        pag = self.pag
+        # One precompiled adjacency record per popped state (the same
+        # map the PPTA fast path runs over) instead of accessor calls.
+        get_record = self.pag.adjacency().get
+        empty_record = EMPTY_ADJACENCY
         depth_limit = self.config.max_field_depth
         start = (var, EMPTY_STACK, S1, context)
         seen = {start}
@@ -70,60 +74,63 @@ class NoRefine(DemandPointsToAnalysis):
         while worklist:
             v, f, s, c = worklist.popleft()
             budget.charge()
+            rec = get_record(v)
+            if rec is None:
+                rec = empty_record
             if s == S1:
-                self._expand_s1(v, f, c, pairs, propagate, depth_limit, budget)
+                self._expand_s1(rec, v, f, c, pairs, propagate, depth_limit, budget)
             else:
-                self._expand_s2(v, f, c, propagate, depth_limit, budget)
+                self._expand_s2(rec, v, f, c, propagate, depth_limit, budget)
 
     def _check_depth(self, fstack, limit, budget):
         if limit is not None and len(fstack) >= limit:
             raise BudgetExceededError(budget.limit)
 
-    def _expand_s1(self, v, f, c, pairs, propagate, depth_limit, budget):
+    def _expand_s1(self, rec, v, f, c, pairs, propagate, depth_limit, budget):
         pag = self.pag
-        new_sources = pag.new_sources(v)
+        new_sources = rec.new_sources
         if new_sources:
             if f.is_empty:
                 ctx = self._finish_context(c)
                 pairs.update((obj, ctx) for obj in new_sources)
             else:
                 propagate(v, f, S2, c)
-        for x in pag.assign_sources(v):
+        for x, _xi in rec.assign_sources:
             propagate(x, f, S1, c)
-        for base, g in pag.load_into(v):
+        for base, _g, token, _bi in rec.load_into:
             self._check_depth(f, depth_limit, budget)
-            propagate(base, f.push((g, FAM_LOAD)), S1, c)
-        for retvar, site in pag.exit_into(v):
+            propagate(base, f.push(token), S1, c)
+        for retvar, site in rec.exit_into:
             propagate(retvar, f, S1, cross_exit_backward(pag, c, site))
-        for actual, site in pag.entry_into(v):
+        for actual, site in rec.entry_into:
             ctx = cross_entry_backward(pag, c, site)
             if ctx is not UNREALIZABLE:
                 propagate(actual, f, S1, ctx)
-        for x in pag.global_sources(v):
+        for x in rec.global_sources:
             propagate(x, f, S1, EMPTY_STACK)
 
-    def _expand_s2(self, v, f, c, propagate, depth_limit, budget):
+    def _expand_s2(self, rec, v, f, c, propagate, depth_limit, budget):
         pag = self.pag
-        for x in pag.assign_targets(v):
+        for x, _xi in rec.assign_targets:
             propagate(x, f, S2, c)
         top = f.peek()
         if top is not None:
             top_field = top[0]
-            for g, x in pag.load_from(v):
+            for g, x, _xi in rec.load_from:
                 if g == top_field:  # forward load closes either family
                     propagate(x, f.pop(), S2, c)
             if top[1] == FAM_LOAD:
-                for x, g in pag.store_into(v):
+                for x, g, _xi in rec.store_into:
                     if g == top_field:  # store-bar closes family A only
                         propagate(x, f.pop(), S1, c)
-        for g, b in pag.store_from(v):
+        for _g, b, token, _bi in rec.store_from:
             self._check_depth(f, depth_limit, budget)
-            propagate(b, f.push((g, FAM_STORE)), S1, c)
-        for site, formal in pag.entry_from(v):
+            propagate(b, f.push(token), S1, c)
+        for site, formal in rec.entry_from:
             propagate(formal, f, S2, cross_entry_forward(pag, c, site))
-        for site, target in pag.exit_from(v):
+        for site, target in rec.exit_from:
             ctx = cross_exit_forward(pag, c, site)
             if ctx is not UNREALIZABLE:
                 propagate(target, f, S2, ctx)
-        for x in pag.global_targets(v):
+        for x in rec.global_targets:
             propagate(x, f, S2, EMPTY_STACK)

@@ -25,9 +25,30 @@ The recursion of Algorithm 3 is implemented iteratively (explicit stack)
 so that long local assign chains cannot overflow Python's call stack; the
 ``visited`` set on ``(node, field-stack, state)`` triples plays the role
 of Algorithm 3's ``visited`` parameter, preventing cyclic re-traversal.
+
+Two implementations live here, answer-identical by construction and by
+the differential battery in ``tests/test_ppta_fastpath.py``:
+
+* :func:`_run_ppta_fast` — the production loop.  It runs over the PAG's
+  precompiled :class:`~repro.pag.graph.NodeAdjacency` records (one dict
+  lookup per popped state instead of 8+ accessor calls), pushes interned
+  ``(field, family)`` tokens through hash-consed stacks, binds every hot
+  name locally, and charges the budget with a local counter that is
+  synced back on every exit path — so steps, abort behaviour and results
+  are bit-identical to the reference.
+* :func:`run_ppta_reference` — the straight-line accessor-based loop
+  (the pre-optimization implementation), retained as the oracle for the
+  differential tests and the ``repro-perf`` speedup measurement.
+
+:func:`run_ppta` dispatches to the active implementation;
+:func:`traversal_impl` switches it (the perf harness runs whole
+workloads under either).
 """
 
+from contextlib import contextmanager
+
 from repro.cfl.rsm import FAM_LOAD, FAM_STORE, S1, S2
+from repro.pag.graph import EMPTY_ADJACENCY
 from repro.util.errors import BudgetExceededError
 
 
@@ -46,30 +67,269 @@ class PptaResult:
     assumed cheap.
     """
 
-    __slots__ = ("objects", "boundaries", "steps")
+    __slots__ = ("objects", "boundaries", "steps", "size")
 
     def __init__(self, objects, boundaries, steps=0):
         self.objects = tuple(objects)
         self.boundaries = tuple(boundaries)
         self.steps = steps
-
-    @property
-    def size(self):
-        """Number of facts in the summary (used by the Figure 5 metric)."""
-        return len(self.objects) + len(self.boundaries)
+        #: Number of facts in the summary (the Figure 5 metric) — a
+        #: plain attribute because the store layer reads it per insert.
+        self.size = len(self.objects) + len(self.boundaries)
 
     def __repr__(self):
         return f"PptaResult({len(self.objects)} object(s), {len(self.boundaries)} boundary tuple(s))"
 
 
-def run_ppta(pag, node, field_stack, state, budget, max_field_depth=None):
-    """Run ``DSPOINTSTO(node, field_stack, state)`` over ``pag``.
+def _object_order(obj):
+    return obj.object_id
 
-    ``budget`` is charged one step per visited state; exhaustion raises
-    :class:`BudgetExceededError` out of this function (the caller marks
-    the whole query incomplete and discards the partial summary).
-    ``max_field_depth`` optionally bounds the field stack; crossing it is
-    treated exactly like budget exhaustion.
+
+def _boundary_order(boundary):
+    """Structural sort key for one boundary tuple.
+
+    Uses the node's precomputed ``sort_key`` — a ``(kind, owner, name)``
+    tuple — instead of ``repr(node)``: no string building per
+    comparison, and the order is deterministic across processes and
+    ``PYTHONHASHSEED`` values by construction.
+    """
+    node, field_stack, state = boundary
+    return (node.sort_key, state, field_stack.to_tuple())
+
+
+# ----------------------------------------------------------------------
+# the production loop
+# ----------------------------------------------------------------------
+def _run_ppta_fast(pag, node, field_stack, state, budget, max_field_depth=None):
+    """The optimized ``DSPOINTSTO`` loop (see module docstring).
+
+    Private slots of :class:`~repro.cfl.stacks.Stack` are read directly
+    (``_rest``/``_size``/``_top``) — the properties they back are
+    function calls, and this loop runs ~75k times per budget-bound
+    query.
+    """
+    adjacency = pag.adjacency()
+    get_record = adjacency.get
+    # Lists, not sets: a state is popped at most once (the visited set
+    # guards every push), each boundary IS its popped state, and each
+    # object belongs to exactly one ``new`` edge — so neither list can
+    # ever see a duplicate.
+    objects = []
+    boundaries = []
+    start_rec = get_record(node)
+    start_index = start_rec.index if start_rec is not None else -1
+    steps_before = budget.steps
+    limit = budget.limit
+
+    # ------------------------------------------------------------------
+    # Single-expansion prologue.  Most summaries (~75% on the synthetic
+    # suite) need only one or two states; expanding the start state into
+    # a plain ``pending`` list first lets the single-state majority skip
+    # the visited-set machinery entirely.  Within one expansion every
+    # pushed item is distinct (disjoint edge groups, distinct
+    # stacks/states), so the only duplicate possible is a self-loop back
+    # to the start — guarded by identity (``x is node``) since stack and
+    # state match the start's exactly there.
+    # ------------------------------------------------------------------
+    if limit is not None and steps_before >= limit:
+        budget.steps = steps_before + 1
+        raise BudgetExceededError(limit)
+    rec0 = start_rec if start_rec is not None else EMPTY_ADJACENCY
+    f0 = field_stack
+    pending = []
+    if state == S1:
+        new_sources = rec0.new_sources
+        if new_sources:
+            if f0._rest is None:
+                objects.extend(new_sources)
+            else:
+                pending.append((node, start_index, f0, S2))
+        for x, xindex in rec0.assign_sources:
+            if x is node:
+                continue  # self-assign: equals the start state
+            pending.append((x, xindex, f0, S1))
+        loads = rec0.load_into
+        if loads:
+            if max_field_depth is not None and f0._size >= max_field_depth:
+                budget.steps = steps_before + 1
+                raise BudgetExceededError(limit)
+            for base, _field, token, bindex in loads:
+                pending.append((base, bindex, f0.push(token), S1))
+        if rec0.has_global_in:
+            boundaries.append((node, f0, S1))
+    else:
+        for x, xindex in rec0.assign_targets:
+            if x is node:
+                continue  # self-assign: equals the start state
+            pending.append((x, xindex, f0, S2))
+        rest = f0._rest
+        if rest is not None:
+            top = f0._top
+            top_field = top[0]
+            for g, x, xindex in rec0.load_from:
+                if g == top_field:
+                    pending.append((x, xindex, rest, S2))
+            if top[1] == FAM_LOAD:
+                for x, g, xindex in rec0.store_into:
+                    if g == top_field:
+                        pending.append((x, xindex, rest, S1))
+        stores = rec0.store_from
+        if stores:
+            if max_field_depth is not None and f0._size >= max_field_depth:
+                budget.steps = steps_before + 1
+                raise BudgetExceededError(limit)
+            for _field, b, token, bindex in stores:
+                pending.append((b, bindex, f0.push(token), S1))
+        if rec0.has_global_out:
+            boundaries.append((node, f0, S2))
+    if not pending:
+        budget.steps = steps_before + 1
+        return PptaResult(
+            sorted(objects, key=_object_order) if len(objects) > 1 else objects,
+            boundaries,  # at most one entry here — no sort needed
+            steps=1,
+        )
+
+    # ------------------------------------------------------------------
+    # General phase: the full worklist, seeded with the prologue's
+    # pushes (LIFO order identical to an in-loop start expansion).
+    # ------------------------------------------------------------------
+    # Visited keys are all ints (record index, field-stack uid, state):
+    # stacks are canonical (hash-consed pushes), so uid equality is
+    # structural equality, and the int tuple hashes without a
+    # Python-level Stack.__hash__ call.  Stack items carry the node's
+    # index along for the turnaround push.
+    visited = {(start_index, field_stack._uid, state)}
+    stack = []
+    for item in pending:
+        visited.add((item[1], item[2]._uid, item[3]))
+        stack.append(item)
+    # Locals-bound hot names: every global/attribute read below this
+    # line that the loop repeats is now a LOAD_FAST.
+    visited_add = visited.add
+    stack_pop = stack.pop
+    stack_append = stack.append
+    add_boundary = boundaries.append
+    add_objects = objects.extend
+    empty_record = EMPTY_ADJACENCY
+    push_limit = max_field_depth
+    allowed = None if limit is None else limit - steps_before
+    steps = 1  # the prologue's start expansion
+    try:
+        while stack:
+            v, vindex, f, s = stack_pop()
+            steps += 1
+            if allowed is not None and steps > allowed:
+                raise BudgetExceededError(limit)
+            rec = get_record(v)
+            if rec is None:
+                rec = empty_record
+            # Insertion pattern throughout: add + size check instead of
+            # `in` + add — one hash per attempted push, not two.
+            f_uid = f._uid
+            if s == S1:
+                new_sources = rec.new_sources
+                if new_sources:
+                    if f._rest is None:  # empty stack: emit the objects
+                        add_objects(new_sources)
+                    else:
+                        # "new new-bar" turnaround (Algorithm 3 line 10).
+                        key = (vindex, f_uid, S2)
+                        size = len(visited)
+                        visited_add(key)
+                        if len(visited) != size:
+                            stack_append((v, vindex, f, S2))
+                for x, xindex in rec.assign_sources:
+                    key = (xindex, f_uid, S1)
+                    size = len(visited)
+                    visited_add(key)
+                    if len(visited) != size:
+                        stack_append((x, xindex, f, S1))
+                loads = rec.load_into
+                if loads:
+                    if push_limit is not None and f._size >= push_limit:
+                        raise BudgetExceededError(limit)
+                    for base, _field, token, bindex in loads:
+                        pushed = f.push(token)
+                        key = (bindex, pushed._uid, S1)
+                        size = len(visited)
+                        visited_add(key)
+                        if len(visited) != size:
+                            stack_append((base, bindex, pushed, S1))
+                if rec.has_global_in:
+                    add_boundary((v, f, S1))
+            else:
+                for x, xindex in rec.assign_targets:
+                    key = (xindex, f_uid, S2)
+                    size = len(visited)
+                    visited_add(key)
+                    if len(visited) != size:
+                        stack_append((x, xindex, f, S2))
+                rest = f._rest
+                if rest is not None:
+                    top = f._top
+                    top_field = top[0]
+                    rest_uid = rest._uid
+                    for g, x, xindex in rec.load_from:
+                        if g == top_field:  # forward load closes either family
+                            key = (xindex, rest_uid, S2)
+                            size = len(visited)
+                            visited_add(key)
+                            if len(visited) != size:
+                                stack_append((x, xindex, rest, S2))
+                    if top[1] == FAM_LOAD:
+                        for x, g, xindex in rec.store_into:
+                            if g == top_field:
+                                # store-bar: only a pending backward load
+                                # may be closed here; the matching store's
+                                # value continues backward.
+                                key = (xindex, rest_uid, S1)
+                                size = len(visited)
+                                visited_add(key)
+                                if len(visited) != size:
+                                    stack_append((x, xindex, rest, S1))
+                stores = rec.store_from
+                if stores:
+                    # The tracked object is stored into b.g — look for
+                    # aliases of the base backward, with g pending (B).
+                    if push_limit is not None and f._size >= push_limit:
+                        raise BudgetExceededError(limit)
+                    for _field, b, token, bindex in stores:
+                        pushed = f.push(token)
+                        key = (bindex, pushed._uid, S1)
+                        size = len(visited)
+                        visited_add(key)
+                        if len(visited) != size:
+                            stack_append((b, bindex, pushed, S1))
+                if rec.has_global_out:
+                    add_boundary((v, f, S2))
+    finally:
+        # Sync the local step counter on every exit path (normal,
+        # budget-abort, depth-abort) so the budget object reads exactly
+        # as if charge() had been called once per pop.
+        budget.steps = steps_before + steps
+    # Singleton/empty fact sets need no sort — the common case for the
+    # paper's small, local-heavy methods.
+    return PptaResult(
+        sorted(objects, key=_object_order) if len(objects) > 1 else objects,
+        sorted(boundaries, key=_boundary_order) if len(boundaries) > 1 else boundaries,
+        steps=steps,
+    )
+
+
+# ----------------------------------------------------------------------
+# the retained reference implementation (pre-optimization loop)
+# ----------------------------------------------------------------------
+def run_ppta_reference(pag, node, field_stack, state, budget, max_field_depth=None):
+    """Accessor-based ``DSPOINTSTO`` — the differential oracle.
+
+    Structured exactly as the pre-fast-path implementation: one helper
+    call per state expansion, PAG accessor methods for every edge list,
+    fresh stack-entry tuples and freshly allocated stack nodes
+    (``push_uncached``) per push.  Kept so the optimized loop can always
+    be checked (and benchmarked) against straight-line code.  Only the
+    fact ordering is shared with the fast loop (structural sort keys),
+    so the two return bit-identical results.
     """
     objects = set()
     boundaries = set()
@@ -91,15 +351,6 @@ def run_ppta(pag, node, field_stack, state, budget, max_field_depth=None):
         sorted(boundaries, key=_boundary_order),
         steps=budget.steps - steps_before,
     )
-
-
-def _object_order(obj):
-    return obj.object_id
-
-
-def _boundary_order(boundary):
-    node, field_stack, state = boundary
-    return (repr(node), state, field_stack.to_tuple())
 
 
 def _push_state(visited, stack, state_tuple):
@@ -127,7 +378,7 @@ def _expand_s1(pag, v, f, objects, boundaries, visited, stack, push_limit, budge
         _push_state(visited, stack, (x, f, S1))
     for base, g in pag.load_into(v):
         _check_depth(f, push_limit, budget)
-        _push_state(visited, stack, (base, f.push((g, FAM_LOAD)), S1))
+        _push_state(visited, stack, (base, f.push_uncached((g, FAM_LOAD)), S1))
     if pag.has_global_in(v):
         boundaries.add((v, f, S1))
 
@@ -153,6 +404,66 @@ def _expand_s2(pag, v, f, boundaries, visited, stack, push_limit, budget):
         # The tracked object is stored into b.g — look for aliases of the
         # base b backward, with g pending (family B).
         _check_depth(f, push_limit, budget)
-        _push_state(visited, stack, (b, f.push((g, FAM_STORE)), S1))
+        _push_state(visited, stack, (b, f.push_uncached((g, FAM_STORE)), S1))
     if pag.has_global_out(v):
         boundaries.add((v, f, S2))
+
+
+# ----------------------------------------------------------------------
+# implementation dispatch
+# ----------------------------------------------------------------------
+TRAVERSAL_IMPLS = {
+    "fast": _run_ppta_fast,
+    "reference": run_ppta_reference,
+}
+
+#: The active implementation, mutated only by :func:`traversal_impl` /
+#: :func:`set_traversal_impl`.  A one-slot dict rather than a module
+#: global so ``from ppta import run_ppta`` bindings stay valid.
+_ACTIVE = {"impl": "fast"}
+
+
+def active_traversal_impl():
+    """The name of the implementation :func:`run_ppta` dispatches to."""
+    return _ACTIVE["impl"]
+
+
+def set_traversal_impl(name):
+    """Select the PPTA implementation globally (``fast``/``reference``)."""
+    if name not in TRAVERSAL_IMPLS:
+        known = ", ".join(sorted(TRAVERSAL_IMPLS))
+        raise ValueError(f"unknown traversal impl {name!r}; known: {known}")
+    _ACTIVE["impl"] = name
+
+
+@contextmanager
+def traversal_impl(name):
+    """Temporarily select a PPTA implementation.
+
+    Used by the differential tests and the ``repro-perf`` harness to run
+    whole workloads under the reference loop.  Process-global — callers
+    must not fan traversals out on a thread pool while switched.
+    """
+    previous = _ACTIVE["impl"]
+    set_traversal_impl(name)
+    try:
+        yield
+    finally:
+        _ACTIVE["impl"] = previous
+
+
+def run_ppta(pag, node, field_stack, state, budget, max_field_depth=None):
+    """Run ``DSPOINTSTO(node, field_stack, state)`` over ``pag``.
+
+    ``budget`` is charged one step per visited state; exhaustion raises
+    :class:`BudgetExceededError` out of this function (the caller marks
+    the whole query incomplete and discards the partial summary).
+    ``max_field_depth`` optionally bounds the field stack; crossing it is
+    treated exactly like budget exhaustion.
+
+    Dispatches to the active implementation (see :func:`traversal_impl`)
+    — the fast record-based loop by default.
+    """
+    return TRAVERSAL_IMPLS[_ACTIVE["impl"]](
+        pag, node, field_stack, state, budget, max_field_depth
+    )

@@ -36,8 +36,9 @@ from repro.analysis.base import (
     cross_exit_backward,
     cross_exit_forward,
 )
-from repro.cfl.rsm import FAM_LOAD, FAM_STORE, S1, S2
+from repro.cfl.rsm import FAM_LOAD, S1, S2
 from repro.cfl.stacks import EMPTY_STACK
+from repro.pag.graph import EMPTY_ADJACENCY
 from repro.util.errors import BudgetExceededError
 
 
@@ -90,7 +91,11 @@ class RefinePts(DemandPointsToAnalysis):
     # one refinement iteration (Algorithm 1, flattened)
     # ------------------------------------------------------------------
     def _explore(self, var, context, pairs, budget, refined, flds_seen):
-        pag = self.pag
+        # Per-node adjacency records, one dict lookup per popped state —
+        # the field-indexed match-edge views stay on the PAG (they are
+        # keyed by field, not by node).
+        get_record = self.pag.adjacency().get
+        empty_record = EMPTY_ADJACENCY
         depth_limit = self.config.max_field_depth
         # Fields with at least one refined load: stores of these fields
         # take part in the full alias search.
@@ -108,12 +113,17 @@ class RefinePts(DemandPointsToAnalysis):
         while worklist:
             v, f, s, c = worklist.popleft()
             budget.charge()
+            rec = get_record(v)
+            if rec is None:
+                rec = empty_record
             if s == S1:
                 self._expand_s1(
-                    v, f, c, pairs, propagate, refined, flds_seen, depth_limit, budget
+                    rec, v, f, c, pairs, propagate, refined, flds_seen,
+                    depth_limit, budget
                 )
             else:
                 self._expand_s2(
+                    rec,
                     v,
                     f,
                     c,
@@ -130,40 +140,41 @@ class RefinePts(DemandPointsToAnalysis):
             raise BudgetExceededError(budget.limit)
 
     def _expand_s1(
-        self, v, f, c, pairs, propagate, refined, flds_seen, depth_limit, budget
+        self, rec, v, f, c, pairs, propagate, refined, flds_seen, depth_limit, budget
     ):
         pag = self.pag
-        new_sources = pag.new_sources(v)
+        new_sources = rec.new_sources
         if new_sources:
             if f.is_empty:
                 ctx = self._finish_context(c)
                 pairs.update((obj, ctx) for obj in new_sources)
             else:
                 propagate(v, f, S2, c)
-        for x in pag.assign_sources(v):
+        for x, _xi in rec.assign_sources:
             propagate(x, f, S1, c)
-        for base, g in pag.load_into(v):
+        for base, g, token, _bi in rec.load_into:
             edge = (base, g, v)
             if edge in refined:
                 self._check_depth(f, depth_limit, budget)
-                propagate(base, f.push((g, FAM_LOAD)), S1, c)
+                propagate(base, f.push(token), S1, c)
             else:
                 # Field-based: jump across the match edge to every value
                 # stored to g anywhere, clearing the context (Alg. 1 l.17).
                 flds_seen.add(edge)
                 for value, _store_base in pag.stores_of_field(g):
                     propagate(value, f, S1, EMPTY_STACK)
-        for retvar, site in pag.exit_into(v):
+        for retvar, site in rec.exit_into:
             propagate(retvar, f, S1, cross_exit_backward(pag, c, site))
-        for actual, site in pag.entry_into(v):
+        for actual, site in rec.entry_into:
             ctx = cross_entry_backward(pag, c, site)
             if ctx is not UNREALIZABLE:
                 propagate(actual, f, S1, ctx)
-        for x in pag.global_sources(v):
+        for x in rec.global_sources:
             propagate(x, f, S1, EMPTY_STACK)
 
     def _expand_s2(
         self,
+        rec,
         v,
         f,
         c,
@@ -175,24 +186,24 @@ class RefinePts(DemandPointsToAnalysis):
         budget,
     ):
         pag = self.pag
-        for x in pag.assign_targets(v):
+        for x, _xi in rec.assign_targets:
             propagate(x, f, S2, c)
         top = f.peek()
         if top is not None:
             top_field = top[0]
-            for g, x in pag.load_from(v):
+            for g, x, _xi in rec.load_from:
                 # Only refined loads participate in the field-sensitive
                 # forward match; unrefined ones are covered by match edges.
                 if g == top_field and (v, g, x) in refined:
                     propagate(x, f.pop(), S2, c)
             if top[1] == FAM_LOAD:
-                for x, g in pag.store_into(v):
+                for x, g, _xi in rec.store_into:
                     if g == top_field:  # store-bar closes family A only
                         propagate(x, f.pop(), S1, c)
-        for g, b in pag.store_from(v):
+        for g, b, token, _bi in rec.store_from:
             if g in refined_fields:
                 self._check_depth(f, depth_limit, budget)
-                propagate(b, f.push((g, FAM_STORE)), S1, c)
+                propagate(b, f.push(token), S1, c)
             for lbase, ltarget in pag.loads_of_field(g):
                 edge = (lbase, g, ltarget)
                 if edge not in refined:
@@ -200,11 +211,11 @@ class RefinePts(DemandPointsToAnalysis):
                     # reaches every unrefined load of g, context cleared.
                     flds_seen.add(edge)
                     propagate(ltarget, f, S2, EMPTY_STACK)
-        for site, formal in pag.entry_from(v):
+        for site, formal in rec.entry_from:
             propagate(formal, f, S2, cross_entry_forward(pag, c, site))
-        for site, target in pag.exit_from(v):
+        for site, target in rec.exit_from:
             ctx = cross_exit_forward(pag, c, site)
             if ctx is not UNREALIZABLE:
                 propagate(target, f, S2, ctx)
-        for x in pag.global_targets(v):
+        for x in rec.global_targets:
             propagate(x, f, S2, EMPTY_STACK)

@@ -43,6 +43,7 @@ from repro.analysis.base import (
 from repro.analysis.ppta import run_ppta
 from repro.cfl.rsm import FAM_LOAD, FAM_STORE, S1, S2
 from repro.cfl.stacks import EMPTY_STACK
+from repro.pag.graph import EMPTY_ADJACENCY
 from repro.util.errors import BudgetExceededError
 
 #: Pop-demand kinds recorded against the unknown incoming stack: the
@@ -117,7 +118,8 @@ class StaSum(DemandPointsToAnalysis):
 
     def _symbolic_ppta(self, start_node, start_state):
         """Local exploration with a symbolic incoming stack."""
-        pag = self.pag
+        get_record = self.pag.adjacency().get
+        empty_record = EMPTY_ADJACENCY
         threshold = self.threshold
         objects = set()
         boundaries = set()
@@ -139,8 +141,11 @@ class StaSum(DemandPointsToAnalysis):
         while stack:
             v, pops, pushes, s = stack.pop()
             self.offline_steps += 1
+            rec = get_record(v)
+            if rec is None:
+                rec = empty_record
             if s == S1:
-                new_sources = pag.new_sources(v)
+                new_sources = rec.new_sources
                 if new_sources:
                     if pushes:
                         push_state(v, pops, pushes, S2)
@@ -152,35 +157,35 @@ class StaSum(DemandPointsToAnalysis):
                         # applies.  Explored unconditionally — one source
                         # of STASUM's imprecision.
                         push_state(v, pops, (), S2)
-                for x in pag.assign_sources(v):
+                for x, _xi in rec.assign_sources:
                     push_state(x, pops, pushes, S1)
-                for base, g in pag.load_into(v):
-                    push_state(base, pops, pushes + ((g, FAM_LOAD),), S1)
-                if pag.has_global_in(v):
+                for base, _g, token, _bi in rec.load_into:
+                    push_state(base, pops, pushes + (token,), S1)
+                if rec.has_global_in:
                     boundaries.add((pops, pushes, v, S1))
             else:
-                for x in pag.assign_targets(v):
+                for x, _xi in rec.assign_targets:
                     push_state(x, pops, pushes, S2)
-                for g, x in pag.load_from(v):
+                for g, x, _xi in rec.load_from:
                     if pushes:
                         if pushes[-1][0] == g:  # either family
                             push_state(x, pops, pushes[:-1], S2)
                     else:
                         push_state(x, pops + ((_POP_ANY, g),), (), S2)
-                for x, g in pag.store_into(v):
+                for x, g, _xi in rec.store_into:
                     if pushes:
                         if pushes[-1] == (g, FAM_LOAD):  # store-bar: A only
                             push_state(x, pops, pushes[:-1], S1)
                     else:
                         push_state(x, pops + ((_POP_LOAD_ONLY, g),), (), S1)
-                for g, b in pag.store_from(v):
-                    push_state(b, pops, pushes + ((g, FAM_STORE),), S1)
-                if pag.has_global_out(v):
+                for _g, b, token, _bi in rec.store_from:
+                    push_state(b, pops, pushes + (token,), S1)
+                if rec.has_global_out:
                     boundaries.add((pops, pushes, v, S2))
 
         return StaticSummary(
             sorted(objects, key=lambda e: (e[0], e[1].object_id)),
-            sorted(boundaries, key=lambda e: (e[0], e[1], repr(e[2]), e[3])),
+            sorted(boundaries, key=lambda e: (e[0], e[1], e[2].sort_key, e[3])),
             truncated,
         )
 
@@ -203,6 +208,8 @@ class StaSum(DemandPointsToAnalysis):
 
     def _explore(self, var, context, pairs, budget):
         pag = self.pag
+        get_record = pag.adjacency().get
+        empty_record = EMPTY_ADJACENCY
         precise = True
         start = (var, EMPTY_STACK, S1, context)
         seen = {start}
@@ -217,10 +224,11 @@ class StaSum(DemandPointsToAnalysis):
         while worklist:
             u, f, s, c = worklist.popleft()
             budget.charge()
-            if not pag.has_local_edges(u):
-                has_boundary = (
-                    pag.has_global_in(u) if s == S1 else pag.has_global_out(u)
-                )
+            rec = get_record(u)
+            if rec is None:
+                rec = empty_record
+            if not rec.has_local_edges:
+                has_boundary = rec.has_global_in if s == S1 else rec.has_global_out
                 if has_boundary:
                     self._cross(u, f, s, c, propagate)
                 continue
@@ -252,23 +260,26 @@ class StaSum(DemandPointsToAnalysis):
 
     def _cross(self, x, f, s, c, propagate):
         pag = self.pag
+        rec = pag.adjacency().get(x)
+        if rec is None:
+            rec = EMPTY_ADJACENCY
         if s == S1:
-            for retvar, site in pag.exit_into(x):
+            for retvar, site in rec.exit_into:
                 propagate(retvar, f, S1, cross_exit_backward(pag, c, site))
-            for actual, site in pag.entry_into(x):
+            for actual, site in rec.entry_into:
                 ctx = cross_entry_backward(pag, c, site)
                 if ctx is not UNREALIZABLE:
                     propagate(actual, f, S1, ctx)
-            for y in pag.global_sources(x):
+            for y in rec.global_sources:
                 propagate(y, f, S1, EMPTY_STACK)
         else:
-            for site, formal in pag.entry_from(x):
+            for site, formal in rec.entry_from:
                 propagate(formal, f, S2, cross_entry_forward(pag, c, site))
-            for site, target in pag.exit_from(x):
+            for site, target in rec.exit_from:
                 ctx = cross_exit_forward(pag, c, site)
                 if ctx is not UNREALIZABLE:
                     propagate(target, f, S2, ctx)
-            for y in pag.global_targets(x):
+            for y in rec.global_targets:
                 propagate(y, f, S2, EMPTY_STACK)
 
 

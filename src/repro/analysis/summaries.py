@@ -44,6 +44,7 @@ and capacity eviction compose freely because both merely forget memos
 (the test suite checks both properties).
 """
 
+import heapq
 import threading
 import zlib
 from collections import OrderedDict
@@ -213,6 +214,13 @@ class SummaryStore(SummaryBackend):
         self.misses = 0
         self.evictions = 0
         self.invalidated = 0
+        #: Probe memo of the DYNSUM fast path: ``(adjacency_map,
+        #: {(record index, stack uid, state): summary})`` — an int-keyed
+        #: mirror of a *subset* of ``_entries``, valid only for one
+        #: compiled PAG adjacency.  Any removal or replacement resets it
+        #: (see ``_invalidate_fast_memo``); only the plain unbounded
+        #: cache ever populates it.
+        self._fast_memo = None
 
     # ------------------------------------------------------------------
     # policy hooks
@@ -288,6 +296,7 @@ class SummaryStore(SummaryBackend):
             ):
                 self._touch(key)
                 return False
+            self._fast_memo = None  # the replaced summary may be memoed
             self._facts += ppta_result.size - resident.size
             self._entries[key] = ppta_result
             self._touch(key)
@@ -305,6 +314,7 @@ class SummaryStore(SummaryBackend):
         entry = self._entries.pop(key, None)
         if entry is None:
             return None
+        self._fast_memo = None  # the dropped summary may be memoed
         self._facts -= entry.size
         method = key[0].method
         if method is not None:
@@ -338,6 +348,7 @@ class SummaryStore(SummaryBackend):
         self.misses = 0
         self.evictions = 0
         self.invalidated = 0
+        self._fast_memo = None
 
     def restore_counters(self, stats):
         """Overwrite the probe/eviction/invalidation counters from a
@@ -419,6 +430,40 @@ class SummaryCache(SummaryStore):
     """Unbounded cross-query store of PPTA summaries — the paper's
     ``Cache``, suitable for closed workloads like the shipped benchmark
     protocols."""
+
+    def lookup(self, node, field_stack, state):
+        """Unbounded-store specialisation: no recency to refresh, so the
+        probe is one dict get plus a counter — this is the hottest store
+        call on the DYNSUM fast path."""
+        entry = self._entries.get((node, field_stack, state))
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def store(self, node, field_stack, state, ppta_result):
+        """Unbounded-store specialisation of :meth:`SummaryStore.store`:
+        same contract and accounting, minus the recency/capacity hooks
+        that are no-ops without a ceiling."""
+        key = (node, field_stack, state)
+        entries = self._entries
+        resident = entries.get(key)
+        if resident is not None:
+            if (
+                resident.objects == ppta_result.objects
+                and resident.boundaries == ppta_result.boundaries
+            ):
+                return False
+            self._fast_memo = None  # the replaced summary may be memoed
+            self._facts += ppta_result.size - resident.size
+            entries[key] = ppta_result
+            return True
+        entries[key] = ppta_result
+        self._facts += ppta_result.size
+        if node.method is not None:
+            self._by_method.setdefault(node.method, set()).add(key)
+        return True
 
 
 class BoundedSummaryCache(SummaryStore):
@@ -522,57 +567,137 @@ class CostAwareSummaryCache(BoundedSummaryCache):
     With all scores equal the rule degenerates to exact LRU, so this is
     a strict generalisation.
 
-    Victim selection is an O(entries) scan — deliberate for a baseline
-    (the ROADMAP's "smarter admission/eviction" item): the win on
-    bounded budgets comes from the rule, not the data structure.
+    Victim selection runs on a **heap-backed victim index** with lazy
+    invalidation: every priority refresh pushes a ``(priority, stamp,
+    key)`` record, stale records (key gone, or re-stamped since) are
+    discarded as they surface, and the heap is compacted when stale
+    records outnumber live ones — so eviction is O(log n) instead of
+    the O(n) scans the first cut paid, which is what keeps stores past
+    ~10⁵ entries viable.  Ties on priority resolve by stamp, i.e. by
+    recency — exactly the coldest-first order the scan implementation
+    picked, so victim choice is unchanged.
+
+    ``admit_facts`` adds size-based **admission control** (classic
+    Greedy-Dual-Size practice): a summary holding more than that many
+    facts is not cached at all (``store`` returns False and counts it
+    in :attr:`rejected`) — one giant summary can otherwise flush an
+    entire cache of small expensive ones on its way in.  ``None`` (the
+    default) admits everything, preserving the baseline behaviour.
     """
 
     eviction = "cost"
 
-    def __init__(self, max_entries=None, max_facts=None):
+    def __init__(self, max_entries=None, max_facts=None, admit_facts=None):
         if max_entries is None and max_facts is None:
             raise ValueError(
                 "eviction='cost' needs a capacity ceiling (max_entries "
                 "and/or max_facts); an unbounded store never evicts, so "
                 "the policy would be silently inert"
             )
+        if admit_facts is not None and admit_facts < 1:
+            raise ValueError(f"admit_facts must be >= 1, got {admit_facts}")
+        self.admit_facts = admit_facts
+        #: Oversized summaries refused by admission control.
+        self.rejected = 0
         super().__init__(max_entries=max_entries, max_facts=max_facts)
         self._clock = 0.0
-        self._priority = {}
+        #: key -> (priority, stamp); the authoritative rank.  The heap
+        #: holds (priority, stamp, key) records, possibly stale.
+        self._rank = {}
+        self._heap = []
+        self._stamp = 0
+
+    def spawn(self):
+        return type(self)(
+            max_entries=self.max_entries,
+            max_facts=self.max_facts,
+            admit_facts=self.admit_facts,
+        )
 
     def _touch(self, key):
         super()._touch(key)
-        self._priority[key] = self._clock + entry_cost_score(self._entries[key])
+        self._stamp += 1
+        record = (
+            self._clock + entry_cost_score(self._entries[key]),
+            self._stamp,
+            key,
+        )
+        self._rank[key] = record
+        heapq.heappush(self._heap, record)
+        # Compact here too, not only on eviction: a hit-dominated
+        # workload (warm cache, no stores) pushes a record per touch
+        # and would otherwise grow the heap without bound.
+        if len(self._heap) > 2 * len(self._rank) + 64:
+            self._heap = sorted(self._rank.values())
 
     def store(self, node, field_stack, state, ppta_result):
         key = (node, field_stack, state)
+        if self.admit_facts is not None and ppta_result.size > self.admit_facts:
+            resident = self._entries.get(key)
+            if resident is None:
+                self.rejected += 1
+                return False
+            if (
+                resident.objects == ppta_result.objects
+                and resident.boundaries == ppta_result.boundaries
+            ):
+                # Equal payload (hence equal size): recency only, as in
+                # the base rule.
+                self._touch(key)
+                return False
+            # A *differing* oversized replacement only happens across a
+            # program-version boundary (the self-heal path): the
+            # resident memo is stale, so drop it — but the oversized
+            # replacement is still refused admission.
+            self._remove(key)
+            self.rejected += 1
+            return True
         if key not in self._entries:
-            # Priority must exist before _enforce_capacity can scan it.
-            self._priority[key] = self._clock + entry_cost_score(ppta_result)
+            # The rank must exist before _enforce_capacity can pop it.
+            self._stamp += 1
+            record = (
+                self._clock + entry_cost_score(ppta_result),
+                self._stamp,
+                key,
+            )
+            self._rank[key] = record
+            heapq.heappush(self._heap, record)
         return super().store(node, field_stack, state, ppta_result)
 
     def _remove(self, key):
         entry = super()._remove(key)
         if entry is not None:
-            self._priority.pop(key, None)
+            self._rank.pop(key, None)
         return entry
 
     def clear(self):
         super().clear()
         self._clock = 0.0
-        self._priority.clear()
+        self._rank.clear()
+        self._heap = []
+        self._stamp = 0
+        self.rejected = 0
 
     def _pick_victim(self):
-        victim = None
-        victim_priority = None
-        # Iteration is coldest-first (OrderedDict recency order), so a
-        # strict `<` leaves ties with the least-recently-used entry.
-        for key in self._entries:
-            priority = self._priority[key]
-            if victim_priority is None or priority < victim_priority:
-                victim, victim_priority = key, priority
-        self._clock = victim_priority
-        return victim
+        heap = self._heap
+        rank = self._rank
+        while heap:
+            record = heap[0]
+            if rank.get(record[2]) is not record:
+                heapq.heappop(heap)  # stale: evicted or re-stamped
+                continue
+            heapq.heappop(heap)
+            self._clock = record[0]
+            return record[2]
+        # Unreachable while an entry is resident (every resident key
+        # has a live heap record); guard for safety.
+        return next(iter(self._entries))
+
+    def _enforce_capacity(self):
+        super()._enforce_capacity()
+        # Compact once stale records dominate, so the heap stays O(live).
+        if len(self._heap) > 2 * len(self._rank) + 64:
+            self._heap = sorted(self._rank.values())
 
 
 def _split_cap(total, shards):
@@ -634,7 +759,8 @@ class ShardedSummaryCache(SummaryBackend):
 
     concurrent_safe = True
 
-    def __init__(self, shards=4, max_entries=None, max_facts=None, eviction="lru"):
+    def __init__(self, shards=4, max_entries=None, max_facts=None, eviction="lru",
+                 admit_facts=None):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         if max_entries is not None and max_entries < shards:
@@ -659,15 +785,29 @@ class ShardedSummaryCache(SummaryBackend):
         self.max_entries = max_entries
         self.max_facts = max_facts
         self.eviction = eviction
-        shard_cls = CostAwareSummaryCache if eviction == "cost" else BoundedSummaryCache
+        #: Size-based admission bound (cost-aware shards only; see
+        #: :class:`CostAwareSummaryCache`).  Per entry, so not split.
+        self.admit_facts = admit_facts if eviction == "cost" else None
         entry_caps = _split_cap(max_entries, shards)
         fact_caps = _split_cap(max_facts, shards)
-        self._shards = tuple(
-            shard_cls(max_entries=entry_caps[i], max_facts=fact_caps[i])
-            if bounded
-            else SummaryCache()
-            for i in range(shards)
-        )
+        if not bounded:
+            self._shards = tuple(SummaryCache() for _ in range(shards))
+        elif eviction == "cost":
+            self._shards = tuple(
+                CostAwareSummaryCache(
+                    max_entries=entry_caps[i],
+                    max_facts=fact_caps[i],
+                    admit_facts=self.admit_facts,
+                )
+                for i in range(shards)
+            )
+        else:
+            self._shards = tuple(
+                BoundedSummaryCache(
+                    max_entries=entry_caps[i], max_facts=fact_caps[i]
+                )
+                for i in range(shards)
+            )
         self._locks = tuple(threading.RLock() for _ in range(shards))
 
     # ------------------------------------------------------------------
@@ -687,6 +827,7 @@ class ShardedSummaryCache(SummaryBackend):
             max_entries=self.max_entries,
             max_facts=self.max_facts,
             eviction=self.eviction,
+            admit_facts=self.admit_facts,
         )
 
     # ------------------------------------------------------------------

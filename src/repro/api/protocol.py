@@ -62,11 +62,14 @@ from typing import Any, Optional, Tuple
 from repro.analysis.summaries import CacheStats
 from repro.engine.scheduler import BatchStats
 
-#: The protocol spoken by this build — "<major>.<minor>".  1.1 added the
-#: store-level ops (``lookup``/``store``/``store-stats``) and the
+#: The protocol spoken by this build — "<major>.<minor>".  1.2 added the
+#: batched store-level ops (``batch-lookup``/``batch-store``/
+#: ``batch-invalidate``/``fetch-methods``) that amortise round trips,
+#: plus ``round_trips``/``prefetched`` on the remote stats; 1.1 added
+#: the store-level ops (``lookup``/``store``/``store-stats``) and the
 #: warm-start/remote counters on ``stats-result``; 1.0 traffic decodes
 #: unchanged.
-PROTOCOL_VERSION = "1.1"
+PROTOCOL_VERSION = "1.2"
 
 
 def split_version(version):
@@ -225,6 +228,51 @@ class StoreStatsRequest:
 
 
 # ----------------------------------------------------------------------
+# batched store-level requests (protocol 1.2) — one line, one round
+# trip, many ops; servers dispatch each batch under a single store-lock
+# acquisition
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchLookupRequest:
+    """Probe a summary store for many context-free keys at once.
+
+    ``keys`` items follow :func:`repro.api.snapshot.check_key`.  The
+    response aligns entry-for-key with this tuple.
+    """
+
+    keys: Tuple[Any, ...]
+    protocol_version: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class BatchStoreRequest:
+    """Insert many completed summaries in one exchange (the write-
+    coalescing flush of a pipelined client).  ``entries`` items follow
+    :func:`repro.api.snapshot.check_entry`."""
+
+    entries: Tuple[Any, ...]
+    protocol_version: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class BatchInvalidateRequest:
+    """Drop the cached summaries of many methods in one exchange."""
+
+    methods: Tuple[str, ...]
+    protocol_version: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class MethodEntriesRequest:
+    """Fetch every resident entry of the named methods — or of the
+    whole store when ``methods`` is null.  The prefetch op: one round
+    trip per shard warms a client's local tier for a whole batch."""
+
+    methods: Optional[Tuple[str, ...]] = None
+    protocol_version: str = PROTOCOL_VERSION
+
+
+# ----------------------------------------------------------------------
 # responses
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -298,6 +346,42 @@ class InvalidateResponse:
 
 
 @dataclass(frozen=True)
+class BatchLookupResponse:
+    """Aligned answers to a :class:`BatchLookupRequest`: one snapshot
+    entry or null per requested key, in request order."""
+
+    entries: Tuple[Any, ...]
+    protocol_version: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class BatchStoreResponse:
+    """Aligned ``stored`` flags for a :class:`BatchStoreRequest` (the
+    per-entry :class:`StoreResponse` rule)."""
+
+    stored: Tuple[bool, ...]
+    protocol_version: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class BatchInvalidateResponse:
+    """Aligned drop counts for a :class:`BatchInvalidateRequest`."""
+
+    dropped: Tuple[int, ...]
+    protocol_version: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class MethodEntriesResponse:
+    """Answer to a :class:`MethodEntriesRequest`: every matching
+    resident entry, coldest-first (replaying ``store`` preserves the
+    shard's recency order, the snapshot convention)."""
+
+    entries: Tuple[Any, ...]
+    protocol_version: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
 class RemoteStoreStats:
     """Accounting of one client's remote summary-store traffic.
 
@@ -309,6 +393,14 @@ class RemoteStoreStats:
     that no longer resolve in this client's PAG (``unresolved``).
     ``stores``/``store_errors``/``invalidations``/``invalidation_errors``
     count the write-side traffic the same way.
+
+    ``round_trips`` (protocol 1.2) counts wire exchanges — one per
+    request/response flight, however many ops the line carried — so the
+    win of batched ops and prefetching is directly observable:
+    a pipelined warm batch should cost O(shards) round trips, not one
+    per lookup.  ``prefetched`` counts entries that arrived via
+    ``fetch-methods`` prefetches (they fill the local tier, so they are
+    *not* also counted as ``remote_hits``).
     """
 
     shards: int
@@ -320,6 +412,8 @@ class RemoteStoreStats:
     store_errors: int = 0
     invalidations: int = 0
     invalidation_errors: int = 0
+    round_trips: int = 0
+    prefetched: int = 0
     protocol_version: str = PROTOCOL_VERSION
 
 
@@ -412,6 +506,10 @@ REQUEST_KINDS = {
     "lookup": LookupRequest,
     "store": StoreRequest,
     "store-stats": StoreStatsRequest,
+    "batch-lookup": BatchLookupRequest,
+    "batch-store": BatchStoreRequest,
+    "batch-invalidate": BatchInvalidateRequest,
+    "fetch-methods": MethodEntriesRequest,
 }
 
 RESPONSE_KINDS = {
@@ -423,6 +521,10 @@ RESPONSE_KINDS = {
     "lookup-result": LookupResponse,
     "stored": StoreResponse,
     "store-stats-result": StoreStatsResponse,
+    "batch-lookup-result": BatchLookupResponse,
+    "batch-stored": BatchStoreResponse,
+    "batch-invalidated": BatchInvalidateResponse,
+    "fetch-methods-result": MethodEntriesResponse,
     "error": ErrorResponse,
 }
 

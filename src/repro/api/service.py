@@ -36,11 +36,19 @@ from repro.api.protocol import (
     AliasResponse,
     BatchRequest,
     BatchResponse,
+    BatchInvalidateRequest,
+    BatchInvalidateResponse,
+    BatchLookupRequest,
+    BatchLookupResponse,
+    BatchStoreRequest,
+    BatchStoreResponse,
     ErrorResponse,
     InvalidateRequest,
     InvalidateResponse,
     LookupRequest,
     LookupResponse,
+    MethodEntriesRequest,
+    MethodEntriesResponse,
     ProtocolError,
     QueryRequest,
     QueryResponse,
@@ -152,6 +160,29 @@ class PointsToService:
             return StoreStatsResponse(
                 shard=0, shards=1, stats=store.stats_snapshot()
             )
+        if isinstance(request, BatchLookupRequest):
+            return BatchLookupResponse(
+                entries=tuple(
+                    self._handle_lookup(LookupRequest(key=key)).entry
+                    for key in request.keys
+                )
+            )
+        if isinstance(request, BatchStoreRequest):
+            return BatchStoreResponse(
+                stored=tuple(
+                    self._handle_store(StoreRequest(entry=entry)).stored
+                    for entry in request.entries
+                )
+            )
+        if isinstance(request, BatchInvalidateRequest):
+            return BatchInvalidateResponse(
+                dropped=tuple(
+                    self.engine.invalidate_method(method)
+                    for method in request.methods
+                )
+            )
+        if isinstance(request, MethodEntriesRequest):
+            return self._handle_fetch_methods(request)
         raise ProtocolError(
             "unknown-kind", f"cannot dispatch {type(request).__name__}"
         )
@@ -319,6 +350,20 @@ class PointsToService:
         # servers' self-heal rule), False for an equal re-store.
         return StoreResponse(stored=store.store(node, stack, state, summary))
 
+    def _handle_fetch_methods(self, request):
+        from repro.api.snapshot import entry_to_wire
+
+        store = self._require_store()
+        wanted = set(request.methods) if request.methods is not None else None
+        entries = []
+        for (node, stack, state), summary in store.entries_by_recency(
+            hottest_first=False
+        ):
+            if wanted is not None and getattr(node, "method", None) not in wanted:
+                continue
+            entries.append(entry_to_wire(node, stack, state, summary))
+        return MethodEntriesResponse(entries=tuple(entries))
+
     def __repr__(self):
         return f"PointsToService({self.engine!r})"
 
@@ -356,6 +401,7 @@ def _build_engine(args):
             eviction=args.eviction,
             remote=remote,
             remote_timeout=args.remote_timeout,
+            remote_pipeline=bool(remote) and args.remote_pipeline,
         ),
         warm_start=args.warm_start,
     )
@@ -412,6 +458,15 @@ def main(argv=None):
         type=float,
         default=1.0,
         help="per-operation socket timeout for the shared cache (seconds)",
+    )
+    parser.add_argument(
+        "--remote-pipeline",
+        action="store_true",
+        help=(
+            "pipelined shared-cache mode (protocol 1.2): per-shard "
+            "prefetch at batch start, coalesced batch-store flushes at "
+            "batch end"
+        ),
     )
     parser.add_argument(
         "--warm-start",

@@ -36,9 +36,13 @@ import sys
 from repro.api.codec import decode_request, encode
 from repro.api.protocol import (
     PROTOCOL_VERSION,
+    BatchInvalidateRequest,
+    BatchLookupRequest,
+    BatchStoreRequest,
     ErrorResponse,
     InvalidateRequest,
     LookupRequest,
+    MethodEntriesRequest,
     StoreRequest,
     StoreStatsRequest,
     WireError,
@@ -169,18 +173,69 @@ def _launch_cluster(args):
 # ----------------------------------------------------------------------
 # mode: client REPL (scripted exchanges)
 # ----------------------------------------------------------------------
-def _route(request):
-    """The method whose shard owns this request (validates the payload
-    enough to route it); ``None`` means broadcast (store-stats)."""
+def _route(request, n_shards):
+    """The shard index that owns this request (validates the payload
+    enough to route it); ``None`` means broadcast (store-stats, and
+    fetch-methods with no method filter).
+
+    Batched ops (protocol 1.2) route like their single-op forms; every
+    element must belong to the same shard — the REPL is a scripting
+    tool, and a mixed-shard batch would be refused server-side as
+    ``wrong-shard`` anyway, so it is refused here with a clearer
+    message.
+    """
+    from repro.analysis.summaries import shard_for_method
+
+    def one(method):
+        return shard_for_method(method, n_shards)
+
+    def same_shard(methods, what):
+        shards = {one(method) for method in methods}
+        if len(shards) != 1:
+            raise WireError(
+                "invalid-request",
+                f"a batched {what} must target one shard per line; "
+                f"split the batch by owning shard",
+            )
+        return shards.pop()
+
     if isinstance(request, LookupRequest):
-        return entry_method(check_key(request.key, "lookup.key"))
+        return one(entry_method(check_key(request.key, "lookup.key")))
     if isinstance(request, StoreRequest):
         check_entry(request.entry, "store.entry")
-        return entry_method(request.entry)
+        return one(entry_method(request.entry))
     if isinstance(request, InvalidateRequest):
-        return request.method
+        return one(request.method)
     if isinstance(request, StoreStatsRequest):
         return None
+    if isinstance(request, BatchLookupRequest):
+        if not request.keys:
+            raise WireError("invalid-request", "batch-lookup names no keys")
+        return same_shard(
+            [
+                entry_method(check_key(key, f"batch-lookup.keys[{i}]"))
+                for i, key in enumerate(request.keys)
+            ],
+            "lookup",
+        )
+    if isinstance(request, BatchStoreRequest):
+        if not request.entries:
+            raise WireError("invalid-request", "batch-store names no entries")
+        methods = []
+        for i, entry in enumerate(request.entries):
+            check_entry(entry, f"batch-store.entries[{i}]")
+            methods.append(entry_method(entry))
+        return same_shard(methods, "store")
+    if isinstance(request, BatchInvalidateRequest):
+        if not request.methods:
+            raise WireError("invalid-request", "batch-invalidate names no methods")
+        return same_shard(request.methods, "invalidate")
+    if isinstance(request, MethodEntriesRequest):
+        if request.methods is None:
+            return None  # broadcast: every shard dumps its entries
+        if not request.methods:
+            raise WireError("invalid-request", "fetch-methods names no methods")
+        return same_shard(request.methods, "fetch-methods")
     raise WireError(
         "invalid-request",
         f"the store REPL routes store-level ops only, not "
@@ -189,8 +244,6 @@ def _route(request):
 
 
 def _connect_repl(args, input_stream=None, output_stream=None):
-    from repro.analysis.summaries import shard_for_method
-
     input_stream = input_stream or sys.stdin
     output_stream = output_stream or sys.stdout
     try:
@@ -211,15 +264,11 @@ def _connect_repl(args, input_stream=None, output_stream=None):
             continue
         try:
             request = decode_request(line)
-            method = _route(request)
+            shard = _route(request, len(links))
         except WireError as exc:
             emit(encode(ErrorResponse(code=exc.code, message=str(exc))))
             continue
-        targets = (
-            links
-            if isinstance(request, StoreStatsRequest)
-            else [links[shard_for_method(method, len(links))]]
-        )
+        targets = links if shard is None else [links[shard]]
         for link in targets:
             try:
                 emit(link.request(line))

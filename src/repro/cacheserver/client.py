@@ -41,6 +41,18 @@ Correctness stance — the part the tests pin down:
 * **backoff, not retry storms.**  A failed shard link is torn down and
   skipped for ``retry_interval`` seconds, so a dead service costs one
   timeout per shard per interval, not per lookup.
+* **pipelining is opt-in.**  Under ``pipeline=True`` (protocol 1.2,
+  ``CachePolicy(remote_pipeline=True)``) the engine's batch hooks make
+  a warm batch cost O(shards) round trips: ``begin_batch`` prefetches
+  each shard's resident entries in one ``fetch-methods`` exchange, and
+  write-through publishes coalesce into per-shard ``batch-store``
+  flushes at ``end_batch``.  Every pipelined failure falls open exactly
+  like the single-op paths, and an ``invalidate_method`` purges the
+  edited method's buffered publishes before reaching the shard, so a
+  flush can never resurrect pre-edit memos.  The default stays
+  immediate write-through: buffering delays cross-client visibility of
+  fresh memos to the batch boundary, which the mid-batch multi-process
+  tests deliberately pin down.
 
 Accounting: the backend keeps its own hit/miss counters (a hit =
 answered from tier or service; a miss = the caller must compute), and a
@@ -61,10 +73,14 @@ from repro.analysis.summaries import (
 )
 from repro.api.codec import decode_response, encode
 from repro.api.protocol import (
+    BatchStoreRequest,
+    BatchStoreResponse,
     InvalidateRequest,
     InvalidateResponse,
     LookupRequest,
     LookupResponse,
+    MethodEntriesRequest,
+    MethodEntriesResponse,
     ProtocolError,
     RemoteStoreStats,
     SnapshotError,
@@ -103,11 +119,15 @@ def parse_addresses(text):
 class ShardLink:
     """One persistent JSON-lines connection to one shard server.
 
-    Lazily connected, serialized by a lock (requests are small;
-    pipelining would buy little and complicate failure handling), torn
+    Lazily connected, serialized by a lock, reused across batches (the
+    connection is process state — no reconnect-per-op path exists), torn
     down on any transport error and then *backed off*: for
     ``retry_interval`` seconds every request fails fast with
     :class:`ShardUnavailable` instead of re-paying the connect timeout.
+
+    :meth:`request_many` pipelines several request lines into one
+    flight — all lines written, then all responses read — so a chunked
+    bulk operation still costs a single network round trip.
     """
 
     def __init__(self, address, timeout=1.0, retry_interval=None):
@@ -126,17 +146,32 @@ class ShardLink:
 
     def request(self, line):
         """Send one request line, return the response line."""
+        return self.request_many((line,))[0]
+
+    def request_many(self, lines):
+        """Pipeline many request lines in one flight; aligned responses.
+
+        The whole exchange is one lock hold and one send/receive pass:
+        the server answers in order, so response *i* belongs to line
+        *i*.  Any transport failure tears the link down (no partial
+        results — the caller cannot tell which ops landed, the same
+        contract a single failed :meth:`request` has).
+        """
         with self._lock:
             if time.monotonic() < self._down_until:
                 raise ShardUnavailable(f"{self.address}: backing off after failure")
             try:
                 if self._sock is None:
                     self._connect()
-                self._sock.sendall((line + "\n").encode("utf-8"))
-                response = self._reader.readline()
-                if not response:
-                    raise OSError("connection closed by shard server")
-                return response
+                payload = "".join(line + "\n" for line in lines)
+                self._sock.sendall(payload.encode("utf-8"))
+                responses = []
+                for _ in lines:
+                    response = self._reader.readline()
+                    if not response:
+                        raise OSError("connection closed by shard server")
+                    responses.append(response)
+                return responses
             except OSError as exc:
                 self._teardown()
                 self._down_until = time.monotonic() + self.retry_interval
@@ -179,14 +214,27 @@ class RemoteSummaryCache(SummaryBackend):
     links serialize per shard on their own locks.
     """
 
+    #: Entries per pipelined ``batch-store`` line; larger flushes are
+    #: chunked and the chunks sent in ONE flight via ``request_many``.
+    FLUSH_CHUNK = 256
+
     def __init__(self, addresses, local=None, timeout=1.0, retry_interval=None,
-                 _links=None):
+                 pipeline=False, _links=None):
         addresses = tuple(addresses)
         if not addresses:
             raise ValueError("RemoteSummaryCache needs at least one shard address")
         self.addresses = addresses
         self.n_shards = len(addresses)
         self.timeout = timeout
+        #: Pipelined mode (protocol 1.2): between ``begin_batch`` and
+        #: ``end_batch`` the backend prefetches each shard's entries in
+        #: one ``fetch-methods`` round trip and coalesces write-through
+        #: publishes into per-shard ``batch-store`` flushes — a warm
+        #: batch then costs O(shards) round trips instead of one per
+        #: lookup.  Off by default: non-pipelined clients publish every
+        #: memo immediately, the latency-of-visibility the multi-client
+        #: tests pin down.
+        self.pipeline = pipeline
         self.local_tier = local if local is not None else SummaryCache()
         self._links = _links if _links is not None else tuple(
             ShardLink(address, timeout=timeout, retry_interval=retry_interval)
@@ -205,7 +253,12 @@ class RemoteSummaryCache(SummaryBackend):
             "store_errors": 0,
             "invalidations": 0,
             "invalidation_errors": 0,
+            "round_trips": 0,
+            "prefetched": 0,
         }
+        self._buffer_lock = threading.Lock()
+        self._buffering = False
+        self._write_buffers = tuple([] for _ in range(self.n_shards))
 
     # ------------------------------------------------------------------
     # backend plumbing
@@ -260,8 +313,17 @@ class RemoteSummaryCache(SummaryBackend):
 
     def _exchange(self, method_qname, request):
         """One routed request/response, decoded; raises
-        :class:`ShardUnavailable` or :class:`ProtocolError` on failure."""
+        :class:`ShardUnavailable` or :class:`ProtocolError` on failure.
+        Every completed exchange counts one ``round_trips``."""
         line = self._link_for(method_qname).request(encode(request))
+        self._bump("round_trips")
+        return decode_response(line)
+
+    def _exchange_link(self, link, request):
+        """Like :meth:`_exchange` but for an explicit link (per-shard
+        bulk ops)."""
+        line = link.request(encode(request))
+        self._bump("round_trips")
         return decode_response(line)
 
     # ------------------------------------------------------------------
@@ -327,10 +389,16 @@ class RemoteSummaryCache(SummaryBackend):
         except SnapshotError:
             self._bump("store_errors")
             return stored
+        method = getattr(node, "method", None)
+        if self._buffering:
+            # Coalesced: queue for the end-of-batch batch-store flush.
+            index = shard_for_method(method, self.n_shards)
+            with self._buffer_lock:
+                if self._buffering:
+                    self._write_buffers[index].append(entry)
+                    return stored
         try:
-            response = self._exchange(
-                getattr(node, "method", None), StoreRequest(entry=entry)
-            )
+            response = self._exchange(method, StoreRequest(entry=entry))
         except (ShardUnavailable, ProtocolError):
             self._bump("store_errors")
             return stored
@@ -348,6 +416,18 @@ class RemoteSummaryCache(SummaryBackend):
         migration reconciles against it); the remote acknowledgement is
         counted in :meth:`remote_stats` (``invalidations`` vs.
         ``invalidation_errors``)."""
+        if self._buffering:
+            # Buffered publishes of the edited method are stale now —
+            # purge them so the flush cannot resurrect pre-edit memos
+            # after the invalidate below.
+            index = shard_for_method(method_qname, self.n_shards)
+            with self._buffer_lock:
+                buffer = self._write_buffers[index]
+                buffer[:] = [
+                    entry
+                    for entry in buffer
+                    if entry["node"].get("method") != method_qname
+                ]
         dropped = self.local_tier.invalidate_method(method_qname)
         try:
             response = self._exchange(
@@ -361,6 +441,95 @@ class RemoteSummaryCache(SummaryBackend):
         else:
             self._bump("invalidation_errors")
         return dropped
+
+    # ------------------------------------------------------------------
+    # batch hooks (protocol 1.2 pipelining) — the engine calls these
+    # around query_batch when the backend defines them
+    # ------------------------------------------------------------------
+    def begin_batch(self):
+        """Start a pipelined batch: prefetch each shard's resident
+        entries in one ``fetch-methods`` round trip per shard (filling
+        the local read-through tier), then coalesce write-through
+        publishes until :meth:`end_batch`.  No-op unless ``pipeline``;
+        every failure falls open exactly like a missed lookup.
+
+        The prefetch deliberately fetches the *whole* shard store
+        (``methods=None``): traversals reach methods transitively, so
+        the batch's root methods under-approximate what will actually
+        be probed.  That makes per-batch cost O(resident entries) —
+        fine for the cluster sizes this repo targets, and the
+        ``fetch-methods`` filter already exists server-side for a
+        future targeted mode (e.g. when a bounded local tier makes a
+        full dump churn the LRU).
+        """
+        if not self.pipeline:
+            return
+        if self._pag is not None:
+            for link in self._links:
+                try:
+                    response = self._exchange_link(
+                        link, MethodEntriesRequest(methods=None)
+                    )
+                except (ShardUnavailable, ProtocolError):
+                    self._bump("remote_errors")
+                    continue
+                if not isinstance(response, MethodEntriesResponse):
+                    self._bump("remote_errors")
+                    continue
+                for entry in response.entries:
+                    try:
+                        check_entry(entry, "prefetch.entry")
+                        resolved = resolve_wire_entry(self._pag, entry)
+                    except SnapshotError:
+                        resolved = None
+                    if resolved is None:
+                        self._bump("unresolved")
+                        continue
+                    node, stack, state, summary = resolved
+                    self.local_tier.store(node, stack, state, summary)
+                    self._bump("prefetched")
+        with self._buffer_lock:
+            self._buffering = True
+
+    def end_batch(self):
+        """Flush the coalesced writes: per shard one ``batch-store``
+        line (chunked past :data:`FLUSH_CHUNK`, the chunks pipelined in
+        one flight), then return to immediate write-through."""
+        if not self.pipeline:
+            return
+        with self._buffer_lock:
+            self._buffering = False
+            pending = [list(buffer) for buffer in self._write_buffers]
+            for buffer in self._write_buffers:
+                buffer.clear()
+        for index, entries in enumerate(pending):
+            if not entries:
+                continue
+            link = self._links[index]
+            chunks = [
+                entries[i:i + self.FLUSH_CHUNK]
+                for i in range(0, len(entries), self.FLUSH_CHUNK)
+            ]
+            lines = [
+                encode(BatchStoreRequest(entries=tuple(chunk)))
+                for chunk in chunks
+            ]
+            try:
+                responses = link.request_many(lines)
+                self._bump("round_trips")
+            except ShardUnavailable:
+                self._bump(*(["store_errors"] * len(entries)))
+                continue
+            for chunk, line in zip(chunks, responses):
+                try:
+                    response = decode_response(line)
+                except ProtocolError:
+                    self._bump(*(["store_errors"] * len(chunk)))
+                    continue
+                if isinstance(response, BatchStoreResponse):
+                    self._bump(*(["stores"] * len(chunk)))
+                else:
+                    self._bump(*(["store_errors"] * len(chunk)))
 
     def clear(self):
         """Forget the local tier and this backend's counters.  The
@@ -389,6 +558,7 @@ class RemoteSummaryCache(SummaryBackend):
             self.addresses,
             local=self.local_tier.spawn(),
             timeout=self.timeout,
+            pipeline=self.pipeline,
             _links=self._links,
         )
         return fresh
@@ -452,9 +622,7 @@ class RemoteSummaryCache(SummaryBackend):
         snapshots = []
         for index, link in enumerate(self._links):
             try:
-                response = decode_response(
-                    link.request(encode(StoreStatsRequest()))
-                )
+                response = self._exchange_link(link, StoreStatsRequest())
             except (ShardUnavailable, ProtocolError, WireError):
                 snapshots.append(None)
                 continue
@@ -464,6 +632,7 @@ class RemoteSummaryCache(SummaryBackend):
         return snapshots
 
     def close(self):
+        self.end_batch()  # publish whatever a dying batch left queued
         for link in self._links:
             link.close()
 

@@ -25,11 +25,19 @@ import threading
 from repro.analysis.summaries import shard_for_method
 from repro.api.codec import decode_request, encode
 from repro.api.protocol import (
+    BatchInvalidateRequest,
+    BatchInvalidateResponse,
+    BatchLookupRequest,
+    BatchLookupResponse,
+    BatchStoreRequest,
+    BatchStoreResponse,
     ErrorResponse,
     InvalidateRequest,
     InvalidateResponse,
     LookupRequest,
     LookupResponse,
+    MethodEntriesRequest,
+    MethodEntriesResponse,
     ProtocolError,
     StoreRequest,
     StoreResponse,
@@ -144,11 +152,37 @@ class ShardServer:
                 shards=self.n_shards,
                 stats=self.store.stats_snapshot(),
             )
+        # Batched ops (protocol 1.2): validate + ownership-check every
+        # element first, then hand the whole batch to the store, which
+        # applies it under ONE lock acquisition.
+        if isinstance(request, BatchLookupRequest):
+            for i, key in enumerate(request.keys):
+                check_key(key, f"batch-lookup.keys[{i}]")
+                self._check_ownership(entry_method(key))
+            entries = self.store.lookup_many(request.keys)
+            return BatchLookupResponse(entries=tuple(entries))
+        if isinstance(request, BatchStoreRequest):
+            for i, entry in enumerate(request.entries):
+                check_entry(entry, f"batch-store.entries[{i}]")
+                self._check_ownership(entry_method(entry))
+            stored = self.store.store_many(request.entries)
+            return BatchStoreResponse(stored=tuple(stored))
+        if isinstance(request, BatchInvalidateRequest):
+            for method in request.methods:
+                self._check_ownership(method)
+            dropped = self.store.invalidate_many(request.methods)
+            return BatchInvalidateResponse(dropped=tuple(dropped))
+        if isinstance(request, MethodEntriesRequest):
+            if request.methods is not None:
+                for method in request.methods:
+                    self._check_ownership(method)
+            entries = self.store.entries_for_methods(request.methods)
+            return MethodEntriesResponse(entries=tuple(entries))
         raise ProtocolError(
             "invalid-request",
             f"shard servers speak store-level ops only "
-            f"(lookup/store/invalidate/store-stats), not "
-            f"{type(request).__name__}",
+            f"(lookup/store/invalidate/store-stats and their 1.2 "
+            f"batched forms), not {type(request).__name__}",
         )
 
     # ------------------------------------------------------------------

@@ -14,6 +14,7 @@ accounting a shard reports (:class:`~repro.analysis.summaries
 .CacheStats`) means the same thing it means locally.
 """
 
+import heapq
 import json
 import threading
 from collections import OrderedDict
@@ -84,9 +85,13 @@ class WireSummaryStore:
         self._by_method = {}
         self._facts = 0
         # Greedy-Dual state (eviction="cost"): see
-        # CostAwareSummaryCache — same rule, wire-form entries.
+        # CostAwareSummaryCache — same rule, wire-form entries, and the
+        # same heap-backed victim index with lazy invalidation (rank is
+        # authoritative; stale heap records are skipped on pop).
         self._clock = 0.0
-        self._priority = {}
+        self._rank = {}
+        self._heap = []
+        self._stamp = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -98,7 +103,20 @@ class WireSummaryStore:
     def _refresh(self, ckey, entry):
         """Recency + Greedy-Dual priority refresh for one resident key."""
         self._entries.move_to_end(ckey)
-        self._priority[ckey] = self._clock + _entry_score(entry, _entry_facts(entry))
+        if self.eviction == "cost":
+            self._stamp += 1
+            record = (
+                self._clock + _entry_score(entry, _entry_facts(entry)),
+                self._stamp,
+                ckey,
+            )
+            self._rank[ckey] = record
+            heapq.heappush(self._heap, record)
+            # Compact here too, not only on eviction: hit-dominated
+            # traffic pushes a record per refresh and would otherwise
+            # grow the heap without bound.
+            if len(self._heap) > 2 * len(self._rank) + 64:
+                self._heap = sorted(self._rank.values())
 
     def lookup(self, key):
         """The resident entry for wire key ``key``, or ``None``."""
@@ -124,48 +142,102 @@ class WireSummaryStore:
         This is what lets an edited client's write-through self-heal a
         shard that was unreachable during the invalidate.
         """
-        ckey = entry_key(entry)
         with self._lock:
-            resident = self._entries.get(ckey)
-            if resident is not None:
-                # Equality is the *payload* — objects and boundaries —
-                # exactly like the in-process rule.  `steps` is cost
-                # metadata, not content: a steps-only difference (e.g. a
-                # legacy snapshot replayed with steps=0) must not fake a
-                # program edit; the better cost estimate is kept instead
-                # so cost-aware eviction never loses information.
-                if (
-                    resident["objects"] == entry["objects"]
-                    and resident["boundaries"] == entry["boundaries"]
-                ):
-                    if entry.get("steps", 0) > resident.get("steps", 0):
-                        resident["steps"] = entry.get("steps", 0)
-                    self._refresh(ckey, resident)
-                    return False
-                self._facts += _entry_facts(entry) - _entry_facts(resident)
-                self._entries[ckey] = entry
-                self._refresh(ckey, entry)
-                self._enforce_capacity()
-                return True
+            return self._store_locked(entry)
+
+    def _store_locked(self, entry):
+        ckey = entry_key(entry)
+        resident = self._entries.get(ckey)
+        if resident is not None:
+            # Equality is the *payload* — objects and boundaries —
+            # exactly like the in-process rule.  `steps` is cost
+            # metadata, not content: a steps-only difference (e.g. a
+            # legacy snapshot replayed with steps=0) must not fake a
+            # program edit; the better cost estimate is kept instead
+            # so cost-aware eviction never loses information.
+            if (
+                resident["objects"] == entry["objects"]
+                and resident["boundaries"] == entry["boundaries"]
+            ):
+                if entry.get("steps", 0) > resident.get("steps", 0):
+                    resident["steps"] = entry.get("steps", 0)
+                self._refresh(ckey, resident)
+                return False
+            self._facts += _entry_facts(entry) - _entry_facts(resident)
             self._entries[ckey] = entry
             self._refresh(ckey, entry)
-            self._facts += _entry_facts(entry)
-            method = entry_method(entry)
-            if method is not None:
-                self._by_method.setdefault(method, set()).add(ckey)
             self._enforce_capacity()
             return True
+        self._entries[ckey] = entry
+        self._refresh(ckey, entry)
+        self._facts += _entry_facts(entry)
+        method = entry_method(entry)
+        if method is not None:
+            self._by_method.setdefault(method, set()).add(ckey)
+        self._enforce_capacity()
+        return True
 
     def invalidate_method(self, method_qname):
         """Drop every entry of one method; returns the number dropped."""
         with self._lock:
-            keys = self._by_method.pop(method_qname, ())
-            dropped = 0
-            for ckey in list(keys):
-                if self._remove(ckey) is not None:
-                    dropped += 1
-            self.invalidated += dropped
-            return dropped
+            return self._invalidate_locked(method_qname)
+
+    def _invalidate_locked(self, method_qname):
+        keys = self._by_method.pop(method_qname, ())
+        dropped = 0
+        for ckey in list(keys):
+            if self._remove(ckey) is not None:
+                dropped += 1
+        self.invalidated += dropped
+        return dropped
+
+    # ------------------------------------------------------------------
+    # batched ops (protocol 1.2) — each runs under ONE lock acquisition,
+    # which is the whole point: a pipelined client pays one round trip
+    # and the server pays one lock round trip, however many ops arrived.
+    # ------------------------------------------------------------------
+    def lookup_many(self, keys):
+        """Aligned entries (or ``None``) for many wire keys at once."""
+        with self._lock:
+            results = []
+            for key in keys:
+                ckey = canonical_key(key)
+                entry = self._entries.get(ckey)
+                if entry is None:
+                    self.misses += 1
+                else:
+                    self.hits += 1
+                    self._refresh(ckey, entry)
+                results.append(entry)
+            return results
+
+    def store_many(self, entries):
+        """Insert many validated wire entries; aligned ``stored`` flags.
+
+        Grabs the lock once and applies the :meth:`store` rule per
+        entry (the public ``store`` just wraps the single-entry case).
+        """
+        with self._lock:
+            return [self._store_locked(entry) for entry in entries]
+
+    def invalidate_many(self, methods):
+        """Drop many methods' entries; aligned per-method drop counts."""
+        with self._lock:
+            return [self._invalidate_locked(method) for method in methods]
+
+    def entries_for_methods(self, methods=None):
+        """Every resident entry of ``methods`` (all methods when
+        ``None``), coldest-first so a client replaying them through
+        ``store`` reconstructs this shard's recency order."""
+        with self._lock:
+            if methods is None:
+                return list(self._entries.values())
+            wanted = set(methods)
+            return [
+                entry
+                for entry in self._entries.values()
+                if entry_method(entry) in wanted
+            ]
 
     def clear(self):
         with self._lock:
@@ -173,7 +245,9 @@ class WireSummaryStore:
             self._by_method.clear()
             self._facts = 0
             self._clock = 0.0
-            self._priority.clear()
+            self._rank.clear()
+            self._heap = []
+            self._stamp = 0
             self.hits = self.misses = self.evictions = self.invalidated = 0
 
     # ------------------------------------------------------------------
@@ -183,7 +257,7 @@ class WireSummaryStore:
         entry = self._entries.pop(ckey, None)
         if entry is None:
             return None
-        self._priority.pop(ckey, None)
+        self._rank.pop(ckey, None)
         self._facts -= _entry_facts(entry)
         method = entry_method(entry)
         if method is not None:
@@ -203,21 +277,27 @@ class WireSummaryStore:
 
     def _pick_victim(self):
         if self.eviction == "cost":
-            victim = None
-            victim_priority = None
-            # Coldest-first iteration leaves ties with the LRU entry.
-            for ckey in self._entries:
-                priority = self._priority[ckey]
-                if victim_priority is None or priority < victim_priority:
-                    victim, victim_priority = ckey, priority
-            self._clock = victim_priority
-            return victim
+            # Heap pop with lazy invalidation; priority ties resolve by
+            # stamp = least-recently-refreshed, the LRU order the old
+            # O(n) scan produced.
+            heap = self._heap
+            rank = self._rank
+            while heap:
+                record = heap[0]
+                if rank.get(record[2]) is not record:
+                    heapq.heappop(heap)  # stale: evicted or re-stamped
+                    continue
+                heapq.heappop(heap)
+                self._clock = record[0]
+                return record[2]
         return next(iter(self._entries))
 
     def _enforce_capacity(self):
         while self._over_capacity() and len(self._entries) > 1:
             self._remove(self._pick_victim())
             self.evictions += 1
+        if len(self._heap) > 2 * len(self._rank) + 64:
+            self._heap = sorted(self._rank.values())
 
     # ------------------------------------------------------------------
     # introspection

@@ -72,6 +72,7 @@ def build_engine(args):
         eviction=args.eviction,
         remote=remote,
         remote_timeout=args.remote_timeout,
+        remote_pipeline=bool(remote) and args.pipeline,
     )
     # The paper protocol's policy (field-depth k-limit, sequential) —
     # the same numbers every other benchmark in the repo reports.
@@ -122,6 +123,8 @@ def run(args):
             "store_errors": stats.remote.store_errors,
             "invalidations": stats.remote.invalidations,
             "invalidation_errors": stats.remote.invalidation_errors,
+            "round_trips": stats.remote.round_trips,
+            "prefetched": stats.remote.prefetched,
         }
         if stats.remote is not None
         else None,
@@ -148,6 +151,12 @@ def main(argv=None):
     )
     parser.add_argument("--remote", metavar="ADDR,ADDR,...", default=None)
     parser.add_argument("--remote-timeout", type=float, default=2.0)
+    parser.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="pipelined remote mode: per-shard prefetch + coalesced "
+        "batch-store flushes (protocol 1.2)",
+    )
     parser.add_argument("--max-entries", type=int, default=None)
     parser.add_argument("--max-facts", type=int, default=None)
     parser.add_argument("--shards", type=int, default=None)

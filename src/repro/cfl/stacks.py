@@ -10,7 +10,49 @@ stacks are used as dictionary keys in the DYNSUM summary cache and in every
 visited set.
 
 The empty stack is the singleton :data:`EMPTY_STACK`.
+
+Two allocation-avoidance devices serve the traversal hot paths:
+
+* :func:`intern_token` interns the ``(field, family)`` push tokens the
+  analyses stack, so pushing the same token twice reuses one tuple and
+  token equality inside ``Stack.__eq__`` short-circuits on identity;
+* ``Stack.push`` hash-conses its children — pushing the same value onto
+  the same stack returns the *same* ``Stack`` object, so the visited-set
+  keys built from stacks compare by identity on the fast path.
+
+Both are pure caches: equality and hashing stay structural, so interned
+and non-interned stacks with equal contents remain interchangeable.
+
+Hash-consing also makes stacks *canonical*: every stack in the process
+is built by ``push``/``of`` chains rooted at :data:`EMPTY_STACK` (the
+constructor is internal to ``push``), so two structurally equal stacks
+are the same object, and the per-stack ``_uid`` below is a faithful
+identity key.  The DYNSUM worklist keys its visited set on those integer
+uids — a C-hashed int tuple instead of a Python-level ``__hash__`` call
+per probe.  Code outside this module must therefore never call the
+``Stack`` constructor directly.
 """
+
+import itertools
+
+#: Monotone uid supply for stacks (``count().__next__`` is atomic under
+#: the GIL, so concurrent pushes get distinct uids).
+_NEXT_UID = itertools.count()
+
+#: Intern table for ``(field, family)`` push tokens (see
+#: :func:`intern_token`).  Bounded by the number of distinct
+#: field/family pairs in the program — a few hundred in practice.
+_TOKENS = {}
+
+
+def intern_token(field, family):
+    """The canonical tuple for a field-stack entry ``(field, family)``.
+
+    ``dict.setdefault`` keeps the intern race-free under the engine's
+    thread-pool executor (two racing calls return the same tuple).
+    """
+    token = (field, family)
+    return _TOKENS.setdefault(token, token)
 
 
 class Stack:
@@ -22,11 +64,17 @@ class Stack:
     compare equal — a requirement for summary-cache keys.
     """
 
-    __slots__ = ("_top", "_rest", "_size", "_hash")
+    __slots__ = ("_top", "_rest", "_size", "_hash", "_children", "_uid")
 
     def __init__(self, top=None, rest=None):
         self._top = top
         self._rest = rest
+        # Eager, so no thread can ever observe (and replace) a half-
+        # published table — the canonicity of hash-consed stacks, which
+        # the uid-keyed visited sets depend on, needs the table to be
+        # written exactly once per node.
+        self._children = {}
+        self._uid = next(_NEXT_UID)
         if rest is None:
             self._size = 0
             self._hash = hash(())
@@ -35,7 +83,32 @@ class Stack:
             self._hash = hash((rest._hash, top))
 
     def push(self, value):
-        """Return a new stack with ``value`` on top."""
+        """Return a new stack with ``value`` on top.
+
+        Children are hash-consed: pushing an equal ``value`` onto this
+        stack again returns the same object, which makes the visited-set
+        churn of the traversal loops identity-cheap and keeps stacks
+        canonical (equal ⟹ identical).  ``setdefault`` is atomic under
+        the GIL, so concurrent pushes of the same value return the same
+        child — a racing loser's freshly built node never escapes.
+        """
+        children = self._children
+        child = children.get(value)
+        if child is None:
+            child = children.setdefault(value, Stack(value, self))
+        return child
+
+    def push_uncached(self, value):
+        """The pre-consing push: a fresh node (and hash) per call.
+
+        Retained for the reference traversal loops
+        (:func:`repro.analysis.ppta.run_ppta_reference`), so the
+        pre-optimization baseline ``repro-perf`` measures against pays
+        the allocation cost the production ``push`` eliminated.
+        Structurally interchangeable with :meth:`push`; the returned
+        stack is *not* canonical, so reference-mode runs must not share
+        an engine with fast-mode runs being measured.
+        """
         return Stack(value, self)
 
     def pop(self):

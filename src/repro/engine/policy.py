@@ -84,8 +84,19 @@ class CachePolicy:
     max_facts: Optional[int] = None
     shards: Optional[int] = None
     eviction: str = "lru"
+    #: Size-based admission bound for ``eviction="cost"``: summaries
+    #: holding more than this many facts are not cached at all (see
+    #: :class:`~repro.analysis.summaries.CostAwareSummaryCache`).
+    admit_facts: Optional[int] = None
     remote: Optional[Tuple[str, ...]] = None
     remote_timeout: float = 1.0
+    #: Pipelined remote mode (protocol 1.2): batches prefetch each
+    #: shard's entries in one round trip and coalesce write-through
+    #: publishes into per-shard batch-store flushes — a warm batch
+    #: costs O(shards) round trips instead of one per lookup.  Off by
+    #: default: immediate write-through keeps mid-batch cross-client
+    #: visibility, the conservative default the multi-process tests pin.
+    remote_pipeline: bool = False
 
     def __post_init__(self):
         check_eviction(self.eviction)
@@ -94,6 +105,16 @@ class CachePolicy:
                 "CachePolicy(eviction='cost') needs max_entries and/or "
                 "max_facts; an unbounded store never evicts, so the "
                 "policy would be silently inert"
+            )
+        if self.admit_facts is not None and self.eviction != "cost":
+            raise ValueError(
+                "CachePolicy(admit_facts=...) is an eviction='cost' "
+                "knob; LRU stores admit everything"
+            )
+        if self.remote_pipeline and self.remote is None:
+            raise ValueError(
+                "CachePolicy(remote_pipeline=True) needs remote=... "
+                "shard addresses; there is no wire to pipeline otherwise"
             )
         if self.remote is not None:
             # Tolerate a list (or any iterable of addresses); the policy
@@ -132,14 +153,19 @@ class CachePolicy:
                 max_entries=self.max_entries,
                 max_facts=self.max_facts,
                 eviction=self.eviction,
+                admit_facts=self.admit_facts,
             )
         elif self.bounded:
-            cls = (
-                CostAwareSummaryCache
-                if self.eviction == "cost"
-                else BoundedSummaryCache
-            )
-            store = cls(max_entries=self.max_entries, max_facts=self.max_facts)
+            if self.eviction == "cost":
+                store = CostAwareSummaryCache(
+                    max_entries=self.max_entries,
+                    max_facts=self.max_facts,
+                    admit_facts=self.admit_facts,
+                )
+            else:
+                store = BoundedSummaryCache(
+                    max_entries=self.max_entries, max_facts=self.max_facts
+                )
         else:
             store = SummaryCache()
         if self.remote is not None:
@@ -149,7 +175,10 @@ class CachePolicy:
             from repro.cacheserver.client import RemoteSummaryCache
 
             return RemoteSummaryCache(
-                self.remote, local=store, timeout=self.remote_timeout
+                self.remote,
+                local=store,
+                timeout=self.remote_timeout,
+                pipeline=self.remote_pipeline,
             )
         return store
 

@@ -3,7 +3,18 @@
 Nodes are interned by the :class:`~repro.pag.graph.PAG` — exactly one
 instance exists per program entity — so equality and hashing use object
 identity, which keeps the hot traversal loops cheap.
+
+Every node carries a precomputed ``sort_key``: a structural
+``(kind, owner, name)`` tuple that orders nodes deterministically across
+processes and ``PYTHONHASHSEED`` values without paying a ``repr()`` per
+comparison.  Summary canonicalization (boundary ordering in
+:mod:`repro.analysis.ppta`, the STASUM tables) sorts on it.
 """
+
+#: ``sort_key`` kind discriminants — sorted order is G < O < V.
+_KIND_GLOBAL = 0
+_KIND_OBJECT = 1
+_KIND_LOCAL = 2
 
 
 class Node:
@@ -14,7 +25,7 @@ class Node:
     and ``None`` for globals, which are context-insensitive.
     """
 
-    __slots__ = ("method",)
+    __slots__ = ("method", "sort_key")
 
     is_local_var = False
     is_global_var = False
@@ -34,6 +45,7 @@ class LocalNode(Node):
     def __init__(self, method, name):
         super().__init__(method)
         self.name = name
+        self.sort_key = (_KIND_LOCAL, method, name)
 
     def __repr__(self):
         return f"{self.name}@{self.method}"
@@ -50,6 +62,7 @@ class GlobalNode(Node):
         super().__init__(None)
         self.class_name = class_name
         self.field = field
+        self.sort_key = (_KIND_GLOBAL, class_name, field)
 
     def __repr__(self):
         return f"{self.class_name}::{self.field}"
@@ -66,6 +79,7 @@ class ObjectNode(Node):
         super().__init__(method)
         self.object_id = object_id
         self.class_name = class_name
+        self.sort_key = (_KIND_OBJECT, object_id, class_name)
 
     def __repr__(self):
         return f"{self.object_id}:{self.class_name}"

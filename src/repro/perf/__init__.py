@@ -1,0 +1,11 @@
+"""``repro.perf`` — the wall-clock performance harness (``repro-perf``).
+
+Everything else in the repo measures deterministic traversal *steps*;
+this package owns the other dimension: steps per second.  See
+:mod:`repro.perf.harness` for the protocols and the
+``benchmarks/BENCH_hotpath.json`` baseline they produce.
+"""
+
+from repro.perf.harness import main, run_perf
+
+__all__ = ["main", "run_perf"]

@@ -1,0 +1,6 @@
+"""``python -m repro.perf`` — alias for the ``repro-perf`` entry point."""
+
+from repro.perf.harness import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -679,3 +679,213 @@ class TestReplMode:
         assert [s.shard for s in stats] == [0, 1]
         assert sum(s.stats.entries for s in stats) == 1
         assert isinstance(responses[-1], ErrorResponse)
+
+
+# ----------------------------------------------------------------------
+# protocol 1.2: batched ops, pipelining, and the round-trip counter
+# ----------------------------------------------------------------------
+class TestBatchedOpsDispatch:
+    def make_server(self, shard=0, shards=1):
+        server = ShardServer(shard, shards)
+        server.stop()  # dispatch only; free the port immediately
+        return server
+
+    def exchange(self, server, request):
+        return decode_response(server.handle_line(encode(request)))
+
+    def test_batch_store_lookup_invalidate_cycle(self):
+        from repro.api.protocol import (
+            BatchInvalidateRequest,
+            BatchInvalidateResponse,
+            BatchLookupRequest,
+            BatchLookupResponse,
+            BatchStoreRequest,
+            BatchStoreResponse,
+        )
+
+        server = self.make_server()
+        entries = [wire_entry(name=f"v{i}") for i in range(3)]
+        stored = self.exchange(server, BatchStoreRequest(entries=tuple(entries)))
+        assert isinstance(stored, BatchStoreResponse)
+        assert stored.stored == (True, True, True)
+        # Re-store: all resident and equal -> recency only.
+        stored = self.exchange(server, BatchStoreRequest(entries=tuple(entries)))
+        assert stored.stored == (False, False, False)
+        keys = tuple(wire_key(e) for e in entries) + (
+            wire_key(wire_entry(name="missing")),
+        )
+        found = self.exchange(server, BatchLookupRequest(keys=keys))
+        assert isinstance(found, BatchLookupResponse)
+        assert list(found.entries[:3]) == entries
+        assert found.entries[3] is None
+        dropped = self.exchange(
+            server, BatchInvalidateRequest(methods=("A.m", "B.n"))
+        )
+        assert isinstance(dropped, BatchInvalidateResponse)
+        assert dropped.dropped == (3, 0)
+
+    def test_fetch_methods_all_and_filtered(self):
+        from repro.api.protocol import MethodEntriesRequest, MethodEntriesResponse
+
+        server = self.make_server()
+        a = wire_entry(name="x")
+        b = wire_entry(method="B.n", name="y")
+        for entry in (a, b):
+            self.exchange(server, StoreRequest(entry=entry))
+        everything = self.exchange(server, MethodEntriesRequest())
+        assert isinstance(everything, MethodEntriesResponse)
+        assert list(everything.entries) == [a, b]  # coldest-first
+        only_b = self.exchange(server, MethodEntriesRequest(methods=("B.n",)))
+        assert list(only_b.entries) == [b]
+
+    def test_batched_ownership_is_checked_per_element(self):
+        from repro.analysis.summaries import shard_for_method
+        from repro.api.protocol import BatchStoreRequest
+
+        owner = shard_for_method("A.m", 2)
+        server = self.make_server(shard=1 - owner, shards=2)
+        response = self.exchange(
+            server, BatchStoreRequest(entries=(wire_entry(),))
+        )
+        assert isinstance(response, ErrorResponse)
+        assert response.code == "wrong-shard"
+        assert len(server.store) == 0  # nothing partially applied
+
+    def test_request_many_pipelines_one_flight(self, cluster):
+        link = ShardLink(cluster[0].address, timeout=2.0)
+        try:
+            entry = wire_entry(method=self._owned_method(cluster, 0))
+            lines = [
+                encode(StoreRequest(entry=entry)),
+                encode(LookupRequest(key=wire_key(entry))),
+            ]
+            responses = [decode_response(r) for r in link.request_many(lines)]
+            assert isinstance(responses[0], StoreResponse)
+            assert isinstance(responses[1], LookupResponse)
+            assert responses[1].found
+        finally:
+            link.close()
+
+    @staticmethod
+    def _owned_method(servers, shard):
+        from repro.analysis.summaries import shard_for_method
+
+        index = 0
+        while True:
+            method = f"M{index}.m"
+            if shard_for_method(method, len(servers)) == shard:
+                return method
+            index += 1
+
+
+class TestPipelinedRemoteBatches:
+    """The acceptance property: a warm pipelined batch costs
+    O(shards) wire round trips — observable through the new
+    ``remote.round_trips`` counter — with answers element-wise
+    identical to local and to the non-pipelined path."""
+
+    def _engine(self, servers, pipeline):
+        from repro.bench.runner import BENCH_FIELD_DEPTH_LIMIT
+
+        policy = EnginePolicy(
+            max_field_depth=BENCH_FIELD_DEPTH_LIMIT,
+            parallelism=1,
+            cache=CachePolicy(
+                remote=tuple(s.address for s in servers),
+                remote_timeout=2.0,
+                remote_pipeline=pipeline,
+            ),
+        )
+        return policy
+
+    def test_round_trips_counter_counts_exchanges(self, cluster):
+        from repro.bench.suite import load_benchmark
+        from repro.clients import SafeCastClient
+
+        instance = load_benchmark("jython", scale=0.4)
+        client = SafeCastClient(instance.pag)
+        engine = PointsToEngine(instance.pag, self._engine(cluster, False))
+        client.run_engine(engine, dedupe=False, reorder=False)
+        stats = engine.stats().remote
+        # Unpipelined: every remote lookup and every write-through store
+        # is its own exchange.
+        expected = (
+            stats.remote_hits
+            + stats.remote_misses
+            + stats.stores
+            + stats.invalidations
+        )
+        assert stats.round_trips == expected
+        assert stats.round_trips > len(cluster)
+
+    def test_warm_pipelined_batch_is_o_shards_round_trips(self, cluster):
+        from repro.bench.suite import load_benchmark
+        from repro.clients import SafeCastClient
+
+        instance = load_benchmark("jython", scale=0.4)
+        client = SafeCastClient(instance.pag)
+
+        local = PointsToEngine(
+            instance.pag,
+            EnginePolicy(max_field_depth=16, parallelism=1),
+        )
+        _v, local_batch = client.run_engine(local, dedupe=False, reorder=False)
+        digest = [canonical(r) for r in local_batch.results]
+
+        # Cold pipelined publisher: prefetch finds nothing, the flush
+        # publishes every computed summary in one batch-store per shard.
+        cold = PointsToEngine(instance.pag, self._engine(cluster, True))
+        _v, cold_batch = client.run_engine(cold, dedupe=False, reorder=False)
+        cold_stats = cold.stats().remote
+        assert [canonical(r) for r in cold_batch.results] == digest
+        assert cold_stats.stores > 0
+        assert cold_stats.remote_errors == 0
+
+        # Warm pipelined reader: one fetch-methods round trip per shard
+        # warms the tier; every probe then hits locally.
+        warm = PointsToEngine(instance.pag, self._engine(cluster, True))
+        _v, warm_batch = client.run_engine(warm, dedupe=False, reorder=False)
+        warm_stats = warm.stats().remote
+        assert [canonical(r) for r in warm_batch.results] == digest
+        assert warm_stats.prefetched > 0
+        assert warm_stats.remote_errors == 0
+        # THE acceptance bound: <= (#shards x constant), not one round
+        # trip per method lookup.  The constant covers prefetch + flush.
+        assert warm_stats.round_trips <= 4 * len(cluster)
+        # And strictly better than the per-lookup regime: the warm
+        # unpipelined client pays one exchange per distinct key.
+        plain = PointsToEngine(instance.pag, self._engine(cluster, False))
+        _v, plain_batch = client.run_engine(plain, dedupe=False, reorder=False)
+        plain_stats = plain.stats().remote
+        assert [canonical(r) for r in plain_batch.results] == digest
+        assert warm_stats.round_trips < plain_stats.round_trips
+
+    def test_invalidate_purges_buffered_writes(self, cluster):
+        """An edit mid-batch must not let the end-of-batch flush
+        republish the edited method's pre-edit summaries."""
+        from repro.analysis.summaries import SummaryCache
+        from repro.analysis.ppta import PptaResult
+        from repro.cfl.rsm import S1
+        from repro.cfl.stacks import EMPTY_STACK
+        from repro.pag.graph import PAG
+
+        pag = PAG()
+        node = pag.local_var("A.m", "x")
+        cache = RemoteSummaryCache(
+            tuple(s.address for s in cluster),
+            local=SummaryCache(),
+            timeout=2.0,
+            pipeline=True,
+        )
+        try:
+            cache.bind_pag(pag)
+            cache.begin_batch()
+            cache.store(node, EMPTY_STACK, S1, PptaResult((), ()))
+            dropped = cache.invalidate_method("A.m")
+            assert dropped == 1  # the local tier entry
+            cache.end_batch()
+            stats = cache.remote_stats()
+            assert stats.stores == 0  # buffered publish was purged
+            assert len(cluster[0].store) == 0 and len(cluster[1].store) == 0
+        finally:
+            cache.close()

@@ -26,6 +26,7 @@ from repro import (
     ShardedSummaryCache,
 )
 from repro.analysis.ppta import PptaResult
+from repro.analysis.summaries import entry_cost_score
 from repro.api.snapshot import SummarySnapshot
 from repro.bench.batching import split_batches
 from repro.bench.runner import bench_engine_policy
@@ -92,8 +93,9 @@ class TestMechanics:
             store.store(node(f"v{i}"), EMPTY_STACK, S1, summary(steps=i + 1))
         assert store.invalidate_method("A.m") == 4
         assert len(store) == 0
-        # The priority table must not leak invalidated keys.
-        assert store._priority == {}
+        # The rank table must not leak invalidated keys (the heap may
+        # keep stale records — they are lazily discarded on pop).
+        assert store._rank == {}
 
     def test_unbounded_cost_configurations_are_refused(self):
         # eviction="cost" with no ceiling would never evict — every
@@ -188,3 +190,123 @@ def test_snapshot_round_trips_cost_policy_and_steps(figure2_pag=None):
     assert isinstance(restored, CostAwareSummaryCache)
     assert [s.steps for _k, s in restored.entries()] == recorded
     assert restored.stats_snapshot() == store.stats_snapshot()
+
+
+class TestHeapVictimIndex:
+    """The heap-backed victim index must pick exactly the victims the
+    O(n) scan picked (min priority, ties to the least-recently-used
+    entry), and admission control must refuse oversized summaries."""
+
+    def test_heap_matches_scan_oracle_on_random_workload(self):
+        import random
+
+        rng = random.Random(20260728)
+        store = CostAwareSummaryCache(max_entries=12)
+
+        # Oracle: replay the same Greedy-Dual rule with a plain scan
+        # over (priority, recency) mirrors.
+        oracle_priority = {}
+        oracle_recency = {}
+        oracle_clock = [0.0]
+        oracle_entries = []  # keys, coldest first
+        oracle_evictions = []
+
+        def oracle_store(key, summ):
+            if key in oracle_priority:
+                oracle_entries.remove(key)
+                oracle_entries.append(key)
+                oracle_priority[key] = oracle_clock[0] + entry_cost_score(summ)
+                return
+            oracle_priority[key] = oracle_clock[0] + entry_cost_score(summ)
+            oracle_entries.append(key)
+            while len(oracle_entries) > 12 and len(oracle_entries) > 1:
+                victim, victim_priority = None, None
+                for k in oracle_entries:
+                    p = oracle_priority[k]
+                    if victim_priority is None or p < victim_priority:
+                        victim, victim_priority = k, p
+                oracle_clock[0] = victim_priority
+                oracle_entries.remove(victim)
+                del oracle_priority[victim]
+                oracle_evictions.append(victim)
+
+        def oracle_touch(key):
+            if key in oracle_priority:
+                oracle_entries.remove(key)
+                oracle_entries.append(key)
+                # refreshed against the current clock; summary size is
+                # recovered from the live store (identical payloads)
+                oracle_priority[key] = oracle_clock[0] + scores[key]
+
+        scores = {}
+        live = {}
+        for round_index in range(400):
+            op = rng.random()
+            name = f"v{rng.randrange(40)}"
+            key = (node(name), EMPTY_STACK, S1)
+            if op < 0.7:
+                summ = summary(steps=rng.randrange(0, 200))
+                scores[key] = entry_cost_score(summ)
+                live[key] = summ
+                store.store(*key, summ)
+                oracle_store(key, summ)
+            else:
+                store.lookup(*key)
+                oracle_touch(key)
+            resident = {k for k, _ in store.entries()}
+            assert resident == set(oracle_entries), f"round {round_index}"
+
+    def test_admission_control_refuses_oversized_summaries(self):
+        store = CostAwareSummaryCache(max_entries=8, admit_facts=2)
+        small_node, big_node = node("small"), node("big")
+        small = summary(steps=10)
+        assert small.size <= 2
+        assert store.store(small_node, EMPTY_STACK, S1, small) is True
+
+        big = PptaResult(
+            (),
+            tuple(
+                (node(f"b{i}"), EMPTY_STACK, S1) for i in range(5)
+            ),
+            steps=1000,
+        )
+        assert big.size > 2
+        assert store.store(big_node, EMPTY_STACK, S1, big) is False
+        assert store.rejected == 1
+        assert (big_node, EMPTY_STACK, S1) not in store
+        # The small resident entry is untouched.
+        assert store.lookup(small_node, EMPTY_STACK, S1) is small
+        # spawn() preserves the admission policy.
+        assert store.spawn().admit_facts == 2
+
+    def test_admission_applies_to_replacements_too(self):
+        """The self-heal path (a differing publish for a resident key)
+        must not smuggle an oversized summary past admission: the stale
+        resident is dropped, the replacement is refused."""
+        store = CostAwareSummaryCache(max_entries=8, admit_facts=2)
+        key_node = node("k")
+        assert store.store(key_node, EMPTY_STACK, S1, summary(steps=3)) is True
+        oversized = PptaResult(
+            (), tuple((node(f"b{i}"), EMPTY_STACK, S1) for i in range(5))
+        )
+        assert store.store(key_node, EMPTY_STACK, S1, oversized) is True
+        assert store.rejected == 1
+        assert (key_node, EMPTY_STACK, S1) not in store
+        assert store.total_facts() == 0
+        # An equal oversized re-store of a resident oversized entry is
+        # still a recency-only refresh (size unchanged, nothing to
+        # admit) — mirror of the base rule.
+        relaxed = CostAwareSummaryCache(max_entries=8, admit_facts=10)
+        assert relaxed.store(key_node, EMPTY_STACK, S1, oversized) is True
+        relaxed.admit_facts = 2
+        assert relaxed.store(key_node, EMPTY_STACK, S1, oversized) is False
+        assert relaxed.rejected == 0
+        assert (key_node, EMPTY_STACK, S1) in relaxed
+
+    def test_admission_default_admits_everything(self):
+        store = CostAwareSummaryCache(max_entries=4)
+        big = PptaResult(
+            (), tuple((node(f"b{i}"), EMPTY_STACK, S1) for i in range(50))
+        )
+        assert store.store(node("big"), EMPTY_STACK, S1, big) is True
+        assert store.rejected == 0

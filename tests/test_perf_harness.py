@@ -1,0 +1,105 @@
+"""The ``repro-perf`` harness: structure, invariants, CLI plumbing.
+
+Wall-clock values are host-dependent, so these tests assert the
+harness's *shape* and its correctness gates (identical answers, equal
+steps, eviction counts), never absolute times — the same stance the CI
+``perf-smoke`` job takes.
+"""
+
+import json
+
+import pytest
+
+from repro.perf.harness import (
+    PerfCheckError,
+    main,
+    run_eviction,
+    run_figure4,
+    run_perf,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    """One tiny in-process sweep shared by the structural tests."""
+    return run_perf(
+        quick=True,
+        check=True,
+        rounds=1,
+        reps=1,
+        scale=0.4,
+        benchmarks=("jython",),
+        clients=("SafeCast",),
+    )
+
+
+class TestReportShape:
+    def test_figure4_rows_and_aggregate(self, quick_report):
+        section = quick_report["figure4"]
+        assert section["workloads"], "sweep produced no workloads"
+        for row in section["workloads"]:
+            assert row["steps"] > 0
+            assert row["fast"]["steps_per_sec"] > 0
+            assert row["reference"]["steps_per_sec"] > 0
+            assert row["speedup"] > 0
+        aggregate = section["aggregate"]
+        assert aggregate["speedup"] > 0
+        # The generator microbenchmark rides along with the figure
+        # benchmarks.
+        assert any(
+            row["benchmark"] == "generator" for row in section["workloads"]
+        )
+
+    def test_eviction_section_counts_and_flatness(self, quick_report):
+        section = quick_report["eviction"]
+        assert [row["entries"] for row in section["sizes"]] == [1000, 5000]
+        assert all(row["per_eviction_us"] > 0 for row in section["sizes"])
+        assert section["flatness_ratio"] is not None
+
+    def test_profile_section(self, quick_report):
+        assert quick_report["profile"]
+        top = quick_report["profile"][0]
+        assert set(top) == {"function", "ncalls", "tottime_sec", "cumtime_sec"}
+
+    def test_check_flag_recorded(self, quick_report):
+        assert quick_report["checked"] is True
+        assert json.dumps(quick_report)  # JSON-serializable end to end
+
+
+class TestInvariants:
+    def test_eviction_bench_requires_real_evictions(self):
+        # Tiny insert count still must evict once per insert.
+        section = run_eviction((64,), inserts=16)
+        assert section["sizes"][0]["per_eviction_us"] > 0
+
+    def test_figure4_asserts_step_identity(self):
+        # Sanity: the sweep itself raises PerfCheckError on divergence;
+        # a healthy run must NOT raise.
+        section = run_figure4(
+            ("jython",), ("SafeCast",), rounds=1, reps=1, scale=0.4
+        )
+        assert section["workloads"][0]["steps"] > 0
+
+    def test_perf_check_error_is_an_assertion(self):
+        assert issubclass(PerfCheckError, AssertionError)
+
+
+class TestCli:
+    def test_main_writes_output_and_checks(self, tmp_path, capsys):
+        out = tmp_path / "perf.json"
+        code = main(
+            [
+                "--quick",
+                "--check",
+                "--rounds", "1",
+                "--reps", "1",
+                "--scale", "0.4",
+                "--benchmarks", "jython",
+                "--clients", "SafeCast",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["protocol"] == "repro-perf"
+        assert report["checked"] is True

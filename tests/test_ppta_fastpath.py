@@ -1,0 +1,225 @@
+"""Differential battery: the optimized traversals vs the retained reference.
+
+The hot-path overhaul rewrote the PPTA inner loop and the DYNSUM
+worklist over precompiled adjacency records, interned push tokens and
+int-keyed visited sets, and routed STASUM/REFINEPTS/NOREFINE over the
+same records.  The pre-optimization implementation is retained
+(:func:`repro.analysis.ppta.run_ppta_reference` plus DYNSUM's
+``_explore_reference``), switched in with
+:func:`repro.analysis.ppta.traversal_impl` — and this battery pins the
+equivalence over ~50 generated programs:
+
+* DYNSUM and STASUM run under **both** implementations on fresh
+  instances: query results element-wise identical, step counts
+  bit-equal, and (DYNSUM) the cached summaries' object/boundary sets
+  identical entry for entry;
+* NOREFINE and REFINEPTS (whose record-based loops have no switch) are
+  pinned by the full-precision invariant: wherever they and the
+  reference DYNSUM all complete, the answers coincide.
+
+A subprocess pair also checks that summary fact *ordering* — now sorted
+on structural ``(kind, owner, name)`` node keys rather than ``repr`` —
+is stable across ``PYTHONHASHSEED`` values.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import ppta
+from repro.analysis.dynsum import DynSum
+from repro.analysis.norefine import NoRefine
+from repro.analysis.refinepts import RefinePts
+from repro.analysis.stasum import StaSum
+from repro.bench.generator import GeneratorConfig, generate_program
+from repro.bench.runner import bench_analysis_config
+from repro.clients import SafeCastClient
+from repro.pag.builder import build_pag
+
+#: 50 program shapes: a seed sweep over a small base config plus a few
+#: structural variants (deeper layering, heavier library traffic, field
+#: chains) mixed in round-robin.
+_BASE = GeneratorConfig(
+    domain_classes=4,
+    data_classes=3,
+    box_variants=2,
+    workers_per_class=2,
+    stmts_per_worker=6,
+    driver_rounds=1,
+    layers=2,
+)
+_VARIANTS = (
+    _BASE,
+    replace(_BASE, layers=3, stmts_per_worker=8),
+    replace(_BASE, library_call_bias=2.0),
+    replace(_BASE, null_density=0.8, cast_density=0.9),
+    replace(_BASE, fields_per_class=5, hierarchy_depth=3),
+)
+CONFIGS = [
+    replace(_VARIANTS[seed % len(_VARIANTS)], seed=seed) for seed in range(50)
+]
+
+
+def make_pag(config):
+    return build_pag(generate_program(config))
+
+
+def query_nodes(pag):
+    """SafeCast's query stream plus a deterministic sample of locals."""
+    nodes = [query.node(pag) for query in SafeCastClient(pag).queries()]
+    sampled = []
+    for qname in sorted(pag.methods()):
+        for node in pag.nodes_of_method(qname):
+            if node.is_local_var:
+                sampled.append(node)
+    nodes.extend(sampled[:: max(1, len(sampled) // 8)])
+    return nodes
+
+
+def canonical(result):
+    return (
+        result.complete,
+        sorted(
+            (str(obj.object_id), ctx.to_tuple()) for obj, ctx in result.pairs
+        ),
+    )
+
+
+def run_all(analysis, nodes):
+    return [analysis.points_to(node) for node in nodes]
+
+
+def summary_facts(cache):
+    """The cached summaries as comparable object/boundary sets."""
+    facts = {}
+    for (node, stack, state), summary in cache.entries():
+        key = (repr(node), stack.to_tuple(), state)
+        facts[key] = (
+            frozenset(obj.object_id for obj in summary.objects),
+            frozenset(
+                (repr(bnode), bstack.to_tuple(), bstate)
+                for bnode, bstack, bstate in summary.boundaries
+            ),
+            summary.steps,
+        )
+    return facts
+
+
+@pytest.mark.parametrize("chunk", range(10))
+def test_differential_battery(chunk):
+    """Five programs per chunk (pytest-parallel friendly), all four
+    analyses, fast vs reference."""
+    for config in CONFIGS[chunk * 5 : chunk * 5 + 5]:
+        pag = make_pag(config)
+        nodes = query_nodes(pag)
+        assert nodes, f"no queries generated for seed {config.seed}"
+        outcomes = {}
+        for impl in ("fast", "reference"):
+            with ppta.traversal_impl(impl):
+                dynsum = DynSum(pag, bench_analysis_config())
+                dyn_results = run_all(dynsum, nodes)
+                stasum = StaSum(pag, bench_analysis_config())
+                sta_results = run_all(stasum, nodes)
+            outcomes[impl] = {
+                "dyn": [canonical(r) for r in dyn_results],
+                "dyn_steps": [r.steps for r in dyn_results],
+                "dyn_stats": [
+                    (r.stats["cache_hits"], r.stats["cache_misses"])
+                    for r in dyn_results
+                ],
+                "dyn_complete": [r.complete for r in dyn_results],
+                "facts": summary_facts(dynsum.cache),
+                "sta": [canonical(r) for r in sta_results],
+                "sta_steps": [r.steps for r in sta_results],
+            }
+        fast, ref = outcomes["fast"], outcomes["reference"]
+        label = f"seed {config.seed}"
+        # Element-wise identical answers, steps and probe accounting.
+        assert fast["dyn"] == ref["dyn"], label
+        assert fast["dyn_steps"] == ref["dyn_steps"], label
+        assert fast["dyn_stats"] == ref["dyn_stats"], label
+        # Entry-for-entry identical summaries (objects, boundary sets,
+        # recorded build cost).
+        assert fast["facts"] == ref["facts"], label
+        assert fast["sta"] == ref["sta"], label
+        assert fast["sta_steps"] == ref["sta_steps"], label
+
+        # Full-precision cross-check for the record-based NOREFINE /
+        # REFINEPTS loops: wherever everything completes, the answers
+        # coincide with reference DYNSUM's.
+        norefine = NoRefine(pag, bench_analysis_config())
+        refinepts = RefinePts(pag, bench_analysis_config())
+        for index, node in enumerate(nodes):
+            if not ref["dyn_complete"][index]:
+                continue
+            nr = norefine.points_to(node)
+            rp = refinepts.points_to(node)
+            if nr.complete:
+                assert canonical(nr) == ref["dyn"][index], (label, index)
+            if rp.complete:
+                assert canonical(rp) == ref["dyn"][index], (label, index)
+
+
+_HASHSEED_SCRIPT = r"""
+import json, sys
+from repro.analysis.dynsum import DynSum
+from repro.analysis.stasum import StaSum
+from repro.bench.generator import GeneratorConfig, generate_program
+from repro.bench.runner import bench_analysis_config
+from repro.pag.builder import build_pag
+
+pag = build_pag(generate_program(GeneratorConfig(
+    seed=11, domain_classes=4, data_classes=3, workers_per_class=2,
+    stmts_per_worker=6, driver_rounds=1)))
+dynsum = DynSum(pag, bench_analysis_config())
+for qname in sorted(pag.methods()):
+    for node in pag.nodes_of_method(qname):
+        if node.is_local_var:
+            dynsum.points_to(node)
+order = []
+for (node, stack, state), summary in sorted(
+    dynsum.cache.entries(), key=lambda kv: (repr(kv[0][0]), kv[0][1].to_tuple(), kv[0][2])
+):
+    order.append([
+        repr(node), list(stack.to_tuple()), state,
+        [repr(b[0]) for b in summary.boundaries],
+        [str(o.object_id) for o in summary.objects],
+    ])
+stasum = StaSum(pag, bench_analysis_config())
+tables = []
+for (node, state), summary in sorted(
+    stasum._table.items(), key=lambda kv: (repr(kv[0][0]), kv[0][1])
+):
+    tables.append([repr(node), state,
+                   [repr(b[2]) for b in summary.boundaries]])
+json.dump({"order": order, "tables": tables}, sys.stdout, sort_keys=True)
+"""
+
+
+def _run_with_hashseed(seed):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(seed)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _HASHSEED_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def test_summary_ordering_stable_across_hashseeds():
+    """The structural sort keys make summary fact ordering independent
+    of ``PYTHONHASHSEED`` — the regression the repr-replacement
+    satellite pins down."""
+    assert _run_with_hashseed(0) == _run_with_hashseed(12345)
