@@ -39,6 +39,7 @@ from repro.analysis.base import (
 )
 from repro.analysis.ppta import (
     PptaResult,
+    _run_ppta_array,
     _run_ppta_fast,
     active_traversal_impl,
     run_ppta,
@@ -121,16 +122,21 @@ class DynSum(DemandPointsToAnalysis):
     def _explore(self, var, context, pairs, budget):
         """Algorithm 4's worklist.
 
-        Two equivalent implementations: the inlined fast loop below
+        Three equivalent implementations: the inlined fast loop below
         (records, locals-bound names, context ops unrolled) is the
-        production path; traced queries (an attached observer) and
+        default production path; ``"array"`` mode takes
+        :meth:`_explore_array` — the same loop over the CSR image's
+        dense int arrays; traced queries (an attached observer) and
         reference-mode runs (:func:`~repro.analysis.ppta.traversal_impl`
         ``"reference"``) take :meth:`_explore_reference` — the retained
-        pre-optimization loop over the PAG accessor surface.  Both
+        pre-optimization loop over the PAG accessor surface.  All three
         charge the budget once per pop and probe the cache identically.
         """
-        if self.observer is not None or active_traversal_impl() != "fast":
+        impl = active_traversal_impl()
+        if self.observer is not None or impl == "reference":
             return self._explore_reference(var, context, pairs, budget)
+        if impl == "array":
+            return self._explore_array(var, context, pairs, budget)
         pag = self.pag
         get_record = pag.adjacency().get
         empty_record = EMPTY_ADJACENCY
@@ -284,6 +290,160 @@ class DynSum(DemandPointsToAnalysis):
                         seen_add(key)
                         if len(seen) != size:
                             push((target, f1, s1, ctx))
+            budget.steps = total
+        finally:
+            if hits:
+                cache.hits += hits
+
+    def _explore_array(self, var, context, pairs, budget):
+        """Algorithm 4's worklist over the CSR image.
+
+        Mirrors the fast loop in :meth:`_explore` pop-for-pop — same
+        budget charging, same cache probe discipline (structural
+        ``(node, stack, state)`` keys on the shared cache, so summaries
+        interoperate across impls), same boundary-crossing order — but
+        over :class:`repro.pag.csr.CsrImage` rows: the boundary flags
+        are one ``bytes`` index, the crossing rows carry pre-packed
+        target addends plus the target node (recursive-site handling is
+        folded into the op codes at compile time), and the visited set
+        keys on ``(packed state int, context uid)`` pairs.
+        """
+        pag = self.pag
+        image = pag.csr()
+        node_index_get = image.node_index.get
+        n = image.n_nodes
+        stride = n * 4 + 4
+        flags = image.flags
+        cb_rows = image.cb_rows
+        cf_rows = image.cf_rows
+        cache = self.cache
+        cache_lookup = cache.lookup
+        cache_store = cache.store
+        plain_entries_get = (
+            cache._entries.get if type(cache) is SummaryCache else None
+        )
+        max_depth = self.config.max_field_depth
+        track = self.config.track_heap_contexts
+        limit = budget.limit
+        total = budget.steps
+        ceiling = limit if limit is not None else float("inf")
+        empty_stack = EMPTY_STACK
+        ppta = _run_ppta_array
+        t0 = node_index_get(var, n) * 4 + S1
+        # Visited keys are single ints: (field-stack uid * stride +
+        # packed state) shifted past a 33-bit context-uid field.  Stack
+        # uids are sequential interning counters, and 2**33 live stacks
+        # would exhaust memory thousands of times over, so the packing
+        # is exact (an encoding, not a hash) — and an int key skips the
+        # tuple allocation and element-wise hash of the fast loop's
+        # tuple keys on every crossing edge.
+        seen = {(EMPTY_STACK._uid * stride + t0) << 33 | context._uid}
+        seen_add = seen.add
+        # Worklist items carry the packed state int ``t`` (index*4 +
+        # state) straight off the crossing rows: the pop recovers
+        # ``s = t & 3`` and ``ui = t >> 2`` with two int ops instead of
+        # threading both through every tuple.
+        worklist = deque([(var, t0, EMPTY_STACK, context)])
+        pop = worklist.popleft
+        push = worklist.append
+        pairs_add = pairs.add
+
+        # The probe memo (packed int key) is retired whenever the CSR
+        # image changes identity — a different numbering would alias
+        # keys — mirroring how the fast loop retires it per adjacency
+        # compile.  Shared-cache semantics are unchanged: memo answers
+        # count as hits, flushed in the finally.
+        if plain_entries_get is not None:
+            memo_pair = cache._fast_memo
+            if memo_pair is None or memo_pair[0] is not image:
+                memo_pair = (image, {})
+                cache._fast_memo = memo_pair
+            qmemo = memo_pair[1]
+        else:
+            qmemo = {}
+        qmemo_get = qmemo.get
+        hits = 0
+
+        try:
+            while worklist:
+                u, t, f, c = pop()
+                total += 1
+                if total > ceiling:
+                    budget.steps = total
+                    raise BudgetExceededError(limit)
+                s = t & 3
+                ui = t >> 2
+                flag = flags[ui]  # sentinel index n reads the zero byte
+                if flag & 4:  # FLAG_LOCAL
+                    if plain_entries_get is not None:
+                        mkey = f._uid * stride + t
+                        summary = qmemo_get(mkey)
+                        if summary is None:
+                            key = (u, f, s)
+                            summary = plain_entries_get(key)
+                            if summary is None:
+                                cache.misses += 1
+                                budget.steps = total
+                                summary = ppta(pag, u, f, s, budget, max_depth)
+                                total = budget.steps
+                                cache._entries[key] = summary
+                                cache._facts += summary.size
+                                method = u.method
+                                if method is not None:
+                                    cache._by_method.setdefault(
+                                        method, set()
+                                    ).add(key)
+                            else:
+                                hits += 1
+                            qmemo[mkey] = summary
+                        else:
+                            hits += 1
+                    else:
+                        summary = cache_lookup(u, f, s)
+                        if summary is None:
+                            budget.steps = total
+                            summary = ppta(pag, u, f, s, budget, max_depth)
+                            total = budget.steps
+                            cache_store(u, f, s, summary)
+                    objects = summary.objects
+                    if objects:
+                        ctx = c if track else empty_stack
+                        for obj in objects:
+                            pairs_add((obj, ctx))
+                    boundaries = summary.boundaries
+                    if not boundaries:
+                        continue
+                elif flag & s:  # FLAG_GLOBAL_IN gates S1, _OUT gates S2
+                    # Section 4.3: no local edges — the node is its own
+                    # (trivial) boundary; no cache probe, no PptaResult.
+                    boundaries = ((u, f, s),)
+                else:
+                    continue
+                for x, f1, s1 in boundaries:
+                    xi = ui if x is u else node_index_get(x, n)
+                    row = cb_rows[xi] if s1 == S1 else cf_rows[xi]
+                    if not row:
+                        continue  # no global edges to cross
+                    f1key = f1._uid * stride
+                    for op, site, t1, xnode in row:
+                        if op == 0:  # OP_PUSH
+                            ctx = c.push(site)
+                        elif op == 2:  # OP_POP
+                            if c._rest is None:
+                                ctx = c
+                            elif c._top == site:
+                                ctx = c._rest
+                            else:
+                                continue  # unrealizable
+                        elif op == 4:  # OP_CLEAR
+                            ctx = empty_stack
+                        else:  # OP_PUSH_REC / OP_POP_REC: context unchanged
+                            ctx = c
+                        key = (f1key + t1) << 33 | ctx._uid
+                        size = len(seen)
+                        seen_add(key)
+                        if len(seen) != size:
+                            push((xnode, t1, f1, ctx))
             budget.steps = total
         finally:
             if hits:

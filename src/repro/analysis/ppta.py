@@ -318,6 +318,212 @@ def _run_ppta_fast(pag, node, field_stack, state, budget, max_field_depth=None):
 
 
 # ----------------------------------------------------------------------
+# the CSR array loop
+# ----------------------------------------------------------------------
+def _run_ppta_array(pag, node, field_stack, state, budget, max_field_depth=None):
+    """``DSPOINTSTO`` over the CSR image (:mod:`repro.pag.csr`).
+
+    Structured statement-for-statement like :func:`_run_ppta_fast` — the
+    same prologue, the same push order per expansion, the same LIFO
+    discipline and depth-check placement — so steps, abort behaviour and
+    results stay bit-identical; what changes is the representation.  A
+    traversal state is one **packed int** ``t = index * 4 + state``
+    (an unindexed start maps to the sentinel index ``n_nodes``, whose
+    rows are empty), worklist items are ``(t, stack)`` pairs, and the
+    visited key is ``stack._uid * stride + t`` with
+    ``stride = 4 * (n_nodes + 1)`` — injective because ``t < stride``.
+    The image rows carry targets *pre-packed*, so one attempted push
+    costs an int add and an int hash where the fast loop builds and
+    hashes a 3-tuple.  Like the fast loop, the general-phase locals are
+    bound only after the prologue — the single-expansion majority never
+    pays for them.
+    """
+    image = pag.csr()
+    n = image.n_nodes
+    si = image.node_index.get(node, n)
+    steps_before = budget.steps
+    limit = budget.limit
+    objects = []
+    boundaries = []
+
+    if limit is not None and steps_before >= limit:
+        budget.steps = steps_before + 1
+        raise BudgetExceededError(limit)
+    f0 = field_stack
+    pending = []
+    start = si * 4 + state
+    if state == S1:
+        row = image.new_rows[si]
+        if row:
+            if f0._rest is None:
+                objects.extend(row)
+            else:
+                pending.append((start + 1, f0))  # "new new-bar" turnaround
+        for t in image.as_rows[si]:
+            if t == start:
+                continue  # self-assign: equals the start state
+            pending.append((t, f0))
+        row = image.li_rows[si]
+        if row:
+            if max_field_depth is not None and f0._size >= max_field_depth:
+                budget.steps = steps_before + 1
+                raise BudgetExceededError(limit)
+            for token, t in row:
+                pending.append((t, f0.push(token)))
+        if image.flags[si] & 1:  # FLAG_GLOBAL_IN
+            boundaries.append((node, f0, S1))
+    else:
+        for t in image.at_rows[si]:
+            if t == start:
+                continue  # self-assign: equals the start state
+            pending.append((t, f0))
+        rest = f0._rest
+        if rest is not None:
+            top = f0._top
+            top_fid = image.tok_fid.get(top, -1)
+            for fid, t in image.lf_rows[si]:
+                if fid == top_fid:
+                    pending.append((t, rest))
+            if top[1] == FAM_LOAD:
+                for fid, t in image.si_rows[si]:
+                    if fid == top_fid:
+                        pending.append((t, rest))
+        row = image.sf_rows[si]
+        if row:
+            if max_field_depth is not None and f0._size >= max_field_depth:
+                budget.steps = steps_before + 1
+                raise BudgetExceededError(limit)
+            for token, t in row:
+                pending.append((t, f0.push(token)))
+        if image.flags[si] & 2:  # FLAG_GLOBAL_OUT
+            boundaries.append((node, f0, S2))
+    if not pending:
+        budget.steps = steps_before + 1
+        return PptaResult(
+            sorted(objects, key=_object_order) if len(objects) > 1 else objects,
+            boundaries,  # at most one entry here — no sort needed
+            steps=1,
+        )
+
+    # General phase (see _run_ppta_fast): bind the loop locals now.
+    stride = n * 4 + 4
+    nodes = image.nodes
+    new_rows = image.new_rows
+    as_rows = image.as_rows
+    li_rows = image.li_rows
+    at_rows = image.at_rows
+    lf_rows = image.lf_rows
+    si_rows = image.si_rows
+    sf_rows = image.sf_rows
+    flags = image.flags
+    tok_fid_get = image.tok_fid.get
+    visited = {field_stack._uid * stride + start}
+    stack = []
+    for item in pending:
+        visited.add(item[1]._uid * stride + item[0])
+        stack.append(item)
+    visited_add = visited.add
+    stack_pop = stack.pop
+    stack_append = stack.append
+    add_boundary = boundaries.append
+    extend_objects = objects.extend
+    push_limit = max_field_depth
+    allowed = None if limit is None else limit - steps_before
+    steps = 1  # the prologue's start expansion
+    try:
+        while stack:
+            t, f = stack_pop()
+            steps += 1
+            if allowed is not None and steps > allowed:
+                raise BudgetExceededError(limit)
+            fkey = f._uid * stride
+            vi = t >> 2
+            if t & 1:  # S1 (states are 1 and 2 — bit 0 distinguishes)
+                row = new_rows[vi]
+                if row:
+                    if f._rest is None:  # empty stack: emit the objects
+                        extend_objects(row)
+                    else:
+                        # "new new-bar" turnaround (Algorithm 3 line 10).
+                        key = fkey + t + 1
+                        size = len(visited)
+                        visited_add(key)
+                        if len(visited) != size:
+                            stack_append((t + 1, f))
+                for t2 in as_rows[vi]:
+                    key = fkey + t2
+                    size = len(visited)
+                    visited_add(key)
+                    if len(visited) != size:
+                        stack_append((t2, f))
+                row = li_rows[vi]
+                if row:
+                    if push_limit is not None and f._size >= push_limit:
+                        raise BudgetExceededError(limit)
+                    for token, t2 in row:
+                        pushed = f.push(token)
+                        key = pushed._uid * stride + t2
+                        size = len(visited)
+                        visited_add(key)
+                        if len(visited) != size:
+                            stack_append((t2, pushed))
+                if flags[vi] & 1:
+                    add_boundary((nodes[vi], f, S1))
+            else:
+                for t2 in at_rows[vi]:
+                    key = fkey + t2
+                    size = len(visited)
+                    visited_add(key)
+                    if len(visited) != size:
+                        stack_append((t2, f))
+                rest = f._rest
+                if rest is not None:
+                    top = f._top
+                    top_fid = tok_fid_get(top, -1)
+                    rkey = rest._uid * stride
+                    for fid, t2 in lf_rows[vi]:
+                        if fid == top_fid:  # forward load closes either family
+                            key = rkey + t2
+                            size = len(visited)
+                            visited_add(key)
+                            if len(visited) != size:
+                                stack_append((t2, rest))
+                    if top[1] == FAM_LOAD:
+                        for fid, t2 in si_rows[vi]:
+                            if fid == top_fid:
+                                # store-bar: only a pending backward load
+                                # may be closed here; the matching store's
+                                # value continues backward.
+                                key = rkey + t2
+                                size = len(visited)
+                                visited_add(key)
+                                if len(visited) != size:
+                                    stack_append((t2, rest))
+                row = sf_rows[vi]
+                if row:
+                    # The tracked object is stored into b.g — look for
+                    # aliases of the base backward, with g pending (B).
+                    if push_limit is not None and f._size >= push_limit:
+                        raise BudgetExceededError(limit)
+                    for token, t2 in row:
+                        pushed = f.push(token)
+                        key = pushed._uid * stride + t2
+                        size = len(visited)
+                        visited_add(key)
+                        if len(visited) != size:
+                            stack_append((t2, pushed))
+                if flags[vi] & 2:
+                    add_boundary((nodes[vi], f, S2))
+    finally:
+        budget.steps = steps_before + steps
+    return PptaResult(
+        sorted(objects, key=_object_order) if len(objects) > 1 else objects,
+        sorted(boundaries, key=_boundary_order) if len(boundaries) > 1 else boundaries,
+        steps=steps,
+    )
+
+
+# ----------------------------------------------------------------------
 # the retained reference implementation (pre-optimization loop)
 # ----------------------------------------------------------------------
 def run_ppta_reference(pag, node, field_stack, state, budget, max_field_depth=None):
@@ -414,6 +620,7 @@ def _expand_s2(pag, v, f, boundaries, visited, stack, push_limit, budget):
 # ----------------------------------------------------------------------
 TRAVERSAL_IMPLS = {
     "fast": _run_ppta_fast,
+    "array": _run_ppta_array,
     "reference": run_ppta_reference,
 }
 
@@ -429,7 +636,7 @@ def active_traversal_impl():
 
 
 def set_traversal_impl(name):
-    """Select the PPTA implementation globally (``fast``/``reference``)."""
+    """Select the PPTA implementation globally (``fast``/``array``/``reference``)."""
     if name not in TRAVERSAL_IMPLS:
         known = ", ".join(sorted(TRAVERSAL_IMPLS))
         raise ValueError(f"unknown traversal impl {name!r}; known: {known}")

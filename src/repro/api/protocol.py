@@ -62,14 +62,16 @@ from typing import Any, Optional, Tuple
 from repro.analysis.summaries import CacheStats
 from repro.engine.scheduler import BatchStats
 
-#: The protocol spoken by this build — "<major>.<minor>".  1.2 added the
-#: batched store-level ops (``batch-lookup``/``batch-store``/
-#: ``batch-invalidate``/``fetch-methods``) that amortise round trips,
-#: plus ``round_trips``/``prefetched`` on the remote stats; 1.1 added
-#: the store-level ops (``lookup``/``store``/``store-stats``) and the
+#: The protocol spoken by this build — "<major>.<minor>".  1.3 added
+#: ``csr_warm`` on ``stats-result`` (a snapshot-borne CSR traversal
+#: image was adopted at warm start); 1.2 added the batched store-level
+#: ops (``batch-lookup``/``batch-store``/``batch-invalidate``/
+#: ``fetch-methods``) that amortise round trips, plus
+#: ``round_trips``/``prefetched`` on the remote stats; 1.1 added the
+#: store-level ops (``lookup``/``store``/``store-stats``) and the
 #: warm-start/remote counters on ``stats-result``; 1.0 traffic decodes
 #: unchanged.
-PROTOCOL_VERSION = "1.2"
+PROTOCOL_VERSION = "1.3"
 
 
 def split_version(version):
@@ -425,7 +427,9 @@ class StatsResponse:
     cache-less analyses.
 
     ``warm_loaded``/``warm_skipped`` report snapshot warm-start
-    provenance; ``remote`` is the client-side shared-cache accounting
+    provenance, and ``csr_warm`` whether the warm start also adopted a
+    snapshot-borne CSR traversal image (so the engine never recompiled
+    its graph); ``remote`` is the client-side shared-cache accounting
     (:class:`RemoteStoreStats`) or null when the engine's store is
     purely local.
     """
@@ -441,6 +445,7 @@ class StatsResponse:
     cache: Optional[CacheStats] = None
     warm_loaded: int = 0
     warm_skipped: int = 0
+    csr_warm: bool = False
     remote: Optional[RemoteStoreStats] = None
     protocol_version: str = PROTOCOL_VERSION
 

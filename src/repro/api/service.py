@@ -61,6 +61,7 @@ from repro.api.protocol import (
     WireError,
     WireObject,
 )
+from repro.analysis.ppta import TRAVERSAL_IMPLS, traversal_impl
 from repro.cfl.budget import DEFAULT_BUDGET
 from repro.cfl.stacks import Stack
 from repro.clients import ALL_CLIENTS
@@ -295,6 +296,7 @@ class PointsToService:
             cache=stats.cache,
             warm_loaded=stats.warm_loaded,
             warm_skipped=stats.warm_skipped,
+            csr_warm=stats.csr_warm,
             remote=stats.remote,
         )
 
@@ -480,7 +482,25 @@ def main(argv=None):
         default=None,
         help="write a summary snapshot to PATH on EOF",
     )
+    parser.add_argument(
+        "--save-csr",
+        action="store_true",
+        help=(
+            "embed the compiled CSR traversal image in the --save-cache "
+            "snapshot (binary container); a later --warm-start maps it "
+            "zero-copy and skips graph recompilation"
+        ),
+    )
+    parser.add_argument(
+        "--traversal-impl",
+        choices=sorted(TRAVERSAL_IMPLS),
+        default=None,
+        help="pin the PPTA traversal implementation while serving "
+        "(default: the process default)",
+    )
     args = parser.parse_args(argv)
+    if args.save_csr and args.save_cache is None:
+        parser.error("--save-csr requires --save-cache")
 
     try:
         engine = _build_engine(args)
@@ -503,16 +523,20 @@ def main(argv=None):
         file=sys.stderr,
     )
     service = PointsToService(engine)
-    service.serve(sys.stdin, sys.stdout)
+    if args.traversal_impl is not None:
+        with traversal_impl(args.traversal_impl):
+            service.serve(sys.stdin, sys.stdout)
+    else:
+        service.serve(sys.stdin, sys.stdout)
     if args.save_cache is not None:
         try:
-            snapshot = engine.save_cache(args.save_cache)
+            snapshot = engine.save_cache(args.save_cache, csr=args.save_csr)
         except (WireError, IRError, OSError) as exc:
             print(f"repro-serve: {exc}", file=sys.stderr)
             return 2
         print(
             f"repro-serve: saved {len(snapshot.entries)} summaries "
-            f"to {args.save_cache}",
+            f"{'+ CSR image ' if args.save_csr else ''}to {args.save_cache}",
             file=sys.stderr,
         )
     return 0

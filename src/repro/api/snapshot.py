@@ -29,6 +29,8 @@ the program may have drifted since the save.
 """
 
 import json
+import mmap
+import struct
 
 from repro.analysis.ppta import PptaResult
 from repro.analysis.summaries import (
@@ -239,7 +241,8 @@ class SummarySnapshot:
     """
 
     __slots__ = (
-        "store_kind", "shards", "stats", "shard_stats", "entries", "eviction"
+        "store_kind", "shards", "stats", "shard_stats", "entries", "eviction",
+        "csr",
     )
 
     def __init__(self, store_kind, shards, stats, shard_stats, entries,
@@ -250,6 +253,11 @@ class SummarySnapshot:
         self.shard_stats = shard_stats
         self.entries = entries
         self.eviction = eviction
+        #: Optional :class:`repro.pag.csr.CsrSection` — present when the
+        #: snapshot was read from a binary container that carries a
+        #: compiled traversal image (see :func:`save_store` /
+        #: :func:`load_snapshot`).  Not part of the JSON payload.
+        self.csr = None
 
     # ------------------------------------------------------------------
     # capture
@@ -547,24 +555,126 @@ def check_entry(entry, path="entry"):
 
 # ----------------------------------------------------------------------
 # file convenience — what engine persistence calls
+#
+# Two on-disk forms share one loader:
+#
+# * the historical **JSON text file** (the snapshot payload alone);
+# * the **binary container** — a fixed big-endian header, the same JSON
+#   payload as a section, then a :func:`repro.pag.csr.serialize_csr`
+#   CSR section, 16-byte aligned so the loader can ``mmap`` the file
+#   and hand the traversal arrays out as zero-copy views of the page
+#   cache (no parse, no copy; the kernel shares the pages across
+#   processes warm-starting from the same file).
+#
+# ``load_snapshot`` sniffs the leading magic, so callers never say
+# which form they have.
 # ----------------------------------------------------------------------
-def save_store(store, path):
-    """Snapshot ``store`` and write canonical JSON to ``path``; returns
-    the :class:`SummarySnapshot`."""
+#: Magic + header of the binary container: magic, format major/minor,
+#: JSON section length, CSR section offset and length.  Big-endian —
+#: the *container* framing is portable; only the CSR payload inside is
+#: native-endian (and says so in its own header).
+_CONTAINER_MAGIC = b"RSNP"
+_CONTAINER_HEADER = struct.Struct("!4sHHQQQ")
+_CONTAINER_VERSION = (1, 0)
+
+
+def _align16(n):
+    return (n + 15) & ~15
+
+
+def save_store(store, path, csr_image=None):
+    """Snapshot ``store`` and write it to ``path``; returns the
+    :class:`SummarySnapshot`.
+
+    Without ``csr_image`` this writes the canonical JSON text form.
+    With one (a :class:`repro.pag.csr.CsrImage`) it writes the binary
+    container embedding both the JSON payload and the serialized CSR
+    section, which :func:`load_snapshot` maps back zero-copy.
+    """
     snapshot = SummarySnapshot.capture(store)
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(snapshot.dumps())
-        handle.write("\n")
+    if csr_image is None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(snapshot.dumps())
+            handle.write("\n")
+        return snapshot
+    from repro.pag.csr import serialize_csr
+
+    json_bytes = snapshot.dumps().encode("utf-8")
+    csr_offset = _align16(_CONTAINER_HEADER.size + len(json_bytes))
+    csr_bytes = serialize_csr(csr_image)
+    header = _CONTAINER_HEADER.pack(
+        _CONTAINER_MAGIC,
+        _CONTAINER_VERSION[0],
+        _CONTAINER_VERSION[1],
+        len(json_bytes),
+        csr_offset,
+        len(csr_bytes),
+    )
+    with open(path, "wb") as handle:
+        handle.write(header)
+        handle.write(json_bytes)
+        handle.write(b"\0" * (csr_offset - _CONTAINER_HEADER.size - len(json_bytes)))
+        handle.write(csr_bytes)
+    return snapshot
+
+
+def _load_container(path):
+    """Map a binary container and validate both sections."""
+    from repro.pag.csr import CsrSection
+
+    try:
+        with open(path, "rb") as handle:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    except (OSError, ValueError) as exc:
+        raise SnapshotError(f"cannot map snapshot {path!r}: {exc}") from None
+    view = memoryview(mapped)
+    size = len(view)
+    if size < _CONTAINER_HEADER.size:
+        raise SnapshotError(f"snapshot {path!r}: truncated container header")
+    magic, major, minor, json_len, csr_offset, csr_len = _CONTAINER_HEADER.unpack_from(
+        view, 0
+    )
+    if major != _CONTAINER_VERSION[0]:
+        raise SnapshotError(
+            f"snapshot {path!r}: unsupported container version {major}.{minor} "
+            f"(this build reads {_CONTAINER_VERSION[0]}.x)"
+        )
+    if _CONTAINER_HEADER.size + json_len > size:
+        raise SnapshotError(f"snapshot {path!r}: truncated JSON section")
+    if csr_offset + csr_len > size or csr_offset < _CONTAINER_HEADER.size + json_len:
+        raise SnapshotError(f"snapshot {path!r}: CSR section out of bounds")
+    try:
+        text = bytes(view[_CONTAINER_HEADER.size : _CONTAINER_HEADER.size + json_len]).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise SnapshotError(f"snapshot {path!r}: JSON section not UTF-8: {exc}") from None
+    snapshot = SummarySnapshot.loads(text)
+    # The section validates its own framing (magic, endianness, CRC,
+    # array bounds) and keeps the mapping alive through its buffer ref —
+    # the arrays handed out later are views of the page cache.
+    snapshot.csr = CsrSection(view, csr_offset, csr_len)
     return snapshot
 
 
 def load_snapshot(path):
-    """Read and validate a snapshot file."""
+    """Read and validate a snapshot file (JSON text or binary container).
+
+    Container files come back with :attr:`SummarySnapshot.csr` set to
+    the mapped CSR section; JSON files with it ``None``.
+    """
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(len(_CONTAINER_MAGIC))
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path!r}: {exc}") from None
+    if head == _CONTAINER_MAGIC:
+        return _load_container(path)
     try:
         with open(path, "r", encoding="utf-8") as handle:
             text = handle.read()
     except OSError as exc:
         raise SnapshotError(f"cannot read snapshot {path!r}: {exc}") from None
+    except UnicodeDecodeError as exc:
+        raise SnapshotError(f"snapshot {path!r} is not UTF-8: {exc}") from None
     return SummarySnapshot.loads(text)
 
 

@@ -74,6 +74,19 @@ class GeneratorConfig:
     #: (box/vec/registry).  Raising it lowers the PAG's locality, since
     #: call patterns mint entry/exit edges — Table 3's 80% vs 90% spread.
     library_call_bias: float = 1.0
+    #: Adversarial stress shapes (0 = off).  All three are emitted
+    #: rng-free and *after* the seeded program, so turning one on leaves
+    #: every other statement of the same seed byte-identical — the perf
+    #: harness relies on that to isolate each shape's traversal cost.
+    #: ``recursion_depth``: length of a ``Rec0 → … → RecN → Rec0`` call
+    #: cycle; every site in it is collapsed as recursive (Section 5.1).
+    recursion_depth: int = 0
+    #: Receiver-class fan-out of one shared dispatch site: ``degree``
+    #: classes all flow into a single ``r.hit(p)`` call.
+    megamorphic_degree: int = 0
+    #: Length of a linked-list access path loaded back hop by hop —
+    #: drives the PPTA's field stack to this depth.
+    field_chain_depth: int = 0
 
     def scaled(self, factor):
         """A proportionally larger/smaller config (same densities)."""
@@ -109,7 +122,8 @@ class _Generator:
         self._plan_domain()
         for spec in self.domain_specs:
             self._emit_domain_class(builder, spec)
-        self._emit_main(builder)
+        main = self._emit_main(builder)
+        self._emit_stress(builder, main)
         return builder.build()
 
     # ------------------------------------------------------------------
@@ -569,6 +583,87 @@ class _Generator:
             main.vcall(box2, "get", target=out2)
             main.cast(fresh.next("fig"), class_a, out1)  # safe only w/ context
             main.cast(fresh.next("fig"), class_b, out2)  # safe only w/ context
+        return main
+
+    # ------------------------------------------------------------------
+    # adversarial stress shapes
+    # ------------------------------------------------------------------
+    def _emit_stress(self, builder, main):
+        """Emit the knob-gated stress shapes and drive them from Main.
+
+        Deliberately rng-free: the shapes draw nothing from ``self.rng``
+        and append strictly after the seeded emission, so a config that
+        differs only in a stress knob produces the same program plus the
+        shape — cost attribution in the perf harness stays clean.
+        """
+        config = self.config
+        fresh = _Counter()
+
+        if config.recursion_depth > 0:
+            # A call cycle: RecK.spin allocates Rec(K+1) and calls its
+            # spin, the last link closing back to Rec0.  Andersen puts
+            # the whole chain in one SCC, so every spin site is crossed
+            # without context ops — the folded OP_*_REC rows in the CSR.
+            depth = config.recursion_depth
+            for k in range(depth):
+                cls = builder.cls(f"Rec{k}", superclass="Object", fields=[f"held{k}"])
+                method = cls.method("spin", params=["p"])
+                method.store("this", f"held{k}", "p")
+                method.load("g", "this", f"held{k}")
+                method.alloc("t", f"Rec{(k + 1) % depth}")
+                method.vcall("t", "spin", args=["g"], target="r")
+                method.ret("r")
+            seed_var = fresh.next("rec")
+            main.alloc(seed_var, "Rec0")
+            payload = fresh.next("rec")
+            main.alloc(payload, self.data_class_names[0])
+            main.vcall(seed_var, "spin", args=[payload], target=fresh.next("rec"))
+
+        if config.megamorphic_degree > 0:
+            # One dispatch site, `degree` receiver classes: Main funnels
+            # every PolyK instance through PolyHub.dispatch, whose single
+            # r.hit(p) site then targets all of them — a worst case for
+            # the per-site crossing rows.
+            degree = config.megamorphic_degree
+            for k in range(degree):
+                cls = builder.cls(f"Poly{k}", superclass="Object", fields=[f"pf{k}"])
+                method = cls.method("hit", params=["p"])
+                method.store("this", f"pf{k}", "p")
+                method.load("r", "this", f"pf{k}")
+                method.ret("r")
+            hub = builder.cls("PolyHub")
+            dispatch = hub.static_method("dispatch", params=["r", "p"])
+            dispatch.vcall("r", "hit", args=["p"], target="out")
+            dispatch.ret("out")
+            payload = fresh.next("mm")
+            main.alloc(payload, self.data_class_names[0])
+            for k in range(degree):
+                recv = fresh.next("mm")
+                main.alloc(recv, f"Poly{k}")
+                main.scall(
+                    "PolyHub", "dispatch", args=[recv, payload], target=fresh.next("mm")
+                )
+
+        if config.field_chain_depth > 0:
+            # A linked list built and walked inside one static method:
+            # the walk-back loads push the field stack `depth` tokens
+            # deep before the payload pops them all off.
+            depth = config.field_chain_depth
+            builder.cls("Link", superclass="Object", fields=["lnext", "lval"])
+            walker = builder.cls("DeepWalk").static_method("walk", params=["p"])
+            walker.alloc("n0", "Link")
+            for k in range(1, depth + 1):
+                walker.alloc(f"n{k}", "Link")
+                walker.store(f"n{k - 1}", "lnext", f"n{k}")
+            walker.store(f"n{depth}", "lval", "p")
+            walker.copy("w0", "n0")
+            for k in range(depth):
+                walker.load(f"w{k + 1}", f"w{k}", "lnext")
+            walker.load("wout", f"w{depth}", "lval")
+            walker.ret("wout")
+            payload = fresh.next("fc")
+            main.alloc(payload, self.data_class_names[0])
+            main.scall("DeepWalk", "walk", args=[payload], target=fresh.next("fc"))
 
 
 class _Counter:

@@ -55,6 +55,52 @@ def intern_token(field, family):
     return _TOKENS.setdefault(token, token)
 
 
+#: Process-global dense ids for interned tokens and field names, used by
+#: the CSR traversal image (:mod:`repro.pag.csr`).  Ids are assigned on
+#: first intern and NEVER reassigned or reset: a PAG rebuild (an
+#: ``edit_session`` edit builds a whole new PAG) or a CSR recompile
+#: reuses the ids it minted before, so compiled images of successive
+#: program versions agree on token numbering and the intern tables never
+#: have to be rebuilt alongside the adjacency.
+_TOKEN_IDS = {}
+_TOKEN_LIST = []
+_FIELD_IDS = {}
+_FIELD_LIST = []
+
+
+def token_id(field, family):
+    """The stable dense id of interned token ``(field, family)``."""
+    token = intern_token(field, family)
+    tid = _TOKEN_IDS.get(token)
+    if tid is None:
+        # Appends under the GIL; re-check inside so two racing interns
+        # of a new token agree on one id.
+        tid = _TOKEN_IDS.setdefault(token, len(_TOKEN_LIST))
+        if tid == len(_TOKEN_LIST):
+            _TOKEN_LIST.append(token)
+    return tid
+
+
+def field_id(field):
+    """The stable dense id of field name ``field``."""
+    fid = _FIELD_IDS.get(field)
+    if fid is None:
+        fid = _FIELD_IDS.setdefault(field, len(_FIELD_LIST))
+        if fid == len(_FIELD_LIST):
+            _FIELD_LIST.append(field)
+    return fid
+
+
+def token_table():
+    """Snapshot of the token table: ``tid -> (field, family)``."""
+    return list(_TOKEN_LIST)
+
+
+def field_table():
+    """Snapshot of the field-name table: ``fid -> field``."""
+    return list(_FIELD_LIST)
+
+
 class Stack:
     """An immutable stack (persistent linked list).
 

@@ -1,0 +1,686 @@
+"""The CSR traversal image: the PAG lowered to dense int arrays.
+
+:class:`~repro.pag.graph.NodeAdjacency` records (PR 5) collapsed the
+accessor surface into one dict probe per visited state, but the inner
+loops still chase per-node record objects and per-edge tuples.  This
+module compiles the whole PAG into a handful of contiguous buffers — a
+**CSR image** — so the ``traversal_impl("array")`` loops in
+:mod:`repro.analysis.ppta` / :mod:`repro.analysis.dynsum` index plain
+``array('i')`` rows with int-keyed visited sets and touch no per-node
+Python object at all:
+
+* a **node table** (``nodes``/``node_index``) assigning every edge
+  endpoint a dense index, in the same first-touch order the adjacency
+  compiler uses;
+* one **CSR group** (offsets + parallel value arrays) per local edge
+  family, in exactly the per-node order of the accessor lists — the
+  bit-equality of answers *and* step counts against
+  :func:`~repro.analysis.ppta.run_ppta_reference` depends on matching
+  that order;
+* push-token and field ids drawn from the **process-global intern pool**
+  (:func:`repro.cfl.stacks.token_id` / ``field_id``), so a PAG rebuild
+  (an edit) or a CSR recompile never renumbers tokens;
+* per-node **boundary flags** packed into one byte, with a trailing
+  sentinel byte so an unindexed start node (mapped to the sentinel
+  index ``n_nodes``) reads empty rows and a zero flag without a branch;
+* flattened **cross-edge op lists** per direction, with the
+  recursive-site bit folded into the op code at compile time
+  (:data:`OP_PUSH_REC` / :data:`OP_POP_REC`), so the worklist never
+  probes ``recursive_sites`` per crossing.
+
+The image serializes into a versioned binary section
+(:func:`serialize_csr` / :class:`CsrSection`) that
+:mod:`repro.api.snapshot` embeds in its binary container; loading maps
+the file with ``mmap`` and casts zero-copy ``memoryview`` rows over it,
+so a warm-started engine installs the image without recompiling —
+:attr:`PAG.csr_compiles <repro.pag.graph.PAG>` stays at zero on the warm
+path.  A fingerprint over the edge stream (plus the recursive-site set)
+guards installs: an image of a different program version is rejected
+with a typed :class:`~repro.api.protocol.SnapshotError`, never silently
+consumed.
+"""
+
+import json
+import struct
+from array import array
+from zlib import crc32
+
+from repro.api.protocol import SnapshotError
+from repro.cfl.rsm import FAM_LOAD, FAM_STORE, S1, S2
+from repro.cfl.stacks import field_id, field_table, intern_token, token_id, token_table
+
+#: Cross-op codes of the flattened crossing lists.  PUSH/POP come in a
+#: recursive flavour — the compile-time folding of
+#: ``site in pag.recursive_sites()`` — so the hot loop branches on the
+#: op code alone.  CLEAR is the context-erasing ``assignglobal`` hop.
+OP_PUSH = 0
+OP_PUSH_REC = 1
+OP_POP = 2
+OP_POP_REC = 3
+OP_CLEAR = 4
+
+#: Bits of the per-node flags byte.
+FLAG_GLOBAL_IN = 1
+FLAG_GLOBAL_OUT = 2
+FLAG_LOCAL = 4
+
+#: Binary section format: magic, native-endian tag, semver pair.  The
+#: endian tag is written in the producer's byte order — a consumer on a
+#: foreign-endian host reads it byte-swapped and rejects the image (the
+#: int arrays are raw native ints; transcoding them is not worth a code
+#: path nobody ships across).
+_MAGIC = b"RCSR"
+_ENDIAN_TAG = 0x01020304
+CSR_FORMAT_VERSION = (1, 0)
+
+#: Header layout (native order, standard sizes would break the tag
+#: check's purpose): magic, endian tag, major, minor, meta length,
+#: reserved, payload length, payload crc32.
+_HEADER = struct.Struct("=4sIHHIIQI")
+
+_ITEMSIZE = array("i").itemsize
+
+#: The local-edge CSR groups, in (offsets, *values) layout.  Each entry
+#: names the image attributes holding the group's arrays.
+_GROUPS = (
+    ("new_off", "new_val"),
+    ("as_off", "as_val"),
+    ("li_off", "li_tok", "li_val"),
+    ("at_off", "at_val"),
+    ("lf_off", "lf_fid", "lf_val"),
+    ("si_off", "si_fid", "si_val"),
+    ("sf_off", "sf_tok", "sf_val"),
+    ("cb_off", "cb_op", "cb_site", "cb_tgt"),
+    ("cf_off", "cf_op", "cf_site", "cf_tgt"),
+)
+
+_ARRAY_NAMES = tuple(name for group in _GROUPS for name in group)
+
+
+#: The derived per-node row views (see :meth:`CsrImage._finalize`).
+_ROW_NAMES = (
+    "new_rows",
+    "as_rows",
+    "li_rows",
+    "at_rows",
+    "lf_rows",
+    "si_rows",
+    "sf_rows",
+    "cb_rows",
+    "cf_rows",
+)
+
+
+class CsrImage:
+    """One compiled (or mmap-loaded) CSR image of a PAG.
+
+    All ``*_off`` arrays have ``n_nodes + 1`` entries (the last is the
+    group's total) and ``flags`` has ``n_nodes + 1`` bytes: the index
+    ``n_nodes`` is the **sentinel row** an unindexed start node maps to
+    (``node_index.get(node, n_nodes)``) — empty everywhere, flag zero —
+    so the traversal loops never branch on "node not in the image".
+
+    The ``array('i')``/``bytes`` attributes (``_ARRAY_NAMES`` +
+    ``flags``) are the canonical dense form: what serializes, and what
+    the mmap loader hands back as zero-copy ``memoryview`` casts.  The
+    ``*_rows`` attributes are *derived* per-node tuples built by
+    :meth:`_finalize` in one C-speed ``tolist`` pass — CPython boxes a
+    fresh int on every ``array('i')`` index, so the hot loops iterate
+    prebuilt tuples whose elements (pre-packed visited-key addends,
+    interned token objects, node references) are shared, making each
+    traversal step allocation-free.
+    """
+
+    __slots__ = (
+        "n_nodes",
+        "nodes",
+        "node_index",
+        "tokens",
+        "tok_fid",
+        "flags",
+        "edge_counts",
+        "node_counts",
+        "fingerprint",
+        "source",
+        "_buffer",
+    ) + _ARRAY_NAMES + _ROW_NAMES
+
+    def _finalize(self):
+        """Derive the row tuples the ``array`` traversal loops iterate.
+
+        Every packed element is ``index * 4 + state`` — the visited-key
+        addend of :func:`repro.analysis.ppta._run_ppta_array`'s packing
+        — so the loops turn one row element into a visited key with a
+        single int add.  Runs once per image (compile or mmap load);
+        unlike ``PAG._compile_adjacency`` it touches no PAG dicts and
+        builds no per-node objects, so a warm start stays free of graph
+        recompilation.
+        """
+        n = self.n_nodes
+        nodes = self.nodes
+        tokens = self.tokens
+
+        def rows(offs, flat):
+            out = [tuple(flat[offs[i] : offs[i + 1]]) for i in range(n)]
+            out.append(())  # the sentinel row (index n)
+            return out
+
+        def packed(values, state):
+            return [x * 4 + state for x in values.tolist()]
+
+        # ``new`` rows hold the object *nodes* themselves — they are
+        # only ever emitted into answers, never re-indexed.
+        self.new_rows = rows(
+            self.new_off.tolist(), [nodes[x] for x in self.new_val.tolist()]
+        )
+        self.as_rows = rows(self.as_off.tolist(), packed(self.as_val, S1))
+        self.li_rows = rows(
+            self.li_off.tolist(),
+            list(zip(
+                [tokens[t] for t in self.li_tok.tolist()],
+                packed(self.li_val, S1),
+            )),
+        )
+        self.at_rows = rows(self.at_off.tolist(), packed(self.at_val, S2))
+        self.lf_rows = rows(
+            self.lf_off.tolist(),
+            list(zip(self.lf_fid.tolist(), packed(self.lf_val, S2))),
+        )
+        self.si_rows = rows(
+            self.si_off.tolist(),
+            list(zip(self.si_fid.tolist(), packed(self.si_val, S1))),
+        )
+        self.sf_rows = rows(
+            self.sf_off.tolist(),
+            list(zip(
+                [tokens[t] for t in self.sf_tok.tolist()],
+                packed(self.sf_val, S1),
+            )),
+        )
+        # Crossing rows carry the op, the call site, the pre-packed
+        # target addend for the direction's state, and the target node
+        # itself (the worklist needs it for summary-cache keys).
+        cb_tgt = self.cb_tgt.tolist()
+        self.cb_rows = rows(
+            self.cb_off.tolist(),
+            list(zip(
+                self.cb_op.tolist(),
+                self.cb_site.tolist(),
+                [x * 4 + S1 for x in cb_tgt],
+                [nodes[x] for x in cb_tgt],
+            )),
+        )
+        cf_tgt = self.cf_tgt.tolist()
+        self.cf_rows = rows(
+            self.cf_off.tolist(),
+            list(zip(
+                self.cf_op.tolist(),
+                self.cf_site.tolist(),
+                [x * 4 + S2 for x in cf_tgt],
+                [nodes[x] for x in cf_tgt],
+            )),
+        )
+
+    def matches(self, pag):
+        """Whether this image describes exactly ``pag``'s graph."""
+        return (
+            self.edge_counts == pag.edge_counts()
+            and self.node_counts == pag.node_counts()
+            and self.fingerprint == pag_fingerprint(pag)
+        )
+
+    def __repr__(self):
+        return (
+            f"CsrImage({self.n_nodes} nodes, "
+            f"{sum(self.edge_counts.values())} edges, {self.source})"
+        )
+
+
+def pag_fingerprint(pag):
+    """A crc32 over the PAG's edge stream and recursive-site set.
+
+    Deterministic for a given program version (edge dicts are built in
+    program order), and any wiring difference — same counts, same node
+    names, different edges — changes it, so a stale image can never be
+    installed over a drifted graph.
+    """
+    h = crc32(repr(sorted(pag.recursive_sites())).encode())
+    for kind, src, label, tgt in pag.iter_edges():
+        h = crc32(f"{kind}|{src.sort_key}|{label}|{tgt.sort_key}\n".encode(), h)
+    return h
+
+
+# ----------------------------------------------------------------------
+# compilation
+# ----------------------------------------------------------------------
+def compile_csr(pag):
+    """Lower ``pag`` into a fresh :class:`CsrImage`.
+
+    Node indices are assigned on first touch in the same dict-iteration
+    order as ``PAG._compile_adjacency``; per-node edge rows preserve the
+    accessor lists' order exactly.
+    """
+    node_index = {}
+    nodes = []
+
+    def idx(node):
+        i = node_index.get(node)
+        if i is None:
+            i = len(nodes)
+            node_index[node] = i
+            nodes.append(node)
+        return i
+
+    # First touch pass, mirroring the adjacency compiler's sequence so
+    # both lowered forms agree on which nodes exist (every edge
+    # endpoint) without consulting each other.
+    for target, sources in pag._new_in.items():
+        idx(target)
+        for obj in sources:
+            idx(obj)
+    for target, sources in pag._assign_in.items():
+        idx(target)
+        for source in sources:
+            idx(source)
+    for source, targets in pag._assign_out.items():
+        idx(source)
+        for target in targets:
+            idx(target)
+    for target, pairs in pag._load_in.items():
+        idx(target)
+        for base, _field in pairs:
+            idx(base)
+    for base, pairs in pag._load_out.items():
+        idx(base)
+        for _field, target in pairs:
+            idx(target)
+    for base, pairs in pag._store_in.items():
+        idx(base)
+        for value, _field in pairs:
+            idx(value)
+    for value, pairs in pag._store_out.items():
+        idx(value)
+        for _field, base in pairs:
+            idx(base)
+    for target, pairs in pag._exit_in.items():
+        idx(target)
+        for retvar, _site in pairs:
+            idx(retvar)
+    for formal, pairs in pag._entry_in.items():
+        idx(formal)
+        for actual, _site in pairs:
+            idx(actual)
+    for target, sources in pag._global_in.items():
+        idx(target)
+        for source in sources:
+            idx(source)
+    for actual, pairs in pag._entry_out.items():
+        idx(actual)
+        for _site, formal in pairs:
+            idx(formal)
+    for retvar, pairs in pag._exit_out.items():
+        idx(retvar)
+        for _site, target in pairs:
+            idx(target)
+    for source, targets in pag._global_out.items():
+        idx(source)
+        for target in targets:
+            idx(target)
+
+    n = len(nodes)
+    image = CsrImage()
+    image.n_nodes = n
+    image.nodes = nodes
+    image.node_index = node_index
+
+    new_in = pag._new_in
+    assign_in = pag._assign_in
+    assign_out = pag._assign_out
+    load_in = pag._load_in
+    load_out = pag._load_out
+    store_in = pag._store_in
+    store_out = pag._store_out
+    recursive = pag._recursive_sites
+    empty = ()
+
+    new_off, new_val = [0], []
+    as_off, as_val = [0], []
+    li_off, li_tok, li_val = [0], [], []
+    at_off, at_val = [0], []
+    lf_off, lf_fid, lf_val = [0], [], []
+    si_off, si_fid, si_val = [0], [], []
+    sf_off, sf_tok, sf_val = [0], [], []
+    cb_off, cb_op, cb_site, cb_tgt = [0], [], [], []
+    cf_off, cf_op, cf_site, cf_tgt = [0], [], [], []
+    flags = bytearray(n + 1)  # trailing zero sentinel for index -1
+
+    for i, node in enumerate(nodes):
+        for obj in new_in.get(node, empty):
+            new_val.append(node_index[obj])
+        new_off.append(len(new_val))
+        for source in assign_in.get(node, empty):
+            as_val.append(node_index[source])
+        as_off.append(len(as_val))
+        for base, fld in load_in.get(node, empty):
+            li_tok.append(token_id(fld, FAM_LOAD))
+            li_val.append(node_index[base])
+        li_off.append(len(li_val))
+        for target in assign_out.get(node, empty):
+            at_val.append(node_index[target])
+        at_off.append(len(at_val))
+        for fld, target in load_out.get(node, empty):
+            lf_fid.append(field_id(fld))
+            lf_val.append(node_index[target])
+        lf_off.append(len(lf_val))
+        for value, fld in store_in.get(node, empty):
+            si_fid.append(field_id(fld))
+            si_val.append(node_index[value])
+        si_off.append(len(si_val))
+        for fld, base in store_out.get(node, empty):
+            sf_tok.append(token_id(fld, FAM_STORE))
+            sf_val.append(node_index[base])
+        sf_off.append(len(sf_val))
+
+        # Crossing lists in the worklist's order: exits/entries first,
+        # then the context-clearing assignglobal hops.
+        for retvar, site in pag._exit_in.get(node, empty):
+            cb_op.append(OP_PUSH_REC if site in recursive else OP_PUSH)
+            cb_site.append(site)
+            cb_tgt.append(node_index[retvar])
+        for actual, site in pag._entry_in.get(node, empty):
+            cb_op.append(OP_POP_REC if site in recursive else OP_POP)
+            cb_site.append(site)
+            cb_tgt.append(node_index[actual])
+        for source in pag._global_in.get(node, empty):
+            cb_op.append(OP_CLEAR)
+            cb_site.append(0)
+            cb_tgt.append(node_index[source])
+        cb_off.append(len(cb_op))
+        for site, formal in pag._entry_out.get(node, empty):
+            cf_op.append(OP_PUSH_REC if site in recursive else OP_PUSH)
+            cf_site.append(site)
+            cf_tgt.append(node_index[formal])
+        for site, target in pag._exit_out.get(node, empty):
+            cf_op.append(OP_POP_REC if site in recursive else OP_POP)
+            cf_site.append(site)
+            cf_tgt.append(node_index[target])
+        for target in pag._global_out.get(node, empty):
+            cf_op.append(OP_CLEAR)
+            cf_site.append(0)
+            cf_tgt.append(node_index[target])
+        cf_off.append(len(cf_op))
+
+        flag = 0
+        if pag.has_global_in(node):
+            flag |= FLAG_GLOBAL_IN
+        if pag.has_global_out(node):
+            flag |= FLAG_GLOBAL_OUT
+        if pag.has_local_edges(node):
+            flag |= FLAG_LOCAL
+        flags[i] = flag
+
+    local = locals()
+    for name in _ARRAY_NAMES:
+        setattr(image, name, array("i", local[name]))
+    image.flags = bytes(flags)
+    image.tokens = token_table()
+    image.tok_fid = {token: field_id(token[0]) for token in image.tokens}
+    image.edge_counts = pag.edge_counts()
+    image.node_counts = pag.node_counts()
+    image.fingerprint = pag_fingerprint(pag)
+    image.source = "compiled"
+    image._buffer = None
+    image._finalize()
+    return image
+
+
+# ----------------------------------------------------------------------
+# binary serialization
+# ----------------------------------------------------------------------
+def _node_to_compact(node):
+    if node.is_local_var:
+        return [0, node.method, node.name]
+    if node.is_global_var:
+        return [1, node.class_name, node.field]
+    return [2, node.object_id, node.class_name, node.method]
+
+
+def serialize_csr(image):
+    """The binary section bytes for one compiled image."""
+    payload_parts = []
+    arrays_meta = {}
+    offset = 0
+    for name in _ARRAY_NAMES:
+        data = getattr(image, name)
+        raw = data.tobytes() if isinstance(data, array) else bytes(data)
+        arrays_meta[name] = [offset, len(raw) // _ITEMSIZE]
+        payload_parts.append(raw)
+        offset += len(raw)
+        if offset % 16:
+            pad = 16 - offset % 16
+            payload_parts.append(b"\x00" * pad)
+            offset += pad
+    flags_raw = bytes(image.flags)
+    arrays_meta["flags"] = [offset, len(flags_raw)]
+    payload_parts.append(flags_raw)
+    payload = b"".join(payload_parts)
+
+    meta = {
+        "n_nodes": image.n_nodes,
+        "nodes": [_node_to_compact(node) for node in image.nodes],
+        "tokens": [list(token) for token in image.tokens],
+        "fields": field_table(),
+        "edge_counts": image.edge_counts,
+        "node_counts": image.node_counts,
+        "fingerprint": image.fingerprint,
+        "itemsize": _ITEMSIZE,
+        "arrays": arrays_meta,
+    }
+    meta_raw = json.dumps(meta, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    header = _HEADER.pack(
+        _MAGIC,
+        _ENDIAN_TAG,
+        CSR_FORMAT_VERSION[0],
+        CSR_FORMAT_VERSION[1],
+        len(meta_raw),
+        0,
+        len(payload),
+        crc32(payload),
+    )
+    # Pad the meta so the payload starts 16-byte aligned relative to the
+    # section start — mmap'd casts then stay aligned for any file offset
+    # that is itself 16-byte aligned.
+    body = header + meta_raw
+    if len(body) % 16:
+        body += b"\x00" * (16 - len(body) % 16)
+    return body + payload
+
+
+class CsrSection:
+    """A parsed (but not yet node-resolved) binary CSR section.
+
+    Construction validates everything program-independent: magic, byte
+    order, version, bounds, payload checksum, meta structure.
+    :meth:`image_for` resolves the node table against a live PAG and
+    verifies the fingerprint, yielding a :class:`CsrImage` whose arrays
+    are zero-copy views over the underlying buffer (typically an
+    ``mmap``); keep the buffer alive for the image's lifetime — the
+    section holds a reference for exactly that reason.
+    """
+
+    def __init__(self, buffer, offset=0, length=None):
+        self._buffer = buffer
+        view = memoryview(buffer)
+        if length is None:
+            length = len(view) - offset
+        if length < _HEADER.size or offset + length > len(view):
+            raise SnapshotError("CSR section truncated: incomplete header")
+        view = view[offset : offset + length]
+        (
+            magic,
+            endian,
+            major,
+            minor,
+            meta_len,
+            _reserved,
+            payload_len,
+            payload_crc,
+        ) = _HEADER.unpack_from(view, 0)
+        if magic != _MAGIC:
+            raise SnapshotError("not a CSR section (bad magic)")
+        if endian != _ENDIAN_TAG:
+            raise SnapshotError(
+                "CSR section written on a foreign-endian host; "
+                "recompile the image on this machine"
+            )
+        if major != CSR_FORMAT_VERSION[0]:
+            raise SnapshotError(
+                f"unsupported CSR format version {major}.{minor} "
+                f"(this build reads {CSR_FORMAT_VERSION[0]}.x)"
+            )
+        meta_end = _HEADER.size + meta_len
+        payload_start = meta_end + (16 - meta_end % 16 if meta_end % 16 else 0)
+        if payload_start + payload_len > length:
+            raise SnapshotError("CSR section truncated: payload out of bounds")
+        payload = view[payload_start : payload_start + payload_len]
+        if crc32(payload) != payload_crc:
+            raise SnapshotError("CSR payload checksum mismatch (corrupt image)")
+        try:
+            meta = json.loads(bytes(view[_HEADER.size : meta_end]).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise SnapshotError(f"CSR meta is not valid JSON: {exc}") from None
+        self._meta = _check_meta(meta, payload_len)
+        self._payload = payload
+
+    @property
+    def fingerprint(self):
+        return self._meta["fingerprint"]
+
+    def image_for(self, pag):
+        """Resolve this section against ``pag`` into a :class:`CsrImage`.
+
+        Raises :class:`SnapshotError` when any node no longer exists or
+        the fingerprint disagrees — the image describes a different
+        program version and must not be installed.
+        """
+        meta = self._meta
+        if meta["edge_counts"] != pag.edge_counts():
+            raise SnapshotError("CSR image edge counts do not match this PAG")
+        if meta["node_counts"] != pag.node_counts():
+            raise SnapshotError("CSR image node counts do not match this PAG")
+        if meta["fingerprint"] != pag_fingerprint(pag):
+            raise SnapshotError("CSR image fingerprint does not match this PAG")
+        nodes = [_resolve_compact(pag, wire) for wire in meta["nodes"]]
+        image = CsrImage()
+        image.n_nodes = meta["n_nodes"]
+        image.nodes = nodes
+        image.node_index = {node: i for i, node in enumerate(nodes)}
+        payload = self._payload
+        for name in _ARRAY_NAMES:
+            off, count = meta["arrays"][name]
+            image_view = payload[off : off + count * _ITEMSIZE].cast("i")
+            setattr(image, name, image_view)
+        off, count = meta["arrays"]["flags"]
+        image.flags = payload[off : off + count]
+        tokens = [intern_token(fld, fam) for fld, fam in meta["tokens"]]
+        image.tokens = tokens
+        saved_fid = {fld: i for i, fld in enumerate(meta["fields"])}
+        image.tok_fid = {
+            token: saved_fid.get(token[0], -1) for token in tokens
+        }
+        image.edge_counts = meta["edge_counts"]
+        image.node_counts = meta["node_counts"]
+        image.fingerprint = meta["fingerprint"]
+        image.source = "mmap"
+        image._buffer = self._buffer
+        image._finalize()
+        return image
+
+
+def _resolve_compact(pag, wire):
+    from repro.util.errors import IRError
+
+    try:
+        kind = wire[0]
+        if kind == 0:
+            return pag.find_local(wire[1], wire[2])
+        if kind == 1:
+            return pag.find_global(wire[1], wire[2])
+        node = pag.object_node(wire[1])
+    except IRError as exc:
+        raise SnapshotError(f"CSR node does not resolve: {exc}") from None
+    if node.class_name != wire[2]:
+        raise SnapshotError(
+            f"CSR object node {wire[1]!r} resolves to a different class"
+        )
+    return node
+
+
+def _check_meta(meta, payload_len):
+    if not isinstance(meta, dict):
+        raise SnapshotError("CSR meta must be an object")
+    for key in (
+        "n_nodes",
+        "nodes",
+        "tokens",
+        "fields",
+        "edge_counts",
+        "node_counts",
+        "fingerprint",
+        "itemsize",
+        "arrays",
+    ):
+        if key not in meta:
+            raise SnapshotError(f"CSR meta missing {key!r}")
+    if meta["itemsize"] != _ITEMSIZE:
+        raise SnapshotError(
+            f"CSR image int width {meta['itemsize']} does not match this "
+            f"host's {_ITEMSIZE}"
+        )
+    n = meta["n_nodes"]
+    if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+        raise SnapshotError("CSR n_nodes must be a non-negative integer")
+    for key in ("nodes", "tokens", "fields"):
+        if not isinstance(meta[key], list):
+            raise SnapshotError(f"CSR meta {key!r} must be an array")
+    if len(meta["nodes"]) != n:
+        raise SnapshotError("CSR node table length disagrees with n_nodes")
+    if not all(isinstance(fld, str) for fld in meta["fields"]):
+        raise SnapshotError("CSR field table entries must be strings")
+    if not isinstance(meta["edge_counts"], dict) or not isinstance(
+        meta["node_counts"], dict
+    ):
+        raise SnapshotError("CSR edge/node counts must be objects")
+    if not isinstance(meta["fingerprint"], int):
+        raise SnapshotError("CSR fingerprint must be an integer")
+    arrays = meta["arrays"]
+    if not isinstance(arrays, dict):
+        raise SnapshotError("CSR arrays meta must be an object")
+    for name in _ARRAY_NAMES + ("flags",):
+        entry = arrays.get(name)
+        if (
+            not isinstance(entry, list)
+            or len(entry) != 2
+            or not all(isinstance(v, int) and v >= 0 for v in entry)
+        ):
+            raise SnapshotError(f"CSR array {name!r} meta malformed")
+        off, count = entry
+        width = 1 if name == "flags" else _ITEMSIZE
+        if off + count * width > payload_len:
+            raise SnapshotError(f"CSR array {name!r} exceeds the payload")
+        if name.endswith("_off") and count != n + 1:
+            raise SnapshotError(f"CSR offsets {name!r} must have n_nodes+1 rows")
+    if arrays["flags"][1] != n + 1:
+        raise SnapshotError("CSR flags must have n_nodes+1 bytes")
+    for i, wire in enumerate(meta["nodes"]):
+        if not isinstance(wire, list) or len(wire) < 3 or wire[0] not in (0, 1, 2):
+            raise SnapshotError(f"CSR node table entry {i} malformed")
+    for i, token in enumerate(meta["tokens"]):
+        if (
+            not isinstance(token, list)
+            or len(token) != 2
+            or not isinstance(token[0], str)
+            or token[1] not in (FAM_LOAD, FAM_STORE)
+        ):
+            raise SnapshotError(f"CSR token table entry {i} malformed")
+    return meta

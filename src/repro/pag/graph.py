@@ -176,6 +176,15 @@ class PAG:
         #: Lazily compiled node -> NodeAdjacency map (see
         #: :meth:`adjacency`); any edge insertion resets it.
         self._adjacency = None
+        #: Lazily compiled CSR image (see :meth:`csr`); reset by edge
+        #: insertion and by :meth:`mark_recursive_site` (the image folds
+        #: the recursive bit into its cross-op codes).
+        self._csr = None
+        #: Compile counters, exposed so the warm-start path can assert
+        #: it never recompiled (``csr_compiles == 0`` after an mmap
+        #: install is the acceptance gate of the zero-copy path).
+        self.adjacency_compiles = 0
+        self.csr_compiles = 0
 
     # ------------------------------------------------------------------
     # node interning
@@ -239,6 +248,7 @@ class PAG:
         self._edge_seen.add(signature)
         self._edge_counts[kind] += 1
         self._adjacency = None
+        self._csr = None
         return True
 
     def add_new(self, obj, target):
@@ -298,7 +308,11 @@ class PAG:
     def mark_recursive_site(self, site_id):
         """Record that ``site_id`` participates in recursion; its
         entry/exit edges are crossed context-insensitively."""
-        self._recursive_sites.add(site_id)
+        if site_id not in self._recursive_sites:
+            self._recursive_sites.add(site_id)
+            # Adjacency records test recursiveness live, but the CSR
+            # image bakes it into its cross-op codes.
+            self._csr = None
 
     # ------------------------------------------------------------------
     # adjacency accessors (value-flow direction documented per method)
@@ -404,7 +418,47 @@ class PAG:
         if compiled is None:
             compiled = self._compile_adjacency()
             self._adjacency = compiled
+            self.adjacency_compiles += 1
         return compiled
+
+    def csr(self):
+        """The CSR traversal image (:class:`~repro.pag.csr.CsrImage`),
+        compiled on demand.
+
+        Like :meth:`adjacency`, any ``add_*`` edge insertion resets it
+        (and :meth:`mark_recursive_site` does too — the image folds the
+        recursive bit into its cross-op codes).  Token and field ids
+        come from the process-global intern pool, so recompiles and PAG
+        rebuilds never renumber them.
+        """
+        image = self._csr
+        if image is None:
+            from repro.pag.csr import compile_csr
+
+            image = compile_csr(self)
+            self._csr = image
+            self.csr_compiles += 1
+        return image
+
+    def install_csr(self, image):
+        """Adopt a pre-built (typically mmap-loaded) CSR image.
+
+        The image must describe exactly this graph — counts and edge
+        fingerprint are verified, and a mismatch raises the typed
+        :class:`~repro.api.protocol.SnapshotError` rather than ever
+        letting a stale image answer queries.  Installation does not
+        count as a compile (``csr_compiles`` is untouched): that counter
+        is how the warm-start path proves it skipped recompilation.
+        """
+        from repro.api.protocol import SnapshotError
+
+        if not image.matches(self):
+            raise SnapshotError(
+                "CSR image does not match this PAG (different program "
+                "version); recompile instead of installing"
+            )
+        self._csr = image
+        return image
 
     def _compile_adjacency(self):
         records = {}

@@ -6,16 +6,24 @@ path (inclusion-based points-to has a cubic lower bound; see
 PAPERS.md).  This harness measures **steps per second**:
 
 * **figure4** — the Figure-4 workloads (the paper's per-client query
-  streams over the figure benchmarks, plus one heavier
-  :mod:`repro.bench.generator` program) replayed ``rounds`` times
-  against one persistent DYNSUM instance — the long-running-host regime
-  the paper motivates (round 1 runs cold, later rounds run on a warm
-  summary cache).  Each workload runs under both traversal
-  implementations (:func:`repro.analysis.ppta.traversal_impl`):
-  ``fast`` — the production record-based loop — and ``reference`` — the
-  retained pre-optimization loop (accessor-based PPTA + worklist).
-  Answers are asserted element-wise identical and step counts
-  bit-equal; the ratio of wall times is the speedup the fast path buys.
+  streams over the figure benchmarks, one heavier
+  :mod:`repro.bench.generator` program, and the generator's adversarial
+  stress shapes — deep recursion, a megamorphic call site, a deep field
+  chain) replayed ``rounds`` times against one persistent DYNSUM
+  instance — the long-running-host regime the paper motivates (round 1
+  runs cold, later rounds run on a warm summary cache).  Each workload
+  runs under the optimized traversal implementations
+  (:func:`repro.analysis.ppta.traversal_impl`): ``fast`` — the
+  record-based loop — and ``array`` — the CSR-image loop
+  (:mod:`repro.pag.csr`) — against ``reference``, the retained
+  pre-optimization loop (accessor-based PPTA + worklist).  Answers are
+  asserted element-wise identical and step counts bit-equal across all
+  implementations; the ratios of wall times are the speedups each
+  optimized loop buys.
+* **warmstart** — cold engine construction + queries versus an engine
+  warm-started from a CSR-bearing snapshot
+  (``save_cache(path, csr=True)``): the warm path must answer from the
+  mmapped image with **zero** adjacency or CSR recompiles.
 * **eviction** — the heap-backed victim index of
   :class:`~repro.analysis.summaries.CostAwareSummaryCache`: per-eviction
   wall time across store sizes.  O(log n) shows as a near-flat curve;
@@ -32,20 +40,24 @@ recorded throughput, sub-linear eviction) — never on absolute times.
 import argparse
 import cProfile
 import json
+import os
 import pstats
 import sys
+import tempfile
 import time
+from dataclasses import replace
 
 from repro.analysis import ppta
 from repro.analysis.dynsum import DynSum
 from repro.analysis.ppta import PptaResult
 from repro.analysis.summaries import CostAwareSummaryCache
 from repro.bench.generator import GeneratorConfig
-from repro.bench.runner import bench_analysis_config
+from repro.bench.runner import bench_analysis_config, bench_engine_policy
 from repro.bench.suite import load_benchmark
 from repro.cfl.rsm import S1
 from repro.cfl.stacks import EMPTY_STACK
 from repro.clients import ALL_CLIENTS
+from repro.engine.core import PointsToEngine
 from repro.pag.nodes import LocalNode
 
 #: The Figure-4 benchmarks (paper Section 5.3) the harness replays.
@@ -65,6 +77,27 @@ GENERATOR_CONFIG = GeneratorConfig(
     cast_density=0.6,
     null_density=0.5,
 )
+
+#: The generator's knob-gated adversarial shapes, swept as extra
+#: figure4 workloads.  A smaller base program than GENERATOR_CONFIG:
+#: the point is the shape's traversal pattern, not bulk.
+_STRESS_BASE = GeneratorConfig(
+    seed=11,
+    domain_classes=6,
+    data_classes=4,
+    workers_per_class=2,
+    stmts_per_worker=8,
+    layers=2,
+)
+STRESS_WORKLOADS = (
+    ("gen-recursion", replace(_STRESS_BASE, recursion_depth=12)),
+    ("gen-megamorphic", replace(_STRESS_BASE, megamorphic_degree=24)),
+    ("gen-fieldchain", replace(_STRESS_BASE, field_chain_depth=16)),
+)
+
+#: Optimized traversal implementations the sweep may time against the
+#: ``reference`` baseline (which always runs).
+OPTIMIZED_IMPLS = ("fast", "array")
 
 CLIENTS = {cls.name: cls for cls in ALL_CLIENTS}
 
@@ -91,11 +124,14 @@ def _canonical(results):
     ]
 
 
-def _workload_instances(benchmarks, scale):
+def _workload_instances(benchmarks, scale, stress=True):
     instances = []
     for name in benchmarks:
         instances.append((name, load_benchmark(name, scale=scale)))
     instances.append(("generator", load_benchmark("jython", config=GENERATOR_CONFIG)))
+    if stress:
+        for name, config in STRESS_WORKLOADS:
+            instances.append((name, load_benchmark("jython", config=config)))
     return instances
 
 
@@ -113,12 +149,24 @@ def _replay(instance, nodes, impl, rounds):
     return elapsed, analysis.total_steps, _canonical(results), analysis
 
 
-def run_figure4(benchmarks, clients, rounds, reps, scale, log=lambda s: None):
-    """The fast-vs-reference sweep; returns the ``figure4`` section."""
+def run_figure4(
+    benchmarks, clients, rounds, reps, scale, impls=OPTIMIZED_IMPLS,
+    stress=True, log=lambda s: None,
+):
+    """The optimized-vs-reference sweep; returns the ``figure4`` section.
+
+    ``impls`` selects which optimized loops to time; ``reference``
+    always runs as the baseline, and every implementation's answers and
+    step counts are asserted identical to it.
+    """
+    impls = tuple(impls)
+    sweep = impls + ("reference",)
     workloads = []
-    totals = {"fast": 0.0, "reference": 0.0}
-    for name, instance in _workload_instances(benchmarks, scale):
-        instance.pag.adjacency()  # compile once, outside every timer
+    totals = {impl: 0.0 for impl in sweep}
+    for name, instance in _workload_instances(benchmarks, scale, stress=stress):
+        # Compile both traversal substrates once, outside every timer.
+        instance.pag.adjacency()
+        instance.pag.csr()
         for client_name in clients:
             client = CLIENTS[client_name](instance.pag)
             nodes = [query.node(instance.pag) for query in client.queries()]
@@ -127,59 +175,156 @@ def run_figure4(benchmarks, clients, rounds, reps, scale, log=lambda s: None):
             best = {}
             outcome = {}
             for _rep in range(reps):
-                # Interleave the two implementations so drift (thermal,
-                # scheduler) hits both evenly.
-                for impl in ("fast", "reference"):
+                # Interleave the implementations so drift (thermal,
+                # scheduler) hits all of them evenly.
+                for impl in sweep:
                     elapsed, steps, canonical, _ = _replay(
                         instance, nodes, impl, rounds
                     )
                     if impl not in best or elapsed < best[impl]:
                         best[impl] = elapsed
                     outcome[impl] = (steps, canonical)
-            fast_steps, fast_answers = outcome["fast"]
             ref_steps, ref_answers = outcome["reference"]
-            if fast_answers != ref_answers:
-                raise PerfCheckError(
-                    f"{name}/{client_name}: fast and reference answers differ"
-                )
-            if fast_steps != ref_steps:
-                raise PerfCheckError(
-                    f"{name}/{client_name}: step counts diverge "
-                    f"(fast={fast_steps}, reference={ref_steps})"
-                )
-            totals["fast"] += best["fast"]
-            totals["reference"] += best["reference"]
+            for impl in impls:
+                impl_steps, impl_answers = outcome[impl]
+                if impl_answers != ref_answers:
+                    raise PerfCheckError(
+                        f"{name}/{client_name}: {impl} and reference "
+                        f"answers differ"
+                    )
+                if impl_steps != ref_steps:
+                    raise PerfCheckError(
+                        f"{name}/{client_name}: step counts diverge "
+                        f"({impl}={impl_steps}, reference={ref_steps})"
+                    )
+            for impl in sweep:
+                totals[impl] += best[impl]
             row = {
                 "benchmark": name,
                 "client": client_name,
                 "queries": len(nodes),
                 "rounds": rounds,
-                "steps": fast_steps,
-                "fast": {
-                    "time_sec": round(best["fast"], 6),
-                    "steps_per_sec": round(fast_steps / best["fast"]),
-                },
-                "reference": {
-                    "time_sec": round(best["reference"], 6),
-                    "steps_per_sec": round(ref_steps / best["reference"]),
-                },
-                "speedup": round(best["reference"] / best["fast"], 3),
+                "steps": ref_steps,
             }
+            for impl in sweep:
+                row[impl] = {
+                    "time_sec": round(best[impl], 6),
+                    "steps_per_sec": round(ref_steps / best[impl]),
+                }
+            if "fast" in impls:
+                row["speedup"] = round(best["reference"] / best["fast"], 3)
+            if "array" in impls:
+                row["speedup_array"] = round(best["reference"] / best["array"], 3)
+            if "fast" in impls and "array" in impls:
+                row["array_vs_fast"] = round(best["fast"] / best["array"], 3)
             workloads.append(row)
             log(
-                f"  {name:10s} {client_name:10s} steps={fast_steps:8d} "
-                f"fast={best['fast'] * 1000:7.1f}ms "
-                f"ref={best['reference'] * 1000:7.1f}ms "
-                f"speedup={row['speedup']:.2f}x"
+                f"  {name:16s} {client_name:10s} steps={ref_steps:8d} "
+                + " ".join(
+                    f"{impl}={best[impl] * 1000:7.1f}ms" for impl in sweep
+                )
             )
     aggregate = {
-        "time_sec_fast": round(totals["fast"], 6),
-        "time_sec_reference": round(totals["reference"], 6),
-        "speedup": round(totals["reference"] / totals["fast"], 3)
-        if totals["fast"]
-        else None,
+        f"time_sec_{impl}": round(totals[impl], 6) for impl in sweep
     }
+    if "fast" in impls and totals["fast"]:
+        aggregate["speedup"] = round(totals["reference"] / totals["fast"], 3)
+    if "array" in impls and totals["array"]:
+        aggregate["speedup_array"] = round(
+            totals["reference"] / totals["array"], 3
+        )
+    if "fast" in impls and "array" in impls and totals["array"]:
+        aggregate["array_vs_fast"] = round(totals["fast"] / totals["array"], 3)
     return {"workloads": workloads, "aggregate": aggregate}
+
+
+def run_warmstart(rounds=2, log=lambda s: None):
+    """Cold engine bring-up versus a CSR warm start; the ``warmstart``
+    section.
+
+    Cold: build the PAG's adjacency + CSR and answer the query stream.
+    Warm: a fresh engine over the same program, warm-started from the
+    cold engine's ``save_cache(path, csr=True)`` snapshot — summaries
+    replay into the store and the CSR image maps zero-copy, so the warm
+    path must recompile **nothing** (``adjacency_compiles`` and
+    ``csr_compiles`` both zero); violations raise
+    :class:`PerfCheckError` regardless of ``--check``.
+    """
+    cold_instance = load_benchmark("jython", config=GENERATOR_CONFIG)
+    client = CLIENTS["SafeCast"](cold_instance.pag)
+    nodes = [query.node(cold_instance.pag) for query in client.queries()]
+
+    with ppta.traversal_impl("array"):
+        cold_engine = cold_instance.engine()
+        started = time.perf_counter()
+        cold_instance.pag.adjacency()
+        cold_instance.pag.csr()
+        for _round in range(rounds):
+            cold_answers = [cold_engine.query(node) for node in nodes]
+        cold_sec = time.perf_counter() - started
+
+    handle, path = tempfile.mkstemp(prefix="repro-warm-", suffix=".snap")
+    os.close(handle)
+    try:
+        snapshot = cold_engine.save_cache(path, csr=True)
+        snapshot_bytes = os.path.getsize(path)
+
+        warm_instance = load_benchmark("jython", config=GENERATOR_CONFIG)
+        warm_nodes = [query.node(warm_instance.pag) for query in client.queries()]
+        with ppta.traversal_impl("array"):
+            started = time.perf_counter()
+            warm_engine = PointsToEngine(
+                warm_instance.pag,
+                replace(bench_engine_policy(), warm_start=path),
+            )
+            warm_load_sec = time.perf_counter() - started
+            started = time.perf_counter()
+            warm_answers = [warm_engine.query(node) for node in warm_nodes]
+            warm_query_sec = time.perf_counter() - started
+            warm_sec = warm_load_sec + warm_query_sec
+    finally:
+        os.unlink(path)
+
+    stats = warm_engine.stats()
+    pag = warm_engine.pag
+    if not stats.csr_warm:
+        raise PerfCheckError("warm start did not adopt the snapshot's CSR image")
+    if pag.csr_compiles != 0 or pag.adjacency_compiles != 0:
+        raise PerfCheckError(
+            f"warm path recompiled (adjacency={pag.adjacency_compiles}, "
+            f"csr={pag.csr_compiles}); the mmap image should carry it"
+        )
+    cold_pairs = [sorted(map(repr, r.pairs)) for r in cold_answers]
+    warm_pairs = [sorted(map(repr, r.pairs)) for r in warm_answers]
+    if cold_pairs != warm_pairs:
+        raise PerfCheckError("warm-start answers differ from cold answers")
+    section = {
+        "queries": len(nodes),
+        "cold_sec": round(cold_sec, 6),
+        "warm_sec": round(warm_sec, 6),
+        #: Split: snapshot mmap + summary replay vs answering the stream
+        #: off the warm store.  The query-phase ratio is the steady-state
+        #: win; the load phase amortises across a server's lifetime.
+        "warm_load_sec": round(warm_load_sec, 6),
+        "warm_query_sec": round(warm_query_sec, 6),
+        "speedup": round(cold_sec / warm_sec, 3) if warm_sec else None,
+        "query_speedup": round(cold_sec / warm_query_sec, 3)
+        if warm_query_sec
+        else None,
+        "snapshot_bytes": snapshot_bytes,
+        "warm_loaded": stats.warm_loaded,
+        "csr_warm": stats.csr_warm,
+        "adjacency_compiles": pag.adjacency_compiles,
+        "csr_compiles": pag.csr_compiles,
+    }
+    log(
+        f"  cold={cold_sec * 1000:7.1f}ms "
+        f"warm={warm_load_sec * 1000:.1f}+{warm_query_sec * 1000:.1f}ms "
+        f"({section['speedup']}x total, {section['query_speedup']}x serving, "
+        f"{snapshot_bytes} bytes, {stats.warm_loaded} summaries, "
+        f"0 recompiles)"
+    )
+    return section
 
 
 def run_eviction(sizes, inserts=2_000, log=lambda s: None):
@@ -260,21 +405,27 @@ def run_perf(
     scale=1.0,
     benchmarks=None,
     clients=None,
+    impls=None,
     profile_top=12,
     log=lambda s: None,
 ):
     """Run the whole harness; returns the report dict.
 
     ``check`` additionally gates on the invariants (answers identical,
-    steps equal — always asserted — plus recorded throughput and
-    sub-linear eviction cost).
+    steps equal — always asserted — plus recorded throughput, the array
+    loop holding the fast baseline, and sub-linear eviction cost).
     """
     benchmarks = tuple(benchmarks or (("jython",) if quick else FIGURE_BENCHMARKS))
     clients = tuple(clients or (("SafeCast",) if quick else ("SafeCast", "NullDeref")))
+    impls = tuple(impls or OPTIMIZED_IMPLS)
     rounds = rounds if rounds is not None else (2 if quick else 3)
     reps = reps if reps is not None else (2 if quick else 7)
-    log("figure4 workloads (fast vs reference, persistent engine):")
-    figure4 = run_figure4(benchmarks, clients, rounds, reps, scale, log=log)
+    log(f"figure4 workloads ({'/'.join(impls)} vs reference, persistent engine):")
+    figure4 = run_figure4(
+        benchmarks, clients, rounds, reps, scale, impls=impls, log=log
+    )
+    log("warmstart (CSR snapshot, zero recompiles):")
+    warmstart = run_warmstart(rounds=rounds, log=log)
     log("eviction (heap-backed victim index):")
     eviction = run_eviction(
         EVICTION_SIZES_QUICK if quick else EVICTION_SIZES,
@@ -284,10 +435,11 @@ def run_perf(
     profile = run_profile(benchmarks, scale, top=profile_top)
     report = {
         "protocol": "repro-perf",
-        "version": 1,
+        "version": 2,
         "quick": quick,
         "python": sys.version.split()[0],
         "figure4": figure4,
+        "warmstart": warmstart,
         "eviction": eviction,
         "profile": profile,
     }
@@ -303,11 +455,44 @@ def _check_report(report):
     if not workloads:
         raise PerfCheckError("figure4 sweep produced no workloads")
     for row in workloads:
-        if row["fast"]["steps_per_sec"] <= 0:
-            raise PerfCheckError(f"{row['benchmark']}: no throughput recorded")
+        for impl in OPTIMIZED_IMPLS:
+            if impl in row and row[impl]["steps_per_sec"] <= 0:
+                raise PerfCheckError(
+                    f"{row['benchmark']}: no {impl} throughput recorded"
+                )
     aggregate = report["figure4"]["aggregate"]
-    if not aggregate["speedup"] or aggregate["speedup"] <= 0:
+    speedups = [
+        aggregate.get(key) for key in ("speedup", "speedup_array")
+        if key in aggregate
+    ]
+    if not speedups or any(not s or s <= 0 for s in speedups):
         raise PerfCheckError("aggregate speedup not recorded")
+    # The array loop must clear the reference interpreter by a wide
+    # margin and hold the fast-path baseline measured in the *same* run
+    # (same host, interleaved timing): a drop past the noise floor means
+    # the CSR backend has regressed against the loop it shipped to beat.
+    # Ratio gates only fire on sweeps with enough measured time to make
+    # a ratio meaningful — a sub-50ms micro-sweep (single tiny workload
+    # at a small --scale) is scheduler jitter, not a regression signal.
+    measured = aggregate.get("time_sec_reference") or 0.0
+    if measured >= 0.05:
+        if "speedup_array" in aggregate and aggregate["speedup_array"] < 1.5:
+            raise PerfCheckError(
+                f"array speedup over reference fell to "
+                f"{aggregate['speedup_array']}x (< 1.5x)"
+            )
+        if "array_vs_fast" in aggregate and aggregate["array_vs_fast"] < 0.85:
+            raise PerfCheckError(
+                f"array throughput regressed to {aggregate['array_vs_fast']}x "
+                f"of the fast baseline (< 0.85x)"
+            )
+    warmstart = report.get("warmstart")
+    if warmstart is not None and (
+        not warmstart["csr_warm"]
+        or warmstart["csr_compiles"]
+        or warmstart["adjacency_compiles"]
+    ):
+        raise PerfCheckError("warm start recompiled the traversal substrate")
     flatness = report["eviction"]["flatness_ratio"]
     # O(log n) over two orders of magnitude of store size stays within
     # a small constant; the O(n) scan this replaced blows through it by
@@ -322,8 +507,8 @@ def _check_report(report):
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="repro-perf",
-        description="wall-clock perf harness: steps/sec fast-vs-reference, "
-        "eviction scaling, cProfile top-N",
+        description="wall-clock perf harness: steps/sec fast/array vs "
+        "reference, CSR warm starts, eviction scaling, cProfile top-N",
     )
     parser.add_argument(
         "--quick",
@@ -348,10 +533,21 @@ def main(argv=None):
         "--clients", metavar="NAME,NAME,...", default=None,
         help="clients to sweep (default: SafeCast,NullDeref)",
     )
+    parser.add_argument(
+        "--traversal-impl", metavar="NAME,NAME,...", default=None,
+        help="optimized traversal impls to time against reference "
+        f"(default: {','.join(OPTIMIZED_IMPLS)})",
+    )
     parser.add_argument("--profile-top", type=int, default=12)
     args = parser.parse_args(argv)
     benchmarks = args.benchmarks.split(",") if args.benchmarks else None
     clients = args.clients.split(",") if args.clients else None
+    impls = args.traversal_impl.split(",") if args.traversal_impl else None
+    if impls and any(impl not in OPTIMIZED_IMPLS for impl in impls):
+        parser.error(
+            f"--traversal-impl must name impls from "
+            f"{{{','.join(OPTIMIZED_IMPLS)}}}"
+        )
     try:
         report = run_perf(
             quick=args.quick,
@@ -361,6 +557,7 @@ def main(argv=None):
             scale=args.scale,
             benchmarks=benchmarks,
             clients=clients,
+            impls=impls,
             profile_top=args.profile_top,
             log=lambda line: print(line, file=sys.stderr),
         )
@@ -368,10 +565,17 @@ def main(argv=None):
         print(f"repro-perf: CHECK FAILED: {exc}", file=sys.stderr)
         return 1
     aggregate = report["figure4"]["aggregate"]
+    parts = []
+    if "speedup" in aggregate:
+        parts.append(f"fast {aggregate['speedup']}x")
+    if "speedup_array" in aggregate:
+        parts.append(f"array {aggregate['speedup_array']}x")
+    if "array_vs_fast" in aggregate:
+        parts.append(f"array/fast {aggregate['array_vs_fast']}x")
+    warmstart = report["warmstart"]
     print(
-        f"aggregate speedup: {aggregate['speedup']}x "
-        f"(fast {aggregate['time_sec_fast']}s vs "
-        f"reference {aggregate['time_sec_reference']}s); "
+        f"aggregate speedup over reference: {', '.join(parts)}; "
+        f"warm start {warmstart['speedup']}x with 0 recompiles; "
         f"eviction flatness {report['eviction']['flatness_ratio']}",
         file=sys.stderr,
     )

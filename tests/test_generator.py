@@ -114,3 +114,85 @@ class TestNamedSuite:
         assert len(SafeCastClient(xalan.pag).queries()) > len(
             SafeCastClient(jack.pag).queries()
         )
+
+
+class TestStressKnobs:
+    """The deep-recursion / megamorphic / field-chain knobs from the perf
+    harness: off by default, deterministic, and analysis-neutral (all
+    three traversal impls agree on every knobbed program)."""
+
+    def test_knobs_default_off(self):
+        from dataclasses import replace
+
+        base = pretty_print(generate_program(SMALL))
+        zeroed = replace(
+            SMALL, recursion_depth=0, megamorphic_degree=0, field_chain_depth=0
+        )
+        assert pretty_print(generate_program(zeroed)) == base
+
+    def test_knobs_do_not_perturb_seeded_core(self):
+        """Stress shapes are appended after the rng-driven emission, so
+        turning a knob must not reshuffle the seeded classes."""
+        from dataclasses import replace
+
+        base = pretty_print(generate_program(SMALL))
+        knobbed = pretty_print(
+            generate_program(replace(SMALL, recursion_depth=4))
+        )
+        for line in base.splitlines():
+            if line.startswith("class ") and "Rec" not in line:
+                assert line in knobbed
+
+    def test_knobbed_programs_validate(self):
+        from dataclasses import replace
+
+        for knob in ("recursion_depth", "megamorphic_degree", "field_chain_depth"):
+            program = generate_program(replace(SMALL, **{knob: 5}))
+            validate_program(program)
+
+    def test_recursion_knob_creates_recursive_sites(self):
+        from dataclasses import replace
+
+        from repro.pag.builder import build_pag
+
+        pag = build_pag(generate_program(replace(SMALL, recursion_depth=6)))
+        assert len(pag.recursive_sites()) >= 6
+
+    def test_megamorphic_knob_fans_out_dispatch(self):
+        from dataclasses import replace
+
+        program = generate_program(replace(SMALL, megamorphic_degree=8))
+        names = set(program.classes)
+        assert {f"Poly{k}" for k in range(8)} <= names
+        assert "PolyHub" in names
+
+    def test_field_chain_knob_emits_deep_chain(self):
+        from dataclasses import replace
+
+        program = generate_program(replace(SMALL, field_chain_depth=7))
+        names = set(program.classes)
+        assert {"Link", "DeepWalk"} <= names
+
+    def test_impls_agree_on_knobbed_programs(self):
+        from dataclasses import replace
+
+        from repro.analysis.dynsum import DynSum
+        from repro.analysis.ppta import traversal_impl
+        from repro.bench.runner import bench_analysis_config
+        from repro.pag.builder import build_pag
+
+        config = replace(
+            SMALL, recursion_depth=4, megamorphic_degree=6, field_chain_depth=5
+        )
+        pag = build_pag(generate_program(config))
+        nodes = sorted(pag.local_var_nodes(), key=repr)[:30]
+        results = {}
+        for impl in ("fast", "array", "reference"):
+            analysis = DynSum(pag, bench_analysis_config())
+            with traversal_impl(impl):
+                answers = [
+                    sorted(map(repr, analysis.points_to(n).pairs)) for n in nodes
+                ]
+            results[impl] = (answers, analysis.total_steps)
+        assert results["fast"] == results["reference"]
+        assert results["array"] == results["reference"]

@@ -112,13 +112,13 @@ def summary_facts(cache):
 @pytest.mark.parametrize("chunk", range(10))
 def test_differential_battery(chunk):
     """Five programs per chunk (pytest-parallel friendly), all four
-    analyses, fast vs reference."""
+    analyses, fast vs array vs reference."""
     for config in CONFIGS[chunk * 5 : chunk * 5 + 5]:
         pag = make_pag(config)
         nodes = query_nodes(pag)
         assert nodes, f"no queries generated for seed {config.seed}"
         outcomes = {}
-        for impl in ("fast", "reference"):
+        for impl in ("fast", "array", "reference"):
             with ppta.traversal_impl(impl):
                 dynsum = DynSum(pag, bench_analysis_config())
                 dyn_results = run_all(dynsum, nodes)
@@ -136,17 +136,20 @@ def test_differential_battery(chunk):
                 "sta": [canonical(r) for r in sta_results],
                 "sta_steps": [r.steps for r in sta_results],
             }
-        fast, ref = outcomes["fast"], outcomes["reference"]
+        ref = outcomes["reference"]
+        for impl in ("fast", "array"):
+            got = outcomes[impl]
+            label = f"seed {config.seed} [{impl}]"
+            # Element-wise identical answers, steps and probe accounting.
+            assert got["dyn"] == ref["dyn"], label
+            assert got["dyn_steps"] == ref["dyn_steps"], label
+            assert got["dyn_stats"] == ref["dyn_stats"], label
+            # Entry-for-entry identical summaries (objects, boundary
+            # sets, recorded build cost).
+            assert got["facts"] == ref["facts"], label
+            assert got["sta"] == ref["sta"], label
+            assert got["sta_steps"] == ref["sta_steps"], label
         label = f"seed {config.seed}"
-        # Element-wise identical answers, steps and probe accounting.
-        assert fast["dyn"] == ref["dyn"], label
-        assert fast["dyn_steps"] == ref["dyn_steps"], label
-        assert fast["dyn_stats"] == ref["dyn_stats"], label
-        # Entry-for-entry identical summaries (objects, boundary sets,
-        # recorded build cost).
-        assert fast["facts"] == ref["facts"], label
-        assert fast["sta"] == ref["sta"], label
-        assert fast["sta_steps"] == ref["sta_steps"], label
 
         # Full-precision cross-check for the record-based NOREFINE /
         # REFINEPTS loops: wherever everything completes, the answers
