@@ -19,6 +19,13 @@ client saw zero remote errors, and the warm client completed in
 shared-cache milestone.  Reported: steps, step ratio, remote hit/store
 traffic, and wall time per client.
 
+A second protocol sweeps the **serving tier**: a warm cluster serves
+1/4/16 concurrent pipelined clients, once on the default asyncio tier
+(one event loop per shard) and once thread-per-connection
+(``--threaded``), recording wall-clock and round trips per client
+count — the async tier must cost no more than the threaded one at a
+single client while multiplexing 16 from one loop.
+
 Set ``REPRO_WRITE_BASELINE=1`` to (re)write ``BENCH_shared.json``.
 Wall-clock fields vary by host; the committed baseline records the
 deterministic step comparison and service traffic, not timings.
@@ -47,7 +54,7 @@ BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_shared.json"
 _ROWS = []
 
 
-def _run_client_process(addresses, name, pipeline=False):
+def _run_client_process(addresses, name, pipeline=None):
     env = dict(os.environ)
     src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
     env["PYTHONPATH"] = src + (
@@ -58,8 +65,13 @@ def _run_client_process(addresses, name, pipeline=False):
         "--benchmark", name, "--scale", str(SCALE),
         "--client", "SafeCast", "--remote", ",".join(addresses),
     ]
-    if pipeline:
+    # None rides the default (pipelined since protocol 1.4); the cold
+    # and warm rows pin the per-lookup regime explicitly so the series
+    # keeps measuring what it always measured.
+    if pipeline is True:
         command.append("--pipeline")
+    elif pipeline is False:
+        command.append("--no-pipeline")
     started = time.perf_counter()
     proc = subprocess.run(
         command, capture_output=True, text=True, env=env, timeout=580,
@@ -81,8 +93,8 @@ def test_shared_cache_warm_client(benchmark, figure_instances, name):
 
     def deployment():
         with CacheCluster.spawn(shards=2) as cluster:
-            cold = _run_client_process(cluster.addresses, name)
-            warm = _run_client_process(cluster.addresses, name)
+            cold = _run_client_process(cluster.addresses, name, pipeline=False)
+            warm = _run_client_process(cluster.addresses, name, pipeline=False)
             piped = _run_client_process(cluster.addresses, name, pipeline=True)
         assert not any(cluster.alive())
         return cold, warm, piped
@@ -134,6 +146,120 @@ def test_shared_cache_warm_client(benchmark, figure_instances, name):
     )
 
 
+def _concurrent_pipelined_clients(addresses, pag, n_clients):
+    """``n_clients`` pipelined clients (each its own connection, each a
+    full prefetch + flush cycle) hammering the cluster at once from
+    this process.  Returns (wall_sec, per-client RemoteStoreStats)."""
+    import threading
+
+    from repro.cacheserver.client import RemoteSummaryCache
+
+    stats = [None] * n_clients
+    errors = []
+
+    def one_client(slot):
+        try:
+            cache = RemoteSummaryCache(addresses, timeout=10.0, pipeline=True)
+            cache.bind_pag(pag)
+            cache.begin_batch()
+            cache.end_batch()
+            stats[slot] = cache.remote_stats()
+            cache.close()
+        except Exception as exc:  # surfaced below: threads must not die silently
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=one_client, args=(slot,))
+        for slot in range(n_clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    wall = time.perf_counter() - started
+    assert not errors, errors
+    assert all(s is not None for s in stats)
+    return wall, stats
+
+
+_SWEEP = {}
+
+
+def test_async_vs_threaded_concurrency_sweep(benchmark, figure_instances):
+    """The serving-tier scaling protocol: a warm 2-shard cluster serves
+    1 / 4 / 16 concurrent pipelined clients, once on the asyncio tier
+    (the default: one event loop per shard) and once on the
+    thread-per-connection tier (``--threaded``).  Wall-clock and round
+    trips are recorded per client count; the acceptance bar is that
+    async costs no more than threaded at 1 client (tolerance for
+    scheduler noise) while serving 16 clients from one loop."""
+    from repro.engine import CachePolicy
+
+    name = FIGURE_BENCHMARKS[0]
+    instance = figure_instances[name]
+    client = SafeCastClient(instance.pag)
+
+    def sweep(threaded):
+        rows = {}
+        with CacheCluster.spawn(shards=2, threaded=threaded) as cluster:
+            # Seed the service once so every sweep client runs warm —
+            # the sweep measures the serving tier, not the analysis.
+            seeder = PointsToEngine(
+                instance.pag,
+                bench_engine_policy(
+                    cache=CachePolicy(
+                        remote=cluster.addresses, remote_timeout=10.0
+                    )
+                ),
+            )
+            client.run_engine(seeder, dedupe=False, reorder=False)
+            seeded = sum(
+                1 for _ in seeder.cache.local_tier.entries()
+            )
+            assert seeded > 0
+            for n_clients in (1, 4, 16):
+                wall, stats = _concurrent_pipelined_clients(
+                    cluster.addresses, instance.pag, n_clients
+                )
+                prefetched = [s.prefetched for s in stats]
+                assert all(count > 0 for count in prefetched)
+                assert len(set(prefetched)) == 1  # every client saw the same service
+                rows[str(n_clients)] = {
+                    "wall_sec": wall,
+                    "round_trips_per_client": stats[0].round_trips,
+                    "prefetched_per_client": prefetched[0],
+                }
+        assert not any(cluster.alive())
+        return rows
+
+    def both():
+        return sweep(threaded=False), sweep(threaded=True)
+
+    async_rows, threaded_rows = benchmark.pedantic(both, rounds=1, iterations=1)
+
+    # O(shards) pipelined cost regardless of tier or client count.
+    for rows in (async_rows, threaded_rows):
+        for row in rows.values():
+            assert row["round_trips_per_client"] <= 2 * 2
+    # The 1-client bar: the event loop must not cost more than the
+    # thread-per-connection transport it replaces (generous tolerance —
+    # single-digit-millisecond exchanges are scheduler-noise bound).
+    assert (
+        async_rows["1"]["wall_sec"]
+        <= threaded_rows["1"]["wall_sec"] * 1.25 + 0.25
+    )
+    _SWEEP.update(
+        {
+            "benchmark": name,
+            "shards": 2,
+            "clients": [1, 4, 16],
+            "async": async_rows,
+            "threaded": threaded_rows,
+        }
+    )
+
+
 def test_print_shared_cache(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     if not _ROWS:
@@ -154,11 +280,24 @@ def test_print_shared_cache(benchmark):
             f"{row['warm_pipelined']['round_trips']:>8d} "
             f"{row['cold']['stores']:>9d}"
         )
+    if _SWEEP:
+        print(
+            "\nServing-tier sweep — warm 2-shard cluster, "
+            f"{_SWEEP['benchmark']}, concurrent pipelined clients"
+        )
+        print(f"{'clients':>7s} {'async sec':>10s} {'threaded sec':>12s}")
+        for n in _SWEEP["clients"]:
+            print(
+                f"{n:>7d} {_SWEEP['async'][str(n)]['wall_sec']:>10.3f} "
+                f"{_SWEEP['threaded'][str(n)]['wall_sec']:>12.3f}"
+            )
     if os.environ.get("REPRO_WRITE_BASELINE"):
         payload = {
             "protocol": "bench_shared_cache",
             "scale": SCALE,
             "rows": _ROWS,
         }
+        if _SWEEP:
+            payload["concurrency_sweep"] = _SWEEP
         BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"\nwrote baseline {BASELINE_PATH}")

@@ -138,7 +138,6 @@ class IncrementalAnalysisSession:
         drop = set(edited_methods) | surface_changed
 
         old_cache = self.analysis.cache
-        new_cache = old_cache.spawn()
         stored_keys = []
         dropped = 0
         # Invalidate the stale methods *through* the store, not just by
@@ -149,6 +148,12 @@ class IncrementalAnalysisSession:
         # skip performed, with identical accounting.
         for qname in sorted(drop):
             dropped += old_cache.invalidate_method(qname)
+        # Spawn *after* the invalidations: each invalidate bumps the
+        # method's consistency epoch, and the spawn carries the epochs
+        # forward — the post-edit cache must publish at the post-edit
+        # epochs or a shared shard server would refuse its stores as
+        # stale (protocol 1.4).
+        new_cache = old_cache.spawn()
         # Migration writes land in the process-local store only: for a
         # remote-backed cache that is the read-through tier — every
         # surviving summary was already published when first computed,

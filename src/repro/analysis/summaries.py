@@ -142,6 +142,52 @@ class SummaryBackend:
     def clear(self):
         raise NotImplementedError
 
+    # -- consistency epochs -------------------------------------------
+    # Every backend carries a per-method **consistency epoch**: a
+    # monotonic int, starting at 0, bumped by each invalidation of the
+    # method (the IDE edit hook).  The epoch names the program version
+    # a method's summaries were computed against, so a distributed tier
+    # (the shard servers of :mod:`repro.cacheserver`) can refuse
+    # write-throughs from clients that have not observed an edit yet —
+    # stale summaries are rejected at the wire instead of silently
+    # overwriting fresher ones.  Epochs are *version* state, not cache
+    # content: ``clear()`` keeps them, ``spawn()`` carries them into
+    # the fresh store, and invalidating an absent method still bumps.
+
+    def method_epoch(self, method_qname):
+        """The current consistency epoch of ``method_qname`` (0 if the
+        method was never invalidated)."""
+        epochs = getattr(self, "_method_epochs", None)
+        return 0 if epochs is None else epochs.get(method_qname, 0)
+
+    def bump_epoch(self, method_qname):
+        """Advance ``method_qname``'s epoch by one; returns the new
+        value.  Called by :meth:`invalidate_method` — an edit *is* an
+        epoch bump."""
+        epochs = getattr(self, "_method_epochs", None)
+        if epochs is None:
+            epochs = {}
+            self._method_epochs = epochs
+        epochs[method_qname] = new = epochs.get(method_qname, 0) + 1
+        return new
+
+    def method_epochs(self):
+        """A snapshot of every non-zero method epoch (dict copy)."""
+        return dict(getattr(self, "_method_epochs", None) or {})
+
+    def adopt_epochs(self, epochs):
+        """Merge ``epochs`` in, keeping the larger value per method —
+        how :meth:`spawn` carries version state into a fresh store."""
+        if not epochs:
+            return
+        mine = getattr(self, "_method_epochs", None)
+        if mine is None:
+            mine = {}
+            self._method_epochs = mine
+        for method, epoch in epochs.items():
+            if epoch > mine.get(method, 0):
+                mine[method] = epoch
+
     # -- capacity cooperation -----------------------------------------
     def has_room(self, node, facts=0):
         """Would storing a ``facts``-sized summary for ``node`` fit
@@ -250,8 +296,12 @@ class SummaryStore(SummaryBackend):
         Used when a host rebuilds its PAG (see
         :class:`~repro.analysis.incremental.IncrementalAnalysisSession`)
         and needs a like-configured cache to migrate summaries into.
+        Consistency epochs ride along — they version the program, not
+        the resident entries.
         """
-        return type(self)()
+        fresh = type(self)()
+        fresh.adopt_epochs(self.method_epochs())
+        return fresh
 
     # ------------------------------------------------------------------
     # the cache contract (Algorithm 4 lines 5-9 call these)
@@ -333,8 +383,11 @@ class SummaryStore(SummaryBackend):
         that could be stale after the method's body changes.  Entries the
         capacity policy already evicted are gone from the index, so they
         are neither double-counted nor resurrected.  Returns the number
-        of entries dropped.
+        of entries dropped.  The method's consistency epoch advances
+        whether or not anything was resident — the edit happened either
+        way.
         """
+        self.bump_epoch(method_qname)
         keys = self._by_method.pop(method_qname, ())
         dropped = sum(1 for key in list(keys) if self._remove(key) is not None)
         self.invalidated += dropped
@@ -491,7 +544,9 @@ class BoundedSummaryCache(SummaryStore):
         return OrderedDict()
 
     def spawn(self):
-        return type(self)(max_entries=self.max_entries, max_facts=self.max_facts)
+        fresh = type(self)(max_entries=self.max_entries, max_facts=self.max_facts)
+        fresh.adopt_epochs(self.method_epochs())
+        return fresh
 
     def _touch(self, key):
         self._entries.move_to_end(key)
@@ -608,11 +663,13 @@ class CostAwareSummaryCache(BoundedSummaryCache):
         self._stamp = 0
 
     def spawn(self):
-        return type(self)(
+        fresh = type(self)(
             max_entries=self.max_entries,
             max_facts=self.max_facts,
             admit_facts=self.admit_facts,
         )
+        fresh.adopt_epochs(self.method_epochs())
+        return fresh
 
     def _touch(self, key):
         super()._touch(key)
@@ -821,14 +878,17 @@ class ShardedSummaryCache(SummaryBackend):
         return self._shards[index], self._locks[index]
 
     def spawn(self):
-        """A fresh, empty store with the same shard/capacity policy."""
-        return type(self)(
+        """A fresh, empty store with the same shard/capacity policy
+        (and the same per-method consistency epochs)."""
+        fresh = type(self)(
             shards=self.n_shards,
             max_entries=self.max_entries,
             max_facts=self.max_facts,
             eviction=self.eviction,
             admit_facts=self.admit_facts,
         )
+        fresh.adopt_epochs(self.method_epochs())
+        return fresh
 
     # ------------------------------------------------------------------
     # the cache contract
@@ -844,6 +904,9 @@ class ShardedSummaryCache(SummaryBackend):
             return shard.store(node, field_stack, state, ppta_result)
 
     def invalidate_method(self, method_qname):
+        # The facade keeps its own epoch table (the sub-shard bumps its
+        # copy too, but callers read epochs off the facade).
+        self.bump_epoch(method_qname)
         index = self.shard_index(method_qname)
         with self._locks[index]:
             return self._shards[index].invalidate_method(method_qname)

@@ -62,16 +62,24 @@ from typing import Any, Optional, Tuple
 from repro.analysis.summaries import CacheStats
 from repro.engine.scheduler import BatchStats
 
-#: The protocol spoken by this build — "<major>.<minor>".  1.3 added
-#: ``csr_warm`` on ``stats-result`` (a snapshot-borne CSR traversal
-#: image was adopted at warm start); 1.2 added the batched store-level
-#: ops (``batch-lookup``/``batch-store``/``batch-invalidate``/
-#: ``fetch-methods``) that amortise round trips, plus
-#: ``round_trips``/``prefetched`` on the remote stats; 1.1 added the
-#: store-level ops (``lookup``/``store``/``store-stats``) and the
-#: warm-start/remote counters on ``stats-result``; 1.0 traffic decodes
-#: unchanged.
-PROTOCOL_VERSION = "1.3"
+#: The protocol spoken by this build — "<major>.<minor>".  1.4 adds the
+#: consistency epoch to every store-level op (``epoch``/``fingerprint``
+#: on ``lookup``/``store``/``invalidate``, aligned ``epochs`` tuples on
+#: the batch forms), the typed ``stale-epoch`` rejection for
+#: behind-the-times write-throughs, per-entry ``epochs`` on
+#: ``fetch-methods-result``, aligned ``stale`` flags on
+#: ``batch-stored``, the ``epoch_rejections``/``reconnects``/
+#: ``seeded_entries`` counters on the remote stats, and the optional
+#: transport-level ``id`` envelope key the async tier echoes for
+#: request multiplexing.  1.3 added ``csr_warm`` on ``stats-result``
+#: (a snapshot-borne CSR traversal image was adopted at warm start);
+#: 1.2 added the batched store-level ops (``batch-lookup``/
+#: ``batch-store``/``batch-invalidate``/``fetch-methods``) that
+#: amortise round trips, plus ``round_trips``/``prefetched`` on the
+#: remote stats; 1.1 added the store-level ops
+#: (``lookup``/``store``/``store-stats``) and the warm-start/remote
+#: counters on ``stats-result``; 1.0 traffic decodes unchanged.
+PROTOCOL_VERSION = "1.4"
 
 
 def split_version(version):
@@ -183,9 +191,18 @@ class AliasRequest:
 
 @dataclass(frozen=True)
 class InvalidateRequest:
-    """Drop one method's cached summaries (the host-side edit hook)."""
+    """Drop one method's cached summaries (the host-side edit hook).
+
+    ``epoch`` (protocol 1.4) is the client's post-edit epoch for the
+    method; a store applies ``max(server_epoch + 1, epoch)`` so even an
+    epoch-less 1.3 client still advances the method's version and
+    shakes stale write-throughs out.  ``fingerprint`` names the
+    client's program version (see :class:`LookupRequest`).
+    """
 
     method: str
+    epoch: int = 0
+    fingerprint: Optional[int] = None
     protocol_version: str = PROTOCOL_VERSION
 
 
@@ -206,9 +223,20 @@ class LookupRequest:
     ``key`` is ``{"node": <node ref>, "stack": <wire stack>, "state":
     1|2}`` in the snapshot entry format (see
     :func:`repro.api.snapshot.check_key`).
+
+    ``epoch`` (protocol 1.4) is the client's consistency epoch for the
+    key's method — a monotonic int bumped by every invalidation.  A
+    server behind the client's epoch drops the method's entries and
+    adopts it (self-heal for a missed invalidate); a client behind the
+    server's epoch is answered with a miss, never a stale entry.
+    ``fingerprint`` is the client's program fingerprint
+    (:func:`repro.pag.csr.pag_fingerprint`) guarding against two
+    *different programs* colliding at an equal epoch.
     """
 
     key: Any
+    epoch: int = 0
+    fingerprint: Optional[int] = None
     protocol_version: str = PROTOCOL_VERSION
 
 
@@ -216,9 +244,17 @@ class LookupRequest:
 class StoreRequest:
     """Insert one completed summary, as a full snapshot entry (see
     :func:`repro.api.snapshot.check_entry`).  Only fully computed
-    summaries may travel — the same rule the in-process contract has."""
+    summaries may travel — the same rule the in-process contract has.
+
+    ``epoch``/``fingerprint`` (protocol 1.4) version the write: a store
+    whose epoch for the entry's method is *ahead* of the client's
+    rejects the write-through with a typed ``stale-epoch`` response
+    instead of silently accepting a pre-edit summary.
+    """
 
     entry: Any
+    epoch: int = 0
+    fingerprint: Optional[int] = None
     protocol_version: str = PROTOCOL_VERSION
 
 
@@ -240,9 +276,15 @@ class BatchLookupRequest:
 
     ``keys`` items follow :func:`repro.api.snapshot.check_key`.  The
     response aligns entry-for-key with this tuple.
+
+    ``epochs`` (protocol 1.4), when non-empty, aligns a consistency
+    epoch with each key (empty means epoch 0 for every key — the 1.3
+    wire form); ``fingerprint`` is the client's program fingerprint.
     """
 
     keys: Tuple[Any, ...]
+    epochs: Tuple[int, ...] = ()
+    fingerprint: Optional[int] = None
     protocol_version: str = PROTOCOL_VERSION
 
 
@@ -250,17 +292,31 @@ class BatchLookupRequest:
 class BatchStoreRequest:
     """Insert many completed summaries in one exchange (the write-
     coalescing flush of a pipelined client).  ``entries`` items follow
-    :func:`repro.api.snapshot.check_entry`."""
+    :func:`repro.api.snapshot.check_entry`.
+
+    ``epochs``/``fingerprint`` (protocol 1.4) version each write as in
+    :class:`StoreRequest`; a stale element is rejected *individually*
+    (flagged in the aligned ``stale`` tuple of the response) rather
+    than failing the whole flush.
+    """
 
     entries: Tuple[Any, ...]
+    epochs: Tuple[int, ...] = ()
+    fingerprint: Optional[int] = None
     protocol_version: str = PROTOCOL_VERSION
 
 
 @dataclass(frozen=True)
 class BatchInvalidateRequest:
-    """Drop the cached summaries of many methods in one exchange."""
+    """Drop the cached summaries of many methods in one exchange.
+
+    ``epochs``/``fingerprint`` (protocol 1.4) align a post-edit epoch
+    with each method, as in :class:`InvalidateRequest`.
+    """
 
     methods: Tuple[str, ...]
+    epochs: Tuple[int, ...] = ()
+    fingerprint: Optional[int] = None
     protocol_version: str = PROTOCOL_VERSION
 
 
@@ -268,9 +324,17 @@ class BatchInvalidateRequest:
 class MethodEntriesRequest:
     """Fetch every resident entry of the named methods — or of the
     whole store when ``methods`` is null.  The prefetch op: one round
-    trip per shard warms a client's local tier for a whole batch."""
+    trip per shard warms a client's local tier for a whole batch.
+
+    ``fingerprint`` (protocol 1.4) lets the server skip methods whose
+    recorded program fingerprint disagrees with the requester's, so a
+    prefetch never imports another program's same-named summaries.
+    The response carries each entry's method epoch; the client adopts
+    only entries whose epoch matches its own view.
+    """
 
     methods: Optional[Tuple[str, ...]] = None
+    fingerprint: Optional[int] = None
     protocol_version: str = PROTOCOL_VERSION
 
 
@@ -359,9 +423,17 @@ class BatchLookupResponse:
 @dataclass(frozen=True)
 class BatchStoreResponse:
     """Aligned ``stored`` flags for a :class:`BatchStoreRequest` (the
-    per-entry :class:`StoreResponse` rule)."""
+    per-entry :class:`StoreResponse` rule).
+
+    ``stale`` (protocol 1.4), when non-empty, aligns a flag with each
+    entry: ``True`` marks a write-through the server rejected because
+    its epoch lagged the method's — such an entry is never ``stored``.
+    Empty means no element was rejected (and is what a 1.3 server
+    sends).
+    """
 
     stored: Tuple[bool, ...]
+    stale: Tuple[bool, ...] = ()
     protocol_version: str = PROTOCOL_VERSION
 
 
@@ -377,9 +449,31 @@ class BatchInvalidateResponse:
 class MethodEntriesResponse:
     """Answer to a :class:`MethodEntriesRequest`: every matching
     resident entry, coldest-first (replaying ``store`` preserves the
-    shard's recency order, the snapshot convention)."""
+    shard's recency order, the snapshot convention).
+
+    ``epochs`` (protocol 1.4), when non-empty, aligns each entry's
+    method epoch at the server; clients adopt an entry only when that
+    epoch equals their own view of the method, so a prefetch can never
+    smuggle a stale summary past the consistency guard.
+    """
 
     entries: Tuple[Any, ...]
+    epochs: Tuple[int, ...] = ()
+    protocol_version: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class StaleEpochResponse:
+    """A write-through the server refused because the client's epoch
+    for ``method`` (``sent``) lags the server's (``current``): the
+    entry was computed against a program version that has since been
+    invalidated.  The sound reaction is to keep serving the local
+    result and stop publishing the method until the client itself
+    observes the edit.  Protocol 1.4."""
+
+    method: str
+    sent: int
+    current: int
     protocol_version: str = PROTOCOL_VERSION
 
 
@@ -403,6 +497,13 @@ class RemoteStoreStats:
     per lookup.  ``prefetched`` counts entries that arrived via
     ``fetch-methods`` prefetches (they fill the local tier, so they are
     *not* also counted as ``remote_hits``).
+
+    Protocol 1.4 adds the consistency-epoch counters:
+    ``epoch_rejections`` write-throughs a server refused as stale
+    (proof the guard fired), ``reconnects`` re-established shard links
+    after a drop, and ``seeded_entries`` summaries replayed into a
+    freshly reconnected (possibly blank-restarted) shard by the
+    reconnect-and-seed snapshot.
     """
 
     shards: int
@@ -416,6 +517,9 @@ class RemoteStoreStats:
     invalidation_errors: int = 0
     round_trips: int = 0
     prefetched: int = 0
+    epoch_rejections: int = 0
+    reconnects: int = 0
+    seeded_entries: int = 0
     protocol_version: str = PROTOCOL_VERSION
 
 
@@ -530,6 +634,7 @@ RESPONSE_KINDS = {
     "batch-stored": BatchStoreResponse,
     "batch-invalidated": BatchInvalidateResponse,
     "fetch-methods-result": MethodEntriesResponse,
+    "stale-epoch": StaleEpochResponse,
     "error": ErrorResponse,
 }
 

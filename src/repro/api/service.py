@@ -403,7 +403,10 @@ def _build_engine(args):
             eviction=args.eviction,
             remote=remote,
             remote_timeout=args.remote_timeout,
-            remote_pipeline=bool(remote) and args.remote_pipeline,
+            # Tri-state: None = pipelined iff remote (the policy's own
+            # default); an explicit --remote-pipeline/--no-remote-pipeline
+            # wins.  Without --remote the flag is inert either way.
+            remote_pipeline=args.remote_pipeline if remote else None,
         ),
         warm_start=args.warm_start,
     )
@@ -463,11 +466,30 @@ def main(argv=None):
     )
     parser.add_argument(
         "--remote-pipeline",
+        dest="remote_pipeline",
         action="store_true",
+        default=None,
         help=(
             "pipelined shared-cache mode (protocol 1.2): per-shard "
             "prefetch at batch start, coalesced batch-store flushes at "
-            "batch end"
+            "batch end — the default whenever --remote is set"
+        ),
+    )
+    parser.add_argument(
+        "--no-remote-pipeline",
+        dest="remote_pipeline",
+        action="store_false",
+        help="immediate write-through to the shared cache (publish every "
+        "memo as it is computed instead of coalescing per batch)",
+    )
+    parser.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default=None,
+        help=(
+            "serve the same protocol over TCP on one asyncio event loop "
+            "(port 0 = OS pick; clients may multiplex requests by "
+            "tagging lines with an \"id\") instead of stdio"
         ),
     )
     parser.add_argument(
@@ -523,11 +545,54 @@ def main(argv=None):
         file=sys.stderr,
     )
     service = PointsToService(engine)
+
+    def run_transport():
+        if args.listen is None:
+            service.serve(sys.stdin, sys.stdout)
+            return 0
+        # TCP mode: the whole service behind the asyncio line server —
+        # the engine tier scales the same way the cache tier does.
+        import json
+        import signal
+
+        from repro.cacheserver.aserver import AsyncLineServer
+
+        host, _, port = args.listen.rpartition(":")
+        if not host or not port.isdigit():
+            print(
+                f"repro-serve: --listen wants HOST:PORT, got {args.listen!r}",
+                file=sys.stderr,
+            )
+            return 2
+        server = AsyncLineServer(service.handle_line, host=host, port=int(port))
+        print(
+            json.dumps(
+                {
+                    "event": "listening",
+                    "host": server.host,
+                    "port": server.port,
+                    "protocol": PROTOCOL_VERSION,
+                },
+                sort_keys=True,
+            )
+        )
+        sys.stdout.flush()
+
+        def shutdown(signum, frame):
+            server.stop()  # graceful drain; serve_forever then returns
+
+        signal.signal(signal.SIGTERM, shutdown)
+        signal.signal(signal.SIGINT, shutdown)
+        server.serve_forever()
+        return 0
+
     if args.traversal_impl is not None:
         with traversal_impl(args.traversal_impl):
-            service.serve(sys.stdin, sys.stdout)
+            status = run_transport()
     else:
-        service.serve(sys.stdin, sys.stdout)
+        status = run_transport()
+    if status:
+        return status
     if args.save_cache is not None:
         try:
             snapshot = engine.save_cache(args.save_cache, csr=args.save_csr)

@@ -89,6 +89,15 @@ def _build_parser():
     parser.add_argument(
         "--timeout", type=float, default=1.0, help="--connect socket timeout"
     )
+    parser.add_argument(
+        "--threaded",
+        action="store_true",
+        help=(
+            "serve on the thread-per-connection transport instead of the "
+            "asyncio tier (the default event-loop server; applies to "
+            "--serve-shard and to the children a launcher spawns)"
+        ),
+    )
     return parser
 
 
@@ -96,8 +105,13 @@ def _build_parser():
 # mode: one shard server (the launcher's child / the pod entry point)
 # ----------------------------------------------------------------------
 def _serve_shard(args):
+    server_cls = ShardServer
+    if not args.threaded:
+        from repro.cacheserver.aserver import AsyncShardServer
+
+        server_cls = AsyncShardServer
     try:
-        server = ShardServer(
+        server = server_cls(
             args.serve_shard,
             args.shards,
             host=args.host,
@@ -112,9 +126,19 @@ def _serve_shard(args):
     print(_listening_line(server, pid=os.getpid()))
     sys.stdout.flush()
 
-    def shutdown(signum, frame):
-        server.stop()
-        raise SystemExit(0)
+    if args.threaded:
+
+        def shutdown(signum, frame):
+            server.stop()
+            raise SystemExit(0)
+
+    else:
+        # The async server drains gracefully on stop(); let
+        # serve_forever return instead of raising out of the handler
+        # (SystemExit inside a signal handler would tear through the
+        # running event loop mid-drain).
+        def shutdown(signum, frame):
+            server.stop()
 
     signal.signal(signal.SIGTERM, shutdown)
     signal.signal(signal.SIGINT, shutdown)
@@ -141,6 +165,7 @@ def _launch_cluster(args):
             max_entries=args.max_entries,
             max_facts=args.max_facts,
             eviction=args.eviction,
+            threaded=args.threaded,
         )
     except (ValueError, OSError, RuntimeError) as exc:
         print(f"repro-cached: {exc}", file=sys.stderr)

@@ -25,34 +25,36 @@ Correctness stance — the part the tests pin down:
   that never applied an edit keeps serving its own pre-edit memos from
   the tier — exactly as it would have with no service at all, which is
   the consistency contract of the in-process cache too.
-
-  The service-wide contract is therefore **one program version per
-  cluster**: while clients disagree about the program (the window
-  between one client applying an edit and the rest applying it),
-  a not-yet-edited client that recomputes an invalidated method can
-  write-through a *pre-edit* summary, which the edited client would
-  then fetch as current (entries resolve nominally, so same-named
-  methods collide across versions).  The same window exists when a
-  shard was unreachable during an invalidation (it keeps serving the
-  old entries once it is back).  Closing both needs per-method epochs
-  or body fingerprints on the wire — the ROADMAP's "service hardening"
-  item; until then, hosts must quiesce or re-invalidate after
-  rolling an edit across clients.
+* **epoch-hardened consistency (protocol 1.4).**  Every store-level op
+  carries the client's per-method **consistency epoch** (bumped by
+  each ``invalidate_method``) plus its program fingerprint.  The shard
+  rules close the mixed-version windows the pre-1.4 tier documented
+  as caveats: a server *behind* a client's epoch drops the method's
+  residue and adopts (a shard that missed an invalidate self-heals on
+  first contact); a client *behind* the server is answered with a miss
+  and its write-throughs are refused with a typed ``stale-epoch``
+  response (counted in ``epoch_rejections``) — a pre-edit summary can
+  never overwrite a post-edit one, and a prefetch only adopts entries
+  whose epoch matches this client's view.  On **reconnect** to a shard
+  that dropped (restarted blank, network blip), the link replays a
+  seed snapshot of the local tier's entries for that shard in the same
+  flight as the first request (``reconnects``/``seeded_entries``), so
+  a blank shard is re-warmed instead of serving misses forever.
 * **backoff, not retry storms.**  A failed shard link is torn down and
   skipped for ``retry_interval`` seconds, so a dead service costs one
   timeout per shard per interval, not per lookup.
-* **pipelining is opt-in.**  Under ``pipeline=True`` (protocol 1.2,
-  ``CachePolicy(remote_pipeline=True)``) the engine's batch hooks make
-  a warm batch cost O(shards) round trips: ``begin_batch`` prefetches
-  each shard's resident entries in one ``fetch-methods`` exchange, and
-  write-through publishes coalesce into per-shard ``batch-store``
-  flushes at ``end_batch``.  Every pipelined failure falls open exactly
-  like the single-op paths, and an ``invalidate_method`` purges the
-  edited method's buffered publishes before reaching the shard, so a
-  flush can never resurrect pre-edit memos.  The default stays
-  immediate write-through: buffering delays cross-client visibility of
-  fresh memos to the batch boundary, which the mid-batch multi-process
-  tests deliberately pin down.
+* **pipelining is the default.**  Under ``pipeline=True`` (protocol
+  1.2, and what ``CachePolicy(remote=...)`` now defaults to) the
+  engine's batch hooks make a warm batch cost O(shards) round trips:
+  ``begin_batch`` prefetches each shard's resident entries in one
+  ``fetch-methods`` exchange, and write-through publishes coalesce
+  into per-shard ``batch-store`` flushes at ``end_batch``.  Every
+  pipelined failure falls open exactly like the single-op paths, and
+  an ``invalidate_method`` purges the edited method's buffered
+  publishes before reaching the shard, so a flush can never resurrect
+  pre-edit memos.  ``pipeline=False`` (the ``--no-pipeline`` escape
+  hatches) restores immediate write-through, whose prompt cross-client
+  visibility some multi-process tests deliberately pin down.
 
 Accounting: the backend keeps its own hit/miss counters (a hit =
 answered from tier or service; a miss = the caller must compute), and a
@@ -84,6 +86,7 @@ from repro.api.protocol import (
     ProtocolError,
     RemoteStoreStats,
     SnapshotError,
+    StaleEpochResponse,
     StoreRequest,
     StoreResponse,
     StoreStatsResponse,
@@ -128,6 +131,16 @@ class ShardLink:
     :meth:`request_many` pipelines several request lines into one
     flight — all lines written, then all responses read — so a chunked
     bulk operation still costs a single network round trip.
+
+    **Reconnect-and-seed**: when the link re-establishes a connection
+    it had before (the shard restarted, or the network blipped), it
+    asks its ``seed_provider`` — installed by
+    :class:`RemoteSummaryCache` — for request lines that re-warm the
+    shard from the client's local tier, and prepends them to the same
+    flight; ``on_seed`` then sees the seed responses.  A shard that
+    came back *blank* is re-seeded instead of serving misses until the
+    fleet recomputes everything; a shard that never dropped just
+    re-adopts entries it already holds (stores are idempotent).
     """
 
     def __init__(self, address, timeout=1.0, retry_interval=None):
@@ -143,6 +156,12 @@ class ShardLink:
         self._sock = None
         self._reader = None
         self._down_until = 0.0
+        self._ever_connected = False
+        #: ``() -> iterable of request lines`` replayed on reconnect
+        #: (not on first connect); ``None`` disables seeding.
+        self.seed_provider = None
+        #: ``(seed_lines, response_lines) -> None`` — accounting hook.
+        self.on_seed = None
 
     def request(self, line):
         """Send one request line, return the response line."""
@@ -161,17 +180,31 @@ class ShardLink:
             if time.monotonic() < self._down_until:
                 raise ShardUnavailable(f"{self.address}: backing off after failure")
             try:
+                seed_lines = ()
                 if self._sock is None:
+                    reconnecting = self._ever_connected
                     self._connect()
-                payload = "".join(line + "\n" for line in lines)
+                    self._ever_connected = True
+                    if reconnecting and self.seed_provider is not None:
+                        try:
+                            seed_lines = tuple(self.seed_provider())
+                        except Exception:
+                            seed_lines = ()
+                flight = list(seed_lines) + list(lines)
+                payload = "".join(line + "\n" for line in flight)
                 self._sock.sendall(payload.encode("utf-8"))
                 responses = []
-                for _ in lines:
+                for _ in flight:
                     response = self._reader.readline()
                     if not response:
                         raise OSError("connection closed by shard server")
                     responses.append(response)
-                return responses
+                if seed_lines and self.on_seed is not None:
+                    try:
+                        self.on_seed(seed_lines, responses[: len(seed_lines)])
+                    except Exception:
+                        pass  # accounting must never fail the request
+                return responses[len(seed_lines):]
             except OSError as exc:
                 self._teardown()
                 self._down_until = time.monotonic() + self.retry_interval
@@ -235,12 +268,14 @@ class RemoteSummaryCache(SummaryBackend):
         #: memo immediately, the latency-of-visibility the multi-client
         #: tests pin down.
         self.pipeline = pipeline
+        self.retry_interval = retry_interval
         self.local_tier = local if local is not None else SummaryCache()
         self._links = _links if _links is not None else tuple(
             ShardLink(address, timeout=timeout, retry_interval=retry_interval)
             for address in addresses
         )
         self._pag = None
+        self._fingerprint = None
         self._stats_lock = threading.Lock()
         self._hits = 0
         self._misses = 0
@@ -255,10 +290,20 @@ class RemoteSummaryCache(SummaryBackend):
             "invalidation_errors": 0,
             "round_trips": 0,
             "prefetched": 0,
+            "epoch_rejections": 0,
+            "reconnects": 0,
+            "seeded_entries": 0,
         }
         self._buffer_lock = threading.Lock()
         self._buffering = False
         self._write_buffers = tuple([] for _ in range(self.n_shards))
+        # Reconnect-and-seed: each link re-warms a restarted shard from
+        # this client's tier.  Links are shared across spawn
+        # generations; the newest backend (re)binds the hooks, which is
+        # the one whose tier and epochs are current.
+        for index, link in enumerate(self._links):
+            link.seed_provider = self._make_seed_provider(index)
+            link.on_seed = self._seed_ack
 
     # ------------------------------------------------------------------
     # backend plumbing
@@ -297,6 +342,17 @@ class RemoteSummaryCache(SummaryBackend):
 
     def bind_pag(self, pag):
         self._pag = pag
+        # The program fingerprint rides every store-level op (protocol
+        # 1.4) so shards can arbitrate same-epoch traffic from clients
+        # that disagree about the program.  Fingerprint-less operation
+        # (a PAG the hash cannot walk) stays legal — it just waives the
+        # same-epoch arbitration, never correctness.
+        try:
+            from repro.pag.csr import pag_fingerprint
+
+            self._fingerprint = pag_fingerprint(pag)
+        except Exception:
+            self._fingerprint = None
 
     def _bump(self, *names):
         with self._stats_lock:
@@ -307,6 +363,11 @@ class RemoteSummaryCache(SummaryBackend):
                     self._misses += 1
                 else:
                     self._remote[name] += 1
+
+    def _bump_n(self, name, count):
+        if count:
+            with self._stats_lock:
+                self._remote[name] += count
 
     def _link_for(self, method_qname):
         return self._links[shard_for_method(method_qname, self.n_shards)]
@@ -348,9 +409,15 @@ class RemoteSummaryCache(SummaryBackend):
             key = key_to_wire(node, field_stack, state)
         except SnapshotError:
             return None  # a key shape the wire format cannot carry
+        method = getattr(node, "method", None)
         try:
             response = self._exchange(
-                getattr(node, "method", None), LookupRequest(key=key)
+                method,
+                LookupRequest(
+                    key=key,
+                    epoch=self.method_epoch(method),
+                    fingerprint=self._fingerprint,
+                ),
             )
         except (ShardUnavailable, ProtocolError):
             self._bump("remote_errors")
@@ -390,20 +457,33 @@ class RemoteSummaryCache(SummaryBackend):
             self._bump("store_errors")
             return stored
         method = getattr(node, "method", None)
+        epoch = self.method_epoch(method)
         if self._buffering:
-            # Coalesced: queue for the end-of-batch batch-store flush.
+            # Coalesced: queue for the end-of-batch batch-store flush,
+            # with the epoch *at publish time* — a later invalidate of
+            # the method purges these anyway, so the pair stays
+            # coherent.
             index = shard_for_method(method, self.n_shards)
             with self._buffer_lock:
                 if self._buffering:
-                    self._write_buffers[index].append(entry)
+                    self._write_buffers[index].append((entry, epoch))
                     return stored
         try:
-            response = self._exchange(method, StoreRequest(entry=entry))
+            response = self._exchange(
+                method,
+                StoreRequest(
+                    entry=entry, epoch=epoch, fingerprint=self._fingerprint
+                ),
+            )
         except (ShardUnavailable, ProtocolError):
             self._bump("store_errors")
             return stored
         if isinstance(response, StoreResponse):
             self._bump("stores")
+        elif isinstance(response, StaleEpochResponse):
+            # The shard is ahead of this client's view of the method —
+            # the refusal *is* the consistency mechanism, not an error.
+            self._bump("epoch_rejections")
         else:
             self._bump("store_errors")
         return stored
@@ -416,6 +496,11 @@ class RemoteSummaryCache(SummaryBackend):
         migration reconciles against it); the remote acknowledgement is
         counted in :meth:`remote_stats` (``invalidations`` vs.
         ``invalidation_errors``)."""
+        # Bump this client's consistency epoch *first*: everything sent
+        # for the method from here on (including the wire invalidate
+        # below) carries the post-edit epoch, and any pre-edit traffic
+        # still in flight elsewhere is now refusable server-side.
+        epoch = self.bump_epoch(method_qname)
         if self._buffering:
             # Buffered publishes of the edited method are stale now —
             # purge them so the flush cannot resurrect pre-edit memos
@@ -424,14 +509,15 @@ class RemoteSummaryCache(SummaryBackend):
             with self._buffer_lock:
                 buffer = self._write_buffers[index]
                 buffer[:] = [
-                    entry
-                    for entry in buffer
+                    (entry, entry_epoch)
+                    for entry, entry_epoch in buffer
                     if entry["node"].get("method") != method_qname
                 ]
         dropped = self.local_tier.invalidate_method(method_qname)
         try:
             response = self._exchange(
-                method_qname, InvalidateRequest(method=method_qname)
+                method_qname,
+                InvalidateRequest(method=method_qname, epoch=epoch),
             )
         except (ShardUnavailable, ProtocolError):
             self._bump("invalidation_errors")
@@ -468,7 +554,10 @@ class RemoteSummaryCache(SummaryBackend):
             for link in self._links:
                 try:
                     response = self._exchange_link(
-                        link, MethodEntriesRequest(methods=None)
+                        link,
+                        MethodEntriesRequest(
+                            methods=None, fingerprint=self._fingerprint
+                        ),
                     )
                 except (ShardUnavailable, ProtocolError):
                     self._bump("remote_errors")
@@ -476,7 +565,11 @@ class RemoteSummaryCache(SummaryBackend):
                 if not isinstance(response, MethodEntriesResponse):
                     self._bump("remote_errors")
                     continue
-                for entry in response.entries:
+                epochs = response.epochs
+                for position, entry in enumerate(response.entries):
+                    server_epoch = (
+                        epochs[position] if position < len(epochs) else 0
+                    )
                     try:
                         check_entry(entry, "prefetch.entry")
                         resolved = resolve_wire_entry(self._pag, entry)
@@ -486,6 +579,15 @@ class RemoteSummaryCache(SummaryBackend):
                         self._bump("unresolved")
                         continue
                     node, stack, state, summary = resolved
+                    # Adopt only entries whose epoch matches this
+                    # client's view of the method: an entry computed
+                    # for a program version this client has not caught
+                    # up to (or has moved past) must not enter the
+                    # tier.
+                    method = getattr(node, "method", None)
+                    if server_epoch != self.method_epoch(method):
+                        self._bump("unresolved")
+                        continue
                     self.local_tier.store(node, stack, state, summary)
                     self._bump("prefetched")
         with self._buffer_lock:
@@ -502,34 +604,102 @@ class RemoteSummaryCache(SummaryBackend):
             pending = [list(buffer) for buffer in self._write_buffers]
             for buffer in self._write_buffers:
                 buffer.clear()
-        for index, entries in enumerate(pending):
-            if not entries:
+        for index, buffered in enumerate(pending):
+            if not buffered:
                 continue
             link = self._links[index]
             chunks = [
-                entries[i:i + self.FLUSH_CHUNK]
-                for i in range(0, len(entries), self.FLUSH_CHUNK)
+                buffered[i:i + self.FLUSH_CHUNK]
+                for i in range(0, len(buffered), self.FLUSH_CHUNK)
             ]
             lines = [
-                encode(BatchStoreRequest(entries=tuple(chunk)))
+                encode(
+                    BatchStoreRequest(
+                        entries=tuple(entry for entry, _ in chunk),
+                        epochs=tuple(epoch for _, epoch in chunk),
+                        fingerprint=self._fingerprint,
+                    )
+                )
                 for chunk in chunks
             ]
             try:
                 responses = link.request_many(lines)
                 self._bump("round_trips")
             except ShardUnavailable:
-                self._bump(*(["store_errors"] * len(entries)))
+                self._bump_n("store_errors", len(buffered))
                 continue
             for chunk, line in zip(chunks, responses):
                 try:
                     response = decode_response(line)
                 except ProtocolError:
-                    self._bump(*(["store_errors"] * len(chunk)))
+                    self._bump_n("store_errors", len(chunk))
                     continue
                 if isinstance(response, BatchStoreResponse):
-                    self._bump(*(["stores"] * len(chunk)))
+                    # Per-element verdicts: a stale element was refused
+                    # by the epoch guard, the rest were stored.
+                    stale = sum(1 for flag in response.stale if flag)
+                    self._bump_n("epoch_rejections", stale)
+                    self._bump_n("stores", len(chunk) - stale)
                 else:
-                    self._bump(*(["store_errors"] * len(chunk)))
+                    self._bump_n("store_errors", len(chunk))
+
+    # ------------------------------------------------------------------
+    # reconnect-and-seed (protocol 1.4): re-warm a restarted shard
+    # ------------------------------------------------------------------
+    def _make_seed_provider(self, index):
+        def provide():
+            return self._seed_lines(index)
+
+        return provide
+
+    def _seed_lines(self, index):
+        """The ``batch-store`` request lines that re-warm shard
+        ``index`` from this client's local tier — what the link
+        prepends to its first flight after a reconnect.  Entries carry
+        their method's current epoch and this client's fingerprint, so
+        a seed can never smuggle stale memos past the epoch guard."""
+        self._bump("reconnects")
+        if self._pag is None:
+            return ()
+        entries = []
+        epochs = []
+        for (node, stack, state), summary in list(self.local_tier.entries()):
+            method = getattr(node, "method", None)
+            if shard_for_method(method, self.n_shards) != index:
+                continue
+            try:
+                entry = entry_to_wire(node, stack, state, summary)
+            except SnapshotError:
+                continue
+            entries.append(entry)
+            epochs.append(self.method_epoch(method))
+        lines = []
+        for i in range(0, len(entries), self.FLUSH_CHUNK):
+            lines.append(
+                encode(
+                    BatchStoreRequest(
+                        entries=tuple(entries[i:i + self.FLUSH_CHUNK]),
+                        epochs=tuple(epochs[i:i + self.FLUSH_CHUNK]),
+                        fingerprint=self._fingerprint,
+                    )
+                )
+            )
+        return lines
+
+    def _seed_ack(self, seed_lines, response_lines):
+        """Account the seed flight: every accepted element re-warmed
+        the shard (``seeded_entries``); refused elements hit the epoch
+        guard (``epoch_rejections``).  Seeds ride the triggering
+        request's flight, so they cost no extra ``round_trips``."""
+        for line in response_lines:
+            try:
+                response = decode_response(line)
+            except ProtocolError:
+                continue
+            if isinstance(response, BatchStoreResponse):
+                stale = sum(1 for flag in response.stale if flag)
+                self._bump_n("epoch_rejections", stale)
+                self._bump_n("seeded_entries", len(response.stored) - stale)
 
     def clear(self):
         """Forget the local tier and this backend's counters.  The
@@ -553,14 +723,19 @@ class RemoteSummaryCache(SummaryBackend):
 
     def spawn(self):
         """Same topology (shared links — the service connection is
-        process state), fresh local tier of the same policy."""
+        process state), fresh local tier of the same policy.  The
+        spawn carries the consistency epochs forward: a post-edit
+        cache must keep publishing at the post-edit epoch, or the
+        service would refuse everything it stores."""
         fresh = type(self)(
             self.addresses,
             local=self.local_tier.spawn(),
             timeout=self.timeout,
+            retry_interval=self.retry_interval,
             pipeline=self.pipeline,
             _links=self._links,
         )
+        fresh.adopt_epochs(self.method_epochs())
         return fresh
 
     def entries(self):

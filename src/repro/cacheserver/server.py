@@ -46,26 +46,31 @@ from repro.api.protocol import (
     WireError,
 )
 from repro.api.snapshot import check_entry, check_key
-from repro.cacheserver.store import WireSummaryStore, entry_method
+from repro.cacheserver.store import (
+    StaleEpochRejection,
+    WireSummaryStore,
+    entry_method,
+)
+from repro.api.protocol import StaleEpochResponse
 
 #: How long ``CacheCluster.spawn`` waits for a child's listening line.
 SPAWN_TIMEOUT_SEC = 30.0
 
 
-class ShardServer:
-    """One shard of the cache service: a socket JSON-lines store server.
-
-    ``port=0`` (the default) lets the OS pick a free port; the bound
-    address is available as :attr:`address` before :meth:`start` /
-    :meth:`serve_forever` is called, so launchers can print it first.
+class ShardDispatcher:
+    """The transport-independent half of a shard server: one
+    :class:`~repro.cacheserver.store.WireSummaryStore` plus the
+    line-level request dispatch.  The threaded :class:`ShardServer`
+    and the asyncio :class:`~repro.cacheserver.aserver.AsyncShardServer`
+    both embed exactly this, so the two transports can never drift in
+    semantics — and the unit tests drive :meth:`handle_line` directly
+    with no socket at all.
     """
 
     def __init__(
         self,
         shard_index,
         n_shards,
-        host="127.0.0.1",
-        port=0,
         max_entries=None,
         max_facts=None,
         eviction="lru",
@@ -79,25 +84,6 @@ class ShardServer:
         self.store = WireSummaryStore(
             max_entries=max_entries, max_facts=max_facts, eviction=eviction
         )
-        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._listener.bind((host, port))
-        self._listener.listen(16)
-        # A bare close() does not take a listener down while another
-        # thread sits in accept(): the in-flight syscall keeps the
-        # kernel socket alive and the port keeps accepting.  A short
-        # accept timeout bounds how long that window can last; stop()
-        # additionally shutdown()s the listener to wake the loop now.
-        self._listener.settimeout(0.2)
-        self.host, self.port = self._listener.getsockname()[:2]
-        self._shutdown = threading.Event()
-        self._accept_thread = None
-        self._conn_lock = threading.Lock()
-        self._connections = set()
-
-    @property
-    def address(self):
-        return f"{self.host}:{self.port}"
 
     # ------------------------------------------------------------------
     # dispatch (transport-independent; unit tests drive this directly)
@@ -129,22 +115,45 @@ class ShardServer:
                 f"{self.shard_index} (of {self.n_shards})",
             )
 
+    @staticmethod
+    def _check_epochs(request, count, path):
+        """A batch's ``epochs`` must be absent (pre-1.4) or aligned."""
+        if request.epochs and len(request.epochs) != count:
+            raise ProtocolError(
+                "invalid-request",
+                f"{path}: epochs must align with the batch "
+                f"({len(request.epochs)} epochs for {count} element(s))",
+            )
+
     def _dispatch(self, request):
         if isinstance(request, LookupRequest):
             key = check_key(request.key, "lookup.key")
             self._check_ownership(entry_method(key))
-            entry = self.store.lookup(key)
+            entry = self.store.lookup(
+                key, epoch=request.epoch, fingerprint=request.fingerprint
+            )
             if entry is None:
                 return LookupResponse(found=False)
             return LookupResponse(found=True, entry=entry)
         if isinstance(request, StoreRequest):
             check_entry(request.entry, "store.entry")
             self._check_ownership(entry_method(request.entry))
-            stored = self.store.store(request.entry)
+            try:
+                stored = self.store.store(
+                    request.entry,
+                    epoch=request.epoch,
+                    fingerprint=request.fingerprint,
+                )
+            except StaleEpochRejection as stale:
+                return StaleEpochResponse(
+                    method=stale.method, sent=stale.sent, current=stale.current
+                )
             return StoreResponse(stored=stored)
         if isinstance(request, InvalidateRequest):
             self._check_ownership(request.method)
-            dropped = self.store.invalidate_method(request.method)
+            dropped = self.store.invalidate_method(
+                request.method, epoch=request.epoch
+            )
             return InvalidateResponse(method=request.method, dropped=dropped)
         if isinstance(request, StoreStatsRequest):
             return StoreStatsResponse(
@@ -156,34 +165,105 @@ class ShardServer:
         # element first, then hand the whole batch to the store, which
         # applies it under ONE lock acquisition.
         if isinstance(request, BatchLookupRequest):
+            self._check_epochs(request, len(request.keys), "batch-lookup")
             for i, key in enumerate(request.keys):
                 check_key(key, f"batch-lookup.keys[{i}]")
                 self._check_ownership(entry_method(key))
-            entries = self.store.lookup_many(request.keys)
+            entries = self.store.lookup_many(
+                request.keys,
+                epochs=request.epochs,
+                fingerprint=request.fingerprint,
+            )
             return BatchLookupResponse(entries=tuple(entries))
         if isinstance(request, BatchStoreRequest):
+            self._check_epochs(request, len(request.entries), "batch-store")
             for i, entry in enumerate(request.entries):
                 check_entry(entry, f"batch-store.entries[{i}]")
                 self._check_ownership(entry_method(entry))
-            stored = self.store.store_many(request.entries)
-            return BatchStoreResponse(stored=tuple(stored))
+            stored, stale = self.store.store_many(
+                request.entries,
+                epochs=request.epochs,
+                fingerprint=request.fingerprint,
+            )
+            return BatchStoreResponse(
+                stored=tuple(stored),
+                stale=tuple(stale) if any(stale) else (),
+            )
         if isinstance(request, BatchInvalidateRequest):
+            self._check_epochs(request, len(request.methods), "batch-invalidate")
             for method in request.methods:
                 self._check_ownership(method)
-            dropped = self.store.invalidate_many(request.methods)
+            dropped = self.store.invalidate_many(
+                request.methods, epochs=request.epochs
+            )
             return BatchInvalidateResponse(dropped=tuple(dropped))
         if isinstance(request, MethodEntriesRequest):
             if request.methods is not None:
                 for method in request.methods:
                     self._check_ownership(method)
-            entries = self.store.entries_for_methods(request.methods)
-            return MethodEntriesResponse(entries=tuple(entries))
+            entries, epochs = self.store.entries_with_epochs(
+                request.methods, fingerprint=request.fingerprint
+            )
+            return MethodEntriesResponse(
+                entries=tuple(entries),
+                epochs=tuple(epochs) if any(epochs) else (),
+            )
         raise ProtocolError(
             "invalid-request",
             f"shard servers speak store-level ops only "
             f"(lookup/store/invalidate/store-stats and their 1.2 "
             f"batched forms), not {type(request).__name__}",
         )
+
+
+class ShardServer(ShardDispatcher):
+    """One shard of the cache service: a socket JSON-lines store server
+    with a thread per connection — the original transport, kept for
+    in-process embedding and as the ``--threaded`` escape hatch of
+    ``repro-cached`` (the async tier in
+    :mod:`repro.cacheserver.aserver` is the default).
+
+    ``port=0`` (the default) lets the OS pick a free port; the bound
+    address is available as :attr:`address` before :meth:`start` /
+    :meth:`serve_forever` is called, so launchers can print it first.
+    """
+
+    def __init__(
+        self,
+        shard_index,
+        n_shards,
+        host="127.0.0.1",
+        port=0,
+        max_entries=None,
+        max_facts=None,
+        eviction="lru",
+    ):
+        super().__init__(
+            shard_index,
+            n_shards,
+            max_entries=max_entries,
+            max_facts=max_facts,
+            eviction=eviction,
+        )
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        # A bare close() does not take a listener down while another
+        # thread sits in accept(): the in-flight syscall keeps the
+        # kernel socket alive and the port keeps accepting.  A short
+        # accept timeout bounds how long that window can last; stop()
+        # additionally shutdown()s the listener to wake the loop now.
+        self._listener.settimeout(0.2)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._shutdown = threading.Event()
+        self._accept_thread = None
+        self._conn_lock = threading.Lock()
+        self._connections = set()
+
+    @property
+    def address(self):
+        return f"{self.host}:{self.port}"
 
     # ------------------------------------------------------------------
     # transport
@@ -316,44 +396,26 @@ class CacheCluster:
         max_facts=None,
         eviction="lru",
         python=None,
+        threaded=False,
     ):
         """Spawn ``shards`` shard-server child processes on ``host``.
 
         Each child picks a free port and announces it as a JSON line on
         stdout; spawn blocks until every child has announced (or died —
         then the whole cluster is torn down and the failure raised).
+        Children serve on the asyncio tier by default; ``threaded=True``
+        keeps them on the thread-per-connection transport.
         """
         python = python or sys.executable
+        cluster = None
         processes, addresses, announcements = [], [], []
         try:
             for index in range(shards):
-                cmd = [
-                    python,
-                    "-m",
-                    "repro.cacheserver",
-                    "--serve-shard",
-                    str(index),
-                    "--shards",
-                    str(shards),
-                    "--host",
-                    host,
-                    "--port",
-                    "0",
-                    "--eviction",
-                    eviction,
-                ]
-                if max_entries is not None:
-                    cmd += ["--max-entries", str(max_entries)]
-                if max_facts is not None:
-                    cmd += ["--max-facts", str(max_facts)]
-                proc = subprocess.Popen(
-                    cmd, stdout=subprocess.PIPE, text=True, encoding="utf-8"
+                proc, info = cls._spawn_child(
+                    python, index, shards, host, 0,
+                    max_entries, max_facts, eviction, threaded,
                 )
                 processes.append(proc)
-                line = _readline_with_timeout(proc, SPAWN_TIMEOUT_SEC)
-                info = json.loads(line)
-                if info.get("event") != "listening":
-                    raise RuntimeError(f"shard {index} announced {info!r}")
                 addresses.append(f"{info['host']}:{info['port']}")
                 announcements.append(info)
         except BaseException:
@@ -362,7 +424,80 @@ class CacheCluster:
             # already started.
             cls(processes, addresses).stop()
             raise
-        return cls(processes, addresses, announcements)
+        cluster = cls(processes, addresses, announcements)
+        cluster._spawn_opts = {
+            "python": python,
+            "shards": shards,
+            "host": host,
+            "max_entries": max_entries,
+            "max_facts": max_facts,
+            "eviction": eviction,
+            "threaded": threaded,
+        }
+        return cluster
+
+    @staticmethod
+    def _spawn_child(
+        python, index, shards, host, port,
+        max_entries, max_facts, eviction, threaded,
+    ):
+        cmd = [
+            python,
+            "-m",
+            "repro.cacheserver",
+            "--serve-shard",
+            str(index),
+            "--shards",
+            str(shards),
+            "--host",
+            host,
+            "--port",
+            str(port),
+            "--eviction",
+            eviction,
+        ]
+        if max_entries is not None:
+            cmd += ["--max-entries", str(max_entries)]
+        if max_facts is not None:
+            cmd += ["--max-facts", str(max_facts)]
+        if threaded:
+            cmd += ["--threaded"]
+        proc = subprocess.Popen(
+            cmd, stdout=subprocess.PIPE, text=True, encoding="utf-8"
+        )
+        line = _readline_with_timeout(proc, SPAWN_TIMEOUT_SEC)
+        info = json.loads(line)
+        if info.get("event") != "listening":
+            raise RuntimeError(f"shard {index} announced {info!r}")
+        return proc, info
+
+    def restart_shard(self, index, timeout=5.0):
+        """Kill shard ``index`` (if still alive) and respawn it *blank*
+        on the same port — the failure-injection primitive behind the
+        reconnect-and-seed tests.  Only clusters created by
+        :meth:`spawn` can restart (the spawn options are replayed)."""
+        opts = getattr(self, "_spawn_opts", None)
+        if opts is None:
+            raise RuntimeError("restart_shard needs a spawn()-created cluster")
+        proc = self.processes[index]
+        if proc.poll() is None:
+            proc.kill()
+        try:
+            proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            pass
+        if proc.stdout is not None:
+            proc.stdout.close()
+        host, port = self.addresses[index].rsplit(":", 1)
+        fresh, info = self._spawn_child(
+            opts["python"], index, opts["shards"], host, int(port),
+            opts["max_entries"], opts["max_facts"], opts["eviction"],
+            opts["threaded"],
+        )
+        self.processes[index] = fresh
+        if index < len(self.announcements):
+            self.announcements[index] = info
+        return fresh
 
     def alive(self):
         """Liveness per shard (True = the child process is running)."""

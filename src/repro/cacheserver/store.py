@@ -56,6 +56,22 @@ def _entry_score(entry, facts):
     return entry.get("steps", 0) / (ENTRY_OVERHEAD_BYTES + facts * FACT_BYTES)
 
 
+class StaleEpochRejection(Exception):
+    """A write-through refused because the client's consistency epoch
+    for the entry's method lags the store's: the summary was computed
+    against a program version an invalidation has since retired.  The
+    server layer turns this into the typed ``stale-epoch`` response."""
+
+    def __init__(self, method, sent, current):
+        self.method = method
+        self.sent = sent
+        self.current = current
+        super().__init__(
+            f"stale write-through for {method!r}: client epoch {sent} "
+            f"behind store epoch {current}"
+        )
+
+
 class WireSummaryStore:
     """A method-indexed, optionally bounded store of wire-form entries.
 
@@ -84,6 +100,14 @@ class WireSummaryStore:
         self._entries = OrderedDict()  # canonical key -> entry dict
         self._by_method = {}
         self._facts = 0
+        # Consistency epochs (protocol 1.4): method -> the newest epoch
+        # any client has presented, and the program fingerprint that
+        # defined it.  Entries are only served/accepted at the current
+        # epoch; see `_sync_method_locked` for the full rule.
+        self._epochs = {}
+        self._fprints = {}
+        #: Write-throughs refused as stale (the guard firing).
+        self.stale_rejections = 0
         # Greedy-Dual state (eviction="cost"): see
         # CostAwareSummaryCache — same rule, wire-form entries, and the
         # same heap-backed victim index with lazy invalidation (rank is
@@ -118,10 +142,61 @@ class WireSummaryStore:
             if len(self._heap) > 2 * len(self._rank) + 64:
                 self._heap = sorted(self._rank.values())
 
-    def lookup(self, key):
-        """The resident entry for wire key ``key``, or ``None``."""
+    def _sync_method_locked(self, method, epoch, fingerprint):
+        """Reconcile one op's ``(epoch, fingerprint)`` with the store's
+        view of ``method``; returns whether the op may proceed.
+
+        * client **ahead** — the client observed an invalidation this
+          shard missed (or the shard restarted blank): drop the
+          method's residue, adopt the client's epoch and fingerprint,
+          proceed.  This is the self-heal rule, now exact instead of
+          per-entry best-effort.
+        * client **behind** — refuse: a lookup is answered with a miss
+          (sound — the client recomputes locally), a store raises
+          :class:`StaleEpochRejection`.
+        * **equal** epochs — the fingerprint arbitrates: the first
+          client to present one pins the method's program version, and
+          a differing fingerprint at the same epoch is a different
+          program, refused the same way (two programs may never trade
+          same-named summaries).  Fingerprint-less (pre-1.4) traffic
+          always passes this half of the check.
+        """
+        se = self._epochs.get(method, 0)
+        if epoch > se:
+            self._drop_method_locked(method)
+            self._epochs[method] = epoch
+            if fingerprint is None:
+                self._fprints.pop(method, None)
+            else:
+                self._fprints[method] = fingerprint
+            return True
+        if epoch < se:
+            return False
+        if fingerprint is not None:
+            recorded = self._fprints.get(method)
+            if recorded is None:
+                self._fprints[method] = fingerprint
+            elif recorded != fingerprint:
+                return False
+        return True
+
+    def method_epoch(self, method_qname):
+        """The store's current consistency epoch for one method."""
+        with self._lock:
+            return self._epochs.get(method_qname, 0)
+
+    def lookup(self, key, epoch=0, fingerprint=None):
+        """The resident entry for wire key ``key``, or ``None``.
+
+        A key whose method the store knows at a *newer* epoch is a
+        miss (never a stale entry); a key presented at a newer epoch
+        than the store's drops the method's residue first.
+        """
         ckey = canonical_key(key)
         with self._lock:
+            if not self._sync_method_locked(entry_method(key), epoch, fingerprint):
+                self.misses += 1
+                return None
             entry = self._entries.get(ckey)
             if entry is None:
                 self.misses += 1
@@ -130,7 +205,7 @@ class WireSummaryStore:
                 self._refresh(ckey, entry)
             return entry
 
-    def store(self, entry):
+    def store(self, entry, epoch=0, fingerprint=None):
         """Insert a *validated* wire entry.
 
         A resident **equal** entry only gets its recency refreshed
@@ -141,8 +216,20 @@ class WireSummaryStore:
         fresher than whatever invalidation this shard may have missed.
         This is what lets an edited client's write-through self-heal a
         shard that was unreachable during the invalidate.
+
+        With epochs on the wire (protocol 1.4) the rule is exact: a
+        write-through whose epoch *lags* the method's raises
+        :class:`StaleEpochRejection` instead of being arbitrated by
+        payload comparison.
         """
         with self._lock:
+            if not self._sync_method_locked(entry_method(entry), epoch, fingerprint):
+                self.stale_rejections += 1
+                raise StaleEpochRejection(
+                    entry_method(entry),
+                    epoch,
+                    self._epochs.get(entry_method(entry), 0),
+                )
             return self._store_locked(entry)
 
     def _store_locked(self, entry):
@@ -177,12 +264,25 @@ class WireSummaryStore:
         self._enforce_capacity()
         return True
 
-    def invalidate_method(self, method_qname):
-        """Drop every entry of one method; returns the number dropped."""
-        with self._lock:
-            return self._invalidate_locked(method_qname)
+    def invalidate_method(self, method_qname, epoch=0):
+        """Drop every entry of one method; returns the number dropped.
 
-    def _invalidate_locked(self, method_qname):
+        The method's epoch advances to ``max(current + 1, epoch)`` —
+        so even an epoch-less (pre-1.4) invalidate retires the version,
+        and an epoch-carrying one lands the store exactly on the
+        client's post-edit epoch.  The recorded fingerprint is cleared:
+        the post-edit program is a version this store has not seen yet,
+        and the first write-through at the new epoch will pin it.
+        """
+        with self._lock:
+            return self._invalidate_locked(method_qname, epoch)
+
+    def _invalidate_locked(self, method_qname, epoch=0):
+        self._epochs[method_qname] = max(self._epochs.get(method_qname, 0) + 1, epoch)
+        self._fprints.pop(method_qname, None)
+        return self._drop_method_locked(method_qname)
+
+    def _drop_method_locked(self, method_qname):
         keys = self._by_method.pop(method_qname, ())
         dropped = 0
         for ckey in list(keys):
@@ -196,11 +296,23 @@ class WireSummaryStore:
     # which is the whole point: a pipelined client pays one round trip
     # and the server pays one lock round trip, however many ops arrived.
     # ------------------------------------------------------------------
-    def lookup_many(self, keys):
+    @staticmethod
+    def _epoch_at(epochs, index):
+        """The epoch aligned with batch element ``index`` (0 when the
+        batch carried no epochs — the pre-1.4 wire form)."""
+        return epochs[index] if index < len(epochs) else 0
+
+    def lookup_many(self, keys, epochs=(), fingerprint=None):
         """Aligned entries (or ``None``) for many wire keys at once."""
         with self._lock:
             results = []
-            for key in keys:
+            for i, key in enumerate(keys):
+                if not self._sync_method_locked(
+                    entry_method(key), self._epoch_at(epochs, i), fingerprint
+                ):
+                    self.misses += 1
+                    results.append(None)
+                    continue
                 ckey = canonical_key(key)
                 entry = self._entries.get(ckey)
                 if entry is None:
@@ -211,35 +323,65 @@ class WireSummaryStore:
                 results.append(entry)
             return results
 
-    def store_many(self, entries):
-        """Insert many validated wire entries; aligned ``stored`` flags.
-
-        Grabs the lock once and applies the :meth:`store` rule per
-        entry (the public ``store`` just wraps the single-entry case).
-        """
+    def store_many(self, entries, epochs=(), fingerprint=None):
+        """Insert many validated wire entries in one lock acquisition;
+        returns aligned ``(stored, stale)`` flag lists — a stale
+        element is refused individually (never stored) instead of
+        failing the whole flush."""
         with self._lock:
-            return [self._store_locked(entry) for entry in entries]
+            stored, stale = [], []
+            for i, entry in enumerate(entries):
+                if not self._sync_method_locked(
+                    entry_method(entry), self._epoch_at(epochs, i), fingerprint
+                ):
+                    self.stale_rejections += 1
+                    stored.append(False)
+                    stale.append(True)
+                else:
+                    stored.append(self._store_locked(entry))
+                    stale.append(False)
+            return stored, stale
 
-    def invalidate_many(self, methods):
+    def invalidate_many(self, methods, epochs=()):
         """Drop many methods' entries; aligned per-method drop counts."""
         with self._lock:
-            return [self._invalidate_locked(method) for method in methods]
+            return [
+                self._invalidate_locked(method, self._epoch_at(epochs, i))
+                for i, method in enumerate(methods)
+            ]
 
     def entries_for_methods(self, methods=None):
         """Every resident entry of ``methods`` (all methods when
         ``None``), coldest-first so a client replaying them through
         ``store`` reconstructs this shard's recency order."""
+        return self.entries_with_epochs(methods)[0]
+
+    def entries_with_epochs(self, methods=None, fingerprint=None):
+        """:meth:`entries_for_methods` plus each entry's method epoch,
+        as aligned ``(entries, epochs)`` lists — what the 1.4 prefetch
+        serves, so a client can refuse entries whose epoch disagrees
+        with its own view.  When the requester presents a
+        ``fingerprint``, methods pinned to a *different* fingerprint
+        are omitted entirely (a prefetch must never import another
+        program's same-named summaries)."""
         with self._lock:
-            if methods is None:
-                return list(self._entries.values())
-            wanted = set(methods)
-            return [
-                entry
-                for entry in self._entries.values()
-                if entry_method(entry) in wanted
-            ]
+            wanted = None if methods is None else set(methods)
+            entries, epochs = [], []
+            for entry in self._entries.values():
+                method = entry_method(entry)
+                if wanted is not None and method not in wanted:
+                    continue
+                if fingerprint is not None:
+                    recorded = self._fprints.get(method)
+                    if recorded is not None and recorded != fingerprint:
+                        continue
+                entries.append(entry)
+                epochs.append(self._epochs.get(method, 0))
+            return entries, epochs
 
     def clear(self):
+        # Epochs and fingerprints survive a clear: they version the
+        # *program*, not the resident entries.
         with self._lock:
             self._entries.clear()
             self._by_method.clear()
@@ -249,6 +391,7 @@ class WireSummaryStore:
             self._heap = []
             self._stamp = 0
             self.hits = self.misses = self.evictions = self.invalidated = 0
+            self.stale_rejections = 0
 
     # ------------------------------------------------------------------
     # capacity

@@ -72,7 +72,7 @@ def build_engine(args):
         eviction=args.eviction,
         remote=remote,
         remote_timeout=args.remote_timeout,
-        remote_pipeline=bool(remote) and args.pipeline,
+        remote_pipeline=args.pipeline if remote else None,
     )
     # The paper protocol's policy (field-depth k-limit, sequential) —
     # the same numbers every other benchmark in the repo reports.
@@ -125,6 +125,9 @@ def run(args):
             "invalidation_errors": stats.remote.invalidation_errors,
             "round_trips": stats.remote.round_trips,
             "prefetched": stats.remote.prefetched,
+            "epoch_rejections": stats.remote.epoch_rejections,
+            "reconnects": stats.remote.reconnects,
+            "seeded_entries": stats.remote.seeded_entries,
         }
         if stats.remote is not None
         else None,
@@ -153,9 +156,19 @@ def main(argv=None):
     parser.add_argument("--remote-timeout", type=float, default=2.0)
     parser.add_argument(
         "--pipeline",
+        dest="pipeline",
         action="store_true",
+        default=None,
         help="pipelined remote mode: per-shard prefetch + coalesced "
-        "batch-store flushes (protocol 1.2)",
+        "batch-store flushes (protocol 1.2) — the default whenever "
+        "--remote is set",
+    )
+    parser.add_argument(
+        "--no-pipeline",
+        dest="pipeline",
+        action="store_false",
+        help="immediate write-through: publish every memo as it is "
+        "computed (pre-1.4 visibility semantics)",
     )
     parser.add_argument("--max-entries", type=int, default=None)
     parser.add_argument("--max-facts", type=int, default=None)

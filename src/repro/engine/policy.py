@@ -93,10 +93,14 @@ class CachePolicy:
     #: Pipelined remote mode (protocol 1.2): batches prefetch each
     #: shard's entries in one round trip and coalesce write-through
     #: publishes into per-shard batch-store flushes — a warm batch
-    #: costs O(shards) round trips instead of one per lookup.  Off by
-    #: default: immediate write-through keeps mid-batch cross-client
-    #: visibility, the conservative default the multi-process tests pin.
-    remote_pipeline: bool = False
+    #: costs O(shards) round trips instead of one per lookup.  ``None``
+    #: (the default) means *on whenever* ``remote`` *is set* — with the
+    #: epoch guard (protocol 1.4) making pipelined traffic as safe as
+    #: immediate write-through, O(shards) is the right default cost
+    #: model.  Pass ``False`` (the ``--no-remote-pipeline`` escape
+    #: hatch) to restore immediate write-through, whose prompt
+    #: mid-batch cross-client visibility some multi-process tests pin.
+    remote_pipeline: Optional[bool] = None
 
     def __post_init__(self):
         check_eviction(self.eviction)
@@ -126,6 +130,15 @@ class CachePolicy:
     @property
     def bounded(self):
         return self.max_entries is not None or self.max_facts is not None
+
+    @property
+    def effective_pipeline(self):
+        """The resolved pipelining choice: an explicit ``remote_pipeline``
+        wins; ``None`` defaults to pipelined whenever the store is
+        remote at all."""
+        if self.remote_pipeline is None:
+            return self.remote is not None
+        return bool(self.remote_pipeline)
 
     @property
     def sharded(self):
@@ -178,7 +191,7 @@ class CachePolicy:
                 self.remote,
                 local=store,
                 timeout=self.remote_timeout,
-                pipeline=self.remote_pipeline,
+                pipeline=self.effective_pipeline,
             )
         return store
 

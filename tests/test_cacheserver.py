@@ -448,12 +448,17 @@ class TestRemoteEngineIdentity:
         assert seeder.warm_loaded > 0
         served = sum(len(s.store) for s in cluster)
         assert served == seeder.warm_loaded
-        # A fresh client now answers from the service without computing.
+        # A fresh client now answers from the service without computing:
+        # pipelined by default, the batch prefetch fills its tier (a
+        # non-pipelined client would score the same answers as per-probe
+        # remote hits).
         reader = PointsToEngine(
             build_pag(parse_program(SRC)), remote_policy(cluster)
         )
         reader.query_batch(all_locals(reader.pag))
-        assert reader.stats().remote.remote_hits > 0
+        reader_remote = reader.stats().remote
+        assert reader_remote.prefetched + reader_remote.remote_hits > 0
+        assert reader.stats().cache.hits > 0
 
 
 # ----------------------------------------------------------------------
@@ -889,3 +894,236 @@ class TestPipelinedRemoteBatches:
             assert len(cluster[0].store) == 0 and len(cluster[1].store) == 0
         finally:
             cache.close()
+
+
+# ----------------------------------------------------------------------
+# protocol 1.4: per-method consistency epochs + program fingerprints
+# ----------------------------------------------------------------------
+class TestEpochConsistency:
+    def test_stale_write_through_is_refused(self):
+        from repro.cacheserver.store import StaleEpochRejection
+
+        store = WireSummaryStore()
+        entry = wire_entry()
+        assert store.store(entry, epoch=0) is True
+        store.invalidate_method("A.m", epoch=1)
+        # A client that never applied the edit publishes at epoch 0:
+        # refused — a pre-edit memo can never overwrite a post-edit one.
+        with pytest.raises(StaleEpochRejection) as excinfo:
+            store.store(entry, epoch=0)
+        assert excinfo.value.method == "A.m"
+        assert (excinfo.value.sent, excinfo.value.current) == (0, 1)
+        assert store.stale_rejections == 1
+        # Its lookups are answered with a miss, never an old payload.
+        assert store.lookup(wire_key(entry), epoch=0) is None
+        # The edited client (epoch 1) proceeds normally.
+        assert store.store(entry, epoch=1) is True
+        assert store.lookup(wire_key(entry), epoch=1) == entry
+
+    def test_ahead_client_makes_the_server_adopt(self):
+        """A shard that missed an invalidation (restarted blank and got
+        re-seeded old state, or was down during the edit) self-heals on
+        first contact with an ahead client: the method's residue drops
+        and the newer epoch is adopted."""
+        store = WireSummaryStore()
+        stale = wire_entry(objects=2)
+        store.store(stale, epoch=0)
+        fresh = wire_entry(objects=1)
+        assert store.store(fresh, epoch=3) is True
+        assert store.method_epoch("A.m") == 3
+        assert store.lookup(wire_key(fresh), epoch=3) == fresh
+        # ...and the epoch-0 world is now refused outright.
+        assert store.lookup(wire_key(stale), epoch=0) is None
+
+    def test_same_epoch_fingerprint_arbitration(self):
+        from repro.cacheserver.store import StaleEpochRejection
+
+        store = WireSummaryStore()
+        assert store.store(wire_entry(), epoch=0, fingerprint=111) is True
+        # Same epoch, different program: two clients disagree about the
+        # code — the first presenter pinned the fingerprint, the other
+        # is refused (it must re-invalidate to roll its edit forward).
+        with pytest.raises(StaleEpochRejection):
+            store.store(wire_entry(objects=2), epoch=0, fingerprint=222)
+        assert store.lookup(wire_key(wire_entry()), epoch=0, fingerprint=222) is None
+        # An invalidate clears the pin: the next presenter pins anew.
+        store.invalidate_method("A.m", epoch=1)
+        assert store.store(wire_entry(objects=2), epoch=1, fingerprint=222) is True
+
+    def test_dispatch_returns_typed_stale_epoch(self, cluster):
+        from repro.analysis.summaries import shard_for_method
+        from repro.api.protocol import (
+            BatchStoreRequest,
+            BatchStoreResponse,
+            InvalidateRequest,
+            StaleEpochResponse,
+        )
+
+        owner = cluster[shard_for_method("A.m", 2)]
+        ack = decode_response(
+            owner.handle_line(encode(InvalidateRequest(method="A.m", epoch=1)))
+        )
+        assert isinstance(ack, InvalidateResponse)
+        refusal = decode_response(
+            owner.handle_line(encode(StoreRequest(entry=wire_entry(), epoch=0)))
+        )
+        assert isinstance(refusal, StaleEpochResponse)
+        assert refusal.method == "A.m"
+        assert (refusal.sent, refusal.current) == (0, 1)
+        # Batched stores refuse stale *elements*, not the whole line.
+        batch = decode_response(
+            owner.handle_line(
+                encode(
+                    BatchStoreRequest(
+                        entries=(wire_entry(name="a"), wire_entry(name="b")),
+                        epochs=(1, 0),
+                    )
+                )
+            )
+        )
+        assert isinstance(batch, BatchStoreResponse)
+        assert batch.stale == (False, True)
+        assert batch.stored[1] is False
+
+    def test_pipeline_defaults_on_with_remote(self):
+        assert CachePolicy(remote=("h:1",)).effective_pipeline is True
+        assert CachePolicy(
+            remote=("h:1",), remote_pipeline=False
+        ).effective_pipeline is False
+        assert CachePolicy().effective_pipeline is False
+        store = CachePolicy(remote=("127.0.0.1:1",)).make_store()
+        assert store.pipeline is True
+
+    def test_lagging_client_cannot_resurrect_pre_edit_memos(self, cluster):
+        """The adversarial mixed-version schedule: A publishes, A edits
+        (invalidates); C — a client that never applied the edit — joins
+        at the pre-edit epoch.  C's recomputed write-throughs for the
+        edited method must be refused (``epoch_rejections``), and C's
+        answers stay element-wise identical to a plain local engine."""
+        from repro.analysis.summaries import shard_for_method
+
+        engine_a = PointsToEngine(
+            build_pag(parse_program(SRC)), remote_policy(cluster)
+        )
+        engine_a.query_batch(all_locals(engine_a.pag))
+        assert engine_a.invalidate_method("Helper.make") > 0
+
+        engine_c = PointsToEngine(
+            build_pag(parse_program(SRC)), remote_policy(cluster)
+        )
+        plain = PointsToEngine(
+            build_pag(parse_program(SRC)), EnginePolicy(parallelism=1)
+        )
+        queries = all_locals(plain.pag)
+        got = engine_c.query_batch(queries)
+        want = plain.query_batch(queries)
+        for mine, theirs in zip(got, want):
+            assert canonical(mine) == canonical(theirs)
+        remote_c = engine_c.stats().remote
+        assert remote_c.epoch_rejections > 0
+        # The refusals worked: the owning shard still serves no
+        # Helper.make summaries at the post-edit epoch.
+        owner = cluster[shard_for_method("Helper.make", 2)]
+        entries, _epochs = owner.store.entries_with_epochs()
+        assert all(
+            entry["node"].get("method") != "Helper.make" for entry in entries
+        )
+        assert owner.store.stale_rejections > 0
+
+
+# ----------------------------------------------------------------------
+# the asyncio serving tier
+# ----------------------------------------------------------------------
+class TestAsyncServingTier:
+    def test_async_shard_serves_and_multiplexes(self):
+        import json as json_mod
+        import socket as socket_mod
+
+        from repro.cacheserver.aserver import AsyncShardServer
+
+        server = AsyncShardServer(0, 1).start()
+        try:
+            # The classic untagged exchange, through the standard link.
+            link = ShardLink(server.address, timeout=2.0)
+            response = decode_response(
+                link.request(encode(StoreRequest(entry=wire_entry())))
+            )
+            assert isinstance(response, StoreResponse) and response.stored
+            link.close()
+            # Multiplexing: many tagged requests in flight on one raw
+            # socket; each response carries its request's id back.
+            sock = socket_mod.create_connection(
+                (server.host, server.port), timeout=5.0
+            )
+            reader = sock.makefile("r", encoding="utf-8")
+            payload = ""
+            for rid in ("a", "b", "c"):
+                tagged = json_mod.loads(
+                    encode(LookupRequest(key=wire_key(wire_entry())))
+                )
+                tagged["id"] = rid
+                payload += json_mod.dumps(tagged) + "\n"
+            sock.sendall(payload.encode("utf-8"))
+            seen = {}
+            for _ in range(3):
+                decoded = json_mod.loads(reader.readline())
+                seen[decoded.pop("id")] = decoded["kind"]
+            assert set(seen) == {"a", "b", "c"}
+            assert set(seen.values()) == {"lookup-result"}
+            reader.close()
+            sock.close()
+        finally:
+            server.stop()
+        # Graceful stop released the port: nothing serves there now.
+        with pytest.raises(OSError):
+            socket_mod.create_connection((server.host, server.port), timeout=0.5)
+
+    def test_bad_request_id_is_a_typed_error(self):
+        from repro.cacheserver.aserver import AsyncShardServer
+
+        server = AsyncShardServer(0, 1).start()
+        try:
+            link = ShardLink(server.address, timeout=2.0)
+            response = decode_response(
+                link.request('{"kind": "store-stats", "id": [1, 2]}')
+            )
+            assert isinstance(response, ErrorResponse)
+            assert response.code == "invalid-request"
+            link.close()
+        finally:
+            server.stop()
+
+    def test_reconnect_reseeds_a_restarted_blank_server(self):
+        """Kill the (async) server, restart it blank on the same port:
+        the client's next exchange reconnects and replays its tier
+        snapshot in the same flight — the blank server is re-warmed."""
+        from repro.cacheserver.aserver import AsyncShardServer
+
+        server = AsyncShardServer(0, 1).start()
+        engine = PointsToEngine(
+            build_pag(parse_program(SRC)), remote_policy([server])
+        )
+        engine.query_batch(all_locals(engine.pag))
+        served = len(server.store)
+        assert served > 0
+        port = server.port
+        server.stop()
+
+        replacement = AsyncShardServer(0, 1, port=port).start()
+        try:
+            assert len(replacement.store) == 0
+            link = engine.cache._links[0]
+            # The old socket died with the old server: the first op
+            # fails (and falls open), arming the backoff — clear it so
+            # the next op reconnects immediately.
+            with pytest.raises(ShardUnavailable):
+                link.request(encode(StoreStatsRequest()))
+            link._down_until = 0.0
+            response = decode_response(link.request(encode(StoreStatsRequest())))
+            assert isinstance(response, StoreStatsResponse)
+            assert response.stats.entries == served
+            remote = engine.cache.remote_stats()
+            assert remote.reconnects == 1
+            assert remote.seeded_entries == served
+        finally:
+            replacement.stop()

@@ -64,7 +64,8 @@ def cluster(proc_env):
     assert not any(cluster.alive()), "cluster.stop() left live shard processes"
 
 
-def run_client_process(env, cluster=None, results=None, invalidate=None):
+def run_client_process(env, cluster=None, results=None, invalidate=None,
+                       pipeline=None):
     cmd = [
         sys.executable, "-m", "repro.cacheserver.workload",
         "--benchmark", BENCHMARK, "--scale", SCALE, "--client", CLIENT,
@@ -75,6 +76,10 @@ def run_client_process(env, cluster=None, results=None, invalidate=None):
         cmd += ["--results", str(results)]
     if invalidate is not None:
         cmd += ["--invalidate", invalidate]
+    if pipeline is True:
+        cmd += ["--pipeline"]
+    elif pipeline is False:
+        cmd += ["--no-pipeline"]
     proc = subprocess.run(
         cmd, capture_output=True, text=True, env=env, timeout=300
     )
@@ -118,14 +123,19 @@ class TestMultiProcessDeployment:
         assert cold_results == base
         assert warm_results == base
 
-        # The cold client computed everything itself (and published);
-        # the warm client was served by the shard processes.
+        # The cold client computed everything itself (and published via
+        # the default pipelined batch-store flush); the warm client was
+        # served by the shard processes — pipelined by default, its
+        # batch prefetch fills the tier in O(shards) round trips.
         assert cold["steps"][0] == base_steps
         assert cold["remote"]["remote_hits"] == 0
         assert cold["remote"]["stores"] > 0
-        assert warm["remote"]["remote_hits"] > 0
+        assert warm["remote"]["prefetched"] > 0
         assert warm["remote"]["remote_misses"] == 0
         assert warm["remote"]["remote_errors"] == 0
+        # O(shards): one prefetch exchange per shard plus one flush
+        # flight per shard with writes — not one trip per lookup.
+        assert warm["remote"]["round_trips"] <= 2 * len(cluster.addresses)
 
         # The acceptance bar: warm second client < 75% of cold steps.
         assert warm["steps"][0] < 0.75 * cold["steps"][0]
@@ -136,27 +146,104 @@ class TestMultiProcessDeployment:
         base, _steps, engine = baseline_canonical()
         victim = cached_method_of(engine)
 
+        # Per-probe visibility semantics are what this test pins, so
+        # every client here runs with immediate write-through
+        # (--no-pipeline); the pipelined twin of the edit window lives
+        # in the restart/self-heal test below.
         # A populates; B confirms a pristine warm service (no misses).
-        run_client_process(proc_env, cluster)
-        warm = run_client_process(proc_env, cluster)
+        run_client_process(proc_env, cluster, pipeline=False)
+        warm = run_client_process(proc_env, cluster, pipeline=False)
         assert warm["remote"]["remote_misses"] == 0
         warm_hits = warm["remote"]["remote_hits"]
 
         # An "edit" in one client process: run, then invalidate the
         # victim method through the store (what an engine edit does).
-        editor = run_client_process(proc_env, cluster, invalidate=victim)
+        editor = run_client_process(
+            proc_env, cluster, invalidate=victim, pipeline=False
+        )
         assert editor["remote"]["invalidations"] == 1
         assert editor["remote"]["invalidation_errors"] == 0
 
         # A later client process observes the drop before its next
         # lookup is served: the victim's entries now miss remotely --
-        # and the answers are still exactly the baseline's.
+        # and the answers are still exactly the baseline's.  The
+        # observer never applied the edit, so it is *behind* the
+        # victim's epoch: its recomputed write-throughs for the victim
+        # are refused by the epoch guard instead of resurrecting
+        # possibly-pre-edit memos on the shard.
         observer = run_client_process(
-            proc_env, cluster, results=tmp_path / "observer.json"
+            proc_env, cluster, results=tmp_path / "observer.json",
+            pipeline=False,
         )
         assert observer["remote"]["remote_misses"] > 0
         assert observer["remote"]["remote_hits"] < warm_hits
+        assert observer["remote"]["epoch_rejections"] > 0
         assert json.loads((tmp_path / "observer.json").read_text()) == base
+
+    def test_shard_restart_self_heals_with_identical_answers(
+        self, cluster, proc_env, tmp_path
+    ):
+        """Kill every shard mid-deployment and restart it *blank* on
+        the same port: the surviving client's links reconnect-and-seed
+        (replaying their tier snapshots), so a fresh client is served
+        warm again — with answers element-wise identical throughout."""
+        from repro.api.codec import decode_response, encode
+        from repro.api.protocol import StoreStatsRequest
+        from repro.cacheserver.client import ShardUnavailable
+
+        base, base_steps, _engine = baseline_canonical()
+        instance = load_benchmark(BENCHMARK, scale=float(SCALE))
+        client = SafeCastClient(instance.pag)
+        # Generous timeout: the reconnect flight replays the whole tier
+        # snapshot, and each chunk's response read gets one timeout
+        # window — a loaded CI box must not turn seeding into a flake.
+        # (The dead-socket failure below is a connection reset, not a
+        # timeout, so it stays fast regardless.)
+        engine = PointsToEngine(
+            instance.pag,
+            bench_engine_policy(
+                cache=CachePolicy(remote=cluster.addresses, remote_timeout=10.0)
+            ),
+        )
+        _v, first = client.run_engine(engine, dedupe=False, reorder=False)
+        assert canonical_results(first.results) == base
+
+        for index in range(len(cluster.addresses)):
+            cluster.restart_shard(index)
+        assert all(cluster.alive())
+
+        # The links' sockets died with the old processes: the first op
+        # on each link fails (and falls open, like any outage), arming
+        # the retry backoff — clear it so the very next op reconnects
+        # now instead of after the interval.
+        links = engine.cache._links
+        for link in links:
+            with pytest.raises(ShardUnavailable):
+                link.request(encode(StoreStatsRequest()))
+            link._down_until = 0.0
+
+        # The next exchange per link reconnects, and the reconnect
+        # replays the tier's seed snapshot in the same flight — the
+        # blank shards are re-warmed, not served into the ground.
+        seeded_totals = 0
+        for link in links:
+            response = decode_response(link.request(encode(StoreStatsRequest())))
+            seeded_totals += response.stats.entries
+        assert seeded_totals > 0
+        remote = engine.cache.remote_stats()
+        assert remote.reconnects == len(links)
+        assert remote.seeded_entries > 0
+        assert remote.seeded_entries == seeded_totals
+
+        # A fresh client process is served by the re-seeded service:
+        # the warm-client steps bar holds again, answers identical.
+        healed = run_client_process(
+            proc_env, cluster, results=tmp_path / "healed.json"
+        )
+        assert json.loads((tmp_path / "healed.json").read_text()) == base
+        assert healed["remote"]["prefetched"] > 0
+        assert healed["remote"]["remote_errors"] == 0
+        assert healed["steps"][0] < 0.75 * base_steps
 
     def test_mid_workload_kill_falls_back_with_identical_answers(
         self, cluster, proc_env
