@@ -163,9 +163,9 @@ class DemandPointsToAnalysis:
         #: engine's parallel batch executor can issue concurrent
         #: ``points_to`` calls without losing counts — per-query state is
         #: otherwise traversal-local and the PAG is read-only.
-        self.total_steps = 0
-        self.total_queries = 0
-        self.incomplete_queries = 0
+        self.total_steps = 0  # guarded-by: _counter_lock
+        self.total_queries = 0  # guarded-by: _counter_lock
+        self.incomplete_queries = 0  # guarded-by: _counter_lock
         self._counter_lock = threading.Lock()
 
     # ------------------------------------------------------------------

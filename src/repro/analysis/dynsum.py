@@ -172,6 +172,8 @@ class DynSum(DemandPointsToAnalysis):
         pop = worklist.popleft
         push = worklist.append
         pairs_add = pairs.add
+        size_of = len  # LOAD_FAST for the add-and-compare seen probes
+        new_set = set  # miss-path per-method index allocation
 
         # Int-keyed probe memo (record index, stack uid, state), carried
         # on the cache across queries: repeat probes of one summary —
@@ -229,7 +231,7 @@ class DynSum(DemandPointsToAnalysis):
                                 method = u.method
                                 if method is not None:
                                     cache._by_method.setdefault(
-                                        method, set()
+                                        method, new_set()
                                     ).add(key)
                             else:
                                 hits += 1
@@ -286,9 +288,9 @@ class DynSum(DemandPointsToAnalysis):
                         else:  # CROSS_CLEAR
                             ctx = empty_stack
                         key = (tindex, f1_uid, s1, ctx._uid)
-                        size = len(seen)
+                        size = size_of(seen)
                         seen_add(key)
-                        if len(seen) != size:
+                        if size_of(seen) != size:
                             push((target, f1, s1, ctx))
             budget.steps = total
         finally:
@@ -347,6 +349,8 @@ class DynSum(DemandPointsToAnalysis):
         pop = worklist.popleft
         push = worklist.append
         pairs_add = pairs.add
+        size_of = len  # LOAD_FAST for the add-and-compare seen probes
+        new_set = set  # miss-path per-method index allocation
 
         # The probe memo (packed int key) is retired whenever the CSR
         # image changes identity — a different numbering would alias
@@ -391,7 +395,7 @@ class DynSum(DemandPointsToAnalysis):
                                 method = u.method
                                 if method is not None:
                                     cache._by_method.setdefault(
-                                        method, set()
+                                        method, new_set()
                                     ).add(key)
                             else:
                                 hits += 1
@@ -440,9 +444,9 @@ class DynSum(DemandPointsToAnalysis):
                         else:  # OP_PUSH_REC / OP_POP_REC: context unchanged
                             ctx = c
                         key = (f1key + t1) << 33 | ctx._uid
-                        size = len(seen)
+                        size = size_of(seen)
                         seen_add(key)
-                        if len(seen) != size:
+                        if size_of(seen) != size:
                             push((xnode, t1, f1, ctx))
             budget.steps = total
         finally:

@@ -213,6 +213,7 @@ def _run_ppta_fast(pag, node, field_stack, state, budget, max_field_depth=None):
     add_objects = objects.extend
     empty_record = EMPTY_ADJACENCY
     push_limit = max_field_depth
+    size_of = len  # LOAD_FAST for the add-and-compare visited probes
     allowed = None if limit is None else limit - steps_before
     steps = 1  # the prologue's start expansion
     try:
@@ -235,15 +236,15 @@ def _run_ppta_fast(pag, node, field_stack, state, budget, max_field_depth=None):
                     else:
                         # "new new-bar" turnaround (Algorithm 3 line 10).
                         key = (vindex, f_uid, S2)
-                        size = len(visited)
+                        size = size_of(visited)
                         visited_add(key)
-                        if len(visited) != size:
+                        if size_of(visited) != size:
                             stack_append((v, vindex, f, S2))
                 for x, xindex in rec.assign_sources:
                     key = (xindex, f_uid, S1)
-                    size = len(visited)
+                    size = size_of(visited)
                     visited_add(key)
-                    if len(visited) != size:
+                    if size_of(visited) != size:
                         stack_append((x, xindex, f, S1))
                 loads = rec.load_into
                 if loads:
@@ -252,18 +253,18 @@ def _run_ppta_fast(pag, node, field_stack, state, budget, max_field_depth=None):
                     for base, _field, token, bindex in loads:
                         pushed = f.push(token)
                         key = (bindex, pushed._uid, S1)
-                        size = len(visited)
+                        size = size_of(visited)
                         visited_add(key)
-                        if len(visited) != size:
+                        if size_of(visited) != size:
                             stack_append((base, bindex, pushed, S1))
                 if rec.has_global_in:
                     add_boundary((v, f, S1))
             else:
                 for x, xindex in rec.assign_targets:
                     key = (xindex, f_uid, S2)
-                    size = len(visited)
+                    size = size_of(visited)
                     visited_add(key)
-                    if len(visited) != size:
+                    if size_of(visited) != size:
                         stack_append((x, xindex, f, S2))
                 rest = f._rest
                 if rest is not None:
@@ -273,9 +274,9 @@ def _run_ppta_fast(pag, node, field_stack, state, budget, max_field_depth=None):
                     for g, x, xindex in rec.load_from:
                         if g == top_field:  # forward load closes either family
                             key = (xindex, rest_uid, S2)
-                            size = len(visited)
+                            size = size_of(visited)
                             visited_add(key)
-                            if len(visited) != size:
+                            if size_of(visited) != size:
                                 stack_append((x, xindex, rest, S2))
                     if top[1] == FAM_LOAD:
                         for x, g, xindex in rec.store_into:
@@ -284,9 +285,9 @@ def _run_ppta_fast(pag, node, field_stack, state, budget, max_field_depth=None):
                                 # may be closed here; the matching store's
                                 # value continues backward.
                                 key = (xindex, rest_uid, S1)
-                                size = len(visited)
+                                size = size_of(visited)
                                 visited_add(key)
-                                if len(visited) != size:
+                                if size_of(visited) != size:
                                     stack_append((x, xindex, rest, S1))
                 stores = rec.store_from
                 if stores:
@@ -297,9 +298,9 @@ def _run_ppta_fast(pag, node, field_stack, state, budget, max_field_depth=None):
                     for _field, b, token, bindex in stores:
                         pushed = f.push(token)
                         key = (bindex, pushed._uid, S1)
-                        size = len(visited)
+                        size = size_of(visited)
                         visited_add(key)
-                        if len(visited) != size:
+                        if size_of(visited) != size:
                             stack_append((b, bindex, pushed, S1))
                 if rec.has_global_out:
                     add_boundary((v, f, S2))
@@ -428,6 +429,7 @@ def _run_ppta_array(pag, node, field_stack, state, budget, max_field_depth=None)
     add_boundary = boundaries.append
     extend_objects = objects.extend
     push_limit = max_field_depth
+    size_of = len  # LOAD_FAST for the add-and-compare visited probes
     allowed = None if limit is None else limit - steps_before
     steps = 1  # the prologue's start expansion
     try:
@@ -446,15 +448,15 @@ def _run_ppta_array(pag, node, field_stack, state, budget, max_field_depth=None)
                     else:
                         # "new new-bar" turnaround (Algorithm 3 line 10).
                         key = fkey + t + 1
-                        size = len(visited)
+                        size = size_of(visited)
                         visited_add(key)
-                        if len(visited) != size:
+                        if size_of(visited) != size:
                             stack_append((t + 1, f))
                 for t2 in as_rows[vi]:
                     key = fkey + t2
-                    size = len(visited)
+                    size = size_of(visited)
                     visited_add(key)
-                    if len(visited) != size:
+                    if size_of(visited) != size:
                         stack_append((t2, f))
                 row = li_rows[vi]
                 if row:
@@ -463,18 +465,18 @@ def _run_ppta_array(pag, node, field_stack, state, budget, max_field_depth=None)
                     for token, t2 in row:
                         pushed = f.push(token)
                         key = pushed._uid * stride + t2
-                        size = len(visited)
+                        size = size_of(visited)
                         visited_add(key)
-                        if len(visited) != size:
+                        if size_of(visited) != size:
                             stack_append((t2, pushed))
                 if flags[vi] & 1:
                     add_boundary((nodes[vi], f, S1))
             else:
                 for t2 in at_rows[vi]:
                     key = fkey + t2
-                    size = len(visited)
+                    size = size_of(visited)
                     visited_add(key)
-                    if len(visited) != size:
+                    if size_of(visited) != size:
                         stack_append((t2, f))
                 rest = f._rest
                 if rest is not None:
@@ -484,9 +486,9 @@ def _run_ppta_array(pag, node, field_stack, state, budget, max_field_depth=None)
                     for fid, t2 in lf_rows[vi]:
                         if fid == top_fid:  # forward load closes either family
                             key = rkey + t2
-                            size = len(visited)
+                            size = size_of(visited)
                             visited_add(key)
-                            if len(visited) != size:
+                            if size_of(visited) != size:
                                 stack_append((t2, rest))
                     if top[1] == FAM_LOAD:
                         for fid, t2 in si_rows[vi]:
@@ -495,9 +497,9 @@ def _run_ppta_array(pag, node, field_stack, state, budget, max_field_depth=None)
                                 # may be closed here; the matching store's
                                 # value continues backward.
                                 key = rkey + t2
-                                size = len(visited)
+                                size = size_of(visited)
                                 visited_add(key)
-                                if len(visited) != size:
+                                if size_of(visited) != size:
                                     stack_append((t2, rest))
                 row = sf_rows[vi]
                 if row:
@@ -508,9 +510,9 @@ def _run_ppta_array(pag, node, field_stack, state, budget, max_field_depth=None)
                     for token, t2 in row:
                         pushed = f.push(token)
                         key = pushed._uid * stride + t2
-                        size = len(visited)
+                        size = size_of(visited)
                         visited_add(key)
-                        if len(visited) != size:
+                        if size_of(visited) != size:
                             stack_append((t2, pushed))
                 if flags[vi] & 2:
                     add_boundary((nodes[vi], f, S2))

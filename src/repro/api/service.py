@@ -564,7 +564,13 @@ def main(argv=None):
                 file=sys.stderr,
             )
             return 2
-        server = AsyncLineServer(service.handle_line, host=host, port=int(port))
+        # dispatch_workers=1: PointsToService wraps a single engine with
+        # no internal locking, so dispatch must stay single-threaded —
+        # one worker keeps the strict handler serialization while still
+        # taking dispatch off the event loop.
+        server = AsyncLineServer(
+            service.handle_line, host=host, port=int(port), dispatch_workers=1
+        )
         print(
             json.dumps(
                 {

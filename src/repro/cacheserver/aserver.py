@@ -30,6 +30,7 @@ the engine service scales the same way the cache tier does.
 import asyncio
 import socket
 import threading
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.api.codec import attach_response_id, encode, split_request_id
 from repro.api.protocol import ErrorResponse, ProtocolError
@@ -37,6 +38,11 @@ from repro.cacheserver.server import ShardDispatcher
 
 #: How long ``stop()`` waits for in-flight requests to finish writing.
 DRAIN_TIMEOUT_SEC = 2.0
+
+#: Dispatch threads per server.  Dispatch runs *off* the event loop so a
+#: handler that blocks (or waits on another in-flight request) can never
+#: stall reads — a handful of workers is plenty for CPU-light handlers.
+DEFAULT_DISPATCH_WORKERS = 4
 
 
 class AsyncLineServer:
@@ -52,8 +58,16 @@ class AsyncLineServer:
     the launcher announce contract of the threaded tier, kept.
     """
 
-    def __init__(self, handle_line, host="127.0.0.1", port=0):
+    def __init__(
+        self,
+        handle_line,
+        host="127.0.0.1",
+        port=0,
+        dispatch_workers=DEFAULT_DISPATCH_WORKERS,
+    ):
         self._handle_line = handle_line
+        self._dispatch_workers = max(1, int(dispatch_workers))
+        self._executor = None  # created inside the loop
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
@@ -77,6 +91,10 @@ class AsyncLineServer:
     async def _main(self):
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._dispatch_workers,
+            thread_name_prefix="repro-dispatch",
+        )
         if self._stop_requested:  # stop() raced ahead of startup
             self._stop_event.set()
         server = await asyncio.start_server(self._serve_connection, sock=self._sock)
@@ -98,6 +116,7 @@ class AsyncLineServer:
                 await asyncio.gather(
                     *tuple(self._conn_tasks), return_exceptions=True
                 )
+            self._executor.shutdown(wait=False)
 
     async def _serve_connection(self, reader, writer):
         task = asyncio.current_task()
@@ -141,17 +160,26 @@ class AsyncLineServer:
             self._conn_tasks.discard(task)
             try:
                 writer.close()
-            except Exception:
-                pass
+            except (OSError, RuntimeError):
+                pass  # socket already dead / loop tearing down
 
     async def _respond(self, writer, write_lock, line, rid):
         flight = asyncio.current_task()
         self._inflight.add(flight)
         try:
-            response = attach_response_id(self._handle_line(line), rid)
-            await self._write(writer, write_lock, response)
+            # Dispatch on the worker pool, never inline on the loop: an
+            # inline handler that blocked (or, multiplexed, waited on a
+            # request *behind* it in the read order) would wedge every
+            # connection.  ShardDispatcher is already thread-safe — the
+            # thread-per-connection tier drives it from many threads.
+            result = await self._loop.run_in_executor(
+                self._executor, self._handle_line, line
+            )
+            await self._write(writer, write_lock, attach_response_id(result, rid))
         except (ConnectionError, OSError):
             pass
+        except RuntimeError:
+            pass  # executor shut down mid-drain; response is abandoned
         finally:
             self._inflight.discard(flight)
 
@@ -223,6 +251,7 @@ class AsyncShardServer(ShardDispatcher):
         max_entries=None,
         max_facts=None,
         eviction="lru",
+        dispatch_workers=DEFAULT_DISPATCH_WORKERS,
     ):
         super().__init__(
             shard_index,
@@ -231,7 +260,12 @@ class AsyncShardServer(ShardDispatcher):
             max_facts=max_facts,
             eviction=eviction,
         )
-        self.transport = AsyncLineServer(self.handle_line, host=host, port=port)
+        self.transport = AsyncLineServer(
+            self.handle_line,
+            host=host,
+            port=port,
+            dispatch_workers=dispatch_workers,
+        )
 
     @property
     def host(self):

@@ -277,9 +277,9 @@ class RemoteSummaryCache(SummaryBackend):
         self._pag = None
         self._fingerprint = None
         self._stats_lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._remote = {
+        self._hits = 0  # guarded-by: _stats_lock
+        self._misses = 0  # guarded-by: _stats_lock
+        self._remote = {  # guarded-by: _stats_lock
             "remote_hits": 0,
             "remote_misses": 0,
             "remote_errors": 0,
@@ -295,8 +295,10 @@ class RemoteSummaryCache(SummaryBackend):
             "seeded_entries": 0,
         }
         self._buffer_lock = threading.Lock()
-        self._buffering = False
-        self._write_buffers = tuple([] for _ in range(self.n_shards))
+        self._buffering = False  # guarded-by: _buffer_lock
+        self._write_buffers = tuple(  # guarded-by: _buffer_lock
+            [] for _ in range(self.n_shards)
+        )
         # Reconnect-and-seed: each link re-warms a restarted shard from
         # this client's tier.  Links are shared across spawn
         # generations; the newest backend (re)binds the hooks, which is

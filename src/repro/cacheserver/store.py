@@ -97,34 +97,34 @@ class WireSummaryStore:
         self.max_entries = max_entries
         self.max_facts = max_facts
         self._lock = threading.RLock()
-        self._entries = OrderedDict()  # canonical key -> entry dict
-        self._by_method = {}
-        self._facts = 0
+        self._entries = OrderedDict()  # guarded-by: _lock — key -> entry
+        self._by_method = {}  # guarded-by: _lock
+        self._facts = 0  # guarded-by: _lock
         # Consistency epochs (protocol 1.4): method -> the newest epoch
         # any client has presented, and the program fingerprint that
         # defined it.  Entries are only served/accepted at the current
         # epoch; see `_sync_method_locked` for the full rule.
-        self._epochs = {}
-        self._fprints = {}
+        self._epochs = {}  # guarded-by: _lock
+        self._fprints = {}  # guarded-by: _lock
         #: Write-throughs refused as stale (the guard firing).
-        self.stale_rejections = 0
+        self.stale_rejections = 0  # guarded-by: _lock
         # Greedy-Dual state (eviction="cost"): see
         # CostAwareSummaryCache — same rule, wire-form entries, and the
         # same heap-backed victim index with lazy invalidation (rank is
         # authoritative; stale heap records are skipped on pop).
-        self._clock = 0.0
-        self._rank = {}
-        self._heap = []
-        self._stamp = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidated = 0
+        self._clock = 0.0  # guarded-by: _lock
+        self._rank = {}  # guarded-by: _lock
+        self._heap = []  # guarded-by: _lock
+        self._stamp = 0  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
+        self.invalidated = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # the cache contract, keyed by canonical wire keys
     # ------------------------------------------------------------------
-    def _refresh(self, ckey, entry):
+    def _refresh_locked(self, ckey, entry):
         """Recency + Greedy-Dual priority refresh for one resident key."""
         self._entries.move_to_end(ckey)
         if self.eviction == "cost":
@@ -202,7 +202,7 @@ class WireSummaryStore:
                 self.misses += 1
             else:
                 self.hits += 1
-                self._refresh(ckey, entry)
+                self._refresh_locked(ckey, entry)
             return entry
 
     def store(self, entry, epoch=0, fingerprint=None):
@@ -248,20 +248,20 @@ class WireSummaryStore:
             ):
                 if entry.get("steps", 0) > resident.get("steps", 0):
                     resident["steps"] = entry.get("steps", 0)
-                self._refresh(ckey, resident)
+                self._refresh_locked(ckey, resident)
                 return False
             self._facts += _entry_facts(entry) - _entry_facts(resident)
             self._entries[ckey] = entry
-            self._refresh(ckey, entry)
-            self._enforce_capacity()
+            self._refresh_locked(ckey, entry)
+            self._enforce_capacity_locked()
             return True
         self._entries[ckey] = entry
-        self._refresh(ckey, entry)
+        self._refresh_locked(ckey, entry)
         self._facts += _entry_facts(entry)
         method = entry_method(entry)
         if method is not None:
             self._by_method.setdefault(method, set()).add(ckey)
-        self._enforce_capacity()
+        self._enforce_capacity_locked()
         return True
 
     def invalidate_method(self, method_qname, epoch=0):
@@ -286,7 +286,7 @@ class WireSummaryStore:
         keys = self._by_method.pop(method_qname, ())
         dropped = 0
         for ckey in list(keys):
-            if self._remove(ckey) is not None:
+            if self._remove_locked(ckey) is not None:
                 dropped += 1
         self.invalidated += dropped
         return dropped
@@ -319,7 +319,7 @@ class WireSummaryStore:
                     self.misses += 1
                 else:
                     self.hits += 1
-                    self._refresh(ckey, entry)
+                    self._refresh_locked(ckey, entry)
                 results.append(entry)
             return results
 
@@ -391,12 +391,12 @@ class WireSummaryStore:
             self._heap = []
             self._stamp = 0
             self.hits = self.misses = self.evictions = self.invalidated = 0
-            self.stale_rejections = 0
+            self.stale_rejections = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # capacity
     # ------------------------------------------------------------------
-    def _remove(self, ckey):
+    def _remove_locked(self, ckey):
         entry = self._entries.pop(ckey, None)
         if entry is None:
             return None
@@ -411,14 +411,14 @@ class WireSummaryStore:
                     del self._by_method[method]
         return entry
 
-    def _over_capacity(self):
+    def _over_capacity_locked(self):
         if self.max_entries is not None and len(self._entries) > self.max_entries:
             return True
         if self.max_facts is not None and self._facts > self.max_facts:
             return True
         return False
 
-    def _pick_victim(self):
+    def _pick_victim_locked(self):
         if self.eviction == "cost":
             # Heap pop with lazy invalidation; priority ties resolve by
             # stamp = least-recently-refreshed, the LRU order the old
@@ -435,9 +435,9 @@ class WireSummaryStore:
                 return record[2]
         return next(iter(self._entries))
 
-    def _enforce_capacity(self):
-        while self._over_capacity() and len(self._entries) > 1:
-            self._remove(self._pick_victim())
+    def _enforce_capacity_locked(self):
+        while self._over_capacity_locked() and len(self._entries) > 1:
+            self._remove_locked(self._pick_victim_locked())
             self.evictions += 1
         if len(self._heap) > 2 * len(self._rank) + 64:
             self._heap = sorted(self._rank.values())

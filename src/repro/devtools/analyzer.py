@@ -1,0 +1,400 @@
+"""The ``repro-lint`` engine: module walking, rule registry, findings,
+inline suppressions and the committed baseline.
+
+The analyzer is pure :mod:`ast` + source text — it never imports the
+code under analysis, so it can lint a broken tree and runs identically
+under any interpreter that parses the source.  The moving parts:
+
+* :class:`Finding` — one diagnostic, carrying ``file:line:col``, the
+  rule id and a stable message.  The *message* (not the line number)
+  is the identity the baseline matches on, so findings survive
+  unrelated edits above them.
+* :class:`Module` / :class:`Project` — a parsed file and the set of
+  parsed files a run covers, plus the project root (rules that need
+  non-Python context, like WIRE001's README check, resolve against
+  it).
+* Inline suppressions — ``# repro-lint: ignore[RULE]`` on the
+  offending line (or on a standalone comment line directly above it)
+  silences that rule there; ``ignore[RULE1,RULE2]`` lists several.
+* The baseline — a committed JSON file of grandfathered findings, each
+  with a mandatory human justification.  ``repro-lint`` exits non-zero
+  only on findings that are neither suppressed nor baselined, so the
+  rules can be strict without a flag-day fix of every legacy site.
+"""
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "BaselineError",
+    "Finding",
+    "Module",
+    "Project",
+    "Rule",
+    "collect_findings",
+    "load_baseline",
+    "load_project",
+    "mutated_self_attr",
+    "self_attr_root",
+    "split_findings",
+    "write_baseline",
+]
+
+
+# ----------------------------------------------------------------------
+# findings
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: where, which rule, and a stable message."""
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.file}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    @property
+    def key(self) -> str:
+        """The baseline identity: rule + file + message, line-free so a
+        grandfathered finding survives edits elsewhere in the file."""
+        return f"{self.rule}::{self.file}::{self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+# ----------------------------------------------------------------------
+# modules and projects
+# ----------------------------------------------------------------------
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([A-Z0-9_,\s]+)\]")
+
+
+@dataclass
+class Module:
+    """One parsed Python file."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: Tuple[str, ...] = field(default_factory=tuple)
+    _suppressions: Optional[Dict[int, Set[str]]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def suppressions(self) -> Dict[int, Set[str]]:
+        """``lineno -> rule ids`` silenced there.  A trailing comment
+        covers its own line; a standalone comment line covers the next
+        line (for statements too long to share a line with)."""
+        if self._suppressions is None:
+            table: Dict[int, Set[str]] = {}
+            for index, text in enumerate(self.lines):
+                match = _SUPPRESS_RE.search(text)
+                if not match:
+                    continue
+                rules = {
+                    rule.strip()
+                    for rule in match.group(1).split(",")
+                    if rule.strip()
+                }
+                lineno = index + 1
+                if text.lstrip().startswith("#"):
+                    lineno += 1  # standalone comment: covers the next line
+                table.setdefault(lineno, set()).update(rules)
+            self._suppressions = table
+        return self._suppressions
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        return finding.rule in self.suppressions().get(finding.line, set())
+
+
+@dataclass
+class Project:
+    """The set of modules one lint run covers, plus the repo root."""
+
+    root: Path
+    modules: List[Module]
+    parse_failures: List[Finding] = field(default_factory=list)
+
+    def by_relpath(self, relpath: str) -> Optional[Module]:
+        for module in self.modules:
+            if module.relpath == relpath:
+                return module
+        return None
+
+    def by_suffix(self, suffix: str) -> Optional[Module]:
+        for module in self.modules:
+            if module.relpath.endswith(suffix):
+                return module
+        return None
+
+
+def _iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def load_project(root: Path, paths: Sequence[Path]) -> Project:
+    """Parse every ``.py`` under ``paths`` into a :class:`Project`.
+    A file that fails to parse becomes a ``PARSE`` finding rather than
+    aborting the run — a syntax error elsewhere must not hide lint
+    findings in files that do parse."""
+    root = root.resolve()
+    modules: List[Module] = []
+    failures: List[Finding] = []
+    for path in _iter_python_files([Path(p) for p in paths]):
+        resolved = path.resolve()
+        try:
+            relpath = resolved.relative_to(root).as_posix()
+        except ValueError:
+            relpath = resolved.as_posix()
+        source = resolved.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(resolved))
+        except SyntaxError as exc:
+            failures.append(
+                Finding(
+                    file=relpath,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule="PARSE",
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        modules.append(
+            Module(
+                path=resolved,
+                relpath=relpath,
+                source=source,
+                tree=tree,
+                lines=tuple(source.splitlines()),
+            )
+        )
+    return Project(root=root, modules=modules, parse_failures=failures)
+
+
+# ----------------------------------------------------------------------
+# rules
+# ----------------------------------------------------------------------
+class Rule:
+    """One lint rule.  ``check_module`` runs per file;
+    ``check_project`` runs once per lint run (for cross-file
+    invariants like protocol drift)."""
+
+    id: str = "RULE000"
+    summary: str = ""
+
+    def check_module(self, module: Module, project: Project) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        return iter(())
+
+
+def collect_findings(
+    project: Project, rules: Sequence[Rule]
+) -> List[Finding]:
+    """Every finding from every rule, parse failures included, sorted
+    by location.  Inline suppressions are *not* applied here — see
+    :func:`split_findings`."""
+    findings: List[Finding] = list(project.parse_failures)
+    for rule in rules:
+        for module in project.modules:
+            findings.extend(rule.check_module(module, project))
+        findings.extend(rule.check_project(project))
+    return sorted(set(findings))
+
+
+def split_findings(
+    project: Project,
+    findings: Iterable[Finding],
+    baseline: Dict[str, str],
+) -> Tuple[List[Finding], List[Finding], List[Finding]]:
+    """Partition into ``(fresh, suppressed, baselined)``.  Only fresh
+    findings fail the run."""
+    fresh: List[Finding] = []
+    suppressed: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        module = project.by_relpath(finding.file)
+        if module is not None and module.is_suppressed(finding):
+            suppressed.append(finding)
+        elif finding.key in baseline:
+            baselined.append(finding)
+        else:
+            fresh.append(finding)
+    return fresh, suppressed, baselined
+
+
+# ----------------------------------------------------------------------
+# the baseline
+# ----------------------------------------------------------------------
+class BaselineError(Exception):
+    """The baseline file is unusable (malformed, or an entry lacks the
+    mandatory justification)."""
+
+
+_TODO_JUSTIFICATION = "TODO: justify this grandfathered finding or fix it"
+
+
+def load_baseline(path: Path) -> Dict[str, str]:
+    """``finding key -> justification``.  Every entry must carry a
+    non-placeholder justification: a baseline is an explicit, reviewed
+    debt list, not a mute button."""
+    if not path.exists():
+        return {}
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise BaselineError(f"{path}: unreadable baseline: {exc}") from None
+    entries = payload.get("findings") if isinstance(payload, dict) else None
+    if not isinstance(entries, list):
+        raise BaselineError(f"{path}: expected {{'findings': [...]}}")
+    baseline: Dict[str, str] = {}
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise BaselineError(f"{path}: findings[{index}] is not an object")
+        try:
+            key = f"{entry['rule']}::{entry['file']}::{entry['message']}"
+        except KeyError as exc:
+            raise BaselineError(
+                f"{path}: findings[{index}] lacks {exc}"
+            ) from None
+        justification = str(entry.get("justification", "")).strip()
+        if not justification or justification == _TODO_JUSTIFICATION:
+            raise BaselineError(
+                f"{path}: findings[{index}] ({entry['rule']} in "
+                f"{entry['file']}) needs a real justification"
+            )
+        baseline[key] = justification
+    return baseline
+
+
+def write_baseline(
+    path: Path, findings: Iterable[Finding], existing: Dict[str, str]
+) -> None:
+    """Write the baseline for ``findings``, keeping justifications of
+    entries that already had one and stamping ``TODO`` on new ones (the
+    loader refuses TODOs, so a regenerated baseline must be reviewed
+    before it passes)."""
+    entries = []
+    for finding in sorted(set(findings)):
+        entries.append(
+            {
+                "rule": finding.rule,
+                "file": finding.file,
+                "message": finding.message,
+                "justification": existing.get(
+                    finding.key, _TODO_JUSTIFICATION
+                ),
+            }
+        )
+    payload = {"version": 1, "findings": entries}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers
+# ----------------------------------------------------------------------
+#: Method names that mutate their receiver in place — the calls LOCK001
+#: treats as writes when invoked on a guarded field.
+MUTATOR_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "move_to_end",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+
+def self_attr_root(node: ast.AST) -> Optional[str]:
+    """The ``X`` in a ``self.X...`` attribute/subscript/call chain
+    (``self.X``, ``self.X[i]``, ``self.X.y.z()``), or ``None`` when the
+    chain is not rooted at ``self``."""
+    root: Optional[str] = None
+    current: ast.AST = node
+    while True:
+        if isinstance(current, ast.Attribute):
+            if isinstance(current.value, ast.Name) and current.value.id == "self":
+                root = current.attr
+            current = current.value
+        elif isinstance(current, (ast.Subscript, ast.Starred)):
+            current = current.value
+        elif isinstance(current, ast.Call):
+            current = current.func
+        else:
+            return root
+
+
+def mutated_self_attr(node: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield ``(attr, site)`` for every in-place mutation of a
+    ``self.<attr>`` chain inside ``node``: assignment / augmented
+    assignment / deletion targets and :data:`MUTATOR_METHODS` calls."""
+    for child in ast.walk(node):
+        targets: List[ast.expr] = []
+        if isinstance(child, ast.Assign):
+            targets = list(child.targets)
+        elif isinstance(child, (ast.AugAssign, ast.AnnAssign)):
+            targets = [child.target]
+        elif isinstance(child, ast.Delete):
+            targets = list(child.targets)
+        elif isinstance(child, ast.Call):
+            func = child.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATOR_METHODS
+            ):
+                attr = self_attr_root(func.value)
+                if attr is not None:
+                    yield attr, child
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                continue  # plain local
+            attr = self_attr_root(target)
+            if attr is not None:
+                yield attr, target
+        # Unpacking targets like ``a, self.x = ...``
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    attr = self_attr_root(element)
+                    if attr is not None:
+                        yield attr, element

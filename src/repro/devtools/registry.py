@@ -1,0 +1,63 @@
+"""The registries behind the codebase-specific lint rules.
+
+``repro-lint`` rules are deliberately *not* generic: each one encodes
+an invariant this repo already relies on, and the registries below are
+the single place where "which code is under that invariant" lives.
+
+* :data:`HOT_FUNCTIONS` — the traversal inner loops kept at the
+  CPython dispatch floor.  **HOT001** checks everything inside their
+  loop bodies; the perf-smoke CI job cross-checks the registry against
+  what ``repro-perf`` actually measures (see
+  :func:`repro.perf.harness.measured_hot_functions`), so a renamed or
+  newly-hot function cannot silently escape the rule.  To register a
+  new hot function, add ``"src-relative/path.py": ("QualName",)`` here
+  *and* list it in the harness's measured map if ``repro-perf`` times
+  it.
+* :data:`ASYNC_ROOTS` — the modules whose ``async def`` bodies must
+  never block the event loop (**ASYNC001** follows their repo-internal
+  imports transitively).
+* :data:`ERROR_DISCIPLINE_PREFIXES` — the wire/serving paths where a
+  broad ``except`` must re-raise or produce a typed
+  :class:`~repro.api.protocol.WireError` / ``ErrorResponse``
+  (**ERR001**).
+
+Guarded fields (**LOCK001**) are *not* registered here: they are
+declared in place with a ``# guarded-by: <lock_attr>`` comment on the
+``self.<field> = ...`` line, which keeps the declaration next to the
+lock it names.
+"""
+
+from typing import Dict, Tuple
+
+#: Hot traversal functions, keyed by path relative to the repo root.
+#: Qualified names are ``Class.method`` for methods, bare names for
+#: module-level functions.
+HOT_FUNCTIONS: Dict[str, Tuple[str, ...]] = {
+    "src/repro/analysis/ppta.py": ("_run_ppta_fast", "_run_ppta_array"),
+    "src/repro/analysis/dynsum.py": ("DynSum._explore", "DynSum._explore_array"),
+}
+
+#: Modules whose async bodies (plus those of every repo-internal module
+#: they import, transitively) must stay non-blocking.
+ASYNC_ROOTS: Tuple[str, ...] = ("src/repro/cacheserver/aserver.py",)
+
+#: Path prefixes that count as wire/serving code for ERR001.
+ERROR_DISCIPLINE_PREFIXES: Tuple[str, ...] = (
+    "src/repro/api/",
+    "src/repro/cacheserver/",
+)
+
+#: Where WIRE001 finds the protocol schema and its consumers.
+WIRE_PROTOCOL_SUFFIX = "api/protocol.py"
+WIRE_SERVICE_SUFFIX = "api/service.py"
+
+
+def hot_function_ids() -> Tuple[str, ...]:
+    """Every registered hot function as ``"path::QualName"``, sorted —
+    the exchange format the perf harness's measured map is compared
+    against in CI and in ``tests/test_lint_rules.py``."""
+    ids = []
+    for path, names in HOT_FUNCTIONS.items():
+        for name in names:
+            ids.append(f"{path}::{name}")
+    return tuple(sorted(ids))

@@ -1,0 +1,151 @@
+"""ASYNC001: no blocking calls on the event loop.
+
+The asyncio serving tier (:mod:`repro.cacheserver.aserver`) runs every
+connection on **one** event loop — a single synchronous call in an
+``async def`` body stalls every client at once.  ASYNC001 starts from
+the registered async roots (:data:`repro.devtools.registry.ASYNC_ROOTS`),
+follows their repo-internal imports transitively, and flags inside any
+``async def`` body:
+
+* ``time.sleep(...)`` (use ``asyncio.sleep``),
+* synchronous :mod:`socket` module calls and socket-object ops
+  (``recv`` / ``send`` / ``sendall`` / ``accept`` / ``connect`` /
+  ``makefile``),
+* blocking file I/O (``open(...)``),
+* ``ShardLink.request`` / ``request_many`` (a full network round trip
+  under a thread lock), and
+* direct synchronous dispatcher calls (``handle_line`` /
+  ``_handle_line``) — dispatch must be handed to an executor
+  (``loop.run_in_executor``), never run inline on the loop.
+
+Nested *synchronous* ``def``\\ s inside an async function are skipped:
+they execute on whatever thread calls them, which is exactly how the
+executor hand-off works.
+"""
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.devtools.analyzer import Finding, Module, Project, Rule
+from repro.devtools.registry import ASYNC_ROOTS
+
+_SOCKET_METHODS = frozenset(
+    {"accept", "connect", "makefile", "recv", "recvfrom", "send", "sendall"}
+)
+_LINK_METHODS = frozenset({"request", "request_many"})
+_DISPATCH_METHODS = frozenset({"handle_line", "_handle_line"})
+
+
+def _internal_import_relpaths(module: Module) -> Set[str]:
+    """Repo-relative paths of the ``repro.*`` modules this module
+    imports (module files and package ``__init__``\\ s)."""
+    targets: Set[str] = set()
+    for node in ast.walk(module.tree):
+        names: List[str] = []
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            names = [node.module]
+            names.extend(f"{node.module}.{alias.name}" for alias in node.names)
+        for name in names:
+            if name == "repro" or name.startswith("repro."):
+                base = "src/" + name.replace(".", "/")
+                targets.add(base + ".py")
+                targets.add(base + "/__init__.py")
+    return targets
+
+
+class NoBlockingInAsync(Rule):
+    id = "ASYNC001"
+    summary = (
+        "async def bodies in the serving tier must not make blocking "
+        "calls (time.sleep, sync socket ops, file I/O, ShardLink "
+        "round trips, inline dispatch)"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        scope = self._closure(project)
+        for module in project.modules:
+            if module.relpath not in scope:
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.AsyncFunctionDef):
+                    yield from self._check_async(module, node)
+
+    @staticmethod
+    def _closure(project: Project) -> Set[str]:
+        """The async roots plus every repo-internal module reachable
+        from them through imports."""
+        scope: Set[str] = set()
+        pending = [
+            root for root in ASYNC_ROOTS if project.by_relpath(root) is not None
+        ]
+        while pending:
+            relpath = pending.pop()
+            if relpath in scope:
+                continue
+            scope.add(relpath)
+            module = project.by_relpath(relpath)
+            if module is None:
+                continue
+            for target in _internal_import_relpaths(module):
+                if target not in scope and project.by_relpath(target):
+                    pending.append(target)
+        return scope
+
+    def _check_async(
+        self, module: Module, func: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for node in self._async_body_nodes(func):
+            if not isinstance(node, ast.Call):
+                continue
+            verdict = self._blocking_call(node)
+            if verdict is not None:
+                yield Finding(
+                    file=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.id,
+                    message=(
+                        f"async def {func.name}: blocking call "
+                        f"'{ast.unparse(node.func)}(...)' on the event "
+                        f"loop ({verdict})"
+                    ),
+                )
+
+    @staticmethod
+    def _async_body_nodes(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+        """Every node in the async body, excluding nested synchronous
+        ``def``\\ s (those run off-loop via the executor hand-off)."""
+
+        def walk(node: ast.AST) -> Iterator[ast.AST]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.Lambda)):
+                    continue
+                yield child
+                yield from walk(child)
+
+        yield from walk(func)
+
+    @staticmethod
+    def _blocking_call(call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id == "open":
+                return "blocking file I/O; use an executor"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        if isinstance(func.value, ast.Name):
+            base = func.value.id
+            if base == "time" and func.attr == "sleep":
+                return "use 'await asyncio.sleep(...)'"
+            if base == "socket":
+                return "synchronous socket module call"
+        if func.attr in _SOCKET_METHODS:
+            return "synchronous socket op"
+        if func.attr in _LINK_METHODS:
+            return "ShardLink round trip blocks the loop"
+        if func.attr in _DISPATCH_METHODS:
+            return "dispatch inline on the loop; use run_in_executor"
+        return None

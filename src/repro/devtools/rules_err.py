@@ -1,0 +1,105 @@
+"""ERR001: typed-error discipline on the wire/serving paths.
+
+The wire contract promises that no input reachable over a socket can
+surface a Python traceback — which only holds if every broad ``except``
+in the serving paths either **re-raises** or **converts** the failure
+into the typed error surface (:class:`~repro.api.protocol.WireError`
+and its subclasses, or a typed ``ErrorResponse`` /
+``StaleEpochResponse`` line).  A broad handler that silently swallows
+does neither: it hides real bugs *and* erodes the no-traceback
+guarantee's audit trail.
+
+ERR001 flags ``except:``, ``except Exception:`` and
+``except BaseException:`` handlers (bare or in a tuple) inside the
+paths listed in
+:data:`repro.devtools.registry.ERROR_DISCIPLINE_PREFIXES` whose body
+neither raises nor references a typed-error name.  Narrow handlers
+(``except OSError:``) are always fine — naming the failure you expect
+is the discipline.
+"""
+
+import ast
+from typing import Iterator
+
+from repro.devtools.analyzer import Finding, Module, Project, Rule
+from repro.devtools.registry import ERROR_DISCIPLINE_PREFIXES
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+#: Names whose appearance in a handler body counts as conversion to the
+#: typed error surface.
+_TYPED_ERROR_NAMES = frozenset(
+    {
+        "ErrorResponse",
+        "ProtocolError",
+        "SnapshotError",
+        "StaleEpochRejection",
+        "StaleEpochResponse",
+        "WireError",
+    }
+)
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in types:
+        if isinstance(node, ast.Name) and node.id in _BROAD:
+            return True
+    return False
+
+
+def _handler_disciplined(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Name) and node.id in _TYPED_ERROR_NAMES:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in _TYPED_ERROR_NAMES:
+            return True
+    return False
+
+
+class TypedErrorDiscipline(Rule):
+    id = "ERR001"
+    summary = (
+        "broad except handlers in wire/serving paths must re-raise or "
+        "convert to the typed WireError surface"
+    )
+
+    def check_module(self, module: Module, project: Project) -> Iterator[Finding]:
+        if not module.relpath.startswith(ERROR_DISCIPLINE_PREFIXES):
+            return
+        yield from self._walk(module, module.tree, "<module>")
+
+    def _walk(
+        self, module: Module, node: ast.AST, context: str
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            child_context = context
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_context = child.name
+            elif isinstance(child, ast.ExceptHandler):
+                if _is_broad(child) and not _handler_disciplined(child):
+                    caught = (
+                        ast.unparse(child.type)
+                        if child.type is not None
+                        else ""
+                    )
+                    yield Finding(
+                        file=module.relpath,
+                        line=child.lineno,
+                        col=child.col_offset,
+                        rule=self.id,
+                        message=(
+                            f"broad 'except {caught}'".rstrip()
+                            + f" in {context} neither re-raises nor "
+                            "produces a typed wire error"
+                        ),
+                    )
+            yield from self._walk(module, child, child_context)

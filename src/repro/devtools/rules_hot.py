@@ -1,0 +1,195 @@
+"""HOT001: hot-loop hygiene.
+
+The traversal inner loops (registered in
+:data:`repro.devtools.registry.HOT_FUNCTIONS`) are kept at the CPython
+dispatch floor: every name the loop repeats is bound to a local before
+the loop starts, so the body runs on ``LOAD_FAST`` instead of
+``LOAD_GLOBAL`` / ``LOAD_ATTR``, allocates nothing but its worklist
+items, and sets up no exception blocks per iteration.  HOT001 checks
+everything lexically inside a loop body of a hot function and flags
+
+* loads of global names (anything not bound in the function),
+* ``self.<attr>`` loads (bind the bound method / field to a local
+  above the loop),
+* closure or lambda creation, and
+* ``try``/``except`` blocks (a ``try`` *around* the whole loop — the
+  repo's budget-sync idiom — is fine; one inside the body pays a
+  per-iteration setup on pre-3.11 interpreters).
+
+Two deliberate exemptions keep the rule true to the code's intent:
+ALL_CAPS module constants (``S1``, ``FAM_LOAD`` — flat compare fuel,
+loaded rarely and cached by 3.11+ inline caches) and names used only to
+*raise* (``raise BudgetExceededError(limit)`` is the cold abort path;
+the load never happens on a completing traversal).
+"""
+
+import ast
+import re
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.devtools.analyzer import Finding, Module, Project, Rule
+from repro.devtools.registry import HOT_FUNCTIONS
+
+_CONST_RE = re.compile(r"^_?[A-Z][A-Z0-9_]*$")
+
+_FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _qualified_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[str, ast.FunctionDef]]:
+    """``(qualname, def)`` for module-level functions and class
+    methods (one level of class nesting, matching the registry's
+    ``Class.method`` convention)."""
+    for stmt in tree.body:
+        if isinstance(stmt, _FuncDef):
+            yield stmt.name, stmt  # type: ignore[misc]
+        elif isinstance(stmt, ast.ClassDef):
+            for inner in stmt.body:
+                if isinstance(inner, _FuncDef):
+                    yield f"{stmt.name}.{inner.name}", inner  # type: ignore[misc]
+
+
+def _local_names(func: ast.FunctionDef) -> Set[str]:
+    """Every name bound inside ``func``: parameters plus all store
+    targets (assignments, loop/with/except/import bindings, nested
+    defs, comprehension targets)."""
+    names: Set[str] = set()
+    args = func.args
+    for arg in (
+        list(args.posonlyargs)
+        + list(args.args)
+        + list(args.kwonlyargs)
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    ):
+        names.add(arg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            names.add(node.id)
+        elif isinstance(node, _FuncDef) and node is not func:
+            names.add(node.name)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+    return names
+
+
+class HotLoopHygiene(Rule):
+    id = "HOT001"
+    summary = (
+        "registered hot functions must keep global loads, self.* loads, "
+        "closures and try/except out of their loop bodies"
+    )
+
+    def check_module(self, module: Module, project: Project) -> Iterator[Finding]:
+        hot = HOT_FUNCTIONS.get(module.relpath)
+        if not hot:
+            return
+        wanted = set(hot)
+        found: Set[str] = set()
+        for qualname, func in _qualified_functions(module.tree):
+            if qualname in wanted:
+                found.add(qualname)
+                yield from self._check_function(module, qualname, func)
+        for missing in sorted(wanted - found):
+            yield Finding(
+                file=module.relpath,
+                line=1,
+                col=0,
+                rule=self.id,
+                message=(
+                    f"registered hot function '{missing}' not found — "
+                    f"update repro.devtools.registry.HOT_FUNCTIONS"
+                ),
+            )
+
+    def _check_function(
+        self, module: Module, qualname: str, func: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        locals_ = _local_names(func)
+        reported: Set[Tuple[int, int, str]] = set()
+
+        def emit(node: ast.AST, what: str) -> Optional[Finding]:
+            site = (
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0),
+                what,
+            )
+            if site in reported:
+                return None
+            reported.add(site)
+            return Finding(
+                file=module.relpath,
+                line=site[0],
+                col=site[1],
+                rule=self.id,
+                message=f"hot function '{qualname}': {what}",
+            )
+
+        def visit(node: ast.AST, in_loop: bool) -> Iterator[Finding]:
+            if isinstance(node, _FuncDef) and node is not func:
+                if in_loop:
+                    finding = emit(
+                        node,
+                        f"closure '{node.name}' created inside a loop body",
+                    )
+                    if finding:
+                        yield finding
+                return  # a nested def's body runs on its own clock
+            if isinstance(node, ast.Lambda):
+                if in_loop:
+                    finding = emit(node, "lambda created inside a loop body")
+                    if finding:
+                        yield finding
+                return
+            if in_loop and isinstance(node, ast.Try):
+                finding = emit(node, "try/except inside a loop body")
+                if finding:
+                    yield finding
+            if in_loop and isinstance(node, ast.Raise):
+                # The cold abort path: skip the exception callee's name,
+                # still check its arguments.
+                exc = node.exc
+                if isinstance(exc, ast.Call):
+                    for arg in list(exc.args) + [
+                        kw.value for kw in exc.keywords
+                    ]:
+                        yield from visit(arg, in_loop)
+                if node.cause is not None:
+                    yield from visit(node.cause, in_loop)
+                return
+            if in_loop and isinstance(node, ast.Name):
+                if (
+                    isinstance(node.ctx, ast.Load)
+                    and node.id not in locals_
+                    and not _CONST_RE.match(node.id)
+                ):
+                    finding = emit(
+                        node, f"global-name load of '{node.id}' in a loop body"
+                    )
+                    if finding:
+                        yield finding
+                return
+            if (
+                in_loop
+                and isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                finding = emit(
+                    node, f"self attribute load '.{node.attr}' in a loop body"
+                )
+                if finding:
+                    yield finding
+                return
+            entering_loop = isinstance(node, (ast.For, ast.While))
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child, in_loop or entering_loop)
+
+        yield from visit(func, False)

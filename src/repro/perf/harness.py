@@ -99,6 +99,29 @@ STRESS_WORKLOADS = (
 #: ``reference`` baseline (which always runs).
 OPTIMIZED_IMPLS = ("fast", "array")
 
+#: The loop bodies each optimized impl actually exercises, as
+#: ``"<relpath>::<QualName>"`` ids.  CI asserts this equals
+#: :func:`repro.devtools.registry.hot_function_ids` — a function cannot
+#: be hot for the HOT001 linter yet unmeasured here, or vice versa.
+MEASURED_HOT_FUNCTIONS = {
+    "fast": (
+        "src/repro/analysis/dynsum.py::DynSum._explore",
+        "src/repro/analysis/ppta.py::_run_ppta_fast",
+    ),
+    "array": (
+        "src/repro/analysis/dynsum.py::DynSum._explore_array",
+        "src/repro/analysis/ppta.py::_run_ppta_array",
+    ),
+}
+
+
+def measured_hot_functions(impls=OPTIMIZED_IMPLS):
+    """Sorted, de-duplicated hot-function ids the sweep measures."""
+    ids = set()
+    for impl in impls:
+        ids.update(MEASURED_HOT_FUNCTIONS[impl])
+    return tuple(sorted(ids))
+
 CLIENTS = {cls.name: cls for cls in ALL_CLIENTS}
 
 #: Eviction microbenchmark store sizes (entries).

@@ -1,0 +1,159 @@
+"""Regression tests for off-loop dispatch in the asyncio serving tier.
+
+The original ``AsyncLineServer`` called ``handle_line`` inline on the
+event loop (repro-lint ASYNC001).  A handler that blocked — or, under
+connection multiplexing, waited on a request *behind* it in the read
+order — wedged every connection on the process.  Dispatch now runs on
+a bounded ``ThreadPoolExecutor``; these tests pin the properties that
+fix bought, and the one it must not break (``dispatch_workers=1``
+keeps strict handler serialization for single-threaded services).
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cacheserver.aserver import AsyncLineServer
+
+
+def _tagged(rid, **fields):
+    fields["id"] = rid
+    return (json.dumps(fields) + "\n").encode("utf-8")
+
+
+def _read_lines(sock, count, timeout=10.0):
+    sock.settimeout(timeout)
+    reader = sock.makefile("r", encoding="utf-8")
+    try:
+        return [json.loads(reader.readline()) for _ in range(count)]
+    finally:
+        reader.close()
+
+
+class TestOffLoopDispatch:
+    def test_cross_dependent_tagged_requests_both_complete(self):
+        """The deadlock regression: request 'a' blocks until request
+        'b' (later on the same connection) runs.  With inline dispatch
+        'a' wedges the read loop so 'b' is never dispatched — the pair
+        deadlocks.  With a worker pool, both complete."""
+        release = threading.Event()
+
+        def handler(line):
+            op = json.loads(line)["op"]
+            if op == "wait":
+                assert release.wait(timeout=8.0), "release never dispatched"
+            else:
+                release.set()
+            return json.dumps({"kind": "done", "op": op})
+
+        with AsyncLineServer(handler, dispatch_workers=2) as server:
+            server.start()
+            sock = socket.create_connection(
+                (server.host, server.port), timeout=10.0
+            )
+            try:
+                sock.sendall(_tagged("a", op="wait") + _tagged("b", op="release"))
+                responses = _read_lines(sock, 2)
+            finally:
+                sock.close()
+        assert {r["id"] for r in responses} == {"a", "b"}
+        assert all(r["kind"] == "done" for r in responses)
+
+    def test_blocked_handler_does_not_stall_other_connections(self):
+        """A handler stuck on connection 1 must not stop the loop from
+        serving connection 2 — the event loop only ever moves bytes."""
+        release = threading.Event()
+
+        def handler(line):
+            op = json.loads(line)["op"]
+            if op == "wait":
+                assert release.wait(timeout=8.0), "second connection starved"
+            return json.dumps({"kind": "done", "op": op})
+
+        with AsyncLineServer(handler, dispatch_workers=2) as server:
+            server.start()
+            stuck = socket.create_connection(
+                (server.host, server.port), timeout=10.0
+            )
+            other = socket.create_connection(
+                (server.host, server.port), timeout=10.0
+            )
+            try:
+                stuck.sendall(_tagged("slow", op="wait"))
+                time.sleep(0.1)  # let the slow dispatch occupy a worker
+                other.sendall(_tagged("quick", op="ping"))
+                (quick,) = _read_lines(other, 1)
+                assert quick["id"] == "quick"
+                release.set()
+                (slow,) = _read_lines(stuck, 1)
+                assert slow["id"] == "slow"
+            finally:
+                stuck.close()
+                other.close()
+
+    def test_single_worker_keeps_handlers_serialized(self):
+        """``dispatch_workers=1`` (the ``repro-serve --listen`` mount)
+        still dispatches off the loop, but never two handlers at once —
+        unlocked single-engine services rely on that."""
+        active = 0
+        overlap = []
+        gate = threading.Lock()
+
+        def handler(line):
+            nonlocal active
+            with gate:
+                active += 1
+                overlap.append(active)
+            time.sleep(0.05)
+            with gate:
+                active -= 1
+            return json.dumps({"kind": "done"})
+
+        with AsyncLineServer(handler, dispatch_workers=1) as server:
+            server.start()
+            sock = socket.create_connection(
+                (server.host, server.port), timeout=10.0
+            )
+            try:
+                sock.sendall(b"".join(_tagged(str(i)) for i in range(4)))
+                responses = _read_lines(sock, 4)
+            finally:
+                sock.close()
+        assert {r["id"] for r in responses} == {"0", "1", "2", "3"}
+        assert max(overlap) == 1
+
+    def test_dispatch_runs_off_the_event_loop_thread(self):
+        """The handler thread is a pool worker, not the loop thread."""
+        seen = []
+
+        def handler(line):
+            seen.append(threading.current_thread().name)
+            return json.dumps({"kind": "done"})
+
+        with AsyncLineServer(handler) as server:
+            server.start()
+            loop_thread = server._thread.name
+            sock = socket.create_connection(
+                (server.host, server.port), timeout=10.0
+            )
+            try:
+                sock.sendall(_tagged("x"))
+                _read_lines(sock, 1)
+            finally:
+                sock.close()
+        assert seen and seen[0] != loop_thread
+        assert seen[0].startswith("repro-dispatch")
+
+    def test_worker_count_floor_is_one(self):
+        server = AsyncLineServer(lambda line: line, dispatch_workers=0)
+        try:
+            assert server._dispatch_workers == 1
+        finally:
+            server.stop()
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-v"])

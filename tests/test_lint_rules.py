@@ -1,0 +1,630 @@
+"""The repro-lint battery: per-rule violating + conforming fixtures,
+the suppression and baseline workflows, the CLI surface, and the meta
+checks that keep the linter honest — the shipped tree must lint clean,
+and the HOT001 registry must match what the perf harness measures.
+
+Fixtures are written into tmp_path project trees and linted through the
+real CLI entry point (in-process `main(argv)`), so every test covers
+path discovery, rule dispatch, suppression/baseline splitting and exit
+codes together.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.cli import ALL_RULES, main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def write(root, relpath, text):
+    path = root / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return path
+
+
+def lint(root, *argv):
+    return lint_main(["--root", str(root), *argv])
+
+
+def findings_of(capsys):
+    """Parse `file:line:col: RULE message` lines printed to stdout."""
+    out = capsys.readouterr().out
+    rows = []
+    for line in out.splitlines():
+        if ": " not in line:
+            continue
+        location, _, rest = line.partition(": ")
+        rule, _, message = rest.partition(" ")
+        rows.append((location, rule, message))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# LOCK001
+# ----------------------------------------------------------------------
+LOCK_VIOLATING = """
+    import threading
+
+    class Box:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._items = []  # guarded-by: _lock
+            self.count = 0  # guarded-by: _lock
+
+        def add(self, x):
+            self._items.append(x)
+
+        def bump(self):
+            self.count += 1
+"""
+
+LOCK_CONFORMING = """
+    import threading
+
+    class Box:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._items = []  # guarded-by: _lock
+            self.count = 0  # guarded-by: _lock
+
+        def add(self, x):
+            with self._lock:
+                self._items.append(x)
+                self.count += 1
+
+        def _drain_locked(self):
+            self._items.clear()
+
+        def snapshot(self):
+            return self.count  # reads are out of scope
+"""
+
+
+class TestLockDiscipline:
+    def test_unlocked_mutations_are_flagged(self, tmp_path, capsys):
+        write(tmp_path, "src/mylib.py", LOCK_VIOLATING)
+        assert lint(tmp_path, "--rule", "LOCK001") == 1
+        rows = findings_of(capsys)
+        assert len(rows) == 2
+        assert all(rule == "LOCK001" for _, rule, _ in rows)
+        assert any("'_items' outside 'with self._lock'" in m for _, _, m in rows)
+        assert any("'count' outside 'with self._lock'" in m for _, _, m in rows)
+
+    def test_locked_and_locked_suffix_are_clean(self, tmp_path):
+        write(tmp_path, "src/mylib.py", LOCK_CONFORMING)
+        assert lint(tmp_path, "--rule", "LOCK001") == 0
+
+    def test_inline_suppression_is_honored(self, tmp_path, capsys):
+        write(
+            tmp_path,
+            "src/mylib.py",
+            LOCK_VIOLATING.replace(
+                "self._items.append(x)",
+                "self._items.append(x)  # repro-lint: ignore[LOCK001]",
+            ).replace(
+                "self.count += 1",
+                "# repro-lint: ignore[LOCK001]\n            self.count += 1",
+            ),
+        )
+        assert lint(tmp_path, "--rule", "LOCK001") == 0
+        assert "2 suppressed" in capsys.readouterr().err
+
+    def test_suppression_is_rule_scoped(self, tmp_path):
+        write(
+            tmp_path,
+            "src/mylib.py",
+            LOCK_VIOLATING.replace(
+                "self._items.append(x)",
+                "self._items.append(x)  # repro-lint: ignore[HOT001]",
+            ),
+        )
+        assert lint(tmp_path, "--rule", "LOCK001") == 1
+
+
+# ----------------------------------------------------------------------
+# LOCK002
+# ----------------------------------------------------------------------
+SHARD_VIOLATING = """
+    import threading
+
+    class Sharded:
+        def __init__(self, n):
+            self._shards = tuple({} for _ in range(n))
+            self._locks = tuple(threading.Lock() for _ in range(n))
+
+        def _slot(self, key):
+            index = hash(key) % len(self._shards)
+            return self._shards[index], self._locks[index]
+
+        def move(self, a, b):
+            shard, lock = self._slot(a)
+            other, dst_lock = self._slot(b)
+            with lock:
+                with dst_lock:
+                    other.update(shard)
+"""
+
+SHARD_CONFORMING = """
+    import threading
+
+    class Sharded:
+        def __init__(self, n):
+            self._shards = tuple({} for _ in range(n))
+            self._locks = tuple(threading.Lock() for _ in range(n))
+
+        def _slot(self, key):
+            index = hash(key) % len(self._shards)
+            return self._shards[index], self._locks[index]
+
+        def clear(self):
+            for shard, lock in zip(self._shards, self._locks):
+                with lock:
+                    shard.clear()
+"""
+
+
+class TestShardLockNesting:
+    def test_nested_shard_locks_are_flagged(self, tmp_path, capsys):
+        write(tmp_path, "src/shards.py", SHARD_VIOLATING)
+        assert lint(tmp_path, "--rule", "LOCK002") == 1
+        rows = findings_of(capsys)
+        assert len(rows) == 1
+        assert "second shard lock" in rows[0][2]
+
+    def test_one_lock_at_a_time_is_clean(self, tmp_path):
+        write(tmp_path, "src/shards.py", SHARD_CONFORMING)
+        assert lint(tmp_path, "--rule", "LOCK002") == 0
+
+
+# ----------------------------------------------------------------------
+# HOT001 (fixtures live at the registered relpath)
+# ----------------------------------------------------------------------
+HOT_VIOLATING = """
+    FUEL = 3
+
+    def _run_ppta_fast(records, work):
+        out = []
+        out_append = out.append
+        for item in work:
+            out_append(transform(item))
+        return out
+
+    def _run_ppta_array(records, work):
+        total = 0
+        for item in work:
+            try:
+                total += self.weight(item)
+            except KeyError:
+                pass
+        return total
+"""
+
+HOT_CONFORMING = """
+    FUEL = 3
+
+    class BudgetError(Exception):
+        pass
+
+    def _run_ppta_fast(records, work, transform):
+        out = []
+        out_append = out.append
+        for item in work:
+            if item > FUEL:
+                raise BudgetError(item)
+            out_append(transform(item))
+        return out
+
+    def _run_ppta_array(records, work):
+        total = 0
+        for item in work:
+            total += item
+        return total
+"""
+
+
+class TestHotLoopHygiene:
+    def test_loop_body_violations_are_flagged(self, tmp_path, capsys):
+        write(tmp_path, "src/repro/analysis/ppta.py", HOT_VIOLATING)
+        assert lint(tmp_path, "--rule", "HOT001") == 1
+        messages = [m for _, _, m in findings_of(capsys)]
+        assert any("global-name load of 'transform'" in m for m in messages)
+        assert any("try/except inside a loop body" in m for m in messages)
+        assert any("self attribute load '.weight'" in m for m in messages)
+        # `self` itself is also an unbound global here; the point is the
+        # discipline flags every unbound name, not the exact taxonomy.
+
+    def test_const_and_raise_exemptions(self, tmp_path):
+        # FUEL (ALL_CAPS) and BudgetError (raise callee) load in the
+        # loop body yet are exempt by design; transform is a parameter.
+        write(tmp_path, "src/repro/analysis/ppta.py", HOT_CONFORMING)
+        assert lint(tmp_path, "--rule", "HOT001") == 0
+
+    def test_missing_registered_function_is_flagged(self, tmp_path, capsys):
+        write(
+            tmp_path,
+            "src/repro/analysis/ppta.py",
+            "def _run_ppta_fast(records, work):\n    return []\n",
+        )
+        assert lint(tmp_path, "--rule", "HOT001") == 1
+        messages = [m for _, _, m in findings_of(capsys)]
+        assert any(
+            "registered hot function '_run_ppta_array' not found" in m
+            for m in messages
+        )
+
+    def test_unregistered_modules_are_ignored(self, tmp_path):
+        write(tmp_path, "src/other.py", HOT_VIOLATING)
+        assert lint(tmp_path, "--rule", "HOT001") == 0
+
+
+# ----------------------------------------------------------------------
+# ASYNC001 (fixtures live at the registered async root)
+# ----------------------------------------------------------------------
+ASYNC_VIOLATING = """
+    import time
+
+    class Server:
+        async def tick(self):
+            time.sleep(0.1)
+
+        async def respond(self, line):
+            return self._handle_line(line)
+"""
+
+ASYNC_CONFORMING = """
+    import asyncio
+
+    class Server:
+        async def tick(self):
+            await asyncio.sleep(0.1)
+
+        async def respond(self, loop, executor, line):
+            return await loop.run_in_executor(
+                executor, self._handle_line, line
+            )
+
+        async def flush(self):
+            def drain():  # executor hand-off: runs off-loop
+                import time
+                time.sleep(0.1)
+            return drain
+"""
+
+
+class TestNoBlockingInAsync:
+    def test_blocking_calls_in_async_defs_are_flagged(self, tmp_path, capsys):
+        write(tmp_path, "src/repro/cacheserver/aserver.py", ASYNC_VIOLATING)
+        assert lint(tmp_path, "--rule", "ASYNC001") == 1
+        messages = [m for _, _, m in findings_of(capsys)]
+        assert any("time.sleep" in m and "asyncio.sleep" in m for m in messages)
+        assert any("run_in_executor" in m for m in messages)
+
+    def test_executor_handoff_is_clean(self, tmp_path):
+        # Passing the bound dispatcher *to* the executor is the fix;
+        # a nested sync def may block freely (it runs off-loop).
+        write(tmp_path, "src/repro/cacheserver/aserver.py", ASYNC_CONFORMING)
+        assert lint(tmp_path, "--rule", "ASYNC001") == 0
+
+    def test_import_closure_is_followed(self, tmp_path, capsys):
+        write(
+            tmp_path,
+            "src/repro/cacheserver/aserver.py",
+            "from repro.util.pump import pump\n",
+        )
+        write(
+            tmp_path,
+            "src/repro/util/pump.py",
+            'async def pump(path):\n    return open(path).read()\n',
+        )
+        # Same content outside the closure: not in scope, not flagged.
+        write(
+            tmp_path,
+            "src/repro/util/unrelated.py",
+            'async def pump(path):\n    return open(path).read()\n',
+        )
+        assert lint(tmp_path, "--rule", "ASYNC001") == 1
+        rows = findings_of(capsys)
+        assert len(rows) == 1
+        assert rows[0][0].startswith("src/repro/util/pump.py")
+        assert "blocking file I/O" in rows[0][2]
+
+    def test_no_async_root_means_no_scope(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/util/pump.py",
+            'async def pump(path):\n    return open(path).read()\n',
+        )
+        assert lint(tmp_path, "--rule", "ASYNC001") == 0
+
+
+# ----------------------------------------------------------------------
+# WIRE001
+# ----------------------------------------------------------------------
+WIRE_VIOLATING = """
+    from dataclasses import dataclass
+
+    PROTOCOL_VERSION = "1.4"
+
+    @dataclass(frozen=True)
+    class PingRequest:
+        count: int = 0
+        protocol_version: str = "1.4"
+
+    @dataclass(frozen=True)
+    class PongResponse:
+        payload: SneakyType = None
+        protocol_version: str = PROTOCOL_VERSION
+
+    REQUEST_KINDS = {"ping": PingRequest}
+    RESPONSE_KINDS = {}
+"""
+
+WIRE_CONFORMING = """
+    from dataclasses import dataclass
+    from typing import Optional, Tuple
+
+    PROTOCOL_VERSION = "1.4"
+
+    @dataclass(frozen=True)
+    class PingRequest:
+        count: int = 0
+        tags: Tuple[str, ...] = ()
+        protocol_version: str = PROTOCOL_VERSION
+
+    @dataclass(frozen=True)
+    class PongResponse:
+        echo: Optional[PingRequest] = None
+        protocol_version: str = PROTOCOL_VERSION
+
+    REQUEST_KINDS = {"ping": PingRequest}
+    RESPONSE_KINDS = {"pong": PongResponse}
+"""
+
+WIRE_README = """
+    # fixture
+
+    | Version | Added |
+    |---------|-------|
+    | 1.3     | old   |
+    | {newest} | new  |
+"""
+
+
+class TestProtocolDrift:
+    def _project(self, tmp_path, protocol, newest="1.4", service=None):
+        write(tmp_path, "src/repro/api/protocol.py", protocol)
+        write(tmp_path, "README.md", WIRE_README.format(newest=newest))
+        if service is not None:
+            write(tmp_path, "src/repro/api/service.py", service)
+
+    def test_drift_is_flagged(self, tmp_path, capsys):
+        self._project(tmp_path, WIRE_VIOLATING)
+        assert lint(tmp_path, "--rule", "WIRE001") == 1
+        messages = [m for _, _, m in findings_of(capsys)]
+        assert any(
+            "PingRequest.protocol_version must default to the "
+            "PROTOCOL_VERSION constant" in m
+            for m in messages
+        )
+        assert any(
+            "PongResponse is not registered in RESPONSE_KINDS" in m
+            for m in messages
+        )
+        assert any("SneakyType" in m for m in messages)
+
+    def test_consistent_contract_is_clean(self, tmp_path):
+        self._project(tmp_path, WIRE_CONFORMING)
+        assert lint(tmp_path, "--rule", "WIRE001") == 0
+
+    def test_stale_readme_table_is_flagged(self, tmp_path, capsys):
+        self._project(tmp_path, WIRE_CONFORMING, newest="1.3")
+        assert lint(tmp_path, "--rule", "WIRE001") == 1
+        rows = findings_of(capsys)
+        assert rows[0][0].startswith("README.md")
+        assert "tops out at 1.3 but PROTOCOL_VERSION is 1.4" in rows[0][2]
+
+    def test_service_must_import_not_restate_the_version(
+        self, tmp_path, capsys
+    ):
+        self._project(
+            tmp_path,
+            WIRE_CONFORMING,
+            service='PROTOCOL_VERSION = "1.4"\n',
+        )
+        assert lint(tmp_path, "--rule", "WIRE001") == 1
+        messages = [m for _, _, m in findings_of(capsys)]
+        assert any("redefines PROTOCOL_VERSION" in m for m in messages)
+        assert any("must import PROTOCOL_VERSION" in m for m in messages)
+
+    def test_importing_service_is_clean(self, tmp_path):
+        self._project(
+            tmp_path,
+            WIRE_CONFORMING,
+            service="from repro.api.protocol import PROTOCOL_VERSION\n",
+        )
+        assert lint(tmp_path, "--rule", "WIRE001") == 0
+
+
+# ----------------------------------------------------------------------
+# ERR001
+# ----------------------------------------------------------------------
+ERR_VIOLATING = """
+    def dispatch(line):
+        try:
+            return handle(line)
+        except Exception:
+            return None
+"""
+
+ERR_CONFORMING = """
+    from repro.api.protocol import ErrorResponse, WireError
+
+    def dispatch(line):
+        try:
+            return handle(line)
+        except OSError:
+            return None
+
+    def convert(line):
+        try:
+            return handle(line)
+        except Exception as exc:
+            return ErrorResponse(code="internal", message=str(exc))
+
+    def reraise(line):
+        try:
+            return handle(line)
+        except Exception:
+            raise
+"""
+
+
+class TestTypedErrorDiscipline:
+    def test_silent_broad_except_is_flagged(self, tmp_path, capsys):
+        write(tmp_path, "src/repro/api/dispatch.py", ERR_VIOLATING)
+        assert lint(tmp_path, "--rule", "ERR001") == 1
+        rows = findings_of(capsys)
+        assert len(rows) == 1
+        assert (
+            "broad 'except Exception' in dispatch neither re-raises nor "
+            "produces a typed wire error" in rows[0][2]
+        )
+
+    def test_narrow_convert_and_reraise_are_clean(self, tmp_path):
+        write(tmp_path, "src/repro/api/dispatch.py", ERR_CONFORMING)
+        assert lint(tmp_path, "--rule", "ERR001") == 0
+
+    def test_paths_outside_the_wire_tiers_are_not_in_scope(self, tmp_path):
+        write(tmp_path, "src/repro/analysis/dispatch.py", ERR_VIOLATING)
+        assert lint(tmp_path, "--rule", "ERR001") == 0
+
+
+# ----------------------------------------------------------------------
+# baseline workflow
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def test_write_refuse_justify_roundtrip(self, tmp_path, capsys):
+        write(tmp_path, "src/repro/api/dispatch.py", ERR_VIOLATING)
+        baseline = tmp_path / "lint-baseline.json"
+
+        assert lint(tmp_path, "--write-baseline") == 0
+        assert baseline.exists()
+        capsys.readouterr()
+
+        # A freshly written baseline carries TODO justifications, which
+        # the loader refuses: grandfathering forces a written review.
+        assert lint(tmp_path) == 2
+        assert "needs a real justification" in capsys.readouterr().err
+
+        payload = json.loads(baseline.read_text())
+        for entry in payload["findings"]:
+            entry["justification"] = "legacy fail-open path, tracked"
+        baseline.write_text(json.dumps(payload))
+
+        assert lint(tmp_path) == 0
+        assert "1 baselined" in capsys.readouterr().err
+
+    def test_baseline_survives_unrelated_edits(self, tmp_path, capsys):
+        source = write(tmp_path, "src/repro/api/dispatch.py", ERR_VIOLATING)
+        lint(tmp_path, "--write-baseline")
+        baseline = tmp_path / "lint-baseline.json"
+        payload = json.loads(baseline.read_text())
+        payload["findings"][0]["justification"] = "known, tracked"
+        baseline.write_text(json.dumps(payload))
+        # Shift the finding's line number: the (rule, file, message) key
+        # still matches.
+        source.write_text("X = 1\nY = 2\n" + source.read_text())
+        capsys.readouterr()
+        assert lint(tmp_path) == 0
+        assert "1 baselined" in capsys.readouterr().err
+
+    def test_fresh_findings_fail_despite_baseline(self, tmp_path):
+        write(tmp_path, "src/repro/api/dispatch.py", ERR_VIOLATING)
+        lint(tmp_path, "--write-baseline")
+        baseline = tmp_path / "lint-baseline.json"
+        payload = json.loads(baseline.read_text())
+        payload["findings"][0]["justification"] = "known, tracked"
+        baseline.write_text(json.dumps(payload))
+        write(tmp_path, "src/mylib.py", LOCK_VIOLATING)
+        assert lint(tmp_path) == 1
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestCliSurface:
+    def test_json_report_shape(self, tmp_path, capsys):
+        write(tmp_path, "src/mylib.py", LOCK_VIOLATING)
+        assert lint(tmp_path, "--json") == 1
+        report = json.loads(capsys.readouterr().out)
+        assert set(report) == {
+            "root", "rules", "counts", "findings", "baselined",
+        }
+        assert report["rules"] == sorted(ALL_RULES)
+        assert report["counts"] == {
+            "fresh": 2, "suppressed": 0, "baselined": 0,
+        }
+        for finding in report["findings"]:
+            assert set(finding) == {"file", "line", "col", "rule", "message"}
+            assert finding["rule"] == "LOCK001"
+
+    def test_syntax_errors_become_parse_findings(self, tmp_path, capsys):
+        write(tmp_path, "src/broken.py", "def f(:\n")
+        write(tmp_path, "src/mylib.py", LOCK_VIOLATING)
+        assert lint(tmp_path) == 1
+        rows = findings_of(capsys)
+        # The broken file reports PARSE; the parseable file still lints.
+        assert any(rule == "PARSE" for _, rule, _ in rows)
+        assert any(rule == "LOCK001" for _, rule, _ in rows)
+
+    def test_list_rules_names_the_catalogue(self, tmp_path, capsys):
+        assert lint(tmp_path, "--list-rules") == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "LOCK001", "LOCK002", "HOT001", "ASYNC001", "WIRE001", "ERR001",
+        ):
+            assert rule_id in out
+        assert set(ALL_RULES) == {
+            "LOCK001", "LOCK002", "HOT001", "ASYNC001", "WIRE001", "ERR001",
+        }
+
+    def test_unknown_rule_is_a_usage_error(self, tmp_path):
+        assert lint(tmp_path, "--rule", "NOPE001") == 2
+
+    def test_missing_path_is_a_usage_error(self, tmp_path):
+        assert lint(tmp_path, "--paths", str(tmp_path / "nowhere")) == 2
+
+
+# ----------------------------------------------------------------------
+# meta: the linter applied to this repository
+# ----------------------------------------------------------------------
+class TestSelfHosting:
+    def test_shipped_tree_is_lint_clean(self, capsys):
+        """repro-lint exits 0 on the shipped src/ — every finding is
+        fixed, suppressed, or baselined with a written justification."""
+        assert lint_main(["--root", str(REPO_ROOT)]) == 0
+
+    def test_shipped_baseline_is_small_and_justified(self):
+        payload = json.loads(
+            (REPO_ROOT / "lint-baseline.json").read_text(encoding="utf-8")
+        )
+        assert payload["findings"], "empty baseline should just be deleted"
+        for entry in payload["findings"]:
+            assert len(entry["justification"]) > 40
+            assert "TODO" not in entry["justification"]
+
+    def test_hot_registry_matches_the_perf_harness(self):
+        """HOT001 lints exactly the loops repro-perf measures."""
+        from repro.devtools.registry import hot_function_ids
+        from repro.perf.harness import measured_hot_functions
+
+        assert measured_hot_functions() == hot_function_ids()
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-v"])
