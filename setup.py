@@ -1,0 +1,52 @@
+"""Optional ahead-of-time build of the native traversal kernel.
+
+The kernel (``src/repro/native/kernel.c``) is a plain C shared library
+loaded through :mod:`ctypes` — it has no ``PyInit_*`` entry point and no
+dependency on the Python C API.  Building it at install time is purely
+an optimisation: if this extension is skipped or fails (no compiler,
+exotic toolchain), the wheel still installs and the runtime binding
+compiles the shipped ``kernel.c`` on first use — or, failing that too,
+the ``native`` traversal impl silently degrades to the pure-Python
+``array`` loop with the reason surfaced in engine stats.
+
+Hence every failure path below is non-fatal by design.
+"""
+
+from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
+
+
+class ctypes_build_ext(build_ext):
+    """Build a ctypes-loaded shared object: no ``PyInit_`` symbol is
+    exported (there is none), and any build failure downgrades to a
+    warning instead of failing the install."""
+
+    def get_export_symbols(self, ext):
+        # The default asks for PyInit_<name>, which a ctypes library
+        # does not define; export whatever the source exports.
+        return None
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:  # pragma: no cover - toolchain-specific
+            self.warn(
+                f"skipping optional native kernel build ({exc}); "
+                "the runtime will compile it on demand or fall back "
+                "to the pure-Python traversal"
+            )
+
+
+setup(
+    ext_modules=[
+        Extension(
+            # The binding probes for a prebuilt ``_rk*.so`` next to the
+            # package before shelling out to a compiler, so the module
+            # name must keep the ``_rk`` prefix.
+            "repro.native._rk",
+            sources=["src/repro/native/kernel.c"],
+            optional=True,
+        )
+    ],
+    cmdclass={"build_ext": ctypes_build_ext},
+)

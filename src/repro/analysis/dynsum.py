@@ -50,6 +50,10 @@ from repro.cfl.stacks import EMPTY_STACK
 from repro.pag.graph import EMPTY_ADJACENCY
 from repro.util.errors import BudgetExceededError
 
+#: Lazily bound ``repro.native.session.explore_native`` (the native
+#: package imports this module at its own import time).
+_NATIVE_EXPLORE = []
+
 
 class DynSum(DemandPointsToAnalysis):
     """Demand analysis with dynamic, context-independent method summaries."""
@@ -135,6 +139,14 @@ class DynSum(DemandPointsToAnalysis):
         impl = active_traversal_impl()
         if self.observer is not None or impl == "reference":
             return self._explore_reference(var, context, pairs, budget)
+        if impl == "native":
+            if self._explore_native(var, context, pairs, budget):
+                return None
+            # Kernel unavailable (or this cache/context is not
+            # representable): rerun on the array loop.  A refused
+            # native attempt touches no Python-side state — budget,
+            # pairs and cache counters read as if it never happened.
+            return self._explore_array(var, context, pairs, budget)
         if impl == "array":
             return self._explore_array(var, context, pairs, budget)
         pag = self.pag
@@ -296,6 +308,17 @@ class DynSum(DemandPointsToAnalysis):
         finally:
             if hits:
                 cache.hits += hits
+
+    def _explore_native(self, var, context, pairs, budget):
+        """Algorithm 4's worklist in the C kernel — ``True`` when the
+        query was handled there (see
+        :func:`repro.native.session.explore_native` for the marshalling
+        and the bit-parity contract with :meth:`_explore_array`)."""
+        if not _NATIVE_EXPLORE:
+            from repro.native.session import explore_native
+
+            _NATIVE_EXPLORE.append(explore_native)
+        return _NATIVE_EXPLORE[0](self, var, context, pairs, budget)
 
     def _explore_array(self, var, context, pairs, budget):
         """Algorithm 4's worklist over the CSR image.

@@ -45,6 +45,7 @@ the differential battery in ``tests/test_ppta_fastpath.py``:
 workloads under either).
 """
 
+import os
 from contextlib import contextmanager
 
 from repro.cfl.rsm import FAM_LOAD, FAM_STORE, S1, S2
@@ -618,18 +619,57 @@ def _expand_s2(pag, v, f, boundaries, visited, stack, push_limit, budget):
 
 
 # ----------------------------------------------------------------------
+# the native kernel driver
+# ----------------------------------------------------------------------
+#: Lazily bound ``repro.native.session.run_ppta_native`` — the import
+#: is deferred to first use because the native package imports this
+#: module at its own import time.
+_NATIVE_DRIVER = []
+
+
+def _run_ppta_native(pag, node, field_stack, state, budget, max_field_depth=None):
+    """``DSPOINTSTO`` in the C kernel (``repro/native/kernel.c``).
+
+    Bit-equal to :func:`_run_ppta_array` in answers, step counts and
+    abort behaviour; when the kernel is unavailable (no compiler, ABI
+    mismatch, ``REPRO_NATIVE=0``) or cannot represent the start state,
+    the call silently reruns on the ``array`` loop — the budget is
+    untouched by a refused native attempt, so the rerun charges exactly
+    what a plain ``array`` call would have.
+    """
+    if not _NATIVE_DRIVER:
+        from repro.native.session import run_ppta_native
+
+        _NATIVE_DRIVER.append(run_ppta_native)
+    result = _NATIVE_DRIVER[0](pag, node, field_stack, state, budget, max_field_depth)
+    if result is None:
+        return _run_ppta_array(pag, node, field_stack, state, budget, max_field_depth)
+    return result
+
+
+# ----------------------------------------------------------------------
 # implementation dispatch
 # ----------------------------------------------------------------------
 TRAVERSAL_IMPLS = {
     "fast": _run_ppta_fast,
     "array": _run_ppta_array,
+    "native": _run_ppta_native,
     "reference": run_ppta_reference,
 }
+
+
+def _default_impl():
+    """The boot-time impl: ``$REPRO_TRAVERSAL`` when it names a known
+    implementation, else ``fast`` (unknown values are ignored rather
+    than fatal — a stale env var must not brick the process)."""
+    env = os.environ.get("REPRO_TRAVERSAL", "").strip()
+    return env if env in TRAVERSAL_IMPLS else "fast"
+
 
 #: The active implementation, mutated only by :func:`traversal_impl` /
 #: :func:`set_traversal_impl`.  A one-slot dict rather than a module
 #: global so ``from ppta import run_ppta`` bindings stay valid.
-_ACTIVE = {"impl": "fast"}
+_ACTIVE = {"impl": _default_impl()}
 
 
 def active_traversal_impl():
@@ -638,7 +678,8 @@ def active_traversal_impl():
 
 
 def set_traversal_impl(name):
-    """Select the PPTA implementation globally (``fast``/``array``/``reference``)."""
+    """Select the PPTA implementation globally
+    (``fast``/``array``/``native``/``reference``)."""
     if name not in TRAVERSAL_IMPLS:
         known = ", ".join(sorted(TRAVERSAL_IMPLS))
         raise ValueError(f"unknown traversal impl {name!r}; known: {known}")

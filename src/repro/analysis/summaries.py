@@ -267,6 +267,12 @@ class SummaryStore(SummaryBackend):
         #: (see ``_invalidate_fast_memo``); only the plain unbounded
         #: cache ever populates it.
         self._fast_memo = None
+        #: The native kernel's mirror of this cache: ``(CsrImage,
+        #: _NativeSession-or-None)`` (see ``repro.native.session``).
+        #: The kernel's summary table can only append, so any removal
+        #: or replacement here must retire the whole mirror — reset at
+        #: exactly the sites that reset ``_fast_memo``.
+        self._native_memo = None
 
     # ------------------------------------------------------------------
     # policy hooks
@@ -347,6 +353,7 @@ class SummaryStore(SummaryBackend):
                 self._touch(key)
                 return False
             self._fast_memo = None  # the replaced summary may be memoed
+            self._native_memo = None  # ... and mirrored in the kernel
             self._facts += ppta_result.size - resident.size
             self._entries[key] = ppta_result
             self._touch(key)
@@ -365,6 +372,7 @@ class SummaryStore(SummaryBackend):
         if entry is None:
             return None
         self._fast_memo = None  # the dropped summary may be memoed
+        self._native_memo = None  # ... and mirrored in the kernel
         self._facts -= entry.size
         method = key[0].method
         if method is not None:
@@ -402,6 +410,7 @@ class SummaryStore(SummaryBackend):
         self.evictions = 0
         self.invalidated = 0
         self._fast_memo = None
+        self._native_memo = None
 
     def restore_counters(self, stats):
         """Overwrite the probe/eviction/invalidation counters from a
@@ -509,6 +518,7 @@ class SummaryCache(SummaryStore):
             ):
                 return False
             self._fast_memo = None  # the replaced summary may be memoed
+            self._native_memo = None  # ... and mirrored in the kernel
             self._facts += ppta_result.size - resident.size
             entries[key] = ppta_result
             return True

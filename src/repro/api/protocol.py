@@ -62,7 +62,12 @@ from typing import Any, Optional, Tuple
 from repro.analysis.summaries import CacheStats
 from repro.engine.scheduler import BatchStats
 
-#: The protocol spoken by this build — "<major>.<minor>".  1.4 adds the
+#: The protocol spoken by this build — "<major>.<minor>".  1.5 adds
+#: ``traversal_impl``/``native_unavailable`` to ``stats-result``: which
+#: PPTA traversal implementation the engine's queries run under, and —
+#: when that is ``native`` — why the compiled kernel cannot serve (null
+#: when it can; a non-null reason means the engine silently degraded to
+#: the pure-Python ``array`` impl with identical answers).  1.4 adds the
 #: consistency epoch to every store-level op (``epoch``/``fingerprint``
 #: on ``lookup``/``store``/``invalidate``, aligned ``epochs`` tuples on
 #: the batch forms), the typed ``stale-epoch`` rejection for
@@ -79,7 +84,7 @@ from repro.engine.scheduler import BatchStats
 #: remote stats; 1.1 added the store-level ops
 #: (``lookup``/``store``/``store-stats``) and the warm-start/remote
 #: counters on ``stats-result``; 1.0 traffic decodes unchanged.
-PROTOCOL_VERSION = "1.4"
+PROTOCOL_VERSION = "1.5"
 
 
 def split_version(version):
@@ -536,6 +541,14 @@ class StatsResponse:
     its graph); ``remote`` is the client-side shared-cache accounting
     (:class:`RemoteStoreStats`) or null when the engine's store is
     purely local.
+
+    Protocol 1.5 adds ``traversal_impl`` — which PPTA traversal
+    implementation the engine's queries run under
+    (``fast``/``array``/``native``/``reference``) — and
+    ``native_unavailable``: when the selection is ``native`` but the
+    compiled kernel cannot serve, the reason (the engine silently
+    degrades to the pure-Python ``array`` impl with identical answers);
+    null when the kernel is live or the selection is not ``native``.
     """
 
     analysis: str
@@ -551,6 +564,8 @@ class StatsResponse:
     warm_skipped: int = 0
     csr_warm: bool = False
     remote: Optional[RemoteStoreStats] = None
+    traversal_impl: str = "fast"
+    native_unavailable: Optional[str] = None
     protocol_version: str = PROTOCOL_VERSION
 
 

@@ -298,6 +298,8 @@ class PointsToService:
             warm_skipped=stats.warm_skipped,
             csr_warm=stats.csr_warm,
             remote=stats.remote,
+            traversal_impl=stats.traversal_impl,
+            native_unavailable=stats.native_unavailable,
         )
 
     # ------------------------------------------------------------------

@@ -25,13 +25,14 @@ from repro.devtools.analyzer import (
     write_baseline,
 )
 from repro.devtools.cli import ALL_RULES, main
-from repro.devtools.registry import HOT_FUNCTIONS, hot_function_ids
+from repro.devtools.registry import HOT_FUNCTIONS, HotFunction, hot_function_ids
 
 __all__ = [
     "ALL_RULES",
     "BaselineError",
     "Finding",
     "HOT_FUNCTIONS",
+    "HotFunction",
     "Module",
     "Project",
     "Rule",

@@ -10,9 +10,13 @@ the single place where "which code is under that invariant" lives.
   what ``repro-perf`` actually measures (see
   :func:`repro.perf.harness.measured_hot_functions`), so a renamed or
   newly-hot function cannot silently escape the rule.  To register a
-  new hot function, add ``"src-relative/path.py": ("QualName",)`` here
-  *and* list it in the harness's measured map if ``repro-perf`` times
-  it.
+  new hot function, add ``"src-relative/path.py":
+  (HotFunction("QualName"),)`` here *and* list it in the harness's
+  measured map if ``repro-perf`` times it.  Entries with
+  ``impl="native"`` name C kernel drivers (``kernel.c``): they are
+  hot — the perf cross-check still covers them — but HOT001's
+  Python-bytecode hygiene checks do not apply; the rule instead
+  verifies the registered symbol exists in the C source.
 * :data:`ASYNC_ROOTS` — the modules whose ``async def`` bodies must
   never block the event loop (**ASYNC001** follows their repo-internal
   imports transitively).
@@ -27,14 +31,37 @@ declared in place with a ``# guarded-by: <lock_attr>`` comment on the
 lock it names.
 """
 
-from typing import Dict, Tuple
+from typing import Dict, NamedTuple, Tuple
+
+
+class HotFunction(NamedTuple):
+    """One registered hot function.
+
+    ``name`` is the qualified name (``Class.method`` for methods, bare
+    names for module-level functions, C symbol names for native
+    entries); ``impl`` is ``"python"`` for CPython loop bodies HOT001
+    checks hygienically, ``"native"`` for C kernel drivers it only
+    existence-checks.
+    """
+
+    name: str
+    impl: str = "python"
+
 
 #: Hot traversal functions, keyed by path relative to the repo root.
-#: Qualified names are ``Class.method`` for methods, bare names for
-#: module-level functions.
-HOT_FUNCTIONS: Dict[str, Tuple[str, ...]] = {
-    "src/repro/analysis/ppta.py": ("_run_ppta_fast", "_run_ppta_array"),
-    "src/repro/analysis/dynsum.py": ("DynSum._explore", "DynSum._explore_array"),
+HOT_FUNCTIONS: Dict[str, Tuple[HotFunction, ...]] = {
+    "src/repro/analysis/ppta.py": (
+        HotFunction("_run_ppta_fast"),
+        HotFunction("_run_ppta_array"),
+    ),
+    "src/repro/analysis/dynsum.py": (
+        HotFunction("DynSum._explore"),
+        HotFunction("DynSum._explore_array"),
+    ),
+    "src/repro/native/kernel.c": (
+        HotFunction("rk_ppta", impl="native"),
+        HotFunction("rk_dynsum", impl="native"),
+    ),
 }
 
 #: Modules whose async bodies (plus those of every repo-internal module
@@ -57,7 +84,7 @@ def hot_function_ids() -> Tuple[str, ...]:
     the exchange format the perf harness's measured map is compared
     against in CI and in ``tests/test_lint_rules.py``."""
     ids = []
-    for path, names in HOT_FUNCTIONS.items():
-        for name in names:
-            ids.append(f"{path}::{name}")
+    for path, functions in HOT_FUNCTIONS.items():
+        for function in functions:
+            ids.append(f"{path}::{function.name}")
     return tuple(sorted(ids))

@@ -90,7 +90,12 @@ class HotLoopHygiene(Rule):
         hot = HOT_FUNCTIONS.get(module.relpath)
         if not hot:
             return
-        wanted = set(hot)
+        # Only impl="python" entries are CPython loop bodies the
+        # hygiene checks below apply to; impl="native" entries name C
+        # symbols and are existence-checked in check_project instead.
+        wanted = {f.name for f in hot if f.impl == "python"}
+        if not wanted:
+            return
         found: Set[str] = set()
         for qualname, func in _qualified_functions(module.tree):
             if qualname in wanted:
@@ -107,6 +112,38 @@ class HotLoopHygiene(Rule):
                     f"update repro.devtools.registry.HOT_FUNCTIONS"
                 ),
             )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        """Existence check for ``impl="native"`` registry entries: the
+        registered C symbol must be defined in the named source file.
+        Files absent under the project root are skipped silently — a
+        fixture project (tests lint a temp tree) carries no kernel, and
+        that is not a finding against the fixture."""
+        for relpath, functions in HOT_FUNCTIONS.items():
+            native = [f for f in functions if f.impl == "native"]
+            if not native:
+                continue
+            path = project.root / relpath
+            if not path.is_file():
+                continue
+            try:
+                source = path.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            for function in native:
+                if function.name not in source:
+                    yield Finding(
+                        file=relpath,
+                        line=1,
+                        col=0,
+                        rule=self.id,
+                        message=(
+                            f"registered native hot function "
+                            f"'{function.name}' not found in the C "
+                            f"source — update "
+                            f"repro.devtools.registry.HOT_FUNCTIONS"
+                        ),
+                    )
 
     def _check_function(
         self, module: Module, qualname: str, func: ast.FunctionDef

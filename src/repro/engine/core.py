@@ -31,10 +31,12 @@ serving) builds on: callers own sessions and policies, never analysis
 internals.
 """
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.analysis.dynsum import DynSum
 from repro.analysis.incremental import IncrementalAnalysisSession
+from repro.analysis.ppta import active_traversal_impl, traversal_impl
 from repro.cfl.stacks import EMPTY_STACK
 from repro.engine.executor import SequentialExecutor
 from repro.engine.policy import EnginePolicy
@@ -87,6 +89,15 @@ class EngineStats:
     #: remote-backed (hit/miss/fallback counters of the service
     #: traffic), ``None`` for purely local stores.
     remote: object = None
+    #: The PPTA traversal implementation this engine's queries run
+    #: under: the policy's ``traversal_impl`` when pinned, else the
+    #: process-global selection at snapshot time.
+    traversal_impl: str = "fast"
+    #: Why the native kernel cannot serve this engine (``None`` when it
+    #: can, or when the engine is not running under the ``native``
+    #: impl).  A non-``None`` reason means the ``native`` selection is
+    #: silently degrading to ``array`` — same answers, Python speed.
+    native_unavailable: object = None
 
     @property
     def dedup_rate(self):
@@ -185,6 +196,19 @@ class PointsToEngine:
     def program(self):
         return self._incremental.program if self._incremental is not None else None
 
+    def _traversal(self):
+        """The scoped traversal-impl override for one query or batch.
+
+        A pinned ``policy.traversal_impl`` is applied around each
+        execution rather than mutated globally at construction, so two
+        engines with different pins coexist in one process (sequential
+        use — the underlying selection is process-global, like
+        :func:`~repro.analysis.ppta.traversal_impl` itself).
+        """
+        if self.policy.traversal_impl is None:
+            return nullcontext()
+        return traversal_impl(self.policy.traversal_impl)
+
     def query(self, item, context=EMPTY_STACK, client=None):
         """Answer one points-to query.
 
@@ -193,9 +217,10 @@ class PointsToEngine:
         :class:`~repro.engine.scheduler.QuerySpec`.
         """
         spec = as_spec(item, self.pag, context)
-        result = self.analysis.points_to(
-            spec.node, spec.context, client if client is not None else spec.client
-        )
+        with self._traversal():
+            result = self.analysis.points_to(
+                spec.node, spec.context, client if client is not None else spec.client
+            )
         self.queries_answered += 1
         self.queries_executed += 1
         self.steps_total += result.steps
@@ -213,7 +238,8 @@ class PointsToEngine:
         node_b = as_spec(b, self.pag).node
         self.queries_answered += 2
         self.queries_executed += 2
-        result = self.analysis.may_alias(node_a, node_b, context1, context2)
+        with self._traversal():
+            result = self.analysis.may_alias(node_a, node_b, context1, context2)
         self.steps_total += result.steps
         if result.verdict is None:
             self.incomplete_total += 1
@@ -297,7 +323,7 @@ class PointsToEngine:
         begin_batch = getattr(cache, "begin_batch", None)
         end_batch = getattr(cache, "end_batch", None)
         timer = Timer()
-        with timer:
+        with timer, self._traversal():
             if begin_batch is not None:
                 begin_batch()
             try:
@@ -449,6 +475,15 @@ class PointsToEngine:
         """
         cache = self.cache
         remote_stats = getattr(cache, "remote_stats", None)
+        impl = self.policy.traversal_impl or active_traversal_impl()
+        native_unavailable = None
+        if impl == "native":
+            # Imported lazily: the probe is only meaningful (and the
+            # kernel only worth loading) when native is actually the
+            # selected impl.
+            from repro.native.session import native_unavailable_reason
+
+            native_unavailable = native_unavailable_reason(self.pag)
         return EngineStats(
             analysis=self.analysis.name,
             queries=self.queries_answered,
@@ -463,6 +498,8 @@ class PointsToEngine:
             warm_skipped=self.warm_skipped,
             csr_warm=self.csr_warm,
             remote=remote_stats() if remote_stats is not None else None,
+            traversal_impl=impl,
+            native_unavailable=native_unavailable,
         )
 
     def __repr__(self):

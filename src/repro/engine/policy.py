@@ -15,6 +15,7 @@ from typing import Optional, Tuple
 
 from repro.analysis.base import AnalysisConfig
 from repro.analysis.cipta import ContextInsensitivePta
+from repro.analysis.ppta import TRAVERSAL_IMPLS
 from repro.analysis.dynsum import DynSum
 from repro.analysis.norefine import NoRefine
 from repro.analysis.refinepts import RefinePts
@@ -239,6 +240,17 @@ class EnginePolicy:
     #: store is unbounded.
     warmth_carryover: bool = True
     parallelism: Optional[int] = None
+    #: Which PPTA traversal implementation the engine's queries run
+    #: under (``fast``/``array``/``native``/``reference``).  ``None``
+    #: (the default) leaves the process-global selection alone —
+    #: whatever :func:`repro.analysis.ppta.set_traversal_impl` or the
+    #: ``REPRO_TRAVERSAL`` environment variable chose.  Setting it pins
+    #: the impl for this engine's query paths only (applied as a scoped
+    #: override around each query/batch, not a global mutation).  The
+    #: ``native`` impl degrades to ``array`` silently when the kernel
+    #: cannot load — answers never change, and ``stats()`` reports the
+    #: reason as ``native_unavailable``.
+    traversal_impl: Optional[str] = None
     #: Path to a :mod:`repro.api.snapshot` summary-snapshot file; when
     #: set, a freshly constructed engine replays the snapshot's entries
     #: into its summary store before answering any query, so a restarted
@@ -246,6 +258,17 @@ class EnginePolicy:
     #: the engine's PAG are skipped — summaries are pure memos, so a
     #: partial warm start can only change cost, never answers.
     warm_start: Optional[str] = None
+
+    def __post_init__(self):
+        if (
+            self.traversal_impl is not None
+            and self.traversal_impl not in TRAVERSAL_IMPLS
+        ):
+            known = ", ".join(sorted(TRAVERSAL_IMPLS))
+            raise ValueError(
+                f"unknown traversal impl {self.traversal_impl!r}; "
+                f"known: {known}"
+            )
 
     def analysis_class(self):
         return resolve_analysis(self.analysis)

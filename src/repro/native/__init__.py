@@ -1,0 +1,26 @@
+"""The native traversal kernel (``traversal_impl("native")``).
+
+A small C kernel (``kernel.c``) runs the PPTA and DYNSUM inner loops
+directly over the CSR image's dense ``int32`` arrays — bit-equal to
+``run_ppta_reference`` in answers *and* step counts, gated by the
+differential batteries in ``tests/test_ppta_fastpath.py`` and
+``tests/test_native.py``.  When the kernel cannot load (no compiler,
+ABI mismatch, ``REPRO_NATIVE=0``) the dispatch layer silently falls
+back to the pure-Python ``array`` impl and engine stats report the
+reason as ``native_unavailable``.
+"""
+
+from repro.native.binding import RK_ABI_VERSION, availability
+
+
+def available():
+    """Whether the native kernel can be loaded in this process."""
+    return availability()[0]
+
+
+def unavailable_reason():
+    """Why the kernel cannot load, or ``None`` when it can."""
+    return availability()[1]
+
+
+__all__ = ["RK_ABI_VERSION", "availability", "available", "unavailable_reason"]

@@ -71,7 +71,17 @@ FLAG_LOCAL = 4
 #: path nobody ships across).
 _MAGIC = b"RCSR"
 _ENDIAN_TAG = 0x01020304
-CSR_FORMAT_VERSION = (1, 0)
+CSR_FORMAT_VERSION = (1, 1)
+
+#: The native kernel's view of this layout (see ``repro/native``).
+#: Snapshots are stamped with it (the ``kernel_abi`` meta key, new in
+#: format 1.1); the native binding refuses an image whose stamp — or
+#: lack of one, for pre-1.1 snapshots — disagrees with its own
+#: ``RK_ABI_VERSION`` and the engine falls back to the pure-Python
+#: ``array`` impl.  Bump together with ``RK_ABI_VERSION`` in
+#: ``kernel.c`` / ``binding.py`` whenever the kernel's reading of the
+#: arrays changes.
+KERNEL_ABI_VERSION = 1
 
 #: Header layout (native order, standard sizes would break the tag
 #: check's purpose): magic, endian tag, major, minor, meta length,
@@ -142,7 +152,9 @@ class CsrImage:
         "node_counts",
         "fingerprint",
         "source",
+        "kernel_abi",
         "_buffer",
+        "_native",
     ) + _ARRAY_NAMES + _ROW_NAMES
 
     def _finalize(self):
@@ -156,6 +168,11 @@ class CsrImage:
         builds no per-node objects, so a warm start stays free of graph
         recompilation.
         """
+        #: Lazy slot for the native kernel's twin of this image
+        #: (``repro.native.session``): ``None`` until first use, then a
+        #: ``_NativeGraph`` or a reason string when the kernel refused
+        #: it.
+        self._native = None
         n = self.n_nodes
         nodes = self.nodes
         tokens = self.tokens
@@ -429,6 +446,7 @@ def compile_csr(pag):
     image.node_counts = pag.node_counts()
     image.fingerprint = pag_fingerprint(pag)
     image.source = "compiled"
+    image.kernel_abi = KERNEL_ABI_VERSION
     image._buffer = None
     image._finalize()
     return image
@@ -474,6 +492,7 @@ def serialize_csr(image):
         "node_counts": image.node_counts,
         "fingerprint": image.fingerprint,
         "itemsize": _ITEMSIZE,
+        "kernel_abi": image.kernel_abi,
         "arrays": arrays_meta,
     }
     meta_raw = json.dumps(meta, sort_keys=True, separators=(",", ":")).encode("utf-8")
@@ -551,6 +570,11 @@ class CsrSection:
             raise SnapshotError(f"CSR meta is not valid JSON: {exc}") from None
         self._meta = _check_meta(meta, payload_len)
         self._payload = payload
+        # Value-range validation (new with the native kernel): the C
+        # loops index these arrays without Python's bounds checks, so a
+        # CRC-passing but value-corrupt image must be rejected here with
+        # the typed error — never handed to the kernel to segfault on.
+        _check_payload_ranges(self._meta, payload)
 
     @property
     def fingerprint(self):
@@ -592,6 +616,10 @@ class CsrSection:
         image.node_counts = meta["node_counts"]
         image.fingerprint = meta["fingerprint"]
         image.source = "mmap"
+        # Pre-1.1 sections carry no kernel ABI stamp: the native
+        # binding sees ``None``, refuses the image, and the engine
+        # falls back to the pure-Python loops (answers unchanged).
+        image.kernel_abi = meta.get("kernel_abi")
         image._buffer = self._buffer
         image._finalize()
         return image
@@ -653,6 +681,9 @@ def _check_meta(meta, payload_len):
         raise SnapshotError("CSR edge/node counts must be objects")
     if not isinstance(meta["fingerprint"], int):
         raise SnapshotError("CSR fingerprint must be an integer")
+    abi = meta.get("kernel_abi")
+    if abi is not None and (not isinstance(abi, int) or isinstance(abi, bool)):
+        raise SnapshotError("CSR kernel_abi must be an integer when present")
     arrays = meta["arrays"]
     if not isinstance(arrays, dict):
         raise SnapshotError("CSR arrays meta must be an object")
@@ -684,3 +715,63 @@ def _check_meta(meta, payload_len):
         ):
             raise SnapshotError(f"CSR token table entry {i} malformed")
     return meta
+
+
+#: Which range every CSR value array's elements must lie in: node
+#: indices, token-table indices, field-table indices, crossing op
+#: codes.  ``*_site`` arrays are unconstrained (opaque call-site ids).
+_NODE_VALUED = (
+    "new_val", "as_val", "li_val", "at_val", "lf_val", "si_val", "sf_val",
+    "cb_tgt", "cf_tgt",
+)
+_TOKEN_VALUED = ("li_tok", "sf_tok")
+_FIELD_VALUED = ("lf_fid", "si_fid")
+_OP_VALUED = ("cb_op", "cf_op")
+
+
+def _check_payload_ranges(meta, payload):
+    """Reject CRC-valid but value-corrupt images with a typed error.
+
+    The pure-Python loops would raise ``IndexError`` (or silently
+    misbehave) on an out-of-range index; the native kernel would read
+    foreign memory.  Both are unacceptable failure modes for a snapshot
+    load, so every offset array is checked for monotonicity and every
+    value array for its domain before an image is ever built.  The
+    kernel re-validates on its side (defense in depth), but this check
+    is what turns corruption into :class:`SnapshotError` for pure-Python
+    consumers too.
+    """
+    n = meta["n_nodes"]
+    arrays = meta["arrays"]
+
+    def values(name):
+        off, count = arrays[name]
+        return payload[off : off + count * _ITEMSIZE].cast("i").tolist()
+
+    for group in _GROUPS:
+        offs = values(group[0])
+        if offs[0] != 0:
+            raise SnapshotError(f"CSR offsets {group[0]!r} must start at 0")
+        prev = 0
+        for value in offs:
+            if value < prev:
+                raise SnapshotError(f"CSR offsets {group[0]!r} are not monotone")
+            prev = value
+        for name in group[1:]:
+            if arrays[name][1] != prev:
+                raise SnapshotError(
+                    f"CSR array {name!r} length disagrees with its offsets"
+                )
+
+    def domain(names, upper, what):
+        for name in names:
+            data = values(name)
+            if data and (min(data) < 0 or max(data) >= upper):
+                raise SnapshotError(
+                    f"CSR array {name!r} holds an out-of-range {what}"
+                )
+
+    domain(_NODE_VALUED, n, "node index")
+    domain(_TOKEN_VALUED, len(meta["tokens"]), "token id")
+    domain(_FIELD_VALUED, max(len(meta["fields"]), 1), "field id")
+    domain(_OP_VALUED, OP_CLEAR + 1, "crossing op code")

@@ -14,8 +14,10 @@ PAPERS.md).  This harness measures **steps per second**:
   runs cold, later rounds run on a warm summary cache).  Each workload
   runs under the optimized traversal implementations
   (:func:`repro.analysis.ppta.traversal_impl`): ``fast`` — the
-  record-based loop — and ``array`` — the CSR-image loop
-  (:mod:`repro.pag.csr`) — against ``reference``, the retained
+  record-based loop — ``array`` — the CSR-image loop
+  (:mod:`repro.pag.csr`) — and ``native`` — the compiled C kernel over
+  the same CSR arrays (:mod:`repro.native`, skipped with a log line
+  when the kernel cannot load) — against ``reference``, the retained
   pre-optimization loop (accessor-based PPTA + worklist).  Answers are
   asserted element-wise identical and step counts bit-equal across all
   implementations; the ratios of wall times are the speedups each
@@ -96,8 +98,11 @@ STRESS_WORKLOADS = (
 )
 
 #: Optimized traversal implementations the sweep may time against the
-#: ``reference`` baseline (which always runs).
-OPTIMIZED_IMPLS = ("fast", "array")
+#: ``reference`` baseline (which always runs).  ``native`` is dropped
+#: from a sweep (with a log line) when the compiled kernel cannot load
+#: on the host — timing it there would silently measure the ``array``
+#: fallback instead.
+OPTIMIZED_IMPLS = ("fast", "array", "native")
 
 #: The loop bodies each optimized impl actually exercises, as
 #: ``"<relpath>::<QualName>"`` ids.  CI asserts this equals
@@ -111,6 +116,10 @@ MEASURED_HOT_FUNCTIONS = {
     "array": (
         "src/repro/analysis/dynsum.py::DynSum._explore_array",
         "src/repro/analysis/ppta.py::_run_ppta_array",
+    ),
+    "native": (
+        "src/repro/native/kernel.c::rk_dynsum",
+        "src/repro/native/kernel.c::rk_ppta",
     ),
 }
 
@@ -238,8 +247,16 @@ def run_figure4(
                 row["speedup"] = round(best["reference"] / best["fast"], 3)
             if "array" in impls:
                 row["speedup_array"] = round(best["reference"] / best["array"], 3)
+            if "native" in impls:
+                row["speedup_native"] = round(
+                    best["reference"] / best["native"], 3
+                )
             if "fast" in impls and "array" in impls:
                 row["array_vs_fast"] = round(best["fast"] / best["array"], 3)
+            if "array" in impls and "native" in impls:
+                row["native_vs_array"] = round(
+                    best["array"] / best["native"], 3
+                )
             workloads.append(row)
             log(
                 f"  {name:16s} {client_name:10s} steps={ref_steps:8d} "
@@ -256,8 +273,16 @@ def run_figure4(
         aggregate["speedup_array"] = round(
             totals["reference"] / totals["array"], 3
         )
+    if "native" in impls and totals["native"]:
+        aggregate["speedup_native"] = round(
+            totals["reference"] / totals["native"], 3
+        )
     if "fast" in impls and "array" in impls and totals["array"]:
         aggregate["array_vs_fast"] = round(totals["fast"] / totals["array"], 3)
+    if "array" in impls and "native" in impls and totals["native"]:
+        aggregate["native_vs_array"] = round(
+            totals["array"] / totals["native"], 3
+        )
     return {"workloads": workloads, "aggregate": aggregate}
 
 
@@ -441,6 +466,16 @@ def run_perf(
     benchmarks = tuple(benchmarks or (("jython",) if quick else FIGURE_BENCHMARKS))
     clients = tuple(clients or (("SafeCast",) if quick else ("SafeCast", "NullDeref")))
     impls = tuple(impls or OPTIMIZED_IMPLS)
+    if "native" in impls:
+        # Timing "native" without a loadable kernel would silently
+        # measure the array fallback; drop it from the sweep instead
+        # and say why.
+        from repro.native import availability
+
+        native_ok, native_reason = availability()
+        if not native_ok:
+            log(f"native kernel unavailable ({native_reason}); sweeping without it")
+            impls = tuple(impl for impl in impls if impl != "native")
     rounds = rounds if rounds is not None else (2 if quick else 3)
     reps = reps if reps is not None else (2 if quick else 7)
     log(f"figure4 workloads ({'/'.join(impls)} vs reference, persistent engine):")
@@ -458,7 +493,9 @@ def run_perf(
     profile = run_profile(benchmarks, scale, top=profile_top)
     report = {
         "protocol": "repro-perf",
-        "version": 2,
+        # Version 3 adds the native-kernel column (speedup_native /
+        # native_vs_array) to figure4 rows and aggregates.
+        "version": 3,
         "quick": quick,
         "python": sys.version.split()[0],
         "figure4": figure4,
@@ -509,6 +546,18 @@ def _check_report(report):
                 f"array throughput regressed to {aggregate['array_vs_fast']}x "
                 f"of the fast baseline (< 0.85x)"
             )
+    # The C kernel's whole reason to exist is clearing the best
+    # pure-Python loop by a wide margin in the same interleaved run.
+    # Its gate keys on the *array* total: below ~50ms of pure-Python
+    # loop time the workloads are so small that the kernel's fixed
+    # per-query crossing cost dominates and the ratio measures FFI
+    # overhead, not traversal throughput.
+    if (aggregate.get("time_sec_array") or 0.0) >= 0.05:
+        if "native_vs_array" in aggregate and aggregate["native_vs_array"] < 1.5:
+            raise PerfCheckError(
+                f"native kernel speedup over the array loop fell to "
+                f"{aggregate['native_vs_array']}x (< 1.5x)"
+            )
     warmstart = report.get("warmstart")
     if warmstart is not None and (
         not warmstart["csr_warm"]
@@ -530,8 +579,8 @@ def _check_report(report):
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="repro-perf",
-        description="wall-clock perf harness: steps/sec fast/array vs "
-        "reference, CSR warm starts, eviction scaling, cProfile top-N",
+        description="wall-clock perf harness: steps/sec fast/array/native "
+        "vs reference, CSR warm starts, eviction scaling, cProfile top-N",
     )
     parser.add_argument(
         "--quick",
@@ -593,8 +642,12 @@ def main(argv=None):
         parts.append(f"fast {aggregate['speedup']}x")
     if "speedup_array" in aggregate:
         parts.append(f"array {aggregate['speedup_array']}x")
+    if "speedup_native" in aggregate:
+        parts.append(f"native {aggregate['speedup_native']}x")
     if "array_vs_fast" in aggregate:
         parts.append(f"array/fast {aggregate['array_vs_fast']}x")
+    if "native_vs_array" in aggregate:
+        parts.append(f"native/array {aggregate['native_vs_array']}x")
     warmstart = report["warmstart"]
     print(
         f"aggregate speedup over reference: {', '.join(parts)}; "

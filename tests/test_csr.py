@@ -7,7 +7,9 @@ and its corruption battery — every malformed file must surface as a
 typed :class:`~repro.api.protocol.SnapshotError`, never a crash.
 """
 
+import json
 import struct
+import zlib
 
 import pytest
 
@@ -22,6 +24,7 @@ from repro.cfl.stacks import field_id, token_id
 from repro.engine.policy import EnginePolicy
 from repro.pag.csr import (
     CSR_FORMAT_VERSION,
+    KERNEL_ABI_VERSION,
     CsrSection,
     compile_csr,
     pag_fingerprint,
@@ -317,6 +320,128 @@ class TestCorruptionBattery:
         other = generated_pag()
         with pytest.raises(SnapshotError):
             snapshot.csr.image_for(other)
+
+    # ------------------------------------------------------------------
+    # value corruption the CRC alone cannot describe: these rows restamp
+    # the checksum after mutating, so only the range validation (added
+    # with the native kernel, which indexes these arrays without
+    # Python's bounds checks) stands between the corrupt image and a
+    # segfault / silent misread.
+    # ------------------------------------------------------------------
+    _CSR_HEADER = struct.Struct("=4sIHHIIQI")
+    _CSR_CRC_OFFSET = 28  # 4s + I + H + H + I + I + Q
+
+    def _section_layout(self, path):
+        blob = bytearray(path.read_bytes())
+        csr = self._csr_offset(path)
+        _m, _e, _maj, _min, meta_len, _r, payload_len, _crc = (
+            self._CSR_HEADER.unpack_from(blob, csr)
+        )
+        meta_end = self._CSR_HEADER.size + meta_len
+        payload_start = csr + meta_end + (
+            16 - meta_end % 16 if meta_end % 16 else 0
+        )
+        meta = json.loads(
+            bytes(blob[csr + self._CSR_HEADER.size : csr + meta_end]).decode(
+                "utf-8"
+            )
+        )
+        return blob, csr, payload_start, payload_len, meta
+
+    def _patch_value(self, path, pick):
+        """Overwrite one payload int chosen by ``pick(meta)`` (as
+        ``(array_name, index, value)``) and restamp the payload CRC."""
+        blob, csr, payload_start, payload_len, meta = self._section_layout(path)
+        name, index, value = pick(meta)
+        off, count = meta["arrays"][name]
+        assert index < count, f"fixture image's {name!r} is too small"
+        struct.pack_into("=i", blob, payload_start + off + index * 4, value)
+        crc = zlib.crc32(bytes(blob[payload_start : payload_start + payload_len]))
+        struct.pack_into("=I", blob, csr + self._CSR_CRC_OFFSET, crc)
+        path.write_bytes(bytes(blob))
+
+    @staticmethod
+    def _first_nonempty(meta, names):
+        for name in names:
+            if meta["arrays"][name][1]:
+                return name
+        raise AssertionError(f"fixture image has none of {names}")
+
+    def test_out_of_range_node_index_is_rejected(self, snapshot_path):
+        def pick(meta):
+            name = self._first_nonempty(
+                meta, ("as_val", "new_val", "li_val", "cb_tgt")
+            )
+            return name, 0, meta["n_nodes"]
+
+        self._patch_value(snapshot_path, pick)
+        with pytest.raises(SnapshotError, match="out-of-range node index"):
+            load_snapshot(snapshot_path)
+
+    def test_out_of_range_token_id_is_rejected(self, snapshot_path):
+        def pick(meta):
+            name = self._first_nonempty(meta, ("li_tok", "sf_tok"))
+            return name, 0, len(meta["tokens"])
+
+        self._patch_value(snapshot_path, pick)
+        with pytest.raises(SnapshotError, match="out-of-range token id"):
+            load_snapshot(snapshot_path)
+
+    def test_out_of_range_op_code_is_rejected(self, snapshot_path):
+        def pick(meta):
+            name = self._first_nonempty(meta, ("cb_op", "cf_op"))
+            return name, 0, 9
+
+        self._patch_value(snapshot_path, pick)
+        with pytest.raises(SnapshotError, match="crossing op code"):
+            load_snapshot(snapshot_path)
+
+    def test_negative_value_is_rejected(self, snapshot_path):
+        def pick(meta):
+            name = self._first_nonempty(meta, ("as_val", "new_val"))
+            return name, 0, -3
+
+        self._patch_value(snapshot_path, pick)
+        with pytest.raises(SnapshotError, match="out-of-range node index"):
+            load_snapshot(snapshot_path)
+
+    def test_nonmonotone_offsets_are_rejected(self, snapshot_path):
+        self._patch_value(snapshot_path, lambda meta: ("as_off", 0, 7))
+        with pytest.raises(SnapshotError, match="offsets"):
+            load_snapshot(snapshot_path)
+
+    def test_kernel_abi_mismatch_degrades_native_to_array(
+        self, snapshot_path, pag
+    ):
+        """A stamped-but-mismatched kernel ABI is not corruption: the
+        image loads, the pure-Python impls consume it as ever, and the
+        ``native`` impl refuses it and silently falls back to ``array``
+        with identical answers (the meta is outside the payload CRC, so
+        the stamp can be rewritten in place)."""
+        old = f'"kernel_abi":{KERNEL_ABI_VERSION}'.encode()
+        blob = snapshot_path.read_bytes()
+        assert old in blob
+        snapshot_path.write_bytes(blob.replace(old, b'"kernel_abi":9', 1))
+        image = load_snapshot(snapshot_path).csr.image_for(pag)
+        assert image.kernel_abi == 9
+        pag.install_csr(image)
+
+        from repro.analysis.dynsum import DynSum
+
+        def answers(impl):
+            analysis = DynSum(pag, bench_analysis_config())
+            with traversal_impl(impl):
+                return [
+                    sorted(map(repr, analysis.points_to(node).pairs))
+                    for node in pag.local_var_nodes()
+                ], analysis.total_steps
+
+        assert answers("native") == answers("array")
+        from repro.native import available
+        from repro.native.session import native_unavailable_reason
+
+        if available():
+            assert "kernel ABI" in native_unavailable_reason(pag)
 
 
 class TestArrayImplOverCsr:

@@ -261,6 +261,68 @@ class TestHotLoopHygiene:
         write(tmp_path, "src/other.py", HOT_VIOLATING)
         assert lint(tmp_path, "--rule", "HOT001") == 0
 
+    # -- impl="native" entries: existence-checked in the C source, ----
+    # -- never hygiene-checked as Python --------------------------------
+    def test_native_entries_are_not_hygiene_checked(
+        self, tmp_path, monkeypatch
+    ):
+        """A registered kernel driver must not make HOT001 demand a
+        Python def of that name — the regression the HotFunction.impl
+        marker exists to prevent."""
+        from repro.devtools.registry import HOT_FUNCTIONS, HotFunction
+
+        monkeypatch.setitem(
+            HOT_FUNCTIONS,
+            "src/repro/analysis/ppta.py",
+            (
+                HotFunction("_run_ppta_fast"),
+                HotFunction("rk_ppta", impl="native"),
+            ),
+        )
+        write(
+            tmp_path,
+            "src/repro/analysis/ppta.py",
+            "# C twin: rk_ppta\n"
+            "def _run_ppta_fast(records, work):\n    return []\n",
+        )
+        assert lint(tmp_path, "--rule", "HOT001") == 0
+
+    def test_native_symbol_present_is_clean(self, tmp_path, monkeypatch):
+        from repro.devtools.registry import HOT_FUNCTIONS, HotFunction
+
+        monkeypatch.setitem(
+            HOT_FUNCTIONS,
+            "src/mykernel.c",
+            (HotFunction("rk_probe", impl="native"),),
+        )
+        write(tmp_path, "src/mykernel.c", "int rk_probe(void) { return 0; }\n")
+        write(tmp_path, "src/ok.py", "x = 1\n")
+        assert lint(tmp_path, "--rule", "HOT001") == 0
+
+    def test_native_symbol_missing_is_flagged(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.devtools.registry import HOT_FUNCTIONS, HotFunction
+
+        monkeypatch.setitem(
+            HOT_FUNCTIONS,
+            "src/mykernel.c",
+            (HotFunction("rk_probe", impl="native"),),
+        )
+        write(tmp_path, "src/mykernel.c", "int other_symbol(void) { return 0; }\n")
+        write(tmp_path, "src/ok.py", "x = 1\n")
+        assert lint(tmp_path, "--rule", "HOT001") == 1
+        messages = [m for _, _, m in findings_of(capsys)]
+        assert any(
+            "native hot function 'rk_probe' not found" in m for m in messages
+        )
+
+    def test_absent_native_file_is_skipped_silently(self, tmp_path):
+        """Fixture projects carry no kernel.c; the shipped registry's
+        native entries must not flag them."""
+        write(tmp_path, "src/ok.py", "x = 1\n")
+        assert lint(tmp_path, "--rule", "HOT001") == 0
+
 
 # ----------------------------------------------------------------------
 # ASYNC001 (fixtures live at the registered async root)

@@ -1,0 +1,181 @@
+"""The native traversal kernel's availability/fallback contract.
+
+The differential battery (``tests/test_ppta_fastpath.py``) pins the
+kernel's bit-parity with the reference loop; this module pins the
+*plumbing* around it:
+
+* :func:`repro.native.availability` — a ``(bool, reason)`` pair, never
+  an exception, whatever the host is missing;
+* ``REPRO_NATIVE=0`` and a missing C compiler both degrade the
+  ``native`` impl to the pure-Python ``array`` loop silently — answers
+  and step counts identical, with the reason reported through engine
+  stats as ``native_unavailable``;
+* the :class:`~repro.engine.policy.EnginePolicy` ``traversal_impl``
+  knob and the ``REPRO_TRAVERSAL`` boot default select the impl, and
+  the selection plus any native fallback reason travel over the wire
+  on ``stats-result`` (protocol 1.5).
+"""
+
+import pytest
+
+from repro.analysis import ppta
+from repro.analysis.dynsum import DynSum
+from repro.api.codec import encode, decode_response
+from repro.api.protocol import StatsRequest
+from repro.api.service import PointsToService
+from repro.bench.generator import GeneratorConfig, generate_program
+from repro.bench.runner import bench_analysis_config
+from repro.engine.core import PointsToEngine
+from repro.engine.policy import EnginePolicy
+from repro.native import availability, binding
+from repro.pag.builder import build_pag
+
+
+@pytest.fixture
+def fresh_kernel_state():
+    """Recompute the cached kernel-load outcome around a test that
+    changes the environment it depends on."""
+    binding._reset()
+    yield
+    binding._reset()
+
+
+def make_pag(seed=3):
+    return build_pag(
+        generate_program(
+            GeneratorConfig(
+                seed=seed, domain_classes=4, data_classes=3, layers=2
+            )
+        )
+    )
+
+
+def answers(pag, impl):
+    analysis = DynSum(pag, bench_analysis_config())
+    with ppta.traversal_impl(impl):
+        results = [
+            analysis.points_to(node) for node in pag.local_var_nodes()
+        ]
+    return (
+        [sorted(map(repr, r.pairs)) for r in results],
+        [r.steps for r in results],
+    )
+
+
+class TestAvailability:
+    def test_contract(self):
+        ok, reason = availability()
+        if ok:
+            assert reason is None
+        else:
+            assert isinstance(reason, str) and reason
+
+    def test_repro_native_0_disables(self, monkeypatch, fresh_kernel_state):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        binding._reset()
+        ok, reason = availability()
+        assert not ok
+        assert reason == "disabled (REPRO_NATIVE=0)"
+
+    def test_no_compiler_is_a_reason_not_an_error(
+        self, monkeypatch, tmp_path, fresh_kernel_state
+    ):
+        # An unresolvable $CC means "no compiler", and an empty cache
+        # dir keeps a previously compiled kernel from being reused.
+        # (REPRO_NATIVE takes precedence, so clear an outer opt-out —
+        # the CI no-compiler leg exports it suite-wide.)
+        monkeypatch.delenv("REPRO_NATIVE", raising=False)
+        monkeypatch.setenv("CC", str(tmp_path / "no-such-cc"))
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path / "cache"))
+        binding._reset()
+        ok, reason = availability()
+        assert not ok
+        assert "no C compiler" in reason
+
+
+class TestFallback:
+    def test_disabled_kernel_answers_identically(
+        self, monkeypatch, fresh_kernel_state
+    ):
+        pag = make_pag()
+        expected = answers(pag, "array")
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        binding._reset()
+        assert answers(pag, "native") == expected
+
+    def test_no_compiler_answers_identically(
+        self, monkeypatch, tmp_path, fresh_kernel_state
+    ):
+        pag = make_pag(seed=4)
+        expected = answers(pag, "array")
+        monkeypatch.delenv("REPRO_NATIVE", raising=False)
+        monkeypatch.setenv("CC", str(tmp_path / "no-such-cc"))
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path / "cache"))
+        binding._reset()
+        assert answers(pag, "native") == expected
+
+
+class TestSelection:
+    def test_policy_knob_pins_the_impl(self):
+        pag = make_pag()
+        native = PointsToEngine(pag, EnginePolicy(traversal_impl="native"))
+        reference = PointsToEngine(
+            pag, EnginePolicy(traversal_impl="reference")
+        )
+        nodes = list(pag.local_var_nodes())
+        got = [sorted(map(repr, native.query(n).pairs)) for n in nodes]
+        want = [sorted(map(repr, reference.query(n).pairs)) for n in nodes]
+        assert got == want
+        assert native.steps_total == reference.steps_total
+        assert native.stats().traversal_impl == "native"
+        assert reference.stats().traversal_impl == "reference"
+
+    def test_unpinned_policy_reports_the_global_impl(self):
+        engine = PointsToEngine(make_pag(), EnginePolicy())
+        with ppta.traversal_impl("array"):
+            assert engine.stats().traversal_impl == "array"
+
+    def test_unknown_impl_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown traversal impl"):
+            EnginePolicy(traversal_impl="turbo")
+
+    def test_env_boot_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRAVERSAL", "native")
+        assert ppta._default_impl() == "native"
+        monkeypatch.setenv("REPRO_TRAVERSAL", "turbo")
+        # A stale env value must not brick the process.
+        assert ppta._default_impl() == "fast"
+        monkeypatch.delenv("REPRO_TRAVERSAL")
+        assert ppta._default_impl() == "fast"
+
+
+class TestStatsPlumbing:
+    def test_native_unavailable_reason_reaches_stats(
+        self, monkeypatch, fresh_kernel_state
+    ):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        binding._reset()
+        engine = PointsToEngine(
+            make_pag(), EnginePolicy(traversal_impl="native")
+        )
+        stats = engine.stats()
+        assert stats.traversal_impl == "native"
+        assert stats.native_unavailable == "disabled (REPRO_NATIVE=0)"
+
+    def test_non_native_engines_probe_nothing(self):
+        engine = PointsToEngine(
+            make_pag(), EnginePolicy(traversal_impl="array")
+        )
+        assert engine.stats().native_unavailable is None
+
+    def test_stats_response_carries_the_fields(self):
+        engine = PointsToEngine(
+            make_pag(), EnginePolicy(traversal_impl="native")
+        )
+        for node in list(engine.pag.local_var_nodes())[:3]:
+            engine.query(node)
+        response = PointsToService(engine).handle(StatsRequest())
+        decoded = decode_response(encode(response))
+        assert decoded.traversal_impl == "native"
+        ok, reason = availability()
+        assert decoded.native_unavailable == (None if ok else reason)

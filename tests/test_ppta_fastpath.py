@@ -9,8 +9,9 @@ same records.  The pre-optimization implementation is retained
 :func:`repro.analysis.ppta.traversal_impl` — and this battery pins the
 equivalence over ~50 generated programs:
 
-* DYNSUM and STASUM run under **both** implementations on fresh
-  instances: query results element-wise identical, step counts
+* DYNSUM and STASUM run under **every** implementation (``fast``,
+  ``array``, and — when the compiled kernel loads — ``native``) on
+  fresh instances: query results element-wise identical, step counts
   bit-equal, and (DYNSUM) the cached summaries' object/boundary sets
   identical entry for entry;
 * NOREFINE and REFINEPTS (whose record-based loops have no switch) are
@@ -31,6 +32,7 @@ from dataclasses import replace
 import pytest
 
 from repro.analysis import ppta
+from repro.analysis.base import AnalysisConfig
 from repro.analysis.dynsum import DynSum
 from repro.analysis.norefine import NoRefine
 from repro.analysis.refinepts import RefinePts
@@ -38,7 +40,20 @@ from repro.analysis.stasum import StaSum
 from repro.bench.generator import GeneratorConfig, generate_program
 from repro.bench.runner import bench_analysis_config
 from repro.clients import SafeCastClient
+from repro.native import availability
 from repro.pag.builder import build_pag
+
+
+def _battery_impls():
+    """The optimized impls this host can differentially test: ``native``
+    joins when the kernel loads (no compiler → it is exercised by
+    :func:`test_native_rows_covered_or_skipped`'s explicit skip
+    instead, and the dispatch fallback keeps it answer-identical
+    anyway)."""
+    impls = ["fast", "array"]
+    if availability()[0]:
+        impls.append("native")
+    return tuple(impls)
 
 #: 50 program shapes: a seed sweep over a small base config plus a few
 #: structural variants (deeper layering, heavier library traffic, field
@@ -112,13 +127,14 @@ def summary_facts(cache):
 @pytest.mark.parametrize("chunk", range(10))
 def test_differential_battery(chunk):
     """Five programs per chunk (pytest-parallel friendly), all four
-    analyses, fast vs array vs reference."""
+    analyses, fast vs array vs native vs reference."""
+    impls = _battery_impls()
     for config in CONFIGS[chunk * 5 : chunk * 5 + 5]:
         pag = make_pag(config)
         nodes = query_nodes(pag)
         assert nodes, f"no queries generated for seed {config.seed}"
         outcomes = {}
-        for impl in ("fast", "array", "reference"):
+        for impl in impls + ("reference",):
             with ppta.traversal_impl(impl):
                 dynsum = DynSum(pag, bench_analysis_config())
                 dyn_results = run_all(dynsum, nodes)
@@ -137,7 +153,7 @@ def test_differential_battery(chunk):
                 "sta_steps": [r.steps for r in sta_results],
             }
         ref = outcomes["reference"]
-        for impl in ("fast", "array"):
+        for impl in impls:
             got = outcomes[impl]
             label = f"seed {config.seed} [{impl}]"
             # Element-wise identical answers, steps and probe accounting.
@@ -165,6 +181,76 @@ def test_differential_battery(chunk):
                 assert canonical(nr) == ref["dyn"][index], (label, index)
             if rp.complete:
                 assert canonical(rp) == ref["dyn"][index], (label, index)
+
+
+def test_native_rows_covered_or_skipped():
+    """Make the battery's native coverage visible: on hosts where the
+    kernel loads this asserts the battery really swept ``native``; on
+    hosts without a working compiler it SKIPS with the binding's
+    reason, so a green run never silently means "native untested"."""
+    ok, reason = availability()
+    if not ok:
+        pytest.skip(f"native kernel unavailable: {reason}")
+    assert "native" in _battery_impls()
+
+
+#: Adversarial program shapes for the native soak: recursion (folded
+#: sites), a megamorphic call site (wide cross-edge op lists) and deep
+#: field chains (long hash-consed stacks), swept across budget/k-limit
+#: cutoffs — every abort path must leave answers AND step counts
+#: bit-equal to the reference loop.
+_SOAK_BASE = GeneratorConfig(
+    domain_classes=5,
+    data_classes=4,
+    workers_per_class=2,
+    stmts_per_worker=8,
+    layers=3,
+    recursion_depth=4,
+    megamorphic_degree=5,
+    field_chain_depth=4,
+)
+_SOAK_CONFIGS = (
+    AnalysisConfig(budget=3),
+    AnalysisConfig(budget=25, max_field_depth=2),
+    AnalysisConfig(budget=120, track_heap_contexts=False),
+    AnalysisConfig(budget=None, max_field_depth=1),
+    AnalysisConfig(budget=None),
+)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_native_adversarial_soak(seed):
+    """Randomized adversarial soak: native vs reference, identical
+    answers and step counts across abort-heavy configurations."""
+    ok, reason = availability()
+    if not ok:
+        pytest.skip(f"native kernel unavailable: {reason}")
+    pag = make_pag(replace(_SOAK_BASE, seed=1000 + seed))
+    nodes = query_nodes(pag)
+    assert nodes
+    for config in _SOAK_CONFIGS:
+        outcomes = {}
+        for impl in ("native", "reference"):
+            with ppta.traversal_impl(impl):
+                dynsum = DynSum(pag, config)
+                results = run_all(dynsum, nodes)
+            outcomes[impl] = {
+                "answers": [canonical(r) for r in results],
+                "steps": [r.steps for r in results],
+                "stats": [
+                    (r.stats["cache_hits"], r.stats["cache_misses"])
+                    for r in results
+                ],
+                "facts": summary_facts(dynsum.cache),
+            }
+        assert outcomes["native"] == outcomes["reference"], (
+            f"seed {1000 + seed}, config {config}"
+        )
+    # The rows above must have run IN the kernel, not on the silent
+    # array fallback — a refused image would make this soak vacuous.
+    from repro.native.session import _NativeGraph
+
+    assert type(pag.csr()._native) is _NativeGraph
 
 
 _HASHSEED_SCRIPT = r"""
