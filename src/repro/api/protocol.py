@@ -62,7 +62,14 @@ from typing import Any, Optional, Tuple
 from repro.analysis.summaries import CacheStats
 from repro.engine.scheduler import BatchStats
 
-#: The protocol spoken by this build — "<major>.<minor>".  1.5 adds
+#: The protocol spoken by this build — "<major>.<minor>".  1.6 adds
+#: the failure-semantics rows to the remote stats on ``stats-result``:
+#: ``faults`` (transport faults injected by a deterministic
+#: :class:`~repro.cacheserver.faults.FaultSchedule` — zero in
+#: production), ``degraded`` (fall-open decisions: every time the
+#: client answered from local computation because the service path
+#: failed), and ``breaker_state`` (each shard link's circuit-breaker
+#: state, shard-ordered).  1.5 adds
 #: ``traversal_impl``/``native_unavailable`` to ``stats-result``: which
 #: PPTA traversal implementation the engine's queries run under, and —
 #: when that is ``native`` — why the compiled kernel cannot serve (null
@@ -84,7 +91,7 @@ from repro.engine.scheduler import BatchStats
 #: remote stats; 1.1 added the store-level ops
 #: (``lookup``/``store``/``store-stats``) and the warm-start/remote
 #: counters on ``stats-result``; 1.0 traffic decodes unchanged.
-PROTOCOL_VERSION = "1.5"
+PROTOCOL_VERSION = "1.6"
 
 
 def split_version(version):
@@ -509,6 +516,17 @@ class RemoteStoreStats:
     after a drop, and ``seeded_entries`` summaries replayed into a
     freshly reconnected (possibly blank-restarted) shard by the
     reconnect-and-seed snapshot.
+
+    Protocol 1.6 adds the failure-semantics rows: ``faults`` counts
+    transport faults injected by the client's deterministic
+    :class:`~repro.cacheserver.faults.FaultSchedule` (zero in
+    production — a nonzero value proves a chaos schedule actually
+    fired); ``degraded`` counts fall-open decisions, i.e. every time
+    the client answered from local computation because a service path
+    failed (transport error, undecodable response, unresolvable entry,
+    fingerprint-less operation); ``breaker_state`` is each shard
+    link's circuit-breaker state (``closed``/``open``/``half-open``),
+    shard-ordered.
     """
 
     shards: int
@@ -525,6 +543,9 @@ class RemoteStoreStats:
     epoch_rejections: int = 0
     reconnects: int = 0
     seeded_entries: int = 0
+    faults: int = 0
+    degraded: int = 0
+    breaker_state: Tuple[str, ...] = ()
     protocol_version: str = PROTOCOL_VERSION
 
 

@@ -34,6 +34,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro.api.codec import attach_response_id, encode, split_request_id
 from repro.api.protocol import ErrorResponse, ProtocolError
+from repro.cacheserver.faults import InjectedDisconnect
 from repro.cacheserver.server import ShardDispatcher
 
 #: How long ``stop()`` waits for in-flight requests to finish writing.
@@ -176,6 +177,13 @@ class AsyncLineServer:
                 self._executor, self._handle_line, line
             )
             await self._write(writer, write_lock, attach_response_id(result, rid))
+        except InjectedDisconnect:
+            # Fault injection: drop the whole connection mid-flight, the
+            # way a crashed shard would — not just this response.
+            try:
+                writer.close()
+            except (OSError, RuntimeError):
+                pass
         except (ConnectionError, OSError):
             pass
         except RuntimeError:
@@ -252,6 +260,7 @@ class AsyncShardServer(ShardDispatcher):
         max_facts=None,
         eviction="lru",
         dispatch_workers=DEFAULT_DISPATCH_WORKERS,
+        faults=None,
     ):
         super().__init__(
             shard_index,
@@ -259,6 +268,7 @@ class AsyncShardServer(ShardDispatcher):
             max_entries=max_entries,
             max_facts=max_facts,
             eviction=eviction,
+            faults=faults,
         )
         self.transport = AsyncLineServer(
             self.handle_line,

@@ -98,7 +98,30 @@ def _build_parser():
             "--serve-shard and to the children a launcher spawns)"
         ),
     )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "deterministic server-side fault injection, e.g. "
+            "'seed=7,rate=0.1,kinds=disconnect|corrupt' (see "
+            "repro.cacheserver.faults.FaultSchedule.parse; defaults to "
+            "the REPRO_FAULTS environment variable; applies to "
+            "--serve-shard and to the children a launcher spawns)"
+        ),
+    )
     return parser
+
+
+def _resolve_faults(args):
+    """The ``--faults`` spec (or ``REPRO_FAULTS``), parsed; exits loudly
+    on a malformed spec — a chaos run that silently injected nothing
+    would defeat its purpose."""
+    from repro.cacheserver.faults import FaultSchedule
+
+    spec = args.faults if args.faults is not None else os.environ.get("REPRO_FAULTS", "")
+    spec = spec.strip()
+    return FaultSchedule.parse(spec) if spec else None
 
 
 # ----------------------------------------------------------------------
@@ -119,6 +142,7 @@ def _serve_shard(args):
             max_entries=args.max_entries,
             max_facts=args.max_facts,
             eviction=args.eviction,
+            faults=_resolve_faults(args),
         )
     except (ValueError, OSError) as exc:
         print(f"repro-cached: {exc}", file=sys.stderr)
@@ -166,6 +190,7 @@ def _launch_cluster(args):
             max_facts=args.max_facts,
             eviction=args.eviction,
             threaded=args.threaded,
+            faults=_resolve_faults(args),
         )
     except (ValueError, OSError, RuntimeError) as exc:
         print(f"repro-cached: {exc}", file=sys.stderr)

@@ -40,9 +40,18 @@ Correctness stance — the part the tests pin down:
   seed snapshot of the local tier's entries for that shard in the same
   flight as the first request (``reconnects``/``seeded_entries``), so
   a blank shard is re-warmed instead of serving misses forever.
-* **backoff, not retry storms.**  A failed shard link is torn down and
-  skipped for ``retry_interval`` seconds, so a dead service costs one
-  timeout per shard per interval, not per lookup.
+* **breaker-bounded backoff, not retry storms.**  A failed shard link
+  is torn down and its per-link :class:`~repro.cacheserver.faults.CircuitBreaker`
+  opens: requests fail fast until the jittered-exponential
+  :class:`~repro.cacheserver.faults.RetryPolicy` window lapses, then a
+  single half-open probe decides whether the circuit closes again.  A
+  dead fleet costs at most one connect attempt per link per backoff
+  window, and the per-address jitter keys keep N links from probing in
+  lockstep.  Every fall-open decision — any path that degrades to
+  local computation — additionally counts ``degraded``, and injected
+  faults (:class:`~repro.cacheserver.faults.FaultSchedule`) count
+  ``faults``, so a chaos run can prove the fail-open ladder was
+  actually exercised.
 * **pipelining is the default.**  Under ``pipeline=True`` (protocol
   1.2, and what ``CachePolicy(remote=...)`` now defaults to) the
   engine's batch hooks make a warm batch cost O(shards) round trips:
@@ -99,6 +108,20 @@ from repro.api.snapshot import (
     key_to_wire,
     resolve_wire_entry,
 )
+from repro.cacheserver.faults import (
+    CircuitBreaker,
+    FaultError,
+    FaultInjector,
+    FaultSchedule,
+    InjectedDisconnect,
+    InjectedFault,
+    InjectedTimeout,
+    RetryPolicy,
+    coerce_schedule,
+    corrupt_line,
+    truncate_line,
+)
+from zlib import crc32
 
 
 class ShardUnavailable(Exception):
@@ -124,9 +147,14 @@ class ShardLink:
 
     Lazily connected, serialized by a lock, reused across batches (the
     connection is process state — no reconnect-per-op path exists), torn
-    down on any transport error and then *backed off*: for
-    ``retry_interval`` seconds every request fails fast with
-    :class:`ShardUnavailable` instead of re-paying the connect timeout.
+    down on any transport error.  Failures feed a per-link
+    :class:`~repro.cacheserver.faults.CircuitBreaker`: while the
+    circuit is open every request fails fast with
+    :class:`ShardUnavailable` instead of re-paying the connect timeout,
+    and when the (jittered, exponential) backoff window lapses exactly
+    one caller becomes the half-open probe.  The legacy
+    ``retry_interval`` float is still accepted and mapped onto an
+    equivalent :class:`~repro.cacheserver.faults.RetryPolicy`.
 
     :meth:`request_many` pipelines several request lines into one
     flight — all lines written, then all responses read — so a chunked
@@ -143,7 +171,8 @@ class ShardLink:
     re-adopts entries it already holds (stores are idempotent).
     """
 
-    def __init__(self, address, timeout=1.0, retry_interval=None):
+    def __init__(self, address, timeout=1.0, retry_interval=None, retry=None,
+                 faults=None, shard_index=0, clock=None):
         host, _, port = address.rpartition(":")
         if not host or not port.isdigit():
             raise ValueError(f"shard address must be 'host:port', got {address!r}")
@@ -151,11 +180,25 @@ class ShardLink:
         self.host = host
         self.port = int(port)
         self.timeout = timeout
-        self.retry_interval = timeout if retry_interval is None else retry_interval
+        self.retry_interval = retry_interval
+        if retry is None:
+            retry = RetryPolicy.from_interval(
+                timeout if retry_interval is None else retry_interval
+            )
+        self.retry_policy = retry
+        # The jitter key is the address hash: deterministic for this
+        # link, different from its siblings' — no lockstep retries.
+        self.breaker = CircuitBreaker(
+            retry=retry, clock=clock, key=crc32(address.encode())
+        )
+        #: Client-side fault injector shared across a backend's links
+        #: (``None`` in production).
+        self.faults = faults
+        self.shard_index = shard_index
+        self.seed_failures = 0  # seed flights abandoned before sending
         self._lock = threading.Lock()
         self._sock = None
         self._reader = None
-        self._down_until = 0.0
         self._ever_connected = False
         #: ``() -> iterable of request lines`` replayed on reconnect
         #: (not on first connect); ``None`` disables seeding.
@@ -177,9 +220,21 @@ class ShardLink:
         contract a single failed :meth:`request` has).
         """
         with self._lock:
-            if time.monotonic() < self._down_until:
-                raise ShardUnavailable(f"{self.address}: backing off after failure")
+            if not self.breaker.allow():
+                # Fail fast while the circuit is open.  No attempt is
+                # made, so this does not count as a breaker failure.
+                raise ShardUnavailable(
+                    f"{self.address}: circuit open, backing off after failure"
+                )
+            action = (
+                self.faults.begin_op(self.shard_index)
+                if self.faults is not None
+                else None
+            )
             try:
+                if action == "connect-refused":
+                    self._teardown()
+                    raise InjectedFault("connect-refused", self.address)
                 seed_lines = ()
                 if self._sock is None:
                     reconnecting = self._ever_connected
@@ -188,26 +243,45 @@ class ShardLink:
                     if reconnecting and self.seed_provider is not None:
                         try:
                             seed_lines = tuple(self.seed_provider())
-                        except Exception:
+                        except (FaultError, OSError, SnapshotError, ProtocolError):
+                            # Seeding is best-effort re-warming; a
+                            # provider failure must not fail the
+                            # triggering request.
+                            self.seed_failures += 1
                             seed_lines = ()
+                if action == "delay":
+                    time.sleep(self.faults.delay_sec)
                 flight = list(seed_lines) + list(lines)
                 payload = "".join(line + "\n" for line in flight)
+                if action == "write-timeout":
+                    raise InjectedTimeout("write-timeout", self.address)
                 self._sock.sendall(payload.encode("utf-8"))
+                if action == "read-timeout":
+                    raise InjectedTimeout("read-timeout", self.address)
+                if action == "disconnect":
+                    raise InjectedDisconnect("disconnect", self.address)
                 responses = []
                 for _ in flight:
                     response = self._reader.readline()
                     if not response:
                         raise OSError("connection closed by shard server")
                     responses.append(response)
+                if action in ("truncate", "corrupt") and len(responses) > len(seed_lines):
+                    # Mutate the first *payload* response: the caller's
+                    # decoder must reject it and fall open.
+                    mutate = truncate_line if action == "truncate" else corrupt_line
+                    responses[len(seed_lines)] = mutate(responses[len(seed_lines)])
                 if seed_lines and self.on_seed is not None:
                     try:
                         self.on_seed(seed_lines, responses[: len(seed_lines)])
-                    except Exception:
-                        pass  # accounting must never fail the request
+                    except (FaultError, OSError, SnapshotError, ProtocolError, WireError):
+                        # Accounting must never fail the request.
+                        self.seed_failures += 1
+                self.breaker.record_success()
                 return responses[len(seed_lines):]
             except OSError as exc:
                 self._teardown()
-                self._down_until = time.monotonic() + self.retry_interval
+                self.breaker.record_failure()
                 raise ShardUnavailable(f"{self.address}: {exc}") from None
 
     def _connect(self):
@@ -252,13 +326,14 @@ class RemoteSummaryCache(SummaryBackend):
     FLUSH_CHUNK = 256
 
     def __init__(self, addresses, local=None, timeout=1.0, retry_interval=None,
-                 pipeline=False, _links=None):
+                 pipeline=False, retry=None, fault_schedule=None, _links=None):
         addresses = tuple(addresses)
         if not addresses:
             raise ValueError("RemoteSummaryCache needs at least one shard address")
         self.addresses = addresses
         self.n_shards = len(addresses)
         self.timeout = timeout
+        self.retry_policy = retry
         #: Pipelined mode (protocol 1.2): between ``begin_batch`` and
         #: ``end_batch`` the backend prefetches each shard's entries in
         #: one ``fetch-methods`` round trip and coalesces write-through
@@ -270,10 +345,31 @@ class RemoteSummaryCache(SummaryBackend):
         self.pipeline = pipeline
         self.retry_interval = retry_interval
         self.local_tier = local if local is not None else SummaryCache()
-        self._links = _links if _links is not None else tuple(
-            ShardLink(address, timeout=timeout, retry_interval=retry_interval)
-            for address in addresses
-        )
+        if _links is not None:
+            # Spawn path: links (and their injector/breakers — process
+            # state) are shared across generations.
+            self._links = _links
+            self._faults = _links[0].faults if _links else None
+        else:
+            schedule = coerce_schedule(fault_schedule)
+            if schedule is None:
+                schedule = FaultSchedule.from_env()
+            self._faults = (
+                FaultInjector(schedule, side="client")
+                if schedule is not None
+                else None
+            )
+            self._links = tuple(
+                ShardLink(
+                    address,
+                    timeout=timeout,
+                    retry_interval=retry_interval,
+                    retry=retry,
+                    faults=self._faults,
+                    shard_index=index,
+                )
+                for index, address in enumerate(addresses)
+            )
         self._pag = None
         self._fingerprint = None
         self._stats_lock = threading.Lock()
@@ -293,6 +389,7 @@ class RemoteSummaryCache(SummaryBackend):
             "epoch_rejections": 0,
             "reconnects": 0,
             "seeded_entries": 0,
+            "degraded": 0,
         }
         self._buffer_lock = threading.Lock()
         self._buffering = False  # guarded-by: _buffer_lock
@@ -355,6 +452,7 @@ class RemoteSummaryCache(SummaryBackend):
             self._fingerprint = pag_fingerprint(pag)
         except Exception:
             self._fingerprint = None
+            self._bump("degraded")
 
     def _bump(self, *names):
         with self._stats_lock:
@@ -410,6 +508,7 @@ class RemoteSummaryCache(SummaryBackend):
         try:
             key = key_to_wire(node, field_stack, state)
         except SnapshotError:
+            self._bump("degraded")
             return None  # a key shape the wire format cannot carry
         method = getattr(node, "method", None)
         try:
@@ -422,10 +521,10 @@ class RemoteSummaryCache(SummaryBackend):
                 ),
             )
         except (ShardUnavailable, ProtocolError):
-            self._bump("remote_errors")
+            self._bump("remote_errors", "degraded")
             return None
         if not isinstance(response, LookupResponse):
-            self._bump("remote_errors")
+            self._bump("remote_errors", "degraded")
             return None
         if not response.found:
             self._bump("remote_misses")
@@ -434,7 +533,8 @@ class RemoteSummaryCache(SummaryBackend):
             check_entry(response.entry, "remote.entry")
             resolved = resolve_wire_entry(self._pag, response.entry)
         except SnapshotError:
-            resolved = None
+            self._bump("unresolved", "degraded")
+            return None
         if resolved is None:
             self._bump("unresolved")
             return None
@@ -456,7 +556,7 @@ class RemoteSummaryCache(SummaryBackend):
         try:
             entry = entry_to_wire(node, field_stack, state, ppta_result)
         except SnapshotError:
-            self._bump("store_errors")
+            self._bump("store_errors", "degraded")
             return stored
         method = getattr(node, "method", None)
         epoch = self.method_epoch(method)
@@ -478,7 +578,7 @@ class RemoteSummaryCache(SummaryBackend):
                 ),
             )
         except (ShardUnavailable, ProtocolError):
-            self._bump("store_errors")
+            self._bump("store_errors", "degraded")
             return stored
         if isinstance(response, StoreResponse):
             self._bump("stores")
@@ -487,7 +587,7 @@ class RemoteSummaryCache(SummaryBackend):
             # the refusal *is* the consistency mechanism, not an error.
             self._bump("epoch_rejections")
         else:
-            self._bump("store_errors")
+            self._bump("store_errors", "degraded")
         return stored
 
     def invalidate_method(self, method_qname):
@@ -522,12 +622,12 @@ class RemoteSummaryCache(SummaryBackend):
                 InvalidateRequest(method=method_qname, epoch=epoch),
             )
         except (ShardUnavailable, ProtocolError):
-            self._bump("invalidation_errors")
+            self._bump("invalidation_errors", "degraded")
             return dropped
         if isinstance(response, InvalidateResponse):
             self._bump("invalidations")
         else:
-            self._bump("invalidation_errors")
+            self._bump("invalidation_errors", "degraded")
         return dropped
 
     # ------------------------------------------------------------------
@@ -562,10 +662,10 @@ class RemoteSummaryCache(SummaryBackend):
                         ),
                     )
                 except (ShardUnavailable, ProtocolError):
-                    self._bump("remote_errors")
+                    self._bump("remote_errors", "degraded")
                     continue
                 if not isinstance(response, MethodEntriesResponse):
-                    self._bump("remote_errors")
+                    self._bump("remote_errors", "degraded")
                     continue
                 epochs = response.epochs
                 for position, entry in enumerate(response.entries):
@@ -576,7 +676,8 @@ class RemoteSummaryCache(SummaryBackend):
                         check_entry(entry, "prefetch.entry")
                         resolved = resolve_wire_entry(self._pag, entry)
                     except SnapshotError:
-                        resolved = None
+                        self._bump("unresolved", "degraded")
+                        continue
                     if resolved is None:
                         self._bump("unresolved")
                         continue
@@ -628,12 +729,14 @@ class RemoteSummaryCache(SummaryBackend):
                 responses = link.request_many(lines)
                 self._bump("round_trips")
             except ShardUnavailable:
+                self._bump("degraded")
                 self._bump_n("store_errors", len(buffered))
                 continue
             for chunk, line in zip(chunks, responses):
                 try:
                     response = decode_response(line)
                 except ProtocolError:
+                    self._bump("degraded")
                     self._bump_n("store_errors", len(chunk))
                     continue
                 if isinstance(response, BatchStoreResponse):
@@ -643,6 +746,7 @@ class RemoteSummaryCache(SummaryBackend):
                     self._bump_n("epoch_rejections", stale)
                     self._bump_n("stores", len(chunk) - stale)
                 else:
+                    self._bump("degraded")
                     self._bump_n("store_errors", len(chunk))
 
     # ------------------------------------------------------------------
@@ -672,6 +776,7 @@ class RemoteSummaryCache(SummaryBackend):
             try:
                 entry = entry_to_wire(node, stack, state, summary)
             except SnapshotError:
+                self._bump("degraded")
                 continue
             entries.append(entry)
             epochs.append(self.method_epoch(method))
@@ -697,6 +802,7 @@ class RemoteSummaryCache(SummaryBackend):
             try:
                 response = decode_response(line)
             except ProtocolError:
+                self._bump("degraded")
                 continue
             if isinstance(response, BatchStoreResponse):
                 stale = sum(1 for flag in response.stale if flag)
@@ -735,6 +841,7 @@ class RemoteSummaryCache(SummaryBackend):
             timeout=self.timeout,
             retry_interval=self.retry_interval,
             pipeline=self.pipeline,
+            retry=self.retry_policy,
             _links=self._links,
         )
         fresh.adopt_epochs(self.method_epochs())
@@ -788,9 +895,19 @@ class RemoteSummaryCache(SummaryBackend):
 
     def remote_stats(self):
         """The service-traffic accounting, as wire-ready
-        :class:`~repro.api.protocol.RemoteStoreStats`."""
+        :class:`~repro.api.protocol.RemoteStoreStats`.  Protocol 1.6
+        rows: ``faults`` (injected by the client-side schedule),
+        ``degraded`` (fall-open decisions) and per-link
+        ``breaker_state``."""
+        faults = self._faults.total_injected() if self._faults is not None else 0
+        breaker_state = tuple(link.breaker.state for link in self._links)
         with self._stats_lock:
-            return RemoteStoreStats(shards=self.n_shards, **self._remote)
+            return RemoteStoreStats(
+                shards=self.n_shards,
+                faults=faults,
+                breaker_state=breaker_state,
+                **self._remote,
+            )
 
     def shard_stats(self):
         """Live per-shard :class:`~repro.api.protocol.StoreStatsResponse`
@@ -801,6 +918,7 @@ class RemoteSummaryCache(SummaryBackend):
             try:
                 response = self._exchange_link(link, StoreStatsRequest())
             except (ShardUnavailable, ProtocolError, WireError):
+                self._bump("degraded")
                 snapshots.append(None)
                 continue
             snapshots.append(

@@ -21,6 +21,7 @@ import socket
 import subprocess
 import sys
 import threading
+import time
 
 from repro.analysis.summaries import shard_for_method
 from repro.api.codec import decode_request, encode
@@ -46,6 +47,13 @@ from repro.api.protocol import (
     WireError,
 )
 from repro.api.snapshot import check_entry, check_key
+from repro.cacheserver.faults import (
+    FaultInjector,
+    InjectedDisconnect,
+    coerce_schedule,
+    corrupt_line,
+    truncate_line,
+)
 from repro.cacheserver.store import (
     StaleEpochRejection,
     WireSummaryStore,
@@ -74,6 +82,7 @@ class ShardDispatcher:
         max_entries=None,
         max_facts=None,
         eviction="lru",
+        faults=None,
     ):
         if not 0 <= shard_index < n_shards:
             raise ValueError(
@@ -84,13 +93,49 @@ class ShardDispatcher:
         self.store = WireSummaryStore(
             max_entries=max_entries, max_facts=max_facts, eviction=eviction
         )
+        # Server-side fault injection (``repro-cached --faults SPEC``):
+        # a FaultInjector, FaultSchedule or spec string; ``None`` (the
+        # production value) injects nothing.
+        if faults is not None and not isinstance(faults, FaultInjector):
+            faults = FaultInjector(coerce_schedule(faults), side="server")
+        self.faults = faults
 
     # ------------------------------------------------------------------
     # dispatch (transport-independent; unit tests drive this directly)
     # ------------------------------------------------------------------
     def handle_line(self, line):
         """Decode one request line, dispatch, encode the response —
-        every failure becomes a typed error line, never a traceback."""
+        every failure becomes a typed error line, never a traceback.
+
+        Fault injection lives HERE, on the transport-independent seam,
+        so the threaded and async tiers misbehave identically:
+        ``delay`` stalls before dispatch, ``blank-restart`` wipes the
+        store (the observable state of a freshly restarted shard
+        process) and then serves the request against the blank store,
+        ``disconnect`` raises :class:`InjectedDisconnect` for the
+        transport to drop the connection, and ``truncate``/``corrupt``
+        mutate the encoded response so the client's decoder must refuse
+        it and fall open.
+        """
+        action = (
+            self.faults.begin_op(self.shard_index)
+            if self.faults is not None
+            else None
+        )
+        if action == "disconnect":
+            raise InjectedDisconnect("disconnect", f"shard {self.shard_index}")
+        if action == "delay":
+            time.sleep(self.faults.delay_sec)
+        elif action == "blank-restart":
+            self.store.restart_blank()
+        response = self._handle_line_inner(line)
+        if action == "truncate":
+            return truncate_line(response)
+        if action == "corrupt":
+            return corrupt_line(response)
+        return response
+
+    def _handle_line_inner(self, line):
         try:
             request = decode_request(line)
         except WireError as exc:
@@ -237,6 +282,7 @@ class ShardServer(ShardDispatcher):
         max_entries=None,
         max_facts=None,
         eviction="lru",
+        faults=None,
     ):
         super().__init__(
             shard_index,
@@ -244,6 +290,7 @@ class ShardServer(ShardDispatcher):
             max_entries=max_entries,
             max_facts=max_facts,
             eviction=eviction,
+            faults=faults,
         )
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -397,6 +444,7 @@ class CacheCluster:
         eviction="lru",
         python=None,
         threaded=False,
+        faults=None,
     ):
         """Spawn ``shards`` shard-server child processes on ``host``.
 
@@ -404,16 +452,21 @@ class CacheCluster:
         stdout; spawn blocks until every child has announced (or died —
         then the whole cluster is torn down and the failure raised).
         Children serve on the asyncio tier by default; ``threaded=True``
-        keeps them on the thread-per-connection transport.
+        keeps them on the thread-per-connection transport.  ``faults``
+        (a :class:`~repro.cacheserver.faults.FaultSchedule` or spec
+        string) makes every child inject server-side faults
+        deterministically — the chaos-soak battery's server leg.
         """
         python = python or sys.executable
         cluster = None
+        schedule = coerce_schedule(faults)
+        faults_spec = schedule.to_spec() if schedule is not None else None
         processes, addresses, announcements = [], [], []
         try:
             for index in range(shards):
                 proc, info = cls._spawn_child(
                     python, index, shards, host, 0,
-                    max_entries, max_facts, eviction, threaded,
+                    max_entries, max_facts, eviction, threaded, faults_spec,
                 )
                 processes.append(proc)
                 addresses.append(f"{info['host']}:{info['port']}")
@@ -433,13 +486,14 @@ class CacheCluster:
             "max_facts": max_facts,
             "eviction": eviction,
             "threaded": threaded,
+            "faults": faults_spec,
         }
         return cluster
 
     @staticmethod
     def _spawn_child(
         python, index, shards, host, port,
-        max_entries, max_facts, eviction, threaded,
+        max_entries, max_facts, eviction, threaded, faults_spec=None,
     ):
         cmd = [
             python,
@@ -462,6 +516,8 @@ class CacheCluster:
             cmd += ["--max-facts", str(max_facts)]
         if threaded:
             cmd += ["--threaded"]
+        if faults_spec:
+            cmd += ["--faults", faults_spec]
         proc = subprocess.Popen(
             cmd, stdout=subprocess.PIPE, text=True, encoding="utf-8"
         )
@@ -492,7 +548,7 @@ class CacheCluster:
         fresh, info = self._spawn_child(
             opts["python"], index, opts["shards"], host, int(port),
             opts["max_entries"], opts["max_facts"], opts["eviction"],
-            opts["threaded"],
+            opts["threaded"], opts.get("faults"),
         )
         self.processes[index] = fresh
         if index < len(self.announcements):

@@ -393,6 +393,19 @@ class WireSummaryStore:
             self.hits = self.misses = self.evictions = self.invalidated = 0
             self.stale_rejections = 0  # guarded-by: _lock
 
+    def restart_blank(self):
+        """Forget *everything*, epochs and fingerprints included — the
+        observable state of a freshly restarted shard process.  This is
+        the ``blank-restart`` fault-injection primitive: unlike
+        :meth:`clear` it resets the program version too, so clients
+        ahead of the blank store self-heal it on first contact (the
+        adopt-and-drop epoch rule), exactly as they would a respawned
+        child."""
+        with self._lock:
+            self.clear()
+            self._epochs.clear()
+            self._fprints.clear()
+
     # ------------------------------------------------------------------
     # capacity
     # ------------------------------------------------------------------

@@ -47,6 +47,39 @@ def results_digest(canonical):
     ).hexdigest()
 
 
+def _wait_for_cluster(addresses, deadline_sec):
+    """Block until every shard accepts a TCP connection, with the same
+    jittered-backoff policy the serving client uses (one ladder, not a
+    bespoke sleep loop).  Raises ``ShardUnavailable`` at the deadline —
+    a workload told to wait for a cluster that never comes up should
+    fail loudly, not silently measure the local fallback."""
+    import socket
+
+    from repro.cacheserver.client import ShardUnavailable
+    from repro.cacheserver.faults import RetryPolicy, wait_until
+
+    pending = list(addresses)
+
+    def probe():
+        still = []
+        for address in pending:
+            host, port = address.rsplit(":", 1)
+            try:
+                with socket.create_connection((host, int(port)), timeout=0.25):
+                    pass
+            except OSError:
+                still.append(address)
+        pending[:] = still
+        return not pending
+
+    policy = RetryPolicy(initial=0.05, max_delay=0.5, deadline=deadline_sec)
+    if not wait_until(probe, policy):
+        raise ShardUnavailable(
+            f"cluster not reachable within {deadline_sec}s: "
+            + ",".join(pending)
+        )
+
+
 def build_engine(args):
     if args.benchmark is not None:
         from repro.bench.suite import load_benchmark
@@ -65,6 +98,8 @@ def build_engine(args):
         from repro.cacheserver.client import parse_addresses
 
         remote = parse_addresses(args.remote)
+        if args.wait_remote:
+            _wait_for_cluster(remote, args.wait_remote)
     cache = CachePolicy(
         max_entries=args.max_entries,
         max_facts=args.max_facts,
@@ -73,6 +108,7 @@ def build_engine(args):
         remote=remote,
         remote_timeout=args.remote_timeout,
         remote_pipeline=args.pipeline if remote else None,
+        fault_schedule=args.faults if remote else None,
     )
     # The paper protocol's policy (field-depth k-limit, sequential) —
     # the same numbers every other benchmark in the repo reports.
@@ -128,6 +164,9 @@ def run(args):
             "epoch_rejections": stats.remote.epoch_rejections,
             "reconnects": stats.remote.reconnects,
             "seeded_entries": stats.remote.seeded_entries,
+            "faults": stats.remote.faults,
+            "degraded": stats.remote.degraded,
+            "breaker_state": list(stats.remote.breaker_state),
         }
         if stats.remote is not None
         else None,
@@ -154,6 +193,24 @@ def main(argv=None):
     )
     parser.add_argument("--remote", metavar="ADDR,ADDR,...", default=None)
     parser.add_argument("--remote-timeout", type=float, default=2.0)
+    parser.add_argument(
+        "--wait-remote",
+        type=float,
+        metavar="SECONDS",
+        default=0.0,
+        help="wait up to SECONDS for every shard to accept connections "
+        "before the workload starts (jittered backoff; fails loudly at "
+        "the deadline instead of silently measuring the local fallback)",
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="deterministic client-side fault injection, e.g. "
+        "'seed=7,rate=0.1,kinds=disconnect|read-timeout' (see "
+        "repro.cacheserver.faults.FaultSchedule.parse; the REPRO_FAULTS "
+        "environment variable applies when this flag is absent)",
+    )
     parser.add_argument(
         "--pipeline",
         dest="pipeline",

@@ -23,7 +23,7 @@ from repro.devtools.analyzer import (
     write_baseline,
 )
 from repro.devtools.rules_async import NoBlockingInAsync
-from repro.devtools.rules_err import TypedErrorDiscipline
+from repro.devtools.rules_err import FailOpenAccounting, TypedErrorDiscipline
 from repro.devtools.rules_hot import HotLoopHygiene
 from repro.devtools.rules_lock import LockDiscipline, ShardLockNesting
 from repro.devtools.rules_wire import ProtocolDrift
@@ -38,6 +38,7 @@ ALL_RULES: Dict[str, Rule] = {
         NoBlockingInAsync(),
         ProtocolDrift(),
         TypedErrorDiscipline(),
+        FailOpenAccounting(),
     )
 }
 

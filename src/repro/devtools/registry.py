@@ -74,6 +74,12 @@ ERROR_DISCIPLINE_PREFIXES: Tuple[str, ...] = (
     "src/repro/cacheserver/",
 )
 
+#: Path prefixes where ERR002 requires every fail-open except site to
+#: account the degradation in a stats counter (the serving client and
+#: its service-side siblings — the layer whose correctness stance is
+#: "degrade to local computation, observably").
+FAIL_OPEN_PREFIXES: Tuple[str, ...] = ("src/repro/cacheserver/",)
+
 #: Where WIRE001 finds the protocol schema and its consumers.
 WIRE_PROTOCOL_SUFFIX = "api/protocol.py"
 WIRE_SERVICE_SUFFIX = "api/service.py"

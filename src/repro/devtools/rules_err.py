@@ -1,4 +1,4 @@
-"""ERR001: typed-error discipline on the wire/serving paths.
+"""ERR001/ERR002: error discipline on the wire/serving paths.
 
 The wire contract promises that no input reachable over a socket can
 surface a Python traceback — which only holds if every broad ``except``
@@ -16,13 +16,29 @@ paths listed in
 neither raises nor references a typed-error name.  Narrow handlers
 (``except OSError:``) are always fine — naming the failure you expect
 is the discipline.
+
+ERR002 polices the *accounting* half of the fail-open contract.  The
+serving client's correctness stance is "degrade to local computation,
+always" — which is only auditable if every fall-open decision is
+counted (the ``degraded`` row of the protocol-1.6 remote stats).  So
+inside :data:`repro.devtools.registry.FAIL_OPEN_PREFIXES` every
+handler that catches a fail-open type (``ShardUnavailable``,
+``ProtocolError``, ``SnapshotError``, ``FaultError``, ``WireError``,
+or any broad except) must either re-raise, convert to the typed error
+surface, or **increment a stats counter** — a ``_bump``-style call or
+an augmented assignment.  Teardown handlers for narrow OS-level types
+(``except OSError: pass`` around a ``close()``) are out of scope: they
+release resources, they don't decide to degrade.
 """
 
 import ast
 from typing import Iterator
 
 from repro.devtools.analyzer import Finding, Module, Project, Rule
-from repro.devtools.registry import ERROR_DISCIPLINE_PREFIXES
+from repro.devtools.registry import (
+    ERROR_DISCIPLINE_PREFIXES,
+    FAIL_OPEN_PREFIXES,
+)
 
 _BROAD = frozenset({"Exception", "BaseException"})
 
@@ -100,6 +116,114 @@ class TypedErrorDiscipline(Rule):
                             f"broad 'except {caught}'".rstrip()
                             + f" in {context} neither re-raises nor "
                             "produces a typed wire error"
+                        ),
+                    )
+            yield from self._walk(module, child, child_context)
+
+
+#: Exception names whose handlers embody a *fall-open decision*: the
+#: operation degrades to the local path instead of propagating.  Broad
+#: handlers count too (see :func:`_is_broad`).
+_FAIL_OPEN_NAMES = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "ShardUnavailable",
+        "ProtocolError",
+        "SnapshotError",
+        "WireError",
+        "FaultError",
+    }
+)
+
+#: Call-name shapes that count as incrementing a stats counter.
+_COUNTER_PREFIXES = ("record", "count")
+
+
+def _catches_fail_open(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in types:
+        if isinstance(node, ast.Name) and node.id in _FAIL_OPEN_NAMES:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in _FAIL_OPEN_NAMES:
+            return True
+    return False
+
+
+def _is_counter_call(node: ast.Call) -> bool:
+    func = node.func
+    name = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    if name is None:
+        return False
+    bare = name.lstrip("_")
+    return "bump" in bare or bare.startswith(_COUNTER_PREFIXES)
+
+
+def _handler_accounts(handler: ast.ExceptHandler) -> bool:
+    """Does the handler *body* raise, convert to a typed wire error, or
+    increment a counter?  (The body only — the caught type itself must
+    not satisfy the rule it triggered.)"""
+    for statement in handler.body:
+        for node in ast.walk(statement):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.AugAssign):
+                return True
+            if isinstance(node, ast.Call) and _is_counter_call(node):
+                return True
+            if isinstance(node, ast.Name) and node.id in _TYPED_ERROR_NAMES:
+                return True
+            if isinstance(node, ast.Attribute) and node.attr in _TYPED_ERROR_NAMES:
+                return True
+    return False
+
+
+class FailOpenAccounting(Rule):
+    id = "ERR002"
+    summary = (
+        "fail-open except sites in the serving client must account the "
+        "degradation in a stats counter (or re-raise / convert to a "
+        "typed wire error)"
+    )
+
+    def check_module(self, module: Module, project: Project) -> Iterator[Finding]:
+        if not module.relpath.startswith(FAIL_OPEN_PREFIXES):
+            return
+        yield from self._walk(module, module.tree, "<module>")
+
+    def _walk(
+        self, module: Module, node: ast.AST, context: str
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            child_context = context
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_context = child.name
+            elif isinstance(child, ast.ExceptHandler):
+                if _catches_fail_open(child) and not _handler_accounts(child):
+                    caught = (
+                        ast.unparse(child.type)
+                        if child.type is not None
+                        else "<bare>"
+                    )
+                    yield Finding(
+                        file=module.relpath,
+                        line=child.lineno,
+                        col=child.col_offset,
+                        rule=self.id,
+                        message=(
+                            f"fail-open 'except {caught}' in {context} "
+                            "neither counts the degradation nor "
+                            "re-raises/converts it"
                         ),
                     )
             yield from self._walk(module, child, child_context)

@@ -102,6 +102,20 @@ class CachePolicy:
     #: hatch) to restore immediate write-through, whose prompt
     #: mid-batch cross-client visibility some multi-process tests pin.
     remote_pipeline: Optional[bool] = None
+    #: Unified retry/backoff for the remote tier: a
+    #: :class:`~repro.cacheserver.faults.RetryPolicy` (frozen, so the
+    #: cache policy stays hashable) driving every shard link's circuit
+    #: breaker — jittered exponential backoff instead of the legacy
+    #: fixed interval.  ``None`` derives one from ``remote_timeout``.
+    retry: Optional[object] = None
+    #: Deterministic fault injection for the remote tier's client side:
+    #: a :class:`~repro.cacheserver.faults.FaultSchedule` or a spec
+    #: string (the ``--faults`` grammar).  ``None`` (production) defers
+    #: to the ``REPRO_FAULTS`` environment variable, itself normally
+    #: unset.  Injected faults flow through exactly the fail-open paths
+    #: real network failures take, so answers are unchanged — only
+    #: ``stats()``'s ``faults``/``degraded`` accounting shows the chaos.
+    fault_schedule: Optional[object] = None
 
     def __post_init__(self):
         check_eviction(self.eviction)
@@ -120,6 +134,16 @@ class CachePolicy:
             raise ValueError(
                 "CachePolicy(remote_pipeline=True) needs remote=... "
                 "shard addresses; there is no wire to pipeline otherwise"
+            )
+        if self.fault_schedule is not None and self.remote is None:
+            raise ValueError(
+                "CachePolicy(fault_schedule=...) injects faults into the "
+                "remote tier; it needs remote=... shard addresses"
+            )
+        if self.retry is not None and self.remote is None:
+            raise ValueError(
+                "CachePolicy(retry=...) drives the remote tier's shard "
+                "links; it needs remote=... shard addresses"
             )
         if self.remote is not None:
             # Tolerate a list (or any iterable of addresses); the policy
@@ -193,6 +217,8 @@ class CachePolicy:
                 local=store,
                 timeout=self.remote_timeout,
                 pipeline=self.effective_pipeline,
+                retry=self.retry,
+                fault_schedule=self.fault_schedule,
             )
         return store
 

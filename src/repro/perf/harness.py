@@ -30,6 +30,13 @@ PAPERS.md).  This harness measures **steps per second**:
   :class:`~repro.analysis.summaries.CostAwareSummaryCache`: per-eviction
   wall time across store sizes.  O(log n) shows as a near-flat curve;
   the O(n) scan it replaced grows linearly.
+* **chaos** — a seeded fault-injection soak: the Figure-4 jython
+  workload replayed against live in-process shard servers under
+  deterministic fault schedules (:mod:`repro.cacheserver.faults`),
+  recording injected-fault and fall-open counts per seed.  ``--check``
+  gates on every seed keeping answers element-wise identical to a
+  fault-free run while provably injecting — the robustness analogue of
+  the identical-answers invariant the figure4 sweep enforces.
 * **profile** — cProfile top-N of one fast figure4 run, so the next
   hot-spot hunt starts from data.
 
@@ -414,6 +421,96 @@ def run_eviction(sizes, inserts=2_000, log=lambda s: None):
     return {"inserts": inserts, "sizes": rows, "flatness_ratio": flatness}
 
 
+#: Chaos soak seeds: each drives one deterministic fault schedule over
+#: the shared-cache service (same seed → same faults, forever), with a
+#: rule forcing a disconnect at op 1 so every run provably injects.
+CHAOS_SEEDS = (11, 12, 13, 14)
+CHAOS_SEEDS_QUICK = (11, 12)
+
+
+def _chaos_schedule(seed):
+    from repro.cacheserver.faults import CLIENT_KINDS, FaultRule, FaultSchedule
+
+    return FaultSchedule(
+        seed=seed,
+        rate=0.25,
+        kinds=CLIENT_KINDS,
+        rules=(FaultRule("disconnect", 1),),
+    )
+
+
+def run_chaos(quick=False, scale=0.3, log=lambda s: None):
+    """Seeded chaos soak over the shared-cache service; the ``chaos``
+    section.
+
+    Each seed replays the Figure-4 jython workload against live
+    in-process shard servers under a deterministic mixed fault schedule
+    (every client-side kind, rate 0.25) and records whether the answers
+    stayed element-wise identical to a fault-free run, how many faults
+    were injected, and the fall-open accounting.  ``--check`` gates on
+    every row being identical with at least one injected fault —
+    robustness is an invariant, not a throughput number.
+    """
+    from repro.cacheserver.faults import RetryPolicy
+    from repro.cacheserver.server import ShardServer
+    from repro.engine.policy import CachePolicy
+
+    instance = load_benchmark("jython", scale=scale)
+    client = CLIENTS["SafeCast"](instance.pag)
+    plain = PointsToEngine(instance.pag, bench_engine_policy())
+    _verdicts, baseline_batch = client.run_engine(
+        plain, dedupe=False, reorder=False
+    )
+    baseline = _canonical(baseline_batch.results)
+    retry = RetryPolicy(initial=0.01, max_delay=0.05)
+    rows = []
+    for seed in CHAOS_SEEDS_QUICK if quick else CHAOS_SEEDS:
+        schedule = _chaos_schedule(seed)
+        servers = [ShardServer(i, 2).start() for i in range(2)]
+        try:
+            policy = bench_engine_policy(
+                cache=CachePolicy(
+                    remote=tuple(server.address for server in servers),
+                    remote_timeout=1.0,
+                    retry=retry,
+                    fault_schedule=schedule,
+                )
+            )
+            engine = PointsToEngine(instance.pag, policy)
+            started = time.perf_counter()
+            _verdicts, batch = client.run_engine(
+                engine, dedupe=False, reorder=False
+            )
+            elapsed = time.perf_counter() - started
+            remote = engine.stats().remote
+        finally:
+            for server in servers:
+                server.stop()
+        identical = _canonical(batch.results) == baseline
+        rows.append(
+            {
+                "seed": seed,
+                "spec": schedule.to_spec(),
+                "faults": remote.faults,
+                "degraded": remote.degraded,
+                "breaker_state": list(remote.breaker_state),
+                "identical": identical,
+                "time_sec": round(elapsed, 6),
+            }
+        )
+        log(
+            f"  seed={seed} faults={remote.faults} "
+            f"degraded={remote.degraded} identical={identical} "
+            f"{elapsed * 1000:7.1f}ms"
+        )
+    return {
+        "workload": "jython",
+        "scale": scale,
+        "queries": len(baseline),
+        "schedules": rows,
+    }
+
+
 def run_profile(benchmarks, scale, top=12):
     """cProfile one fast figure4 pass; returns the top-N rows."""
     name = benchmarks[0]
@@ -490,17 +587,22 @@ def run_perf(
         inserts=500 if quick else 2_000,
         log=log,
     )
+    log("chaos (seeded fault schedules vs the shared-cache service):")
+    chaos = run_chaos(quick=quick, log=log)
     profile = run_profile(benchmarks, scale, top=profile_top)
     report = {
         "protocol": "repro-perf",
         # Version 3 adds the native-kernel column (speedup_native /
-        # native_vs_array) to figure4 rows and aggregates.
-        "version": 3,
+        # native_vs_array) to figure4 rows and aggregates; version 4
+        # adds the chaos soak section (seeded fault schedules against
+        # the shared-cache service).
+        "version": 4,
         "quick": quick,
         "python": sys.version.split()[0],
         "figure4": figure4,
         "warmstart": warmstart,
         "eviction": eviction,
+        "chaos": chaos,
         "profile": profile,
     }
     if check:
@@ -565,6 +667,21 @@ def _check_report(report):
         or warmstart["adjacency_compiles"]
     ):
         raise PerfCheckError("warm start recompiled the traversal substrate")
+    chaos = report.get("chaos")
+    if chaos is not None:
+        if not chaos["schedules"]:
+            raise PerfCheckError("chaos soak ran no schedules")
+        for row in chaos["schedules"]:
+            if not row["identical"]:
+                raise PerfCheckError(
+                    f"chaos seed {row['seed']} changed answers "
+                    f"({row['spec']}); faults must only move cost"
+                )
+            if row["faults"] <= 0:
+                raise PerfCheckError(
+                    f"chaos seed {row['seed']} injected nothing "
+                    f"({row['spec']}); the soak measured a clean run"
+                )
     flatness = report["eviction"]["flatness_ratio"]
     # O(log n) over two orders of magnitude of store size stays within
     # a small constant; the O(n) scan this replaced blows through it by

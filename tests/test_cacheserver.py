@@ -1118,7 +1118,7 @@ class TestAsyncServingTier:
             # the next op reconnects immediately.
             with pytest.raises(ShardUnavailable):
                 link.request(encode(StoreStatsRequest()))
-            link._down_until = 0.0
+            link.breaker.reset()
             response = decode_response(link.request(encode(StoreStatsRequest())))
             assert isinstance(response, StoreStatsResponse)
             assert response.stats.entries == served

@@ -567,6 +567,83 @@ class TestTypedErrorDiscipline:
 
 
 # ----------------------------------------------------------------------
+# ERR002
+# ----------------------------------------------------------------------
+FAIL_OPEN_VIOLATING = """
+    def lookup(self, key):
+        try:
+            return self._exchange(key)
+        except ShardUnavailable:
+            return None
+
+    def resolve(self, ref):
+        try:
+            return self._exchange(ref)
+        except (ProtocolError, SnapshotError):
+            pass
+"""
+
+FAIL_OPEN_CONFORMING = """
+    from repro.api.protocol import ErrorResponse
+
+    def counted(self, key):
+        try:
+            return self._exchange(key)
+        except ShardUnavailable:
+            self._bump("degraded")
+            return None
+
+    def tallied(self, key):
+        try:
+            return self._exchange(key)
+        except (ProtocolError, SnapshotError):
+            self.seed_failures += 1
+            return None
+
+    def converted(self, line):
+        try:
+            return self._dispatch(line)
+        except Exception as exc:
+            return ErrorResponse(code="internal", message=str(exc))
+
+    def reraised(self, line):
+        try:
+            return self._dispatch(line)
+        except Exception:
+            raise
+
+    def teardown(self):
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+"""
+
+
+class TestFailOpenAccounting:
+    def test_uncounted_fall_open_is_flagged(self, tmp_path, capsys):
+        write(tmp_path, "src/repro/cacheserver/client.py", FAIL_OPEN_VIOLATING)
+        assert lint(tmp_path, "--rule", "ERR002") == 1
+        rows = findings_of(capsys)
+        assert len(rows) == 2
+        assert (
+            "fail-open 'except ShardUnavailable' in lookup neither counts "
+            "the degradation nor re-raises/converts it" in rows[0][2]
+        )
+        assert "(ProtocolError, SnapshotError)" in rows[1][2]
+
+    def test_counted_converted_reraised_and_teardown_are_clean(self, tmp_path):
+        write(tmp_path, "src/repro/cacheserver/client.py", FAIL_OPEN_CONFORMING)
+        assert lint(tmp_path, "--rule", "ERR002") == 0
+
+    def test_paths_outside_the_serving_client_are_not_in_scope(self, tmp_path):
+        # ERR001's wire tiers are wider than ERR002's fail-open scope:
+        # the api/ layer converts, it never silently degrades.
+        write(tmp_path, "src/repro/api/dispatch.py", FAIL_OPEN_VIOLATING)
+        assert lint(tmp_path, "--rule", "ERR002") == 0
+
+
+# ----------------------------------------------------------------------
 # baseline workflow
 # ----------------------------------------------------------------------
 class TestBaseline:
@@ -649,10 +726,12 @@ class TestCliSurface:
         out = capsys.readouterr().out
         for rule_id in (
             "LOCK001", "LOCK002", "HOT001", "ASYNC001", "WIRE001", "ERR001",
+            "ERR002",
         ):
             assert rule_id in out
         assert set(ALL_RULES) == {
             "LOCK001", "LOCK002", "HOT001", "ASYNC001", "WIRE001", "ERR001",
+            "ERR002",
         }
 
     def test_unknown_rule_is_a_usage_error(self, tmp_path):

@@ -61,6 +61,14 @@ class TestReportShape:
         top = quick_report["profile"][0]
         assert set(top) == {"function", "ncalls", "tottime_sec", "cumtime_sec"}
 
+    def test_chaos_section_identical_and_injecting(self, quick_report):
+        section = quick_report["chaos"]
+        assert len(section["schedules"]) == 2  # the quick seed pair
+        for row in section["schedules"]:
+            assert row["identical"] is True
+            assert row["faults"] > 0
+            assert row["spec"].startswith("seed=")
+
     def test_check_flag_recorded(self, quick_report):
         assert quick_report["checked"] is True
         assert json.dumps(quick_report)  # JSON-serializable end to end

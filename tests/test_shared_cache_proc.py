@@ -220,7 +220,7 @@ class TestMultiProcessDeployment:
         for link in links:
             with pytest.raises(ShardUnavailable):
                 link.request(encode(StoreStatsRequest()))
-            link._down_until = 0.0
+            link.breaker.reset()
 
         # The next exchange per link reconnects, and the reconnect
         # replays the tier's seed snapshot in the same flight — the
